@@ -1,0 +1,50 @@
+// Shared benchmark scaffolding: paper-style table printing plus the
+// standard "print tables, then run google-benchmark micro-benchmarks" main.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace lfi::bench {
+
+/// Print a fixed-width table: a header row then data rows.
+inline void PrintTable(const std::string& title,
+                       const std::vector<std::vector<std::string>>& rows) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  if (rows.empty()) return;
+  std::vector<size_t> widths;
+  for (const auto& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (widths.size() <= i) widths.push_back(0);
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  for (size_t r = 0; r < rows.size(); ++r) {
+    std::string line;
+    for (size_t i = 0; i < rows[r].size(); ++i) {
+      std::string cell = rows[r][i];
+      cell.resize(widths[i], ' ');
+      line += cell + "  ";
+    }
+    std::printf("%s\n", line.c_str());
+    if (r == 0) {
+      std::string rule(line.size(), '-');
+      std::printf("%s\n", rule.c_str());
+    }
+  }
+}
+
+/// Standard main body: emit the tables, then micro-benchmarks.
+#define LFI_BENCH_MAIN(PrintFn)                          \
+  int main(int argc, char** argv) {                      \
+    PrintFn();                                           \
+    benchmark::Initialize(&argc, argv);                  \
+    benchmark::RunSpecifiedBenchmarks();                 \
+    benchmark::Shutdown();                               \
+    return 0;                                            \
+  }
+
+}  // namespace lfi::bench

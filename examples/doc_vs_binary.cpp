@@ -1,0 +1,83 @@
+// "Finding Obscure Scenarios" (§6.1) / documentation inconsistencies
+// (§3.1): the profiler finds error codes the documentation omits — the
+// modify_ldt ENOMEM and libxml2 return-1 cases of the paper.
+//
+// We generate a library whose man page is incomplete, run the profiler,
+// and diff the two views, flagging undocumented codes a tester should add
+// to their scenarios and documented codes the binary analysis missed.
+#include <cstdio>
+
+#include "core/profiler.hpp"
+#include "corpus/libgen.hpp"
+#include "kernel/kernel_image.hpp"
+
+using namespace lfi;
+
+int main() {
+  corpus::LibrarySpec spec;
+  spec.name = "libldt.so";
+  spec.seed = 4;
+  {
+    corpus::FunctionSpec fn;  // the modify_ldt analogue
+    fn.name = "modify_ldt";
+    fn.arg_count = 1;
+    fn.detectable_documented = {-14 /*EFAULT*/, -22 /*EINVAL*/,
+                                -38 /*ENOSYS*/};
+    fn.detectable_undocumented = {-12 /*ENOMEM: missing from the man page*/};
+    spec.functions.push_back(fn);
+  }
+  {
+    corpus::FunctionSpec fn;  // the htmlParseDocument analogue
+    fn.name = "htmlParseDocument";
+    fn.arg_count = 2;
+    fn.detectable_documented = {-1};
+    fn.detectable_undocumented = {1 /*undocumented failure value*/};
+    spec.functions.push_back(fn);
+  }
+  corpus::GeneratedLibrary lib = corpus::GenerateLibrary(spec);
+
+  sso::SharedObject kernel = kernel::BuildKernelImage();
+  analysis::Workspace ws;
+  ws.SetKernel(&kernel);
+  ws.AddModule(&lib.object);
+  core::Profiler profiler(ws);
+  auto profile = profiler.ProfileLibrary(lib.object);
+  if (!profile.ok()) {
+    std::printf("profiling failed: %s\n", profile.error().c_str());
+    return 1;
+  }
+
+  bool found_undocumented = false;
+  for (const auto& fn : profile.value().functions) {
+    const auto& docs = lib.documentation.at(fn.name);
+    std::printf("\n%s — man page says {", fn.name.c_str());
+    for (int64_t code : docs) std::printf(" %lld", (long long)code);
+    std::printf(" }, binary analysis found {");
+    for (const auto& ec : fn.error_codes) {
+      std::printf(" %lld", (long long)ec.retval);
+    }
+    std::printf(" }\n");
+    for (const auto& ec : fn.error_codes) {
+      if (!docs.count(ec.retval)) {
+        std::printf("  !! undocumented error return %lld — add it to your "
+                    "fault scenarios\n",
+                    (long long)ec.retval);
+        found_undocumented = true;
+      }
+    }
+    for (int64_t code : docs) {
+      bool found = false;
+      for (const auto& ec : fn.error_codes) found |= ec.retval == code;
+      if (!found) {
+        std::printf("  ?? documented code %lld not confirmed by analysis "
+                    "(indirect path?)\n",
+                    (long long)code);
+      }
+    }
+  }
+  std::printf(
+      "\n(paper: modify_ldt's man page lists EFAULT/EINVAL/ENOSYS, but LFI "
+      "found ENOMEM too;\n libxml2's htmlParseDocument can return 1 despite "
+      "documented 0/-1.)\n");
+  return found_undocumented ? 0 : 1;
+}

@@ -1,0 +1,40 @@
+// The §6.1 Pidgin case study, end to end:
+//   - run the IM client under random I/O fault injection (p = 0.1),
+//   - observe the SIGABRT caused by the resolver's unchecked pipe writes,
+//   - regenerate the crash deterministically from the replay script,
+//   - print the injection log a developer would debug from.
+#include <cstdio>
+
+#include "apps/workloads.hpp"
+
+using namespace lfi;
+
+int main() {
+  std::printf("hunting: random I/O faultload, p=0.10, scanning seeds...\n");
+  for (uint64_t seed = 1; seed <= 100; ++seed) {
+    apps::PidginRunResult r = apps::RunPidginRandomIo(0.10, seed);
+    if (!r.aborted) continue;
+
+    std::printf("\nseed %llu crashed the client with SIGABRT after %zu "
+                "injections (%s)\n",
+                (unsigned long long)seed, r.injections,
+                r.fault_message.c_str());
+
+    std::printf("\nreplay script:\n%s", r.replay.ToXml().c_str());
+
+    std::printf("re-running the replay script...\n");
+    apps::PidginRunResult replay = apps::RunPidginWithPlan(r.replay);
+    std::printf("replay outcome: %s\n",
+                replay.aborted ? "SIGABRT reproduced — attach the debugger"
+                               : "no crash (scheduling nondeterminism)");
+
+    std::printf(
+        "\ndiagnosis (as in the paper): the resolver child ignores write()\n"
+        "results; a failed/partial write desynchronizes the response pipe,\n"
+        "the parent reads address bytes as a length, and the resulting\n"
+        "huge malloc() fails -> abort().\n");
+    return replay.aborted ? 0 : 2;
+  }
+  std::printf("no crashing seed in range — increase probability or range\n");
+  return 1;
+}

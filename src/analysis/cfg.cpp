@@ -1,0 +1,133 @@
+#include "analysis/cfg.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/strings.hpp"
+
+namespace lfi::analysis {
+
+size_t Cfg::block_starting_at(uint32_t offset) const {
+  for (size_t i = 0; i < blocks.size(); ++i) {
+    if (blocks[i].begin == offset) return i;
+  }
+  return SIZE_MAX;
+}
+
+size_t Cfg::instruction_count() const {
+  size_t n = 0;
+  for (const auto& b : blocks) n += b.instrs.size();
+  return n;
+}
+
+size_t Cfg::indirect_branch_count() const {
+  size_t n = 0;
+  for (const auto& b : blocks) {
+    for (const auto& ins : b.instrs) {
+      if (ins.op == isa::Opcode::JMP_IND) ++n;
+    }
+  }
+  return n;
+}
+
+size_t Cfg::indirect_call_count() const {
+  size_t n = 0;
+  for (const auto& b : blocks) {
+    for (const auto& ins : b.instrs) {
+      if (ins.op == isa::Opcode::CALL_IND) ++n;
+    }
+  }
+  return n;
+}
+
+std::string Cfg::ToString() const {
+  std::string out = Format("CFG of <%s> (%zu blocks)\n", function.c_str(),
+                           blocks.size());
+  for (size_t i = 0; i < blocks.size(); ++i) {
+    const BasicBlock& b = blocks[i];
+    out += Format("B%zu [%x..%x)", i, b.begin, b.end);
+    if (!b.succs.empty()) {
+      out += " ->";
+      for (size_t s : b.succs) out += Format(" B%zu", s);
+    }
+    if (b.ends_in_ret) out += "  (ret)";
+    if (b.has_indirect_branch) out += "  (indirect: successors unknown)";
+    out += "\n";
+    for (const auto& ins : b.instrs) out += "  " + ins.ToString() + "\n";
+  }
+  return out;
+}
+
+Result<Cfg> BuildCfg(const sso::SharedObject& so, const isa::Symbol& fn) {
+  uint32_t begin = fn.offset;
+  uint32_t end = fn.offset + fn.size;
+  auto decoded = isa::Disassemble(so.code, begin, end);
+  if (!decoded.ok()) return Err(decoded.error());
+  const std::vector<isa::Instr>& instrs = decoded.value();
+  if (instrs.empty()) return Err("cfg: empty function " + fn.name);
+
+  // Leaders: entry, branch targets (inside the function), post-terminator.
+  std::set<uint32_t> leaders = {begin};
+  for (const auto& ins : instrs) {
+    if (ins.is_branch() && ins.op != isa::Opcode::JMP_IND) {
+      uint32_t target = ins.rel_target();
+      if (target >= begin && target < end) leaders.insert(target);
+    }
+    if (ins.is_terminator()) {
+      uint32_t next = ins.offset + ins.size;
+      if (next < end) leaders.insert(next);
+    }
+  }
+
+  Cfg cfg;
+  cfg.function = fn.name;
+  cfg.entry_offset = begin;
+  std::map<uint32_t, size_t> block_of_leader;
+  for (uint32_t leader : leaders) {
+    block_of_leader[leader] = cfg.blocks.size();
+    BasicBlock b;
+    b.begin = leader;
+    cfg.blocks.push_back(std::move(b));
+  }
+  // Fill instructions.
+  for (const auto& ins : instrs) {
+    auto it = block_of_leader.upper_bound(ins.offset);
+    --it;  // the leader at or before this instruction
+    BasicBlock& b = cfg.blocks[it->second];
+    b.instrs.push_back(ins);
+    b.end = ins.offset + ins.size;
+  }
+  // Successor edges.
+  for (size_t i = 0; i < cfg.blocks.size(); ++i) {
+    BasicBlock& b = cfg.blocks[i];
+    if (b.instrs.empty()) continue;
+    const isa::Instr& last = b.instrs.back();
+    auto link = [&](uint32_t target) {
+      auto it = block_of_leader.find(target);
+      if (it != block_of_leader.end()) {
+        b.succs.push_back(it->second);
+        cfg.blocks[it->second].preds.push_back(i);
+      }
+    };
+    if (last.op == isa::Opcode::RET) {
+      b.ends_in_ret = true;
+    } else if (last.op == isa::Opcode::HALT ||
+               last.op == isa::Opcode::ABORT) {
+      // no successors
+    } else if (last.op == isa::Opcode::JMP) {
+      link(last.rel_target());
+    } else if (last.is_cond_branch()) {
+      link(last.rel_target());
+      link(last.offset + last.size);  // fall-through
+    } else if (last.op == isa::Opcode::JMP_IND) {
+      b.has_indirect_branch = true;  // successors unknown (CFG incomplete)
+    } else {
+      // Block ended because the next instruction is a leader.
+      link(last.offset + last.size);
+    }
+  }
+  return cfg;
+}
+
+}  // namespace lfi::analysis

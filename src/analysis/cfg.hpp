@@ -1,0 +1,51 @@
+// Control-flow graph construction (paper §3.1, Figure 2).
+//
+// Built per exported function from the disassembly. Leaders are the
+// function entry, branch targets, and instructions following terminators.
+// Calls do not terminate blocks (they fall through), matching the paper's
+// CFG whose analyses step over calls via dependent-function recursion.
+// Indirect branches leave the CFG incomplete; the block is flagged, and the
+// prototype — like LFI's — proceeds despite the incompleteness (§3.1
+// measures how rare these are).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/isa.hpp"
+#include "sso/sso.hpp"
+#include "util/result.hpp"
+
+namespace lfi::analysis {
+
+struct BasicBlock {
+  uint32_t begin = 0;  // offset of first instruction (module-relative)
+  uint32_t end = 0;    // offset past last instruction
+  std::vector<isa::Instr> instrs;
+  std::vector<size_t> succs;
+  std::vector<size_t> preds;
+  bool ends_in_ret = false;
+  bool has_indirect_branch = false;  // JMP_IND terminator: unknown succs
+};
+
+struct Cfg {
+  std::string function;
+  uint32_t entry_offset = 0;
+  std::vector<BasicBlock> blocks;  // blocks[0] is the entry block
+
+  /// Index of the block starting at `offset`; SIZE_MAX if none.
+  size_t block_starting_at(uint32_t offset) const;
+
+  size_t instruction_count() const;
+  size_t indirect_branch_count() const;
+  size_t indirect_call_count() const;
+
+  /// Figure-2 style listing: one block per paragraph with successor edges.
+  std::string ToString() const;
+};
+
+/// Build the CFG of `fn` within `so`. Fails on undecodable bytes.
+Result<Cfg> BuildCfg(const sso::SharedObject& so, const isa::Symbol& fn);
+
+}  // namespace lfi::analysis

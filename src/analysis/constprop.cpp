@@ -1,0 +1,696 @@
+#include "analysis/constprop.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "analysis/side_effects.hpp"
+#include "isa/codebuilder.hpp"
+#include "util/strings.hpp"
+
+namespace lfi::analysis {
+
+using isa::Opcode;
+using isa::Reg;
+
+void MergeEffect(std::vector<SideEffect>* list, const SideEffect& effect) {
+  for (auto& existing : *list) {
+    if (existing.same_location(effect)) {
+      existing.values.insert(effect.values.begin(), effect.values.end());
+      existing.unknown_values |= effect.unknown_values;
+      return;
+    }
+  }
+  list->push_back(effect);
+}
+
+// -- Workspace ----------------------------------------------------------------
+
+std::optional<Workspace::Fn> Workspace::ResolveFunction(
+    const std::string& name) const {
+  for (const sso::SharedObject* so : modules_) {
+    if (const isa::Symbol* sym = so->find_export(name)) {
+      return Fn{so, sym};
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Workspace::Fn> Workspace::ResolveSyscall(uint16_t number) const {
+  if (!kernel_) return std::nullopt;
+  const kernel::SyscallSpec* spec = kernel::FindSyscall(number);
+  if (!spec) return std::nullopt;
+  if (const isa::Symbol* sym = kernel_->find_export(kernel::HandlerName(*spec))) {
+    return Fn{kernel_, sym};
+  }
+  return std::nullopt;
+}
+
+// -- engine internals ---------------------------------------------------------
+
+namespace {
+
+/// A tracked location: a register or a BP-relative stack slot.
+struct Loc {
+  enum class Kind { Register, Slot };
+  Kind kind = Kind::Register;
+  int v = 0;  // register number, or BP displacement
+
+  static Loc R(Reg r) { return {Kind::Register, static_cast<int>(r)}; }
+  static Loc S(int disp) { return {Kind::Slot, disp}; }
+  bool is_reg(Reg r) const {
+    return kind == Kind::Register && v == static_cast<int>(r);
+  }
+  bool operator==(const Loc& o) const = default;
+  bool operator<(const Loc& o) const {
+    return std::tie(kind, v) < std::tie(o.kind, o.v);
+  }
+};
+
+struct Transform {
+  enum class Op { Neg, Not, Add, Sub, And, Or, Xor, Mul };
+  Op op;
+  int64_t k = 0;
+
+  int64_t apply(int64_t v) const {
+    switch (op) {
+      case Op::Neg: return -v;
+      case Op::Not: return ~v;
+      case Op::Add: return v + k;
+      case Op::Sub: return v - k;
+      case Op::And: return v & k;
+      case Op::Or: return v | k;
+      case Op::Xor: return v ^ k;
+      case Op::Mul: return v * k;
+    }
+    return v;
+  }
+};
+
+/// A branch-feasibility constraint, valid for the value of the tracked
+/// location at the moment the edge was crossed (chain_len transforms had
+/// been collected at that point).
+struct Constraint {
+  enum class Rel { Eq, Ne, Lt, Le, Gt, Ge };
+  Rel rel;
+  int64_t k = 0;
+  size_t chain_len = 0;
+
+  bool check(int64_t v) const {
+    switch (rel) {
+      case Rel::Eq: return v == k;
+      case Rel::Ne: return v != k;
+      case Rel::Lt: return v < k;
+      case Rel::Le: return v <= k;
+      case Rel::Gt: return v > k;
+      case Rel::Ge: return v >= k;
+    }
+    return true;
+  }
+  static Rel Negate(Rel r) {
+    switch (r) {
+      case Rel::Eq: return Rel::Ne;
+      case Rel::Ne: return Rel::Eq;
+      case Rel::Lt: return Rel::Ge;
+      case Rel::Le: return Rel::Gt;
+      case Rel::Gt: return Rel::Le;
+      case Rel::Ge: return Rel::Lt;
+    }
+    return r;
+  }
+};
+
+/// One result of a backward query.
+struct Finding {
+  std::optional<int64_t> value;  // nullopt: a non-constant can reach here
+  int hops = 0;
+  std::vector<SideEffect> inherited;  // effects of dependent callees
+  std::vector<size_t> path_blocks;
+};
+
+struct DfsState {
+  Loc loc;
+  std::vector<Transform> chain;
+  std::vector<Constraint> constraints;
+  std::map<size_t, int> visits;      // per-path block revisit counts
+  std::vector<size_t> path;
+  int hops = 0;
+};
+
+}  // namespace
+
+// -- Impl ----------------------------------------------------------------------
+
+class ConstPropAnalyzer::Impl {
+ public:
+  Impl(const Workspace& ws, AnalysisOptions opts) : ws_(ws), opts_(opts) {}
+
+  const Workspace& ws_;
+  AnalysisOptions opts_;
+
+  using FnKey = std::pair<const sso::SharedObject*, std::string>;
+  std::map<FnKey, FunctionSummary> cache_;
+  std::map<FnKey, Cfg> cfg_cache_;
+  std::set<FnKey> in_progress_;
+  uint64_t total_states_ = 0;
+  uint64_t full_states_ = 0;
+
+  Result<const Cfg*> GetCfg(const sso::SharedObject& so,
+                            const isa::Symbol& sym) {
+    FnKey key{&so, sym.name};
+    auto it = cfg_cache_.find(key);
+    if (it != cfg_cache_.end()) return &it->second;
+    auto cfg = BuildCfg(so, sym);
+    if (!cfg.ok()) return Err(cfg.error());
+    auto [pos, inserted] = cfg_cache_.emplace(key, std::move(cfg).take());
+    (void)inserted;
+    return &pos->second;
+  }
+
+  Result<FunctionSummary> Analyze(const sso::SharedObject& so,
+                                  const std::string& function, int depth);
+
+  /// Backward query: values of `loc` just before instruction `from_idx+1`
+  /// of block `start` (i.e. scanning starts at instruction index from_idx).
+  std::vector<Finding> Solve(const Cfg& cfg, const sso::SharedObject& so,
+                             size_t start, int from_idx, Loc loc, int depth,
+                             uint64_t* states, bool* incomplete);
+
+ private:
+  void Walk(const Cfg& cfg, const sso::SharedObject& so, size_t b,
+            int from_idx, DfsState st, int depth, uint64_t* states,
+            bool* incomplete, std::vector<Finding>* out, bool* unknown_emitted);
+
+  /// Emit a constant source, applying transforms and checking constraints.
+  static void EmitConstant(int64_t c, const DfsState& st, int extra_hops,
+                           std::vector<SideEffect> inherited,
+                           std::vector<Finding>* out);
+  static void EmitUnknown(const DfsState& st, std::vector<Finding>* out,
+                          bool* unknown_emitted);
+};
+
+void ConstPropAnalyzer::Impl::EmitConstant(int64_t c, const DfsState& st,
+                                           int extra_hops,
+                                           std::vector<SideEffect> inherited,
+                                           std::vector<Finding>* out) {
+  // Apply the collected transforms from the source toward the use point,
+  // validating each feasibility constraint at the chain position where the
+  // corresponding edge was crossed.
+  int64_t v = c;
+  size_t n = st.chain.size();
+  auto check_at = [&](size_t pos, int64_t value) {
+    for (const Constraint& con : st.constraints) {
+      if (con.chain_len == pos && !con.check(value)) return false;
+    }
+    return true;
+  };
+  if (!check_at(n, v)) return;
+  for (size_t j = n; j-- > 0;) {
+    v = st.chain[j].apply(v);
+    if (!check_at(j, v)) return;
+  }
+  Finding f;
+  f.value = v;
+  f.hops = st.hops + extra_hops;
+  f.inherited = std::move(inherited);
+  f.path_blocks = st.path;
+  out->push_back(std::move(f));
+}
+
+void ConstPropAnalyzer::Impl::EmitUnknown(const DfsState& st,
+                                          std::vector<Finding>* out,
+                                          bool* unknown_emitted) {
+  if (*unknown_emitted) return;
+  *unknown_emitted = true;
+  Finding f;
+  f.value = std::nullopt;
+  f.path_blocks = st.path;
+  out->push_back(std::move(f));
+}
+
+std::vector<Finding> ConstPropAnalyzer::Impl::Solve(
+    const Cfg& cfg, const sso::SharedObject& so, size_t start, int from_idx,
+    Loc loc, int depth, uint64_t* states, bool* incomplete) {
+  std::vector<Finding> out;
+  bool unknown_emitted = false;
+  DfsState st;
+  st.loc = loc;
+  Walk(cfg, so, start, from_idx, std::move(st), depth, states, incomplete,
+       &out, &unknown_emitted);
+  return out;
+}
+
+void ConstPropAnalyzer::Impl::Walk(const Cfg& cfg, const sso::SharedObject& so,
+                                   size_t b, int from_idx, DfsState st,
+                                   int depth, uint64_t* states,
+                                   bool* incomplete, std::vector<Finding>* out,
+                                   bool* unknown_emitted) {
+  if (++*states > opts_.max_states || st.path.size() > 128) {
+    *incomplete = true;
+    EmitUnknown(st, out, unknown_emitted);
+    return;
+  }
+  ++total_states_;
+  st.path.push_back(b);
+  const BasicBlock& blk = cfg.blocks[b];
+
+  for (int k = from_idx; k >= 0; --k) {
+    const isa::Instr& ins = blk.instrs[static_cast<size_t>(k)];
+    const Loc& L = st.loc;
+    switch (ins.op) {
+      case Opcode::MOV_RI:
+        if (L.is_reg(ins.a)) {
+          EmitConstant(ins.imm, st, 0, {}, out);
+          return;
+        }
+        break;
+      case Opcode::MOV_RR:
+        if (L.is_reg(ins.a)) {
+          st.loc = Loc::R(ins.b);
+          ++st.hops;
+        }
+        break;
+      case Opcode::LOAD:
+        if (L.is_reg(ins.a)) {
+          if (ins.b == Reg::BP) {
+            st.loc = Loc::S(ins.disp);
+            ++st.hops;
+          } else {
+            EmitUnknown(st, out, unknown_emitted);  // arbitrary memory
+            return;
+          }
+        }
+        break;
+      case Opcode::STORE:
+        if (L.kind == Loc::Kind::Slot && ins.a == Reg::BP &&
+            ins.disp == L.v) {
+          st.loc = Loc::R(ins.b);
+          ++st.hops;
+        }
+        break;
+      case Opcode::STORE_I:
+        if (L.kind == Loc::Kind::Slot && ins.a == Reg::BP &&
+            ins.disp == L.v) {
+          EmitConstant(ins.imm, st, 0, {}, out);
+          return;
+        }
+        break;
+      case Opcode::LEA:
+      case Opcode::LEA_DATA:
+      case Opcode::LEA_TLS:
+        if (L.is_reg(ins.a)) {
+          EmitUnknown(st, out, unknown_emitted);  // an address, not a code
+          return;
+        }
+        break;
+      case Opcode::POP:
+        if (L.is_reg(ins.a)) {
+          EmitUnknown(st, out, unknown_emitted);
+          return;
+        }
+        break;
+      case Opcode::NEG:
+        if (L.is_reg(ins.a)) st.chain.push_back({Transform::Op::Neg, 0});
+        break;
+      case Opcode::NOT:
+        if (L.is_reg(ins.a)) st.chain.push_back({Transform::Op::Not, 0});
+        break;
+      case Opcode::ADD_RI:
+        if (L.is_reg(ins.a)) st.chain.push_back({Transform::Op::Add, ins.imm});
+        break;
+      case Opcode::SUB_RI:
+        if (L.is_reg(ins.a)) st.chain.push_back({Transform::Op::Sub, ins.imm});
+        break;
+      case Opcode::AND_RI:
+        if (L.is_reg(ins.a)) {
+          if (ins.imm == 0) {
+            EmitConstant(0, st, 0, {}, out);
+            return;
+          }
+          st.chain.push_back({Transform::Op::And, ins.imm});
+        }
+        break;
+      case Opcode::OR_RI:
+        if (L.is_reg(ins.a)) {
+          if (ins.imm == -1) {  // "or eax, 0xffffffff" in the §3.2 listing
+            EmitConstant(-1, st, 0, {}, out);
+            return;
+          }
+          st.chain.push_back({Transform::Op::Or, ins.imm});
+        }
+        break;
+      case Opcode::XOR_RI:
+        if (L.is_reg(ins.a)) st.chain.push_back({Transform::Op::Xor, ins.imm});
+        break;
+      case Opcode::MUL_RI:
+        if (L.is_reg(ins.a)) {
+          if (ins.imm == 0) {
+            EmitConstant(0, st, 0, {}, out);
+            return;
+          }
+          st.chain.push_back({Transform::Op::Mul, ins.imm});
+        }
+        break;
+      case Opcode::XOR_RR:
+        if (L.is_reg(ins.a)) {
+          if (ins.a == ins.b) {  // xor r, r: the canonical zero idiom
+            EmitConstant(0, st, 0, {}, out);
+            return;
+          }
+          EmitUnknown(st, out, unknown_emitted);
+          return;
+        }
+        break;
+      case Opcode::ADD_RR:
+      case Opcode::SUB_RR:
+      case Opcode::AND_RR:
+      case Opcode::OR_RR:
+      case Opcode::MUL_RR:
+        if (L.is_reg(ins.a)) {
+          EmitUnknown(st, out, unknown_emitted);
+          return;
+        }
+        break;
+      case Opcode::CALL:
+      case Opcode::CALL_SYM:
+      case Opcode::SYSCALL: {
+        if (L.kind != Loc::Kind::Register) break;  // memory survives calls
+        Reg r = static_cast<Reg>(L.v);
+        if (r == Reg::SP || r == Reg::BP) break;
+        if (r != Reg::R0) {
+          // Scratch registers are clobbered by calls.
+          EmitUnknown(st, out, unknown_emitted);
+          return;
+        }
+        // Dependent function: propagate all of its return values (§3.1).
+        std::optional<Workspace::Fn> callee;
+        if (ins.op == Opcode::CALL_SYM) {
+          if (ins.u16 < so.imports.size()) {
+            callee = ws_.ResolveFunction(so.imports[ins.u16]);
+          }
+        } else if (ins.op == Opcode::SYSCALL) {
+          callee = ws_.ResolveSyscall(ins.u16);
+        } else {
+          // Direct intra-module call: resolve by target offset.
+          uint32_t target = ins.rel_target();
+          const isa::Symbol* sym = so.symbol_at(target);
+          if (sym && sym->offset == target) {
+            callee = Workspace::Fn{&so, sym};
+          }
+        }
+        if (!callee || depth >= opts_.max_call_depth) {
+          *incomplete = !callee ? *incomplete : true;
+          EmitUnknown(st, out, unknown_emitted);
+          return;
+        }
+        auto summary = Analyze(*callee->module, callee->symbol->name,
+                               depth + 1);
+        if (!summary.ok()) {
+          EmitUnknown(st, out, unknown_emitted);
+          return;
+        }
+        const FunctionSummary& s = summary.value();
+        for (const ErrorReturn& er : s.returns) {
+          std::vector<SideEffect> inherited = er.effects;
+          for (const SideEffect& fe : s.effects) MergeEffect(&inherited, fe);
+          EmitConstant(er.value, st, 1 + er.hops, std::move(inherited), out);
+        }
+        if (s.returns_unknown) EmitUnknown(st, out, unknown_emitted);
+        return;
+      }
+      case Opcode::CALL_IND:
+        if (L.kind == Loc::Kind::Register) {
+          Reg r = static_cast<Reg>(L.v);
+          if (r != Reg::SP && r != Reg::BP) {
+            // Indirect call: target unknown to static analysis (§3.1's
+            // accuracy limitation) — the value is lost here.
+            *incomplete = true;
+            EmitUnknown(st, out, unknown_emitted);
+            return;
+          }
+        }
+        break;
+      case Opcode::KCALL:
+        if (L.is_reg(Reg::R0) || L.is_reg(Reg::R1)) {
+          EmitUnknown(st, out, unknown_emitted);  // native result
+          return;
+        }
+        break;
+      default:
+        break;  // NOP, CMP, branches, PUSH, RET: no tracked writes
+    }
+    if (static_cast<int>(st.chain.size()) > opts_.max_transforms) {
+      EmitUnknown(st, out, unknown_emitted);
+      return;
+    }
+  }
+
+  // Reached the beginning of the block.
+  if (b == 0) {
+    // Function entry: the value comes from the caller (an argument slot or
+    // an incoming register) — not a constant of this function.
+    EmitUnknown(st, out, unknown_emitted);
+    return;
+  }
+  if (blk.preds.empty()) {
+    EmitUnknown(st, out, unknown_emitted);
+    return;
+  }
+  for (size_t p : blk.preds) {
+    if (st.visits[p] >= opts_.max_block_revisits) continue;
+    DfsState ns = st;
+    ns.visits[p]++;
+    const BasicBlock& pred = cfg.blocks[p];
+    // Branch feasibility: if the predecessor ends in a conditional branch
+    // guarded by a CMP on the tracked register, constrain the value along
+    // this edge.
+    if (!pred.instrs.empty() && st.loc.kind == Loc::Kind::Register) {
+      const isa::Instr& term = pred.instrs.back();
+      if (term.is_cond_branch()) {
+        bool taken = term.rel_target() == blk.begin;
+        bool fallthrough = term.offset + term.size == blk.begin;
+        if (taken != fallthrough) {  // unambiguous edge
+          // Find the guarding CMP and ensure the register is not written
+          // between the CMP and the branch.
+          for (size_t q = pred.instrs.size() - 1; q-- > 0;) {
+            const isa::Instr& c = pred.instrs[q];
+            if (c.op == Opcode::CMP_RI &&
+                st.loc.is_reg(c.a)) {
+              Constraint::Rel rel;
+              switch (term.op) {
+                case Opcode::JE: rel = Constraint::Rel::Eq; break;
+                case Opcode::JNE: rel = Constraint::Rel::Ne; break;
+                case Opcode::JLT: rel = Constraint::Rel::Lt; break;
+                case Opcode::JLE: rel = Constraint::Rel::Le; break;
+                case Opcode::JGT: rel = Constraint::Rel::Gt; break;
+                default: rel = Constraint::Rel::Ge; break;  // JGE
+              }
+              if (!taken) rel = Constraint::Negate(rel);
+              ns.constraints.push_back({rel, c.imm, ns.chain.size()});
+              break;
+            }
+            if (c.op == Opcode::CMP_RR || c.op == Opcode::CMP_RI) break;
+            // A write to the tracked register between CMP and branch voids
+            // the constraint; stop looking.
+            bool writes = false;
+            switch (isa::LayoutOf(c.op)) {
+              case isa::OperandLayout::R:
+              case isa::OperandLayout::RR:
+              case isa::OperandLayout::RI:
+              case isa::OperandLayout::RRD:
+              case isa::OperandLayout::RD:
+                writes = c.op != Opcode::PUSH && c.op != Opcode::CMP_RI &&
+                         c.op != Opcode::CMP_RR && st.loc.is_reg(c.a);
+                break;
+              default:
+                break;
+            }
+            if (writes) break;
+          }
+        }
+      }
+    }
+    Walk(cfg, so, p, static_cast<int>(pred.instrs.size()) - 1, std::move(ns),
+         depth, states, incomplete, out, unknown_emitted);
+  }
+}
+
+Result<FunctionSummary> ConstPropAnalyzer::Impl::Analyze(
+    const sso::SharedObject& so, const std::string& function, int depth) {
+  FnKey key{&so, function};
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+  if (in_progress_.count(key)) {
+    // Recursive dependency cycle: treat as unknown (no constants).
+    FunctionSummary s;
+    s.module = so.name;
+    s.function = function;
+    s.returns_unknown = true;
+    return s;
+  }
+  const isa::Symbol* sym = so.find_export(function);
+  if (!sym) return Err("constprop: no export " + function + " in " + so.name);
+  auto cfg_res = GetCfg(so, *sym);
+  if (!cfg_res.ok()) return Err(cfg_res.error());
+  const Cfg& cfg = *cfg_res.value();
+
+  in_progress_.insert(key);
+
+  FunctionSummary summary;
+  summary.module = so.name;
+  summary.function = function;
+  summary.instruction_count = cfg.instruction_count();
+
+  // G' accounting: a full expansion materializes |blocks| x |locations|
+  // nodes; on-demand only touches what the queries visit.
+  std::set<int> slots;
+  for (const auto& blk : cfg.blocks) {
+    for (const auto& ins : blk.instrs) {
+      if ((ins.op == Opcode::LOAD || ins.op == Opcode::STORE ||
+           ins.op == Opcode::STORE_I) &&
+          (ins.op == Opcode::LOAD ? ins.b : ins.a) == Reg::BP) {
+        slots.insert(ins.disp);
+      }
+    }
+  }
+  uint64_t locations = isa::kNumRegs + slots.size();
+  full_states_ += cfg.blocks.size() * locations;
+  if (!opts_.on_demand) {
+    // Model the cost of eager expansion in the explored-state counter.
+    summary.states_explored += cfg.blocks.size() * locations;
+    total_states_ += cfg.blocks.size() * locations;
+  }
+
+  bool incomplete = false;
+  std::vector<Finding> all;
+  for (size_t bi = 0; bi < cfg.blocks.size(); ++bi) {
+    const BasicBlock& blk = cfg.blocks[bi];
+    if (!blk.ends_in_ret || blk.instrs.empty()) continue;
+    uint64_t states = 0;
+    auto findings =
+        Solve(cfg, so, bi, static_cast<int>(blk.instrs.size()) - 1,
+              Loc::R(Reg::R0), depth, &states, &incomplete);
+    summary.states_explored += states;
+    for (auto& f : findings) all.push_back(std::move(f));
+  }
+  for (const auto& blk : cfg.blocks) {
+    if (blk.has_indirect_branch) incomplete = true;
+  }
+
+  // Per-block side-effect cache for this function.
+  std::vector<std::optional<std::vector<SideEffect>>> block_effects(
+      cfg.blocks.size());
+  auto solver = [&](size_t block_idx, size_t instr_idx,
+                    Reg src) -> ValueSet {
+    uint64_t states = 0;
+    bool inc = false;
+    auto findings = Solve(cfg, so, block_idx, static_cast<int>(instr_idx) - 1,
+                          Loc::R(src), depth, &states, &inc);
+    summary.states_explored += states;
+    ValueSet vs;
+    for (const auto& f : findings) {
+      if (f.value) {
+        vs.constants.insert(*f.value);
+      } else {
+        vs.unknown = true;
+      }
+    }
+    return vs;
+  };
+  auto effects_of_block = [&](size_t bi) -> const std::vector<SideEffect>& {
+    if (!block_effects[bi]) {
+      block_effects[bi] = ScanBlockEffects(cfg, bi, so.name, solver);
+    }
+    return *block_effects[bi];
+  };
+
+  // Fold findings into per-value error returns with associated effects.
+  for (const Finding& f : all) {
+    if (!f.value) {
+      summary.returns_unknown = true;
+      continue;
+    }
+    ErrorReturn* er = nullptr;
+    for (auto& existing : summary.returns) {
+      if (existing.value == *f.value) {
+        er = &existing;
+        break;
+      }
+    }
+    if (!er) {
+      summary.returns.push_back(ErrorReturn{*f.value, {}, f.hops});
+      er = &summary.returns.back();
+    }
+    er->hops = std::max(er->hops, f.hops);
+    summary.max_hops = std::max(summary.max_hops, f.hops);
+    for (const SideEffect& e : f.inherited) MergeEffect(&er->effects, e);
+    // §3.2: scan the blocks on the propagation path for side-effect writes.
+    for (size_t bi : f.path_blocks) {
+      for (const SideEffect& e : effects_of_block(bi)) {
+        MergeEffect(&er->effects, e);
+      }
+    }
+  }
+  std::sort(summary.returns.begin(), summary.returns.end(),
+            [](const ErrorReturn& a, const ErrorReturn& b) {
+              return a.value < b.value;
+            });
+  for (const ErrorReturn& er : summary.returns) {
+    for (const SideEffect& e : er.effects) MergeEffect(&summary.effects, e);
+  }
+  summary.incomplete = incomplete;
+
+  in_progress_.erase(key);
+  cache_.emplace(key, summary);
+  return summary;
+}
+
+// -- public API ----------------------------------------------------------------
+
+ConstPropAnalyzer::ConstPropAnalyzer(const Workspace& ws, AnalysisOptions opts)
+    : impl_(std::make_unique<Impl>(ws, opts)) {}
+
+ConstPropAnalyzer::~ConstPropAnalyzer() = default;
+
+Result<FunctionSummary> ConstPropAnalyzer::Analyze(
+    const sso::SharedObject& so, const std::string& function) {
+  return impl_->Analyze(so, function, 0);
+}
+
+Result<std::vector<SideEffect>> ConstPropAnalyzer::ScanAllEffects(
+    const sso::SharedObject& so, const std::string& function) {
+  const isa::Symbol* sym = so.find_export(function);
+  if (!sym) return Err("constprop: no export " + function + " in " + so.name);
+  auto cfg_res = impl_->GetCfg(so, *sym);
+  if (!cfg_res.ok()) return Err(cfg_res.error());
+  const Cfg& cfg = *cfg_res.value();
+  std::vector<SideEffect> out;
+  auto solver = [&](size_t block_idx, size_t instr_idx, Reg src) -> ValueSet {
+    uint64_t states = 0;
+    bool inc = false;
+    auto findings =
+        impl_->Solve(cfg, so, block_idx, static_cast<int>(instr_idx) - 1,
+                     Loc::R(src), 0, &states, &inc);
+    ValueSet vs;
+    for (const auto& f : findings) {
+      if (f.value) vs.constants.insert(*f.value);
+      else vs.unknown = true;
+    }
+    return vs;
+  };
+  for (size_t bi = 0; bi < cfg.blocks.size(); ++bi) {
+    for (const SideEffect& e : ScanBlockEffects(cfg, bi, so.name, solver)) {
+      MergeEffect(&out, e);
+    }
+  }
+  return out;
+}
+
+uint64_t ConstPropAnalyzer::total_states_explored() const {
+  return impl_->total_states_;
+}
+
+uint64_t ConstPropAnalyzer::full_expansion_states() const {
+  return impl_->full_states_;
+}
+
+}  // namespace lfi::analysis

@@ -1,0 +1,149 @@
+// Reverse constant propagation over the product graph G' = CFG × locations
+// (paper §3.1).
+//
+// For every exit block, the analyzer searches *backward* from the last
+// write to the return location (R0, the eax analogue) for the constants
+// that can propagate there. States are (basic block, location) pairs —
+// exactly the paper's G' — expanded on demand. The walk tracks:
+//   - location switches through MOV / stack-slot spills (the "hops" of
+//     §6.2, observed to be <= 3 thanks to compiler constant folding),
+//   - affine transforms (NEG / ADD / SUB / XOR ...) so value sets such as
+//     "errno = -eax" carry the right constants (§3.2's listing),
+//   - dependent functions: CALL_SYM recurses into the callee's summary
+//     ("we consider all of the dependent function's return values to be
+//     propagated"), cross-module and into the kernel image for SYSCALL,
+//   - branch feasibility on compare-and-branch guards, so a wrapper's
+//     success path does not leak the kernel's negative error constants as
+//     return values of the wrapper itself,
+//   - indirect calls/branches, which terminate the search unresolved and
+//     mark the summary incomplete — the accuracy limitation §3.1 measures.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/cfg.hpp"
+#include "kernel/syscalls.hpp"
+#include "sso/sso.hpp"
+#include "util/result.hpp"
+
+namespace lfi::analysis {
+
+/// A discovered error-communication side channel (§3.2).
+struct SideEffect {
+  enum class Kind { Tls, Global, Arg };
+  Kind kind = Kind::Tls;
+  std::string module;        // module owning the TLS/global location
+  uint32_t offset = 0;       // module-relative offset (Tls / Global)
+  int arg_index = 0;         // output-argument index (Arg)
+  std::set<int64_t> values;  // constants that can be stored there
+  bool unknown_values = false;
+
+  bool same_location(const SideEffect& o) const {
+    return kind == o.kind && module == o.module && offset == o.offset &&
+           arg_index == o.arg_index;
+  }
+};
+
+/// One possible error return value with its associated side effects.
+struct ErrorReturn {
+  int64_t value = 0;
+  std::vector<SideEffect> effects;
+  int hops = 0;  // propagation hops to the return location
+};
+
+/// Per-function analysis result.
+struct FunctionSummary {
+  std::string module;
+  std::string function;
+  std::vector<ErrorReturn> returns;   // constant return values
+  bool returns_unknown = false;       // some path returns a non-constant
+  std::vector<SideEffect> effects;    // union over all error returns
+  int max_hops = 0;
+  uint64_t states_explored = 0;       // G' states this function cost
+  bool incomplete = false;            // indirect control flow encountered
+  size_t instruction_count = 0;       // function size (heuristic #2 input)
+
+  const ErrorReturn* find_return(int64_t value) const {
+    for (const auto& r : returns) {
+      if (r.value == value) return &r;
+    }
+    return nullptr;
+  }
+};
+
+struct AnalysisOptions {
+  uint64_t max_states = 8192;   // per-query exploration budget
+  int max_transforms = 4;
+  int max_block_revisits = 2;   // per path (loops)
+  int max_call_depth = 16;      // dependent-function recursion
+  /// §3.1: "the profiler generates G' on-demand, only expanding the nodes
+  /// of interest". Setting this false pre-expands every (block, location)
+  /// pair up front — the ablation benchmark quantifies the difference.
+  bool on_demand = true;
+};
+
+/// The set of binaries under analysis: the target library, the libraries it
+/// depends on, and the kernel image for syscall propagation.
+class Workspace {
+ public:
+  void AddModule(const sso::SharedObject* so) { modules_.push_back(so); }
+  void SetKernel(const sso::SharedObject* kernel) {
+    kernel_ = kernel;
+    AddModule(kernel);
+  }
+
+  struct Fn {
+    const sso::SharedObject* module = nullptr;
+    const isa::Symbol* symbol = nullptr;
+  };
+
+  /// First module (in add order) exporting `name`.
+  std::optional<Fn> ResolveFunction(const std::string& name) const;
+  /// Kernel handler for a syscall number.
+  std::optional<Fn> ResolveSyscall(uint16_t number) const;
+
+  const std::vector<const sso::SharedObject*>& modules() const {
+    return modules_;
+  }
+
+ private:
+  std::vector<const sso::SharedObject*> modules_;
+  const sso::SharedObject* kernel_ = nullptr;
+};
+
+class ConstPropAnalyzer {
+ public:
+  explicit ConstPropAnalyzer(const Workspace& ws, AnalysisOptions opts = {});
+  ~ConstPropAnalyzer();
+
+  /// Analyze one exported function (memoized).
+  Result<FunctionSummary> Analyze(const sso::SharedObject& so,
+                                  const std::string& function);
+
+  /// Side effects found anywhere in the function (not only on error-return
+  /// paths) — Table 1 accounting for functions reporting via channels
+  /// without constant returns.
+  Result<std::vector<SideEffect>> ScanAllEffects(const sso::SharedObject& so,
+                                                 const std::string& function);
+
+  /// Total G' states explored across all queries so far.
+  uint64_t total_states_explored() const;
+  /// Number of (block, location) nodes a full expansion would allocate
+  /// (for the on-demand vs full-expansion ablation).
+  uint64_t full_expansion_states() const;
+
+ private:
+  class Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Merge a side effect into a list, unioning value sets per location.
+void MergeEffect(std::vector<SideEffect>* list, const SideEffect& effect);
+
+}  // namespace lfi::analysis

@@ -1,0 +1,33 @@
+#include "analysis/heuristics.hpp"
+
+#include <algorithm>
+
+namespace lfi::analysis {
+
+FunctionSummary ApplyHeuristics(const FunctionSummary& summary,
+                                const HeuristicOptions& opts) {
+  FunctionSummary out = summary;
+
+  if (opts.drop_short_predicates &&
+      out.instruction_count <= opts.short_function_max_instructions &&
+      !out.returns.empty() && out.effects.empty()) {
+    bool only_bool = std::all_of(
+        out.returns.begin(), out.returns.end(),
+        [](const ErrorReturn& r) { return r.value == 0 || r.value == 1; });
+    if (only_bool) {
+      out.returns.clear();
+      return out;
+    }
+  }
+
+  if (opts.drop_success_zero && out.returns.size() >= 2) {
+    out.returns.erase(
+        std::remove_if(out.returns.begin(), out.returns.end(),
+                       [](const ErrorReturn& r) { return r.value == 0; }),
+        out.returns.end());
+  }
+
+  return out;
+}
+
+}  // namespace lfi::analysis

@@ -1,0 +1,29 @@
+// The two optional, unsound pruning heuristics of §3.1.
+//
+// Both are DISABLED by default, as in the paper: "we prefer to risk
+// injecting some non-faults rather than miss valid faults."
+//   1. Success-return removal: drop 0 from functions with more than one
+//      constant return value (a lone 0 is likely a NULL-pointer error
+//      return and is kept).
+//   2. Short-predicate elimination: drop short functions that return only
+//      0/1 with no side effects — isFile()-style checks where neither
+//      value is a failure.
+#pragma once
+
+#include "analysis/constprop.hpp"
+
+namespace lfi::analysis {
+
+struct HeuristicOptions {
+  bool drop_success_zero = false;
+  bool drop_short_predicates = false;
+  // Covers the isFile() shape: prologue + one compare + two constant
+  // returns (13 instructions on this ISA).
+  size_t short_function_max_instructions = 16;
+};
+
+/// Apply the enabled heuristics to a summary, returning the pruned copy.
+FunctionSummary ApplyHeuristics(const FunctionSummary& summary,
+                                const HeuristicOptions& opts);
+
+}  // namespace lfi::analysis

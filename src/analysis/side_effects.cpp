@@ -1,0 +1,137 @@
+#include "analysis/side_effects.hpp"
+
+#include "isa/codebuilder.hpp"
+
+namespace lfi::analysis {
+
+namespace {
+
+/// What a register is known to point at, per the §3.2 base-address rules.
+struct Base {
+  enum class Kind { None, Tls, Global, ArgPtr };
+  Kind kind = Kind::None;
+  int64_t offset = 0;  // accumulated displacement (Tls / Global)
+  int arg_index = 0;   // ArgPtr
+};
+
+}  // namespace
+
+std::vector<SideEffect> ScanBlockEffects(const Cfg& cfg, size_t block_idx,
+                                         const std::string& module_name,
+                                         const ValueSolver& solver) {
+  using isa::Opcode;
+  const BasicBlock& blk = cfg.blocks[block_idx];
+  std::vector<SideEffect> out;
+  Base bases[isa::kNumRegs] = {};
+
+  auto invalidate = [&](isa::Reg r) {
+    bases[static_cast<size_t>(r)] = Base{};
+  };
+  auto base_of = [&](isa::Reg r) -> Base& {
+    return bases[static_cast<size_t>(r)];
+  };
+
+  for (size_t k = 0; k < blk.instrs.size(); ++k) {
+    const isa::Instr& ins = blk.instrs[k];
+    switch (ins.op) {
+      case Opcode::LEA_TLS:
+        base_of(ins.a) = Base{Base::Kind::Tls, ins.disp, 0};
+        break;
+      case Opcode::LEA_DATA:
+        base_of(ins.a) = Base{Base::Kind::Global, ins.disp, 0};
+        break;
+      case Opcode::LOAD:
+        // A pointer fetched from a positive BP offset is an output argument
+        // (the "[ebp+??]" rule). Arg i lives at BP + 16 + 8i.
+        if (ins.b == isa::Reg::BP && ins.disp >= isa::ArgSlot(0) &&
+            (ins.disp - isa::ArgSlot(0)) % 8 == 0) {
+          base_of(ins.a) =
+              Base{Base::Kind::ArgPtr, 0, (ins.disp - isa::ArgSlot(0)) / 8};
+        } else {
+          invalidate(ins.a);
+        }
+        break;
+      case Opcode::MOV_RR:
+        base_of(ins.a) = base_of(ins.b);
+        break;
+      case Opcode::LEA: {
+        Base b = base_of(ins.b);
+        if (b.kind == Base::Kind::Tls || b.kind == Base::Kind::Global) {
+          b.offset += ins.disp;
+          base_of(ins.a) = b;
+        } else {
+          invalidate(ins.a);
+        }
+        break;
+      }
+      case Opcode::ADD_RI: {
+        Base& b = base_of(ins.a);
+        if (b.kind == Base::Kind::Tls || b.kind == Base::Kind::Global) {
+          b.offset += ins.imm;
+        } else {
+          invalidate(ins.a);
+        }
+        break;
+      }
+      case Opcode::STORE:
+      case Opcode::STORE_I: {
+        const Base& b = base_of(ins.a);
+        if (b.kind == Base::Kind::None) break;
+        SideEffect effect;
+        effect.module = module_name;
+        if (b.kind == Base::Kind::Tls) {
+          effect.kind = SideEffect::Kind::Tls;
+          effect.offset = static_cast<uint32_t>(b.offset + ins.disp);
+        } else if (b.kind == Base::Kind::Global) {
+          effect.kind = SideEffect::Kind::Global;
+          effect.offset = static_cast<uint32_t>(b.offset + ins.disp);
+        } else {
+          effect.kind = SideEffect::Kind::Arg;
+          effect.arg_index = b.arg_index;
+        }
+        if (ins.op == Opcode::STORE_I) {
+          effect.values.insert(ins.imm);
+        } else {
+          ValueSet vs = solver(block_idx, k, ins.b);
+          effect.values = std::move(vs.constants);
+          effect.unknown_values = vs.unknown;
+        }
+        MergeEffect(&out, effect);
+        break;
+      }
+      // Any other register write invalidates tracked bases.
+      case Opcode::MOV_RI:
+      case Opcode::POP:
+      case Opcode::NEG:
+      case Opcode::NOT:
+      case Opcode::SUB_RI:
+      case Opcode::AND_RI:
+      case Opcode::OR_RI:
+      case Opcode::XOR_RI:
+      case Opcode::MUL_RI:
+        invalidate(ins.a);
+        break;
+      case Opcode::ADD_RR:
+      case Opcode::SUB_RR:
+      case Opcode::AND_RR:
+      case Opcode::OR_RR:
+      case Opcode::XOR_RR:
+      case Opcode::MUL_RR:
+        invalidate(ins.a);
+        break;
+      case Opcode::CALL:
+      case Opcode::CALL_SYM:
+      case Opcode::CALL_IND:
+      case Opcode::SYSCALL:
+      case Opcode::KCALL:
+        // Calls clobber the general-purpose registers.
+        for (int r = 0; r < 8; ++r) invalidate(static_cast<isa::Reg>(r));
+        break;
+      default:
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace lfi::analysis

@@ -1,0 +1,37 @@
+// Side-effects analysis (paper §3.2).
+//
+// Scans basic blocks for writes whose target address derives from a PIC
+// base: LEA_TLS (errno-style thread-local state), LEA_DATA (module
+// globals), or a pointer loaded from a positive BP offset (an output
+// argument). The value stored is resolved by the caller-provided solver —
+// in practice the reverse-constant-propagation engine — so "errno = -eax
+// after a syscall" yields the negated kernel error constants, as in the
+// paper's glibc listing.
+#pragma once
+
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/cfg.hpp"
+#include "analysis/constprop.hpp"
+
+namespace lfi::analysis {
+
+struct ValueSet {
+  std::set<int64_t> constants;
+  bool unknown = false;
+};
+
+/// Resolve the possible values of register `src` just before the
+/// instruction at `instr_idx` of block `block_idx`.
+using ValueSolver =
+    std::function<ValueSet(size_t block_idx, size_t instr_idx, isa::Reg src)>;
+
+/// Scan one block for TLS / global / output-argument stores.
+std::vector<SideEffect> ScanBlockEffects(const Cfg& cfg, size_t block_idx,
+                                         const std::string& module_name,
+                                         const ValueSolver& solver);
+
+}  // namespace lfi::analysis

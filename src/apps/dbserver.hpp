@@ -1,0 +1,36 @@
+// The MySQL stand-in for Table 4 (SysBench OLTP throughput) and the §6.1
+// coverage experiment.
+//
+// The server is split across modules the way MySQL is (InnoDB insert
+// buffer, B-tree, redo log, network layer, server core) so per-module
+// basic-block coverage can be reported. Every libc call is followed by
+// result checks whose error/recovery blocks are only reachable when the
+// call fails — the code paths "not touched by regular testing" that LFI
+// exposes. Some further blocks are argument-gated in ways the test suite
+// never exercises, so coverage stays below 100% even under injection,
+// matching the paper's 73% -> 74% overall movement.
+#pragma once
+
+#include <vector>
+
+#include "sso/sso.hpp"
+
+namespace lfi::apps {
+
+inline constexpr const char* kDbEntry = "mysql_main";
+inline constexpr const char* kDbTestEntry = "mysql_test";
+inline constexpr const char* kDbDataPath = "/db/t0.ibd";
+inline constexpr const char* kDbLogPath = "/db/redo.log";
+
+struct DbConfig {
+  int transactions = 100;
+  bool read_write = false;  // read-only vs read/write OLTP mix
+};
+
+/// The five modules, load-ordered: ibuf, btree, log, net, mysqld (main).
+std::vector<sso::SharedObject> BuildDbServer(const DbConfig& config);
+
+/// Module names in the order BuildDbServer returns them.
+const std::vector<std::string>& DbModuleNames();
+
+}  // namespace lfi::apps

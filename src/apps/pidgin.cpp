@@ -1,0 +1,215 @@
+#include "apps/pidgin.hpp"
+
+#include "isa/codebuilder.hpp"
+#include "libc/libc_builder.hpp"
+
+namespace lfi::apps {
+
+using isa::CodeBuilder;
+using isa::Reg;
+
+namespace {
+
+std::vector<uint8_t> CString(const char* s) {
+  std::vector<uint8_t> out;
+  for (const char* p = s; *p; ++p) out.push_back(static_cast<uint8_t>(*p));
+  out.push_back(0);
+  return out;
+}
+
+}  // namespace
+
+sso::SharedObject BuildPidgin() {
+  CodeBuilder b;
+
+  // Shared data: the two pipes' fd pairs (written by pipe()), the query
+  // buffer, and the response scratch areas. The spawned child shares the
+  // module data section, which is how it learns the pipe fds (fork-lite).
+  uint32_t req_fds = b.reserve_data(16);   // [read, write]
+  uint32_t resp_fds = b.reserve_data(16);  // [read, write]
+  uint32_t query = b.reserve_data(16);
+  uint32_t status_buf = b.reserve_data(8);
+  uint32_t size_buf = b.reserve_data(8);
+  uint32_t addr_buf = b.reserve_data(16);
+  uint32_t resolver_name = b.emit_data(CString(kResolverEntry));
+  // Pattern the child's "resolved address" bytes: 0xCACACACA... — read as
+  // a size after a frame shift, this is astronomically large.
+  uint32_t addr_payload = b.reserve_data(16);
+
+  // ---- resolver_main: the DNS child. BUG: write results are ignored.
+  b.begin_function(kResolverEntry);
+  b.sub_ri(Reg::SP, 16);  // local: query counter at [bp-8]
+  b.store_i(Reg::BP, -8, 0);
+  // Fill the address payload with 0xCA bytes.
+  b.lea_data(Reg::R1, static_cast<int32_t>(addr_payload));
+  b.mov_ri(Reg::R2, static_cast<int64_t>(0xCACACACACACACACAull));
+  b.store(Reg::R1, 0, Reg::R2);
+  b.store(Reg::R1, 8, Reg::R2);
+  auto child_loop = b.new_label();
+  auto child_done = b.new_label();
+  b.bind(child_loop);
+  b.load(Reg::R1, Reg::BP, -8);
+  b.cmp_ri(Reg::R1, kPidginQueries);
+  b.jge(child_done);
+  // read(req_r, query, 16) — blocks until the parent sends a query.
+  b.lea_data(Reg::R1, static_cast<int32_t>(req_fds));
+  b.load(Reg::R1, Reg::R1, 0);
+  b.lea_data(Reg::R2, static_cast<int32_t>(query));
+  b.mov_ri(Reg::R3, 16);
+  b.push(Reg::R3);
+  b.push(Reg::R2);
+  b.push(Reg::R1);
+  b.call_sym("read");
+  b.add_ri(Reg::SP, 24);
+  b.cmp_ri(Reg::R0, 0);
+  b.jle(child_done);  // EOF / error from the request pipe: exit
+  // write(resp_w, status=0, 8)  — result ignored (the bug)
+  b.lea_data(Reg::R1, static_cast<int32_t>(status_buf));
+  b.store_i(Reg::R1, 0, 0);
+  b.lea_data(Reg::R2, static_cast<int32_t>(resp_fds));
+  b.load(Reg::R2, Reg::R2, 8);
+  b.mov_ri(Reg::R3, 8);
+  b.push(Reg::R3);
+  b.push(Reg::R1);
+  b.push(Reg::R2);
+  b.call_sym("write");
+  b.add_ri(Reg::SP, 24);
+  // write(resp_w, size=16, 8) — result ignored
+  b.lea_data(Reg::R1, static_cast<int32_t>(size_buf));
+  b.store_i(Reg::R1, 0, 16);
+  b.lea_data(Reg::R2, static_cast<int32_t>(resp_fds));
+  b.load(Reg::R2, Reg::R2, 8);
+  b.mov_ri(Reg::R3, 8);
+  b.push(Reg::R3);
+  b.push(Reg::R1);
+  b.push(Reg::R2);
+  b.call_sym("write");
+  b.add_ri(Reg::SP, 24);
+  // write(resp_w, addr_payload, 16) — result ignored
+  b.lea_data(Reg::R1, static_cast<int32_t>(addr_payload));
+  b.lea_data(Reg::R2, static_cast<int32_t>(resp_fds));
+  b.load(Reg::R2, Reg::R2, 8);
+  b.mov_ri(Reg::R3, 16);
+  b.push(Reg::R3);
+  b.push(Reg::R1);
+  b.push(Reg::R2);
+  b.call_sym("write");
+  b.add_ri(Reg::SP, 24);
+  b.load(Reg::R1, Reg::BP, -8);
+  b.add_ri(Reg::R1, 1);
+  b.store(Reg::BP, -8, Reg::R1);
+  b.jmp(child_loop);
+  b.bind(child_done);
+  b.mov_ri(Reg::R0, 0);
+  b.leave_ret();
+  b.end_function();
+
+  // ---- pidgin_main: the parent.
+  b.begin_function(kPidginEntry);
+  b.sub_ri(Reg::SP, 16);  // local: query counter at [bp-8]
+  // pipe(req_fds); pipe(resp_fds)
+  for (uint32_t fds : {req_fds, resp_fds}) {
+    b.lea_data(Reg::R1, static_cast<int32_t>(fds));
+    b.push(Reg::R1);
+    b.call_sym("pipe");
+    b.add_ri(Reg::SP, 8);
+  }
+  // spawn("resolver_main")
+  b.lea_data(Reg::R1, static_cast<int32_t>(resolver_name));
+  b.push(Reg::R1);
+  b.call_sym("spawn");
+  b.add_ri(Reg::SP, 8);
+
+  b.store_i(Reg::BP, -8, 0);
+  auto loop = b.new_label();
+  auto done = b.new_label();
+  auto fail = b.new_label();
+  b.bind(loop);
+  b.load(Reg::R1, Reg::BP, -8);
+  b.cmp_ri(Reg::R1, kPidginQueries);
+  b.jge(done);
+  // write(req_w, query, 16): send a lookup request.
+  b.lea_data(Reg::R1, static_cast<int32_t>(query));
+  b.lea_data(Reg::R2, static_cast<int32_t>(req_fds));
+  b.load(Reg::R2, Reg::R2, 8);
+  b.mov_ri(Reg::R3, 16);
+  b.push(Reg::R3);
+  b.push(Reg::R1);
+  b.push(Reg::R2);
+  b.call_sym("write");
+  b.add_ri(Reg::SP, 24);
+  // read(resp_r, status, 8)
+  b.lea_data(Reg::R1, static_cast<int32_t>(resp_fds));
+  b.load(Reg::R1, Reg::R1, 0);
+  b.lea_data(Reg::R2, static_cast<int32_t>(status_buf));
+  b.mov_ri(Reg::R3, 8);
+  b.push(Reg::R3);
+  b.push(Reg::R2);
+  b.push(Reg::R1);
+  b.call_sym("read");
+  b.add_ri(Reg::SP, 24);
+  b.cmp_ri(Reg::R0, 0);
+  b.jle(fail);
+  // read(resp_r, size, 8)
+  b.lea_data(Reg::R1, static_cast<int32_t>(resp_fds));
+  b.load(Reg::R1, Reg::R1, 0);
+  b.lea_data(Reg::R2, static_cast<int32_t>(size_buf));
+  b.mov_ri(Reg::R3, 8);
+  b.push(Reg::R3);
+  b.push(Reg::R2);
+  b.push(Reg::R1);
+  b.call_sym("read");
+  b.add_ri(Reg::SP, 24);
+  b.cmp_ri(Reg::R0, 0);
+  b.jle(fail);
+  // buf = malloc(size): the unvalidated size from the pipe.
+  b.lea_data(Reg::R1, static_cast<int32_t>(size_buf));
+  b.load(Reg::R1, Reg::R1, 0);
+  b.push(Reg::R1);
+  b.call_sym("malloc");
+  b.add_ri(Reg::SP, 8);
+  auto have_buf = b.new_label();
+  b.cmp_ri(Reg::R0, 0);
+  b.jne(have_buf);
+  // Allocation failed — glib-style abort() (the SIGABRT the paper saw).
+  b.call_sym("abort");
+  b.bind(have_buf);
+  // read(resp_r, buf, min(size,16)) — read the address payload. The real
+  // Pidgin reads `size` bytes; we cap at the frame size since the pipe
+  // will never carry more (the crash happens before this matters).
+  b.mov_rr(Reg::R4, Reg::R0);  // keep buf
+  b.lea_data(Reg::R1, static_cast<int32_t>(resp_fds));
+  b.load(Reg::R1, Reg::R1, 0);
+  b.mov_ri(Reg::R3, 16);
+  b.push(Reg::R3);
+  b.push(Reg::R4);
+  b.push(Reg::R1);
+  b.call_sym("read");
+  b.add_ri(Reg::SP, 24);
+  // free(buf)
+  b.push(Reg::R4);
+  b.call_sym("free");
+  b.add_ri(Reg::SP, 8);
+  b.load(Reg::R1, Reg::BP, -8);
+  b.add_ri(Reg::R1, 1);
+  b.store(Reg::BP, -8, Reg::R1);
+  b.jmp(loop);
+  b.bind(fail);
+  b.mov_ri(Reg::R0, 1);
+  b.leave_ret();
+  b.bind(done);
+  // Close our request-pipe write end so the child sees EOF if it is still
+  // waiting, then reap it.
+  b.lea_data(Reg::R1, static_cast<int32_t>(req_fds));
+  b.load(Reg::R1, Reg::R1, 8);
+  b.push(Reg::R1);
+  b.call_sym("close");
+  b.add_ri(Reg::SP, 8);
+  b.mov_ri(Reg::R0, 0);
+  b.leave_ret();
+  b.end_function();
+
+  return sso::FromCodeUnit("pidgin.so", b.Finish(), {libc::kLibcName});
+}
+
+}  // namespace lfi::apps

@@ -1,0 +1,25 @@
+// The Pidgin stand-in for §6.1 ("Ease of Use").
+//
+// Reproduces the bug LFI found in Pidgin (ticket 8672): the IM client
+// spawns a DNS-resolver child that answers over a pipe. The child does not
+// check its write() results, so a failed or partial write desynchronizes
+// the framing; the parent then reads a later payload byte-run as the
+// "resolved address size", calls malloc() with a huge value, and aborts
+// when the allocation fails — a SIGABRT, exactly as in the paper.
+//
+// The child's response framing per query: status(8) | size(8) | addr(16).
+// Address bytes are 0xCA-patterned, so a frame shift turns them into a
+// multi-terabyte "size".
+#pragma once
+
+#include "sso/sso.hpp"
+
+namespace lfi::apps {
+
+inline constexpr const char* kPidginEntry = "pidgin_main";
+inline constexpr const char* kResolverEntry = "resolver_main";
+inline constexpr int kPidginQueries = 3;
+
+sso::SharedObject BuildPidgin();
+
+}  // namespace lfi::apps

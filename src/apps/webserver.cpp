@@ -1,0 +1,284 @@
+#include "apps/webserver.hpp"
+
+#include "isa/codebuilder.hpp"
+#include "libc/libc_builder.hpp"
+
+namespace lfi::apps {
+
+using isa::CodeBuilder;
+using isa::Reg;
+
+namespace {
+
+std::vector<uint8_t> CString(const char* s) {
+  std::vector<uint8_t> out;
+  for (const char* p = s; *p; ++p) out.push_back(static_cast<uint8_t>(*p));
+  out.push_back(0);
+  return out;
+}
+
+}  // namespace
+
+sso::SharedObject BuildLibApr() {
+  CodeBuilder b;
+
+  // apr_time_now(): wraps getpid as a monotonic-ish stamp source.
+  b.begin_function("apr_time_now");
+  b.call_named("getpid", {});
+  b.mul_ri(Reg::R0, 1000);
+  b.leave_ret();
+  b.end_function();
+
+  // apr_pool_create(size): allocates the pool via malloc — its profile
+  // inherits malloc's NULL/ENOMEM through dependent-function recursion.
+  b.begin_function("apr_pool_create");
+  b.load_arg(Reg::R1, 0);
+  b.push(Reg::R1);
+  b.call_sym("malloc");
+  b.add_ri(Reg::SP, 8);
+  b.leave_ret();
+  b.end_function();
+
+  // apr_pool_clear(pool): pure compute.
+  b.begin_function("apr_pool_clear");
+  b.load_arg(Reg::R1, 0);
+  b.mov_rr(Reg::R0, Reg::R1);
+  b.xor_ri(Reg::R0, 0x5a5a);
+  b.and_ri(Reg::R0, 0xffff);
+  b.leave_ret();
+  b.end_function();
+
+  // apr_palloc(pool, size): delegates to malloc.
+  b.begin_function("apr_palloc");
+  b.load_arg(Reg::R1, 1);
+  b.push(Reg::R1);
+  b.call_sym("malloc");
+  b.add_ri(Reg::SP, 8);
+  b.leave_ret();
+  b.end_function();
+
+  // apr_file_read(fd, buf, n): wraps libc read; returns -1 on failure with
+  // read's errno already set (a cross-library dependent function).
+  b.begin_function("apr_file_read");
+  b.load_arg(Reg::R1, 0);
+  b.load_arg(Reg::R2, 1);
+  b.load_arg(Reg::R3, 2);
+  b.push(Reg::R3);
+  b.push(Reg::R2);
+  b.push(Reg::R1);
+  b.call_sym("read");
+  b.add_ri(Reg::SP, 24);
+  b.leave_ret();
+  b.end_function();
+
+  // apr_file_close(fd): wraps close.
+  b.begin_function("apr_file_close");
+  b.load_arg(Reg::R1, 0);
+  b.push(Reg::R1);
+  b.call_sym("close");
+  b.add_ri(Reg::SP, 8);
+  b.leave_ret();
+  b.end_function();
+
+  // apr_strhash(v): pure compute, returns a scalar hash.
+  b.begin_function("apr_strhash");
+  b.load_arg(Reg::R1, 0);
+  b.mov_rr(Reg::R0, Reg::R1);
+  b.mul_ri(Reg::R0, 1099511628211);
+  b.xor_ri(Reg::R0, 0x9e37);
+  b.leave_ret();
+  b.end_function();
+
+  // apr_error_get(): reads errno through the libc accessor.
+  b.begin_function("apr_error_get");
+  b.call_named("geterrno", {});
+  b.leave_ret();
+  b.end_function();
+
+  return sso::FromCodeUnit("libapr.so", b.Finish(), {libc::kLibcName});
+}
+
+sso::SharedObject BuildLibAprUtil() {
+  CodeBuilder b;
+
+  // aprutil_crc(v): a short arithmetic loop.
+  b.begin_function("aprutil_crc");
+  b.load_arg(Reg::R1, 0);
+  b.mov_ri(Reg::R0, 0);
+  for (int i = 0; i < 4; ++i) {
+    b.add_rr(Reg::R0, Reg::R1);
+    b.mul_ri(Reg::R0, 31);
+    b.xor_ri(Reg::R0, 0xff);
+  }
+  b.leave_ret();
+  b.end_function();
+
+  // aprutil_base64(v): compute.
+  b.begin_function("aprutil_base64");
+  b.load_arg(Reg::R1, 0);
+  b.mov_rr(Reg::R0, Reg::R1);
+  b.and_ri(Reg::R0, 0x3f3f3f3f);
+  b.or_ri(Reg::R0, 0x40);
+  b.leave_ret();
+  b.end_function();
+
+  // aprutil_md5(v): compute with a branch.
+  b.begin_function("aprutil_md5");
+  auto skip = b.new_label();
+  b.load_arg(Reg::R1, 0);
+  b.mov_rr(Reg::R0, Reg::R1);
+  b.cmp_ri(Reg::R0, 0);
+  b.jge(skip);
+  b.neg(Reg::R0);
+  b.bind(skip);
+  b.mul_ri(Reg::R0, 0x10001);
+  b.leave_ret();
+  b.end_function();
+
+  // aprutil_buf_create(size): malloc-backed buffer.
+  b.begin_function("aprutil_buf_create");
+  b.load_arg(Reg::R1, 0);
+  b.push(Reg::R1);
+  b.call_sym("malloc");
+  b.add_ri(Reg::SP, 8);
+  b.leave_ret();
+  b.end_function();
+
+  return sso::FromCodeUnit("libaprutil.so", b.Finish(), {libc::kLibcName});
+}
+
+sso::SharedObject BuildWebServer(int requests, bool php_mode) {
+  CodeBuilder b;
+  uint32_t index_path = b.emit_data(CString(kIndexPath));
+  uint32_t php_path = b.emit_data(CString(kPhpPath));
+  uint32_t buf = b.reserve_data(1024);
+
+  // handle_request: the per-request library-call pattern.
+  auto handle = b.new_label();
+  b.bind(handle);
+  b.begin_function("handle_request");
+  b.sub_ri(Reg::SP, 16);  // local: fd at [bp-8]
+
+  // fd = open(index, O_RDONLY)
+  b.mov_ri(Reg::R2, libc::O_RDONLY);
+  b.lea_data(Reg::R1, static_cast<int32_t>(index_path));
+  b.push(Reg::R2);
+  b.push(Reg::R1);
+  b.call_sym("open");
+  b.add_ri(Reg::SP, 16);
+  b.store(Reg::BP, -8, Reg::R0);
+  auto open_failed = b.new_label();
+  b.cmp_ri(Reg::R0, 0);
+  b.jlt(open_failed);
+
+  // read(fd, buf, 256) twice — the static payload.
+  for (int i = 0; i < 2; ++i) {
+    b.load(Reg::R1, Reg::BP, -8);
+    b.lea_data(Reg::R2, static_cast<int32_t>(buf));
+    b.mov_ri(Reg::R3, 256);
+    b.push(Reg::R3);
+    b.push(Reg::R2);
+    b.push(Reg::R1);
+    b.call_sym("read");
+    b.add_ri(Reg::SP, 24);
+  }
+
+  // close(fd)
+  b.load(Reg::R1, Reg::BP, -8);
+  b.push(Reg::R1);
+  b.call_sym("close");
+  b.add_ri(Reg::SP, 8);
+
+  // APR bookkeeping shared by both modes.
+  b.call_named("apr_time_now", {});
+  b.mov_rr(Reg::R1, Reg::R0);
+  b.call_named("apr_pool_clear", {Reg::R1});
+  b.call_named("aprutil_crc", {Reg::R1});
+
+  if (php_mode) {
+    // "PHP": read the script, then interpreter-style allocation churn.
+    b.mov_ri(Reg::R2, libc::O_RDONLY);
+    b.lea_data(Reg::R1, static_cast<int32_t>(php_path));
+    b.push(Reg::R2);
+    b.push(Reg::R1);
+    b.call_sym("open");
+    b.add_ri(Reg::SP, 16);
+    b.store(Reg::BP, -16, Reg::R0);
+    auto php_open_failed = b.new_label();
+    b.cmp_ri(Reg::R0, 0);
+    b.jlt(php_open_failed);
+    for (int i = 0; i < 4; ++i) {
+      b.load(Reg::R1, Reg::BP, -16);
+      b.lea_data(Reg::R2, static_cast<int32_t>(buf));
+      b.mov_ri(Reg::R3, 128);
+      b.push(Reg::R3);
+      b.push(Reg::R2);
+      b.push(Reg::R1);
+      b.call_sym("read");
+      b.add_ri(Reg::SP, 24);
+    }
+    b.load(Reg::R1, Reg::BP, -16);
+    b.push(Reg::R1);
+    b.call_sym("close");
+    b.add_ri(Reg::SP, 8);
+    b.bind(php_open_failed);
+
+    for (int i = 0; i < 20; ++i) {
+      b.mov_ri(Reg::R1, 64);
+      b.push(Reg::R1);
+      b.call_sym("malloc");
+      b.add_ri(Reg::SP, 8);
+      b.mov_rr(Reg::R1, Reg::R0);
+      b.push(Reg::R1);
+      b.call_sym("free");
+      b.add_ri(Reg::SP, 8);
+    }
+    for (int i = 0; i < 8; ++i) {
+      b.mov_ri(Reg::R1, 1234 + i);
+      b.call_named("aprutil_md5", {Reg::R1});
+      b.call_named("aprutil_base64", {Reg::R1});
+      b.call_named("apr_strhash", {Reg::R1});
+    }
+  }
+
+  b.bind(open_failed);
+  b.mov_ri(Reg::R0, 0);
+  b.leave_ret();
+  b.end_function();
+
+  // web_main: the AB-driven request loop.
+  b.begin_function(kWebServerEntry);
+  b.sub_ri(Reg::SP, 16);  // local: i at [bp-8]
+  b.store_i(Reg::BP, -8, 0);
+  auto loop = b.new_label();
+  auto done = b.new_label();
+  b.bind(loop);
+  b.load(Reg::R1, Reg::BP, -8);
+  b.cmp_ri(Reg::R1, requests);
+  b.jge(done);
+  b.call_sym("handle_request");
+  b.load(Reg::R1, Reg::BP, -8);
+  b.add_ri(Reg::R1, 1);
+  b.store(Reg::BP, -8, Reg::R1);
+  b.jmp(loop);
+  b.bind(done);
+  b.mov_ri(Reg::R0, 0);
+  b.leave_ret();
+  b.end_function();
+
+  return sso::FromCodeUnit(
+      "webserver.so", b.Finish(),
+      {libc::kLibcName, "libapr.so", "libaprutil.so"});
+}
+
+const std::vector<std::string>& WebHotFunctions() {
+  static const std::vector<std::string> fns = {
+      "read",        "malloc",        "free",          "open",
+      "close",       "aprutil_md5",   "aprutil_base64", "apr_strhash",
+      "apr_time_now", "apr_pool_clear", "aprutil_crc",  "write",
+      "lseek",       "stat",          "apr_palloc",    "apr_pool_create",
+      "apr_file_read", "apr_file_close", "aprutil_buf_create", "geterrno"};
+  return fns;
+}
+
+}  // namespace lfi::apps

@@ -1,0 +1,33 @@
+// The Apache httpd stand-in for Table 3.
+//
+// A request-loop server whose handler performs the libc call pattern of a
+// static-file server (open/read/read/close + a few APR utility calls) or a
+// PHP-like dynamic handler (additionally: config read, a couple dozen
+// malloc/free pairs, and more APR work — an order of magnitude more
+// library calls per request, like the paper's PHP workload). Links against
+// libc plus synthetic libapr/libaprutil, the three libraries the paper
+// interposes simultaneously (§6.4).
+#pragma once
+
+#include "sso/sso.hpp"
+
+namespace lfi::apps {
+
+inline constexpr const char* kWebServerEntry = "web_main";
+inline constexpr const char* kIndexPath = "/www/index.html";
+inline constexpr const char* kPhpPath = "/www/app.php";
+
+/// Build libapr.so (pools, time, file helpers; some wrap libc).
+sso::SharedObject BuildLibApr();
+/// Build libaprutil.so (hashes, encodings; pure compute + some malloc).
+sso::SharedObject BuildLibAprUtil();
+
+/// Build the server binary. `requests` and the handler mode are baked in
+/// (the synthetic platform passes no argv).
+sso::SharedObject BuildWebServer(int requests, bool php_mode);
+
+/// Functions ordered by how often the server calls them (the paper's
+/// "top-N most called" trigger placement).
+const std::vector<std::string>& WebHotFunctions();
+
+}  // namespace lfi::apps

@@ -1,0 +1,251 @@
+#include "apps/workloads.hpp"
+
+#include <chrono>
+
+#include "analysis/cfg.hpp"
+#include "apps/dbserver.hpp"
+#include "apps/pidgin.hpp"
+#include "apps/webserver.hpp"
+#include "core/faultloads.hpp"
+#include "core/profiler.hpp"
+#include "core/scenario_gen.hpp"
+#include "kernel/kernel_image.hpp"
+#include "libc/libc_builder.hpp"
+
+namespace lfi::apps {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double Seconds(Clock::time_point begin, Clock::time_point end) {
+  return std::chrono::duration<double>(end - begin).count();
+}
+
+/// Pass-through triggers over the hottest functions — the §6.4
+/// configuration: triggers are evaluated on every call but the call always
+/// reaches the original library. Like the paper's plans, each function
+/// carries one probabilistic trigger plus additional call-count triggers
+/// for its other error returns (the "multiple triggers for the same
+/// function, corresponding to different error returns").
+core::Plan PassThroughPlan(int trigger_count,
+                           const std::vector<std::string>& hot,
+                           uint64_t seed) {
+  core::Plan plan;
+  plan.seed = seed;
+  for (int i = 0; i < trigger_count; ++i) {
+    core::FunctionTrigger t;
+    t.function = hot[static_cast<size_t>(i) % hot.size()];
+    if (static_cast<size_t>(i) < hot.size()) {
+      t.mode = core::FunctionTrigger::Mode::Probability;
+      t.probability = 0.02;
+    } else {
+      t.mode = core::FunctionTrigger::Mode::CallCount;
+      // Distinct far-future call counts per error-return trigger.
+      t.inject_call = 1'000'000'000ull + static_cast<uint64_t>(i);
+    }
+    t.call_original = true;  // evaluate, then pass through
+    plan.triggers.push_back(std::move(t));
+  }
+  return plan;
+}
+
+void AddWebFiles(vm::Machine& machine) {
+  machine.kernel().add_file(kIndexPath,
+                            std::vector<uint8_t>(512, uint8_t{'x'}));
+  machine.kernel().add_file(kPhpPath,
+                            std::vector<uint8_t>(512, uint8_t{'p'}));
+}
+
+void AddDbFiles(vm::Machine& machine) {
+  machine.kernel().add_file(kDbDataPath,
+                            std::vector<uint8_t>(4096, uint8_t{0}));
+  machine.kernel().add_file(kDbLogPath, {});
+}
+
+}  // namespace
+
+std::vector<core::FaultProfile> ProfileStandardLibs(
+    const std::vector<sso::SharedObject>& libs) {
+  static const sso::SharedObject kernel = kernel::BuildKernelImage();
+  analysis::Workspace ws;
+  ws.SetKernel(&kernel);
+  for (const sso::SharedObject& so : libs) ws.AddModule(&so);
+  core::Profiler profiler(ws);
+  std::vector<core::FaultProfile> out;
+  for (const sso::SharedObject& so : libs) {
+    auto profile = profiler.ProfileLibrary(so);
+    if (profile.ok()) out.push_back(std::move(profile).take());
+  }
+  return out;
+}
+
+WebBenchResult RunWebBench(int requests, bool php_mode, int trigger_count,
+                           uint64_t seed) {
+  vm::Machine machine;
+  machine.Load(libc::BuildLibc());
+  machine.Load(BuildLibApr());
+  machine.Load(BuildLibAprUtil());
+  machine.Load(BuildWebServer(requests, php_mode));
+  AddWebFiles(machine);
+
+  core::ControllerOptions copts;
+  copts.log_enabled = false;  // overhead measurement: no logging
+  copts.log_backtraces = false;
+  core::Controller controller(machine, copts);
+  if (trigger_count > 0) {
+    core::Plan plan = PassThroughPlan(trigger_count, WebHotFunctions(), seed);
+    // No profiles: triggers without profile codes evaluate-and-pass-through.
+    (void)controller.Install(plan, {});
+  }
+
+  auto pid = machine.CreateProcess(kWebServerEntry);
+  WebBenchResult result;
+  result.triggers_installed = static_cast<uint64_t>(trigger_count);
+  if (!pid.ok()) return result;
+  auto begin = Clock::now();
+  machine.RunToCompletion(pid.value(), 1'000'000'000);
+  result.seconds = Seconds(begin, Clock::now());
+  result.instructions = machine.total_instructions();
+  return result;
+}
+
+OltpBenchResult RunOltpBench(int transactions, bool read_write,
+                             int trigger_count, uint64_t seed) {
+  vm::Machine machine;
+  machine.Load(libc::BuildLibc());
+  DbConfig config;
+  config.transactions = transactions;
+  config.read_write = read_write;
+  for (sso::SharedObject& so : BuildDbServer(config)) {
+    machine.Load(std::move(so));
+  }
+  AddDbFiles(machine);
+
+  core::ControllerOptions copts;
+  copts.log_enabled = false;
+  copts.log_backtraces = false;
+  core::Controller controller(machine, copts);
+  if (trigger_count > 0) {
+    static const std::vector<std::string> hot = {
+        "open", "read", "write", "close", "fsync",
+        "malloc", "free", "geterrno", "lseek", "stat"};
+    core::Plan plan = PassThroughPlan(trigger_count, hot, seed);
+    (void)controller.Install(plan, {});
+  }
+
+  auto pid = machine.CreateProcess(kDbEntry);
+  OltpBenchResult result;
+  if (!pid.ok()) return result;
+  auto begin = Clock::now();
+  machine.RunToCompletion(pid.value(), 2'000'000'000);
+  result.seconds = Seconds(begin, Clock::now());
+  result.instructions = machine.total_instructions();
+  if (result.seconds > 0) {
+    result.txns_per_sec = static_cast<double>(transactions) / result.seconds;
+  }
+  return result;
+}
+
+double CoverageReport::overall() const {
+  size_t covered = 0, total = 0;
+  for (const auto& [name, counts] : modules) {
+    covered += counts.first;
+    total += counts.second;
+  }
+  return total == 0 ? 0.0
+                    : 100.0 * static_cast<double>(covered) /
+                          static_cast<double>(total);
+}
+
+std::pair<size_t, size_t> BlockCoverage(const sso::SharedObject& so,
+                                        const std::set<uint32_t>& executed) {
+  size_t covered = 0, total = 0;
+  for (const isa::Symbol& sym : so.exports) {
+    auto cfg = analysis::BuildCfg(so, sym);
+    if (!cfg.ok()) continue;
+    for (const analysis::BasicBlock& blk : cfg.value().blocks) {
+      ++total;
+      if (executed.count(blk.begin)) ++covered;
+    }
+  }
+  return {covered, total};
+}
+
+CoverageReport RunDbTestSuite(bool with_lfi, int runs, double probability,
+                              uint64_t seed) {
+  CoverageReport report;
+  DbConfig config;  // the suite uses the mysql_test entry, not mysql_main
+  std::vector<sso::SharedObject> db_modules = BuildDbServer(config);
+  sso::SharedObject libc_so = libc::BuildLibc();
+  std::vector<core::FaultProfile> profiles;
+  if (with_lfi) profiles = ProfileStandardLibs({libc_so});
+
+  // Aggregate executed offsets per module name across runs.
+  std::map<std::string, std::set<uint32_t>> executed;
+
+  for (int run = 0; run < runs; ++run) {
+    vm::Machine machine;
+    machine.Load(libc_so);
+    for (const sso::SharedObject& so : db_modules) machine.Load(so);
+    AddDbFiles(machine);
+    vm::CoverageTracker* tracker = machine.EnableCoverage();
+
+    core::Controller controller(machine);
+    if (with_lfi) {
+      core::Plan plan = core::GenerateRandom(
+          profiles, probability, seed + static_cast<uint64_t>(run) * 101);
+      (void)controller.Install(plan, profiles);
+    }
+
+    auto pid = machine.CreateProcess(kDbTestEntry);
+    if (!pid.ok()) continue;
+    auto info = machine.RunToCompletion(pid.value(), 50'000'000);
+    if (info.state == vm::ProcState::Faulted) ++report.crashes;
+
+    for (const auto& mod : machine.loader().modules()) {
+      const std::set<uint32_t>& offsets = tracker->executed(mod->index);
+      executed[mod->object.name].insert(offsets.begin(), offsets.end());
+    }
+  }
+
+  for (const sso::SharedObject& so : db_modules) {
+    report.modules[so.name] = BlockCoverage(so, executed[so.name]);
+  }
+  return report;
+}
+
+PidginRunResult RunPidginWithPlan(const core::Plan& plan) {
+  vm::Machine machine;
+  machine.Load(libc::BuildLibc());
+  machine.Load(BuildPidgin());
+
+  core::Controller controller(machine);
+  std::vector<core::FaultProfile> profiles =
+      ProfileStandardLibs({libc::BuildLibc()});
+  (void)controller.Install(plan, profiles);
+
+  // A modest heap cap so the huge bogus malloc() fails, as Pidgin's did.
+  auto pid = machine.CreateProcess(kPidginEntry, /*heap_cap_bytes=*/1 << 20);
+  PidginRunResult result;
+  if (!pid.ok()) return result;
+  vm::RunOutcome outcome = machine.Run(50'000'000);
+  result.deadlocked = outcome == vm::RunOutcome::Deadlock;
+  vm::Process* parent = machine.process(pid.value());
+  result.aborted = parent->state() == vm::ProcState::Faulted &&
+                   parent->signal() == vm::Signal::Abort;
+  result.exit_code = parent->exit_code();
+  result.fault_message = parent->fault_message();
+  result.injections = controller.log().size();
+  result.replay = controller.GenerateReplay();
+  return result;
+}
+
+PidginRunResult RunPidginRandomIo(double probability, uint64_t seed) {
+  std::vector<core::FaultProfile> profiles =
+      ProfileStandardLibs({libc::BuildLibc()});
+  core::Plan plan = core::FileIoFaultload(profiles, probability, seed);
+  return RunPidginWithPlan(plan);
+}
+
+}  // namespace lfi::apps

@@ -1,0 +1,205 @@
+#include "core/controller.hpp"
+
+#include <algorithm>
+
+#include "core/replay.hpp"
+#include "libc/libc_builder.hpp"
+#include "vm/memory.hpp"
+
+namespace lfi::core {
+
+/// Per-stub cached state: the function identity, its profile entry, the
+/// resolved original, and whether trigger evaluation needs backtraces.
+struct Controller::StubState {
+  std::string function;
+  const FunctionProfile* profile = nullptr;  // may be null
+  TriggerEngine::FunctionState* engine_state = nullptr;
+  bool needs_backtrace = false;
+  // dlsym(RTLD_NEXT) result, resolved lazily on first pass-through and
+  // cached for the loader generation it was resolved under.
+  uint64_t original_addr = 0;
+  uint64_t resolved_generation = 0;
+};
+
+Controller::Controller(vm::Machine& machine, ControllerOptions opts)
+    : machine_(machine), opts_(opts) {
+  log_.set_enabled(opts_.log_enabled);
+  log_.set_capacity(opts_.log_capacity);
+}
+
+Controller::~Controller() = default;
+
+namespace {
+
+/// Locate the TLS side-effect slot for (function profile, retval): the
+/// module-relative errno location the injector must write. Falls back to
+/// libc's errno (offset 0) when the profile has no TLS effect.
+std::pair<std::string, uint32_t> ErrnoLocation(const FunctionProfile* profile,
+                                               int64_t retval) {
+  if (profile) {
+    const ProfileErrorCode* ec = profile->error_code(retval);
+    if (ec) {
+      for (const ProfileSideEffect& se : ec->side_effects) {
+        if (se.type == ProfileSideEffect::Type::Tls) {
+          return {se.module, se.offset};
+        }
+      }
+    }
+    // Any TLS effect on any error code of this function.
+    for (const ProfileErrorCode& other : profile->error_codes) {
+      for (const ProfileSideEffect& se : other.side_effects) {
+        if (se.type == ProfileSideEffect::Type::Tls) {
+          return {se.module, se.offset};
+        }
+      }
+    }
+  }
+  return {libc::kLibcName, 0};
+}
+
+}  // namespace
+
+Status Controller::Install(const Plan& plan,
+                           std::vector<FaultProfile> profiles) {
+  profiles_ = std::move(profiles);
+  engine_ = std::make_unique<TriggerEngine>(plan, profiles_);
+  stubs_.clear();
+
+  for (const std::string& fn : engine_->functions()) {
+    auto state = std::make_shared<StubState>();
+    state->function = fn;
+    state->engine_state = engine_->state_for(fn);
+    state->needs_backtrace = engine_->needs_backtrace(fn);
+    for (const FaultProfile& p : profiles_) {
+      if (const FunctionProfile* fp = p.function(fn)) {
+        state->profile = fp;
+        break;
+      }
+    }
+    stubs_.push_back(state);
+
+    machine_.loader().RegisterNative(
+        fn, [this, state](vm::NativeFrame& frame) -> vm::NativeAction {
+          vm::Loader& loader = machine_.loader();
+          auto original = [&]() -> uint64_t {
+            if (state->resolved_generation != loader.generation()) {
+              vm::Target t = loader.ResolveNextName(state->function);
+              state->original_addr =
+                  t.kind == vm::Target::Kind::Code ? t.addr : 0;
+              state->resolved_generation = loader.generation();
+            }
+            return state->original_addr;
+          };
+
+          BacktraceProvider bt_provider;
+          if (state->needs_backtrace) {
+            bt_provider = [&frame]() { return frame.backtrace(); };
+          }
+          auto decision =
+              engine_->OnCall(*state->engine_state, bt_provider);
+          if (!decision) {
+            uint64_t target = original();
+            if (target == 0) {
+              // No original exists; behave like a failed call.
+              return vm::NativeAction::Ret(-1);
+            }
+            return vm::NativeAction::Tail(target);
+          }
+
+          InjectionRecord record;
+          record.function = state->function;
+          record.call_number = state->engine_state->call_count;
+          record.trigger_index = decision->trigger_index;
+          record.call_original = decision->call_original;
+
+          // Argument modifications (1-based indices, as in the paper).
+          if (decision->modifications) {
+            for (const ArgModification& m : *decision->modifications) {
+              int64_t cur = frame.arg(m.argument - 1);
+              int64_t next = m.Apply(cur);
+              frame.set_arg(m.argument - 1, next);
+              record.modified_args.emplace_back(m.argument, next);
+            }
+          }
+
+          // errno side effect: write the TLS slot named by the profile.
+          if (decision->errno_value) {
+            auto [module_name, offset] =
+                ErrnoLocation(state->profile, decision->retval);
+            const vm::LoadedModule* mod = loader.module_named(module_name);
+            if (!mod) mod = loader.module_named(libc::kLibcName);
+            if (mod) {
+              int64_t v = *decision->errno_value;
+              frame.process().write_mem(
+                  vm::kTlsBase + mod->tls_base + offset, &v, 8);
+            }
+            record.errno_value = decision->errno_value;
+          }
+
+          // Remaining §3.2 side effects of the injected error code: module
+          // globals and output arguments ("apply side_effects" in the
+          // paper's stub). The errno TLS slot was handled above; other TLS
+          // slots, globals, and pointer arguments are written here.
+          if (decision->has_retval && state->profile) {
+            if (const ProfileErrorCode* ec =
+                    state->profile->error_code(decision->retval)) {
+              for (const ProfileSideEffect& se : ec->side_effects) {
+                if (se.values.empty()) continue;
+                // Prefer the value matching the injected errno; fall back
+                // to the first profiled value.
+                int64_t v = se.values.front();
+                if (decision->errno_value &&
+                    std::find(se.values.begin(), se.values.end(),
+                              *decision->errno_value) != se.values.end()) {
+                  v = *decision->errno_value;
+                }
+                switch (se.type) {
+                  case ProfileSideEffect::Type::Tls:
+                    break;  // errno path above
+                  case ProfileSideEffect::Type::Global: {
+                    const vm::LoadedModule* mod =
+                        loader.module_named(se.module);
+                    if (mod) {
+                      frame.process().write_mem(mod->data_base + se.offset,
+                                                &v, 8);
+                    }
+                    break;
+                  }
+                  case ProfileSideEffect::Type::Arg: {
+                    // Write the error detail through the output pointer.
+                    uint64_t ptr =
+                        static_cast<uint64_t>(frame.arg(se.arg_index));
+                    if (ptr != 0) frame.process().write_mem(ptr, &v, 8);
+                    break;
+                  }
+                }
+              }
+            }
+          }
+
+          record.has_retval = decision->has_retval;
+          record.retval = decision->retval;
+          if (opts_.log_backtraces && log_.enabled()) {
+            for (const auto& [addr, sym] : frame.backtrace()) {
+              record.backtrace.push_back(sym);
+            }
+          }
+          log_.Add(std::move(record));
+
+          if (decision->call_original) {
+            uint64_t target = original();
+            if (target != 0) return vm::NativeAction::Tail(target);
+          }
+          return vm::NativeAction::Ret(decision->has_retval ? decision->retval
+                                                            : 0);
+        });
+  }
+  return Status::Ok();
+}
+
+void Controller::Uninstall() {
+  machine_.loader().ClearNatives();
+  stubs_.clear();
+}
+
+}  // namespace lfi::core

@@ -1,0 +1,74 @@
+// The LFI controller (paper §5).
+//
+// Takes fault profiles plus a fault scenario, synthesizes interception
+// stubs for every function the scenario names, and installs them in the
+// loader's preload slot — the LD_PRELOAD shim. Each stub:
+//   1. evaluates the function's triggers (call count, probability, stack
+//      trace) via the TriggerEngine;
+//   2. if no injection is due, tail-jumps to the original function,
+//      resolved dlsym(RTLD_NEXT)-style and cached (§5.1's stub listing);
+//   3. otherwise applies argument modifications in place, writes the errno
+//      TLS side effect at the location the fault profile names, records
+//      the injection in the log, and either returns the fault value
+//      directly or still passes the (modified) call through.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/injection_log.hpp"
+#include "core/profile.hpp"
+#include "core/replay.hpp"
+#include "core/scenario.hpp"
+#include "core/trigger_engine.hpp"
+#include "util/result.hpp"
+#include "vm/machine.hpp"
+
+namespace lfi::core {
+
+struct ControllerOptions {
+  /// Record injections in the log (disable for overhead measurements).
+  bool log_enabled = true;
+  /// Capture symbolized backtraces into log records (costs a stack walk).
+  bool log_backtraces = true;
+  /// Cap on log records (0 = unlimited).
+  size_t log_capacity = 100000;
+};
+
+class Controller {
+ public:
+  explicit Controller(vm::Machine& machine, ControllerOptions opts = {});
+  ~Controller();
+
+  Controller(const Controller&) = delete;
+  Controller& operator=(const Controller&) = delete;
+
+  /// Synthesize and install interposition stubs for `plan`.
+  /// Call before creating the process under test (like LD_PRELOAD, the shim
+  /// must be in place when the program starts — though re-resolution makes
+  /// late installs work too).
+  Status Install(const Plan& plan, std::vector<FaultProfile> profiles);
+
+  /// Remove all stubs (the loader then resolves to the originals again).
+  void Uninstall();
+
+  InjectionLog& log() { return log_; }
+  const InjectionLog& log() const { return log_; }
+  TriggerEngine* engine() { return engine_.get(); }
+
+  /// Replay plan reproducing this run's injections (paper §5.2).
+  Plan GenerateReplay() const { return GenerateReplayPlan(log_); }
+
+ private:
+  struct StubState;
+
+  vm::Machine& machine_;
+  ControllerOptions opts_;
+  std::unique_ptr<TriggerEngine> engine_;
+  std::vector<FaultProfile> profiles_;
+  InjectionLog log_;
+  std::vector<std::shared_ptr<StubState>> stubs_;
+};
+
+}  // namespace lfi::core

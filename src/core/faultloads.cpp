@@ -1,0 +1,23 @@
+#include "core/faultloads.hpp"
+
+#include "core/scenario_gen.hpp"
+#include "libc/libc_builder.hpp"
+
+namespace lfi::core {
+
+Plan FileIoFaultload(const std::vector<FaultProfile>& profiles, double p,
+                     uint64_t seed) {
+  return GenerateRandomSubset(profiles, libc::FileIoFunctions(), p, seed);
+}
+
+Plan MemoryFaultload(const std::vector<FaultProfile>& profiles, double p,
+                     uint64_t seed) {
+  return GenerateRandomSubset(profiles, libc::MemoryFunctions(), p, seed);
+}
+
+Plan SocketFaultload(const std::vector<FaultProfile>& profiles, double p,
+                     uint64_t seed) {
+  return GenerateRandomSubset(profiles, libc::SocketFunctions(), p, seed);
+}
+
+}  // namespace lfi::core

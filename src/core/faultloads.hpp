@@ -1,0 +1,22 @@
+// Ready-made libc fault scenarios (paper §4): "all faults related to file
+// I/O, all memory allocation faults, or all socket I/O faults."
+#pragma once
+
+#include "core/profile.hpp"
+#include "core/scenario.hpp"
+
+namespace lfi::core {
+
+/// Random faultload over libc file-I/O functions.
+Plan FileIoFaultload(const std::vector<FaultProfile>& profiles, double p,
+                     uint64_t seed);
+
+/// Random faultload over libc memory-allocation functions.
+Plan MemoryFaultload(const std::vector<FaultProfile>& profiles, double p,
+                     uint64_t seed);
+
+/// Random faultload over libc socket-I/O functions.
+Plan SocketFaultload(const std::vector<FaultProfile>& profiles, double p,
+                     uint64_t seed);
+
+}  // namespace lfi::core

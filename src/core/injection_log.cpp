@@ -1,0 +1,37 @@
+#include "core/injection_log.hpp"
+
+#include "util/errno_table.hpp"
+#include "util/strings.hpp"
+
+namespace lfi::core {
+
+void InjectionLog::Add(InjectionRecord record) {
+  if (!enabled_) return;
+  if (capacity_ != 0 && records_.size() >= capacity_) return;
+  record.seq = next_seq_++;
+  records_.push_back(std::move(record));
+}
+
+std::string InjectionLog::ToText() const {
+  std::string out;
+  for (const InjectionRecord& r : records_) {
+    out += Format("#%llu %s call=%llu", (unsigned long long)r.seq,
+                  r.function.c_str(), (unsigned long long)r.call_number);
+    if (r.has_retval) out += Format(" retval=%lld", (long long)r.retval);
+    if (r.errno_value) {
+      out += Format(" errno=%s", ErrnoName(*r.errno_value).c_str());
+    }
+    out += r.call_original ? " calloriginal=true" : " calloriginal=false";
+    for (const auto& [idx, value] : r.modified_args) {
+      out += Format(" arg%d:=%lld", idx, (long long)value);
+    }
+    if (!r.backtrace.empty()) {
+      out += "  stack:";
+      for (const std::string& frame : r.backtrace) out += " " + frame;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace lfi::core

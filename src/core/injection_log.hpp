@@ -1,0 +1,49 @@
+// The LFI test log (paper §5.2): one record per injection, with the
+// triggering conditions (call count, stack trace) and applied effects, so
+// injections can be matched to observed program behaviour and replayed.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace lfi::core {
+
+struct InjectionRecord {
+  uint64_t seq = 0;
+  std::string function;
+  uint64_t call_number = 0;  // which call to `function` this was
+  bool has_retval = false;
+  int64_t retval = 0;
+  std::optional<int32_t> errno_value;
+  bool call_original = false;
+  size_t trigger_index = 0;
+  std::vector<std::string> backtrace;  // symbolized, innermost first
+  std::vector<std::pair<int, int64_t>> modified_args;  // (1-based idx, value)
+};
+
+class InjectionLog {
+ public:
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+  /// Keep at most this many records (0 = unlimited).
+  void set_capacity(size_t cap) { capacity_ = cap; }
+
+  void Add(InjectionRecord record);
+  void Clear() { records_.clear(); }
+
+  const std::vector<InjectionRecord>& records() const { return records_; }
+  size_t size() const { return records_.size(); }
+
+  /// Human-readable text log.
+  std::string ToText() const;
+
+ private:
+  std::vector<InjectionRecord> records_;
+  bool enabled_ = true;
+  size_t capacity_ = 0;
+  uint64_t next_seq_ = 1;
+};
+
+}  // namespace lfi::core

@@ -1,0 +1,68 @@
+// Fault profiles (paper §3.3).
+//
+// The profiler's output: per exported function, the possible error return
+// values and, for each, the side effects that accompany it (errno-style
+// TLS writes, global writes, output-argument writes). Serialized as the
+// paper's XML format:
+//
+//   <profile library="libc.so">
+//     <function name="close">
+//       <error-codes retval="-1">
+//         <side-effect type="TLS" module="libc.so" offset="0">9</side-effect>
+//         ...
+//       </error-codes>
+//     </function>
+//   </profile>
+//
+// Note on values: the paper's sample lists kernel-side constants (-9 for
+// EBADF); we record the value actually stored in the TLS location (+9),
+// which is what an injector must write. EXPERIMENTS.md discusses this.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace lfi::core {
+
+struct ProfileSideEffect {
+  enum class Type { Tls, Global, Arg };
+  Type type = Type::Tls;
+  std::string module;       // owner of the TLS/global offset
+  uint32_t offset = 0;      // module-relative (Tls / Global)
+  int arg_index = 0;        // Arg
+  std::vector<int64_t> values;  // possible stored values, sorted
+};
+
+const char* SideEffectTypeName(ProfileSideEffect::Type t);
+
+struct ProfileErrorCode {
+  int64_t retval = 0;
+  std::vector<ProfileSideEffect> side_effects;
+};
+
+struct FunctionProfile {
+  std::string name;
+  std::vector<ProfileErrorCode> error_codes;
+  bool incomplete = false;  // analysis hit indirect control flow
+
+  const ProfileErrorCode* error_code(int64_t retval) const;
+  /// Flatten into injectable (retval, errno-value) pairs: one per TLS
+  /// side-effect value, or a single (retval, nullopt) when none.
+  std::vector<std::pair<int64_t, std::optional<int64_t>>> injectables() const;
+};
+
+struct FaultProfile {
+  std::string library;
+  std::vector<FunctionProfile> functions;
+
+  const FunctionProfile* function(std::string_view name) const;
+
+  std::string ToXml() const;
+  static Result<FaultProfile> FromXml(std::string_view xml);
+};
+
+}  // namespace lfi::core

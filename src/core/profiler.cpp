@@ -1,0 +1,93 @@
+#include "core/profiler.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace lfi::core {
+
+Profiler::Profiler(const analysis::Workspace& ws, ProfilerOptions opts)
+    : ws_(ws), opts_(opts), analyzer_(ws, opts.analysis) {}
+
+FunctionProfile ToFunctionProfile(const analysis::FunctionSummary& summary) {
+  FunctionProfile fn;
+  fn.name = summary.function;
+  fn.incomplete = summary.incomplete;
+  for (const analysis::ErrorReturn& er : summary.returns) {
+    ProfileErrorCode ec;
+    ec.retval = er.value;
+    for (const analysis::SideEffect& se : er.effects) {
+      ProfileSideEffect pse;
+      switch (se.kind) {
+        case analysis::SideEffect::Kind::Tls:
+          pse.type = ProfileSideEffect::Type::Tls;
+          break;
+        case analysis::SideEffect::Kind::Global:
+          pse.type = ProfileSideEffect::Type::Global;
+          break;
+        case analysis::SideEffect::Kind::Arg:
+          pse.type = ProfileSideEffect::Type::Arg;
+          break;
+      }
+      pse.module = se.module;
+      pse.offset = se.offset;
+      pse.arg_index = se.arg_index;
+      pse.values.assign(se.values.begin(), se.values.end());
+      ec.side_effects.push_back(std::move(pse));
+    }
+    fn.error_codes.push_back(std::move(ec));
+  }
+  return fn;
+}
+
+Result<FaultProfile> Profiler::ProfileLibrary(const sso::SharedObject& lib) {
+  auto start = std::chrono::steady_clock::now();
+  FaultProfile profile;
+  profile.library = lib.name;
+  uint64_t states_before = analyzer_.total_states_explored();
+  for (const isa::Symbol& sym : lib.exports) {
+    auto summary = analyzer_.Analyze(lib, sym.name);
+    if (!summary.ok()) return Err(summary.error());
+    analysis::FunctionSummary pruned =
+        analysis::ApplyHeuristics(summary.value(), opts_.heuristics);
+    stats_.max_hops = std::max(stats_.max_hops, pruned.max_hops);
+    ++stats_.functions_profiled;
+    // Functions without error codes keep an (empty) entry so testers can
+    // see they were analyzed, and can prune/augment profiles by hand (§2).
+    profile.functions.push_back(ToFunctionProfile(pruned));
+  }
+  ++stats_.libraries_profiled;
+  stats_.states_explored =
+      analyzer_.total_states_explored() - states_before + stats_.states_explored;
+  stats_.total_time += std::chrono::steady_clock::now() - start;
+  return profile;
+}
+
+Result<std::vector<FaultProfile>> Profiler::ProfileApplication(
+    const sso::SharedObject& app) {
+  // Transitive needed-closure, breadth-first — the ldd analogue.
+  std::vector<const sso::SharedObject*> queue;
+  std::set<std::string> seen = {app.name};
+  auto enqueue_needed = [&](const sso::SharedObject& so) {
+    for (const std::string& dep : so.needed) {
+      if (seen.count(dep)) continue;
+      seen.insert(dep);
+      for (const sso::SharedObject* mod : ws_.modules()) {
+        if (mod->name == dep) {
+          queue.push_back(mod);
+          break;
+        }
+      }
+    }
+  };
+  enqueue_needed(app);
+  std::vector<FaultProfile> out;
+  for (size_t i = 0; i < queue.size(); ++i) {
+    enqueue_needed(*queue[i]);
+    auto profile = ProfileLibrary(*queue[i]);
+    if (!profile.ok()) return Err(profile.error());
+    out.push_back(std::move(profile).take());
+  }
+  return out;
+}
+
+}  // namespace lfi::core

@@ -1,0 +1,63 @@
+// The LFI profiler driver (paper §3).
+//
+// Points the static analyses at a target: enumerates a library's exported
+// functions (symbol-table walk — works on stripped binaries since dynamic
+// exports survive strip), runs reverse constant propagation and
+// side-effects analysis on each, applies the optional heuristics, and
+// emits the fault profile. ProfileApplication() is the "point LFI at a
+// target application" entry: it walks the needed-libraries closure (the
+// ldd analogue) and profiles every library the application links against.
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "analysis/constprop.hpp"
+#include "analysis/heuristics.hpp"
+#include "core/profile.hpp"
+#include "sso/sso.hpp"
+
+namespace lfi::core {
+
+struct ProfilerOptions {
+  analysis::AnalysisOptions analysis;
+  analysis::HeuristicOptions heuristics;  // both heuristics off by default
+};
+
+struct ProfilerStats {
+  size_t functions_profiled = 0;
+  size_t libraries_profiled = 0;
+  uint64_t states_explored = 0;
+  int max_hops = 0;
+  std::chrono::nanoseconds total_time{0};
+};
+
+class Profiler {
+ public:
+  /// The workspace must contain every module the analysis may recurse into
+  /// (the target libraries, their dependencies, and the kernel image).
+  explicit Profiler(const analysis::Workspace& ws, ProfilerOptions opts = {});
+
+  /// Profile every exported function of one library.
+  Result<FaultProfile> ProfileLibrary(const sso::SharedObject& lib);
+
+  /// Profile all libraries in `app`'s needed-closure (excluding the kernel
+  /// image and the application module itself).
+  Result<std::vector<FaultProfile>> ProfileApplication(
+      const sso::SharedObject& app);
+
+  const ProfilerStats& stats() const { return stats_; }
+  const analysis::ConstPropAnalyzer& analyzer() const { return analyzer_; }
+
+ private:
+  const analysis::Workspace& ws_;
+  ProfilerOptions opts_;
+  analysis::ConstPropAnalyzer analyzer_;
+  ProfilerStats stats_;
+};
+
+/// Convert an analysis summary into the profile representation.
+FunctionProfile ToFunctionProfile(const analysis::FunctionSummary& summary);
+
+}  // namespace lfi::core

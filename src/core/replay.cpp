@@ -1,0 +1,29 @@
+#include "core/replay.hpp"
+
+namespace lfi::core {
+
+Plan GenerateReplayPlan(const InjectionLog& log) {
+  Plan plan;
+  for (const InjectionRecord& r : log.records()) {
+    FunctionTrigger t;
+    t.function = r.function;
+    t.mode = FunctionTrigger::Mode::CallCount;
+    t.inject_call = r.call_number;
+    if (r.has_retval) t.retval = r.retval;
+    t.errno_value = r.errno_value;
+    t.call_original = r.call_original;
+    t.max_injections = 1;
+    // Argument modifications are replayed as recorded final values.
+    for (const auto& [idx, value] : r.modified_args) {
+      ArgModification m;
+      m.argument = idx;
+      m.op = ArgModification::Op::Set;
+      m.value = value;
+      t.modifications.push_back(m);
+    }
+    plan.triggers.push_back(std::move(t));
+  }
+  return plan;
+}
+
+}  // namespace lfi::core

@@ -1,0 +1,13 @@
+// Replay-script generation (paper §5.2): convert an injection log into a
+// deterministic plan of call-count triggers that reproduces the test case.
+// (As the paper notes, replay is exact up to scheduling nondeterminism.)
+#pragma once
+
+#include "core/injection_log.hpp"
+#include "core/scenario.hpp"
+
+namespace lfi::core {
+
+Plan GenerateReplayPlan(const InjectionLog& log);
+
+}  // namespace lfi::core

@@ -1,0 +1,151 @@
+#include "core/scenario.hpp"
+
+#include "util/errno_table.hpp"
+#include "util/strings.hpp"
+#include "xml/xml.hpp"
+
+namespace lfi::core {
+
+int64_t ArgModification::Apply(int64_t current) const {
+  switch (op) {
+    case Op::Add: return current + value;
+    case Op::Sub: return current - value;
+    case Op::Set: return value;
+    case Op::And: return current & value;
+    case Op::Or: return current | value;
+    case Op::Xor: return current ^ value;
+  }
+  return current;
+}
+
+const char* ArgOpName(ArgModification::Op op) {
+  switch (op) {
+    case ArgModification::Op::Add: return "add";
+    case ArgModification::Op::Sub: return "sub";
+    case ArgModification::Op::Set: return "set";
+    case ArgModification::Op::And: return "and";
+    case ArgModification::Op::Or: return "or";
+    case ArgModification::Op::Xor: return "xor";
+  }
+  return "?";
+}
+
+std::optional<ArgModification::Op> ArgOpFromName(std::string_view name) {
+  if (name == "add") return ArgModification::Op::Add;
+  if (name == "sub") return ArgModification::Op::Sub;
+  if (name == "set") return ArgModification::Op::Set;
+  if (name == "and") return ArgModification::Op::And;
+  if (name == "or") return ArgModification::Op::Or;
+  if (name == "xor") return ArgModification::Op::Xor;
+  return std::nullopt;
+}
+
+std::string Plan::ToXml() const {
+  xml::Node root("plan");
+  root.set_attr("seed", Format("%llu", (unsigned long long)seed));
+  for (const FunctionTrigger& t : triggers) {
+    xml::Node* fn = root.add_child("function");
+    fn->set_attr("name", t.function);
+    switch (t.mode) {
+      case FunctionTrigger::Mode::CallCount:
+        fn->set_attr("inject", Format("%llu", (unsigned long long)t.inject_call));
+        break;
+      case FunctionTrigger::Mode::Probability:
+        fn->set_attr("probability", Format("%g", t.probability));
+        break;
+      case FunctionTrigger::Mode::Always:
+        fn->set_attr("mode", "always");
+        break;
+      case FunctionTrigger::Mode::Rotate:
+        fn->set_attr("mode", "rotate");
+        break;
+    }
+    if (t.retval) fn->set_attr("retval", Format("%lld", (long long)*t.retval));
+    if (t.errno_value) fn->set_attr("errno", ErrnoName(*t.errno_value));
+    fn->set_attr("calloriginal", t.call_original ? "true" : "false");
+    if (t.max_injections >= 0) {
+      fn->set_attr("maxinjections", Format("%d", t.max_injections));
+    }
+    if (!t.stacktrace.empty()) {
+      xml::Node* st = fn->add_child("stacktrace");
+      for (const FrameCondition& f : t.stacktrace) {
+        xml::Node* frame = st->add_child("frame");
+        frame->set_text(f.address ? Hex(*f.address) : f.symbol);
+      }
+    }
+    for (const ArgModification& m : t.modifications) {
+      xml::Node* mod = fn->add_child("modify");
+      mod->set_attr("argument", Format("%d", m.argument));
+      mod->set_attr("op", ArgOpName(m.op));
+      mod->set_attr("value", Format("%lld", (long long)m.value));
+    }
+  }
+  return root.serialize();
+}
+
+Result<Plan> Plan::FromXml(std::string_view text) {
+  auto parsed = xml::Parse(text);
+  if (!parsed.ok()) return Err(parsed.error());
+  const xml::Node& root = *parsed.value();
+  if (root.name() != "plan") return Err("plan: root must be <plan>");
+  Plan plan;
+  plan.seed = static_cast<uint64_t>(root.attr_int("seed").value_or(1));
+  for (const xml::Node* fn : root.children_named("function")) {
+    FunctionTrigger t;
+    t.function = fn->attr_or("name", "");
+    if (t.function.empty()) return Err("plan: <function> without name");
+    if (auto inject = fn->attr_int("inject")) {
+      t.mode = FunctionTrigger::Mode::CallCount;
+      t.inject_call = static_cast<uint64_t>(*inject);
+    } else if (auto prob = fn->attr("probability")) {
+      t.mode = FunctionTrigger::Mode::Probability;
+      t.probability = std::atof(prob->c_str());
+    } else {
+      std::string mode = fn->attr_or("mode", "always");
+      if (mode == "always") t.mode = FunctionTrigger::Mode::Always;
+      else if (mode == "rotate") t.mode = FunctionTrigger::Mode::Rotate;
+      else return Err("plan: bad trigger mode " + mode);
+    }
+    if (auto rv = fn->attr_int("retval")) t.retval = *rv;
+    if (auto en = fn->attr("errno")) {
+      auto value = ErrnoFromName(*en);
+      if (!value) {
+        int64_t raw = 0;
+        if (!ParseInt(*en, &raw)) return Err("plan: bad errno " + *en);
+        value = static_cast<int32_t>(raw);
+      }
+      t.errno_value = *value;
+    }
+    t.call_original = fn->attr_or("calloriginal", "false") == "true";
+    t.max_injections =
+        static_cast<int>(fn->attr_int("maxinjections").value_or(-1));
+    if (const xml::Node* st = fn->child("stacktrace")) {
+      for (const xml::Node* frame : st->children_named("frame")) {
+        FrameCondition cond;
+        std::string_view content = Trim(frame->text());
+        if (StartsWith(content, "0x") || StartsWith(content, "0X")) {
+          int64_t addr = 0;
+          if (!ParseInt(content, &addr)) return Err("plan: bad frame address");
+          cond.address = static_cast<uint64_t>(addr);
+        } else {
+          cond.symbol = std::string(content);
+        }
+        t.stacktrace.push_back(std::move(cond));
+      }
+    }
+    for (const xml::Node* mod : fn->children_named("modify")) {
+      ArgModification m;
+      m.argument = static_cast<int>(mod->attr_int("argument").value_or(0));
+      auto op = ArgOpFromName(mod->attr_or("op", "set"));
+      if (!op) return Err("plan: bad modify op");
+      m.op = *op;
+      m.value = mod->attr_int("value").value_or(0);
+      if (m.argument <= 0) return Err("plan: modify argument must be >= 1");
+      t.modifications.push_back(m);
+    }
+    plan.triggers.push_back(std::move(t));
+  }
+  return plan;
+}
+
+}  // namespace lfi::core

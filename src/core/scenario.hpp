@@ -1,0 +1,86 @@
+// The fault-scenario language (paper §4).
+//
+// A scenario ("faultload") is a set of <trigger, fault> tuples. Triggers
+// fire on call counts, probabilistically, on every call, or rotating
+// through a profile's error codes (the exhaustive generator); they can be
+// conditioned on a partial stack trace. Faults set a return value, set
+// errno, modify arguments in place, and decide whether the original
+// function still runs. XML syntax follows the paper:
+//
+//   <plan seed="42">
+//     <function name="readdir" inject="5" retval="0" errno="EBADF"
+//               calloriginal="false">
+//       <stacktrace>
+//         <frame>0xb824490</frame>
+//         <frame>refresh_files</frame>
+//       </stacktrace>
+//     </function>
+//     <function name="read" inject="20" calloriginal="true">
+//       <modify argument="3" op="sub" value="10" />
+//     </function>
+//   </plan>
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace lfi::core {
+
+struct ArgModification {
+  int argument = 0;  // 1-based, as in the paper's example
+  enum class Op { Add, Sub, Set, And, Or, Xor };
+  Op op = Op::Set;
+  int64_t value = 0;
+
+  int64_t Apply(int64_t current) const;
+};
+
+/// One backtrace frame condition: matches a hex address (0x...) or an
+/// enclosing function symbol.
+struct FrameCondition {
+  std::optional<uint64_t> address;
+  std::string symbol;
+};
+
+struct FunctionTrigger {
+  std::string function;
+
+  enum class Mode {
+    CallCount,    // fire on the inject-th call (1-based)
+    Probability,  // fire with probability p on every call
+    Always,       // fire on every call
+    Rotate,       // fire on every call, cycling the profile's error codes
+  };
+  Mode mode = Mode::Always;
+  uint64_t inject_call = 0;  // CallCount
+  double probability = 0.0;  // Probability
+
+  /// Explicit fault. When unset, the controller draws (retval, errno) from
+  /// the function's fault profile (random / rotate scenarios).
+  std::optional<int64_t> retval;
+  std::optional<int32_t> errno_value;
+  bool call_original = false;
+
+  std::vector<FrameCondition> stacktrace;  // innermost-first, partial
+  std::vector<ArgModification> modifications;
+
+  /// Stop firing after this many injections; -1 = unlimited.
+  int max_injections = -1;
+};
+
+struct Plan {
+  uint64_t seed = 1;  // drives probability triggers and random code picks
+  std::vector<FunctionTrigger> triggers;
+
+  std::string ToXml() const;
+  static Result<Plan> FromXml(std::string_view xml);
+};
+
+const char* ArgOpName(ArgModification::Op op);
+std::optional<ArgModification::Op> ArgOpFromName(std::string_view name);
+
+}  // namespace lfi::core

@@ -1,0 +1,62 @@
+#include "core/scenario_gen.hpp"
+
+#include <algorithm>
+
+namespace lfi::core {
+
+namespace {
+
+bool HasInjectableCodes(const FunctionProfile& fn) {
+  return !fn.error_codes.empty();
+}
+
+}  // namespace
+
+Plan GenerateExhaustive(const std::vector<FaultProfile>& profiles) {
+  Plan plan;
+  for (const FaultProfile& profile : profiles) {
+    for (const FunctionProfile& fn : profile.functions) {
+      if (!HasInjectableCodes(fn)) continue;
+      FunctionTrigger t;
+      t.function = fn.name;
+      t.mode = FunctionTrigger::Mode::Rotate;
+      t.call_original = false;
+      plan.triggers.push_back(std::move(t));
+    }
+  }
+  return plan;
+}
+
+Plan GenerateRandom(const std::vector<FaultProfile>& profiles, double p,
+                    uint64_t seed) {
+  Plan plan;
+  plan.seed = seed;
+  for (const FaultProfile& profile : profiles) {
+    for (const FunctionProfile& fn : profile.functions) {
+      if (!HasInjectableCodes(fn)) continue;
+      FunctionTrigger t;
+      t.function = fn.name;
+      t.mode = FunctionTrigger::Mode::Probability;
+      t.probability = p;
+      t.call_original = false;
+      plan.triggers.push_back(std::move(t));
+    }
+  }
+  return plan;
+}
+
+Plan GenerateRandomSubset(const std::vector<FaultProfile>& profiles,
+                          const std::vector<std::string>& functions, double p,
+                          uint64_t seed) {
+  Plan plan = GenerateRandom(profiles, p, seed);
+  plan.triggers.erase(
+      std::remove_if(plan.triggers.begin(), plan.triggers.end(),
+                     [&](const FunctionTrigger& t) {
+                       return std::find(functions.begin(), functions.end(),
+                                        t.function) == functions.end();
+                     }),
+      plan.triggers.end());
+  return plan;
+}
+
+}  // namespace lfi::core

@@ -1,0 +1,27 @@
+// Automatic scenario generation (paper §4): exhaustive and random.
+#pragma once
+
+#include <vector>
+
+#include "core/profile.hpp"
+#include "core/scenario.hpp"
+
+namespace lfi::core {
+
+/// Exhaustive scenario: every exported function with at least one error
+/// code is included; consecutive calls iterate through its error codes.
+Plan GenerateExhaustive(const std::vector<FaultProfile>& profiles);
+
+/// Random scenario: every call to an included function fails with
+/// probability p; the injected (retval, errno) is drawn uniformly from the
+/// function's profile at injection time.
+Plan GenerateRandom(const std::vector<FaultProfile>& profiles, double p,
+                    uint64_t seed);
+
+/// Random scenario restricted to a set of function names (used by the
+/// ready-made libc faultloads).
+Plan GenerateRandomSubset(const std::vector<FaultProfile>& profiles,
+                          const std::vector<std::string>& functions, double p,
+                          uint64_t seed);
+
+}  // namespace lfi::core

@@ -1,0 +1,31 @@
+// C-source stub generation (paper §5.1).
+//
+// On a real platform the controller compiles generated C stubs plus
+// boilerplate into a shim .so loaded via LD_PRELOAD. The synthetic VM uses
+// native stubs instead (controller.cpp), but this generator emits the same
+// C code LFI would produce, so the repository documents — and tests — the
+// real-world artifact: one interceptor per function, dlsym(RTLD_NEXT)
+// lookup, trigger evaluation, side-effect application, and the
+// jmp-to-original pass-through.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/profile.hpp"
+#include "core/scenario.hpp"
+
+namespace lfi::core {
+
+struct StubCodegenOptions {
+  std::string guard_macro = "LFI_STUBS_H";
+  bool emit_boilerplate = true;  // helper declarations + trigger table
+};
+
+/// Generate the C source of an interception library for every function
+/// named by `plan`, using `profiles` for side-effect locations.
+std::string GenerateCStubs(const Plan& plan,
+                           const std::vector<FaultProfile>& profiles,
+                           const StubCodegenOptions& opts = {});
+
+}  // namespace lfi::core

@@ -1,0 +1,158 @@
+#include "core/trigger_engine.hpp"
+
+namespace lfi::core {
+
+TriggerEngine::TriggerEngine(const Plan& plan,
+                             const std::vector<FaultProfile>& profiles)
+    : plan_(plan), rng_(plan.seed) {
+  for (size_t i = 0; i < plan_.triggers.size(); ++i) {
+    const FunctionTrigger& t = plan_.triggers[i];
+    FunctionState& st = state_[t.function];
+    TriggerState ts{i, 0, 0};
+    // Plain call-count triggers are indexed by their fire count; they cost
+    // nothing on calls that do not match. Anything with a stack condition
+    // or a non-counting mode is evaluated per call.
+    if (t.mode == FunctionTrigger::Mode::CallCount && t.stacktrace.empty()) {
+      st.indexed[t.inject_call].push_back(ts);
+    } else {
+      st.general.push_back(ts);
+    }
+    if (!t.stacktrace.empty()) st.any_stack_conditions = true;
+  }
+  for (auto& [name, st] : state_) {
+    for (const FaultProfile& profile : profiles) {
+      if (const FunctionProfile* fn = profile.function(name)) {
+        st.injectables = fn->injectables();
+        break;
+      }
+    }
+  }
+}
+
+TriggerEngine::FunctionState* TriggerEngine::state_for(
+    const std::string& function) {
+  auto it = state_.find(function);
+  return it == state_.end() ? nullptr : &it->second;
+}
+
+bool TriggerEngine::has_triggers_for(const std::string& function) const {
+  return state_.count(function) > 0;
+}
+
+bool TriggerEngine::needs_backtrace(const std::string& function) const {
+  auto it = state_.find(function);
+  return it != state_.end() && it->second.any_stack_conditions;
+}
+
+std::vector<std::string> TriggerEngine::functions() const {
+  std::vector<std::string> out;
+  out.reserve(state_.size());
+  for (const auto& [name, st] : state_) out.push_back(name);
+  return out;
+}
+
+uint64_t TriggerEngine::call_count(const std::string& function) const {
+  auto it = state_.find(function);
+  return it == state_.end() ? 0 : it->second.call_count;
+}
+
+bool TriggerEngine::Matches(const FunctionTrigger& trigger,
+                            const FunctionState& st,
+                            const BacktraceProvider& backtrace) const {
+  switch (trigger.mode) {
+    case FunctionTrigger::Mode::CallCount:
+      if (st.call_count != trigger.inject_call) return false;
+      break;
+    case FunctionTrigger::Mode::Probability:
+      if (!rng_.chance(trigger.probability)) return false;
+      break;
+    case FunctionTrigger::Mode::Always:
+    case FunctionTrigger::Mode::Rotate:
+      break;
+  }
+  if (!trigger.stacktrace.empty()) {
+    Backtrace bt = backtrace ? backtrace() : Backtrace{};
+    if (bt.size() < trigger.stacktrace.size()) return false;
+    for (size_t i = 0; i < trigger.stacktrace.size(); ++i) {
+      const FrameCondition& cond = trigger.stacktrace[i];
+      if (cond.address) {
+        if (bt[i].first != *cond.address) return false;
+      } else if (bt[i].second != cond.symbol) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::optional<InjectionDecision> TriggerEngine::Fire(
+    const FunctionTrigger& trigger, TriggerState& ts, FunctionState& st) {
+  InjectionDecision d;
+  d.trigger_index = ts.plan_index;
+  d.call_original = trigger.call_original;
+  d.modifications = &trigger.modifications;
+  if (trigger.retval) {
+    d.has_retval = true;
+    d.retval = *trigger.retval;
+    d.errno_value = trigger.errno_value;
+  } else if (!st.injectables.empty()) {
+    // Draw the fault from the profile: rotating for exhaustive scenarios,
+    // uniformly at random otherwise (§4).
+    std::pair<int64_t, std::optional<int64_t>> pick;
+    if (trigger.mode == FunctionTrigger::Mode::Rotate) {
+      pick = st.injectables[ts.rotate_index % st.injectables.size()];
+      ++ts.rotate_index;
+    } else {
+      pick = st.injectables[rng_.below(st.injectables.size())];
+    }
+    d.has_retval = true;
+    d.retval = pick.first;
+    if (pick.second) d.errno_value = static_cast<int32_t>(*pick.second);
+    if (trigger.errno_value) d.errno_value = trigger.errno_value;
+  } else {
+    // No explicit fault and no profile codes: evaluate-and-pass-through
+    // (the overhead-measurement configuration, §6.4).
+    d.call_original = true;
+  }
+  ++ts.fired;
+  ++injections_;
+  return d;
+}
+
+std::optional<InjectionDecision> TriggerEngine::OnCall(
+    FunctionState& st, const BacktraceProvider& backtrace) {
+  ++st.call_count;
+
+  // Indexed call-count triggers: O(log buckets) for the exact count.
+  auto bucket = st.indexed.find(st.call_count);
+  // General triggers and indexed triggers compose in plan order; to keep
+  // the hot path cheap we give indexed triggers priority within their
+  // count, then fall back to general evaluation.
+  if (bucket != st.indexed.end()) {
+    for (TriggerState& ts : bucket->second) {
+      const FunctionTrigger& trigger = plan_.triggers[ts.plan_index];
+      if (trigger.max_injections >= 0 && ts.fired >= trigger.max_injections) {
+        continue;
+      }
+      return Fire(trigger, ts, st);
+    }
+  }
+  for (TriggerState& ts : st.general) {
+    const FunctionTrigger& trigger = plan_.triggers[ts.plan_index];
+    if (trigger.max_injections >= 0 && ts.fired >= trigger.max_injections) {
+      continue;
+    }
+    if (!Matches(trigger, st, backtrace)) continue;
+    return Fire(trigger, ts, st);
+  }
+  return std::nullopt;
+}
+
+std::optional<InjectionDecision> TriggerEngine::OnCall(
+    const std::string& function, const BacktraceProvider& backtrace) {
+  FunctionState* st = state_for(function);
+  if (!st) return std::nullopt;
+  return OnCall(*st, backtrace);
+}
+
+}  // namespace lfi::core

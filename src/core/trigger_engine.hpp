@@ -1,0 +1,96 @@
+// Trigger evaluation (paper §4, §5.1).
+//
+// "Every time a function is intercepted, the relevant triggers are
+// evaluated and, if any is true, the associated fault(s) is/are injected."
+// The engine is VM-independent: the backtrace is supplied lazily by the
+// caller, so it is only materialized when some trigger actually has
+// stack-trace conditions (keeping per-call overhead low — Table 3/4).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/profile.hpp"
+#include "core/scenario.hpp"
+#include "util/rng.hpp"
+
+namespace lfi::core {
+
+/// A symbolized backtrace: innermost-first (return address, enclosing
+/// function) pairs.
+using Backtrace = std::vector<std::pair<uint64_t, std::string>>;
+using BacktraceProvider = std::function<Backtrace()>;
+
+struct InjectionDecision {
+  bool has_retval = false;
+  int64_t retval = 0;
+  std::optional<int32_t> errno_value;
+  bool call_original = false;
+  const std::vector<ArgModification>* modifications = nullptr;
+  size_t trigger_index = 0;  // index into the plan's trigger list
+};
+
+class TriggerEngine {
+ public:
+  TriggerEngine(const Plan& plan, const std::vector<FaultProfile>& profiles);
+
+  /// Opaque per-function handle; lets a stub skip the name lookup on the
+  /// hot path (resolved once at install time).
+  struct FunctionState;
+  FunctionState* state_for(const std::string& function);
+
+  /// Evaluate the triggers for one intercepted call. The plan's trigger
+  /// order decides priority; the first firing trigger wins.
+  std::optional<InjectionDecision> OnCall(const std::string& function,
+                                          const BacktraceProvider& backtrace);
+  /// Hot-path variant using a pre-resolved handle. Call-count triggers
+  /// without stack conditions are indexed by target count, so evaluating a
+  /// call costs O(general triggers), not O(all triggers) — this keeps
+  /// 1,000-trigger plans at the paper's negligible overhead (§6.4).
+  std::optional<InjectionDecision> OnCall(FunctionState& state,
+                                          const BacktraceProvider& backtrace);
+
+  bool has_triggers_for(const std::string& function) const;
+  /// True if any trigger on `function` needs a backtrace to evaluate.
+  bool needs_backtrace(const std::string& function) const;
+  /// All function names with at least one trigger.
+  std::vector<std::string> functions() const;
+
+  uint64_t call_count(const std::string& function) const;
+  uint64_t injection_count() const { return injections_; }
+  const Plan& plan() const { return plan_; }
+
+ public:
+  struct TriggerState {
+    size_t plan_index = 0;
+    int fired = 0;
+    size_t rotate_index = 0;
+  };
+  struct FunctionState {
+    uint64_t call_count = 0;
+    /// Call-count triggers without stack conditions, keyed by fire count.
+    std::map<uint64_t, std::vector<TriggerState>> indexed;
+    /// Everything else: evaluated on every call, in plan order.
+    std::vector<TriggerState> general;
+    /// (retval, errno) pairs injectable per the fault profile.
+    std::vector<std::pair<int64_t, std::optional<int64_t>>> injectables;
+    bool any_stack_conditions = false;
+  };
+
+ private:
+  bool Matches(const FunctionTrigger& trigger, const FunctionState& st,
+               const BacktraceProvider& backtrace) const;
+  std::optional<InjectionDecision> Fire(const FunctionTrigger& trigger,
+                                        TriggerState& ts, FunctionState& st);
+
+  Plan plan_;
+  std::map<std::string, FunctionState> state_;
+  mutable Rng rng_;
+  uint64_t injections_ = 0;
+};
+
+}  // namespace lfi::core

@@ -1,0 +1,204 @@
+#include "corpus/libgen.hpp"
+
+#include <cassert>
+
+#include "isa/codebuilder.hpp"
+
+namespace lfi::corpus {
+
+using isa::CodeBuilder;
+using isa::Reg;
+
+namespace {
+
+/// Emission context shared by all functions of one library.
+struct LibContext {
+  CodeBuilder b;
+  Rng rng;
+  uint32_t tls_slot = 0;      // library-wide errno-like TLS slot
+  uint32_t global_slot = 0;   // library-wide status global
+  uint32_t junk_data = 0;     // data slot success paths read from
+
+  explicit LibContext(uint64_t seed) : rng(seed) {
+    tls_slot = b.reserve_tls(8);
+    global_slot = b.reserve_data(8);
+    junk_data = b.reserve_data(8);
+  }
+};
+
+/// Emit the error-channel write for one error path.
+void EmitChannelWrite(LibContext& ctx, const FunctionSpec& fn,
+                      int64_t channel_value) {
+  CodeBuilder& b = ctx.b;
+  switch (fn.channel) {
+    case ErrorChannel::None:
+      break;
+    case ErrorChannel::Tls:
+      b.mov_ri(Reg::R2, channel_value);
+      b.lea_tls(Reg::R3, static_cast<int32_t>(ctx.tls_slot));
+      b.store(Reg::R3, 0, Reg::R2);
+      break;
+    case ErrorChannel::Global:
+      b.mov_ri(Reg::R2, channel_value);
+      b.lea_data(Reg::R3, static_cast<int32_t>(ctx.global_slot));
+      b.store(Reg::R3, 0, Reg::R2);
+      break;
+    case ErrorChannel::Arg:
+      // The last argument is an output pointer.
+      b.load(Reg::R3, Reg::BP, isa::ArgSlot(fn.arg_count - 1));
+      b.mov_ri(Reg::R2, channel_value);
+      b.store(Reg::R3, 0, Reg::R2);
+      break;
+  }
+}
+
+/// Emit a few arithmetic blocks so generated functions have realistic code
+/// size and CFG shape (drives the §6.2 profiling-time curve).
+void EmitFiller(LibContext& ctx, int blocks) {
+  CodeBuilder& b = ctx.b;
+  for (int i = 0; i < blocks; ++i) {
+    auto skip = b.new_label();
+    b.add_ri(Reg::R4, static_cast<int64_t>(ctx.rng.below(100)));
+    b.cmp_ri(Reg::R4, static_cast<int64_t>(ctx.rng.below(50)));
+    b.jle(skip);
+    b.mul_ri(Reg::R4, 3);
+    b.sub_ri(Reg::R4, 7);
+    b.bind(skip);
+    b.xor_ri(Reg::R4, 0x55);
+  }
+}
+
+}  // namespace
+
+GeneratedLibrary GenerateLibrary(const LibrarySpec& spec) {
+  GeneratedLibrary out;
+  out.spec = spec;
+  LibContext ctx(spec.seed);
+  CodeBuilder& b = ctx.b;
+
+  for (const FunctionSpec& fn : spec.functions) {
+    out.prototypes[fn.name] = fn.return_kind;
+    std::set<int64_t>& docs = out.documentation[fn.name];
+    std::set<int64_t>& actual = out.actual[fn.name];
+
+    // Pre-emit indirect helpers (one per undetectable code) and record
+    // their code offsets for the pointer-table relocations.
+    std::vector<uint32_t> helper_offsets;
+    for (size_t i = 0; i < fn.undetectable_documented.size(); ++i) {
+      uint32_t start = b.here();
+      b.begin_function(fn.name + "__hidden" + std::to_string(i),
+                       /*exported=*/false, /*bare=*/true);
+      b.mov_ri(Reg::R0, fn.undetectable_documented[i]);
+      b.ret();
+      b.end_function();
+      helper_offsets.push_back(start);
+    }
+    std::vector<uint32_t> table_slots;
+    for (uint32_t off : helper_offsets) {
+      table_slots.push_back(b.reserve_code_pointer(off));
+    }
+
+    b.begin_function(fn.name);
+
+    if (fn.short_predicate) {
+      // isFile()-style check: returns 0 or 1, neither is a failure.
+      auto yes = b.new_label();
+      b.load_arg(Reg::R1, 0);
+      b.cmp_ri(Reg::R1, 0);
+      b.jne(yes);
+      b.mov_ri(Reg::R0, 0);
+      b.leave_ret();
+      b.bind(yes);
+      b.mov_ri(Reg::R0, 1);
+      b.leave_ret();
+      b.end_function();
+      continue;
+    }
+
+    EmitFiller(ctx, fn.filler_blocks);
+
+    // Selector: the first argument picks the failure mode at runtime.
+    // Codes 1..k map to the error paths; anything else succeeds.
+    b.load_arg(Reg::R1, 0);
+    int64_t selector = 1;
+
+    auto emit_error_path = [&](int64_t code, bool documented) {
+      auto next = b.new_label();
+      b.cmp_ri(Reg::R1, selector++);
+      b.jne(next);
+      if (fn.channel != ErrorChannel::None && !fn.channel_values.empty()) {
+        EmitChannelWrite(
+            ctx, fn,
+            fn.channel_values[static_cast<size_t>(selector) %
+                              fn.channel_values.size()]);
+      }
+      b.mov_ri(Reg::R0, code);
+      b.leave_ret();
+      b.bind(next);
+      actual.insert(code);
+      if (documented) docs.insert(code);
+    };
+
+    for (int64_t code : fn.detectable_documented) emit_error_path(code, true);
+    for (int64_t code : fn.detectable_undocumented) {
+      emit_error_path(code, false);
+    }
+
+    // Undetectable codes: return through the function-pointer table. The
+    // docs list them; the VM can execute them; the static analysis cannot
+    // follow the indirect call (honest FNs).
+    for (size_t i = 0; i < fn.undetectable_documented.size(); ++i) {
+      auto next = b.new_label();
+      b.cmp_ri(Reg::R1, selector++);
+      b.jne(next);
+      b.lea_data(Reg::R2, static_cast<int32_t>(table_slots[i]));
+      b.load(Reg::R2, Reg::R2, 0);
+      b.call_ind(Reg::R2);
+      b.leave_ret();
+      b.bind(next);
+      int64_t code = fn.undetectable_documented[i];
+      actual.insert(code);
+      docs.insert(code);
+    }
+
+    // Success: a value loaded from library data — not a constant, so the
+    // profiler correctly reports nothing for this path.
+    b.lea_data(Reg::R2, static_cast<int32_t>(ctx.junk_data));
+    b.load(Reg::R0, Reg::R2, 0);
+    if (fn.return_kind == ReturnKind::Pointer) {
+      // A pointer-returning success hands back the data address itself.
+      b.lea_data(Reg::R0, static_cast<int32_t>(ctx.junk_data));
+    }
+    b.leave_ret();
+    b.end_function();
+  }
+
+  out.object = sso::FromCodeUnit(spec.name, b.Finish());
+  return out;
+}
+
+AccuracyCount ScoreAgainstDocs(
+    const std::map<std::string, std::set<int64_t>>& documentation,
+    const std::map<std::string, std::set<int64_t>>& found) {
+  AccuracyCount count;
+  std::set<std::string> names;
+  for (const auto& [name, codes] : documentation) names.insert(name);
+  for (const auto& [name, codes] : found) names.insert(name);
+  for (const std::string& name : names) {
+    static const std::set<int64_t> empty;
+    auto dit = documentation.find(name);
+    auto fit = found.find(name);
+    const std::set<int64_t>& doc = dit == documentation.end() ? empty : dit->second;
+    const std::set<int64_t>& got = fit == found.end() ? empty : fit->second;
+    for (int64_t code : got) {
+      if (doc.count(code)) ++count.tp;
+      else ++count.fp;
+    }
+    for (int64_t code : doc) {
+      if (!got.count(code)) ++count.fn;
+    }
+  }
+  return count;
+}
+
+}  // namespace lfi::corpus

@@ -1,0 +1,84 @@
+// Synthetic library generation with ground truth.
+//
+// The paper evaluates the profiler against real Ubuntu/Solaris/Windows
+// libraries, using documentation as (imperfect) ground truth. We generate
+// libraries whose *actual* error behaviour is known by construction, plus
+// a "documentation" view that diverges from the binary exactly the way
+// real man pages do:
+//   - detectable documented codes  -> profiler finds them  (TPs)
+//   - documented codes reached through an indirect call    (FNs: §3.1's
+//     indirect-call limitation, reproduced honestly — the generated code
+//     routes the constant through a function-pointer table the static
+//     analysis cannot follow)
+//   - detectable undocumented codes -> profiler finds them (FPs, like the
+//     modify_ldt ENOMEM or libxml2 return-1 cases in §3.1)
+// The profiler is then *really run* against the binaries; accuracy is
+// measured, not asserted.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sso/sso.hpp"
+#include "util/rng.hpp"
+
+namespace lfi::corpus {
+
+enum class ReturnKind { Void, Scalar, Pointer };
+
+/// Which side channel a function uses for error details (§3.2 / Table 1).
+enum class ErrorChannel { None, Tls, Global, Arg };
+
+struct FunctionSpec {
+  std::string name;
+  ReturnKind return_kind = ReturnKind::Scalar;
+  int arg_count = 1;
+
+  std::vector<int64_t> detectable_documented;    // TP source
+  std::vector<int64_t> undetectable_documented;  // FN source (indirect call)
+  std::vector<int64_t> detectable_undocumented;  // FP source
+
+  ErrorChannel channel = ErrorChannel::None;
+  std::vector<int64_t> channel_values;  // written to the channel on error
+
+  bool short_predicate = false;  // isFile()-style 0/1 checker (heuristic #2)
+  int filler_blocks = 0;         // extra compute blocks (code-size realism)
+};
+
+struct LibrarySpec {
+  std::string name;
+  std::vector<FunctionSpec> functions;
+  uint64_t seed = 1;
+};
+
+struct GeneratedLibrary {
+  sso::SharedObject object;
+  LibrarySpec spec;
+  /// The "man page": per function, the error codes the docs claim.
+  std::map<std::string, std::set<int64_t>> documentation;
+  /// Ground truth: per function, the codes actually returnable at runtime.
+  std::map<std::string, std::set<int64_t>> actual;
+  /// Header knowledge for Table 1 accounting.
+  std::map<std::string, ReturnKind> prototypes;
+};
+
+GeneratedLibrary GenerateLibrary(const LibrarySpec& spec);
+
+/// Accuracy of a set of found-codes against documentation, as in §6.3:
+/// accuracy = TP / (TP + FN + FP).
+struct AccuracyCount {
+  size_t tp = 0, fn = 0, fp = 0;
+  double accuracy() const {
+    size_t total = tp + fn + fp;
+    return total == 0 ? 1.0 : static_cast<double>(tp) / static_cast<double>(total);
+  }
+};
+
+AccuracyCount ScoreAgainstDocs(
+    const std::map<std::string, std::set<int64_t>>& documentation,
+    const std::map<std::string, std::set<int64_t>>& found);
+
+}  // namespace lfi::corpus

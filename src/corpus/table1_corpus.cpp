@@ -1,0 +1,105 @@
+#include "corpus/table1_corpus.hpp"
+
+#include <algorithm>
+
+namespace lfi::corpus {
+
+const std::vector<Table1Cell>& Table1Reference() {
+  // Paper Table 1. "Error details in global location" covers both globals
+  // and TLS variables (errno is TLS); we split that mass between the two
+  // mechanisms when generating.
+  static const std::vector<Table1Cell> cells = {
+      {ReturnKind::Void, ErrorChannel::None, 0.230},
+      {ReturnKind::Scalar, ErrorChannel::None, 0.565},
+      {ReturnKind::Scalar, ErrorChannel::Tls, 0.010},
+      {ReturnKind::Scalar, ErrorChannel::Arg, 0.035},
+      {ReturnKind::Pointer, ErrorChannel::None, 0.116},
+      {ReturnKind::Pointer, ErrorChannel::Tls, 0.010},
+      {ReturnKind::Pointer, ErrorChannel::Arg, 0.034},
+  };
+  return cells;
+}
+
+Table1Corpus GenerateTable1Corpus(uint64_t seed, size_t total_functions,
+                                  size_t num_libraries) {
+  Table1Corpus corpus;
+  Rng rng(seed);
+
+  // Materialize the per-function cell assignments, then shuffle them
+  // across libraries.
+  std::vector<const Table1Cell*> assignment;
+  for (const Table1Cell& cell : Table1Reference()) {
+    size_t count = static_cast<size_t>(cell.fraction *
+                                       static_cast<double>(total_functions));
+    for (size_t i = 0; i < count; ++i) assignment.push_back(&cell);
+  }
+  while (assignment.size() < total_functions) {
+    assignment.push_back(&Table1Reference()[1]);  // scalar/none filler
+  }
+  for (size_t i = assignment.size(); i-- > 1;) {
+    std::swap(assignment[i], assignment[rng.below(i + 1)]);
+  }
+
+  size_t per_lib = (assignment.size() + num_libraries - 1) / num_libraries;
+  size_t cursor = 0;
+  for (size_t li = 0; li < num_libraries && cursor < assignment.size(); ++li) {
+    LibrarySpec spec;
+    spec.name = "ubuntu_lib" + std::to_string(li) + ".so";
+    spec.seed = seed + li * 7919;
+    for (size_t k = 0; k < per_lib && cursor < assignment.size(); ++k) {
+      const Table1Cell& cell = *assignment[cursor++];
+      FunctionSpec fn;
+      fn.name = spec.name.substr(0, spec.name.size() - 3) + "_f" +
+                std::to_string(k);
+      fn.return_kind = cell.kind;
+      fn.arg_count = 1 + static_cast<int>(rng.below(3));
+      fn.filler_blocks = static_cast<int>(rng.below(3));
+      if (cell.kind != ReturnKind::Void) {
+        // Most non-void functions have at least one constant error return.
+        int codes = 1 + static_cast<int>(rng.below(2));
+        for (int c = 0; c < codes; ++c) {
+          fn.detectable_documented.push_back(
+              -static_cast<int64_t>(1 + rng.below(40)));
+        }
+        std::sort(fn.detectable_documented.begin(),
+                  fn.detectable_documented.end());
+        fn.detectable_documented.erase(
+            std::unique(fn.detectable_documented.begin(),
+                        fn.detectable_documented.end()),
+            fn.detectable_documented.end());
+      }
+      switch (cell.channel) {
+        case ErrorChannel::None:
+          fn.channel = ErrorChannel::None;
+          break;
+        case ErrorChannel::Tls:
+          // "Global location": half errno-style TLS, half plain globals.
+          fn.channel = rng.chance(0.5) ? ErrorChannel::Tls
+                                       : ErrorChannel::Global;
+          fn.channel_values = {static_cast<int64_t>(1 + rng.below(40))};
+          break;
+        case ErrorChannel::Global:
+          fn.channel = ErrorChannel::Global;
+          fn.channel_values = {static_cast<int64_t>(1 + rng.below(40))};
+          break;
+        case ErrorChannel::Arg:
+          fn.channel = ErrorChannel::Arg;
+          fn.channel_values = {static_cast<int64_t>(1 + rng.below(40))};
+          break;
+      }
+      // Void functions need error paths for their channels to be written;
+      // give channel-less void functions plain compute bodies.
+      if (cell.kind == ReturnKind::Void &&
+          fn.channel != ErrorChannel::None &&
+          fn.detectable_documented.empty()) {
+        fn.detectable_documented.push_back(-1);
+      }
+      spec.functions.push_back(std::move(fn));
+    }
+    corpus.total_functions += spec.functions.size();
+    corpus.libraries.push_back(GenerateLibrary(spec));
+  }
+  return corpus;
+}
+
+}  // namespace lfi::corpus

@@ -1,0 +1,34 @@
+// The Table-1 corpus: >20,000 functions whose return types and
+// error-detail channels follow the distribution the paper measured across
+// Ubuntu Linux libraries with ELSA-parsed headers + LFI analyses. The
+// bench regenerates the table by *measuring* the corpus with the profiler
+// (channel classification) and the prototype metadata (return types).
+#pragma once
+
+#include <vector>
+
+#include "corpus/libgen.hpp"
+
+namespace lfi::corpus {
+
+struct Table1Cell {
+  ReturnKind kind;
+  ErrorChannel channel;  // None, Tls/Global ("global location"), Arg
+  double fraction;       // of all functions
+};
+
+/// The paper's Table 1 (void/scalar/pointer x none/global/args fractions).
+const std::vector<Table1Cell>& Table1Reference();
+
+struct Table1Corpus {
+  std::vector<GeneratedLibrary> libraries;
+  size_t total_functions = 0;
+};
+
+/// Generate `total_functions` functions across `num_libraries` libraries
+/// following the Table-1 distribution.
+Table1Corpus GenerateTable1Corpus(uint64_t seed,
+                                  size_t total_functions = 20000,
+                                  size_t num_libraries = 40);
+
+}  // namespace lfi::corpus

@@ -1,0 +1,104 @@
+#include "corpus/table2_corpus.hpp"
+
+namespace lfi::corpus {
+
+const std::vector<Table2Entry>& Table2Reference() {
+  // Columns from the paper's Table 2; function counts are the paper's
+  // where stated (libxml2: 1612, §6.2) and plausible sizes otherwise.
+  static const std::vector<Table2Entry> entries = {
+      {"libssl", "Windows", 164, 18, 6, 87, 300},
+      {"libxml2", "Solaris", 1003, 138, 88, 81, 1600},
+      {"libpanel", "Solaris", 23, 0, 0, 100, 25},
+      {"libpctx", "Solaris", 10, 0, 2, 83, 15},
+      {"libldap", "Linux", 368, 45, 21, 85, 400},
+      {"libxml2", "Linux", 989, 152, 102, 80, 1612},
+      {"libXss", "Linux", 12, 1, 0, 92, 14},
+      {"libgtkspell", "Linux", 7, 0, 0, 100, 10},
+      {"libpanel", "Linux", 21, 2, 0, 91, 25},
+      {"libdmx", "Linux", 26, 8, 0, 76, 18},
+      {"libao", "Linux", 12, 3, 0, 80, 16},
+      {"libhesiod", "Linux", 10, 0, 0, 100, 12},
+      {"libnetfilter_q", "Linux", 24, 2, 0, 92, 28},
+      {"libcdt", "Linux", 15, 0, 0, 100, 20},
+      {"libdaemon", "Linux", 30, 3, 0, 91, 35},
+      {"libdns_sd", "Linux", 50, 4, 2, 89, 60},
+      {"libgimpthumb", "Linux", 31, 3, 3, 84, 36},
+      {"libvorbisfile", "Linux", 133, 4, 39, 75, 40},
+  };
+  return entries;
+}
+
+const Table2Entry& LibpcreReference() {
+  static const Table2Entry entry = {"libpcre", "Linux", 52, 10, 0, 84, 20};
+  return entry;
+}
+
+GeneratedLibrary GenerateTable2Library(const Table2Entry& entry,
+                                       uint64_t seed) {
+  LibrarySpec spec;
+  spec.name = entry.library + "." + entry.platform + ".so";
+  spec.seed = seed;
+  Rng rng(seed ^ 0xabcdef);
+
+  // Round-robin the paper's TP/FN/FP code budgets across the functions.
+  size_t tp_left = entry.paper_tp;
+  size_t fn_left = entry.paper_fn;
+  size_t fp_left = entry.paper_fp;
+  // Error-code values: a pool of realistic negative codes; each function
+  // draws distinct values.
+  auto next_code = [&rng](std::set<int64_t>& used) {
+    int64_t code;
+    do {
+      code = -static_cast<int64_t>(1 + rng.below(64));
+    } while (used.count(code));
+    used.insert(code);
+    return code;
+  };
+
+  for (size_t i = 0; i < entry.function_count; ++i) {
+    FunctionSpec fn;
+    fn.name = entry.library + "_fn" + std::to_string(i);
+    fn.arg_count = 1 + static_cast<int>(rng.below(3));
+    fn.return_kind = rng.chance(0.15) ? ReturnKind::Pointer : ReturnKind::Scalar;
+    fn.filler_blocks = static_cast<int>(rng.below(4));
+    std::set<int64_t> used;
+
+    // Remaining functions share the remaining budget roughly evenly.
+    size_t remaining_fns = entry.function_count - i;
+    auto share = [&](size_t left) {
+      size_t base = left / remaining_fns;
+      size_t extra = (left % remaining_fns) > 0 && rng.chance(0.5) ? 1 : 0;
+      return std::min(left, base + extra);
+    };
+    size_t tp_here = share(tp_left);
+    size_t fn_here = share(fn_left);
+    size_t fp_here = share(fp_left);
+    if (i + 1 == entry.function_count) {  // last one takes the rest
+      tp_here = tp_left;
+      fn_here = fn_left;
+      fp_here = fp_left;
+    }
+    for (size_t k = 0; k < tp_here; ++k) {
+      fn.detectable_documented.push_back(next_code(used));
+    }
+    for (size_t k = 0; k < fn_here; ++k) {
+      fn.undetectable_documented.push_back(next_code(used));
+    }
+    for (size_t k = 0; k < fp_here; ++k) {
+      fn.detectable_undocumented.push_back(next_code(used));
+    }
+    tp_left -= tp_here;
+    fn_left -= fn_here;
+    fp_left -= fp_here;
+
+    // Some functions expose details via a side channel, for realism.
+    if (!fn.detectable_documented.empty() && rng.chance(0.3)) {
+      fn.channel = rng.chance(0.5) ? ErrorChannel::Tls : ErrorChannel::Arg;
+      fn.channel_values = {5, 9, 22};
+    }
+    spec.functions.push_back(std::move(fn));
+  }
+  return GenerateLibrary(spec);
+}
+
+}  // namespace lfi::corpus

@@ -1,0 +1,36 @@
+// The Table-2 evaluation corpus: the 18 libraries (plus libpcre) the paper
+// measures profiler accuracy on, regenerated as synthetic binaries whose
+// documented/undocumented/indirect error codes are sized to the paper's
+// TP/FN/FP columns. The profiler is then really run against them; the
+// bench compares measured accuracy to the paper's.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "corpus/libgen.hpp"
+
+namespace lfi::corpus {
+
+struct Table2Entry {
+  std::string library;
+  std::string platform;   // "Linux", "Solaris", "Windows"
+  size_t paper_tp = 0;
+  size_t paper_fn = 0;
+  size_t paper_fp = 0;
+  int paper_accuracy_pct = 0;
+  size_t function_count = 0;  // exported functions to generate
+};
+
+/// The 18 libraries of Table 2, in paper order.
+const std::vector<Table2Entry>& Table2Reference();
+
+/// The libpcre manual-inspection case of §6.3 (52 TP / 10 FN / 0 FP, 84%,
+/// 20 exported functions; ground truth is the binary itself, not docs).
+const Table2Entry& LibpcreReference();
+
+/// Generate the synthetic library for one Table-2 entry.
+GeneratedLibrary GenerateTable2Library(const Table2Entry& entry,
+                                       uint64_t seed);
+
+}  // namespace lfi::corpus

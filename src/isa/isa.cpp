@@ -1,0 +1,360 @@
+#include "isa/isa.hpp"
+
+#include "util/strings.hpp"
+
+namespace lfi::isa {
+
+const char* RegName(Reg r) {
+  switch (r) {
+    case Reg::R0: return "r0";
+    case Reg::R1: return "r1";
+    case Reg::R2: return "r2";
+    case Reg::R3: return "r3";
+    case Reg::R4: return "r4";
+    case Reg::R5: return "r5";
+    case Reg::R6: return "r6";
+    case Reg::R7: return "r7";
+    case Reg::SP: return "sp";
+    case Reg::BP: return "bp";
+  }
+  return "r?";
+}
+
+const char* OpcodeName(Opcode op) {
+  switch (op) {
+    case Opcode::NOP: return "nop";
+    case Opcode::HALT: return "halt";
+    case Opcode::ABORT: return "abort";
+    case Opcode::MOV_RI: return "mov";
+    case Opcode::MOV_RR: return "mov";
+    case Opcode::LOAD: return "load";
+    case Opcode::STORE: return "store";
+    case Opcode::STORE_I: return "store";
+    case Opcode::LEA: return "lea";
+    case Opcode::LEA_DATA: return "lea.data";
+    case Opcode::LEA_TLS: return "lea.tls";
+    case Opcode::PUSH: return "push";
+    case Opcode::POP: return "pop";
+    case Opcode::ADD_RR: case Opcode::ADD_RI: return "add";
+    case Opcode::SUB_RR: case Opcode::SUB_RI: return "sub";
+    case Opcode::AND_RR: case Opcode::AND_RI: return "and";
+    case Opcode::OR_RR: case Opcode::OR_RI: return "or";
+    case Opcode::XOR_RR: case Opcode::XOR_RI: return "xor";
+    case Opcode::MUL_RR: case Opcode::MUL_RI: return "mul";
+    case Opcode::NEG: return "neg";
+    case Opcode::NOT: return "not";
+    case Opcode::CMP_RR: case Opcode::CMP_RI: return "cmp";
+    case Opcode::JMP: return "jmp";
+    case Opcode::JE: return "je";
+    case Opcode::JNE: return "jne";
+    case Opcode::JLT: return "jlt";
+    case Opcode::JLE: return "jle";
+    case Opcode::JGT: return "jgt";
+    case Opcode::JGE: return "jge";
+    case Opcode::JMP_IND: return "jmp*";
+    case Opcode::CALL: return "call";
+    case Opcode::CALL_SYM: return "call.sym";
+    case Opcode::CALL_IND: return "call*";
+    case Opcode::RET: return "ret";
+    case Opcode::SYSCALL: return "syscall";
+    case Opcode::KCALL: return "kcall";
+    case Opcode::kCount: break;
+  }
+  return "???";
+}
+
+OperandLayout LayoutOf(Opcode op) {
+  switch (op) {
+    case Opcode::NOP:
+    case Opcode::HALT:
+    case Opcode::ABORT:
+    case Opcode::RET:
+      return OperandLayout::None;
+    case Opcode::PUSH:
+    case Opcode::POP:
+    case Opcode::NEG:
+    case Opcode::NOT:
+    case Opcode::JMP_IND:
+    case Opcode::CALL_IND:
+      return OperandLayout::R;
+    case Opcode::MOV_RR:
+    case Opcode::ADD_RR:
+    case Opcode::SUB_RR:
+    case Opcode::AND_RR:
+    case Opcode::OR_RR:
+    case Opcode::XOR_RR:
+    case Opcode::MUL_RR:
+    case Opcode::CMP_RR:
+      return OperandLayout::RR;
+    case Opcode::MOV_RI:
+    case Opcode::ADD_RI:
+    case Opcode::SUB_RI:
+    case Opcode::AND_RI:
+    case Opcode::OR_RI:
+    case Opcode::XOR_RI:
+    case Opcode::MUL_RI:
+    case Opcode::CMP_RI:
+      return OperandLayout::RI;
+    case Opcode::LOAD:
+    case Opcode::LEA:
+      return OperandLayout::RRD;
+    case Opcode::STORE:
+      return OperandLayout::RDR;
+    case Opcode::STORE_I:
+      return OperandLayout::RDI;
+    case Opcode::LEA_DATA:
+    case Opcode::LEA_TLS:
+      return OperandLayout::RD;
+    case Opcode::JMP:
+    case Opcode::JE:
+    case Opcode::JNE:
+    case Opcode::JLT:
+    case Opcode::JLE:
+    case Opcode::JGT:
+    case Opcode::JGE:
+    case Opcode::CALL:
+      return OperandLayout::Rel32;
+    case Opcode::CALL_SYM:
+    case Opcode::SYSCALL:
+    case Opcode::KCALL:
+      return OperandLayout::U16;
+    case Opcode::kCount:
+      break;
+  }
+  return OperandLayout::None;
+}
+
+size_t EncodedSize(Opcode op) {
+  switch (LayoutOf(op)) {
+    case OperandLayout::None: return 1;
+    case OperandLayout::R: return 2;
+    case OperandLayout::RR: return 3;
+    case OperandLayout::RI: return 10;
+    case OperandLayout::RRD: return 7;
+    case OperandLayout::RDR: return 7;
+    case OperandLayout::RDI: return 14;
+    case OperandLayout::RD: return 6;
+    case OperandLayout::Rel32: return 5;
+    case OperandLayout::U16: return 3;
+  }
+  return 1;
+}
+
+bool Instr::is_branch() const {
+  switch (op) {
+    case Opcode::JMP: case Opcode::JE: case Opcode::JNE: case Opcode::JLT:
+    case Opcode::JLE: case Opcode::JGT: case Opcode::JGE: case Opcode::JMP_IND:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool Instr::is_cond_branch() const {
+  switch (op) {
+    case Opcode::JE: case Opcode::JNE: case Opcode::JLT:
+    case Opcode::JLE: case Opcode::JGT: case Opcode::JGE:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool Instr::is_terminator() const {
+  return is_branch() || op == Opcode::RET || op == Opcode::HALT ||
+         op == Opcode::ABORT;
+}
+
+bool Instr::is_call() const {
+  return op == Opcode::CALL || op == Opcode::CALL_SYM ||
+         op == Opcode::CALL_IND;
+}
+
+namespace {
+
+void PutU16(uint16_t v, std::vector<uint8_t>* out) {
+  out->push_back(static_cast<uint8_t>(v));
+  out->push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void PutU32(uint32_t v, std::vector<uint8_t>* out) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void PutU64(uint64_t v, std::vector<uint8_t>* out) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+uint16_t GetU16(const std::vector<uint8_t>& b, uint32_t at) {
+  return static_cast<uint16_t>(b[at] | (b[at + 1] << 8));
+}
+
+uint32_t GetU32(const std::vector<uint8_t>& b, uint32_t at) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(b[at + i]) << (8 * i);
+  return v;
+}
+
+uint64_t GetU64(const std::vector<uint8_t>& b, uint32_t at) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(b[at + i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+void Encode(const Instr& ins, std::vector<uint8_t>* out) {
+  out->push_back(static_cast<uint8_t>(ins.op));
+  switch (LayoutOf(ins.op)) {
+    case OperandLayout::None:
+      break;
+    case OperandLayout::R:
+      out->push_back(static_cast<uint8_t>(ins.a));
+      break;
+    case OperandLayout::RR:
+      out->push_back(static_cast<uint8_t>(ins.a));
+      out->push_back(static_cast<uint8_t>(ins.b));
+      break;
+    case OperandLayout::RI:
+      out->push_back(static_cast<uint8_t>(ins.a));
+      PutU64(static_cast<uint64_t>(ins.imm), out);
+      break;
+    case OperandLayout::RRD:
+      out->push_back(static_cast<uint8_t>(ins.a));
+      out->push_back(static_cast<uint8_t>(ins.b));
+      PutU32(static_cast<uint32_t>(ins.disp), out);
+      break;
+    case OperandLayout::RDR:
+      out->push_back(static_cast<uint8_t>(ins.a));
+      PutU32(static_cast<uint32_t>(ins.disp), out);
+      out->push_back(static_cast<uint8_t>(ins.b));
+      break;
+    case OperandLayout::RDI:
+      out->push_back(static_cast<uint8_t>(ins.a));
+      PutU32(static_cast<uint32_t>(ins.disp), out);
+      PutU64(static_cast<uint64_t>(ins.imm), out);
+      break;
+    case OperandLayout::RD:
+      out->push_back(static_cast<uint8_t>(ins.a));
+      PutU32(static_cast<uint32_t>(ins.disp), out);
+      break;
+    case OperandLayout::Rel32:
+      PutU32(static_cast<uint32_t>(ins.disp), out);
+      break;
+    case OperandLayout::U16:
+      PutU16(ins.u16, out);
+      break;
+  }
+}
+
+Result<Instr> DecodeOne(const std::vector<uint8_t>& code, uint32_t offset) {
+  if (offset >= code.size()) return Err("decode: offset out of range");
+  uint8_t raw = code[offset];
+  if (raw >= static_cast<uint8_t>(Opcode::kCount)) {
+    return Err(Format("decode: unknown opcode 0x%02x at %u", raw, offset));
+  }
+  Instr ins;
+  ins.op = static_cast<Opcode>(raw);
+  ins.offset = offset;
+  ins.size = static_cast<uint32_t>(EncodedSize(ins.op));
+  if (offset + ins.size > code.size()) {
+    return Err(Format("decode: truncated instruction at %u", offset));
+  }
+  uint32_t at = offset + 1;
+  auto reg_ok = [](uint8_t r) { return r < kNumRegs; };
+  switch (LayoutOf(ins.op)) {
+    case OperandLayout::None:
+      break;
+    case OperandLayout::R:
+      if (!reg_ok(code[at])) return Err("decode: bad register");
+      ins.a = static_cast<Reg>(code[at]);
+      break;
+    case OperandLayout::RR:
+      if (!reg_ok(code[at]) || !reg_ok(code[at + 1]))
+        return Err("decode: bad register");
+      ins.a = static_cast<Reg>(code[at]);
+      ins.b = static_cast<Reg>(code[at + 1]);
+      break;
+    case OperandLayout::RI:
+      if (!reg_ok(code[at])) return Err("decode: bad register");
+      ins.a = static_cast<Reg>(code[at]);
+      ins.imm = static_cast<int64_t>(GetU64(code, at + 1));
+      break;
+    case OperandLayout::RRD:
+      if (!reg_ok(code[at]) || !reg_ok(code[at + 1]))
+        return Err("decode: bad register");
+      ins.a = static_cast<Reg>(code[at]);
+      ins.b = static_cast<Reg>(code[at + 1]);
+      ins.disp = static_cast<int32_t>(GetU32(code, at + 2));
+      break;
+    case OperandLayout::RDR:
+      if (!reg_ok(code[at]) || !reg_ok(code[at + 5]))
+        return Err("decode: bad register");
+      ins.a = static_cast<Reg>(code[at]);
+      ins.disp = static_cast<int32_t>(GetU32(code, at + 1));
+      ins.b = static_cast<Reg>(code[at + 5]);
+      break;
+    case OperandLayout::RDI:
+      if (!reg_ok(code[at])) return Err("decode: bad register");
+      ins.a = static_cast<Reg>(code[at]);
+      ins.disp = static_cast<int32_t>(GetU32(code, at + 1));
+      ins.imm = static_cast<int64_t>(GetU64(code, at + 5));
+      break;
+    case OperandLayout::RD:
+      if (!reg_ok(code[at])) return Err("decode: bad register");
+      ins.a = static_cast<Reg>(code[at]);
+      ins.disp = static_cast<int32_t>(GetU32(code, at + 1));
+      break;
+    case OperandLayout::Rel32:
+      ins.disp = static_cast<int32_t>(GetU32(code, at));
+      break;
+    case OperandLayout::U16:
+      ins.u16 = GetU16(code, at);
+      break;
+  }
+  return ins;
+}
+
+Result<std::vector<Instr>> Disassemble(const std::vector<uint8_t>& code,
+                                       uint32_t begin, uint32_t end) {
+  std::vector<Instr> out;
+  uint32_t at = begin;
+  while (at < end) {
+    auto ins = DecodeOne(code, at);
+    if (!ins.ok()) return Err(ins.error());
+    at += ins.value().size;
+    out.push_back(std::move(ins).take());
+  }
+  return out;
+}
+
+std::string Instr::ToString() const {
+  std::string head = Format("%6x:  %-9s", offset, OpcodeName(op));
+  switch (LayoutOf(op)) {
+    case OperandLayout::None:
+      return head;
+    case OperandLayout::R:
+      return head + Format(" %s", RegName(a));
+    case OperandLayout::RR:
+      return head + Format(" %s, %s", RegName(a), RegName(b));
+    case OperandLayout::RI:
+      return head + Format(" %s, %lld", RegName(a), (long long)imm);
+    case OperandLayout::RRD:
+      if (op == Opcode::LOAD)
+        return head + Format(" %s, [%s%+d]", RegName(a), RegName(b), disp);
+      return head + Format(" %s, [%s%+d]", RegName(a), RegName(b), disp);
+    case OperandLayout::RDR:
+      return head + Format(" [%s%+d], %s", RegName(a), disp, RegName(b));
+    case OperandLayout::RDI:
+      return head + Format(" [%s%+d], %lld", RegName(a), disp, (long long)imm);
+    case OperandLayout::RD:
+      return head + Format(" %s, %+d", RegName(a), disp);
+    case OperandLayout::Rel32:
+      return head + Format(" %x", rel_target());
+    case OperandLayout::U16:
+      return head + Format(" %u", u16);
+  }
+  return head;
+}
+
+}  // namespace lfi::isa

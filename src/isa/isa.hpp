@@ -1,0 +1,143 @@
+// The synthetic instruction set.
+//
+// This is the machine-code substrate the LFI profiler disassembles and the
+// VM executes. It is deliberately shaped like the IA32 subset the paper's
+// analyses care about (§3.1-§3.2):
+//   - R0 is the return-value register (the `eax` analogue);
+//   - constants are materialized with MOV_RI and propagated through
+//     MOV_RR / arithmetic / stack slots;
+//   - LEA_TLS / LEA_DATA model PIC base-register addressing of TLS
+//     (errno-style) and module-global variables;
+//   - stores through pointers loaded from positive BP offsets model
+//     writes to output arguments;
+//   - CALL_SYM goes through an import table (the PLT analogue), so the
+//     dynamic loader can interpose stubs — the LD_PRELOAD mechanism;
+//   - SYSCALL vectors into the kernel image, whose handlers contain the
+//     -errno constants the profiler's kernel analysis extracts;
+//   - JMP_IND / CALL_IND are the indirect-control-flow constructs whose
+//     (rare) presence degrades profiler accuracy, as measured in §3.1.
+//
+// Encoding is variable-length: a 1-byte opcode followed by operands
+// (reg = 1 byte, imm64 = 8 bytes LE, disp32/rel32 = 4 bytes LE,
+// u16 = 2 bytes LE). A real decoder ("disassembler") is provided; the
+// profiler only ever sees decoded instructions, mirroring LFI's loose
+// coupling to objdump (§3.1 "Limitations").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace lfi::isa {
+
+/// Register file. R0..R7 general purpose (R0 = return value), SP/BP stack.
+enum class Reg : uint8_t {
+  R0 = 0, R1, R2, R3, R4, R5, R6, R7,
+  SP = 8,
+  BP = 9,
+};
+inline constexpr int kNumRegs = 10;
+
+const char* RegName(Reg r);
+
+enum class Opcode : uint8_t {
+  NOP = 0,
+  HALT,      // terminate process; exit code in R0
+  ABORT,     // terminate process with SIGABRT
+
+  MOV_RI,    // a <- imm64
+  MOV_RR,    // a <- b
+  LOAD,      // a <- mem64[b + disp]
+  STORE,     // mem64[a + disp] <- b
+  STORE_I,   // mem64[a + disp] <- imm64
+  LEA,       // a <- b + disp
+  LEA_DATA,  // a <- current module's data base + disp   (PIC global access)
+  LEA_TLS,   // a <- thread TLS base + disp              (errno-style access)
+
+  PUSH,      // push a
+  POP,       // a <- pop
+
+  ADD_RR, SUB_RR, AND_RR, OR_RR, XOR_RR, MUL_RR,  // a <- a op b
+  ADD_RI, SUB_RI, AND_RI, OR_RI, XOR_RI, MUL_RI,  // a <- a op imm64
+  NEG,       // a <- -a
+  NOT,       // a <- ~a
+
+  CMP_RR,    // flags <- sign(a - b)
+  CMP_RI,    // flags <- sign(a - imm64)
+
+  JMP,       // pc-relative (to next instruction), module-local
+  JE, JNE, JLT, JLE, JGT, JGE,
+  JMP_IND,   // pc <- a (absolute virtual address)
+
+  CALL,      // push return addr; pc-relative target
+  CALL_SYM,  // push return addr; through import table entry u16
+  CALL_IND,  // push return addr; pc <- a
+  RET,
+
+  SYSCALL,   // u16 syscall number; vectors into the kernel image
+  KCALL,     // u16 kernel-native operation (valid only inside the kernel)
+
+  kCount,
+};
+
+const char* OpcodeName(Opcode op);
+
+/// Operand layout classes; drive both encoder and decoder.
+enum class OperandLayout : uint8_t {
+  None,    // -
+  R,       // reg a
+  RR,      // reg a, reg b
+  RI,      // reg a, imm64
+  RRD,     // reg a, reg b, disp32
+  RDR,     // reg a, disp32, reg b        (STORE)
+  RDI,     // reg a, disp32, imm64        (STORE_I)
+  RD,      // reg a, disp32               (LEA_DATA / LEA_TLS)
+  Rel32,   // rel32
+  U16,     // u16
+};
+
+OperandLayout LayoutOf(Opcode op);
+
+/// Byte size of an encoded instruction with the given opcode.
+size_t EncodedSize(Opcode op);
+
+/// A decoded instruction. `offset` and `size` locate it in the code
+/// section, which the CFG builder and the VM both rely on.
+struct Instr {
+  Opcode op = Opcode::NOP;
+  Reg a = Reg::R0;
+  Reg b = Reg::R0;
+  int64_t imm = 0;    // imm64 operand
+  int32_t disp = 0;   // disp32 / rel32 operand
+  uint16_t u16 = 0;   // import index or syscall/kcall number
+  uint32_t offset = 0;
+  uint32_t size = 0;
+
+  bool is_branch() const;        // JMP/Jcc/JMP_IND
+  bool is_cond_branch() const;   // Jcc
+  bool is_terminator() const;    // branch, RET, HALT, ABORT, JMP_IND
+  bool is_call() const;          // CALL/CALL_SYM/CALL_IND
+
+  /// Target offset of a direct branch/call (relative encodings resolved).
+  uint32_t rel_target() const { return offset + size + static_cast<uint32_t>(disp); }
+
+  std::string ToString() const;  // text disassembly of one instruction
+};
+
+// -- Encoding ---------------------------------------------------------------
+
+/// Append the encoding of `ins` to `out`. `ins.offset/size` are ignored.
+void Encode(const Instr& ins, std::vector<uint8_t>* out);
+
+/// Decode one instruction at `offset`. Fails on truncated or unknown bytes.
+Result<Instr> DecodeOne(const std::vector<uint8_t>& code, uint32_t offset);
+
+/// Linear-sweep disassembly of a whole code section.
+/// This is the "objdump" of the synthetic platform.
+Result<std::vector<Instr>> Disassemble(const std::vector<uint8_t>& code,
+                                       uint32_t begin, uint32_t end);
+
+}  // namespace lfi::isa

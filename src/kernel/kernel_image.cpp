@@ -1,0 +1,47 @@
+#include "kernel/kernel_image.hpp"
+
+#include "kernel/syscalls.hpp"
+
+namespace lfi::kernel {
+
+using isa::CodeBuilder;
+using isa::Reg;
+
+sso::SharedObject BuildKernelImage() {
+  CodeBuilder b;
+  for (const auto& spec : SyscallTable()) {
+    // Handlers are "bare": the VM vectors SYSCALL here with a pushed return
+    // address but no frame; arguments arrive in R1..R5.
+    b.begin_function(HandlerName(spec), /*exported=*/true, /*bare=*/true);
+    b.kcall(static_cast<uint16_t>(spec.number));
+    if (spec.errors.empty()) {
+      b.ret();
+      b.end_function();
+      continue;
+    }
+    // R1 == 0 means success (R0 already holds the native result).
+    auto ok = b.new_label();
+    b.cmp_ri(Reg::R1, 0);
+    b.je(ok);
+    for (size_t i = 0; i < spec.errors.size(); ++i) {
+      if (i + 1 < spec.errors.size()) {
+        auto next = b.new_label();
+        b.cmp_ri(Reg::R1, static_cast<int64_t>(i) + 1);
+        b.jne(next);
+        b.mov_ri(Reg::R0, -spec.errors[i]);
+        b.ret();
+        b.bind(next);
+      } else {
+        // Last error is the fall-through, as a compiler would emit it.
+        b.mov_ri(Reg::R0, -spec.errors[i]);
+        b.ret();
+      }
+    }
+    b.bind(ok);
+    b.ret();
+    b.end_function();
+  }
+  return sso::FromCodeUnit(kKernelImageName, b.Finish());
+}
+
+}  // namespace lfi::kernel

@@ -1,0 +1,23 @@
+// The kernel image: a synthetic binary whose syscall handlers contain the
+// -errno constants on their error paths.
+//
+// §3.1: "LFI therefore performs static analysis on the kernel image as
+// well, to identify the error codes that originate in the kernel and may be
+// propagated by the libraries." This module generates that image. Each
+// handler performs the operation with a native KCALL (which reports an
+// error *index* in R1), then branches through compare chains that
+// materialize `-errno` into R0 — so reverse constant propagation over the
+// handler's CFG discovers exactly the spec's error set.
+#pragma once
+
+#include "sso/sso.hpp"
+
+namespace lfi::kernel {
+
+/// Name the kernel image carries ("vmlinuz" of the synthetic platform).
+inline constexpr const char* kKernelImageName = "kernel.img";
+
+/// Build the kernel image from SyscallTable().
+sso::SharedObject BuildKernelImage();
+
+}  // namespace lfi::kernel

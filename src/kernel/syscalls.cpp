@@ -1,0 +1,49 @@
+#include "kernel/syscalls.hpp"
+
+namespace lfi::kernel {
+
+const std::vector<SyscallSpec>& SyscallTable() {
+  static const std::vector<SyscallSpec> table = {
+      {Sys::EXIT, "exit", {}},
+      {Sys::OPEN, "open", {E_NOENT, E_ACCES, E_MFILE, E_INTR}},
+      // The paper's §3.3 example: close can fail with EBADF, EIO or EINTR
+      // on Linux (EIO being the code BSD man pages omit).
+      {Sys::CLOSE, "close", {E_BADF, E_IO, E_INTR}},
+      {Sys::READ, "read", {E_BADF, E_IO, E_INTR, E_AGAIN}},
+      {Sys::WRITE, "write", {E_BADF, E_IO, E_INTR, E_AGAIN, E_NOSPC, E_PIPE}},
+      {Sys::LSEEK, "lseek", {E_BADF, E_INVAL}},
+      {Sys::STAT, "stat", {E_NOENT, E_ACCES}},
+      {Sys::UNLINK, "unlink", {E_NOENT, E_ACCES, E_BUSY}},
+      {Sys::FSYNC, "fsync", {E_BADF, E_IO}},
+      {Sys::ALLOC, "alloc", {E_NOMEM}},
+      {Sys::FREE, "free", {E_INVAL}},
+      {Sys::PIPE, "pipe", {E_MFILE, E_FAULT}},
+      {Sys::SPAWN, "spawn", {E_AGAIN, E_NOMEM, E_NOENT}},
+      {Sys::SOCKET, "socket", {E_MFILE, E_ACCES}},
+      {Sys::CONNECT, "connect", {E_CONNREFUSED, E_INTR, E_BADF}},
+      {Sys::SEND, "send", {E_PIPE, E_CONNRESET, E_AGAIN, E_INTR, E_BADF}},
+      {Sys::RECV, "recv", {E_CONNRESET, E_AGAIN, E_INTR, E_BADF}},
+      {Sys::GETPID, "getpid", {}},
+      {Sys::YIELD, "yield", {}},
+      {Sys::WAIT, "wait", {E_CHILD, E_INTR}},
+  };
+  return table;
+}
+
+const SyscallSpec* FindSyscall(uint16_t number) {
+  for (const auto& spec : SyscallTable()) {
+    if (static_cast<uint16_t>(spec.number) == number) return &spec;
+  }
+  return nullptr;
+}
+
+int ErrorIndex(const SyscallSpec& spec, int32_t err) {
+  for (size_t i = 0; i < spec.errors.size(); ++i) {
+    if (spec.errors[i] == err) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::string HandlerName(const SyscallSpec& spec) { return "sys_" + spec.name; }
+
+}  // namespace lfi::kernel

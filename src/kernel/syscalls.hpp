@@ -1,0 +1,62 @@
+// Syscall numbering and per-syscall error sets.
+//
+// This table is the single source of truth for three artifacts that must
+// agree with each other:
+//   1. the kernel image (ISA handlers whose error paths materialize the
+//      -errno constants — what the LFI profiler's kernel analysis reads),
+//   2. the kernel runtime (native semantics; maps a failure to the index of
+//      its errno within the spec so the handler code selects the constant),
+//   3. the synthetic libc (wrappers that translate -errno returns into the
+//      -1 + errno TLS convention, reproducing the paper's §3.2 listing).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/errno_table.hpp"
+
+namespace lfi::kernel {
+
+enum class Sys : uint16_t {
+  EXIT = 1,
+  OPEN,
+  CLOSE,
+  READ,
+  WRITE,
+  LSEEK,
+  STAT,
+  UNLINK,
+  FSYNC,
+  ALLOC,
+  FREE,
+  PIPE,
+  SPAWN,
+  SOCKET,
+  CONNECT,
+  SEND,
+  RECV,
+  GETPID,
+  YIELD,
+  WAIT,
+};
+
+struct SyscallSpec {
+  Sys number;
+  std::string name;               // e.g. "read"; handler exported as "sys_read"
+  std::vector<int32_t> errors;    // errno values this syscall can produce
+};
+
+/// All syscalls, ordered by number.
+const std::vector<SyscallSpec>& SyscallTable();
+
+/// Lookup by raw number; nullptr if unknown.
+const SyscallSpec* FindSyscall(uint16_t number);
+
+/// Index of `err` within spec.errors, or -1.
+int ErrorIndex(const SyscallSpec& spec, int32_t err);
+
+/// Handler export name for a spec ("sys_" + name).
+std::string HandlerName(const SyscallSpec& spec);
+
+}  // namespace lfi::kernel

@@ -1,0 +1,197 @@
+#include "libc/libc_builder.hpp"
+
+#include "isa/codebuilder.hpp"
+#include "kernel/syscalls.hpp"
+
+namespace lfi::libc {
+
+using isa::CodeBuilder;
+using isa::Reg;
+using kernel::Sys;
+
+namespace {
+
+/// Emit a standard syscall wrapper:
+///   r0 = syscall(args...); if (r0 < 0) { errno = -r0; return fail_value; }
+/// This is the shape of the paper's §3.2 glibc listing (there: edx = -eax;
+/// *errno_addr = edx; eax |= -1). `fail_value` is -1 for scalar functions
+/// and 0 (NULL) for pointer-returning ones.
+void EmitWrapper(CodeBuilder& b, const std::string& name, Sys sys,
+                 int arg_count, int64_t fail_value) {
+  b.begin_function(name);
+  static constexpr Reg kArgRegs[] = {Reg::R1, Reg::R2, Reg::R3, Reg::R4,
+                                     Reg::R5};
+  for (int i = 0; i < arg_count; ++i) b.load_arg(kArgRegs[i], i);
+  b.syscall(static_cast<uint16_t>(sys));
+  auto ok = b.new_label();
+  b.cmp_ri(Reg::R0, 0);
+  b.jge(ok);
+  // errno = -r0  (the kernel returns -errno)
+  b.mov_rr(Reg::R1, Reg::R0);
+  b.neg(Reg::R1);
+  b.lea_tls(Reg::R2, isa::kErrnoTlsOffset);
+  b.store(Reg::R2, 0, Reg::R1);
+  b.mov_ri(Reg::R0, fail_value);
+  b.leave_ret();
+  b.bind(ok);
+  b.leave_ret();
+  b.end_function();
+}
+
+}  // namespace
+
+sso::SharedObject BuildLibc() {
+  CodeBuilder b;
+  b.reserve_tls(8);  // errno lives at module-relative TLS offset 0
+
+  EmitWrapper(b, "open", Sys::OPEN, 2, -1);
+  EmitWrapper(b, "close", Sys::CLOSE, 1, -1);
+  EmitWrapper(b, "read", Sys::READ, 3, -1);
+  EmitWrapper(b, "write", Sys::WRITE, 3, -1);
+  EmitWrapper(b, "lseek", Sys::LSEEK, 3, -1);
+  EmitWrapper(b, "stat", Sys::STAT, 2, -1);
+  EmitWrapper(b, "unlink", Sys::UNLINK, 1, -1);
+  EmitWrapper(b, "fsync", Sys::FSYNC, 1, -1);
+  EmitWrapper(b, "pipe", Sys::PIPE, 1, -1);
+  EmitWrapper(b, "spawn", Sys::SPAWN, 1, -1);
+  EmitWrapper(b, "waitpid", Sys::WAIT, 1, -1);
+  EmitWrapper(b, "socket", Sys::SOCKET, 0, -1);
+  EmitWrapper(b, "connect", Sys::CONNECT, 2, -1);
+  EmitWrapper(b, "send", Sys::SEND, 3, -1);
+  EmitWrapper(b, "recv", Sys::RECV, 3, -1);
+
+  // malloc: pointer-returning; failure is NULL with errno ENOMEM. With the
+  // profiler's optional "0-only return is a null-pointer error" reading,
+  // this is the classic unchecked-malloc fault the paper motivates with.
+  EmitWrapper(b, "malloc", Sys::ALLOC, 1, 0);
+
+  // calloc(n, m): computes n*m and delegates to malloc — a dependent
+  // exported function the profiler must recurse through.
+  b.begin_function("calloc");
+  b.load_arg(Reg::R1, 0);
+  b.load_arg(Reg::R2, 1);
+  b.mul_rr(Reg::R1, Reg::R2);
+  b.push(Reg::R1);
+  b.call_sym("malloc");
+  b.add_ri(Reg::SP, 8);
+  b.leave_ret();
+  b.end_function();
+
+  // realloc(p, n): the bump allocator cannot grow in place; allocate fresh.
+  b.begin_function("realloc");
+  b.load_arg(Reg::R1, 1);
+  b.push(Reg::R1);
+  b.call_sym("malloc");
+  b.add_ri(Reg::SP, 8);
+  b.leave_ret();
+  b.end_function();
+
+  // free(p): void return; no error reporting (glibc-like).
+  b.begin_function("free");
+  b.load_arg(Reg::R1, 0);
+  b.syscall(static_cast<uint16_t>(Sys::FREE));
+  b.mov_ri(Reg::R0, 0);
+  b.leave_ret();
+  b.end_function();
+
+  // readdir(fd, entry_buf): pointer-returning, dependent on exported read().
+  // Returns entry_buf on success, NULL on EOF or error (errno left as read
+  // set it) — the function the paper's example scenario injects on.
+  for (const char* name : {"readdir", "readdir64"}) {
+    b.begin_function(name);
+    b.load_arg(Reg::R1, 0);
+    b.load_arg(Reg::R2, 1);
+    b.mov_ri(Reg::R3, 64);  // fixed-size directory entry
+    b.push(Reg::R3);
+    b.push(Reg::R2);
+    b.push(Reg::R1);
+    b.call_sym("read");
+    b.add_ri(Reg::SP, 24);
+    auto fail = b.new_label();
+    b.cmp_ri(Reg::R0, 0);
+    b.jle(fail);
+    b.load_arg(Reg::R0, 1);  // success: return the entry buffer
+    b.leave_ret();
+    b.bind(fail);
+    b.mov_ri(Reg::R0, 0);    // NULL
+    b.leave_ret();
+    b.end_function();
+  }
+
+  // getpid(): cannot fail.
+  b.begin_function("getpid");
+  b.syscall(static_cast<uint16_t>(Sys::GETPID));
+  b.leave_ret();
+  b.end_function();
+
+  // geterrno(): applications read errno through this accessor.
+  b.begin_function("geterrno");
+  b.lea_tls(Reg::R1, isa::kErrnoTlsOffset);
+  b.load(Reg::R0, Reg::R1, 0);
+  b.leave_ret();
+  b.end_function();
+
+  // exit(code) / abort(): do not return.
+  b.begin_function("exit");
+  b.load_arg(Reg::R1, 0);
+  b.syscall(static_cast<uint16_t>(Sys::EXIT));
+  b.halt();  // unreachable; keeps the function well-terminated
+  b.end_function();
+
+  b.begin_function("abort");
+  b.abort();
+  b.end_function();
+
+  return sso::FromCodeUnit(kLibcName, b.Finish());
+}
+
+const std::map<std::string, Prototype>& LibcPrototypes() {
+  static const std::map<std::string, Prototype> protos = {
+      {"open", {ReturnType::Scalar, 2}},
+      {"close", {ReturnType::Scalar, 1}},
+      {"read", {ReturnType::Scalar, 3}},
+      {"write", {ReturnType::Scalar, 3}},
+      {"lseek", {ReturnType::Scalar, 3}},
+      {"stat", {ReturnType::Scalar, 2}},
+      {"unlink", {ReturnType::Scalar, 1}},
+      {"fsync", {ReturnType::Scalar, 1}},
+      {"pipe", {ReturnType::Scalar, 1}},
+      {"spawn", {ReturnType::Scalar, 1}},
+      {"waitpid", {ReturnType::Scalar, 1}},
+      {"socket", {ReturnType::Scalar, 0}},
+      {"connect", {ReturnType::Scalar, 2}},
+      {"send", {ReturnType::Scalar, 3}},
+      {"recv", {ReturnType::Scalar, 3}},
+      {"malloc", {ReturnType::Pointer, 1}},
+      {"calloc", {ReturnType::Pointer, 2}},
+      {"realloc", {ReturnType::Pointer, 2}},
+      {"free", {ReturnType::Void, 1}},
+      {"readdir", {ReturnType::Pointer, 2}},
+      {"readdir64", {ReturnType::Pointer, 2}},
+      {"getpid", {ReturnType::Scalar, 0}},
+      {"geterrno", {ReturnType::Scalar, 0}},
+      {"exit", {ReturnType::Void, 1}},
+      {"abort", {ReturnType::Void, 0}},
+  };
+  return protos;
+}
+
+const std::vector<std::string>& FileIoFunctions() {
+  static const std::vector<std::string> fns = {
+      "open", "close",  "read",    "write",     "lseek",
+      "stat", "unlink", "fsync",   "readdir",   "readdir64"};
+  return fns;
+}
+
+const std::vector<std::string>& MemoryFunctions() {
+  static const std::vector<std::string> fns = {"malloc", "calloc", "realloc"};
+  return fns;
+}
+
+const std::vector<std::string>& SocketFunctions() {
+  static const std::vector<std::string> fns = {"socket", "connect", "send",
+                                               "recv"};
+  return fns;
+}
+
+}  // namespace lfi::libc

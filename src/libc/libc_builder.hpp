@@ -1,0 +1,54 @@
+// The synthetic GNU libc.
+//
+// Generates "libc.so": wrappers around kernel syscalls that follow the
+// glibc error convention the paper's §3.2 listing shows — on a negative
+// syscall return, store the negated value into the errno TLS variable and
+// return -1 (or NULL for pointer-returning functions). The LFI profiler
+// must recover, with no help, exactly what the paper recovers for glibc:
+// e.g. close() -> retval -1 with TLS side-effect values {-EBADF, -EIO,
+// -EINTR} propagated from the kernel image.
+//
+// Also provides prototype metadata (the header-file knowledge a tester has
+// but the profiler must not need) used by Table 1 accounting and by the
+// ready-made faultload groups.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sso/sso.hpp"
+
+namespace lfi::libc {
+
+inline constexpr const char* kLibcName = "libc.so";
+
+/// open() flag values exposed to applications.
+inline constexpr int64_t O_RDONLY = 0;
+inline constexpr int64_t O_WRONLY = 1;
+inline constexpr int64_t O_RDWR = 2;
+inline constexpr int64_t O_CREAT = 0x40;
+inline constexpr int64_t O_TRUNC = 0x200;
+inline constexpr int64_t O_APPEND = 0x400;
+
+enum class ReturnType { Void, Scalar, Pointer };
+
+struct Prototype {
+  ReturnType return_type = ReturnType::Scalar;
+  int arg_count = 0;
+};
+
+/// Build the synthetic libc shared object.
+sso::SharedObject BuildLibc();
+
+/// Header-file knowledge: function name -> prototype.
+const std::map<std::string, Prototype>& LibcPrototypes();
+
+/// Function groups for the ready-made faultloads (§4: "all faults related
+/// to file I/O, all memory allocation faults, or all socket I/O faults").
+const std::vector<std::string>& FileIoFunctions();
+const std::vector<std::string>& MemoryFunctions();
+const std::vector<std::string>& SocketFunctions();
+
+}  // namespace lfi::libc

@@ -1,0 +1,66 @@
+// SSO — the Synthetic Shared Object format.
+//
+// The ELF/PE analogue of the reproduction: a container for one shared
+// library's code and data, its dynamic symbol table (exported functions —
+// what the LFI profiler enumerates), an import table (the PLT names a
+// CALL_SYM goes through), an optional local symbol table (removed by
+// Strip(), since LFI must work on stripped binaries), the list of needed
+// libraries (what `ldd` reports), and the module's TLS reservation.
+//
+// Binary layout (little-endian):
+//   magic "SSO1" | u32 version | str name | u32 tls_size
+//   | bytes code | bytes data | symtab exports | symtab locals
+//   | strtab imports | strtab needed
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "isa/codebuilder.hpp"
+#include "util/result.hpp"
+
+namespace lfi::sso {
+
+struct SharedObject {
+  std::string name;                  // e.g. "libc.so"
+  std::vector<uint8_t> code;
+  std::vector<uint8_t> data;
+  uint32_t tls_size = 0;
+  std::vector<isa::Symbol> exports;  // dynamic symbols: always present
+  std::vector<isa::Symbol> locals;   // debug symbols: removed by Strip()
+  std::vector<std::string> imports;  // CALL_SYM index -> name
+  std::vector<std::string> needed;   // dependency library names
+
+  /// Relative relocations: at load time, data[first..first+8) receives the
+  /// absolute virtual address of code offset `second` (function-pointer
+  /// tables for indirect calls — the construct the profiler cannot follow).
+  std::vector<std::pair<uint32_t, uint32_t>> data_relocs;
+
+  /// Exported symbol lookup by name.
+  const isa::Symbol* find_export(std::string_view fn) const;
+
+  /// Nearest symbol (export or local) at or before `offset`; used for
+  /// symbolizing stack traces and disassembly listings.
+  const isa::Symbol* symbol_at(uint32_t offset) const;
+
+  /// Remove local (debug) symbols, as `strip` would.
+  void Strip() { locals.clear(); }
+
+  /// Serialize to the on-disk format.
+  std::vector<uint8_t> Serialize() const;
+
+  /// Parse the on-disk format; validates magic/version and string bounds.
+  static Result<SharedObject> Parse(const std::vector<uint8_t>& bytes);
+
+  /// Full text disassembly (function-annotated), for debugging and the
+  /// paper's Figure-2-style listings.
+  std::string Disassembly() const;
+};
+
+/// Convenience: wrap a finished CodeUnit into a SharedObject.
+SharedObject FromCodeUnit(std::string name, isa::CodeUnit unit,
+                          std::vector<std::string> needed = {});
+
+}  // namespace lfi::sso

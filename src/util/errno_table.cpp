@@ -1,0 +1,72 @@
+#include "util/errno_table.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "util/strings.hpp"
+
+namespace lfi {
+namespace {
+
+struct Entry {
+  int32_t value;
+  const char* name;
+};
+
+constexpr std::array<Entry, 24> kTable{{
+    {E_PERM, "EPERM"},
+    {E_NOENT, "ENOENT"},
+    {E_INTR, "EINTR"},
+    {E_IO, "EIO"},
+    {E_BADF, "EBADF"},
+    {E_CHILD, "ECHILD"},
+    {E_AGAIN, "EAGAIN"},
+    {E_NOMEM, "ENOMEM"},
+    {E_ACCES, "EACCES"},
+    {E_FAULT, "EFAULT"},
+    {E_BUSY, "EBUSY"},
+    {E_EXIST, "EEXIST"},
+    {E_NODEV, "ENODEV"},
+    {E_NOTDIR, "ENOTDIR"},
+    {E_ISDIR, "EISDIR"},
+    {E_INVAL, "EINVAL"},
+    {E_MFILE, "EMFILE"},
+    {E_NOSPC, "ENOSPC"},
+    {E_PIPE, "EPIPE"},
+    {E_NOSYS, "ENOSYS"},
+    {E_NOLINK, "ENOLINK"},
+    {E_CONNRESET, "ECONNRESET"},
+    {E_CONNREFUSED, "ECONNREFUSED"},
+    {EOK, "EOK"},
+}};
+
+}  // namespace
+
+std::string ErrnoName(int32_t value) {
+  for (const Entry& e : kTable) {
+    if (e.value == value) return e.name;
+  }
+  return Format("E%d", value);
+}
+
+std::optional<int32_t> ErrnoFromName(std::string_view name) {
+  if (name == "EWOULDBLOCK") return E_AGAIN;
+  for (const Entry& e : kTable) {
+    if (name == e.name) return e.value;
+  }
+  return std::nullopt;
+}
+
+const std::vector<int32_t>& AllErrnos() {
+  static const std::vector<int32_t> all = [] {
+    std::vector<int32_t> v;
+    for (const Entry& e : kTable) {
+      if (e.value != EOK) v.push_back(e.value);
+    }
+    std::sort(v.begin(), v.end());
+    return v;
+  }();
+  return all;
+}
+
+}  // namespace lfi

@@ -1,0 +1,50 @@
+// The errno namespace shared by the synthetic kernel, libc, fault profiles
+// and scenario language. Values mirror Linux/x86 so that profiles read like
+// the paper's examples (EBADF=9, EIO=5, EINTR=4, ...).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lfi {
+
+enum Errno : int32_t {
+  EOK = 0,
+  E_PERM = 1,
+  E_NOENT = 2,
+  E_INTR = 4,
+  E_IO = 5,
+  E_BADF = 9,
+  E_CHILD = 10,
+  E_AGAIN = 11,  // == EWOULDBLOCK
+  E_NOMEM = 12,
+  E_ACCES = 13,
+  E_FAULT = 14,
+  E_BUSY = 16,
+  E_EXIST = 17,
+  E_NODEV = 19,
+  E_NOTDIR = 20,
+  E_ISDIR = 21,
+  E_INVAL = 22,
+  E_MFILE = 24,
+  E_NOSPC = 28,
+  E_PIPE = 32,
+  E_NOSYS = 38,
+  E_NOLINK = 67,
+  E_CONNRESET = 104,
+  E_CONNREFUSED = 111,
+};
+
+/// Symbolic name ("EBADF") for an errno value; "E<value>" if unknown.
+std::string ErrnoName(int32_t value);
+
+/// Reverse lookup: "EBADF" -> 9. Accepts "EWOULDBLOCK" as an alias of EAGAIN.
+std::optional<int32_t> ErrnoFromName(std::string_view name);
+
+/// All errno values the synthetic kernel can produce, in ascending order.
+const std::vector<int32_t>& AllErrnos();
+
+}  // namespace lfi

@@ -1,0 +1,72 @@
+// Result<T>: a minimal expected-like type used at module boundaries.
+//
+// The library does not throw exceptions across public API boundaries
+// (profiles and binaries may come from untrusted inputs); fallible
+// operations return Result<T> carrying either a value or an error string.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace lfi {
+
+/// Error payload: a human-readable message describing why an operation failed.
+struct Error {
+  std::string message;
+};
+
+/// Result<T> holds either a T or an Error. Query with ok(), then access
+/// value() / error(). Accessing the wrong alternative asserts.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Error err) : data_(std::move(err)) {}  // NOLINT: implicit by design
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T&& take() && {
+    assert(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  const std::string& error() const {
+    assert(!ok());
+    return std::get<Error>(data_).message;
+  }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+/// Convenience constructor for error results.
+inline Error Err(std::string message) { return Error{std::move(message)}; }
+
+/// Result<void> analogue: success flag plus optional error message.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(Error err) : error_(std::move(err.message)) {}  // NOLINT: implicit
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return error_.empty(); }
+  explicit operator bool() const { return ok(); }
+  const std::string& error() const { return error_; }
+
+ private:
+  std::string error_;
+};
+
+}  // namespace lfi

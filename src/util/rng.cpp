@@ -1,0 +1,34 @@
+#include "util/rng.hpp"
+
+namespace lfi {
+
+Rng::Rng(uint64_t seed) : state_(seed ? seed : 0x9e3779b97f4a7c15ull) {}
+
+uint64_t Rng::next() {
+  // xorshift64* (Vigna). Good-enough statistical quality, trivially portable.
+  state_ ^= state_ >> 12;
+  state_ ^= state_ << 25;
+  state_ ^= state_ >> 27;
+  return state_ * 0x2545f4914f6cdd1dull;
+}
+
+uint64_t Rng::below(uint64_t bound) {
+  // Modulo bias is negligible for the bounds used here (< 2^32).
+  return bound == 0 ? 0 : next() % bound;
+}
+
+int64_t Rng::range(int64_t lo, int64_t hi) {
+  return lo + static_cast<int64_t>(below(static_cast<uint64_t>(hi - lo + 1)));
+}
+
+double Rng::uniform() {
+  return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool Rng::chance(double p) {
+  if (p <= 0) return false;
+  if (p >= 1) return true;
+  return uniform() < p;
+}
+
+}  // namespace lfi

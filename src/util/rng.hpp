@@ -1,0 +1,33 @@
+// Deterministic seeded PRNG (xorshift64*). All randomness in the library —
+// random fault scenarios, corpus generation, workload jitter — flows through
+// this type so experiments are exactly reproducible from a seed.
+#pragma once
+
+#include <cstdint>
+
+namespace lfi {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Uniform 64-bit value.
+  uint64_t next();
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t below(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t range(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Bernoulli trial with probability p (clamped to [0,1]).
+  bool chance(double p);
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace lfi

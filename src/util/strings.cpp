@@ -1,0 +1,80 @@
+#include "util/strings.hpp"
+
+#include <cerrno>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace lfi {
+
+std::string Format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list copy;
+  va_copy(copy, args);
+  int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+  }
+  va_end(args);
+  return out;
+}
+
+std::vector<std::string> Split(std::string_view text, char delim) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (true) {
+    size_t pos = text.find(delim, start);
+    if (pos == std::string_view::npos) {
+      parts.emplace_back(text.substr(start));
+      break;
+    }
+    parts.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return parts;
+}
+
+std::string_view Trim(std::string_view text) {
+  while (!text.empty() && (text.front() == ' ' || text.front() == '\t' ||
+                           text.front() == '\n' || text.front() == '\r')) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && (text.back() == ' ' || text.back() == '\t' ||
+                           text.back() == '\n' || text.back() == '\r')) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+bool ParseInt(std::string_view text, int64_t* out) {
+  text = Trim(text);
+  if (text.empty()) return false;
+  std::string buf(text);
+  char* end = nullptr;
+  bool negative = false;
+  const char* start = buf.c_str();
+  if (*start == '-') {
+    negative = true;
+    ++start;
+  }
+  int base = 10;
+  if (start[0] == '0' && (start[1] == 'x' || start[1] == 'X')) base = 16;
+  errno = 0;
+  unsigned long long raw = std::strtoull(start, &end, base);
+  if (errno != 0 || end == start || *end != '\0') return false;
+  int64_t value = static_cast<int64_t>(raw);
+  *out = negative ? -value : value;
+  return true;
+}
+
+std::string Hex(uint64_t value) { return Format("0x%llx", (unsigned long long)value); }
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+}  // namespace lfi

@@ -1,0 +1,29 @@
+// Small string helpers shared by the XML layer, disassembler and loggers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lfi {
+
+/// printf-style formatting into a std::string.
+std::string Format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Split on a delimiter; empty fields are preserved.
+std::vector<std::string> Split(std::string_view text, char delim);
+
+/// Trim ASCII whitespace from both ends.
+std::string_view Trim(std::string_view text);
+
+/// Parse a signed 64-bit integer (decimal, or hex with 0x prefix).
+/// Returns false on malformed input.
+bool ParseInt(std::string_view text, int64_t* out);
+
+/// Lower-case hexadecimal rendering with 0x prefix.
+std::string Hex(uint64_t value);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+}  // namespace lfi

@@ -1,0 +1,3 @@
+#include "vm/coverage.hpp"
+
+// Header-only for now; this TU anchors the library target.

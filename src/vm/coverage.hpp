@@ -1,0 +1,38 @@
+// Basic-block coverage support (paper §6.1, "Improving Coverage").
+//
+// The tracker records executed instruction offsets per module; block-level
+// coverage is derived later by intersecting with a CFG's block starts, the
+// way gcov-style tooling attributes execution to blocks.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+namespace lfi::vm {
+
+class CoverageTracker {
+ public:
+  void Record(size_t module_index, uint32_t offset) {
+    executed_[module_index].insert(offset);
+  }
+
+  const std::set<uint32_t>& executed(size_t module_index) const {
+    static const std::set<uint32_t> empty;
+    auto it = executed_.find(module_index);
+    return it == executed_.end() ? empty : it->second;
+  }
+
+  bool was_executed(size_t module_index, uint32_t offset) const {
+    auto it = executed_.find(module_index);
+    return it != executed_.end() && it->second.count(offset) > 0;
+  }
+
+  void Clear() { executed_.clear(); }
+
+ private:
+  std::map<size_t, std::set<uint32_t>> executed_;
+};
+
+}  // namespace lfi::vm

@@ -1,0 +1,135 @@
+#include "vm/loader.hpp"
+
+#include <cassert>
+
+#include "util/strings.hpp"
+
+namespace lfi::vm {
+
+size_t Loader::Load(sso::SharedObject object) {
+  auto mod = std::make_unique<LoadedModule>();
+  mod->index = modules_.size();
+  mod->code_base = ModuleCodeBase(mod->index);
+  mod->data_base = ModuleDataBase(mod->index);
+  mod->object = std::move(object);
+  mod->data_runtime = mod->object.data;
+  mod->tls_base = tls_cursor_;
+  tls_cursor_ += mod->object.tls_size;
+  assert(tls_cursor_ <= kTlsSize && "TLS segment exhausted");
+  assert(mod->object.code.size() < kModuleDataDelta && "code section too big");
+  // Apply relative relocations: function-pointer slots in the data section.
+  for (const auto& [data_off, code_off] : mod->object.data_relocs) {
+    uint64_t addr = mod->code_base + code_off;
+    assert(data_off + 8 <= mod->data_runtime.size());
+    for (int i = 0; i < 8; ++i) {
+      mod->data_runtime[data_off + static_cast<uint32_t>(i)] =
+          static_cast<uint8_t>(addr >> (8 * i));
+    }
+  }
+  mod->plt.assign(mod->object.imports.size(), std::nullopt);
+  mod->plt_generation = 0;
+  modules_.push_back(std::move(mod));
+  ++generation_;
+  return modules_.size() - 1;
+}
+
+uint64_t Loader::RegisterNative(const std::string& name, NativeFn fn) {
+  ++generation_;
+  auto it = native_index_.find(name);
+  if (it != native_index_.end()) {
+    natives_[it->second].fn = std::move(fn);
+    return kNativeStubBase + it->second * kNativeStubSpacing;
+  }
+  size_t id = natives_.size();
+  natives_.push_back({name, std::move(fn)});
+  native_index_.emplace(name, id);
+  return kNativeStubBase + id * kNativeStubSpacing;
+}
+
+void Loader::ClearNatives() {
+  natives_.clear();
+  native_index_.clear();
+  ++generation_;
+}
+
+void Loader::SetInterpositionEnabled(bool enabled) {
+  if (interpose_enabled_ != enabled) {
+    interpose_enabled_ = enabled;
+    ++generation_;
+  }
+}
+
+Target Loader::Resolve(size_t module_index, uint16_t import_index) const {
+  const LoadedModule& mod = *modules_[module_index];
+  if (mod.plt_generation != generation_) {
+    mod.plt.assign(mod.object.imports.size(), std::nullopt);
+    mod.plt_generation = generation_;
+  }
+  if (import_index >= mod.plt.size()) return Target{};
+  auto& slot = mod.plt[import_index];
+  if (!slot) slot = ResolveName(mod.object.imports[import_index]);
+  return *slot;
+}
+
+Target Loader::ResolveName(const std::string& name) const {
+  if (interpose_enabled_) {
+    auto it = native_index_.find(name);
+    if (it != native_index_.end()) {
+      return Target{Target::Kind::Native,
+                    kNativeStubBase + it->second * kNativeStubSpacing,
+                    it->second};
+    }
+  }
+  return ResolveNextName(name);
+}
+
+Target Loader::ResolveNextName(const std::string& name) const {
+  for (const auto& mod : modules_) {
+    if (const isa::Symbol* sym = mod->object.find_export(name)) {
+      return Target{Target::Kind::Code, mod->code_base + sym->offset, 0};
+    }
+  }
+  return Target{};
+}
+
+const LoadedModule* Loader::module_named(std::string_view name) const {
+  for (const auto& mod : modules_) {
+    if (mod->object.name == name) return mod.get();
+  }
+  return nullptr;
+}
+
+const LoadedModule* Loader::module_at(uint64_t addr) const {
+  for (const auto& mod : modules_) {
+    if (addr >= mod->code_base && addr < mod->code_base + mod->object.code.size()) {
+      return mod.get();
+    }
+  }
+  return nullptr;
+}
+
+std::string Loader::Symbolize(uint64_t addr) const {
+  if (IsNativeStubAddress(addr)) {
+    size_t id = NativeStubIndex(addr);
+    if (id < natives_.size()) return "stub`" + natives_[id].name;
+    return "stub`?";
+  }
+  const LoadedModule* mod = module_at(addr);
+  if (!mod) return Hex(addr);
+  uint32_t off = static_cast<uint32_t>(addr - mod->code_base);
+  const isa::Symbol* sym = mod->object.symbol_at(off);
+  if (!sym) return mod->object.name + "`" + Hex(off);
+  if (sym->offset == off) return sym->name;
+  return Format("%s+0x%x", sym->name.c_str(), off - sym->offset);
+}
+
+const NativeFn* Loader::native(size_t id) const {
+  return id < natives_.size() ? &natives_[id].fn : nullptr;
+}
+
+const std::string& Loader::native_name(size_t id) const {
+  static const std::string empty;
+  return id < natives_.size() ? natives_[id].name : empty;
+}
+
+}  // namespace lfi::vm

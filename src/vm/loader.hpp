@@ -1,0 +1,136 @@
+// The dynamic loader: module mapping, symbol resolution, interposition.
+//
+// This is the LD_PRELOAD analogue (paper §5.1). Native interposition stubs
+// registered by the LFI controller are searched *before* loaded modules, so
+// a stub shadows the library function of the same name — including calls
+// made from inside other libraries, since every CALL_SYM resolves through
+// here (the PLT behaviour the paper relies on). ResolveNext() is the
+// dlsym(RTLD_NEXT, ...) analogue a stub uses to reach the original.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sso/sso.hpp"
+#include "vm/memory.hpp"
+
+namespace lfi::vm {
+
+class Process;
+
+/// What a stub tells the VM to do after it ran.
+struct NativeAction {
+  enum class Kind { Return, TailCall };
+  Kind kind = Kind::Return;
+  int64_t value = 0;    // Return: placed in R0
+  uint64_t target = 0;  // TailCall: jump target (original function)
+
+  static NativeAction Ret(int64_t v) { return {Kind::Return, v, 0}; }
+  static NativeAction Tail(uint64_t addr) { return {Kind::TailCall, 0, addr}; }
+};
+
+/// Call-side view handed to a native stub: argument access, memory access,
+/// the symbolized backtrace, and the identity of the intercepted function.
+class NativeFrame {
+ public:
+  NativeFrame(Process& proc, const std::string& symbol)
+      : proc_(proc), symbol_(symbol) {}
+
+  Process& process() { return proc_; }
+  const std::string& symbol() const { return symbol_; }
+
+  /// Argument i of the intercepted call (stack layout: no frame built yet).
+  int64_t arg(int i) const;
+  /// Overwrite argument i in place (argument-modification faults, §4).
+  bool set_arg(int i, int64_t v);
+
+  /// Innermost-first backtrace: (return address, enclosing symbol) pairs.
+  std::vector<std::pair<uint64_t, std::string>> backtrace() const;
+
+ private:
+  Process& proc_;
+  const std::string& symbol_;
+};
+
+using NativeFn = std::function<NativeAction(NativeFrame&)>;
+
+/// Resolution target of a symbol: either module code or a native stub.
+struct Target {
+  enum class Kind { Code, Native, Unresolved };
+  Kind kind = Target::Kind::Unresolved;
+  uint64_t addr = 0;   // Code: virtual address; Native: stub address
+  size_t native_id = 0;
+};
+
+struct LoadedModule {
+  sso::SharedObject object;
+  size_t index = 0;
+  uint64_t code_base = 0;
+  uint64_t data_base = 0;
+  std::vector<uint8_t> data_runtime;  // relocated copy of the data section
+  uint32_t tls_base = 0;              // module's slice of the TLS segment
+  // Lazily-bound PLT cache, invalidated when interposition changes.
+  mutable std::vector<std::optional<Target>> plt;
+  mutable uint64_t plt_generation = 0;
+};
+
+class Loader {
+ public:
+  /// Map a shared object; modules are searched in load order.
+  /// Returns the module index.
+  size_t Load(sso::SharedObject object);
+
+  /// Register an interposition stub for `name`. Returns its stub address
+  /// (usable as a function pointer). Re-registering replaces the stub.
+  uint64_t RegisterNative(const std::string& name, NativeFn fn);
+  /// Remove all interposition stubs (keeps modules loaded).
+  void ClearNatives();
+  /// Toggle interposition without unregistering (baseline measurements).
+  void SetInterpositionEnabled(bool enabled);
+  bool interposition_enabled() const { return interpose_enabled_; }
+
+  // -- resolution -----------------------------------------------------------
+  /// Resolve import `import_index` of `module_index` (PLT-cached).
+  Target Resolve(size_t module_index, uint16_t import_index) const;
+  /// Resolve a name: natives first (if enabled), then modules in load order.
+  Target ResolveName(const std::string& name) const;
+  /// Resolve skipping natives — dlsym(RTLD_NEXT): the original function.
+  Target ResolveNextName(const std::string& name) const;
+
+  // -- introspection --------------------------------------------------------
+  const std::vector<std::unique_ptr<LoadedModule>>& modules() const {
+    return modules_;
+  }
+  const LoadedModule* module_named(std::string_view name) const;
+  /// Module containing a code address, or nullptr.
+  const LoadedModule* module_at(uint64_t addr) const;
+  /// Symbolize a code address ("libc.so`read+0x12" style name, or hex).
+  std::string Symbolize(uint64_t addr) const;
+
+  const NativeFn* native(size_t id) const;
+  const std::string& native_name(size_t id) const;
+
+  /// Total TLS bytes assigned to modules so far.
+  uint32_t tls_used() const { return tls_cursor_; }
+
+  uint64_t generation() const { return generation_; }
+
+ private:
+  std::vector<std::unique_ptr<LoadedModule>> modules_;
+  struct Native {
+    std::string name;
+    NativeFn fn;
+  };
+  std::vector<Native> natives_;
+  std::map<std::string, size_t> native_index_;
+  bool interpose_enabled_ = true;
+  uint64_t generation_ = 1;  // bumped whenever resolution could change
+  uint32_t tls_cursor_ = 0;  // next module TLS slice (module-relative)
+};
+
+}  // namespace lfi::vm

@@ -1,0 +1,119 @@
+#include "vm/machine.hpp"
+
+#include "kernel/kernel_image.hpp"
+
+namespace lfi::vm {
+
+Machine::Machine() {
+  size_t kidx = loader_.Load(kernel::BuildKernelImage());
+  const LoadedModule& kmod = *loader_.modules()[kidx];
+  for (const auto& spec : kernel::SyscallTable()) {
+    const isa::Symbol* sym = kmod.object.find_export(kernel::HandlerName(spec));
+    if (sym) {
+      syscall_targets_[static_cast<uint16_t>(spec.number)] =
+          kmod.code_base + sym->offset;
+    }
+  }
+  kernel_.set_spawn_hook([this](const std::string& symbol) -> Result<int> {
+    auto pid = CreateProcess(symbol, default_heap_cap_);
+    return pid;
+  });
+}
+
+Result<int> Machine::CreateProcess(const std::string& entry,
+                                   uint64_t heap_cap_bytes) {
+  Target target = loader_.ResolveName(entry);
+  if (target.kind != Target::Kind::Code) {
+    return Err("machine: cannot resolve entry symbol: " + entry);
+  }
+  int pid = static_cast<int>(procs_.size()) + 1;
+  auto proc = std::make_unique<Process>(pid, loader_, kernel_,
+                                        syscall_targets_, heap_cap_bytes);
+  proc->Start(target.addr);
+  if (coverage_) proc->set_coverage(coverage_.get());
+  procs_.push_back(std::move(proc));
+  exit_reported_.push_back(false);
+  return pid;
+}
+
+Process* Machine::process(int pid) {
+  size_t idx = static_cast<size_t>(pid) - 1;
+  return idx < procs_.size() ? procs_[idx].get() : nullptr;
+}
+
+RunOutcome Machine::Run(uint64_t max_instructions) {
+  while (total_instructions_ < max_instructions) {
+    bool any_live = false;
+    uint64_t progressed = 0;
+    bool real_progress = false;  // beyond re-trying a blocked syscall
+    // Snapshot count: processes spawned during this round run next round.
+    size_t count = procs_.size();
+    for (size_t i = 0; i < count; ++i) {
+      Process& p = *procs_[i];
+      p.WakeIfBlocked();
+      if (p.state() == ProcState::Runnable) {
+        any_live = true;
+        uint64_t executed = p.Run(kQuantum);
+        progressed += executed;
+        // A process that immediately re-blocks after one retried
+        // instruction made no real progress; anything else did.
+        if (p.state() != ProcState::Blocked || executed > 1) {
+          real_progress = true;
+        }
+      }
+      // Report terminations to the kernel exactly once (releases fds so
+      // pipe peers observe EOF, and records exit codes for wait()).
+      if ((p.state() == ProcState::Exited || p.state() == ProcState::Faulted) &&
+          !exit_reported_[i]) {
+        int64_t code = p.state() == ProcState::Exited
+                           ? p.exit_code()
+                           : 128 + static_cast<int64_t>(p.signal());
+        kernel_.on_process_exit(p.pid(), code);
+        exit_reported_[i] = true;
+      }
+    }
+    total_instructions_ += progressed;
+    if (procs_.size() != count) continue;  // new spawns: another round
+    if (!any_live) {
+      // No runnable process: either all done, or all blocked (deadlock).
+      for (const auto& p : procs_) {
+        if (p->state() == ProcState::Blocked) return RunOutcome::Deadlock;
+      }
+      return RunOutcome::AllExited;
+    }
+    if (!real_progress) {
+      // Every live process is parked on a blocking syscall that cannot be
+      // satisfied by anyone: deadlock.
+      bool any_blocked = false, any_runnable = false;
+      for (const auto& p : procs_) {
+        any_blocked |= p->state() == ProcState::Blocked;
+        any_runnable |= p->state() == ProcState::Runnable;
+      }
+      if (any_blocked && !any_runnable) return RunOutcome::Deadlock;
+      if (!any_blocked && !any_runnable) return RunOutcome::AllExited;
+    }
+  }
+  return RunOutcome::BudgetSpent;
+}
+
+Machine::ExitInfo Machine::RunToCompletion(int pid, uint64_t max_instructions) {
+  Run(max_instructions);
+  ExitInfo info;
+  if (Process* p = process(pid)) {
+    info.state = p->state();
+    info.exit_code = p->exit_code();
+    info.signal = p->signal();
+    info.fault_message = p->fault_message();
+  }
+  return info;
+}
+
+CoverageTracker* Machine::EnableCoverage() {
+  if (!coverage_) {
+    coverage_ = std::make_unique<CoverageTracker>();
+    for (auto& p : procs_) p->set_coverage(coverage_.get());
+  }
+  return coverage_.get();
+}
+
+}  // namespace lfi::vm

@@ -1,0 +1,79 @@
+// Machine: the whole synthetic computer — loader + kernel + processes +
+// a round-robin scheduler. One Machine per experiment run.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kernel/kernel_runtime.hpp"
+#include "sso/sso.hpp"
+#include "vm/coverage.hpp"
+#include "vm/loader.hpp"
+#include "vm/process.hpp"
+
+namespace lfi::vm {
+
+/// Outcome of Machine::Run.
+enum class RunOutcome {
+  AllExited,    // every process exited or faulted
+  Deadlock,     // all live processes blocked with no progress possible
+  BudgetSpent,  // instruction budget exhausted
+};
+
+class Machine {
+ public:
+  /// Loads the kernel image and wires the spawn hook.
+  Machine();
+
+  Loader& loader() { return loader_; }
+  kernel::KernelRuntime& kernel() { return kernel_; }
+
+  /// Load a shared object (order defines symbol search order).
+  size_t Load(sso::SharedObject object) { return loader_.Load(std::move(object)); }
+
+  /// Create a process whose entry is the exported symbol `entry`.
+  /// Returns the pid, or an error if the symbol does not resolve.
+  Result<int> CreateProcess(const std::string& entry,
+                            uint64_t heap_cap_bytes = 1 << 20);
+
+  Process* process(int pid);
+  const std::vector<std::unique_ptr<Process>>& processes() const {
+    return procs_;
+  }
+
+  /// Round-robin scheduling until every process terminates, deadlock, or
+  /// `max_instructions` total were executed.
+  RunOutcome Run(uint64_t max_instructions = 100'000'000);
+
+  /// Convenience: run a single-process machine and report its exit.
+  struct ExitInfo {
+    ProcState state = ProcState::Exited;
+    int64_t exit_code = 0;
+    Signal signal = Signal::None;
+    std::string fault_message;
+  };
+  ExitInfo RunToCompletion(int pid, uint64_t max_instructions = 100'000'000);
+
+  uint64_t total_instructions() const { return total_instructions_; }
+
+  /// Enable basic-block coverage collection on all (current and future)
+  /// processes; returns the tracker.
+  CoverageTracker* EnableCoverage();
+  CoverageTracker* coverage() { return coverage_.get(); }
+
+ private:
+  Loader loader_;
+  kernel::KernelRuntime kernel_;
+  std::map<uint16_t, uint64_t> syscall_targets_;
+  std::vector<std::unique_ptr<Process>> procs_;
+  std::vector<bool> exit_reported_;
+  uint64_t total_instructions_ = 0;
+  std::unique_ptr<CoverageTracker> coverage_;
+  uint64_t default_heap_cap_ = 1 << 20;
+
+  static constexpr uint64_t kQuantum = 2000;
+};
+
+}  // namespace lfi::vm

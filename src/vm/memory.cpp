@@ -1,0 +1,48 @@
+#include "vm/memory.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace lfi::vm {
+
+void AddressSpace::map(Region region) {
+  auto it = std::lower_bound(
+      regions_.begin(), regions_.end(), region.base,
+      [](const Region& r, uint64_t base) { return r.base < base; });
+  regions_.insert(it, std::move(region));
+}
+
+const Region* AddressSpace::find(uint64_t addr, uint64_t len) const {
+  // First region with base > addr, then step back one.
+  auto it = std::upper_bound(
+      regions_.begin(), regions_.end(), addr,
+      [](uint64_t a, const Region& r) { return a < r.base; });
+  if (it == regions_.begin()) return nullptr;
+  --it;
+  if (addr < it->base || addr + len > it->base + it->size) return nullptr;
+  return &*it;
+}
+
+bool AddressSpace::read(uint64_t addr, void* out, uint64_t len) const {
+  const Region* r = find(addr, len);
+  if (!r) return false;
+  std::memcpy(out, r->backing + (addr - r->base), len);
+  return true;
+}
+
+bool AddressSpace::write(uint64_t addr, const void* src, uint64_t len) {
+  const Region* r = find(addr, len);
+  if (!r || !r->writable) return false;
+  std::memcpy(const_cast<uint8_t*>(r->backing) + (addr - r->base), src, len);
+  return true;
+}
+
+bool AddressSpace::read_u64(uint64_t addr, uint64_t* out) const {
+  return read(addr, out, 8);
+}
+
+bool AddressSpace::write_u64(uint64_t addr, uint64_t value) {
+  return write(addr, &value, 8);
+}
+
+}  // namespace lfi::vm

@@ -1,0 +1,74 @@
+// Virtual address space: a small set of mapped regions with bounds checks.
+//
+// Layout of the synthetic platform (all processes share module mappings,
+// each process owns its stack/heap/TLS):
+//   0x0100'0000 + i*0x0010'0000   code of module i (read-only)
+//   code_base   + 0x0008'0000     data of module i (read-write, shared)
+//   0x4000'0000                   process stack (grows down)
+//   0x5000'0000                   process heap (bump allocated)
+//   0x6000'0000                   process TLS (errno and friends)
+//   0xE000'0000 + 16*id           native interposition stubs (no backing)
+//
+// An out-of-range access is the synthetic SIGSEGV.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lfi::vm {
+
+inline constexpr uint64_t kModuleBase = 0x0100'0000;
+inline constexpr uint64_t kModuleSpacing = 0x0010'0000;
+inline constexpr uint64_t kModuleDataDelta = 0x0008'0000;
+inline constexpr uint64_t kStackBase = 0x4000'0000;
+inline constexpr uint64_t kStackSize = 1 << 20;
+inline constexpr uint64_t kHeapBase = 0x5000'0000;
+inline constexpr uint64_t kTlsBase = 0x6000'0000;
+inline constexpr uint64_t kTlsSize = 4096;
+inline constexpr uint64_t kNativeStubBase = 0xE000'0000;
+inline constexpr uint64_t kNativeStubSpacing = 16;
+/// Sentinel return address: RET to this address exits the process cleanly.
+inline constexpr uint64_t kExitSentinel = 0xDEAD'0000'0000;
+
+inline uint64_t ModuleCodeBase(size_t index) {
+  return kModuleBase + index * kModuleSpacing;
+}
+inline uint64_t ModuleDataBase(size_t index) {
+  return ModuleCodeBase(index) + kModuleDataDelta;
+}
+inline bool IsNativeStubAddress(uint64_t addr) {
+  return addr >= kNativeStubBase && addr < kNativeStubBase + (1u << 20);
+}
+inline size_t NativeStubIndex(uint64_t addr) {
+  return static_cast<size_t>((addr - kNativeStubBase) / kNativeStubSpacing);
+}
+
+/// One mapped region. `backing` must outlive the AddressSpace and must not
+/// be resized while mapped.
+struct Region {
+  uint64_t base = 0;
+  uint64_t size = 0;
+  uint8_t* backing = nullptr;
+  bool writable = false;
+  std::string name;
+};
+
+class AddressSpace {
+ public:
+  void map(Region region);
+
+  /// Region containing [addr, addr+len), or nullptr.
+  const Region* find(uint64_t addr, uint64_t len) const;
+
+  bool read(uint64_t addr, void* out, uint64_t len) const;
+  bool write(uint64_t addr, const void* src, uint64_t len);
+
+  bool read_u64(uint64_t addr, uint64_t* out) const;
+  bool write_u64(uint64_t addr, uint64_t value);
+
+ private:
+  std::vector<Region> regions_;  // sorted by base
+};
+
+}  // namespace lfi::vm

@@ -1,0 +1,394 @@
+#include "vm/process.hpp"
+
+#include "util/strings.hpp"
+
+namespace lfi::vm {
+
+using isa::Opcode;
+using isa::Reg;
+
+const char* SignalName(Signal s) {
+  switch (s) {
+    case Signal::None: return "none";
+    case Signal::Segv: return "SIGSEGV";
+    case Signal::Abort: return "SIGABRT";
+    case Signal::Ill: return "SIGILL";
+  }
+  return "?";
+}
+
+Process::Process(int pid, Loader& loader, kernel::KernelRuntime& kernel,
+                 const std::map<uint16_t, uint64_t>& syscall_targets,
+                 uint64_t heap_cap_bytes)
+    : pid_(pid),
+      loader_(loader),
+      kernel_(kernel),
+      syscall_targets_(syscall_targets),
+      stack_mem_(kStackSize, 0),
+      heap_mem_(heap_cap_bytes, 0),
+      tls_mem_(kTlsSize, 0) {}
+
+void Process::Start(uint64_t entry_addr) {
+  RemapIfNeeded();
+  regs_[static_cast<size_t>(Reg::SP)] =
+      static_cast<int64_t>(kStackBase + kStackSize);
+  Push(static_cast<int64_t>(kExitSentinel));
+  pc_ = entry_addr;
+  shadow_.push_back(Frame{entry_addr, kExitSentinel});
+  state_ = ProcState::Runnable;
+}
+
+uint64_t Process::alloc_heap(uint64_t size) {
+  uint64_t aligned = (size + 15) & ~uint64_t{15};
+  if (aligned == 0) aligned = 16;
+  if (heap_cursor_ + aligned > heap_mem_.size()) return 0;  // cap: ENOMEM
+  uint64_t addr = kHeapBase + heap_cursor_;
+  heap_cursor_ += aligned;
+  return addr;
+}
+
+void Process::Fault(Signal sig, std::string message) {
+  state_ = ProcState::Faulted;
+  signal_ = sig;
+  fault_message_ = std::move(message);
+}
+
+bool Process::Push(int64_t v) {
+  int64_t sp = regs_[static_cast<size_t>(Reg::SP)] - 8;
+  regs_[static_cast<size_t>(Reg::SP)] = sp;
+  if (!space_.write_u64(static_cast<uint64_t>(sp), static_cast<uint64_t>(v))) {
+    Fault(Signal::Segv, Format("stack overflow at sp=%llx",
+                               (unsigned long long)sp));
+    return false;
+  }
+  return true;
+}
+
+bool Process::Pop(int64_t* v) {
+  int64_t sp = regs_[static_cast<size_t>(Reg::SP)];
+  uint64_t raw = 0;
+  if (!space_.read_u64(static_cast<uint64_t>(sp), &raw)) {
+    Fault(Signal::Segv, Format("stack underflow at sp=%llx",
+                               (unsigned long long)sp));
+    return false;
+  }
+  regs_[static_cast<size_t>(Reg::SP)] = sp + 8;
+  *v = static_cast<int64_t>(raw);
+  return true;
+}
+
+// -- NativeFrame --------------------------------------------------------------
+
+int64_t NativeFrame::arg(int i) const {
+  // At stub entry no return address has been pushed: arg i sits at SP + 8i.
+  uint64_t sp = static_cast<uint64_t>(proc_.reg(Reg::SP));
+  uint64_t raw = 0;
+  proc_.space_.read_u64(sp + 8 * static_cast<uint64_t>(i), &raw);
+  return static_cast<int64_t>(raw);
+}
+
+bool NativeFrame::set_arg(int i, int64_t v) {
+  uint64_t sp = static_cast<uint64_t>(proc_.reg(Reg::SP));
+  return proc_.space_.write_u64(sp + 8 * static_cast<uint64_t>(i),
+                                static_cast<uint64_t>(v));
+}
+
+std::vector<std::pair<uint64_t, std::string>> NativeFrame::backtrace() const {
+  // Innermost first: the call site that reached the stub, then its callers.
+  std::vector<std::pair<uint64_t, std::string>> out;
+  for (auto it = proc_.shadow_.rbegin(); it != proc_.shadow_.rend(); ++it) {
+    std::string sym = proc_.loader_.Symbolize(it->fn_addr);
+    // Strip any "+0x..." suffix: frames name the enclosing function.
+    size_t plus = sym.find('+');
+    if (plus != std::string::npos) sym.resize(plus);
+    out.emplace_back(it->ret_addr, sym);
+  }
+  return out;
+}
+
+// -- interpreter ---------------------------------------------------------------
+
+void Process::DispatchCall(Target target, uint64_t ret_addr,
+                           const std::string& symbol) {
+  switch (target.kind) {
+    case Target::Kind::Unresolved:
+      Fault(Signal::Ill, "unresolved symbol: " + symbol);
+      return;
+    case Target::Kind::Code:
+      if (!Push(static_cast<int64_t>(ret_addr))) return;
+      shadow_.push_back(Frame{target.addr, ret_addr});
+      pc_ = target.addr;
+      return;
+    case Target::Kind::Native:
+      ExecNative(target.native_id, ret_addr);
+      return;
+  }
+}
+
+void Process::ExecNative(size_t native_id, uint64_t ret_addr) {
+  // Chain through tail-calls between natives (rare but legal).
+  for (int hops = 0; hops < 16; ++hops) {
+    const NativeFn* fn = loader_.native(native_id);
+    if (!fn || !*fn) {
+      Fault(Signal::Ill, Format("bad native stub id %zu", native_id));
+      return;
+    }
+    NativeFrame frame(*this, loader_.native_name(native_id));
+    NativeAction action = (*fn)(frame);
+    if (state_ != ProcState::Runnable) return;  // stub faulted/exited us
+    if (action.kind == NativeAction::Kind::Return) {
+      regs_[static_cast<size_t>(Reg::R0)] = action.value;
+      pc_ = ret_addr;
+      return;
+    }
+    // Tail call: the original's RET must return straight to the app caller,
+    // so we push the app return address, not a stub frame (§5.1's jmp trick).
+    if (IsNativeStubAddress(action.target)) {
+      native_id = NativeStubIndex(action.target);
+      continue;
+    }
+    if (!Push(static_cast<int64_t>(ret_addr))) return;
+    shadow_.push_back(Frame{action.target, ret_addr});
+    pc_ = action.target;
+    return;
+  }
+  Fault(Signal::Ill, "native tail-call chain too deep");
+}
+
+uint64_t Process::Run(uint64_t budget) {
+  uint64_t executed = 0;
+  while (state_ == ProcState::Runnable && executed < budget) {
+    Step();
+    ++executed;
+  }
+  return executed;
+}
+
+void Process::RemapIfNeeded() {
+  if (mapped_generation_ == loader_.generation()) return;
+  // (Re)build the address space: shared module images + private segments.
+  space_ = AddressSpace();
+  for (const auto& mod : loader_.modules()) {
+    space_.map(Region{mod->code_base, mod->object.code.size(),
+                      const_cast<uint8_t*>(mod->object.code.data()), false,
+                      mod->object.name + ".text"});
+    if (!mod->data_runtime.empty()) {
+      space_.map(Region{mod->data_base, mod->data_runtime.size(),
+                        mod->data_runtime.data(), true,
+                        mod->object.name + ".data"});
+    }
+  }
+  space_.map(
+      Region{kStackBase, stack_mem_.size(), stack_mem_.data(), true, "stack"});
+  if (!heap_mem_.empty()) {
+    space_.map(
+        Region{kHeapBase, heap_mem_.size(), heap_mem_.data(), true, "heap"});
+  }
+  space_.map(Region{kTlsBase, tls_mem_.size(), tls_mem_.data(), true, "tls"});
+  mapped_generation_ = loader_.generation();
+}
+
+void Process::Step() {
+  if (state_ != ProcState::Runnable) return;
+  RemapIfNeeded();
+
+  const LoadedModule* mod = loader_.module_at(pc_);
+  if (!mod) {
+    Fault(Signal::Segv, Format("pc outside code: %llx", (unsigned long long)pc_));
+    return;
+  }
+  uint32_t offset = static_cast<uint32_t>(pc_ - mod->code_base);
+  auto decoded = isa::DecodeOne(mod->object.code, offset);
+  if (!decoded.ok()) {
+    Fault(Signal::Ill, decoded.error());
+    return;
+  }
+  const isa::Instr& ins = decoded.value();
+  if (coverage_) coverage_->Record(mod->index, offset);
+  ++instructions_;
+  uint64_t next_pc = pc_ + ins.size;
+
+  auto R = [&](Reg r) -> int64_t& { return regs_[static_cast<size_t>(r)]; };
+  auto mem_fault = [&](uint64_t addr) {
+    Fault(Signal::Segv,
+          Format("bad memory access at %llx (pc=%llx)",
+                 (unsigned long long)addr, (unsigned long long)pc_));
+  };
+
+  switch (ins.op) {
+    case Opcode::NOP:
+      break;
+    case Opcode::HALT:
+      state_ = ProcState::Exited;
+      exit_code_ = R(Reg::R0);
+      return;
+    case Opcode::ABORT:
+      Fault(Signal::Abort, "abort instruction");
+      return;
+    case Opcode::MOV_RI: R(ins.a) = ins.imm; break;
+    case Opcode::MOV_RR: R(ins.a) = R(ins.b); break;
+    case Opcode::LOAD: {
+      uint64_t addr = static_cast<uint64_t>(R(ins.b) + ins.disp);
+      uint64_t raw = 0;
+      if (!space_.read_u64(addr, &raw)) return mem_fault(addr);
+      R(ins.a) = static_cast<int64_t>(raw);
+      break;
+    }
+    case Opcode::STORE: {
+      uint64_t addr = static_cast<uint64_t>(R(ins.a) + ins.disp);
+      if (!space_.write_u64(addr, static_cast<uint64_t>(R(ins.b)))) {
+        return mem_fault(addr);
+      }
+      break;
+    }
+    case Opcode::STORE_I: {
+      uint64_t addr = static_cast<uint64_t>(R(ins.a) + ins.disp);
+      if (!space_.write_u64(addr, static_cast<uint64_t>(ins.imm))) {
+        return mem_fault(addr);
+      }
+      break;
+    }
+    case Opcode::LEA: R(ins.a) = R(ins.b) + ins.disp; break;
+    case Opcode::LEA_DATA:
+      R(ins.a) = static_cast<int64_t>(mod->data_base) + ins.disp;
+      break;
+    case Opcode::LEA_TLS:
+      R(ins.a) = static_cast<int64_t>(kTlsBase + mod->tls_base) + ins.disp;
+      break;
+    case Opcode::PUSH:
+      if (!Push(R(ins.a))) return;
+      break;
+    case Opcode::POP: {
+      int64_t v = 0;
+      if (!Pop(&v)) return;
+      R(ins.a) = v;
+      break;
+    }
+    case Opcode::ADD_RR: R(ins.a) += R(ins.b); break;
+    case Opcode::SUB_RR: R(ins.a) -= R(ins.b); break;
+    case Opcode::AND_RR: R(ins.a) &= R(ins.b); break;
+    case Opcode::OR_RR: R(ins.a) |= R(ins.b); break;
+    case Opcode::XOR_RR: R(ins.a) ^= R(ins.b); break;
+    case Opcode::MUL_RR: R(ins.a) *= R(ins.b); break;
+    case Opcode::ADD_RI: R(ins.a) += ins.imm; break;
+    case Opcode::SUB_RI: R(ins.a) -= ins.imm; break;
+    case Opcode::AND_RI: R(ins.a) &= ins.imm; break;
+    case Opcode::OR_RI: R(ins.a) |= ins.imm; break;
+    case Opcode::XOR_RI: R(ins.a) ^= ins.imm; break;
+    case Opcode::MUL_RI: R(ins.a) *= ins.imm; break;
+    case Opcode::NEG: R(ins.a) = -R(ins.a); break;
+    case Opcode::NOT: R(ins.a) = ~R(ins.a); break;
+    case Opcode::CMP_RR: {
+      int64_t d = R(ins.a) - R(ins.b);
+      flags_ = d < 0 ? -1 : d > 0 ? 1 : 0;
+      break;
+    }
+    case Opcode::CMP_RI: {
+      int64_t d = R(ins.a) - ins.imm;
+      flags_ = d < 0 ? -1 : d > 0 ? 1 : 0;
+      break;
+    }
+    case Opcode::JMP: next_pc = mod->code_base + ins.rel_target(); break;
+    case Opcode::JE: if (flags_ == 0) next_pc = mod->code_base + ins.rel_target(); break;
+    case Opcode::JNE: if (flags_ != 0) next_pc = mod->code_base + ins.rel_target(); break;
+    case Opcode::JLT: if (flags_ < 0) next_pc = mod->code_base + ins.rel_target(); break;
+    case Opcode::JLE: if (flags_ <= 0) next_pc = mod->code_base + ins.rel_target(); break;
+    case Opcode::JGT: if (flags_ > 0) next_pc = mod->code_base + ins.rel_target(); break;
+    case Opcode::JGE: if (flags_ >= 0) next_pc = mod->code_base + ins.rel_target(); break;
+    case Opcode::JMP_IND: {
+      uint64_t target = static_cast<uint64_t>(R(ins.a));
+      if (IsNativeStubAddress(target)) {
+        // Tail-jump into a stub: behave like the stub was CALL'd by our
+        // caller; the pending return address is already on the stack.
+        int64_t ret = 0;
+        if (!Pop(&ret)) return;
+        if (!shadow_.empty()) shadow_.pop_back();
+        ExecNative(NativeStubIndex(target), static_cast<uint64_t>(ret));
+        return;
+      }
+      next_pc = target;
+      break;
+    }
+    case Opcode::CALL: {
+      uint64_t target = mod->code_base + ins.rel_target();
+      if (!Push(static_cast<int64_t>(next_pc))) return;
+      shadow_.push_back(Frame{target, next_pc});
+      next_pc = target;
+      break;
+    }
+    case Opcode::CALL_SYM: {
+      if (ins.u16 >= mod->object.imports.size()) {
+        Fault(Signal::Ill, "import index out of range");
+        return;
+      }
+      Target target = loader_.Resolve(mod->index, ins.u16);
+      DispatchCall(target, next_pc, mod->object.imports[ins.u16]);
+      return;
+    }
+    case Opcode::CALL_IND: {
+      uint64_t target = static_cast<uint64_t>(R(ins.a));
+      if (IsNativeStubAddress(target)) {
+        ExecNative(NativeStubIndex(target), next_pc);
+        return;
+      }
+      DispatchCall(Target{Target::Kind::Code, target, 0}, next_pc,
+                   Hex(target));
+      return;
+    }
+    case Opcode::RET: {
+      int64_t ret = 0;
+      if (!Pop(&ret)) return;
+      if (!shadow_.empty()) shadow_.pop_back();
+      if (static_cast<uint64_t>(ret) == kExitSentinel) {
+        state_ = ProcState::Exited;
+        exit_code_ = R(Reg::R0);
+        return;
+      }
+      next_pc = static_cast<uint64_t>(ret);
+      break;
+    }
+    case Opcode::SYSCALL: {
+      auto it = syscall_targets_.find(ins.u16);
+      if (it == syscall_targets_.end()) {
+        R(Reg::R0) = -E_NOSYS;
+        break;
+      }
+      if (!Push(static_cast<int64_t>(next_pc))) return;
+      shadow_.push_back(Frame{it->second, next_pc});
+      next_pc = it->second;
+      break;
+    }
+    case Opcode::KCALL: {
+      kernel::KResult res = kernel_.Invoke(ins.u16, *this);
+      if (pending_exit_) {
+        state_ = ProcState::Exited;
+        return;
+      }
+      if (res.kind == kernel::KResult::Kind::Block) {
+        state_ = ProcState::Blocked;
+        return;  // pc unchanged: the KCALL is retried on wake-up
+      }
+      if (res.kind == kernel::KResult::Kind::Ok) {
+        R(Reg::R0) = res.value;
+        R(Reg::R1) = 0;
+      } else {
+        const kernel::SyscallSpec* spec = kernel::FindSyscall(ins.u16);
+        int idx = spec ? kernel::ErrorIndex(*spec, res.error) : -1;
+        // An errno outside the spec would make the handler lie about its
+        // own error set; map it to the last slot and flag in debug builds.
+        if (idx < 0 && spec && !spec->errors.empty()) {
+          idx = static_cast<int>(spec->errors.size()) - 1;
+        }
+        R(Reg::R0) = -1;
+        R(Reg::R1) = idx + 1;
+      }
+      break;
+    }
+    case Opcode::kCount:
+      Fault(Signal::Ill, "bad opcode");
+      return;
+  }
+  pc_ = next_pc;
+}
+
+}  // namespace lfi::vm

@@ -1,0 +1,134 @@
+// Process: one executing program — registers, stack/heap/TLS, the
+// fetch-decode-execute loop, and the shadow call stack used for the
+// stack-trace triggers of the scenario language (§4).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "isa/isa.hpp"
+#include "kernel/kernel_runtime.hpp"
+#include "vm/coverage.hpp"
+#include "vm/loader.hpp"
+#include "vm/memory.hpp"
+
+namespace lfi::vm {
+
+enum class ProcState { Runnable, Blocked, Exited, Faulted };
+
+enum class Signal { None, Segv, Abort, Ill };
+
+const char* SignalName(Signal s);
+
+/// One shadow-stack entry: the function that was entered and where it will
+/// return. Used to synthesize symbolized backtraces.
+struct Frame {
+  uint64_t fn_addr = 0;
+  uint64_t ret_addr = 0;
+};
+
+class Process final : public kernel::KernelContext {
+ public:
+  Process(int pid, Loader& loader, kernel::KernelRuntime& kernel,
+          const std::map<uint16_t, uint64_t>& syscall_targets,
+          uint64_t heap_cap_bytes);
+
+  /// Point the process at its entry and push the exit sentinel.
+  void Start(uint64_t entry_addr);
+
+  /// Execute one instruction (or one native stub invocation).
+  void Step();
+
+  /// Run until the process blocks, terminates, or `budget` instructions ran.
+  /// Returns the number of instructions executed.
+  uint64_t Run(uint64_t budget);
+
+  // -- state ----------------------------------------------------------------
+  ProcState state() const { return state_; }
+  Signal signal() const { return signal_; }
+  int64_t exit_code() const { return exit_code_; }
+  const std::string& fault_message() const { return fault_message_; }
+  uint64_t instructions() const { return instructions_; }
+  uint64_t pc() const { return pc_; }
+  const std::vector<Frame>& shadow_stack() const { return shadow_; }
+
+  /// Wake a blocked process so the scheduler can retry its syscall.
+  void WakeIfBlocked() {
+    if (state_ == ProcState::Blocked) state_ = ProcState::Runnable;
+  }
+
+  void set_coverage(CoverageTracker* tracker) { coverage_ = tracker; }
+
+  // -- KernelContext --------------------------------------------------------
+  int64_t reg(isa::Reg r) const override {
+    return regs_[static_cast<size_t>(r)];
+  }
+  void set_reg(isa::Reg r, int64_t v) override {
+    regs_[static_cast<size_t>(r)] = v;
+  }
+  bool read_mem(uint64_t addr, void* out, uint64_t len) override {
+    return space_.read(addr, out, len);
+  }
+  bool write_mem(uint64_t addr, const void* src, uint64_t len) override {
+    return space_.write(addr, src, len);
+  }
+  uint64_t alloc_heap(uint64_t size) override;
+  int pid() const override { return pid_; }
+  void request_exit(int64_t code) override {
+    pending_exit_ = true;
+    exit_code_ = code;
+  }
+
+  /// Absolute address of a module-relative TLS offset (errno injection).
+  uint64_t tls_address(const LoadedModule& mod, uint32_t offset) const {
+    return kTlsBase + mod.tls_base + offset;
+  }
+
+  Loader& loader() { return loader_; }
+  const Loader& loader() const { return loader_; }
+
+ private:
+  friend class NativeFrame;
+
+  void Fault(Signal sig, std::string message);
+  /// (Re)build the address space if modules changed since the last map.
+  void RemapIfNeeded();
+  bool Push(int64_t v);
+  bool Pop(int64_t* v);
+  /// Dispatch a resolved call target (shared by CALL_SYM / CALL_IND /
+  /// SYSCALL). `ret_addr` is pushed for code targets; native stubs decide
+  /// via their action.
+  void DispatchCall(Target target, uint64_t ret_addr,
+                    const std::string& symbol);
+  void ExecNative(size_t native_id, uint64_t ret_addr);
+
+  int pid_;
+  Loader& loader_;
+  kernel::KernelRuntime& kernel_;
+  const std::map<uint16_t, uint64_t>& syscall_targets_;
+
+  int64_t regs_[isa::kNumRegs] = {};
+  int flags_ = 0;  // sign of last CMP: -1 / 0 / +1
+  uint64_t pc_ = 0;
+  ProcState state_ = ProcState::Runnable;
+  Signal signal_ = Signal::None;
+  int64_t exit_code_ = 0;
+  bool pending_exit_ = false;
+  std::string fault_message_;
+  uint64_t instructions_ = 0;
+
+  AddressSpace space_;
+  std::vector<uint8_t> stack_mem_;
+  std::vector<uint8_t> heap_mem_;
+  std::vector<uint8_t> tls_mem_;
+  uint64_t heap_cursor_ = 0;
+  uint64_t mapped_generation_ = 0;  // loader generation at last (re)mapping
+
+  std::vector<Frame> shadow_;
+  CoverageTracker* coverage_ = nullptr;
+};
+
+}  // namespace lfi::vm

@@ -1,0 +1,252 @@
+#include "xml/xml.hpp"
+
+#include <cctype>
+
+#include "util/strings.hpp"
+
+namespace lfi::xml {
+
+void Node::set_attr(std::string key, std::string value) {
+  for (auto& [k, v] : attrs_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  attrs_.emplace_back(std::move(key), std::move(value));
+}
+
+std::optional<std::string> Node::attr(std::string_view key) const {
+  for (const auto& [k, v] : attrs_) {
+    if (k == key) return v;
+  }
+  return std::nullopt;
+}
+
+std::string Node::attr_or(std::string_view key, std::string_view dflt) const {
+  auto v = attr(key);
+  return v ? *v : std::string(dflt);
+}
+
+std::optional<int64_t> Node::attr_int(std::string_view key) const {
+  auto v = attr(key);
+  if (!v) return std::nullopt;
+  int64_t out = 0;
+  if (!ParseInt(*v, &out)) return std::nullopt;
+  return out;
+}
+
+Node* Node::add_child(std::string name) {
+  children_.push_back(std::make_unique<Node>(std::move(name)));
+  return children_.back().get();
+}
+
+const Node* Node::child(std::string_view name) const {
+  for (const auto& c : children_) {
+    if (c->name() == name) return c.get();
+  }
+  return nullptr;
+}
+
+std::vector<const Node*> Node::children_named(std::string_view name) const {
+  std::vector<const Node*> out;
+  for (const auto& c : children_) {
+    if (c->name() == name) out.push_back(c.get());
+  }
+  return out;
+}
+
+std::string Escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&apos;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string Node::serialize(int indent) const {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  std::string out = pad + "<" + name_;
+  for (const auto& [k, v] : attrs_) {
+    out += " " + k + "=\"" + Escape(v) + "\"";
+  }
+  std::string_view trimmed = Trim(text_);
+  if (children_.empty() && trimmed.empty()) {
+    out += " />\n";
+    return out;
+  }
+  out += ">";
+  if (!trimmed.empty()) out += Escape(trimmed);
+  if (!children_.empty()) {
+    out += "\n";
+    for (const auto& c : children_) out += c->serialize(indent + 1);
+    out += pad;
+  }
+  out += "</" + name_ + ">\n";
+  return out;
+}
+
+namespace {
+
+/// Recursive-descent XML parser over a string_view cursor.
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : in_(input) {}
+
+  Result<NodePtr> ParseDocument() {
+    SkipMisc();
+    if (!StartsWith(rest(), "<")) return Err("xml: expected root element");
+    auto root = ParseElement();
+    if (!root.ok()) return root;
+    SkipMisc();
+    if (pos_ != in_.size()) return Err("xml: trailing content after root");
+    return root;
+  }
+
+ private:
+  std::string_view rest() const { return in_.substr(pos_); }
+  bool eof() const { return pos_ >= in_.size(); }
+  char peek() const { return in_[pos_]; }
+
+  void SkipWhitespace() {
+    while (!eof() && std::isspace(static_cast<unsigned char>(peek()))) ++pos_;
+  }
+
+  bool SkipIf(std::string_view token) {
+    if (StartsWith(rest(), token)) {
+      pos_ += token.size();
+      return true;
+    }
+    return false;
+  }
+
+  /// Skip whitespace, comments and the <?xml ...?> declaration.
+  void SkipMisc() {
+    while (true) {
+      SkipWhitespace();
+      if (SkipIf("<!--")) {
+        size_t end = in_.find("-->", pos_);
+        pos_ = end == std::string_view::npos ? in_.size() : end + 3;
+        continue;
+      }
+      if (SkipIf("<?")) {
+        size_t end = in_.find("?>", pos_);
+        pos_ = end == std::string_view::npos ? in_.size() : end + 2;
+        continue;
+      }
+      return;
+    }
+  }
+
+  static bool IsNameChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '-' || c == '.' || c == ':';
+  }
+
+  std::string ParseName() {
+    size_t start = pos_;
+    while (!eof() && IsNameChar(peek())) ++pos_;
+    return std::string(in_.substr(start, pos_ - start));
+  }
+
+  static std::string Unescape(std::string_view raw) {
+    std::string out;
+    out.reserve(raw.size());
+    for (size_t i = 0; i < raw.size();) {
+      if (raw[i] != '&') {
+        out += raw[i++];
+        continue;
+      }
+      auto entity = raw.substr(i);
+      if (StartsWith(entity, "&amp;")) { out += '&'; i += 5; }
+      else if (StartsWith(entity, "&lt;")) { out += '<'; i += 4; }
+      else if (StartsWith(entity, "&gt;")) { out += '>'; i += 4; }
+      else if (StartsWith(entity, "&quot;")) { out += '"'; i += 6; }
+      else if (StartsWith(entity, "&apos;")) { out += '\''; i += 6; }
+      else { out += raw[i++]; }
+    }
+    return out;
+  }
+
+  Result<NodePtr> ParseElement() {
+    if (!SkipIf("<")) return Err("xml: expected '<'");
+    std::string name = ParseName();
+    if (name.empty()) return Err("xml: empty element name");
+    auto node = std::make_unique<Node>(name);
+
+    // Attributes.
+    while (true) {
+      SkipWhitespace();
+      if (eof()) return Err("xml: unexpected end inside <" + name + ">");
+      if (SkipIf("/>")) return NodePtr(std::move(node));
+      if (SkipIf(">")) break;
+      std::string key = ParseName();
+      if (key.empty()) return Err("xml: bad attribute in <" + name + ">");
+      SkipWhitespace();
+      if (!SkipIf("=")) return Err("xml: missing '=' after attribute " + key);
+      SkipWhitespace();
+      char quote = eof() ? '\0' : peek();
+      if (quote != '"' && quote != '\'') {
+        return Err("xml: attribute value must be quoted: " + key);
+      }
+      ++pos_;
+      size_t end = in_.find(quote, pos_);
+      if (end == std::string_view::npos) {
+        return Err("xml: unterminated attribute value: " + key);
+      }
+      node->set_attr(std::move(key), Unescape(in_.substr(pos_, end - pos_)));
+      pos_ = end + 1;
+    }
+
+    // Content: text, children, comments, until the closing tag.
+    while (true) {
+      if (eof()) return Err("xml: missing </" + name + ">");
+      if (SkipIf("<!--")) {
+        size_t end = in_.find("-->", pos_);
+        pos_ = end == std::string_view::npos ? in_.size() : end + 3;
+        continue;
+      }
+      if (StartsWith(rest(), "</")) {
+        pos_ += 2;
+        std::string closing = ParseName();
+        SkipWhitespace();
+        if (!SkipIf(">")) return Err("xml: malformed closing tag " + closing);
+        if (closing != name) {
+          return Err("xml: mismatched </" + closing + ">, expected </" + name +
+                     ">");
+        }
+        return NodePtr(std::move(node));
+      }
+      if (peek() == '<') {
+        auto child = ParseElement();
+        if (!child.ok()) return child;
+        // Adopt the parsed child (add_child + move contents).
+        node->adopt(std::move(child).take());
+        continue;
+      }
+      size_t next = in_.find('<', pos_);
+      if (next == std::string_view::npos) next = in_.size();
+      node->append_text(Unescape(in_.substr(pos_, next - pos_)));
+      pos_ = next;
+    }
+  }
+
+  std::string_view in_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<NodePtr> Parse(std::string_view input) {
+  return Parser(input).ParseDocument();
+}
+
+}  // namespace lfi::xml

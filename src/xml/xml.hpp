@@ -1,0 +1,71 @@
+// Dependency-free mini XML DOM.
+//
+// LFI's fault profiles, fault scenarios and replay scripts are all XML
+// documents (paper §3.3, §4, §5.2). This module provides the small subset of
+// XML needed by those formats: elements, attributes, text content, comments
+// (skipped), and entity escaping. No namespaces, no DTDs, no processing
+// instructions beyond an optional leading <?xml ...?>.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace lfi::xml {
+
+class Node;
+using NodePtr = std::unique_ptr<Node>;
+
+/// An XML element: tag name, ordered attributes, child elements and
+/// accumulated text content (concatenation of all text segments).
+class Node {
+ public:
+  explicit Node(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  const std::string& text() const { return text_; }
+  void append_text(std::string_view t) { text_.append(t); }
+  void set_text(std::string t) { text_ = std::move(t); }
+
+  // -- attributes -----------------------------------------------------------
+  void set_attr(std::string key, std::string value);
+  std::optional<std::string> attr(std::string_view key) const;
+  /// Attribute value or a default when absent.
+  std::string attr_or(std::string_view key, std::string_view dflt) const;
+  /// Integer attribute (decimal or 0x-hex); nullopt if absent or malformed.
+  std::optional<int64_t> attr_int(std::string_view key) const;
+  const std::vector<std::pair<std::string, std::string>>& attrs() const {
+    return attrs_;
+  }
+
+  // -- children -------------------------------------------------------------
+  Node* add_child(std::string name);
+  /// Attach an already-built subtree as the last child.
+  void adopt(NodePtr child) { children_.push_back(std::move(child)); }
+  const std::vector<NodePtr>& children() const { return children_; }
+  /// First child with the given tag name, or nullptr.
+  const Node* child(std::string_view name) const;
+  /// All children with the given tag name.
+  std::vector<const Node*> children_named(std::string_view name) const;
+
+  /// Serialize this subtree with 2-space indentation.
+  std::string serialize(int indent = 0) const;
+
+ private:
+  std::string name_;
+  std::string text_;
+  std::vector<std::pair<std::string, std::string>> attrs_;
+  std::vector<NodePtr> children_;
+};
+
+/// Parse a document; returns its root element.
+Result<NodePtr> Parse(std::string_view input);
+
+/// Escape text for use in attribute values / text content.
+std::string Escape(std::string_view raw);
+
+}  // namespace lfi::xml

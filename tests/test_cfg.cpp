@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include "analysis/cfg.hpp"
+#include "isa/codebuilder.hpp"
+
+namespace lfi::analysis {
+namespace {
+
+using isa::CodeBuilder;
+using isa::Reg;
+
+sso::SharedObject Build(std::function<void(CodeBuilder&)> body,
+                        const std::string& name = "f") {
+  CodeBuilder b;
+  b.begin_function(name, true, /*bare=*/true);
+  body(b);
+  b.end_function();
+  return sso::FromCodeUnit("lib.so", b.Finish());
+}
+
+Cfg CfgOf(const sso::SharedObject& so, const std::string& name = "f") {
+  auto cfg = BuildCfg(so, *so.find_export(name));
+  EXPECT_TRUE(cfg.ok()) << (cfg.ok() ? "" : cfg.error());
+  return std::move(cfg).take();
+}
+
+TEST(Cfg, StraightLineIsOneBlock) {
+  auto so = Build([](CodeBuilder& b) {
+    b.mov_ri(Reg::R0, 1);
+    b.add_ri(Reg::R0, 2);
+    b.ret();
+  });
+  Cfg cfg = CfgOf(so);
+  ASSERT_EQ(cfg.blocks.size(), 1u);
+  EXPECT_TRUE(cfg.blocks[0].ends_in_ret);
+  EXPECT_EQ(cfg.blocks[0].instrs.size(), 3u);
+}
+
+TEST(Cfg, DiamondHasFourBlocks) {
+  // The paper's Figure 2 shape: entry splits on a compare, two arms, join.
+  auto so = Build([](CodeBuilder& b) {
+    auto arm = b.new_label();
+    auto join = b.new_label();
+    b.cmp_ri(Reg::R1, 0);
+    b.jne(arm);
+    b.mov_ri(Reg::R0, 0);
+    b.jmp(join);
+    b.bind(arm);
+    b.mov_ri(Reg::R0, 5);
+    b.bind(join);
+    b.ret();
+  });
+  Cfg cfg = CfgOf(so);
+  ASSERT_EQ(cfg.blocks.size(), 4u);
+  // Entry has two successors.
+  EXPECT_EQ(cfg.blocks[0].succs.size(), 2u);
+  // The join block has two predecessors and returns.
+  size_t join_idx = cfg.blocks.size() - 1;
+  EXPECT_EQ(cfg.blocks[join_idx].preds.size(), 2u);
+  EXPECT_TRUE(cfg.blocks[join_idx].ends_in_ret);
+}
+
+TEST(Cfg, LoopBackEdge) {
+  auto so = Build([](CodeBuilder& b) {
+    auto loop = b.new_label();
+    auto done = b.new_label();
+    b.bind(loop);
+    b.add_ri(Reg::R1, 1);
+    b.cmp_ri(Reg::R1, 10);
+    b.jlt(loop);
+    b.jmp(done);
+    b.bind(done);
+    b.ret();
+  });
+  Cfg cfg = CfgOf(so);
+  // The loop block must be its own predecessor.
+  size_t loop_idx = cfg.block_starting_at(0);
+  ASSERT_NE(loop_idx, SIZE_MAX);
+  bool self_edge = false;
+  for (size_t s : cfg.blocks[loop_idx].succs) self_edge |= s == loop_idx;
+  EXPECT_TRUE(self_edge);
+}
+
+TEST(Cfg, CallsDoNotEndBlocks) {
+  auto so = Build([](CodeBuilder& b) {
+    b.call_sym("g");
+    b.mov_ri(Reg::R0, 1);
+    b.ret();
+  });
+  Cfg cfg = CfgOf(so);
+  EXPECT_EQ(cfg.blocks.size(), 1u);
+}
+
+TEST(Cfg, IndirectBranchFlagsIncomplete) {
+  auto so = Build([](CodeBuilder& b) {
+    b.mov_ri(Reg::R1, 0x100);
+    b.jmp_ind(Reg::R1);
+  });
+  Cfg cfg = CfgOf(so);
+  ASSERT_EQ(cfg.blocks.size(), 1u);
+  EXPECT_TRUE(cfg.blocks[0].has_indirect_branch);
+  EXPECT_TRUE(cfg.blocks[0].succs.empty());
+  EXPECT_EQ(cfg.indirect_branch_count(), 1u);
+}
+
+TEST(Cfg, CountsIndirectCalls) {
+  auto so = Build([](CodeBuilder& b) {
+    b.call_ind(Reg::R1);
+    b.call_ind(Reg::R2);
+    b.ret();
+  });
+  Cfg cfg = CfgOf(so);
+  EXPECT_EQ(cfg.indirect_call_count(), 2u);
+}
+
+TEST(Cfg, MultipleReturns) {
+  auto so = Build([](CodeBuilder& b) {
+    auto other = b.new_label();
+    b.cmp_ri(Reg::R1, 0);
+    b.jne(other);
+    b.mov_ri(Reg::R0, 0);
+    b.ret();
+    b.bind(other);
+    b.mov_ri(Reg::R0, -1);
+    b.ret();
+  });
+  Cfg cfg = CfgOf(so);
+  size_t rets = 0;
+  for (const auto& blk : cfg.blocks) rets += blk.ends_in_ret;
+  EXPECT_EQ(rets, 2u);
+}
+
+TEST(Cfg, InstructionCountMatches) {
+  auto so = Build([](CodeBuilder& b) {
+    b.mov_ri(Reg::R0, 1);
+    b.nop();
+    b.nop();
+    b.ret();
+  });
+  EXPECT_EQ(CfgOf(so).instruction_count(), 4u);
+}
+
+TEST(Cfg, ToStringListsBlocksAndEdges) {
+  auto so = Build([](CodeBuilder& b) {
+    auto l = b.new_label();
+    b.cmp_ri(Reg::R1, 0);
+    b.je(l);
+    b.mov_ri(Reg::R0, 1);
+    b.bind(l);
+    b.ret();
+  });
+  std::string text = CfgOf(so).ToString();
+  EXPECT_NE(text.find("B0"), std::string::npos);
+  EXPECT_NE(text.find("->"), std::string::npos);
+  EXPECT_NE(text.find("(ret)"), std::string::npos);
+}
+
+TEST(Cfg, RejectsEmptyFunction) {
+  isa::CodeBuilder b;
+  b.begin_function("empty", true, true);
+  b.end_function();
+  auto so = sso::FromCodeUnit("lib.so", b.Finish());
+  EXPECT_FALSE(BuildCfg(so, *so.find_export("empty")).ok());
+}
+
+TEST(Cfg, BranchOutsideFunctionIgnoredAsTarget) {
+  // A conditional branch to an offset outside the function body must not
+  // create a block (defensive against adversarial symbol tables).
+  isa::CodeBuilder b;
+  b.begin_function("f", true, true);
+  auto end = b.new_label();
+  b.cmp_ri(Reg::R1, 0);
+  b.je(end);
+  b.ret();
+  b.bind(end);
+  b.ret();
+  b.end_function();
+  auto unit = b.Finish();
+  // Truncate the symbol so the je target lands outside.
+  unit.exports[0].size -= 1;
+  auto so = sso::FromCodeUnit("lib.so", std::move(unit));
+  auto cfg = BuildCfg(so, so.exports[0]);
+  ASSERT_TRUE(cfg.ok()) << cfg.error();
+}
+
+}  // namespace
+}  // namespace lfi::analysis

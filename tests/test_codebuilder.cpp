@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "isa/codebuilder.hpp"
+
+namespace lfi::isa {
+namespace {
+
+TEST(CodeBuilder, EmitsForwardAndBackwardLabels) {
+  CodeBuilder b;
+  auto fwd = b.new_label();
+  auto back = b.new_label();
+  b.bind(back);
+  b.mov_ri(Reg::R0, 1);
+  b.jne(fwd);
+  b.jmp(back);
+  b.bind(fwd);
+  b.ret();
+  CodeUnit unit = b.Finish();
+
+  auto instrs = Disassemble(unit.code, 0, static_cast<uint32_t>(unit.code.size()));
+  ASSERT_TRUE(instrs.ok());
+  const auto& v = instrs.value();
+  ASSERT_EQ(v.size(), 4u);
+  // jne targets the ret; jmp targets offset 0.
+  EXPECT_EQ(v[1].rel_target(), v[3].offset);
+  EXPECT_EQ(v[2].rel_target(), 0u);
+}
+
+TEST(CodeBuilder, FunctionSymbolsRecordOffsetsAndSizes) {
+  CodeBuilder b;
+  b.begin_function("first");
+  b.mov_ri(Reg::R0, 0);
+  b.leave_ret();
+  b.end_function();
+  b.begin_function("second", /*exported=*/false);
+  b.leave_ret();
+  b.end_function();
+  CodeUnit unit = b.Finish();
+
+  ASSERT_EQ(unit.exports.size(), 1u);
+  ASSERT_EQ(unit.locals.size(), 1u);
+  EXPECT_EQ(unit.exports[0].name, "first");
+  EXPECT_EQ(unit.exports[0].offset, 0u);
+  EXPECT_GT(unit.exports[0].size, 0u);
+  EXPECT_EQ(unit.locals[0].offset, unit.exports[0].size);
+}
+
+TEST(CodeBuilder, BareFunctionSkipsPrologue) {
+  CodeBuilder b;
+  b.begin_function("handler", true, /*bare=*/true);
+  b.ret();
+  b.end_function();
+  CodeUnit unit = b.Finish();
+  auto instrs = Disassemble(unit.code, 0, static_cast<uint32_t>(unit.code.size()));
+  ASSERT_TRUE(instrs.ok());
+  ASSERT_EQ(instrs.value().size(), 1u);
+  EXPECT_EQ(instrs.value()[0].op, Opcode::RET);
+}
+
+TEST(CodeBuilder, ImportsDeduplicated) {
+  CodeBuilder b;
+  b.call_sym("read");
+  b.call_sym("write");
+  b.call_sym("read");
+  CodeUnit unit = b.Finish();
+  ASSERT_EQ(unit.imports.size(), 2u);
+  EXPECT_EQ(unit.imports[0], "read");
+  EXPECT_EQ(unit.imports[1], "write");
+
+  auto instrs = Disassemble(unit.code, 0, static_cast<uint32_t>(unit.code.size()));
+  ASSERT_TRUE(instrs.ok());
+  EXPECT_EQ(instrs.value()[0].u16, 0);
+  EXPECT_EQ(instrs.value()[1].u16, 1);
+  EXPECT_EQ(instrs.value()[2].u16, 0);
+}
+
+TEST(CodeBuilder, DataAndTlsReservation) {
+  CodeBuilder b;
+  uint32_t a = b.reserve_data(8);
+  uint32_t c = b.emit_data({1, 2, 3});
+  uint32_t t0 = b.reserve_tls(8);
+  uint32_t t1 = b.reserve_tls(16);
+  CodeUnit unit = b.Finish();
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(c, 8u);
+  EXPECT_EQ(unit.data.size(), 11u);
+  EXPECT_EQ(unit.data[8], 1);
+  EXPECT_EQ(t0, 0u);
+  EXPECT_EQ(t1, 8u);
+  EXPECT_EQ(unit.tls_size, 24u);
+}
+
+TEST(CodeBuilder, CodePointerReloc) {
+  CodeBuilder b;
+  b.begin_function("f", true, true);
+  b.ret();
+  b.end_function();
+  uint32_t slot = b.reserve_code_pointer(0);
+  CodeUnit unit = b.Finish();
+  ASSERT_EQ(unit.data_relocs.size(), 1u);
+  EXPECT_EQ(unit.data_relocs[0].first, slot);
+  EXPECT_EQ(unit.data_relocs[0].second, 0u);
+  EXPECT_EQ(unit.data.size(), 8u);
+}
+
+TEST(CodeBuilder, ArgSlotLayout) {
+  // ABI: saved BP at [bp], return address at [bp+8], args from [bp+16].
+  EXPECT_EQ(ArgSlot(0), 16);
+  EXPECT_EQ(ArgSlot(1), 24);
+  EXPECT_EQ(ArgSlot(5), 56);
+}
+
+TEST(CodeBuilder, CallNamedPushesRightToLeft) {
+  CodeBuilder b;
+  b.call_named("f", {Reg::R1, Reg::R2});
+  CodeUnit unit = b.Finish();
+  auto instrs = Disassemble(unit.code, 0, static_cast<uint32_t>(unit.code.size()));
+  ASSERT_TRUE(instrs.ok());
+  const auto& v = instrs.value();
+  ASSERT_EQ(v.size(), 4u);  // push r2, push r1, call, add sp
+  EXPECT_EQ(v[0].op, Opcode::PUSH);
+  EXPECT_EQ(v[0].a, Reg::R2);
+  EXPECT_EQ(v[1].a, Reg::R1);
+  EXPECT_EQ(v[2].op, Opcode::CALL_SYM);
+  EXPECT_EQ(v[3].op, Opcode::ADD_RI);
+  EXPECT_EQ(v[3].imm, 16);
+}
+
+TEST(CodeBuilder, SetErrnoConstEmitsTlsStore) {
+  CodeBuilder b;
+  b.set_errno_const(9, Reg::R2, Reg::R1);
+  CodeUnit unit = b.Finish();
+  auto instrs = Disassemble(unit.code, 0, static_cast<uint32_t>(unit.code.size()));
+  ASSERT_TRUE(instrs.ok());
+  const auto& v = instrs.value();
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0].op, Opcode::MOV_RI);
+  EXPECT_EQ(v[0].imm, 9);
+  EXPECT_EQ(v[1].op, Opcode::LEA_TLS);
+  EXPECT_EQ(v[2].op, Opcode::STORE);
+}
+
+}  // namespace
+}  // namespace lfi::isa

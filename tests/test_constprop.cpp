@@ -1,0 +1,419 @@
+#include <gtest/gtest.h>
+
+#include "analysis/constprop.hpp"
+#include "isa/codebuilder.hpp"
+#include "kernel/kernel_image.hpp"
+#include "libc/libc_builder.hpp"
+
+namespace lfi::analysis {
+namespace {
+
+using isa::CodeBuilder;
+using isa::Reg;
+
+sso::SharedObject OneFn(std::function<void(CodeBuilder&)> body,
+                        const std::string& name = "f",
+                        const std::string& lib = "lib.so") {
+  CodeBuilder b;
+  b.begin_function(name, true, /*bare=*/true);
+  body(b);
+  b.end_function();
+  return sso::FromCodeUnit(lib, b.Finish());
+}
+
+std::set<int64_t> ReturnValues(const FunctionSummary& s) {
+  std::set<int64_t> out;
+  for (const auto& er : s.returns) out.insert(er.value);
+  return out;
+}
+
+FunctionSummary Analyze(const sso::SharedObject& so,
+                        const std::string& fn = "f") {
+  Workspace ws;
+  ws.AddModule(&so);
+  ConstPropAnalyzer analyzer(ws);
+  auto s = analyzer.Analyze(so, fn);
+  EXPECT_TRUE(s.ok()) << (s.ok() ? "" : s.error());
+  return std::move(s).take();
+}
+
+TEST(ConstProp, DirectConstantReturn) {
+  auto so = OneFn([](CodeBuilder& b) {
+    b.mov_ri(Reg::R0, -1);
+    b.ret();
+  });
+  FunctionSummary s = Analyze(so);
+  EXPECT_EQ(ReturnValues(s), (std::set<int64_t>{-1}));
+  EXPECT_FALSE(s.returns_unknown);
+}
+
+TEST(ConstProp, MultipleConstantsAcrossBranches) {
+  // Figure 2's shape: two paths materialize 0 and 5.
+  auto so = OneFn([](CodeBuilder& b) {
+    auto arm = b.new_label();
+    auto join = b.new_label();
+    b.cmp_ri(Reg::R1, 0);
+    b.jne(arm);
+    b.mov_ri(Reg::R0, 0);
+    b.jmp(join);
+    b.bind(arm);
+    b.mov_ri(Reg::R0, 5);
+    b.bind(join);
+    b.ret();
+  });
+  EXPECT_EQ(ReturnValues(Analyze(so)), (std::set<int64_t>{0, 5}));
+}
+
+TEST(ConstProp, PropagationThroughMovChain) {
+  auto so = OneFn([](CodeBuilder& b) {
+    b.mov_ri(Reg::R3, -22);
+    b.mov_rr(Reg::R2, Reg::R3);
+    b.mov_rr(Reg::R0, Reg::R2);
+    b.ret();
+  });
+  FunctionSummary s = Analyze(so);
+  EXPECT_EQ(ReturnValues(s), (std::set<int64_t>{-22}));
+  EXPECT_GE(s.max_hops, 2);
+  EXPECT_LE(s.max_hops, 3);  // the paper observed <= 3 hops
+}
+
+TEST(ConstProp, PropagationThroughStackSlot) {
+  // Spill through a BP slot: mov -5 -> [bp-8] -> r0.
+  CodeBuilder b;
+  b.begin_function("f");  // full prologue so BP is meaningful
+  b.sub_ri(Reg::SP, 16);
+  b.mov_ri(Reg::R1, -5);
+  b.store(Reg::BP, -8, Reg::R1);
+  b.load(Reg::R0, Reg::BP, -8);
+  b.leave_ret();
+  b.end_function();
+  auto so = sso::FromCodeUnit("lib.so", b.Finish());
+  EXPECT_EQ(ReturnValues(Analyze(so)), (std::set<int64_t>{-5}));
+}
+
+TEST(ConstProp, StoreImmediateToSlot) {
+  CodeBuilder b;
+  b.begin_function("f");
+  b.sub_ri(Reg::SP, 16);
+  b.store_i(Reg::BP, -8, -17);
+  b.load(Reg::R0, Reg::BP, -8);
+  b.leave_ret();
+  b.end_function();
+  auto so = sso::FromCodeUnit("lib.so", b.Finish());
+  EXPECT_EQ(ReturnValues(Analyze(so)), (std::set<int64_t>{-17}));
+}
+
+TEST(ConstProp, AffineTransformsApplied) {
+  // r0 = -(7) - 3 = -10
+  auto so = OneFn([](CodeBuilder& b) {
+    b.mov_ri(Reg::R0, 7);
+    b.neg(Reg::R0);
+    b.sub_ri(Reg::R0, 3);
+    b.ret();
+  });
+  EXPECT_EQ(ReturnValues(Analyze(so)), (std::set<int64_t>{-10}));
+}
+
+TEST(ConstProp, XorZeroIdiom) {
+  auto so = OneFn([](CodeBuilder& b) {
+    b.xor_rr(Reg::R0, Reg::R0);
+    b.ret();
+  });
+  EXPECT_EQ(ReturnValues(Analyze(so)), (std::set<int64_t>{0}));
+}
+
+TEST(ConstProp, OrMinusOneIdiom) {
+  // The §3.2 glibc listing's "or eax, 0xffffffff".
+  auto so = OneFn([](CodeBuilder& b) {
+    b.or_ri(Reg::R0, -1);
+    b.ret();
+  });
+  EXPECT_EQ(ReturnValues(Analyze(so)), (std::set<int64_t>{-1}));
+}
+
+TEST(ConstProp, NonConstantLoadIsUnknown) {
+  auto so = OneFn([](CodeBuilder& b) {
+    b.lea_data(Reg::R1, 0);
+    b.load(Reg::R0, Reg::R1, 0);
+    b.ret();
+  });
+  FunctionSummary s = Analyze(so);
+  EXPECT_TRUE(s.returns.empty());
+  EXPECT_TRUE(s.returns_unknown);
+}
+
+TEST(ConstProp, ArgumentReturnIsUnknown) {
+  CodeBuilder b;
+  b.begin_function("f");
+  b.load_arg(Reg::R0, 0);
+  b.leave_ret();
+  b.end_function();
+  auto so = sso::FromCodeUnit("lib.so", b.Finish());
+  FunctionSummary s = Analyze(so);
+  EXPECT_TRUE(s.returns.empty());
+  EXPECT_TRUE(s.returns_unknown);
+}
+
+TEST(ConstProp, BranchFeasibilityPrunesGuardedConstants) {
+  // if (r0 >= 0) return r0;  -- r0 set from -9 beforehand: the success
+  // path cannot carry the negative constant past the jge guard.
+  auto so = OneFn([](CodeBuilder& b) {
+    auto ok = b.new_label();
+    b.mov_ri(Reg::R0, -9);
+    b.cmp_ri(Reg::R0, 0);
+    b.jge(ok);
+    b.mov_ri(Reg::R0, -1);
+    b.ret();
+    b.bind(ok);
+    b.ret();
+  });
+  FunctionSummary s = Analyze(so);
+  // -9 must NOT be reported via the jge-taken path; -1 is reported.
+  EXPECT_EQ(ReturnValues(s), (std::set<int64_t>{-1}));
+}
+
+TEST(ConstProp, FeasibilityKeepsSatisfyingConstants) {
+  auto so = OneFn([](CodeBuilder& b) {
+    auto ok = b.new_label();
+    b.mov_ri(Reg::R0, 3);
+    b.cmp_ri(Reg::R0, 0);
+    b.jge(ok);
+    b.mov_ri(Reg::R0, -1);
+    b.ret();
+    b.bind(ok);
+    b.ret();
+  });
+  // 3 satisfies the jge guard and flows to the success return. -1 is also
+  // reported: it sits directly in the (actually dead) error block, and the
+  // analysis does not prove unreachability — the same overapproximation
+  // that produces the paper's §6.3 false positives.
+  EXPECT_EQ(ReturnValues(Analyze(so)), (std::set<int64_t>{-1, 3}));
+}
+
+TEST(ConstProp, DependentFunctionReturnsPropagate) {
+  // g returns {-7}; f tail-returns g() — f inherits -7 (§3.1).
+  CodeBuilder b;
+  b.begin_function("g");
+  b.mov_ri(Reg::R0, -7);
+  b.leave_ret();
+  b.end_function();
+  b.begin_function("f");
+  b.call_sym("g");
+  b.leave_ret();
+  b.end_function();
+  auto so = sso::FromCodeUnit("lib.so", b.Finish());
+  FunctionSummary s = Analyze(so);
+  EXPECT_EQ(ReturnValues(s), (std::set<int64_t>{-7}));
+}
+
+TEST(ConstProp, DependentRecursionAcrossLibraries) {
+  CodeBuilder inner;
+  inner.begin_function("leaf");
+  inner.mov_ri(Reg::R0, -31);
+  inner.leave_ret();
+  inner.end_function();
+  auto libinner = sso::FromCodeUnit("inner.so", inner.Finish());
+
+  CodeBuilder outer;
+  outer.begin_function("f");
+  outer.call_sym("leaf");
+  outer.leave_ret();
+  outer.end_function();
+  auto libouter = sso::FromCodeUnit("outer.so", outer.Finish());
+
+  Workspace ws;
+  ws.AddModule(&libouter);
+  ws.AddModule(&libinner);
+  ConstPropAnalyzer analyzer(ws);
+  auto s = analyzer.Analyze(libouter, "f");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(ReturnValues(s.value()), (std::set<int64_t>{-31}));
+}
+
+TEST(ConstProp, RecursionCycleTerminates) {
+  CodeBuilder b;
+  b.begin_function("a");
+  b.call_sym("b");
+  b.leave_ret();
+  b.end_function();
+  b.begin_function("b");
+  b.call_sym("a");
+  b.leave_ret();
+  b.end_function();
+  auto so = sso::FromCodeUnit("lib.so", b.Finish());
+  FunctionSummary s = Analyze(so, "a");
+  EXPECT_TRUE(s.returns.empty());
+  EXPECT_TRUE(s.returns_unknown);
+}
+
+TEST(ConstProp, SyscallPropagatesKernelConstants) {
+  // A bare syscall wrapper returns the kernel's -errno constants
+  // (close: -EBADF, -EIO, -EINTR) plus unknown success values.
+  static sso::SharedObject kernel_img = kernel::BuildKernelImage();
+  auto so = OneFn([](CodeBuilder& b) {
+    b.syscall(static_cast<uint16_t>(kernel::Sys::CLOSE));
+    b.ret();
+  });
+  Workspace ws;
+  ws.SetKernel(&kernel_img);
+  ws.AddModule(&so);
+  ConstPropAnalyzer analyzer(ws);
+  auto s = analyzer.Analyze(so, "f");
+  ASSERT_TRUE(s.ok()) << s.error();
+  EXPECT_EQ(ReturnValues(s.value()),
+            (std::set<int64_t>{-E_BADF, -E_IO, -E_INTR}));
+  EXPECT_TRUE(s.value().returns_unknown);  // the success value is native
+}
+
+TEST(ConstProp, IndirectCallBlocksPropagation) {
+  // The §3.1 limitation: constants behind CALL_IND are not found, and the
+  // summary is flagged incomplete.
+  CodeBuilder b;
+  b.begin_function("helper", false, true);
+  b.mov_ri(Reg::R0, -40);
+  b.ret();
+  b.end_function();
+  uint32_t slot = b.reserve_code_pointer(0);
+  b.begin_function("f");
+  b.lea_data(Reg::R1, static_cast<int32_t>(slot));
+  b.load(Reg::R1, Reg::R1, 0);
+  b.call_ind(Reg::R1);
+  b.leave_ret();
+  b.end_function();
+  auto so = sso::FromCodeUnit("lib.so", b.Finish());
+  FunctionSummary s = Analyze(so);
+  EXPECT_TRUE(s.returns.empty());
+  EXPECT_TRUE(s.returns_unknown);
+  EXPECT_TRUE(s.incomplete);
+}
+
+TEST(ConstProp, ScratchRegisterClobberedByCall) {
+  // A constant parked in R1 across a call must not be trusted.
+  CodeBuilder b;
+  b.begin_function("g");
+  b.mov_ri(Reg::R0, 0);
+  b.leave_ret();
+  b.end_function();
+  b.begin_function("f");
+  b.mov_ri(Reg::R1, -3);
+  b.call_sym("g");
+  b.mov_rr(Reg::R0, Reg::R1);
+  b.leave_ret();
+  b.end_function();
+  auto so = sso::FromCodeUnit("lib.so", b.Finish());
+  FunctionSummary s = Analyze(so, "f");
+  EXPECT_FALSE(ReturnValues(s).count(-3));
+}
+
+TEST(ConstProp, StackSlotSurvivesCall) {
+  CodeBuilder b;
+  b.begin_function("g");
+  b.mov_ri(Reg::R0, 0);
+  b.leave_ret();
+  b.end_function();
+  b.begin_function("f");
+  b.sub_ri(Reg::SP, 16);
+  b.store_i(Reg::BP, -8, -44);
+  b.call_sym("g");
+  b.load(Reg::R0, Reg::BP, -8);
+  b.leave_ret();
+  b.end_function();
+  auto so = sso::FromCodeUnit("lib.so", b.Finish());
+  EXPECT_EQ(ReturnValues(Analyze(so, "f")), (std::set<int64_t>{-44}));
+}
+
+TEST(ConstProp, LoopDoesNotDiverge) {
+  auto so = OneFn([](CodeBuilder& b) {
+    auto loop = b.new_label();
+    b.mov_ri(Reg::R0, -2);
+    b.bind(loop);
+    b.add_ri(Reg::R1, 1);
+    b.cmp_ri(Reg::R1, 100);
+    b.jlt(loop);
+    b.ret();
+  });
+  FunctionSummary s = Analyze(so);
+  EXPECT_TRUE(ReturnValues(s).count(-2));
+  EXPECT_LT(s.states_explored, 10000u);
+}
+
+TEST(ConstProp, OnDemandBeatsFullExpansion) {
+  auto so = OneFn([](CodeBuilder& b) {
+    for (int i = 0; i < 10; ++i) {
+      auto skip = b.new_label();
+      b.cmp_ri(Reg::R1, i);
+      b.jne(skip);
+      b.add_ri(Reg::R2, 1);
+      b.bind(skip);
+    }
+    b.mov_ri(Reg::R0, -1);
+    b.ret();
+  });
+  Workspace ws;
+  ws.AddModule(&so);
+  ConstPropAnalyzer analyzer(ws);
+  ASSERT_TRUE(analyzer.Analyze(so, "f").ok());
+  // §3.1: on-demand expansion touches far fewer G' nodes than |V|x|locs|.
+  EXPECT_LT(analyzer.total_states_explored(),
+            analyzer.full_expansion_states());
+}
+
+TEST(ConstProp, MemoizationReusesSummaries) {
+  CodeBuilder b;
+  b.begin_function("g");
+  b.mov_ri(Reg::R0, -1);
+  b.leave_ret();
+  b.end_function();
+  for (const char* name : {"f1", "f2", "f3"}) {
+    b.begin_function(name);
+    b.call_sym("g");
+    b.leave_ret();
+    b.end_function();
+  }
+  auto so = sso::FromCodeUnit("lib.so", b.Finish());
+  Workspace ws;
+  ws.AddModule(&so);
+  ConstPropAnalyzer analyzer(ws);
+  ASSERT_TRUE(analyzer.Analyze(so, "f1").ok());
+  uint64_t after_first = analyzer.total_states_explored();
+  ASSERT_TRUE(analyzer.Analyze(so, "f2").ok());
+  ASSERT_TRUE(analyzer.Analyze(so, "f3").ok());
+  // f2/f3 reuse g's summary: the added exploration is small.
+  EXPECT_LT(analyzer.total_states_explored(), after_first * 3);
+}
+
+TEST(ConstProp, UnknownExportRejected) {
+  auto so = OneFn([](CodeBuilder& b) { b.ret(); });
+  Workspace ws;
+  ws.AddModule(&so);
+  ConstPropAnalyzer analyzer(ws);
+  EXPECT_FALSE(analyzer.Analyze(so, "missing").ok());
+}
+
+// The flagship case: the full libc close() chain — libc wrapper over the
+// kernel image — reproduces the paper's §3.3 profile.
+TEST(ConstProp, LibcCloseMatchesPaperProfile) {
+  static sso::SharedObject kernel_img = kernel::BuildKernelImage();
+  static sso::SharedObject libc_so = libc::BuildLibc();
+  Workspace ws;
+  ws.SetKernel(&kernel_img);
+  ws.AddModule(&libc_so);
+  ConstPropAnalyzer analyzer(ws);
+  auto s = analyzer.Analyze(libc_so, "close");
+  ASSERT_TRUE(s.ok()) << s.error();
+  ASSERT_EQ(s.value().returns.size(), 1u);
+  const ErrorReturn& er = s.value().returns[0];
+  EXPECT_EQ(er.value, -1);
+  // TLS side effect carrying EBADF(9), EIO(5), EINTR(4).
+  ASSERT_FALSE(er.effects.empty());
+  const SideEffect* tls = nullptr;
+  for (const auto& e : er.effects) {
+    if (e.kind == SideEffect::Kind::Tls) tls = &e;
+  }
+  ASSERT_NE(tls, nullptr);
+  EXPECT_EQ(tls->module, "libc.so");
+  EXPECT_EQ(tls->values, (std::set<int64_t>{E_INTR, E_IO, E_BADF}));
+}
+
+}  // namespace
+}  // namespace lfi::analysis

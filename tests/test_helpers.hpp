@@ -1,0 +1,47 @@
+// Shared test utilities: tiny program/library builders and run harnesses.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "isa/codebuilder.hpp"
+#include "libc/libc_builder.hpp"
+#include "sso/sso.hpp"
+#include "vm/machine.hpp"
+
+namespace lfi::test {
+
+struct RunResult {
+  vm::ProcState state = vm::ProcState::Exited;
+  int64_t exit_code = 0;
+  vm::Signal signal = vm::Signal::None;
+  std::string fault;
+};
+
+/// Run `entry` of an already-configured machine to completion.
+inline RunResult RunEntry(vm::Machine& machine, const std::string& entry) {
+  auto pid = machine.CreateProcess(entry);
+  RunResult r;
+  if (!pid.ok()) {
+    r.state = vm::ProcState::Faulted;
+    r.fault = pid.error();
+    return r;
+  }
+  auto info = machine.RunToCompletion(pid.value());
+  r.state = info.state;
+  r.exit_code = info.exit_code;
+  r.signal = info.signal;
+  r.fault = info.fault_message;
+  return r;
+}
+
+/// Run `entry` of `app` on a fresh machine with libc loaded.
+inline RunResult RunProgram(sso::SharedObject app, const std::string& entry) {
+  vm::Machine machine;
+  machine.Load(libc::BuildLibc());
+  machine.Load(std::move(app));
+  return RunEntry(machine, entry);
+}
+
+}  // namespace lfi::test

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "analysis/heuristics.hpp"
+
+namespace lfi::analysis {
+namespace {
+
+FunctionSummary MakeSummary(std::vector<int64_t> returns,
+                            size_t instruction_count = 50,
+                            bool with_effect = false) {
+  FunctionSummary s;
+  s.function = "f";
+  s.instruction_count = instruction_count;
+  for (int64_t v : returns) s.returns.push_back(ErrorReturn{v, {}, 0});
+  if (with_effect) {
+    SideEffect e;
+    e.kind = SideEffect::Kind::Tls;
+    e.module = "m";
+    s.effects.push_back(e);
+  }
+  return s;
+}
+
+std::set<int64_t> Values(const FunctionSummary& s) {
+  std::set<int64_t> out;
+  for (const auto& er : s.returns) out.insert(er.value);
+  return out;
+}
+
+TEST(Heuristics, DefaultOptionsAreNoOp) {
+  // Both heuristics are off by default (§3.1: they are unsound).
+  HeuristicOptions opts;
+  EXPECT_FALSE(opts.drop_success_zero);
+  EXPECT_FALSE(opts.drop_short_predicates);
+  auto s = ApplyHeuristics(MakeSummary({0, 1, -1}), opts);
+  EXPECT_EQ(Values(s), (std::set<int64_t>{0, 1, -1}));
+}
+
+TEST(Heuristics, DropZeroWhenOtherConstantsExist) {
+  HeuristicOptions opts;
+  opts.drop_success_zero = true;
+  auto s = ApplyHeuristics(MakeSummary({0, -1, -9}), opts);
+  EXPECT_EQ(Values(s), (std::set<int64_t>{-1, -9}));
+}
+
+TEST(Heuristics, LoneZeroKeptAsNullPointer) {
+  // "if only 0 was found, it is likely a null pointer return".
+  HeuristicOptions opts;
+  opts.drop_success_zero = true;
+  auto s = ApplyHeuristics(MakeSummary({0}), opts);
+  EXPECT_EQ(Values(s), (std::set<int64_t>{0}));
+}
+
+TEST(Heuristics, ShortPredicateEliminated) {
+  HeuristicOptions opts;
+  opts.drop_short_predicates = true;
+  auto s = ApplyHeuristics(MakeSummary({0, 1}, /*instr=*/8), opts);
+  EXPECT_TRUE(s.returns.empty());
+}
+
+TEST(Heuristics, LongBoolFunctionKept) {
+  HeuristicOptions opts;
+  opts.drop_short_predicates = true;
+  auto s = ApplyHeuristics(MakeSummary({0, 1}, /*instr=*/100), opts);
+  EXPECT_EQ(Values(s), (std::set<int64_t>{0, 1}));
+}
+
+TEST(Heuristics, ShortNonBoolKept) {
+  HeuristicOptions opts;
+  opts.drop_short_predicates = true;
+  auto s = ApplyHeuristics(MakeSummary({0, -1}, /*instr=*/8), opts);
+  EXPECT_EQ(Values(s), (std::set<int64_t>{0, -1}));
+}
+
+TEST(Heuristics, ShortPredicateWithEffectsKept) {
+  // A function that sets errno is not a pure predicate.
+  HeuristicOptions opts;
+  opts.drop_short_predicates = true;
+  auto s = ApplyHeuristics(MakeSummary({0, 1}, 8, /*with_effect=*/true), opts);
+  EXPECT_EQ(Values(s), (std::set<int64_t>{0, 1}));
+}
+
+TEST(Heuristics, BothHeuristicsCompose) {
+  HeuristicOptions opts;
+  opts.drop_success_zero = true;
+  opts.drop_short_predicates = true;
+  // Not a predicate (has -9), so heuristic 2 keeps it; heuristic 1 drops 0.
+  auto s = ApplyHeuristics(MakeSummary({0, 1, -9}, 8), opts);
+  EXPECT_EQ(Values(s), (std::set<int64_t>{1, -9}));
+}
+
+TEST(Heuristics, ThresholdBoundary) {
+  HeuristicOptions opts;
+  opts.drop_short_predicates = true;
+  opts.short_function_max_instructions = 12;
+  EXPECT_TRUE(ApplyHeuristics(MakeSummary({0, 1}, 12), opts).returns.empty());
+  EXPECT_FALSE(ApplyHeuristics(MakeSummary({0, 1}, 13), opts).returns.empty());
+}
+
+}  // namespace
+}  // namespace lfi::analysis

@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include "isa/isa.hpp"
+#include "util/rng.hpp"
+
+namespace lfi::isa {
+namespace {
+
+Instr Make(Opcode op, Reg a = Reg::R0, Reg b = Reg::R0, int64_t imm = 0,
+           int32_t disp = 0, uint16_t u16 = 0) {
+  Instr i;
+  i.op = op;
+  i.a = a;
+  i.b = b;
+  i.imm = imm;
+  i.disp = disp;
+  i.u16 = u16;
+  return i;
+}
+
+TEST(IsaEncode, SizesMatchLayout) {
+  for (uint8_t raw = 0; raw < static_cast<uint8_t>(Opcode::kCount); ++raw) {
+    Opcode op = static_cast<Opcode>(raw);
+    std::vector<uint8_t> bytes;
+    Encode(Make(op, Reg::R1, Reg::R2, 5, 6, 7), &bytes);
+    EXPECT_EQ(bytes.size(), EncodedSize(op)) << OpcodeName(op);
+  }
+}
+
+// Round-trip every opcode through encode -> decode.
+class OpcodeRoundTrip : public ::testing::TestWithParam<uint8_t> {};
+
+TEST_P(OpcodeRoundTrip, EncodeDecode) {
+  Opcode op = static_cast<Opcode>(GetParam());
+  Instr in = Make(op, Reg::R3, Reg::R5, -123456789012345, -42, 999);
+  std::vector<uint8_t> bytes;
+  Encode(in, &bytes);
+  auto out = DecodeOne(bytes, 0);
+  ASSERT_TRUE(out.ok()) << out.error();
+  const Instr& d = out.value();
+  EXPECT_EQ(d.op, op);
+  EXPECT_EQ(d.size, bytes.size());
+  switch (LayoutOf(op)) {
+    case OperandLayout::None:
+      break;
+    case OperandLayout::R:
+      EXPECT_EQ(d.a, in.a);
+      break;
+    case OperandLayout::RR:
+      EXPECT_EQ(d.a, in.a);
+      EXPECT_EQ(d.b, in.b);
+      break;
+    case OperandLayout::RI:
+      EXPECT_EQ(d.a, in.a);
+      EXPECT_EQ(d.imm, in.imm);
+      break;
+    case OperandLayout::RRD:
+      EXPECT_EQ(d.a, in.a);
+      EXPECT_EQ(d.b, in.b);
+      EXPECT_EQ(d.disp, in.disp);
+      break;
+    case OperandLayout::RDR:
+      EXPECT_EQ(d.a, in.a);
+      EXPECT_EQ(d.b, in.b);
+      EXPECT_EQ(d.disp, in.disp);
+      break;
+    case OperandLayout::RDI:
+      EXPECT_EQ(d.a, in.a);
+      EXPECT_EQ(d.imm, in.imm);
+      EXPECT_EQ(d.disp, in.disp);
+      break;
+    case OperandLayout::RD:
+      EXPECT_EQ(d.a, in.a);
+      EXPECT_EQ(d.disp, in.disp);
+      break;
+    case OperandLayout::Rel32:
+      EXPECT_EQ(d.disp, in.disp);
+      break;
+    case OperandLayout::U16:
+      EXPECT_EQ(d.u16, in.u16);
+      break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOpcodes, OpcodeRoundTrip,
+    ::testing::Range<uint8_t>(0, static_cast<uint8_t>(Opcode::kCount)));
+
+TEST(IsaDecode, RejectsUnknownOpcode) {
+  std::vector<uint8_t> bytes = {0xEE};
+  EXPECT_FALSE(DecodeOne(bytes, 0).ok());
+}
+
+TEST(IsaDecode, RejectsTruncated) {
+  std::vector<uint8_t> bytes;
+  Encode(Make(Opcode::MOV_RI, Reg::R0, Reg::R0, 7), &bytes);
+  bytes.pop_back();
+  EXPECT_FALSE(DecodeOne(bytes, 0).ok());
+}
+
+TEST(IsaDecode, RejectsBadRegister) {
+  std::vector<uint8_t> bytes = {static_cast<uint8_t>(Opcode::PUSH), 99};
+  EXPECT_FALSE(DecodeOne(bytes, 0).ok());
+}
+
+TEST(IsaDecode, RejectsOffsetPastEnd) {
+  std::vector<uint8_t> bytes = {static_cast<uint8_t>(Opcode::NOP)};
+  EXPECT_FALSE(DecodeOne(bytes, 5).ok());
+}
+
+TEST(IsaDisassemble, LinearSweep) {
+  std::vector<uint8_t> bytes;
+  Encode(Make(Opcode::MOV_RI, Reg::R0, Reg::R0, 1), &bytes);
+  Encode(Make(Opcode::PUSH, Reg::R0), &bytes);
+  Encode(Make(Opcode::RET), &bytes);
+  auto instrs = Disassemble(bytes, 0, static_cast<uint32_t>(bytes.size()));
+  ASSERT_TRUE(instrs.ok());
+  ASSERT_EQ(instrs.value().size(), 3u);
+  EXPECT_EQ(instrs.value()[0].offset, 0u);
+  EXPECT_EQ(instrs.value()[1].offset, 10u);
+  EXPECT_EQ(instrs.value()[2].offset, 12u);
+}
+
+TEST(IsaDisassemble, FailsOnGarbage) {
+  std::vector<uint8_t> bytes = {0xEE, 0xFF};
+  EXPECT_FALSE(Disassemble(bytes, 0, 2).ok());
+}
+
+TEST(IsaInstr, BranchClassification) {
+  EXPECT_TRUE(Make(Opcode::JMP).is_branch());
+  EXPECT_TRUE(Make(Opcode::JE).is_cond_branch());
+  EXPECT_FALSE(Make(Opcode::JMP).is_cond_branch());
+  EXPECT_TRUE(Make(Opcode::JMP_IND).is_branch());
+  EXPECT_FALSE(Make(Opcode::CALL).is_branch());
+  EXPECT_TRUE(Make(Opcode::CALL).is_call());
+  EXPECT_TRUE(Make(Opcode::CALL_SYM).is_call());
+  EXPECT_TRUE(Make(Opcode::RET).is_terminator());
+  EXPECT_TRUE(Make(Opcode::HALT).is_terminator());
+  EXPECT_TRUE(Make(Opcode::ABORT).is_terminator());
+  EXPECT_FALSE(Make(Opcode::MOV_RI).is_terminator());
+}
+
+TEST(IsaInstr, RelTargetArithmetic) {
+  Instr j = Make(Opcode::JMP, Reg::R0, Reg::R0, 0, 10);
+  j.offset = 100;
+  j.size = 5;
+  EXPECT_EQ(j.rel_target(), 115u);
+  Instr back = Make(Opcode::JMP, Reg::R0, Reg::R0, 0, -20);
+  back.offset = 100;
+  back.size = 5;
+  EXPECT_EQ(back.rel_target(), 85u);
+}
+
+TEST(IsaInstr, ToStringMentionsOperands) {
+  Instr mov = Make(Opcode::MOV_RI, Reg::R2, Reg::R0, -5);
+  EXPECT_NE(mov.ToString().find("r2"), std::string::npos);
+  EXPECT_NE(mov.ToString().find("-5"), std::string::npos);
+  Instr st = Make(Opcode::STORE, Reg::BP, Reg::R1, 0, -8);
+  EXPECT_NE(st.ToString().find("[bp-8]"), std::string::npos);
+}
+
+TEST(IsaRegs, NamesDistinct) {
+  std::set<std::string> names;
+  for (int r = 0; r < kNumRegs; ++r) {
+    names.insert(RegName(static_cast<Reg>(r)));
+  }
+  EXPECT_EQ(names.size(), static_cast<size_t>(kNumRegs));
+}
+
+// Property: random instruction sequences round-trip through the
+// disassembler (the profiler's substrate must decode what the builder
+// encodes, always).
+class StreamRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StreamRoundTrip, EncodeDecodeStream) {
+  Rng rng(GetParam());
+  std::vector<Instr> in;
+  std::vector<uint8_t> bytes;
+  for (int i = 0; i < 200; ++i) {
+    Opcode op = static_cast<Opcode>(
+        rng.below(static_cast<uint64_t>(Opcode::kCount)));
+    Instr ins = Make(op, static_cast<Reg>(rng.below(kNumRegs)),
+                     static_cast<Reg>(rng.below(kNumRegs)),
+                     static_cast<int64_t>(rng.next()),
+                     static_cast<int32_t>(rng.next()),
+                     static_cast<uint16_t>(rng.next()));
+    in.push_back(ins);
+    Encode(ins, &bytes);
+  }
+  auto out = Disassemble(bytes, 0, static_cast<uint32_t>(bytes.size()));
+  ASSERT_TRUE(out.ok()) << out.error();
+  ASSERT_EQ(out.value().size(), in.size());
+  for (size_t i = 0; i < in.size(); ++i) {
+    EXPECT_EQ(out.value()[i].op, in[i].op) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StreamRoundTrip,
+                         ::testing::Range<uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace lfi::isa

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "core/profile.hpp"
+#include "util/errno_table.hpp"
+
+namespace lfi::core {
+namespace {
+
+FaultProfile Sample() {
+  FaultProfile p;
+  p.library = "libc.so";
+  FunctionProfile close_fn;
+  close_fn.name = "close";
+  ProfileErrorCode ec;
+  ec.retval = -1;
+  ProfileSideEffect se;
+  se.type = ProfileSideEffect::Type::Tls;
+  se.module = "libc.so";
+  se.offset = 0;
+  se.values = {E_INTR, E_IO, E_BADF};
+  ec.side_effects.push_back(se);
+  close_fn.error_codes.push_back(ec);
+  p.functions.push_back(close_fn);
+
+  FunctionProfile malloc_fn;
+  malloc_fn.name = "malloc";
+  ProfileErrorCode null_ec;
+  null_ec.retval = 0;
+  ProfileSideEffect nse;
+  nse.type = ProfileSideEffect::Type::Tls;
+  nse.module = "libc.so";
+  nse.offset = 0;
+  nse.values = {E_NOMEM};
+  null_ec.side_effects.push_back(nse);
+  malloc_fn.error_codes.push_back(null_ec);
+  p.functions.push_back(malloc_fn);
+
+  FunctionProfile plain;
+  plain.name = "getpid";
+  p.functions.push_back(plain);
+  return p;
+}
+
+TEST(FaultProfile, XmlRoundTrip) {
+  FaultProfile p = Sample();
+  auto parsed = FaultProfile::FromXml(p.ToXml());
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  const FaultProfile& q = parsed.value();
+  EXPECT_EQ(q.library, "libc.so");
+  ASSERT_EQ(q.functions.size(), 3u);
+  const FunctionProfile* close_fn = q.function("close");
+  ASSERT_NE(close_fn, nullptr);
+  ASSERT_EQ(close_fn->error_codes.size(), 1u);
+  EXPECT_EQ(close_fn->error_codes[0].retval, -1);
+  ASSERT_EQ(close_fn->error_codes[0].side_effects.size(), 1u);
+  EXPECT_EQ(close_fn->error_codes[0].side_effects[0].values,
+            (std::vector<int64_t>{E_INTR, E_IO, E_BADF}));
+}
+
+TEST(FaultProfile, XmlShapeMatchesPaper) {
+  std::string xml = Sample().ToXml();
+  EXPECT_NE(xml.find("<profile"), std::string::npos);
+  EXPECT_NE(xml.find("<function name=\"close\">"), std::string::npos);
+  EXPECT_NE(xml.find("<error-codes retval=\"-1\">"), std::string::npos);
+  EXPECT_NE(xml.find("side-effect type=\"TLS\""), std::string::npos);
+  // One element per side-effect value, like the paper's sample.
+  size_t count = 0;
+  for (size_t at = 0; (at = xml.find("<side-effect", at)) != std::string::npos;
+       ++at) {
+    ++count;
+  }
+  EXPECT_EQ(count, 4u);  // 3 for close + 1 for malloc
+}
+
+TEST(FaultProfile, ParsePaperStyleSnippet) {
+  auto parsed = FaultProfile::FromXml(R"(
+    <profile library="libc.so.6">
+      <function name="close">
+        <error-codes retval="-1">
+          <side-effect type="TLS" module="libc.so.6" offset="1245172">9</side-effect>
+          <side-effect type="TLS" module="libc.so.6" offset="1245172">5</side-effect>
+          <side-effect type="TLS" module="libc.so.6" offset="1245172">4</side-effect>
+        </error-codes>
+      </function>
+    </profile>)");
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  const FunctionProfile* fn = parsed.value().function("close");
+  ASSERT_NE(fn, nullptr);
+  // Same-location elements merge into one effect with three values.
+  ASSERT_EQ(fn->error_codes[0].side_effects.size(), 1u);
+  EXPECT_EQ(fn->error_codes[0].side_effects[0].values.size(), 3u);
+}
+
+TEST(FaultProfile, ArgSideEffectRoundTrip) {
+  FaultProfile p;
+  p.library = "x.so";
+  FunctionProfile fn;
+  fn.name = "f";
+  ProfileErrorCode ec;
+  ec.retval = -1;
+  ProfileSideEffect se;
+  se.type = ProfileSideEffect::Type::Arg;
+  se.arg_index = 2;
+  se.values = {7};
+  ec.side_effects.push_back(se);
+  fn.error_codes.push_back(ec);
+  p.functions.push_back(fn);
+
+  auto parsed = FaultProfile::FromXml(p.ToXml());
+  ASSERT_TRUE(parsed.ok());
+  const auto& q = parsed.value().functions[0].error_codes[0].side_effects[0];
+  EXPECT_EQ(q.type, ProfileSideEffect::Type::Arg);
+  EXPECT_EQ(q.arg_index, 2);
+}
+
+TEST(FaultProfile, IncompleteFlagRoundTrip) {
+  FaultProfile p;
+  p.library = "x.so";
+  FunctionProfile fn;
+  fn.name = "f";
+  fn.incomplete = true;
+  p.functions.push_back(fn);
+  auto parsed = FaultProfile::FromXml(p.ToXml());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.value().functions[0].incomplete);
+}
+
+TEST(FaultProfile, InjectablesFlattenTlsValues) {
+  FaultProfile p = Sample();
+  auto pairs = p.function("close")->injectables();
+  ASSERT_EQ(pairs.size(), 3u);
+  for (const auto& [retval, err] : pairs) {
+    EXPECT_EQ(retval, -1);
+    ASSERT_TRUE(err.has_value());
+  }
+}
+
+TEST(FaultProfile, InjectablesWithoutEffects) {
+  FunctionProfile fn;
+  fn.name = "f";
+  ProfileErrorCode ec;
+  ec.retval = -2;
+  fn.error_codes.push_back(ec);
+  auto pairs = fn.injectables();
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].first, -2);
+  EXPECT_FALSE(pairs[0].second.has_value());
+}
+
+TEST(FaultProfile, RejectsBadXml) {
+  EXPECT_FALSE(FaultProfile::FromXml("<notprofile />").ok());
+  EXPECT_FALSE(FaultProfile::FromXml("<profile><function /></profile>").ok());
+  EXPECT_FALSE(FaultProfile::FromXml(
+                   "<profile><function name=\"f\"><error-codes /></function>"
+                   "</profile>")
+                   .ok());
+  EXPECT_FALSE(FaultProfile::FromXml("garbage").ok());
+}
+
+TEST(FaultProfile, FunctionLookup) {
+  FaultProfile p = Sample();
+  EXPECT_NE(p.function("close"), nullptr);
+  EXPECT_EQ(p.function("nope"), nullptr);
+  EXPECT_NE(p.function("close")->error_code(-1), nullptr);
+  EXPECT_EQ(p.function("close")->error_code(0), nullptr);
+}
+
+}  // namespace
+}  // namespace lfi::core

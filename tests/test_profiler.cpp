@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include "apps/webserver.hpp"
+#include "core/profiler.hpp"
+#include "kernel/kernel_image.hpp"
+#include "libc/libc_builder.hpp"
+#include "util/errno_table.hpp"
+
+namespace lfi::core {
+namespace {
+
+class ProfilerTest : public ::testing::Test {
+ protected:
+  ProfilerTest() {
+    ws_.SetKernel(&kernel_);
+    ws_.AddModule(&libc_);
+  }
+
+  static inline const sso::SharedObject kernel_ = kernel::BuildKernelImage();
+  static inline const sso::SharedObject libc_ = libc::BuildLibc();
+  analysis::Workspace ws_;
+};
+
+TEST_F(ProfilerTest, CloseProfileMatchesPaperSection33) {
+  Profiler profiler(ws_);
+  auto profile = profiler.ProfileLibrary(libc_);
+  ASSERT_TRUE(profile.ok()) << profile.error();
+  const FunctionProfile* close_fn = profile.value().function("close");
+  ASSERT_NE(close_fn, nullptr);
+  ASSERT_EQ(close_fn->error_codes.size(), 1u);
+  EXPECT_EQ(close_fn->error_codes[0].retval, -1);
+  std::set<int64_t> errnos;
+  for (const auto& se : close_fn->error_codes[0].side_effects) {
+    if (se.type == ProfileSideEffect::Type::Tls) {
+      errnos.insert(se.values.begin(), se.values.end());
+    }
+  }
+  EXPECT_EQ(errnos, (std::set<int64_t>{E_BADF, E_IO, E_INTR}));
+}
+
+TEST_F(ProfilerTest, ReadProfileHasFourErrnos) {
+  Profiler profiler(ws_);
+  auto profile = profiler.ProfileLibrary(libc_);
+  ASSERT_TRUE(profile.ok());
+  const FunctionProfile* read_fn = profile.value().function("read");
+  ASSERT_NE(read_fn, nullptr);
+  auto pairs = read_fn->injectables();
+  std::set<int64_t> errnos;
+  for (const auto& [rv, err] : pairs) {
+    EXPECT_EQ(rv, -1);
+    if (err) errnos.insert(*err);
+  }
+  EXPECT_EQ(errnos, (std::set<int64_t>{E_BADF, E_IO, E_INTR, E_AGAIN}));
+}
+
+TEST_F(ProfilerTest, MallocReturnsNullWithENOMEM) {
+  Profiler profiler(ws_);
+  auto profile = profiler.ProfileLibrary(libc_);
+  ASSERT_TRUE(profile.ok());
+  const FunctionProfile* malloc_fn = profile.value().function("malloc");
+  ASSERT_NE(malloc_fn, nullptr);
+  ASSERT_EQ(malloc_fn->error_codes.size(), 1u);
+  EXPECT_EQ(malloc_fn->error_codes[0].retval, 0);  // NULL
+  auto pairs = malloc_fn->injectables();
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].second, E_NOMEM);
+}
+
+TEST_F(ProfilerTest, CallocInheritsMallocProfile) {
+  // Dependent-function recursion through an exported sibling (§3.1).
+  Profiler profiler(ws_);
+  auto profile = profiler.ProfileLibrary(libc_);
+  ASSERT_TRUE(profile.ok());
+  const FunctionProfile* calloc_fn = profile.value().function("calloc");
+  ASSERT_NE(calloc_fn, nullptr);
+  ASSERT_FALSE(calloc_fn->error_codes.empty());
+  EXPECT_EQ(calloc_fn->error_codes[0].retval, 0);
+}
+
+TEST_F(ProfilerTest, ReaddirReturnsNullViaDependentRead) {
+  Profiler profiler(ws_);
+  auto profile = profiler.ProfileLibrary(libc_);
+  ASSERT_TRUE(profile.ok());
+  const FunctionProfile* rd = profile.value().function("readdir");
+  ASSERT_NE(rd, nullptr);
+  bool has_null = false;
+  for (const auto& ec : rd->error_codes) has_null |= ec.retval == 0;
+  EXPECT_TRUE(has_null);
+}
+
+TEST_F(ProfilerTest, GetpidHasNoErrorCodes) {
+  Profiler profiler(ws_);
+  auto profile = profiler.ProfileLibrary(libc_);
+  ASSERT_TRUE(profile.ok());
+  const FunctionProfile* fn = profile.value().function("getpid");
+  ASSERT_NE(fn, nullptr);
+  EXPECT_TRUE(fn->error_codes.empty());
+}
+
+TEST_F(ProfilerTest, ProfilesEveryExport) {
+  Profiler profiler(ws_);
+  auto profile = profiler.ProfileLibrary(libc_);
+  ASSERT_TRUE(profile.ok());
+  EXPECT_EQ(profile.value().functions.size(), libc_.exports.size());
+  EXPECT_EQ(profiler.stats().functions_profiled, libc_.exports.size());
+}
+
+TEST_F(ProfilerTest, WorksOnStrippedLibrary) {
+  sso::SharedObject stripped = libc_;
+  stripped.Strip();
+  analysis::Workspace ws;
+  ws.SetKernel(&kernel_);
+  ws.AddModule(&stripped);
+  Profiler profiler(ws);
+  auto profile = profiler.ProfileLibrary(stripped);
+  ASSERT_TRUE(profile.ok()) << profile.error();
+  const FunctionProfile* close_fn = profile.value().function("close");
+  ASSERT_NE(close_fn, nullptr);
+  EXPECT_FALSE(close_fn->error_codes.empty());
+}
+
+TEST_F(ProfilerTest, HopsStayWithinPaperBound) {
+  Profiler profiler(ws_);
+  ASSERT_TRUE(profiler.ProfileLibrary(libc_).ok());
+  // §6.2: "we have found this number to be always 3 or less" for direct
+  // propagation; dependent calls add one hop per call level, and readdir
+  // stacks read -> syscall -> kernel, so allow a modest bound.
+  EXPECT_LE(profiler.stats().max_hops, 8);
+}
+
+TEST_F(ProfilerTest, ApplicationProfilingWalksNeededClosure) {
+  // webserver.so needs libc + libapr + libaprutil; apr libs need libc.
+  sso::SharedObject apr = apps::BuildLibApr();
+  sso::SharedObject aprutil = apps::BuildLibAprUtil();
+  sso::SharedObject web = apps::BuildWebServer(1, false);
+  analysis::Workspace ws;
+  ws.SetKernel(&kernel_);
+  ws.AddModule(&libc_);
+  ws.AddModule(&apr);
+  ws.AddModule(&aprutil);
+  ws.AddModule(&web);
+  Profiler profiler(ws);
+  auto profiles = profiler.ProfileApplication(web);
+  ASSERT_TRUE(profiles.ok()) << profiles.error();
+  std::set<std::string> names;
+  for (const auto& p : profiles.value()) names.insert(p.library);
+  EXPECT_EQ(names, (std::set<std::string>{"libc.so", "libapr.so",
+                                          "libaprutil.so"}));
+}
+
+TEST_F(ProfilerTest, CrossLibraryDependentProfile) {
+  // apr_file_close wraps libc close: it must inherit -1 + EBADF/EIO/EINTR.
+  sso::SharedObject apr = apps::BuildLibApr();
+  analysis::Workspace ws;
+  ws.SetKernel(&kernel_);
+  ws.AddModule(&libc_);
+  ws.AddModule(&apr);
+  Profiler profiler(ws);
+  auto profile = profiler.ProfileLibrary(apr);
+  ASSERT_TRUE(profile.ok()) << profile.error();
+  const FunctionProfile* fn = profile.value().function("apr_file_close");
+  ASSERT_NE(fn, nullptr);
+  ASSERT_FALSE(fn->error_codes.empty());
+  EXPECT_EQ(fn->error_codes[0].retval, -1);
+  std::set<int64_t> errnos;
+  for (const auto& se : fn->error_codes[0].side_effects) {
+    errnos.insert(se.values.begin(), se.values.end());
+  }
+  EXPECT_TRUE(errnos.count(E_BADF));
+  EXPECT_TRUE(errnos.count(E_IO));
+}
+
+TEST_F(ProfilerTest, HeuristicOptionsPropagate) {
+  ProfilerOptions opts;
+  opts.heuristics.drop_success_zero = true;
+  Profiler profiler(ws_, opts);
+  auto profile = profiler.ProfileLibrary(libc_);
+  ASSERT_TRUE(profile.ok());
+  // malloc's lone 0 survives the zero-dropping heuristic (NULL pointer).
+  const FunctionProfile* malloc_fn = profile.value().function("malloc");
+  ASSERT_NE(malloc_fn, nullptr);
+  EXPECT_FALSE(malloc_fn->error_codes.empty());
+}
+
+TEST_F(ProfilerTest, ProfileXmlRoundTripsEndToEnd) {
+  Profiler profiler(ws_);
+  auto profile = profiler.ProfileLibrary(libc_);
+  ASSERT_TRUE(profile.ok());
+  auto parsed = FaultProfile::FromXml(profile.value().ToXml());
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  EXPECT_EQ(parsed.value().functions.size(),
+            profile.value().functions.size());
+}
+
+TEST_F(ProfilerTest, StatsAccumulate) {
+  Profiler profiler(ws_);
+  ASSERT_TRUE(profiler.ProfileLibrary(libc_).ok());
+  const ProfilerStats& stats = profiler.stats();
+  EXPECT_EQ(stats.libraries_profiled, 1u);
+  EXPECT_GT(stats.states_explored, 0u);
+  EXPECT_GT(stats.total_time.count(), 0);
+}
+
+}  // namespace
+}  // namespace lfi::core

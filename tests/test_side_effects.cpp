@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include "analysis/side_effects.hpp"
+#include "isa/codebuilder.hpp"
+
+namespace lfi::analysis {
+namespace {
+
+using isa::CodeBuilder;
+using isa::Reg;
+
+/// Scan the single-function module `body` with a solver that reports every
+/// register as the fixed constant 123 (unless overridden).
+std::vector<SideEffect> Scan(std::function<void(CodeBuilder&)> body,
+                             ValueSet solver_result = {{123}, false},
+                             bool with_prologue = false) {
+  CodeBuilder b;
+  b.begin_function("f", true, /*bare=*/!with_prologue);
+  body(b);
+  b.end_function();
+  auto so = sso::FromCodeUnit("lib.so", b.Finish());
+  auto cfg = BuildCfg(so, *so.find_export("f"));
+  EXPECT_TRUE(cfg.ok());
+  std::vector<SideEffect> all;
+  for (size_t i = 0; i < cfg.value().blocks.size(); ++i) {
+    auto effects = ScanBlockEffects(
+        cfg.value(), i, "lib.so",
+        [&](size_t, size_t, Reg) { return solver_result; });
+    for (const auto& e : effects) MergeEffect(&all, e);
+  }
+  return all;
+}
+
+TEST(SideEffects, TlsStoreDetected) {
+  auto effects = Scan([](CodeBuilder& b) {
+    b.lea_tls(Reg::R2, 0);
+    b.store(Reg::R2, 0, Reg::R1);
+    b.ret();
+  });
+  ASSERT_EQ(effects.size(), 1u);
+  EXPECT_EQ(effects[0].kind, SideEffect::Kind::Tls);
+  EXPECT_EQ(effects[0].offset, 0u);
+  EXPECT_EQ(effects[0].module, "lib.so");
+  EXPECT_EQ(effects[0].values, (std::set<int64_t>{123}));
+}
+
+TEST(SideEffects, TlsOffsetAccumulatesDisplacement) {
+  auto effects = Scan([](CodeBuilder& b) {
+    b.lea_tls(Reg::R2, 8);
+    b.store(Reg::R2, 4, Reg::R1);
+    b.ret();
+  });
+  ASSERT_EQ(effects.size(), 1u);
+  EXPECT_EQ(effects[0].offset, 12u);
+}
+
+TEST(SideEffects, GlobalStoreDetected) {
+  auto effects = Scan([](CodeBuilder& b) {
+    b.lea_data(Reg::R3, 16);
+    b.store(Reg::R3, 0, Reg::R1);
+    b.ret();
+  });
+  ASSERT_EQ(effects.size(), 1u);
+  EXPECT_EQ(effects[0].kind, SideEffect::Kind::Global);
+  EXPECT_EQ(effects[0].offset, 16u);
+}
+
+TEST(SideEffects, StoreImmediateCarriesConstant) {
+  auto effects = Scan([](CodeBuilder& b) {
+    b.lea_data(Reg::R3, 0);
+    b.store_i(Reg::R3, 0, -55);
+    b.ret();
+  });
+  ASSERT_EQ(effects.size(), 1u);
+  EXPECT_EQ(effects[0].values, (std::set<int64_t>{-55}));
+}
+
+TEST(SideEffects, OutputArgumentDetected) {
+  // §3.2: a write through a pointer loaded from a positive BP offset.
+  auto effects = Scan(
+      [](CodeBuilder& b) {
+        b.load(Reg::R3, Reg::BP, isa::ArgSlot(1));
+        b.store(Reg::R3, 0, Reg::R1);
+        b.leave_ret();
+      },
+      {{123}, false}, /*with_prologue=*/true);
+  ASSERT_EQ(effects.size(), 1u);
+  EXPECT_EQ(effects[0].kind, SideEffect::Kind::Arg);
+  EXPECT_EQ(effects[0].arg_index, 1);
+}
+
+TEST(SideEffects, BaseSurvivesMovCopies) {
+  auto effects = Scan([](CodeBuilder& b) {
+    b.lea_tls(Reg::R2, 0);
+    b.mov_rr(Reg::R4, Reg::R2);
+    b.store(Reg::R4, 0, Reg::R1);
+    b.ret();
+  });
+  ASSERT_EQ(effects.size(), 1u);
+  EXPECT_EQ(effects[0].kind, SideEffect::Kind::Tls);
+}
+
+TEST(SideEffects, LeaAdjustsTrackedBase) {
+  auto effects = Scan([](CodeBuilder& b) {
+    b.lea_tls(Reg::R2, 0);
+    b.lea(Reg::R3, Reg::R2, 24);
+    b.store(Reg::R3, 0, Reg::R1);
+    b.ret();
+  });
+  ASSERT_EQ(effects.size(), 1u);
+  EXPECT_EQ(effects[0].offset, 24u);
+}
+
+TEST(SideEffects, OverwrittenBaseNotReported) {
+  auto effects = Scan([](CodeBuilder& b) {
+    b.lea_tls(Reg::R2, 0);
+    b.mov_ri(Reg::R2, 0x5000);  // base register clobbered
+    b.store(Reg::R2, 0, Reg::R1);
+    b.ret();
+  });
+  EXPECT_TRUE(effects.empty());
+}
+
+TEST(SideEffects, CallClobbersTrackedBases) {
+  auto effects = Scan([](CodeBuilder& b) {
+    b.lea_tls(Reg::R2, 0);
+    b.call_sym("g");
+    b.store(Reg::R2, 0, Reg::R1);
+    b.ret();
+  });
+  EXPECT_TRUE(effects.empty());
+}
+
+TEST(SideEffects, PlainStackStoreNotAnEffect) {
+  auto effects = Scan(
+      [](CodeBuilder& b) {
+        b.store(Reg::BP, -8, Reg::R1);  // spill, not a side channel
+        b.leave_ret();
+      },
+      {{123}, false}, true);
+  EXPECT_TRUE(effects.empty());
+}
+
+TEST(SideEffects, UnknownSolverValuesFlagged) {
+  auto effects = Scan(
+      [](CodeBuilder& b) {
+        b.lea_tls(Reg::R2, 0);
+        b.store(Reg::R2, 0, Reg::R1);
+        b.ret();
+      },
+      ValueSet{{}, true});
+  ASSERT_EQ(effects.size(), 1u);
+  EXPECT_TRUE(effects[0].values.empty());
+  EXPECT_TRUE(effects[0].unknown_values);
+}
+
+TEST(SideEffects, MergeUnionsValuesPerLocation) {
+  std::vector<SideEffect> list;
+  SideEffect a;
+  a.kind = SideEffect::Kind::Tls;
+  a.module = "m";
+  a.offset = 0;
+  a.values = {1, 2};
+  SideEffect b = a;
+  b.values = {2, 3};
+  MergeEffect(&list, a);
+  MergeEffect(&list, b);
+  ASSERT_EQ(list.size(), 1u);
+  EXPECT_EQ(list[0].values, (std::set<int64_t>{1, 2, 3}));
+}
+
+TEST(SideEffects, MergeKeepsDistinctLocations) {
+  std::vector<SideEffect> list;
+  SideEffect a;
+  a.kind = SideEffect::Kind::Tls;
+  a.module = "m";
+  a.offset = 0;
+  SideEffect b = a;
+  b.offset = 8;
+  SideEffect c = a;
+  c.kind = SideEffect::Kind::Arg;
+  c.arg_index = 2;
+  MergeEffect(&list, a);
+  MergeEffect(&list, b);
+  MergeEffect(&list, c);
+  EXPECT_EQ(list.size(), 3u);
+}
+
+}  // namespace
+}  // namespace lfi::analysis

@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include "util/errno_table.hpp"
+#include "util/result.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace lfi {
+namespace {
+
+// ---- Result -----------------------------------------------------------------
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r = Err("boom");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error(), "boom");
+}
+
+TEST(Result, TakeMovesValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string s = std::move(r).take();
+  EXPECT_EQ(s, "payload");
+}
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_TRUE(s.error().empty());
+}
+
+TEST(Status, ErrorCarriesMessage) {
+  Status s = Err("bad");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.error(), "bad");
+}
+
+// ---- Rng ----------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, BelowZeroBoundIsZero) {
+  Rng rng(3);
+  EXPECT_EQ(rng.below(0), 0u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(13);
+  EXPECT_FALSE(rng.chance(0.0));
+  EXPECT_TRUE(rng.chance(1.0));
+  EXPECT_FALSE(rng.chance(-1.0));
+}
+
+TEST(Rng, ChanceApproximatesProbability) {
+  Rng rng(17);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.chance(0.25);
+  EXPECT_NEAR(hits / 10000.0, 0.25, 0.03);
+}
+
+TEST(Rng, ZeroSeedStillWorks) {
+  Rng rng(0);
+  EXPECT_NE(rng.next(), 0u);
+}
+
+// ---- strings -------------------------------------------------------------------
+
+TEST(Strings, FormatBasics) {
+  EXPECT_EQ(Format("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(Format("%s", ""), "");
+}
+
+TEST(Strings, SplitPreservesEmptyFields) {
+  auto parts = Split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(Strings, SplitSingle) {
+  auto parts = Split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Strings, TrimWhitespace) {
+  EXPECT_EQ(Trim("  x \t\n"), "x");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim(" \t "), "");
+}
+
+TEST(Strings, ParseIntDecimal) {
+  int64_t v = 0;
+  ASSERT_TRUE(ParseInt("-42", &v));
+  EXPECT_EQ(v, -42);
+  ASSERT_TRUE(ParseInt("  17 ", &v));
+  EXPECT_EQ(v, 17);
+}
+
+TEST(Strings, ParseIntHex) {
+  int64_t v = 0;
+  ASSERT_TRUE(ParseInt("0xff", &v));
+  EXPECT_EQ(v, 255);
+  ASSERT_TRUE(ParseInt("-0x10", &v));
+  EXPECT_EQ(v, -16);
+}
+
+TEST(Strings, ParseIntRejectsGarbage) {
+  int64_t v = 0;
+  EXPECT_FALSE(ParseInt("", &v));
+  EXPECT_FALSE(ParseInt("abc", &v));
+  EXPECT_FALSE(ParseInt("12x", &v));
+}
+
+TEST(Strings, HexFormatting) {
+  EXPECT_EQ(Hex(255), "0xff");
+  EXPECT_EQ(Hex(0), "0x0");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(StartsWith("hello", "he"));
+  EXPECT_FALSE(StartsWith("he", "hello"));
+  EXPECT_TRUE(StartsWith("x", ""));
+}
+
+// ---- errno table ---------------------------------------------------------------
+
+TEST(ErrnoTable, PaperValuesMatchLinux) {
+  // The §3.3 close example: -9/-5/-4 are EBADF/EIO/EINTR.
+  EXPECT_EQ(E_BADF, 9);
+  EXPECT_EQ(E_IO, 5);
+  EXPECT_EQ(E_INTR, 4);
+  EXPECT_EQ(E_NOMEM, 12);
+}
+
+TEST(ErrnoTable, NameRoundTrip) {
+  for (int32_t v : AllErrnos()) {
+    auto back = ErrnoFromName(ErrnoName(v));
+    ASSERT_TRUE(back.has_value()) << ErrnoName(v);
+    EXPECT_EQ(*back, v);
+  }
+}
+
+TEST(ErrnoTable, WouldBlockAlias) {
+  EXPECT_EQ(ErrnoFromName("EWOULDBLOCK"), E_AGAIN);
+}
+
+TEST(ErrnoTable, UnknownValueFormatted) {
+  EXPECT_EQ(ErrnoName(9999), "E9999");
+}
+
+TEST(ErrnoTable, UnknownNameRejected) {
+  EXPECT_FALSE(ErrnoFromName("ENOPE").has_value());
+}
+
+TEST(ErrnoTable, AllErrnosSortedUnique) {
+  const auto& all = AllErrnos();
+  for (size_t i = 1; i < all.size(); ++i) EXPECT_LT(all[i - 1], all[i]);
+}
+
+class ErrnoNameParam : public ::testing::TestWithParam<int32_t> {};
+
+TEST_P(ErrnoNameParam, NamesAreUpperCaseE) {
+  std::string name = ErrnoName(GetParam());
+  ASSERT_FALSE(name.empty());
+  EXPECT_EQ(name[0], 'E');
+}
+
+INSTANTIATE_TEST_SUITE_P(AllValues, ErrnoNameParam,
+                         ::testing::ValuesIn(AllErrnos()));
+
+}  // namespace
+}  // namespace lfi

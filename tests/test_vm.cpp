@@ -1,0 +1,491 @@
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+#include "vm/machine.hpp"
+#include "vm/memory.hpp"
+
+namespace lfi::vm {
+namespace {
+
+using isa::CodeBuilder;
+using isa::Reg;
+
+// ---- AddressSpace -------------------------------------------------------------
+
+TEST(AddressSpace, ReadWriteWithinRegion) {
+  std::vector<uint8_t> backing(64, 0);
+  AddressSpace space;
+  space.map(Region{0x1000, 64, backing.data(), true, "r"});
+  ASSERT_TRUE(space.write_u64(0x1000, 0xdeadbeef));
+  uint64_t v = 0;
+  ASSERT_TRUE(space.read_u64(0x1000, &v));
+  EXPECT_EQ(v, 0xdeadbeefu);
+}
+
+TEST(AddressSpace, RejectsOutOfRange) {
+  std::vector<uint8_t> backing(64, 0);
+  AddressSpace space;
+  space.map(Region{0x1000, 64, backing.data(), true, "r"});
+  uint64_t v = 0;
+  EXPECT_FALSE(space.read_u64(0x0, &v));
+  EXPECT_FALSE(space.read_u64(0x1000 + 60, &v));  // straddles the end
+  EXPECT_FALSE(space.write_u64(0x2000, 1));
+}
+
+TEST(AddressSpace, RejectsWriteToReadOnly) {
+  std::vector<uint8_t> backing(64, 0);
+  AddressSpace space;
+  space.map(Region{0x1000, 64, backing.data(), false, "ro"});
+  uint64_t v = 0;
+  EXPECT_TRUE(space.read_u64(0x1000, &v));
+  EXPECT_FALSE(space.write_u64(0x1000, 1));
+}
+
+TEST(AddressSpace, MultipleRegionsResolve) {
+  std::vector<uint8_t> a(16, 0), b(16, 0);
+  AddressSpace space;
+  space.map(Region{0x2000, 16, b.data(), true, "b"});
+  space.map(Region{0x1000, 16, a.data(), true, "a"});
+  ASSERT_TRUE(space.write_u64(0x1000, 1));
+  ASSERT_TRUE(space.write_u64(0x2000, 2));
+  EXPECT_EQ(a[0], 1);
+  EXPECT_EQ(b[0], 2);
+}
+
+// ---- basic execution ------------------------------------------------------------
+
+/// Build a module with a single entry running `body`, then HALT-style exit.
+template <typename Body>
+sso::SharedObject OneFn(const std::string& entry, Body&& body) {
+  CodeBuilder b;
+  b.begin_function(entry);
+  body(b);
+  b.leave_ret();
+  b.end_function();
+  return sso::FromCodeUnit("app.so", b.Finish());
+}
+
+int64_t RunAndGetExit(sso::SharedObject app, const std::string& entry) {
+  test::RunResult r = test::RunProgram(std::move(app), entry);
+  EXPECT_EQ(r.state, ProcState::Exited) << r.fault;
+  return r.exit_code;
+}
+
+TEST(VmExec, ArithmeticChain) {
+  auto app = OneFn("main", [](CodeBuilder& b) {
+    b.mov_ri(Reg::R0, 10);
+    b.add_ri(Reg::R0, 5);     // 15
+    b.mul_ri(Reg::R0, 2);     // 30
+    b.sub_ri(Reg::R0, 8);     // 22
+    b.xor_ri(Reg::R0, 1);     // 23
+    b.or_ri(Reg::R0, 8);      // 31
+    b.and_ri(Reg::R0, 0x1f);  // 31
+  });
+  EXPECT_EQ(RunAndGetExit(std::move(app), "main"), 31);
+}
+
+TEST(VmExec, RegisterMoves) {
+  auto app = OneFn("main", [](CodeBuilder& b) {
+    b.mov_ri(Reg::R3, 7);
+    b.mov_rr(Reg::R2, Reg::R3);
+    b.neg(Reg::R2);
+    b.not_(Reg::R2);  // -(-7)-1 = 6
+    b.mov_rr(Reg::R0, Reg::R2);
+  });
+  EXPECT_EQ(RunAndGetExit(std::move(app), "main"), 6);
+}
+
+TEST(VmExec, ConditionalBranches) {
+  // Compute sign(-5) via compares: expect -1.
+  auto app = OneFn("main", [](CodeBuilder& b) {
+    auto neg = b.new_label();
+    auto done = b.new_label();
+    b.mov_ri(Reg::R1, -5);
+    b.cmp_ri(Reg::R1, 0);
+    b.jlt(neg);
+    b.mov_ri(Reg::R0, 1);
+    b.jmp(done);
+    b.bind(neg);
+    b.mov_ri(Reg::R0, -1);
+    b.bind(done);
+  });
+  EXPECT_EQ(RunAndGetExit(std::move(app), "main"), -1);
+}
+
+TEST(VmExec, LoopSumsToN) {
+  // sum 1..10 = 55.
+  auto app = OneFn("main", [](CodeBuilder& b) {
+    auto loop = b.new_label();
+    auto done = b.new_label();
+    b.mov_ri(Reg::R0, 0);
+    b.mov_ri(Reg::R1, 1);
+    b.bind(loop);
+    b.cmp_ri(Reg::R1, 10);
+    b.jgt(done);
+    b.add_rr(Reg::R0, Reg::R1);
+    b.add_ri(Reg::R1, 1);
+    b.jmp(loop);
+    b.bind(done);
+  });
+  EXPECT_EQ(RunAndGetExit(std::move(app), "main"), 55);
+}
+
+TEST(VmExec, StackPushPop) {
+  auto app = OneFn("main", [](CodeBuilder& b) {
+    b.mov_ri(Reg::R1, 11);
+    b.mov_ri(Reg::R2, 22);
+    b.push(Reg::R1);
+    b.push(Reg::R2);
+    b.pop(Reg::R3);  // 22
+    b.pop(Reg::R4);  // 11
+    b.mov_rr(Reg::R0, Reg::R3);
+    b.sub_rr(Reg::R0, Reg::R4);  // 11
+  });
+  EXPECT_EQ(RunAndGetExit(std::move(app), "main"), 11);
+}
+
+TEST(VmExec, LocalCallsWithArguments) {
+  CodeBuilder b;
+  // add2(a, b) = a + b
+  b.begin_function("add2");
+  b.load_arg(Reg::R1, 0);
+  b.load_arg(Reg::R2, 1);
+  b.mov_rr(Reg::R0, Reg::R1);
+  b.add_rr(Reg::R0, Reg::R2);
+  b.leave_ret();
+  b.end_function();
+  b.begin_function("main");
+  b.mov_ri(Reg::R1, 40);
+  b.mov_ri(Reg::R2, 2);
+  b.call_named("add2", {Reg::R1, Reg::R2});
+  b.leave_ret();
+  b.end_function();
+  EXPECT_EQ(RunAndGetExit(sso::FromCodeUnit("app.so", b.Finish()), "main"), 42);
+}
+
+TEST(VmExec, DataSectionLoadStore) {
+  CodeBuilder b;
+  uint32_t slot = b.reserve_data(8);
+  b.begin_function("main");
+  b.lea_data(Reg::R1, static_cast<int32_t>(slot));
+  b.store_i(Reg::R1, 0, 99);
+  b.load(Reg::R0, Reg::R1, 0);
+  b.leave_ret();
+  b.end_function();
+  EXPECT_EQ(RunAndGetExit(sso::FromCodeUnit("app.so", b.Finish()), "main"), 99);
+}
+
+TEST(VmExec, TlsIsolatedPerProcess) {
+  // Two processes write different TLS values; each reads its own back.
+  CodeBuilder b;
+  b.reserve_tls(8);
+  b.begin_function("writer1");
+  b.mov_ri(Reg::R1, 111);
+  b.lea_tls(Reg::R2, 0);
+  b.store(Reg::R2, 0, Reg::R1);
+  b.lea_tls(Reg::R2, 0);
+  b.load(Reg::R0, Reg::R2, 0);
+  b.leave_ret();
+  b.end_function();
+  b.begin_function("writer2");
+  b.mov_ri(Reg::R1, 222);
+  b.lea_tls(Reg::R2, 0);
+  b.store(Reg::R2, 0, Reg::R1);
+  b.lea_tls(Reg::R2, 0);
+  b.load(Reg::R0, Reg::R2, 0);
+  b.leave_ret();
+  b.end_function();
+
+  Machine machine;
+  machine.Load(sso::FromCodeUnit("app.so", b.Finish()));
+  auto p1 = machine.CreateProcess("writer1");
+  auto p2 = machine.CreateProcess("writer2");
+  ASSERT_TRUE(p1.ok());
+  ASSERT_TRUE(p2.ok());
+  machine.Run();
+  EXPECT_EQ(machine.process(p1.value())->exit_code(), 111);
+  EXPECT_EQ(machine.process(p2.value())->exit_code(), 222);
+}
+
+TEST(VmExec, IndirectCallThroughDataPointer) {
+  CodeBuilder b;
+  b.begin_function("target", true, true);
+  b.mov_ri(Reg::R0, 77);
+  b.ret();
+  b.end_function();
+  uint32_t slot = b.reserve_code_pointer(0);
+  b.begin_function("main");
+  b.lea_data(Reg::R1, static_cast<int32_t>(slot));
+  b.load(Reg::R1, Reg::R1, 0);
+  b.call_ind(Reg::R1);
+  b.leave_ret();
+  b.end_function();
+  EXPECT_EQ(RunAndGetExit(sso::FromCodeUnit("app.so", b.Finish()), "main"), 77);
+}
+
+// ---- faults ----------------------------------------------------------------------
+
+TEST(VmFaults, BadMemoryAccessIsSegv) {
+  auto app = OneFn("main", [](CodeBuilder& b) {
+    b.mov_ri(Reg::R1, 0x123);  // unmapped
+    b.load(Reg::R0, Reg::R1, 0);
+  });
+  test::RunResult r = test::RunProgram(std::move(app), "main");
+  EXPECT_EQ(r.state, ProcState::Faulted);
+  EXPECT_EQ(r.signal, Signal::Segv);
+}
+
+TEST(VmFaults, WriteToCodeIsSegv) {
+  auto app = OneFn("main", [](CodeBuilder& b) {
+    b.mov_ri(Reg::R1, static_cast<int64_t>(ModuleCodeBase(1)));
+    b.store_i(Reg::R1, 0, 1);
+  });
+  test::RunResult r = test::RunProgram(std::move(app), "main");
+  EXPECT_EQ(r.state, ProcState::Faulted);
+  EXPECT_EQ(r.signal, Signal::Segv);
+}
+
+TEST(VmFaults, AbortInstruction) {
+  auto app = OneFn("main", [](CodeBuilder& b) { b.abort(); });
+  test::RunResult r = test::RunProgram(std::move(app), "main");
+  EXPECT_EQ(r.state, ProcState::Faulted);
+  EXPECT_EQ(r.signal, Signal::Abort);
+}
+
+TEST(VmFaults, UnresolvedImportIsIll) {
+  auto app = OneFn("main", [](CodeBuilder& b) { b.call_sym("nonexistent"); });
+  test::RunResult r = test::RunProgram(std::move(app), "main");
+  EXPECT_EQ(r.state, ProcState::Faulted);
+  EXPECT_EQ(r.signal, Signal::Ill);
+}
+
+TEST(VmFaults, StackOverflowDetected) {
+  CodeBuilder b;
+  b.begin_function("main");
+  auto loop = b.new_label();
+  b.bind(loop);
+  b.push(Reg::R0);
+  b.jmp(loop);
+  b.end_function();
+  test::RunResult r =
+      test::RunProgram(sso::FromCodeUnit("app.so", b.Finish()), "main");
+  EXPECT_EQ(r.state, ProcState::Faulted);
+  EXPECT_EQ(r.signal, Signal::Segv);
+}
+
+// ---- loader & interposition --------------------------------------------------------
+
+TEST(Loader, PreloadShadowsModuleExport) {
+  Machine machine;
+  machine.Load(libc::BuildLibc());
+  // Interpose getpid to return 4242 without calling the original.
+  machine.loader().RegisterNative("getpid", [](NativeFrame&) {
+    return NativeAction::Ret(4242);
+  });
+  CodeBuilder b;
+  b.begin_function("main");
+  b.call_named("getpid", {});
+  b.leave_ret();
+  b.end_function();
+  machine.Load(sso::FromCodeUnit("app.so", b.Finish(), {"libc.so"}));
+  test::RunResult r = test::RunEntry(machine, "main");
+  EXPECT_EQ(r.exit_code, 4242);
+}
+
+TEST(Loader, TailCallReachesOriginal) {
+  Machine machine;
+  machine.Load(libc::BuildLibc());
+  int calls = 0;
+  machine.loader().RegisterNative(
+      "getpid", [&machine, &calls](NativeFrame&) {
+        ++calls;
+        Target orig = machine.loader().ResolveNextName("getpid");
+        return NativeAction::Tail(orig.addr);
+      });
+  CodeBuilder b;
+  b.begin_function("main");
+  b.call_named("getpid", {});
+  b.leave_ret();
+  b.end_function();
+  machine.Load(sso::FromCodeUnit("app.so", b.Finish(), {"libc.so"}));
+  test::RunResult r = test::RunEntry(machine, "main");
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(r.exit_code, 1);  // the real getpid: pid of the only process
+}
+
+TEST(Loader, InterpositionDisableRestoresOriginal) {
+  Machine machine;
+  machine.Load(libc::BuildLibc());
+  machine.loader().RegisterNative("getpid", [](NativeFrame&) {
+    return NativeAction::Ret(999);
+  });
+  machine.loader().SetInterpositionEnabled(false);
+  CodeBuilder b;
+  b.begin_function("main");
+  b.call_named("getpid", {});
+  b.leave_ret();
+  b.end_function();
+  machine.Load(sso::FromCodeUnit("app.so", b.Finish(), {"libc.so"}));
+  test::RunResult r = test::RunEntry(machine, "main");
+  EXPECT_EQ(r.exit_code, 1);
+}
+
+TEST(Loader, ResolveNextSkipsNatives) {
+  Machine machine;
+  machine.Load(libc::BuildLibc());
+  machine.loader().RegisterNative("read", [](NativeFrame&) {
+    return NativeAction::Ret(0);
+  });
+  Target next = machine.loader().ResolveNextName("read");
+  EXPECT_EQ(next.kind, Target::Kind::Code);
+  Target first = machine.loader().ResolveName("read");
+  EXPECT_EQ(first.kind, Target::Kind::Native);
+}
+
+TEST(Loader, SymbolizeNamesFunctions) {
+  Machine machine;
+  machine.Load(libc::BuildLibc());
+  Target read = machine.loader().ResolveNextName("read");
+  EXPECT_EQ(machine.loader().Symbolize(read.addr), "read");
+  EXPECT_EQ(machine.loader().Symbolize(read.addr + 3).substr(0, 5), "read+");
+}
+
+TEST(Loader, NativeFrameReadsArguments) {
+  Machine machine;
+  machine.Load(libc::BuildLibc());
+  int64_t seen0 = 0, seen1 = 0;
+  machine.loader().RegisterNative("probe", [&](NativeFrame& f) {
+    seen0 = f.arg(0);
+    seen1 = f.arg(1);
+    return NativeAction::Ret(0);
+  });
+  CodeBuilder b;
+  b.begin_function("main");
+  b.mov_ri(Reg::R1, 31);
+  b.mov_ri(Reg::R2, 64);
+  b.call_named("probe", {Reg::R1, Reg::R2});
+  b.leave_ret();
+  b.end_function();
+  machine.Load(sso::FromCodeUnit("app.so", b.Finish()));
+  test::RunEntry(machine, "main");
+  EXPECT_EQ(seen0, 31);
+  EXPECT_EQ(seen1, 64);
+}
+
+TEST(Loader, BacktraceReflectsCallChain) {
+  Machine machine;
+  machine.Load(libc::BuildLibc());
+  std::vector<std::string> symbols;
+  machine.loader().RegisterNative("probe", [&](NativeFrame& f) {
+    for (const auto& [addr, sym] : f.backtrace()) symbols.push_back(sym);
+    return NativeAction::Ret(0);
+  });
+  CodeBuilder b;
+  b.begin_function("inner");
+  b.call_named("probe", {});
+  b.leave_ret();
+  b.end_function();
+  b.begin_function("main");
+  b.call_named("inner", {});
+  b.leave_ret();
+  b.end_function();
+  machine.Load(sso::FromCodeUnit("app.so", b.Finish()));
+  test::RunEntry(machine, "main");
+  ASSERT_GE(symbols.size(), 2u);
+  EXPECT_EQ(symbols[0], "inner");
+  EXPECT_EQ(symbols[1], "main");
+}
+
+// ---- scheduling -----------------------------------------------------------------
+
+TEST(Machine, DetectsAllExited) {
+  Machine machine;
+  CodeBuilder b;
+  b.begin_function("main");
+  b.mov_ri(Reg::R0, 0);
+  b.leave_ret();
+  b.end_function();
+  machine.Load(sso::FromCodeUnit("app.so", b.Finish()));
+  ASSERT_TRUE(machine.CreateProcess("main").ok());
+  EXPECT_EQ(machine.Run(), RunOutcome::AllExited);
+}
+
+TEST(Machine, DetectsDeadlockOnSelfPipe) {
+  // A process reading its own empty pipe (writer still open) can never be
+  // satisfied: the machine reports deadlock rather than spinning.
+  CodeBuilder b;
+  uint32_t fds = b.reserve_data(16);
+  b.begin_function("main");
+  b.lea_data(Reg::R1, static_cast<int32_t>(fds));
+  b.push(Reg::R1);
+  b.call_sym("pipe");
+  b.add_ri(Reg::SP, 8);
+  b.lea_data(Reg::R1, static_cast<int32_t>(fds));
+  b.load(Reg::R1, Reg::R1, 0);
+  b.lea_data(Reg::R2, static_cast<int32_t>(fds));
+  b.mov_ri(Reg::R3, 8);
+  b.push(Reg::R3);
+  b.push(Reg::R2);
+  b.push(Reg::R1);
+  b.call_sym("read");
+  b.add_ri(Reg::SP, 24);
+  b.leave_ret();
+  b.end_function();
+
+  Machine machine;
+  machine.Load(libc::BuildLibc());
+  machine.Load(sso::FromCodeUnit("app.so", b.Finish(), {"libc.so"}));
+  ASSERT_TRUE(machine.CreateProcess("main").ok());
+  EXPECT_EQ(machine.Run(10'000'000), RunOutcome::Deadlock);
+}
+
+TEST(Machine, BudgetExhaustionReported) {
+  CodeBuilder b;
+  b.begin_function("main");
+  auto loop = b.new_label();
+  b.bind(loop);
+  b.add_ri(Reg::R1, 1);
+  b.jmp(loop);
+  b.end_function();
+  Machine machine;
+  machine.Load(sso::FromCodeUnit("app.so", b.Finish()));
+  ASSERT_TRUE(machine.CreateProcess("main").ok());
+  EXPECT_EQ(machine.Run(10'000), RunOutcome::BudgetSpent);
+  EXPECT_GE(machine.total_instructions(), 10'000u);
+}
+
+// ---- coverage --------------------------------------------------------------------
+
+TEST(Coverage, TracksExecutedOffsetsOnly) {
+  CodeBuilder b;
+  b.begin_function("main");
+  auto skip = b.new_label();
+  b.mov_ri(Reg::R1, 1);
+  b.cmp_ri(Reg::R1, 1);
+  b.je(skip);
+  b.mov_ri(Reg::R0, 111);  // dead code under this input
+  b.bind(skip);
+  b.mov_ri(Reg::R0, 0);
+  b.leave_ret();
+  b.end_function();
+
+  Machine machine;
+  machine.Load(libc::BuildLibc());
+  size_t app_idx = machine.Load(sso::FromCodeUnit("app.so", b.Finish()));
+  CoverageTracker* tracker = machine.EnableCoverage();
+  test::RunEntry(machine, "main");
+  const auto& executed = tracker->executed(app_idx);
+  EXPECT_FALSE(executed.empty());
+  // The dead MOV_RI 111 must not be covered.
+  const auto& so = machine.loader().modules()[app_idx]->object;
+  auto instrs = isa::Disassemble(so.code, 0, static_cast<uint32_t>(so.code.size()));
+  ASSERT_TRUE(instrs.ok());
+  for (const auto& ins : instrs.value()) {
+    if (ins.op == isa::Opcode::MOV_RI && ins.imm == 111) {
+      EXPECT_FALSE(tracker->was_executed(app_idx, ins.offset));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lfi::vm

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+#include "xml/xml.hpp"
+
+namespace lfi::xml {
+namespace {
+
+TEST(XmlParse, SimpleElement) {
+  auto doc = Parse("<root />");
+  ASSERT_TRUE(doc.ok()) << doc.error();
+  EXPECT_EQ(doc.value()->name(), "root");
+}
+
+TEST(XmlParse, Attributes) {
+  auto doc = Parse(R"(<f name="close" retval="-1" />)");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.value()->attr_or("name", ""), "close");
+  EXPECT_EQ(doc.value()->attr_int("retval"), -1);
+}
+
+TEST(XmlParse, SingleQuotedAttributes) {
+  auto doc = Parse("<f a='1' />");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.value()->attr_int("a"), 1);
+}
+
+TEST(XmlParse, NestedChildren) {
+  auto doc = Parse("<a><b><c /></b><b /></a>");
+  ASSERT_TRUE(doc.ok());
+  auto bs = doc.value()->children_named("b");
+  ASSERT_EQ(bs.size(), 2u);
+  EXPECT_NE(bs[0]->child("c"), nullptr);
+  EXPECT_EQ(bs[1]->child("c"), nullptr);
+}
+
+TEST(XmlParse, TextContent) {
+  auto doc = Parse("<frame>refresh_files</frame>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.value()->text(), "refresh_files");
+}
+
+TEST(XmlParse, EntityUnescaping) {
+  auto doc = Parse("<t a=\"&lt;&amp;&gt;\">&quot;x&apos;</t>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.value()->attr_or("a", ""), "<&>");
+  EXPECT_EQ(doc.value()->text(), "\"x'");
+}
+
+TEST(XmlParse, SkipsCommentsAndDeclaration) {
+  auto doc = Parse("<?xml version=\"1.0\"?><!-- hi --><r><!-- x --><c /></r>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_NE(doc.value()->child("c"), nullptr);
+}
+
+TEST(XmlParse, PaperProfileSnippet) {
+  // The §3.3 sample profile shape parses.
+  auto doc = Parse(R"(
+    <profile>
+      <function name="close">
+        <error-codes retval="-1">
+          <side-effect type="TLS" module="libc.so.6" offset="12FFF4">-9</side-effect>
+          <side-effect type="TLS" module="libc.so.6" offset="12FFF4">-5</side-effect>
+        </error-codes>
+      </function>
+    </profile>)");
+  ASSERT_TRUE(doc.ok()) << doc.error();
+  const Node* fn = doc.value()->child("function");
+  ASSERT_NE(fn, nullptr);
+  const Node* ec = fn->child("error-codes");
+  ASSERT_NE(ec, nullptr);
+  EXPECT_EQ(ec->children_named("side-effect").size(), 2u);
+}
+
+TEST(XmlParse, RejectsMismatchedTags) {
+  EXPECT_FALSE(Parse("<a></b>").ok());
+}
+
+TEST(XmlParse, RejectsTrailingContent) {
+  EXPECT_FALSE(Parse("<a /><b />").ok());
+}
+
+TEST(XmlParse, RejectsUnterminated) {
+  EXPECT_FALSE(Parse("<a><b></b>").ok());
+  EXPECT_FALSE(Parse("<a attr=\"x").ok());
+}
+
+TEST(XmlParse, RejectsEmpty) {
+  EXPECT_FALSE(Parse("").ok());
+  EXPECT_FALSE(Parse("   ").ok());
+}
+
+TEST(XmlParse, RejectsUnquotedAttribute) {
+  EXPECT_FALSE(Parse("<a x=1 />").ok());
+}
+
+TEST(XmlNode, AttrOverwrite) {
+  Node n("x");
+  n.set_attr("k", "1");
+  n.set_attr("k", "2");
+  EXPECT_EQ(n.attr_or("k", ""), "2");
+  EXPECT_EQ(n.attrs().size(), 1u);
+}
+
+TEST(XmlNode, AttrIntMalformed) {
+  Node n("x");
+  n.set_attr("k", "abc");
+  EXPECT_FALSE(n.attr_int("k").has_value());
+}
+
+TEST(XmlSerialize, EscapesSpecials) {
+  Node n("t");
+  n.set_attr("a", "<&>\"");
+  n.set_text("a<b");
+  std::string s = n.serialize();
+  EXPECT_NE(s.find("&lt;&amp;&gt;&quot;"), std::string::npos);
+  EXPECT_NE(s.find("a&lt;b"), std::string::npos);
+}
+
+TEST(XmlSerialize, RoundTripPreservesStructure) {
+  Node root("plan");
+  root.set_attr("seed", "42");
+  Node* f = root.add_child("function");
+  f->set_attr("name", "read");
+  f->add_child("modify")->set_attr("op", "sub");
+  Node* st = f->add_child("stacktrace");
+  st->add_child("frame")->set_text("refresh_files");
+
+  auto parsed = Parse(root.serialize());
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  const Node& r = *parsed.value();
+  EXPECT_EQ(r.attr_or("seed", ""), "42");
+  const Node* fn = r.child("function");
+  ASSERT_NE(fn, nullptr);
+  EXPECT_NE(fn->child("modify"), nullptr);
+  ASSERT_NE(fn->child("stacktrace"), nullptr);
+  EXPECT_EQ(fn->child("stacktrace")->children()[0]->text(), "refresh_files");
+}
+
+// Property test: random trees survive serialize -> parse -> serialize.
+class XmlRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+namespace {
+void BuildRandomTree(lfi::Rng& rng, Node* node, int depth) {
+  int attrs = static_cast<int>(rng.below(3));
+  for (int i = 0; i < attrs; ++i) {
+    node->set_attr("a" + std::to_string(i),
+                   "v<&>'\"" + std::to_string(rng.below(100)));
+  }
+  if (depth > 0) {
+    int kids = static_cast<int>(rng.below(4));
+    for (int i = 0; i < kids; ++i) {
+      BuildRandomTree(rng, node->add_child("n" + std::to_string(i)),
+                      depth - 1);
+    }
+    if (kids == 0) node->set_text("text&<>" + std::to_string(rng.below(50)));
+  }
+}
+}  // namespace
+
+TEST_P(XmlRoundTrip, SerializeParseFixpoint) {
+  lfi::Rng rng(GetParam());
+  Node root("root");
+  BuildRandomTree(rng, &root, 3);
+  std::string first = root.serialize();
+  auto parsed = Parse(first);
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  EXPECT_EQ(parsed.value()->serialize(), first);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XmlRoundTrip,
+                         ::testing::Range<uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace lfi::xml

@@ -1,0 +1,320 @@
+// The `lfi` command-line tool — the paper's two-command workflow (§6.1:
+// "it requires issuing two commands, one for profiling and one for running
+// the tests"), plus utilities for working with synthetic binaries.
+//
+//   lfi demo-assets <dir>                 write libc/kernel/demo-app binaries
+//   lfi disasm <lib.sso>                  objdump-style listing
+//   lfi profile <target.sso> [deps...] -o profile.xml
+//   lfi generate (--random p | --exhaustive) [--seed n] <profile.xml...>
+//                -o plan.xml
+//   lfi test --app <app.sso> --entry <symbol> --plan <plan.xml>
+//            --profile <profile.xml> [--lib <dep.sso>]... [--file path]...
+//
+// Exit codes from `lfi test`: 0 = target exited cleanly, 3 = target
+// crashed under injection (a finding!), 1 = usage/setup error.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/controller.hpp"
+#include "core/profiler.hpp"
+#include "core/scenario_gen.hpp"
+#include "isa/codebuilder.hpp"
+#include "kernel/kernel_image.hpp"
+#include "libc/libc_builder.hpp"
+#include "vm/machine.hpp"
+
+using namespace lfi;
+
+namespace {
+
+bool ReadFile(const std::string& path, std::vector<uint8_t>* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  out->assign(std::istreambuf_iterator<char>(in),
+              std::istreambuf_iterator<char>());
+  return true;
+}
+
+bool ReadTextFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  out->assign(std::istreambuf_iterator<char>(in),
+              std::istreambuf_iterator<char>());
+  return true;
+}
+
+bool WriteFile(const std::string& path, const void* data, size_t size) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out.write(static_cast<const char*>(data), static_cast<std::streamsize>(size));
+  return out.good();
+}
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "lfi: %s\n", message.c_str());
+  return 1;
+}
+
+Result<sso::SharedObject> LoadSso(const std::string& path) {
+  std::vector<uint8_t> bytes;
+  if (!ReadFile(path, &bytes)) return Err("cannot read " + path);
+  return sso::SharedObject::Parse(bytes);
+}
+
+/// A demo application with an unchecked read() for `lfi test` to break.
+sso::SharedObject BuildDemoApp() {
+  isa::CodeBuilder b;
+  uint32_t path = b.emit_data({'/', 'e', 't', 'c', '/', 'c', 'f', 'g', 0});
+  uint32_t buf = b.reserve_data(128);
+  b.begin_function("main");
+  b.sub_ri(isa::Reg::SP, 16);
+  b.mov_ri(isa::Reg::R2, libc::O_RDONLY);
+  b.lea_data(isa::Reg::R1, static_cast<int32_t>(path));
+  b.push(isa::Reg::R2);
+  b.push(isa::Reg::R1);
+  b.call_sym("open");
+  b.add_ri(isa::Reg::SP, 16);
+  b.store(isa::Reg::BP, -8, isa::Reg::R0);
+  b.load(isa::Reg::R1, isa::Reg::BP, -8);
+  b.lea_data(isa::Reg::R2, static_cast<int32_t>(buf));
+  b.mov_ri(isa::Reg::R3, 64);
+  b.push(isa::Reg::R3);
+  b.push(isa::Reg::R2);
+  b.push(isa::Reg::R1);
+  b.call_sym("read");
+  b.add_ri(isa::Reg::SP, 24);
+  // BUG: result not checked; negative counts abort (models a memcpy).
+  auto ok = b.new_label();
+  b.cmp_ri(isa::Reg::R0, 0);
+  b.jge(ok);
+  b.call_sym("abort");
+  b.bind(ok);
+  b.load(isa::Reg::R1, isa::Reg::BP, -8);
+  b.push(isa::Reg::R1);
+  b.call_sym("close");
+  b.add_ri(isa::Reg::SP, 8);
+  b.mov_ri(isa::Reg::R0, 0);
+  b.leave_ret();
+  b.end_function();
+  return sso::FromCodeUnit("demoapp.so", b.Finish(), {libc::kLibcName});
+}
+
+int CmdDemoAssets(const std::vector<std::string>& args) {
+  if (args.empty()) return Fail("demo-assets: missing output directory");
+  const std::string dir = args[0];
+  struct Asset {
+    std::string file;
+    sso::SharedObject object;
+  };
+  std::vector<Asset> assets;
+  assets.push_back({dir + "/libc.sso", libc::BuildLibc()});
+  assets.push_back({dir + "/kernel.sso", kernel::BuildKernelImage()});
+  assets.push_back({dir + "/demoapp.sso", BuildDemoApp()});
+  for (const Asset& a : assets) {
+    std::vector<uint8_t> bytes = a.object.Serialize();
+    if (!WriteFile(a.file, bytes.data(), bytes.size())) {
+      return Fail("cannot write " + a.file);
+    }
+    std::printf("wrote %s (%zu bytes, %zu exports)\n", a.file.c_str(),
+                bytes.size(), a.object.exports.size());
+  }
+  return 0;
+}
+
+int CmdDisasm(const std::vector<std::string>& args) {
+  if (args.empty()) return Fail("disasm: missing .sso file");
+  auto so = LoadSso(args[0]);
+  if (!so.ok()) return Fail(so.error());
+  std::printf("%s", so.value().Disassembly().c_str());
+  return 0;
+}
+
+int CmdProfile(const std::vector<std::string>& args) {
+  std::vector<std::string> inputs;
+  std::string out_path;
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "-o" && i + 1 < args.size()) {
+      out_path = args[++i];
+    } else {
+      inputs.push_back(args[i]);
+    }
+  }
+  if (inputs.empty()) return Fail("profile: missing target .sso");
+
+  std::vector<sso::SharedObject> objects;
+  for (const std::string& path : inputs) {
+    auto so = LoadSso(path);
+    if (!so.ok()) return Fail(so.error());
+    objects.push_back(std::move(so).take());
+  }
+  sso::SharedObject kernel_img = kernel::BuildKernelImage();
+  analysis::Workspace ws;
+  ws.SetKernel(&kernel_img);
+  for (const auto& so : objects) ws.AddModule(&so);
+
+  core::Profiler profiler(ws);
+  auto profile = profiler.ProfileLibrary(objects[0]);
+  if (!profile.ok()) return Fail(profile.error());
+  std::string xml = profile.value().ToXml();
+  if (out_path.empty()) {
+    std::printf("%s", xml.c_str());
+  } else if (!WriteFile(out_path, xml.data(), xml.size())) {
+    return Fail("cannot write " + out_path);
+  }
+  std::fprintf(stderr,
+               "profiled %zu functions in %.2f ms (%llu G' states)\n",
+               profiler.stats().functions_profiled,
+               profiler.stats().total_time.count() / 1e6,
+               (unsigned long long)profiler.stats().states_explored);
+  return 0;
+}
+
+int CmdGenerate(const std::vector<std::string>& args) {
+  double probability = -1;
+  bool exhaustive = false;
+  uint64_t seed = 1;
+  std::string out_path;
+  std::vector<std::string> inputs;
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--random" && i + 1 < args.size()) {
+      probability = std::atof(args[++i].c_str());
+    } else if (args[i] == "--exhaustive") {
+      exhaustive = true;
+    } else if (args[i] == "--seed" && i + 1 < args.size()) {
+      seed = std::strtoull(args[++i].c_str(), nullptr, 10);
+    } else if (args[i] == "-o" && i + 1 < args.size()) {
+      out_path = args[++i];
+    } else {
+      inputs.push_back(args[i]);
+    }
+  }
+  if (inputs.empty()) return Fail("generate: missing profile.xml");
+  if (!exhaustive && probability < 0) {
+    return Fail("generate: need --random <p> or --exhaustive");
+  }
+  std::vector<core::FaultProfile> profiles;
+  for (const std::string& path : inputs) {
+    std::string text;
+    if (!ReadTextFile(path, &text)) return Fail("cannot read " + path);
+    auto profile = core::FaultProfile::FromXml(text);
+    if (!profile.ok()) return Fail(path + ": " + profile.error());
+    profiles.push_back(std::move(profile).take());
+  }
+  core::Plan plan = exhaustive
+                        ? core::GenerateExhaustive(profiles)
+                        : core::GenerateRandom(profiles, probability, seed);
+  std::string xml = plan.ToXml();
+  if (out_path.empty()) {
+    std::printf("%s", xml.c_str());
+  } else if (!WriteFile(out_path, xml.data(), xml.size())) {
+    return Fail("cannot write " + out_path);
+  }
+  std::fprintf(stderr, "generated %zu triggers\n", plan.triggers.size());
+  return 0;
+}
+
+int CmdTest(const std::vector<std::string>& args) {
+  std::string app_path, entry = "main", plan_path, replay_out;
+  std::vector<std::string> lib_paths, profile_paths, vfs_files;
+  for (size_t i = 0; i < args.size(); ++i) {
+    auto next = [&]() -> std::string {
+      return i + 1 < args.size() ? args[++i] : std::string();
+    };
+    if (args[i] == "--app") app_path = next();
+    else if (args[i] == "--entry") entry = next();
+    else if (args[i] == "--plan") plan_path = next();
+    else if (args[i] == "--profile") profile_paths.push_back(next());
+    else if (args[i] == "--lib") lib_paths.push_back(next());
+    else if (args[i] == "--file") vfs_files.push_back(next());
+    else if (args[i] == "--replay-out") replay_out = next();
+    else return Fail("test: unknown argument " + args[i]);
+  }
+  if (app_path.empty() || plan_path.empty()) {
+    return Fail("test: need --app and --plan");
+  }
+
+  vm::Machine machine;
+  machine.Load(libc::BuildLibc());
+  for (const std::string& path : lib_paths) {
+    auto so = LoadSso(path);
+    if (!so.ok()) return Fail(so.error());
+    machine.Load(std::move(so).take());
+  }
+  auto app = LoadSso(app_path);
+  if (!app.ok()) return Fail(app.error());
+  machine.Load(std::move(app).take());
+  for (const std::string& path : vfs_files) {
+    machine.kernel().add_file(path, std::vector<uint8_t>(256, 'x'));
+  }
+
+  std::string plan_text;
+  if (!ReadTextFile(plan_path, &plan_text)) {
+    return Fail("cannot read " + plan_path);
+  }
+  auto plan = core::Plan::FromXml(plan_text);
+  if (!plan.ok()) return Fail(plan_path + ": " + plan.error());
+  std::vector<core::FaultProfile> profiles;
+  for (const std::string& path : profile_paths) {
+    std::string text;
+    if (!ReadTextFile(path, &text)) return Fail("cannot read " + path);
+    auto profile = core::FaultProfile::FromXml(text);
+    if (!profile.ok()) return Fail(path + ": " + profile.error());
+    profiles.push_back(std::move(profile).take());
+  }
+
+  core::Controller controller(machine);
+  if (auto st = controller.Install(plan.value(), std::move(profiles));
+      !st.ok()) {
+    return Fail(st.error());
+  }
+  auto pid = machine.CreateProcess(entry);
+  if (!pid.ok()) return Fail(pid.error());
+  auto info = machine.RunToCompletion(pid.value());
+
+  std::printf("-- injection log --\n%s", controller.log().ToText().c_str());
+  if (!replay_out.empty()) {
+    std::string xml = controller.GenerateReplay().ToXml();
+    if (!WriteFile(replay_out, xml.data(), xml.size())) {
+      return Fail("cannot write " + replay_out);
+    }
+    std::printf("replay script written to %s\n", replay_out.c_str());
+  }
+  if (info.state == vm::ProcState::Exited) {
+    std::printf("target exited with code %lld after %zu injections\n",
+                (long long)info.exit_code, controller.log().size());
+    return 0;
+  }
+  std::printf("TARGET CRASHED: %s (%s) after %zu injections\n",
+              vm::SignalName(info.signal), info.fault_message.c_str(),
+              controller.log().size());
+  return 3;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) {
+    std::printf(
+        "usage: lfi <command> [args]\n"
+        "  demo-assets <dir>     write demo libc/kernel/app binaries\n"
+        "  disasm <lib.sso>      disassemble a synthetic shared object\n"
+        "  profile <sso...> [-o profile.xml]\n"
+        "  generate (--random p | --exhaustive) [--seed n] <profile.xml...>"
+        " [-o plan.xml]\n"
+        "  test --app <sso> --plan <plan.xml> [--entry sym] [--profile xml]\n"
+        "       [--lib sso]... [--file path]... [--replay-out plan.xml]\n");
+    return 1;
+  }
+  std::string cmd = args[0];
+  args.erase(args.begin());
+  if (cmd == "demo-assets") return CmdDemoAssets(args);
+  if (cmd == "disasm") return CmdDisasm(args);
+  if (cmd == "profile") return CmdProfile(args);
+  if (cmd == "generate") return CmdGenerate(args);
+  if (cmd == "test") return CmdTest(args);
+  return Fail("unknown command: " + cmd);
+}
