@@ -3,14 +3,46 @@
 // overall number (to >= 74%), with the InnoDB ibuf module gaining 12%.
 //
 // The dbserver stand-in's suite runs with and without a random libc
-// faultload; per-module basic-block coverage is measured by the VM.
+// faultload; per-module basic-block coverage is measured by the VM. The
+// suite runs execute as a fault-injection campaign (src/campaign), so this
+// bench also measures campaign scaling: the same 64-scenario set at
+// --jobs 1 vs --jobs 8 must produce identical per-scenario results while
+// the wall clock drops with the worker count.
+#include "apps/dbserver.hpp"
 #include "apps/workloads.hpp"
 #include "bench_util.hpp"
+#include "campaign/runner.hpp"
+#include "core/scenario_gen.hpp"
 #include "util/strings.hpp"
 
 namespace {
 
 using namespace lfi;
+
+/// The shared scaling workload: `count` independently-seeded random libc
+/// faultloads against the DB regression suite.
+std::vector<campaign::Scenario> ScalingScenarios(size_t count) {
+  const std::vector<core::FaultProfile>& profiles = apps::LibcProfiles();
+  std::vector<campaign::Scenario> scenarios;
+  for (size_t i = 0; i < count; ++i) {
+    campaign::Scenario s;
+    s.name = Format("db-suite-%zu", i);
+    s.plan = core::GenerateRandom(profiles, 0.01, campaign::DeriveSeed(17, i));
+    scenarios.push_back(std::move(s));
+  }
+  return scenarios;
+}
+
+campaign::CampaignReport RunScaling(const std::vector<campaign::Scenario>& set,
+                                    int jobs) {
+  campaign::CampaignOptions opts;
+  opts.jobs = jobs;
+  opts.entry = apps::kDbTestEntry;
+  opts.max_instructions = 50'000'000;
+  campaign::CampaignRunner runner(apps::DbSuiteMachineSetup(),
+                                  apps::LibcProfiles(), opts);
+  return runner.Run(set);
+}
 
 void PrintTables() {
   constexpr int kRuns = 10;
@@ -39,6 +71,30 @@ void PrintTables() {
       "\ninjection runs that crashed the server: %zu of %d "
       "(the paper saw 12 SIGSEGVs during its MySQL runs)\n",
       with.crashes, kRuns);
+
+  // Campaign scaling: 64 scenarios, 1 vs 8 workers, identical results.
+  std::vector<campaign::Scenario> set = ScalingScenarios(64);
+  campaign::CampaignReport serial = RunScaling(set, 1);
+  campaign::CampaignReport parallel = RunScaling(set, 8);
+  bool identical = serial.results.size() == parallel.results.size();
+  for (size_t i = 0; identical && i < serial.results.size(); ++i) {
+    identical = serial.results[i].injections == parallel.results[i].injections &&
+                serial.results[i].status == parallel.results[i].status &&
+                serial.results[i].exit_code == parallel.results[i].exit_code;
+  }
+  bench::PrintTable(
+      "campaign scaling: 64 DB-suite fault scenarios",
+      {{"Jobs", "Wall", "Injections", "Crashes", "Identical results"},
+       {"1", Format("%.2fs", serial.wall_seconds),
+        Format("%llu", (unsigned long long)serial.total_injections),
+        Format("%zu", serial.crashes), "-"},
+       {"8", Format("%.2fs", parallel.wall_seconds),
+        Format("%llu", (unsigned long long)parallel.total_injections),
+        Format("%zu", parallel.crashes), identical ? "yes" : "NO (BUG)"}});
+  std::printf("speedup at 8 jobs: %.2fx\n",
+              parallel.wall_seconds > 0
+                  ? serial.wall_seconds / parallel.wall_seconds
+                  : 0.0);
 }
 
 void BM_SuiteWithoutLfi(benchmark::State& state) {
@@ -54,6 +110,20 @@ void BM_SuiteWithLfi(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SuiteWithLfi)->Unit(benchmark::kMillisecond);
+
+/// Campaign throughput vs worker count over the same 64-scenario set.
+void BM_CampaignJobs(benchmark::State& state) {
+  static const std::vector<campaign::Scenario> set = ScalingScenarios(64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunScaling(set, static_cast<int>(state.range(0))));
+  }
+  state.counters["scenarios/s"] = benchmark::Counter(
+      static_cast<double>(set.size()) * state.iterations(),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CampaignJobs)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()
+    ->UseRealTime();
 
 }  // namespace
 

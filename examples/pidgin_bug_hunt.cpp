@@ -1,40 +1,75 @@
-// The §6.1 Pidgin case study, end to end:
-//   - run the IM client under random I/O fault injection (p = 0.1),
-//   - observe the SIGABRT caused by the resolver's unchecked pipe writes,
-//   - regenerate the crash deterministically from the replay script,
+// The §6.1 Pidgin case study, end to end — campaign edition:
+//   - fan 100 random-I/O fault scenarios (p = 0.1, seeds 1..100) across
+//     every core as one fault-injection campaign,
+//   - observe the SIGABRTs caused by the resolver's unchecked pipe writes,
+//   - regenerate the first crash deterministically from its replay script,
 //   - print the injection log a developer would debug from.
 #include <cstdio>
 
+#include "apps/pidgin.hpp"
 #include "apps/workloads.hpp"
+#include "campaign/runner.hpp"
+#include "core/faultloads.hpp"
+#include "util/strings.hpp"
 
 using namespace lfi;
 
 int main() {
-  std::printf("hunting: random I/O faultload, p=0.10, scanning seeds...\n");
-  for (uint64_t seed = 1; seed <= 100; ++seed) {
-    apps::PidginRunResult r = apps::RunPidginRandomIo(0.10, seed);
-    if (!r.aborted) continue;
+  constexpr double kProbability = 0.10;
+  constexpr uint64_t kSeeds = 100;
 
-    std::printf("\nseed %llu crashed the client with SIGABRT after %zu "
-                "injections (%s)\n",
-                (unsigned long long)seed, r.injections,
-                r.fault_message.c_str());
+  std::printf("hunting: random I/O faultload, p=%.2f, %llu seeds, "
+              "all cores...\n",
+              kProbability, (unsigned long long)kSeeds);
 
-    std::printf("\nreplay script:\n%s", r.replay.ToXml().c_str());
-
-    std::printf("re-running the replay script...\n");
-    apps::PidginRunResult replay = apps::RunPidginWithPlan(r.replay);
-    std::printf("replay outcome: %s\n",
-                replay.aborted ? "SIGABRT reproduced — attach the debugger"
-                               : "no crash (scheduling nondeterminism)");
-
-    std::printf(
-        "\ndiagnosis (as in the paper): the resolver child ignores write()\n"
-        "results; a failed/partial write desynchronizes the response pipe,\n"
-        "the parent reads address bytes as a length, and the resulting\n"
-        "huge malloc() fails -> abort().\n");
-    return replay.aborted ? 0 : 2;
+  const std::vector<core::FaultProfile>& profiles = apps::LibcProfiles();
+  std::vector<campaign::Scenario> scenarios;
+  for (uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    campaign::Scenario s;
+    s.name = Format("pidgin-io-seed-%llu", (unsigned long long)seed);
+    s.plan = core::FileIoFaultload(profiles, kProbability, seed);
+    scenarios.push_back(std::move(s));
   }
-  std::printf("no crashing seed in range — increase probability or range\n");
-  return 1;
+
+  campaign::CampaignOptions opts;
+  opts.jobs = 0;  // hardware concurrency
+  opts.entry = apps::kPidginEntry;
+  opts.collect_replays = true;
+  campaign::CampaignRunner runner(apps::PidginMachineSetup(), profiles, opts);
+  campaign::CampaignReport report = runner.Run(scenarios);
+
+  std::printf("%s", report.ToText().c_str());
+
+  // Lowest-seed SIGABRT, independent of worker interleaving: results are
+  // index-ordered.
+  const campaign::ScenarioResult* hit = nullptr;
+  for (const campaign::ScenarioResult& r : report.results) {
+    if (r.status == campaign::ScenarioStatus::Crashed &&
+        r.signal == vm::Signal::Abort) {
+      hit = &r;
+      break;
+    }
+  }
+  if (!hit) {
+    std::printf("no crashing seed in range — increase probability or range\n");
+    return 1;
+  }
+
+  std::printf("\n%s crashed the client with SIGABRT after %zu injections "
+              "(%s)\n",
+              hit->name.c_str(), hit->injections, hit->fault_message.c_str());
+  std::printf("\nreplay script:\n%s", hit->replay.ToXml().c_str());
+
+  std::printf("re-running the replay script...\n");
+  apps::PidginRunResult replay = apps::RunPidginWithPlan(hit->replay);
+  std::printf("replay outcome: %s\n",
+              replay.aborted ? "SIGABRT reproduced — attach the debugger"
+                             : "no crash (scheduling nondeterminism)");
+
+  std::printf(
+      "\ndiagnosis (as in the paper): the resolver child ignores write()\n"
+      "results; a failed/partial write desynchronizes the response pipe,\n"
+      "the parent reads address bytes as a length, and the resulting\n"
+      "huge malloc() fails -> abort().\n");
+  return replay.aborted ? 0 : 2;
 }

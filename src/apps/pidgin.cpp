@@ -30,7 +30,8 @@ sso::SharedObject BuildPidgin() {
   uint32_t query = b.reserve_data(16);
   uint32_t status_buf = b.reserve_data(8);
   uint32_t size_buf = b.reserve_data(8);
-  uint32_t addr_buf = b.reserve_data(16);
+  // Reserved slot in the layout; the parent reads addresses elsewhere.
+  [[maybe_unused]] uint32_t addr_buf = b.reserve_data(16);
   uint32_t resolver_name = b.emit_data(CString(kResolverEntry));
   // Pattern the child's "resolved address" bytes: 0xCACACACA... — read as
   // a size after a frame shift, this is astronomically large.

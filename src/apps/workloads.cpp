@@ -1,16 +1,19 @@
 #include "apps/workloads.hpp"
 
 #include <chrono>
+#include <memory>
 
 #include "analysis/cfg.hpp"
 #include "apps/dbserver.hpp"
 #include "apps/pidgin.hpp"
 #include "apps/webserver.hpp"
+#include "campaign/runner.hpp"
 #include "core/faultloads.hpp"
 #include "core/profiler.hpp"
 #include "core/scenario_gen.hpp"
 #include "kernel/kernel_image.hpp"
 #include "libc/libc_builder.hpp"
+#include "util/strings.hpp"
 
 namespace lfi::apps {
 
@@ -63,7 +66,39 @@ void AddDbFiles(vm::Machine& machine) {
   machine.kernel().add_file(kDbLogPath, {});
 }
 
+/// The default-config DB server image, built once and shared. Machines load
+/// copies; the blueprint itself is immutable.
+const std::vector<sso::SharedObject>& DbSuiteModules() {
+  static const std::vector<sso::SharedObject> modules =
+      BuildDbServer(DbConfig{});
+  return modules;
+}
+
 }  // namespace
+
+const std::vector<core::FaultProfile>& LibcProfiles() {
+  static const std::vector<core::FaultProfile> profiles =
+      ProfileStandardLibs({libc::BuildLibc()});
+  return profiles;
+}
+
+std::function<void(vm::Machine&)> PidginMachineSetup() {
+  auto libc_so = std::make_shared<const sso::SharedObject>(libc::BuildLibc());
+  auto pidgin = std::make_shared<const sso::SharedObject>(BuildPidgin());
+  return [libc_so, pidgin](vm::Machine& machine) {
+    machine.Load(*libc_so);
+    machine.Load(*pidgin);
+  };
+}
+
+std::function<void(vm::Machine&)> DbSuiteMachineSetup() {
+  auto libc_so = std::make_shared<const sso::SharedObject>(libc::BuildLibc());
+  return [libc_so](vm::Machine& machine) {
+    machine.Load(*libc_so);
+    for (const sso::SharedObject& so : DbSuiteModules()) machine.Load(so);
+    AddDbFiles(machine);
+  };
+}
 
 std::vector<core::FaultProfile> ProfileStandardLibs(
     const std::vector<sso::SharedObject>& libs) {
@@ -96,7 +131,7 @@ WebBenchResult RunWebBench(int requests, bool php_mode, int trigger_count,
   if (trigger_count > 0) {
     core::Plan plan = PassThroughPlan(trigger_count, WebHotFunctions(), seed);
     // No profiles: triggers without profile codes evaluate-and-pass-through.
-    (void)controller.Install(plan, {});
+    (void)controller.Install(plan, nullptr);
   }
 
   auto pid = machine.CreateProcess(kWebServerEntry);
@@ -131,7 +166,7 @@ OltpBenchResult RunOltpBench(int transactions, bool read_write,
         "open", "read", "write", "close", "fsync",
         "malloc", "free", "geterrno", "lseek", "stat"};
     core::Plan plan = PassThroughPlan(trigger_count, hot, seed);
-    (void)controller.Install(plan, {});
+    (void)controller.Install(plan, nullptr);
   }
 
   auto pid = machine.CreateProcess(kDbEntry);
@@ -173,44 +208,41 @@ std::pair<size_t, size_t> BlockCoverage(const sso::SharedObject& so,
 }
 
 CoverageReport RunDbTestSuite(bool with_lfi, int runs, double probability,
-                              uint64_t seed) {
-  CoverageReport report;
-  DbConfig config;  // the suite uses the mysql_test entry, not mysql_main
-  std::vector<sso::SharedObject> db_modules = BuildDbServer(config);
-  sso::SharedObject libc_so = libc::BuildLibc();
-  std::vector<core::FaultProfile> profiles;
-  if (with_lfi) profiles = ProfileStandardLibs({libc_so});
+                              uint64_t seed, int jobs) {
+  static const std::vector<core::FaultProfile> kNoProfiles;
+  const std::vector<core::FaultProfile>& profiles =
+      with_lfi ? LibcProfiles() : kNoProfiles;
 
-  // Aggregate executed offsets per module name across runs.
-  std::map<std::string, std::set<uint32_t>> executed;
-
+  // One campaign scenario per suite run; each run's faultload is seeded
+  // independently (matching the historical serial driver), so the outcome
+  // is identical for any jobs count.
+  std::vector<campaign::Scenario> scenarios;
+  scenarios.reserve(static_cast<size_t>(runs));
   for (int run = 0; run < runs; ++run) {
-    vm::Machine machine;
-    machine.Load(libc_so);
-    for (const sso::SharedObject& so : db_modules) machine.Load(so);
-    AddDbFiles(machine);
-    vm::CoverageTracker* tracker = machine.EnableCoverage();
-
-    core::Controller controller(machine);
+    campaign::Scenario s;
+    s.name = Format("db-suite-run-%d", run);
     if (with_lfi) {
-      core::Plan plan = core::GenerateRandom(
-          profiles, probability, seed + static_cast<uint64_t>(run) * 101);
-      (void)controller.Install(plan, profiles);
+      s.plan = core::GenerateRandom(profiles, probability,
+                                    seed + static_cast<uint64_t>(run) * 101);
     }
-
-    auto pid = machine.CreateProcess(kDbTestEntry);
-    if (!pid.ok()) continue;
-    auto info = machine.RunToCompletion(pid.value(), 50'000'000);
-    if (info.state == vm::ProcState::Faulted) ++report.crashes;
-
-    for (const auto& mod : machine.loader().modules()) {
-      const std::set<uint32_t>& offsets = tracker->executed(mod->index);
-      executed[mod->object.name].insert(offsets.begin(), offsets.end());
-    }
+    scenarios.push_back(std::move(s));
   }
 
-  for (const sso::SharedObject& so : db_modules) {
-    report.modules[so.name] = BlockCoverage(so, executed[so.name]);
+  campaign::CampaignOptions opts;
+  opts.jobs = jobs;
+  opts.entry = kDbTestEntry;
+  opts.max_instructions = 50'000'000;
+  opts.track_coverage = true;
+  campaign::CampaignRunner runner(DbSuiteMachineSetup(), profiles, opts);
+  campaign::CampaignReport campaign_report = runner.Run(scenarios);
+
+  CoverageReport report;
+  report.crashes = campaign_report.crashes;
+  static const std::set<uint32_t> kNoOffsets;
+  for (const sso::SharedObject& so : DbSuiteModules()) {
+    auto it = campaign_report.coverage.find(so.name);
+    report.modules[so.name] = BlockCoverage(
+        so, it == campaign_report.coverage.end() ? kNoOffsets : it->second);
   }
   return report;
 }
@@ -221,9 +253,7 @@ PidginRunResult RunPidginWithPlan(const core::Plan& plan) {
   machine.Load(BuildPidgin());
 
   core::Controller controller(machine);
-  std::vector<core::FaultProfile> profiles =
-      ProfileStandardLibs({libc::BuildLibc()});
-  (void)controller.Install(plan, profiles);
+  (void)controller.Install(plan, LibcProfiles());
 
   // A modest heap cap so the huge bogus malloc() fails, as Pidgin's did.
   auto pid = machine.CreateProcess(kPidginEntry, /*heap_cap_bytes=*/1 << 20);
@@ -242,9 +272,7 @@ PidginRunResult RunPidginWithPlan(const core::Plan& plan) {
 }
 
 PidginRunResult RunPidginRandomIo(double probability, uint64_t seed) {
-  std::vector<core::FaultProfile> profiles =
-      ProfileStandardLibs({libc::BuildLibc()});
-  core::Plan plan = core::FileIoFaultload(profiles, probability, seed);
+  core::Plan plan = core::FileIoFaultload(LibcProfiles(), probability, seed);
   return RunPidginWithPlan(plan);
 }
 

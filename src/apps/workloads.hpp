@@ -3,6 +3,7 @@
 // measures (completion time, txns/sec, coverage, crash discovery).
 #pragma once
 
+#include <functional>
 #include <map>
 #include <set>
 #include <string>
@@ -49,9 +50,11 @@ struct CoverageReport {
 };
 
 /// Run the regression suite `runs` times (aggregating coverage). When
-/// `with_lfi` is set, each run injects a random libc faultload.
+/// `with_lfi` is set, each run injects a random libc faultload. The runs
+/// execute as a fault-injection campaign fanned out over `jobs` workers;
+/// results are identical for any jobs count.
 CoverageReport RunDbTestSuite(bool with_lfi, int runs, double probability,
-                              uint64_t seed);
+                              uint64_t seed, int jobs = 1);
 
 // ---- §6.1: Pidgin ------------------------------------------------------------
 
@@ -80,5 +83,16 @@ std::pair<size_t, size_t> BlockCoverage(const sso::SharedObject& so,
 /// Profile libc (and optionally more libraries) for use in plans.
 std::vector<core::FaultProfile> ProfileStandardLibs(
     const std::vector<sso::SharedObject>& libs);
+
+/// Fault profiles of the synthetic libc, profiled once per process and
+/// cached — profiling is static analysis of an immutable binary, so every
+/// caller (and every campaign worker) can share one copy.
+const std::vector<core::FaultProfile>& LibcProfiles();
+
+/// Machine-setup callables for campaign workers. Each captures the
+/// pre-built shared objects by value, so workers only pay for loading a
+/// copy, not for rebuilding the target image.
+std::function<void(vm::Machine&)> PidginMachineSetup();
+std::function<void(vm::Machine&)> DbSuiteMachineSetup();
 
 }  // namespace lfi::apps

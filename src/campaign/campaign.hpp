@@ -1,0 +1,123 @@
+// Fault-injection campaigns: the unit of scale.
+//
+// The paper runs one fault scenario per LFI invocation; a campaign is the
+// production version of that loop — a set of scenarios (typically from
+// scenario_gen, one per seed / per error code) executed against one target
+// image, fanned out across worker threads. Results are per-scenario and
+// deterministic: a scenario's outcome depends only on its plan (whose seed
+// drives the trigger RNG), never on which worker ran it or in what order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/controller.hpp"
+#include "core/scenario.hpp"
+#include "vm/process.hpp"
+
+namespace lfi::campaign {
+
+/// One schedulable unit: a named fault plan plus optional per-scenario
+/// overrides of the campaign-wide entry symbol and heap cap.
+struct Scenario {
+  std::string name;
+  core::Plan plan;
+  std::string entry;            // empty = CampaignOptions::entry
+  uint64_t heap_cap_bytes = 0;  // 0 = CampaignOptions::default_heap_cap
+  /// Cost estimate for size-balanced sharding; 0 = use trigger count.
+  uint64_t weight = 0;
+};
+
+enum class ScenarioStatus {
+  Exited,      // primary process exited
+  Crashed,     // primary process faulted (a finding!)
+  Deadlocked,  // all processes blocked with no progress possible
+  BudgetSpent, // instruction budget exhausted (a hang, operationally)
+  SetupError,  // entry symbol did not resolve / install failed
+};
+
+const char* ScenarioStatusName(ScenarioStatus status);
+
+struct ScenarioResult {
+  size_t index = 0;    // position in the input scenario set
+  std::string name;
+  ScenarioStatus status = ScenarioStatus::SetupError;
+  int64_t exit_code = 0;
+  vm::Signal signal = vm::Signal::None;
+  std::string fault_message;
+  size_t injections = 0;        // records in the injection log
+  uint64_t instructions = 0;    // VM instructions this scenario executed
+  double seconds = 0;           // wall-clock for this scenario
+  /// Instruction offsets executed during this scenario (all modules),
+  /// counted against a per-scenario-cleared tracker, so the number is
+  /// identical no matter which worker ran it. 0 when coverage is off.
+  size_t covered_offsets = 0;
+  /// Replay plan (paper §5.2); populated when collect_replays is set.
+  core::Plan replay;
+};
+
+/// Aggregated campaign outcome. `results` is index-ordered regardless of
+/// worker interleaving.
+struct CampaignReport {
+  std::vector<ScenarioResult> results;
+  size_t scenarios = 0;
+  size_t crashes = 0;
+  size_t deadlocks = 0;
+  size_t budget_spent = 0;
+  size_t setup_errors = 0;
+  uint64_t total_injections = 0;
+  uint64_t total_instructions = 0;
+  double wall_seconds = 0;  // whole campaign, one clock
+  double cpu_seconds = 0;   // sum of per-scenario wall-clocks
+  /// Union basic-block coverage across all scenarios, per module name
+  /// (executed instruction offsets). Empty when coverage is off.
+  std::map<std::string, std::set<uint32_t>> coverage;
+
+  /// Recompute the aggregate counters from `results` (the runner calls
+  /// this; exposed for report merging in tests/tools).
+  void Aggregate();
+
+  /// Human-readable summary table.
+  std::string ToText() const;
+};
+
+enum class ShardPolicy {
+  RoundRobin,    // scenario i -> worker i % jobs
+  SizeBalanced,  // longest-processing-time greedy on scenario weights
+};
+
+struct CampaignOptions {
+  /// Worker threads; 0 = hardware concurrency.
+  int jobs = 1;
+  ShardPolicy shard = ShardPolicy::RoundRobin;
+  std::string entry = "main";
+  uint64_t max_instructions = 50'000'000;
+  uint64_t default_heap_cap = 1 << 20;
+  /// Track per-scenario and union basic-block coverage.
+  bool track_coverage = false;
+  /// Keep a replay plan per scenario (costs memory on big campaigns).
+  bool collect_replays = false;
+  core::ControllerOptions controller;
+};
+
+/// Split scenario indices into `jobs` shards. Every index appears exactly
+/// once across shards; shard contents are ascending. Deterministic.
+std::vector<std::vector<size_t>> ShardScenarios(
+    const std::vector<Scenario>& scenarios, size_t jobs, ShardPolicy policy);
+
+/// Mix a campaign base seed with a scenario index into a well-spread
+/// per-scenario seed (splitmix64). Scenario builders use this so every
+/// scenario owns an independent, reproducible RNG stream.
+uint64_t DeriveSeed(uint64_t base, uint64_t index);
+
+/// Run fn(0..count-1) across `jobs` threads (0 = hardware concurrency).
+/// Blocks until all calls return. fn must be safe to call concurrently on
+/// distinct indices.
+void ParallelFor(size_t count, int jobs,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace lfi::campaign

@@ -1,0 +1,148 @@
+#include "campaign/runner.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace lfi::campaign {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+double Seconds(Clock::time_point begin, Clock::time_point end) {
+  return std::chrono::duration<double>(end - begin).count();
+}
+}  // namespace
+
+CampaignRunner::CampaignRunner(MachineSetup setup,
+                               std::vector<core::FaultProfile> profiles,
+                               CampaignOptions options)
+    : setup_(std::move(setup)),
+      profiles_(std::make_shared<const std::vector<core::FaultProfile>>(
+          std::move(profiles))),
+      options_(options) {
+  if (options_.jobs <= 0) {
+    options_.jobs =
+        static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  }
+}
+
+void CampaignRunner::RunShard(
+    const std::vector<Scenario>& scenarios, const std::vector<size_t>& shard,
+    std::vector<ScenarioResult>* results,
+    std::map<std::string, std::set<uint32_t>>* coverage_out) {
+  vm::Machine machine;
+  if (setup_) setup_(machine);
+  machine.Checkpoint();
+  vm::CoverageTracker* tracker =
+      options_.track_coverage ? machine.EnableCoverage() : nullptr;
+  core::Controller controller(machine, options_.controller);
+
+  for (size_t idx : shard) {
+    const Scenario& scenario = scenarios[idx];
+    ScenarioResult& result = (*results)[idx];
+    result.index = idx;
+    result.name = scenario.name;
+
+    machine.Reset();
+    controller.Reset();
+
+    auto begin = Clock::now();
+    if (auto st = controller.Install(scenario.plan, profiles_); !st.ok()) {
+      result.status = ScenarioStatus::SetupError;
+      result.fault_message = st.error();
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    const std::string& entry =
+        scenario.entry.empty() ? options_.entry : scenario.entry;
+    uint64_t heap_cap = scenario.heap_cap_bytes != 0
+                            ? scenario.heap_cap_bytes
+                            : options_.default_heap_cap;
+    auto pid = machine.CreateProcess(entry, heap_cap);
+    if (!pid.ok()) {
+      result.status = ScenarioStatus::SetupError;
+      result.fault_message = pid.error();
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+
+    vm::RunOutcome outcome = machine.Run(options_.max_instructions);
+    result.seconds = Seconds(begin, Clock::now());
+    result.instructions = machine.total_instructions();
+    result.injections = controller.log().size();
+    if (options_.collect_replays) result.replay = controller.GenerateReplay();
+
+    vm::Process* primary = machine.process(pid.value());
+    result.exit_code = primary->exit_code();
+    result.signal = primary->signal();
+    result.fault_message = primary->fault_message();
+    if (primary->state() == vm::ProcState::Faulted) {
+      result.status = ScenarioStatus::Crashed;
+    } else if (outcome == vm::RunOutcome::Deadlock) {
+      result.status = ScenarioStatus::Deadlocked;
+    } else if (outcome == vm::RunOutcome::BudgetSpent) {
+      result.status = ScenarioStatus::BudgetSpent;
+    } else {
+      result.status = ScenarioStatus::Exited;
+    }
+
+    if (tracker) {
+      size_t offsets = 0;
+      for (const auto& mod : machine.loader().modules()) {
+        const std::set<uint32_t>& executed = tracker->executed(mod->index);
+        offsets += executed.size();
+        if (coverage_out) {
+          (*coverage_out)[mod->object.name].insert(executed.begin(),
+                                                   executed.end());
+        }
+      }
+      result.covered_offsets = offsets;
+    }
+    completed_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+CampaignReport CampaignRunner::Run(const std::vector<Scenario>& scenarios) {
+  completed_.store(0, std::memory_order_relaxed);
+  CampaignReport report;
+  if (scenarios.empty()) return report;  // skip worker/machine setup
+  report.results.resize(scenarios.size());
+
+  size_t jobs = std::min(static_cast<size_t>(options_.jobs),
+                         std::max<size_t>(scenarios.size(), 1));
+  std::vector<std::vector<size_t>> shards =
+      ShardScenarios(scenarios, jobs, options_.shard);
+  std::vector<std::map<std::string, std::set<uint32_t>>> worker_coverage(
+      shards.size());
+
+  auto begin = Clock::now();
+  if (shards.size() <= 1) {
+    if (!shards.empty()) {
+      RunShard(scenarios, shards[0], &report.results, &worker_coverage[0]);
+    }
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(shards.size());
+    for (size_t w = 0; w < shards.size(); ++w) {
+      pool.emplace_back([&, w] {
+        RunShard(scenarios, shards[w], &report.results, &worker_coverage[w]);
+      });
+    }
+    for (std::thread& t : pool) t.join();
+  }
+  report.wall_seconds = Seconds(begin, Clock::now());
+
+  // Merge worker coverage unions (set union is order-independent, so the
+  // merged result is deterministic across jobs counts).
+  if (options_.track_coverage) {
+    for (auto& per_worker : worker_coverage) {
+      for (auto& [name, offsets] : per_worker) {
+        report.coverage[name].insert(offsets.begin(), offsets.end());
+      }
+    }
+  }
+  report.Aggregate();
+  return report;
+}
+
+}  // namespace lfi::campaign

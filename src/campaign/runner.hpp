@@ -1,0 +1,66 @@
+// CampaignRunner: fan a scenario set out across a pool of worker threads.
+//
+// Each worker owns one vm::Machine + core::Controller pair for its whole
+// lifetime. The machine is built once (MachineSetup loads modules and
+// seeds the in-memory filesystem, then the runner checkpoints it) and then
+// *reset* between scenarios instead of rebuilt — module construction and
+// loading dominate per-run cost in the serial drivers, so this is where
+// the throughput comes from. Scenario state is fully isolated by
+// Machine::Reset + Controller::Reset, and each scenario's trigger RNG is
+// seeded from its own plan, so results are bit-identical across any jobs
+// count or shard policy.
+//
+// Result collection is lock-free: the results vector is pre-sized and each
+// worker writes only the slots of its shard (disjoint by construction);
+// the only shared mutable word is a relaxed progress counter.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+#include "core/profile.hpp"
+#include "vm/machine.hpp"
+
+namespace lfi::campaign {
+
+/// Prepares a freshly-constructed machine for the target under test: load
+/// libc + the application modules, add VFS files, mark listening ports.
+/// Called once per worker; must be safe to call concurrently (build the
+/// shared objects up front and capture them by value).
+using MachineSetup = std::function<void(vm::Machine&)>;
+
+class CampaignRunner {
+ public:
+  CampaignRunner(MachineSetup setup,
+                 std::vector<core::FaultProfile> profiles,
+                 CampaignOptions options = {});
+
+  /// Execute every scenario; blocks until the campaign completes.
+  CampaignReport Run(const std::vector<Scenario>& scenarios);
+
+  /// Scenarios completed so far (readable from another thread).
+  size_t completed() const { return completed_.load(std::memory_order_relaxed); }
+
+  const CampaignOptions& options() const { return options_; }
+
+ private:
+  /// One worker: run `shard`'s scenarios on a single reused machine,
+  /// writing into results[idx] slots. `coverage_out` receives the worker's
+  /// union coverage when tracking is on.
+  void RunShard(const std::vector<Scenario>& scenarios,
+                const std::vector<size_t>& shard,
+                std::vector<ScenarioResult>* results,
+                std::map<std::string, std::set<uint32_t>>* coverage_out);
+
+  MachineSetup setup_;
+  /// Shared across all workers and installs — profiles are immutable for
+  /// the campaign's lifetime, so no per-scenario copy is made.
+  std::shared_ptr<const std::vector<core::FaultProfile>> profiles_;
+  CampaignOptions options_;
+  std::atomic<size_t> completed_{0};
+};
+
+}  // namespace lfi::campaign

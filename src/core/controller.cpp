@@ -61,16 +61,26 @@ std::pair<std::string, uint32_t> ErrnoLocation(const FunctionProfile* profile,
 
 Status Controller::Install(const Plan& plan,
                            std::vector<FaultProfile> profiles) {
-  profiles_ = std::move(profiles);
-  engine_ = std::make_unique<TriggerEngine>(plan, profiles_);
-  stubs_.clear();
+  return Install(plan, std::make_shared<const std::vector<FaultProfile>>(
+                           std::move(profiles)));
+}
+
+Status Controller::Install(
+    const Plan& plan,
+    std::shared_ptr<const std::vector<FaultProfile>> profiles) {
+  // Drop any previous installation first: stale stubs in the loader would
+  // otherwise keep pointers into the engine/profiles replaced below.
+  Uninstall();
+  profiles_ = profiles ? std::move(profiles)
+                       : std::make_shared<const std::vector<FaultProfile>>();
+  engine_ = std::make_unique<TriggerEngine>(plan, *profiles_);
 
   for (const std::string& fn : engine_->functions()) {
     auto state = std::make_shared<StubState>();
     state->function = fn;
     state->engine_state = engine_->state_for(fn);
     state->needs_backtrace = engine_->needs_backtrace(fn);
-    for (const FaultProfile& p : profiles_) {
+    for (const FaultProfile& p : *profiles_) {
       if (const FunctionProfile* fp = p.function(fn)) {
         state->profile = fp;
         break;
@@ -200,6 +210,13 @@ Status Controller::Install(const Plan& plan,
 void Controller::Uninstall() {
   machine_.loader().ClearNatives();
   stubs_.clear();
+}
+
+void Controller::Reset() {
+  Uninstall();
+  engine_.reset();
+  profiles_.reset();
+  log_.Clear();
 }
 
 }  // namespace lfi::core

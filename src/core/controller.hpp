@@ -50,8 +50,19 @@ class Controller {
   /// late installs work too).
   Status Install(const Plan& plan, std::vector<FaultProfile> profiles);
 
+  /// Same, sharing an immutable profile set instead of copying it — the
+  /// campaign runner installs the same profiles once per scenario, so the
+  /// per-install deep copy matters there.
+  Status Install(const Plan& plan,
+                 std::shared_ptr<const std::vector<FaultProfile>> profiles);
+
   /// Remove all stubs (the loader then resolves to the originals again).
   void Uninstall();
+
+  /// Return to the pre-Install state: remove stubs, drop the trigger engine
+  /// and profiles, clear the injection log (sequence numbers restart).
+  /// Pairs with vm::Machine::Reset for scenario-to-scenario reuse.
+  void Reset();
 
   InjectionLog& log() { return log_; }
   const InjectionLog& log() const { return log_; }
@@ -66,7 +77,7 @@ class Controller {
   vm::Machine& machine_;
   ControllerOptions opts_;
   std::unique_ptr<TriggerEngine> engine_;
-  std::vector<FaultProfile> profiles_;
+  std::shared_ptr<const std::vector<FaultProfile>> profiles_;
   InjectionLog log_;
   std::vector<std::shared_ptr<StubState>> stubs_;
 };

@@ -31,7 +31,10 @@ class InjectionLog {
   void set_capacity(size_t cap) { capacity_ = cap; }
 
   void Add(InjectionRecord record);
-  void Clear() { records_.clear(); }
+  void Clear() {
+    records_.clear();
+    next_seq_ = 1;
+  }
 
   const std::vector<InjectionRecord>& records() const { return records_; }
   size_t size() const { return records_.size(); }

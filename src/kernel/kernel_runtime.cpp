@@ -15,6 +15,23 @@ constexpr int64_t kO_APPEND = 0x400;
 
 KernelRuntime::KernelRuntime() = default;
 
+void KernelRuntime::Checkpoint() {
+  checkpoint_ = Snapshot{files_, listening_};
+}
+
+void KernelRuntime::Reset() {
+  fds_.clear();
+  next_fd_.clear();
+  pipes_.clear();
+  sockets_.clear();
+  exited_.clear();
+  kcalls_ = 0;
+  if (checkpoint_) {
+    files_ = checkpoint_->files;
+    listening_ = checkpoint_->listening;
+  }
+}
+
 void KernelRuntime::add_file(const std::string& path,
                              std::vector<uint8_t> contents) {
   files_[path] = std::move(contents);

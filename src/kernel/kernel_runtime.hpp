@@ -59,6 +59,15 @@ class KernelRuntime {
   KResult Invoke(uint16_t number, KernelContext& ctx);
 
   // -- host-side configuration ---------------------------------------------
+  /// Snapshot the configured filesystem + listening ports. A later Reset()
+  /// restores this snapshot, so one configured kernel can serve many runs.
+  void Checkpoint();
+  bool has_checkpoint() const { return checkpoint_.has_value(); }
+  /// Drop all per-run state (fd tables, pipes, sockets, exit table, kcall
+  /// counter) and restore the Checkpoint()ed filesystem, if any. Cheap:
+  /// this is what makes a kernel reusable across campaign scenarios.
+  void Reset();
+
   /// Create / overwrite a file in the in-memory FS.
   void add_file(const std::string& path, std::vector<uint8_t> contents);
   bool has_file(const std::string& path) const;
@@ -140,6 +149,12 @@ class KernelRuntime {
   void CloseFd(int pid, int64_t fd);
 
   std::map<std::string, std::vector<uint8_t>> files_;
+  /// Pristine filesystem + ports captured by Checkpoint().
+  struct Snapshot {
+    std::map<std::string, std::vector<uint8_t>> files;
+    std::vector<int64_t> listening;
+  };
+  std::optional<Snapshot> checkpoint_;
   std::map<int, std::map<int64_t, OpenFile>> fds_;   // pid -> fd table
   std::map<int, int64_t> next_fd_;
   std::vector<Pipe> pipes_;

@@ -1,5 +1,6 @@
 #include "vm/loader.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 #include "util/strings.hpp"
@@ -26,11 +27,20 @@ size_t Loader::Load(sso::SharedObject object) {
           static_cast<uint8_t>(addr >> (8 * i));
     }
   }
+  mod->data_pristine = mod->data_runtime;
   mod->plt.assign(mod->object.imports.size(), std::nullopt);
   mod->plt_generation = 0;
   modules_.push_back(std::move(mod));
   ++generation_;
   return modules_.size() - 1;
+}
+
+void Loader::ResetData() {
+  for (auto& mod : modules_) {
+    // Keep the buffer (processes map its pointer); overwrite contents only.
+    std::copy(mod->data_pristine.begin(), mod->data_pristine.end(),
+              mod->data_runtime.begin());
+  }
 }
 
 uint64_t Loader::RegisterNative(const std::string& name, NativeFn fn) {

@@ -73,6 +73,7 @@ struct LoadedModule {
   uint64_t code_base = 0;
   uint64_t data_base = 0;
   std::vector<uint8_t> data_runtime;  // relocated copy of the data section
+  std::vector<uint8_t> data_pristine; // post-relocation snapshot for resets
   uint32_t tls_base = 0;              // module's slice of the TLS segment
   // Lazily-bound PLT cache, invalidated when interposition changes.
   mutable std::vector<std::optional<Target>> plt;
@@ -84,6 +85,11 @@ class Loader {
   /// Map a shared object; modules are searched in load order.
   /// Returns the module index.
   size_t Load(sso::SharedObject object);
+
+  /// Restore every module's data section to its freshly-loaded (relocated)
+  /// state. Module data is mapped writable into all processes, so this is
+  /// required when reusing a loaded machine for another independent run.
+  void ResetData();
 
   /// Register an interposition stub for `name`. Returns its stub address
   /// (usable as a function pointer). Re-registering replaces the stub.

@@ -20,8 +20,21 @@ Machine::Machine() {
   });
 }
 
+void Machine::Reset() {
+  procs_.clear();
+  exit_reported_.clear();
+  total_instructions_ = 0;
+  loader_.ResetData();
+  kernel_.Reset();
+  if (coverage_) coverage_->Clear();
+}
+
 Result<int> Machine::CreateProcess(const std::string& entry,
                                    uint64_t heap_cap_bytes) {
+  // Setup is everything before the first process: snapshot it so Reset()
+  // restores the configured filesystem even without an explicit
+  // Checkpoint() call.
+  if (!kernel_.has_checkpoint()) kernel_.Checkpoint();
   Target target = loader_.ResolveName(entry);
   if (target.kind != Target::Kind::Code) {
     return Err("machine: cannot resolve entry symbol: " + entry);

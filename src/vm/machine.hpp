@@ -43,6 +43,18 @@ class Machine {
     return procs_;
   }
 
+  /// Snapshot the current host-side configuration (in-memory filesystem,
+  /// listening ports) so Reset() restores it. Taken implicitly at the
+  /// first CreateProcess; call explicitly to snapshot later changes.
+  void Checkpoint() { kernel_.Checkpoint(); }
+
+  /// Return the machine to its Checkpoint()ed state without reloading
+  /// modules: destroys all processes, restores module data sections and the
+  /// kernel filesystem, zeroes counters, and clears coverage. Interposition
+  /// stubs are kept (the controller manages those). This is what makes a
+  /// Machine reusable across campaign scenarios — reset, not rebuild.
+  void Reset();
+
   /// Round-robin scheduling until every process terminates, deadlock, or
   /// `max_instructions` total were executed.
   RunOutcome Run(uint64_t max_instructions = 100'000'000);

@@ -1,0 +1,344 @@
+// Campaign engine tests: determinism across worker counts, shard
+// policies, report aggregation, and machine reset/reuse.
+#include <gtest/gtest.h>
+
+#include "apps/workloads.hpp"
+#include "campaign/runner.hpp"
+#include "core/scenario_gen.hpp"
+#include "isa/codebuilder.hpp"
+#include "libc/libc_builder.hpp"
+#include "test_helpers.hpp"
+
+namespace lfi::campaign {
+namespace {
+
+using isa::CodeBuilder;
+using isa::Reg;
+
+/// A demo target with an unchecked read(): open /cfg, read 64 bytes,
+/// abort on a negative count (the classic LFI victim).
+sso::SharedObject BuildReaderApp() {
+  CodeBuilder b;
+  uint32_t path = b.emit_data({'/', 'c', 'f', 'g', 0});
+  uint32_t buf = b.reserve_data(128);
+  b.begin_function("main");
+  b.sub_ri(Reg::SP, 16);
+  b.mov_ri(Reg::R2, libc::O_RDONLY);
+  b.lea_data(Reg::R1, static_cast<int32_t>(path));
+  b.push(Reg::R2);
+  b.push(Reg::R1);
+  b.call_sym("open");
+  b.add_ri(Reg::SP, 16);
+  b.store(Reg::BP, -8, Reg::R0);
+  b.load(Reg::R1, Reg::BP, -8);
+  b.lea_data(Reg::R2, static_cast<int32_t>(buf));
+  b.mov_ri(Reg::R3, 64);
+  b.push(Reg::R3);
+  b.push(Reg::R2);
+  b.push(Reg::R1);
+  b.call_sym("read");
+  b.add_ri(Reg::SP, 24);
+  auto ok = b.new_label();
+  b.cmp_ri(Reg::R0, 0);
+  b.jge(ok);
+  b.call_sym("abort");
+  b.bind(ok);
+  b.load(Reg::R1, Reg::BP, -8);
+  b.push(Reg::R1);
+  b.call_sym("close");
+  b.add_ri(Reg::SP, 8);
+  b.mov_ri(Reg::R0, 0);
+  b.leave_ret();
+  b.end_function();
+  return sso::FromCodeUnit("readerapp.so", b.Finish(), {libc::kLibcName});
+}
+
+/// Appends 8 bytes to /log and exits with the resulting file size — a
+/// canary for state leaking between scenarios on a reused machine.
+sso::SharedObject BuildAppenderApp() {
+  CodeBuilder b;
+  uint32_t path = b.emit_data({'/', 'l', 'o', 'g', 0});
+  uint32_t payload = b.emit_data({'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h'});
+  b.begin_function("main");
+  b.sub_ri(Reg::SP, 16);
+  b.mov_ri(Reg::R2, libc::O_RDWR | libc::O_CREAT | libc::O_APPEND);
+  b.lea_data(Reg::R1, static_cast<int32_t>(path));
+  b.push(Reg::R2);
+  b.push(Reg::R1);
+  b.call_sym("open");
+  b.add_ri(Reg::SP, 16);
+  b.store(Reg::BP, -8, Reg::R0);
+  b.load(Reg::R1, Reg::BP, -8);
+  b.lea_data(Reg::R2, static_cast<int32_t>(payload));
+  b.mov_ri(Reg::R3, 8);
+  b.push(Reg::R3);
+  b.push(Reg::R2);
+  b.push(Reg::R1);
+  b.call_sym("write");
+  b.add_ri(Reg::SP, 24);
+  // size = lseek(fd, 0, SEEK_END)
+  b.load(Reg::R1, Reg::BP, -8);
+  b.mov_ri(Reg::R2, 0);
+  b.mov_ri(Reg::R3, 2);
+  b.push(Reg::R3);
+  b.push(Reg::R2);
+  b.push(Reg::R1);
+  b.call_sym("lseek");
+  b.add_ri(Reg::SP, 24);
+  b.store(Reg::BP, -16, Reg::R0);
+  b.load(Reg::R1, Reg::BP, -8);
+  b.push(Reg::R1);
+  b.call_sym("close");
+  b.add_ri(Reg::SP, 8);
+  b.load(Reg::R0, Reg::BP, -16);
+  b.leave_ret();
+  b.end_function();
+  return sso::FromCodeUnit("appender.so", b.Finish(), {libc::kLibcName});
+}
+
+MachineSetup ReaderSetup() {
+  auto libc_so = std::make_shared<const sso::SharedObject>(libc::BuildLibc());
+  auto app = std::make_shared<const sso::SharedObject>(BuildReaderApp());
+  return [libc_so, app](vm::Machine& machine) {
+    machine.Load(*libc_so);
+    machine.Load(*app);
+    machine.kernel().add_file("/cfg", std::vector<uint8_t>(64, 'x'));
+  };
+}
+
+std::vector<Scenario> RandomScenarios(size_t count, double p, uint64_t base) {
+  const std::vector<core::FaultProfile>& profiles = apps::LibcProfiles();
+  std::vector<Scenario> scenarios;
+  for (size_t i = 0; i < count; ++i) {
+    Scenario s;
+    s.name = "s" + std::to_string(i);
+    s.plan = core::GenerateRandom(profiles, p, DeriveSeed(base, i));
+    scenarios.push_back(std::move(s));
+  }
+  return scenarios;
+}
+
+CampaignReport RunReaderCampaign(const std::vector<Scenario>& scenarios,
+                                 int jobs, ShardPolicy policy) {
+  CampaignOptions opts;
+  opts.jobs = jobs;
+  opts.shard = policy;
+  opts.track_coverage = true;
+  CampaignRunner runner(ReaderSetup(), apps::LibcProfiles(), opts);
+  return runner.Run(scenarios);
+}
+
+void ExpectSameResults(const CampaignReport& a, const CampaignReport& b) {
+  ASSERT_EQ(a.results.size(), b.results.size());
+  for (size_t i = 0; i < a.results.size(); ++i) {
+    const ScenarioResult& ra = a.results[i];
+    const ScenarioResult& rb = b.results[i];
+    EXPECT_EQ(ra.index, rb.index) << "scenario " << i;
+    EXPECT_EQ(ra.status, rb.status) << "scenario " << i;
+    EXPECT_EQ(ra.injections, rb.injections) << "scenario " << i;
+    EXPECT_EQ(ra.exit_code, rb.exit_code) << "scenario " << i;
+    EXPECT_EQ(ra.instructions, rb.instructions) << "scenario " << i;
+    EXPECT_EQ(ra.covered_offsets, rb.covered_offsets) << "scenario " << i;
+    EXPECT_EQ(ra.signal, rb.signal) << "scenario " << i;
+  }
+  EXPECT_EQ(a.coverage, b.coverage);
+  EXPECT_EQ(a.crashes, b.crashes);
+  EXPECT_EQ(a.total_injections, b.total_injections);
+}
+
+// Same scenario set, any worker count, any shard policy: bit-identical
+// per-scenario results. This is the --jobs 1 vs --jobs 8 acceptance check.
+TEST(Campaign, DeterministicAcrossJobCounts) {
+  std::vector<Scenario> scenarios = RandomScenarios(64, 0.3, 42);
+  CampaignReport serial =
+      RunReaderCampaign(scenarios, 1, ShardPolicy::RoundRobin);
+  CampaignReport parallel =
+      RunReaderCampaign(scenarios, 8, ShardPolicy::RoundRobin);
+  CampaignReport balanced =
+      RunReaderCampaign(scenarios, 3, ShardPolicy::SizeBalanced);
+
+  // The set must actually exercise injection paths for this to mean much.
+  EXPECT_GT(serial.total_injections, 0u);
+  EXPECT_GT(serial.crashes, 0u);
+  ExpectSameResults(serial, parallel);
+  ExpectSameResults(serial, balanced);
+}
+
+// Re-running a campaign on the same runner starts from the same state.
+TEST(Campaign, RunnerIsReusable) {
+  std::vector<Scenario> scenarios = RandomScenarios(16, 0.3, 7);
+  CampaignOptions opts;
+  opts.jobs = 2;
+  CampaignRunner runner(ReaderSetup(), apps::LibcProfiles(), opts);
+  CampaignReport first = runner.Run(scenarios);
+  CampaignReport second = runner.Run(scenarios);
+  ASSERT_EQ(first.results.size(), second.results.size());
+  for (size_t i = 0; i < first.results.size(); ++i) {
+    EXPECT_EQ(first.results[i].injections, second.results[i].injections);
+    EXPECT_EQ(first.results[i].status, second.results[i].status);
+  }
+}
+
+// A worker reuses one machine across its whole shard; the kernel
+// checkpoint must restore the filesystem between scenarios, or the
+// appender would see its own previous output and exit with 16, 24, ...
+TEST(Campaign, MachineResetIsolatesScenarios) {
+  auto libc_so = std::make_shared<const sso::SharedObject>(libc::BuildLibc());
+  auto app = std::make_shared<const sso::SharedObject>(BuildAppenderApp());
+  MachineSetup setup = [libc_so, app](vm::Machine& machine) {
+    machine.Load(*libc_so);
+    machine.Load(*app);
+  };
+  std::vector<Scenario> scenarios(6);
+  for (size_t i = 0; i < scenarios.size(); ++i) {
+    scenarios[i].name = "append" + std::to_string(i);
+  }
+  CampaignOptions opts;
+  opts.jobs = 1;  // one worker = maximum reuse
+  CampaignRunner runner(setup, {}, opts);
+  CampaignReport report = runner.Run(scenarios);
+  ASSERT_EQ(report.results.size(), 6u);
+  for (const ScenarioResult& r : report.results) {
+    EXPECT_EQ(r.status, ScenarioStatus::Exited) << r.fault_message;
+    EXPECT_EQ(r.exit_code, 8) << "state leaked into scenario " << r.index;
+  }
+}
+
+// A scenario whose entry does not resolve reports SetupError without
+// poisoning the rest of the shard.
+TEST(Campaign, SetupErrorIsIsolated) {
+  std::vector<Scenario> scenarios = RandomScenarios(3, 0.0, 1);
+  scenarios[1].entry = "no_such_symbol";
+  CampaignReport report =
+      RunReaderCampaign(scenarios, 1, ShardPolicy::RoundRobin);
+  EXPECT_EQ(report.results[0].status, ScenarioStatus::Exited);
+  EXPECT_EQ(report.results[1].status, ScenarioStatus::SetupError);
+  EXPECT_EQ(report.results[2].status, ScenarioStatus::Exited);
+  EXPECT_EQ(report.setup_errors, 1u);
+}
+
+TEST(Campaign, RoundRobinShardsPartitionTheSet) {
+  std::vector<Scenario> scenarios(10);
+  auto shards = ShardScenarios(scenarios, 3, ShardPolicy::RoundRobin);
+  ASSERT_EQ(shards.size(), 3u);
+  std::vector<bool> seen(scenarios.size(), false);
+  for (const auto& shard : shards) {
+    for (size_t idx : shard) {
+      ASSERT_LT(idx, seen.size());
+      EXPECT_FALSE(seen[idx]) << "index assigned twice";
+      seen[idx] = true;
+    }
+  }
+  for (bool s : seen) EXPECT_TRUE(s);
+  EXPECT_EQ(shards[0], (std::vector<size_t>{0, 3, 6, 9}));
+  EXPECT_EQ(shards[1], (std::vector<size_t>{1, 4, 7}));
+}
+
+TEST(Campaign, SizeBalancedShardsBalanceWeight) {
+  // Weights 1..12 across 4 shards: LPT keeps every shard within one
+  // max-weight of the optimum (total 78 -> ~19.5 per shard).
+  std::vector<Scenario> scenarios(12);
+  for (size_t i = 0; i < scenarios.size(); ++i) {
+    scenarios[i].weight = i + 1;
+  }
+  auto shards = ShardScenarios(scenarios, 4, ShardPolicy::SizeBalanced);
+  ASSERT_EQ(shards.size(), 4u);
+  std::vector<bool> seen(scenarios.size(), false);
+  uint64_t max_load = 0, min_load = UINT64_MAX;
+  for (const auto& shard : shards) {
+    uint64_t load = 0;
+    for (size_t idx : shard) {
+      EXPECT_FALSE(seen[idx]);
+      seen[idx] = true;
+      load += scenarios[idx].weight;
+    }
+    max_load = std::max(max_load, load);
+    min_load = std::min(min_load, load);
+  }
+  for (bool s : seen) EXPECT_TRUE(s);
+  EXPECT_LE(max_load, 78 / 4 + 12);  // within one max-weight of optimum
+  EXPECT_LE(max_load - min_load, 12u);
+  // Deterministic: same inputs, same shards.
+  EXPECT_EQ(shards, ShardScenarios(scenarios, 4, ShardPolicy::SizeBalanced));
+}
+
+TEST(Campaign, ShardWeightDefaultsToTriggerCount) {
+  // One heavy scenario (many triggers) + many light ones on 2 shards: the
+  // heavy one must not share its shard with everything else.
+  std::vector<Scenario> scenarios(5);
+  for (int i = 0; i < 40; ++i) {
+    scenarios[0].plan.triggers.emplace_back();
+  }
+  auto shards = ShardScenarios(scenarios, 2, ShardPolicy::SizeBalanced);
+  ASSERT_EQ(shards.size(), 2u);
+  const auto& heavy_shard =
+      std::find_if(shards.begin(), shards.end(), [](const auto& s) {
+        return std::find(s.begin(), s.end(), 0u) != s.end();
+      });
+  EXPECT_EQ(heavy_shard->size(), 1u) << "heavy scenario should ride alone";
+}
+
+TEST(Campaign, ReportAggregation) {
+  CampaignReport report;
+  report.results.resize(4);
+  report.results[0].status = ScenarioStatus::Exited;
+  report.results[0].injections = 2;
+  report.results[0].instructions = 100;
+  report.results[0].seconds = 0.5;
+  report.results[1].status = ScenarioStatus::Crashed;
+  report.results[1].injections = 1;
+  report.results[1].instructions = 50;
+  report.results[2].status = ScenarioStatus::Deadlocked;
+  report.results[3].status = ScenarioStatus::SetupError;
+  report.Aggregate();
+  EXPECT_EQ(report.scenarios, 4u);
+  EXPECT_EQ(report.crashes, 1u);
+  EXPECT_EQ(report.deadlocks, 1u);
+  EXPECT_EQ(report.setup_errors, 1u);
+  EXPECT_EQ(report.total_injections, 3u);
+  EXPECT_EQ(report.total_instructions, 150u);
+  EXPECT_DOUBLE_EQ(report.cpu_seconds, 0.5);
+}
+
+TEST(Campaign, AggregatesMatchPerScenarioSums) {
+  std::vector<Scenario> scenarios = RandomScenarios(20, 0.3, 5);
+  CampaignReport report =
+      RunReaderCampaign(scenarios, 4, ShardPolicy::RoundRobin);
+  size_t crashes = 0;
+  uint64_t injections = 0, instructions = 0;
+  for (const ScenarioResult& r : report.results) {
+    crashes += r.status == ScenarioStatus::Crashed ? 1 : 0;
+    injections += r.injections;
+    instructions += r.instructions;
+  }
+  EXPECT_EQ(report.crashes, crashes);
+  EXPECT_EQ(report.total_injections, injections);
+  EXPECT_EQ(report.total_instructions, instructions);
+  EXPECT_EQ(report.scenarios, 20u);
+}
+
+TEST(Campaign, DeriveSeedSpreads) {
+  // Adjacent indices and bases must land far apart — seeds feed each
+  // scenario's trigger RNG directly.
+  std::set<uint64_t> seeds;
+  for (uint64_t base = 0; base < 8; ++base) {
+    for (uint64_t i = 0; i < 64; ++i) {
+      seeds.insert(DeriveSeed(base, i));
+    }
+  }
+  EXPECT_EQ(seeds.size(), 8u * 64u);
+}
+
+TEST(Campaign, ParallelForCoversAllIndices) {
+  std::vector<std::atomic<int>> hits(257);
+  for (auto& h : hits) h.store(0);
+  ParallelFor(hits.size(), 8, [&](size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+}  // namespace
+}  // namespace lfi::campaign

@@ -52,11 +52,29 @@ TEST(Controller, InjectsRetvalOnNthCall) {
   machine.Load(libc::BuildLibc());
   machine.Load(TwoCallApp());
   Controller controller(machine);
-  ASSERT_TRUE(controller.Install(OneShot("getpid", 2, -55, std::nullopt), {}));
+  ASSERT_TRUE(controller.Install(OneShot("getpid", 2, -55, std::nullopt), nullptr));
   auto r = test::RunEntry(machine, "main");
   ASSERT_EQ(r.state, vm::ProcState::Exited) << r.fault;
   // second call returned -55; errno untouched (0).
   EXPECT_EQ(r.exit_code, -55 * 1000);
+}
+
+TEST(Controller, ReinstallReplacesPreviousPlan) {
+  // A second Install without Uninstall/Reset must fully replace the first:
+  // stubs from plan A pointing into its (destroyed) engine would otherwise
+  // survive in the loader and dangle.
+  vm::Machine machine;
+  machine.Load(libc::BuildLibc());
+  machine.Load(TwoCallApp());
+  Controller controller(machine);
+  ASSERT_TRUE(controller.Install(OneShot("getpid", 1, -7, std::nullopt), nullptr));
+  ASSERT_TRUE(controller.Install(OneShot("geterrno", 1, -9, std::nullopt), nullptr));
+  auto r = test::RunEntry(machine, "main");
+  ASSERT_EQ(r.state, vm::ProcState::Exited) << r.fault;
+  // Plan A's getpid trigger is gone: both getpid calls pass through, and
+  // only plan B's geterrno injection fires.
+  ASSERT_EQ(controller.log().size(), 1u);
+  EXPECT_EQ(controller.log().records()[0].function, "geterrno");
 }
 
 TEST(Controller, FirstCallPassesThroughUntouched) {
@@ -64,7 +82,7 @@ TEST(Controller, FirstCallPassesThroughUntouched) {
   machine.Load(libc::BuildLibc());
   machine.Load(TwoCallApp());
   Controller controller(machine);
-  ASSERT_TRUE(controller.Install(OneShot("getpid", 2, -55, std::nullopt), {}));
+  ASSERT_TRUE(controller.Install(OneShot("getpid", 2, -55, std::nullopt), nullptr));
   test::RunEntry(machine, "main");
   ASSERT_EQ(controller.log().size(), 1u);
   EXPECT_EQ(controller.log().records()[0].call_number, 2u);
@@ -75,7 +93,7 @@ TEST(Controller, ErrnoSideEffectVisibleToApp) {
   machine.Load(libc::BuildLibc());
   machine.Load(TwoCallApp());
   Controller controller(machine);
-  ASSERT_TRUE(controller.Install(OneShot("getpid", 2, -1, E_IO), {}));
+  ASSERT_TRUE(controller.Install(OneShot("getpid", 2, -1, E_IO), nullptr));
   auto r = test::RunEntry(machine, "main");
   // exit = -1*1000 + EIO(5)
   EXPECT_EQ(r.exit_code, -1000 + E_IO);
@@ -87,7 +105,7 @@ TEST(Controller, CallOriginalStillRunsFunction) {
   machine.Load(TwoCallApp());
   Controller controller(machine);
   ASSERT_TRUE(controller.Install(
-      OneShot("getpid", 2, -99, std::nullopt, /*call_original=*/true), {}));
+      OneShot("getpid", 2, -99, std::nullopt, /*call_original=*/true), nullptr));
   auto r = test::RunEntry(machine, "main");
   // Pass-through: the real getpid result (pid 1), not -99.
   EXPECT_EQ(r.exit_code, 1000);
@@ -99,7 +117,7 @@ TEST(Controller, UninstallRestoresOriginals) {
   machine.Load(libc::BuildLibc());
   machine.Load(TwoCallApp());
   Controller controller(machine);
-  ASSERT_TRUE(controller.Install(OneShot("getpid", 1, -3, std::nullopt), {}));
+  ASSERT_TRUE(controller.Install(OneShot("getpid", 1, -3, std::nullopt), nullptr));
   controller.Uninstall();
   auto r = test::RunEntry(machine, "main");
   EXPECT_EQ(r.exit_code, 1000);  // untouched
@@ -146,7 +164,7 @@ TEST(Controller, ArgumentModificationFlowsToOriginal) {
   m.value = 10;
   t.modifications.push_back(m);
   plan.triggers.push_back(t);
-  ASSERT_TRUE(controller.Install(plan, {}));
+  ASSERT_TRUE(controller.Install(plan, nullptr));
   test::RunEntry(machine, "main");
   ASSERT_EQ(controller.log().size(), 1u);
   const InjectionRecord& rec = controller.log().records()[0];
@@ -160,7 +178,7 @@ TEST(Controller, LogRecordsBacktraces) {
   machine.Load(libc::BuildLibc());
   machine.Load(TwoCallApp());
   Controller controller(machine);
-  ASSERT_TRUE(controller.Install(OneShot("getpid", 1, -1, E_IO), {}));
+  ASSERT_TRUE(controller.Install(OneShot("getpid", 1, -1, E_IO), nullptr));
   test::RunEntry(machine, "main");
   ASSERT_EQ(controller.log().size(), 1u);
   const auto& bt = controller.log().records()[0].backtrace;
@@ -173,7 +191,7 @@ TEST(Controller, LogTextFormat) {
   machine.Load(libc::BuildLibc());
   machine.Load(TwoCallApp());
   Controller controller(machine);
-  ASSERT_TRUE(controller.Install(OneShot("getpid", 2, -1, E_BADF), {}));
+  ASSERT_TRUE(controller.Install(OneShot("getpid", 2, -1, E_BADF), nullptr));
   test::RunEntry(machine, "main");
   std::string text = controller.log().ToText();
   EXPECT_NE(text.find("getpid"), std::string::npos);
@@ -189,7 +207,7 @@ TEST(Controller, LoggingCanBeDisabled) {
   ControllerOptions opts;
   opts.log_enabled = false;
   Controller controller(machine, opts);
-  ASSERT_TRUE(controller.Install(OneShot("getpid", 1, -1, E_IO), {}));
+  ASSERT_TRUE(controller.Install(OneShot("getpid", 1, -1, E_IO), nullptr));
   test::RunEntry(machine, "main");
   EXPECT_EQ(controller.log().size(), 0u);
 }
@@ -200,7 +218,7 @@ TEST(Controller, ReplayReproducesSameOutcome) {
     machine.Load(libc::BuildLibc());
     machine.Load(TwoCallApp());
     Controller controller(machine);
-    EXPECT_TRUE(controller.Install(plan, {}));
+    EXPECT_TRUE(controller.Install(plan, nullptr));
     auto r = test::RunEntry(machine, "main");
     return std::make_pair(r.exit_code, controller.GenerateReplay());
   };
@@ -257,7 +275,7 @@ TEST(Controller, InterceptsCallsFromOtherLibraries) {
   machine.Load(libc::BuildLibc());
   machine.Load(sso::FromCodeUnit("app.so", b.Finish(), {"libc.so"}));
   Controller controller(machine);
-  ASSERT_TRUE(controller.Install(OneShot("read", 1, -1, E_BADF), {}));
+  ASSERT_TRUE(controller.Install(OneShot("read", 1, -1, E_BADF), nullptr));
   auto r = test::RunEntry(machine, "main");
   EXPECT_EQ(r.exit_code, 0);  // readdir saw the failed read -> NULL
   EXPECT_EQ(controller.log().size(), 1u);
@@ -302,7 +320,7 @@ TEST(Controller, MultipleLibrariesInterposedSimultaneously) {
   t2.inject_call = 1;
   t2.retval = -6;
   plan.triggers.push_back(t2);
-  ASSERT_TRUE(controller.Install(plan, {}));
+  ASSERT_TRUE(controller.Install(plan, nullptr));
   auto r = test::RunEntry(machine, "main");
   // apr_now injected at its own boundary (-5); the app's direct getpid is
   // that stub's first call? No: apr_now was injected without calling the

@@ -232,7 +232,7 @@ TEST(SpawnAndWait, InjectedSpawnFailureVisible) {
   t.retval = -1;
   t.errno_value = E_AGAIN;
   plan.triggers.push_back(t);
-  ASSERT_TRUE(controller.Install(plan, {}));
+  ASSERT_TRUE(controller.Install(plan, nullptr));
   auto r = test::RunEntry(machine, "main");
   EXPECT_EQ(r.exit_code, -1);
   // No child was actually created.

@@ -12,18 +12,23 @@
 //
 // Exit codes from `lfi test`: 0 = target exited cleanly, 3 = target
 // crashed under injection (a finding!), 1 = usage/setup error.
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "campaign/runner.hpp"
 #include "core/controller.hpp"
 #include "core/profiler.hpp"
 #include "core/scenario_gen.hpp"
 #include "isa/codebuilder.hpp"
 #include "kernel/kernel_image.hpp"
 #include "libc/libc_builder.hpp"
+#include "util/strings.hpp"
 #include "vm/machine.hpp"
 
 using namespace lfi;
@@ -62,6 +67,48 @@ Result<sso::SharedObject> LoadSso(const std::string& path) {
   std::vector<uint8_t> bytes;
   if (!ReadFile(path, &bytes)) return Err("cannot read " + path);
   return sso::SharedObject::Parse(bytes);
+}
+
+/// Load fault-profile XML files into `out`.
+Status LoadProfiles(const std::vector<std::string>& paths,
+                    std::vector<core::FaultProfile>* out) {
+  for (const std::string& path : paths) {
+    std::string text;
+    if (!ReadTextFile(path, &text)) return Err("cannot read " + path);
+    auto profile = core::FaultProfile::FromXml(text);
+    if (!profile.ok()) return Err(path + ": " + profile.error());
+    out->push_back(std::move(profile).take());
+  }
+  return Status::Ok();
+}
+
+/// Parse a non-negative integer flag value strictly: no trailing junk, no
+/// overflow, no values past `max`.
+Result<uint64_t> ParseCount(const std::string& flag, const std::string& text,
+                            uint64_t max = UINT64_MAX) {
+  char* end = nullptr;
+  errno = 0;
+  uint64_t v = text.empty() ? 0 : std::strtoull(text.c_str(), &end, 10);
+  if (text.empty() || end != text.c_str() + text.size() || errno == ERANGE) {
+    return Err(flag + " needs a non-negative integer, got \"" + text + "\"");
+  }
+  if (v > max) {
+    return Err(flag + " must be at most " + std::to_string(max));
+  }
+  return v;
+}
+
+/// Parse an injection probability: must be a number in (0, 1].
+Result<double> ParseProbability(const std::string& text) {
+  char* end = nullptr;
+  double p = text.empty() ? 0.0 : std::strtod(text.c_str(), &end);
+  if (text.empty() || end != text.c_str() + text.size()) {
+    return Err("--random needs a numeric probability, got \"" + text + "\"");
+  }
+  if (!(p > 0.0) || p > 1.0) {
+    return Err("--random probability must be in (0, 1], got " + text);
+  }
+  return p;
 }
 
 /// A demo application with an unchecked read() for `lfi test` to break.
@@ -180,7 +227,9 @@ int CmdGenerate(const std::vector<std::string>& args) {
   std::vector<std::string> inputs;
   for (size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--random" && i + 1 < args.size()) {
-      probability = std::atof(args[++i].c_str());
+      auto p = ParseProbability(args[++i]);
+      if (!p.ok()) return Fail("generate: " + p.error());
+      probability = p.value();
     } else if (args[i] == "--exhaustive") {
       exhaustive = true;
     } else if (args[i] == "--seed" && i + 1 < args.size()) {
@@ -196,12 +245,8 @@ int CmdGenerate(const std::vector<std::string>& args) {
     return Fail("generate: need --random <p> or --exhaustive");
   }
   std::vector<core::FaultProfile> profiles;
-  for (const std::string& path : inputs) {
-    std::string text;
-    if (!ReadTextFile(path, &text)) return Fail("cannot read " + path);
-    auto profile = core::FaultProfile::FromXml(text);
-    if (!profile.ok()) return Fail(path + ": " + profile.error());
-    profiles.push_back(std::move(profile).take());
+  if (auto st = LoadProfiles(inputs, &profiles); !st.ok()) {
+    return Fail(st.error());
   }
   core::Plan plan = exhaustive
                         ? core::GenerateExhaustive(profiles)
@@ -257,12 +302,8 @@ int CmdTest(const std::vector<std::string>& args) {
   auto plan = core::Plan::FromXml(plan_text);
   if (!plan.ok()) return Fail(plan_path + ": " + plan.error());
   std::vector<core::FaultProfile> profiles;
-  for (const std::string& path : profile_paths) {
-    std::string text;
-    if (!ReadTextFile(path, &text)) return Fail("cannot read " + path);
-    auto profile = core::FaultProfile::FromXml(text);
-    if (!profile.ok()) return Fail(path + ": " + profile.error());
-    profiles.push_back(std::move(profile).take());
+  if (auto st = LoadProfiles(profile_paths, &profiles); !st.ok()) {
+    return Fail(st.error());
   }
 
   core::Controller controller(machine);
@@ -293,6 +334,129 @@ int CmdTest(const std::vector<std::string>& args) {
   return 3;
 }
 
+// lfi campaign: generate a scenario set and fan it out across workers.
+// Exit codes: 0 = no findings, 3 = at least one scenario crashed the
+// target (findings!), 1 = usage/setup error.
+int CmdCampaign(const std::vector<std::string>& args) {
+  std::string app_path, entry = "main";
+  std::vector<std::string> lib_paths, profile_paths, vfs_files;
+  double probability = -1;
+  bool exhaustive = false;
+  uint64_t seed = 1;
+  int scenarios_requested = 0;
+  campaign::CampaignOptions opts;
+  for (size_t i = 0; i < args.size(); ++i) {
+    auto next = [&]() -> std::string {
+      return i + 1 < args.size() ? args[++i] : std::string();
+    };
+    if (args[i] == "--app") app_path = next();
+    else if (args[i] == "--entry") entry = next();
+    else if (args[i] == "--lib") lib_paths.push_back(next());
+    else if (args[i] == "--profile") profile_paths.push_back(next());
+    else if (args[i] == "--file") vfs_files.push_back(next());
+    else if (args[i] == "--random") {
+      auto p = ParseProbability(next());
+      if (!p.ok()) return Fail("campaign: " + p.error());
+      probability = p.value();
+    }
+    else if (args[i] == "--exhaustive") exhaustive = true;
+    else if (args[i] == "--seed" || args[i] == "--scenarios" ||
+             args[i] == "--jobs" || args[i] == "--budget") {
+      std::string flag = args[i];
+      uint64_t max =
+          (flag == "--scenarios" || flag == "--jobs") ? 1'000'000 : UINT64_MAX;
+      auto v = ParseCount(flag, next(), max);
+      if (!v.ok()) return Fail("campaign: " + v.error());
+      if (flag == "--seed") seed = v.value();
+      else if (flag == "--scenarios") scenarios_requested = static_cast<int>(v.value());
+      else if (flag == "--jobs") opts.jobs = static_cast<int>(v.value());
+      else if (flag == "--budget") {
+        if (v.value() == 0) return Fail("campaign: --budget must be > 0");
+        opts.max_instructions = v.value();
+      }
+    }
+    else if (args[i] == "--coverage") opts.track_coverage = true;
+    else if (args[i] == "--shard") {
+      std::string policy = next();
+      if (policy == "balanced") opts.shard = campaign::ShardPolicy::SizeBalanced;
+      else if (policy == "rr") opts.shard = campaign::ShardPolicy::RoundRobin;
+      else return Fail("campaign: unknown shard policy " + policy);
+    } else {
+      return Fail("campaign: unknown argument " + args[i]);
+    }
+  }
+  if (app_path.empty()) return Fail("campaign: need --app");
+  if (!exhaustive && probability < 0) {
+    return Fail("campaign: need --random <p> or --exhaustive");
+  }
+
+  // Build the target image once; workers load copies.
+  auto libc_so = std::make_shared<const sso::SharedObject>(libc::BuildLibc());
+  auto libs = std::make_shared<std::vector<sso::SharedObject>>();
+  for (const std::string& path : lib_paths) {
+    auto so = LoadSso(path);
+    if (!so.ok()) return Fail(so.error());
+    libs->push_back(std::move(so).take());
+  }
+  auto app = LoadSso(app_path);
+  if (!app.ok()) return Fail(app.error());
+  libs->push_back(std::move(app).take());
+  auto files = std::make_shared<std::vector<std::string>>(vfs_files);
+  campaign::MachineSetup setup = [libc_so, libs, files](vm::Machine& machine) {
+    machine.Load(*libc_so);
+    for (const sso::SharedObject& so : *libs) machine.Load(so);
+    for (const std::string& path : *files) {
+      machine.kernel().add_file(path, std::vector<uint8_t>(256, 'x'));
+    }
+  };
+
+  std::vector<core::FaultProfile> profiles;
+  if (auto st = LoadProfiles(profile_paths, &profiles); !st.ok()) {
+    return Fail(st.error());
+  }
+
+  // Scenario set: one exhaustive plan (rotate triggers are RNG-free, so
+  // replicas would be byte-identical), or N independently-seeded random
+  // plans (seeds derived from --seed, one stream per scenario).
+  size_t count = 1;
+  if (exhaustive) {
+    if (scenarios_requested > 1) {
+      std::fprintf(stderr,
+                   "lfi: campaign: --exhaustive is deterministic; running 1 "
+                   "scenario (ignoring --scenarios %d)\n",
+                   scenarios_requested);
+    }
+  } else {
+    count = scenarios_requested > 0 ? static_cast<size_t>(scenarios_requested)
+                                    : 64;
+  }
+  std::vector<campaign::Scenario> scenarios;
+  for (size_t i = 0; i < count; ++i) {
+    campaign::Scenario s;
+    if (exhaustive) {
+      s.name = "exhaustive";
+      s.plan = core::GenerateExhaustive(profiles);
+    } else {
+      s.name = Format("random-p%g-%zu", probability, i);
+      s.plan = core::GenerateRandom(profiles, probability,
+                                    campaign::DeriveSeed(seed, i));
+    }
+    scenarios.push_back(std::move(s));
+  }
+
+  opts.entry = entry;
+  campaign::CampaignRunner runner(setup, std::move(profiles), opts);
+  campaign::CampaignReport report = runner.Run(scenarios);
+  std::printf("%s", report.ToText().c_str());
+  if (opts.track_coverage) {
+    for (const auto& [module, offsets] : report.coverage) {
+      std::printf("coverage %s: %zu offsets\n", module.c_str(),
+                  offsets.size());
+    }
+  }
+  return report.crashes > 0 ? 3 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -306,7 +470,11 @@ int main(int argc, char** argv) {
         "  generate (--random p | --exhaustive) [--seed n] <profile.xml...>"
         " [-o plan.xml]\n"
         "  test --app <sso> --plan <plan.xml> [--entry sym] [--profile xml]\n"
-        "       [--lib sso]... [--file path]... [--replay-out plan.xml]\n");
+        "       [--lib sso]... [--file path]... [--replay-out plan.xml]\n"
+        "  campaign --app <sso> (--random p | --exhaustive)\n"
+        "       [--scenarios N] [--seed n] [--jobs N] [--shard rr|balanced]\n"
+        "       [--entry sym] [--profile xml]... [--lib sso]...\n"
+        "       [--file path]... [--coverage] [--budget instructions]\n");
     return 1;
   }
   std::string cmd = args[0];
@@ -316,5 +484,6 @@ int main(int argc, char** argv) {
   if (cmd == "profile") return CmdProfile(args);
   if (cmd == "generate") return CmdGenerate(args);
   if (cmd == "test") return CmdTest(args);
+  if (cmd == "campaign") return CmdCampaign(args);
   return Fail("unknown command: " + cmd);
 }
