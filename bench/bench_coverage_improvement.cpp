@@ -45,7 +45,9 @@ campaign::CampaignReport RunScaling(const std::vector<campaign::Scenario>& set,
 }
 
 void PrintTables() {
-  constexpr int kRuns = 10;
+  // Smoke mode (LFI_BENCH_SMOKE=1, CI) shrinks the run and scenario counts
+  // but still exercises the campaign + bitmap-merge machinery end to end.
+  const int kRuns = bench::Scaled(10, 2);
   apps::CoverageReport base = apps::RunDbTestSuite(false, kRuns, 0.0, 17);
   apps::CoverageReport with = apps::RunDbTestSuite(true, kRuns, 0.01, 17);
 
@@ -72,8 +74,10 @@ void PrintTables() {
       "(the paper saw 12 SIGSEGVs during its MySQL runs)\n",
       with.crashes, kRuns);
 
-  // Campaign scaling: 64 scenarios, 1 vs 8 workers, identical results.
-  std::vector<campaign::Scenario> set = ScalingScenarios(64);
+  // Campaign scaling: 1 vs 8 workers over one scenario set, identical
+  // results required.
+  std::vector<campaign::Scenario> set =
+      ScalingScenarios(static_cast<size_t>(bench::Scaled(64, 8)));
   campaign::CampaignReport serial = RunScaling(set, 1);
   campaign::CampaignReport parallel = RunScaling(set, 8);
   bool identical = serial.results.size() == parallel.results.size();
@@ -83,7 +87,7 @@ void PrintTables() {
                 serial.results[i].exit_code == parallel.results[i].exit_code;
   }
   bench::PrintTable(
-      "campaign scaling: 64 DB-suite fault scenarios",
+      Format("campaign scaling: %zu DB-suite fault scenarios", set.size()),
       {{"Jobs", "Wall", "Injections", "Crashes", "Identical results"},
        {"1", Format("%.2fs", serial.wall_seconds),
         Format("%llu", (unsigned long long)serial.total_injections),

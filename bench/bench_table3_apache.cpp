@@ -14,8 +14,10 @@ namespace {
 
 using namespace lfi;
 
-constexpr int kRequests = 1000;
-constexpr int kRepeats = 5;  // median-of-5 wall-clock
+// Smoke mode (LFI_BENCH_SMOKE=1, CI) shrinks the workload but keeps every
+// trigger configuration, so hot-path regressions still surface.
+const int kRequests = bench::Scaled(1000, 50);
+const int kRepeats = bench::Scaled(5, 1);  // median-of-N wall-clock
 
 double MedianSeconds(bool php, int triggers) {
   std::vector<double> times;

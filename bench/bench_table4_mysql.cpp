@@ -13,8 +13,10 @@ namespace {
 
 using namespace lfi;
 
-constexpr int kTransactions = 10000;
-constexpr int kRepeats = 5;
+// Smoke mode (LFI_BENCH_SMOKE=1, CI) shrinks the workload but keeps every
+// trigger configuration, so hot-path regressions still surface.
+const int kTransactions = bench::Scaled(10000, 500);
+const int kRepeats = bench::Scaled(5, 1);
 
 double MedianTps(bool rw, int triggers) {
   std::vector<double> tps;

@@ -5,10 +5,22 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 namespace lfi::bench {
+
+/// True when LFI_BENCH_SMOKE is set (and not "0"): benches shrink their
+/// workloads so CI can run the paper tables in Release mode as a fast
+/// hot-path compile / perf-structure regression check.
+inline bool SmokeMode() {
+  const char* v = std::getenv("LFI_BENCH_SMOKE");
+  return v != nullptr && *v != '\0' && *v != '0';
+}
+
+/// Pick the full-size or smoke-size parameter.
+inline int Scaled(int full, int smoke) { return SmokeMode() ? smoke : full; }
 
 /// Print a fixed-width table: a header row then data rows.
 inline void PrintTable(const std::string& title,

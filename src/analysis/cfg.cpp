@@ -15,6 +15,15 @@ size_t Cfg::block_starting_at(uint32_t offset) const {
   return SIZE_MAX;
 }
 
+std::pair<size_t, size_t> Cfg::CoveredBlocks(
+    const std::function<bool(uint32_t)>& executed) const {
+  size_t covered = 0;
+  for (const BasicBlock& blk : blocks) {
+    if (executed(blk.begin)) ++covered;
+  }
+  return {covered, blocks.size()};
+}
+
 size_t Cfg::instruction_count() const {
   size_t n = 0;
   for (const auto& b : blocks) n += b.instrs.size();

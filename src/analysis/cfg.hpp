@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -36,6 +37,12 @@ struct Cfg {
 
   /// Index of the block starting at `offset`; SIZE_MAX if none.
   size_t block_starting_at(uint32_t offset) const;
+
+  /// Block-level coverage projection: count blocks whose first
+  /// instruction satisfies `executed` (pass a coverage bitmap's Test).
+  /// Returns (covered blocks, total blocks).
+  std::pair<size_t, size_t> CoveredBlocks(
+      const std::function<bool(uint32_t)>& executed) const;
 
   size_t instruction_count() const;
   size_t indirect_branch_count() const;

@@ -194,15 +194,15 @@ double CoverageReport::overall() const {
 }
 
 std::pair<size_t, size_t> BlockCoverage(const sso::SharedObject& so,
-                                        const std::set<uint32_t>& executed) {
+                                        const vm::CoverageBitmap& executed) {
   size_t covered = 0, total = 0;
   for (const isa::Symbol& sym : so.exports) {
     auto cfg = analysis::BuildCfg(so, sym);
     if (!cfg.ok()) continue;
-    for (const analysis::BasicBlock& blk : cfg.value().blocks) {
-      ++total;
-      if (executed.count(blk.begin)) ++covered;
-    }
+    auto [c, t] = cfg.value().CoveredBlocks(
+        [&](uint32_t offset) { return executed.Test(offset); });
+    covered += c;
+    total += t;
   }
   return {covered, total};
 }
@@ -238,7 +238,7 @@ CoverageReport RunDbTestSuite(bool with_lfi, int runs, double probability,
 
   CoverageReport report;
   report.crashes = campaign_report.crashes;
-  static const std::set<uint32_t> kNoOffsets;
+  static const vm::CoverageBitmap kNoOffsets;
   for (const sso::SharedObject& so : DbSuiteModules()) {
     auto it = campaign_report.coverage.find(so.name);
     report.modules[so.name] = BlockCoverage(

@@ -5,13 +5,13 @@
 
 #include <functional>
 #include <map>
-#include <set>
 #include <string>
 #include <vector>
 
 #include "core/controller.hpp"
 #include "core/profile.hpp"
 #include "core/scenario.hpp"
+#include "vm/coverage.hpp"
 #include "vm/machine.hpp"
 
 namespace lfi::apps {
@@ -76,9 +76,10 @@ PidginRunResult RunPidginRandomIo(double probability, uint64_t seed);
 
 // ---- shared helpers -----------------------------------------------------------
 
-/// Basic-block coverage of one module given executed offsets.
+/// Basic-block coverage of one module: project the executed-offset bitmap
+/// onto the CFG's block starts (covered blocks, total blocks).
 std::pair<size_t, size_t> BlockCoverage(const sso::SharedObject& so,
-                                        const std::set<uint32_t>& executed);
+                                        const vm::CoverageBitmap& executed);
 
 /// Profile libc (and optionally more libraries) for use in plans.
 std::vector<core::FaultProfile> ProfileStandardLibs(

@@ -53,7 +53,7 @@ std::string CampaignReport::ToText() const {
       wall_seconds > 0 ? cpu_seconds / wall_seconds : 0.0);
   if (!coverage.empty()) {
     size_t offsets = 0;
-    for (const auto& [mod, set] : coverage) offsets += set.size();
+    for (const auto& [mod, bitmap] : coverage) offsets += bitmap.Count();
     out += Format("          union coverage: %zu offsets across %zu modules\n",
                   offsets, coverage.size());
   }

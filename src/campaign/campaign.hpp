@@ -11,12 +11,12 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <set>
 #include <string>
 #include <vector>
 
 #include "core/controller.hpp"
 #include "core/scenario.hpp"
+#include "vm/coverage.hpp"
 #include "vm/process.hpp"
 
 namespace lfi::campaign {
@@ -53,8 +53,8 @@ struct ScenarioResult {
   uint64_t instructions = 0;    // VM instructions this scenario executed
   double seconds = 0;           // wall-clock for this scenario
   /// Instruction offsets executed during this scenario (all modules),
-  /// counted against a per-scenario-cleared tracker, so the number is
-  /// identical no matter which worker ran it. 0 when coverage is off.
+  /// popcounted from a per-scenario-cleared bitmap tracker, so the number
+  /// is identical no matter which worker ran it. 0 when coverage is off.
   size_t covered_offsets = 0;
   /// Replay plan (paper §5.2); populated when collect_replays is set.
   core::Plan replay;
@@ -73,9 +73,11 @@ struct CampaignReport {
   uint64_t total_instructions = 0;
   double wall_seconds = 0;  // whole campaign, one clock
   double cpu_seconds = 0;   // sum of per-scenario wall-clocks
-  /// Union basic-block coverage across all scenarios, per module name
-  /// (executed instruction offsets). Empty when coverage is off.
-  std::map<std::string, std::set<uint32_t>> coverage;
+  /// Union coverage across all scenarios, per module name: dense bitmaps
+  /// of executed instruction offsets, OR-merged across workers (order
+  /// independent, so deterministic for any jobs count). Empty when
+  /// coverage is off.
+  std::map<std::string, vm::CoverageBitmap> coverage;
 
   /// Recompute the aggregate counters from `results` (the runner calls
   /// this; exposed for report merging in tests/tools).

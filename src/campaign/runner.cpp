@@ -28,13 +28,18 @@ CampaignRunner::CampaignRunner(MachineSetup setup,
 
 void CampaignRunner::RunShard(
     const std::vector<Scenario>& scenarios, const std::vector<size_t>& shard,
-    std::vector<ScenarioResult>* results,
-    std::map<std::string, std::set<uint32_t>>* coverage_out) {
+    std::vector<ScenarioResult>* results, vm::CoverageTracker* coverage_out,
+    std::vector<std::string>* module_names_out) {
   vm::Machine machine;
   if (setup_) setup_(machine);
   machine.Checkpoint();
   vm::CoverageTracker* tracker =
       options_.track_coverage ? machine.EnableCoverage() : nullptr;
+  if (tracker && module_names_out) {
+    for (const auto& mod : machine.loader().modules()) {
+      module_names_out->push_back(mod->object.name);
+    }
+  }
   core::Controller controller(machine, options_.controller);
 
   for (size_t idx : shard) {
@@ -87,16 +92,10 @@ void CampaignRunner::RunShard(
     }
 
     if (tracker) {
-      size_t offsets = 0;
-      for (const auto& mod : machine.loader().modules()) {
-        const std::set<uint32_t>& executed = tracker->executed(mod->index);
-        offsets += executed.size();
-        if (coverage_out) {
-          (*coverage_out)[mod->object.name].insert(executed.begin(),
-                                                   executed.end());
-        }
-      }
-      result.covered_offsets = offsets;
+      result.covered_offsets = tracker->covered_total();
+      // Union this scenario's bitmaps into the worker-local aggregate — a
+      // bitwise OR per module, no locks, no per-offset work.
+      if (coverage_out) coverage_out->Merge(*tracker);
     }
     completed_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -112,32 +111,48 @@ CampaignReport CampaignRunner::Run(const std::vector<Scenario>& scenarios) {
                          std::max<size_t>(scenarios.size(), 1));
   std::vector<std::vector<size_t>> shards =
       ShardScenarios(scenarios, jobs, options_.shard);
-  std::vector<std::map<std::string, std::set<uint32_t>>> worker_coverage(
-      shards.size());
+  // Pre-sized per-worker slots: coverage aggregation never takes a lock.
+  std::vector<vm::CoverageTracker> worker_coverage(shards.size());
+  std::vector<std::vector<std::string>> worker_modules(shards.size());
 
   auto begin = Clock::now();
   if (shards.size() <= 1) {
     if (!shards.empty()) {
-      RunShard(scenarios, shards[0], &report.results, &worker_coverage[0]);
+      RunShard(scenarios, shards[0], &report.results, &worker_coverage[0],
+               &worker_modules[0]);
     }
   } else {
     std::vector<std::thread> pool;
     pool.reserve(shards.size());
     for (size_t w = 0; w < shards.size(); ++w) {
       pool.emplace_back([&, w] {
-        RunShard(scenarios, shards[w], &report.results, &worker_coverage[w]);
+        RunShard(scenarios, shards[w], &report.results, &worker_coverage[w],
+                 &worker_modules[w]);
       });
     }
     for (std::thread& t : pool) t.join();
   }
   report.wall_seconds = Seconds(begin, Clock::now());
 
-  // Merge worker coverage unions (set union is order-independent, so the
-  // merged result is deterministic across jobs counts).
+  // Union the worker bitmaps (bitwise OR is order-independent, so the
+  // merged result is deterministic across jobs counts), then key the
+  // report by module name. Every worker loads the same image, so any
+  // worker's module list names the merged indices.
   if (options_.track_coverage) {
-    for (auto& per_worker : worker_coverage) {
-      for (auto& [name, offsets] : per_worker) {
-        report.coverage[name].insert(offsets.begin(), offsets.end());
+    vm::CoverageTracker merged;
+    for (const vm::CoverageTracker& per_worker : worker_coverage) {
+      merged.Merge(per_worker);
+    }
+    const std::vector<std::string>* names = nullptr;
+    for (const auto& mods : worker_modules) {
+      if (!mods.empty()) {
+        names = &mods;
+        break;
+      }
+    }
+    if (names != nullptr) {
+      for (size_t i = 0; i < names->size() && i < merged.module_count(); ++i) {
+        report.coverage[(*names)[i]].Merge(merged.executed(i));
       }
     }
   }

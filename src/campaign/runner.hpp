@@ -12,7 +12,11 @@
 //
 // Result collection is lock-free: the results vector is pre-sized and each
 // worker writes only the slots of its shard (disjoint by construction);
-// the only shared mutable word is a relaxed progress counter.
+// the only shared mutable word is a relaxed progress counter. Coverage
+// aggregation is lock-free the same way: each worker ORs its scenarios'
+// bitmaps into its own pre-sized CoverageTracker slot, and the slots are
+// union-merged once after the join (bitwise OR is order-independent, so
+// the aggregate is identical for any jobs count).
 #pragma once
 
 #include <atomic>
@@ -49,11 +53,14 @@ class CampaignRunner {
  private:
   /// One worker: run `shard`'s scenarios on a single reused machine,
   /// writing into results[idx] slots. `coverage_out` receives the worker's
-  /// union coverage when tracking is on.
+  /// union coverage (per dense module index) when tracking is on;
+  /// `module_names_out` receives the worker's module-index -> name map so
+  /// the merged report can be keyed by module name.
   void RunShard(const std::vector<Scenario>& scenarios,
                 const std::vector<size_t>& shard,
                 std::vector<ScenarioResult>* results,
-                std::map<std::string, std::set<uint32_t>>* coverage_out);
+                vm::CoverageTracker* coverage_out,
+                std::vector<std::string>* module_names_out);
 
   MachineSetup setup_;
   /// Shared across all workers and installs — profiles are immutable for

@@ -8,10 +8,14 @@
 
 namespace lfi::core {
 
-/// Per-stub cached state: the function identity, its profile entry, the
-/// resolved original, and whether trigger evaluation needs backtraces.
+/// Per-stub cached state, resolved once at install time: the function's
+/// dense ids (machine symbol table for loader resolution, log interner for
+/// records), its profile entry, the engine state handle, and whether
+/// trigger evaluation needs backtraces. Nothing here requires a string
+/// lookup per intercepted call.
 struct Controller::StubState {
-  std::string function;
+  vm::SymbolId symbol = vm::kNoSymbol;       // machine-wide id (loader)
+  util::SymbolId log_symbol = util::kNoSymbol;  // id in the injection log
   const FunctionProfile* profile = nullptr;  // may be null
   TriggerEngine::FunctionState* engine_state = nullptr;
   bool needs_backtrace = false;
@@ -75,17 +79,16 @@ Status Controller::Install(
                        : std::make_shared<const std::vector<FaultProfile>>();
   engine_ = std::make_unique<TriggerEngine>(plan, *profiles_);
 
+  // Resolve every name exactly once, against the machine's symbol table:
+  // the stubs below only ever touch dense ids and cached pointers.
+  ProfileIndex profile_index(*profiles_, machine_.symbols());
   for (const std::string& fn : engine_->functions()) {
     auto state = std::make_shared<StubState>();
-    state->function = fn;
+    state->symbol = machine_.symbols().Intern(fn);
+    state->log_symbol = log_.Intern(fn);
     state->engine_state = engine_->state_for(fn);
     state->needs_backtrace = engine_->needs_backtrace(fn);
-    for (const FaultProfile& p : *profiles_) {
-      if (const FunctionProfile* fp = p.function(fn)) {
-        state->profile = fp;
-        break;
-      }
-    }
+    state->profile = profile_index.function(state->symbol);
     stubs_.push_back(state);
 
     machine_.loader().RegisterNative(
@@ -93,7 +96,7 @@ Status Controller::Install(
           vm::Loader& loader = machine_.loader();
           auto original = [&]() -> uint64_t {
             if (state->resolved_generation != loader.generation()) {
-              vm::Target t = loader.ResolveNextName(state->function);
+              vm::Target t = loader.ResolveNextId(state->symbol);
               state->original_addr =
                   t.kind == vm::Target::Kind::Code ? t.addr : 0;
               state->resolved_generation = loader.generation();
@@ -117,8 +120,8 @@ Status Controller::Install(
           }
 
           InjectionRecord record;
-          record.function = state->function;
-          record.call_number = state->engine_state->call_count;
+          record.function = state->log_symbol;
+          record.call_number = state->engine_state->call_count();
           record.trigger_index = decision->trigger_index;
           record.call_original = decision->call_original;
 

@@ -16,7 +16,7 @@ std::string InjectionLog::ToText() const {
   std::string out;
   for (const InjectionRecord& r : records_) {
     out += Format("#%llu %s call=%llu", (unsigned long long)r.seq,
-                  r.function.c_str(), (unsigned long long)r.call_number);
+                  function_name(r).c_str(), (unsigned long long)r.call_number);
     if (r.has_retval) out += Format(" retval=%lld", (long long)r.retval);
     if (r.errno_value) {
       out += Format(" errno=%s", ErrnoName(*r.errno_value).c_str());

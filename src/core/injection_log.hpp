@@ -1,6 +1,10 @@
 // The LFI test log (paper §5.2): one record per injection, with the
 // triggering conditions (call count, stack trace) and applied effects, so
 // injections can be matched to observed program behaviour and replayed.
+//
+// Records identify the intercepted function by a dense SymbolId in the
+// log's own interner (resolved once per stub at install time), so adding a
+// record never copies or hashes the function name.
 #pragma once
 
 #include <cstdint>
@@ -8,12 +12,15 @@
 #include <string>
 #include <vector>
 
+#include "util/interner.hpp"
+
 namespace lfi::core {
 
 struct InjectionRecord {
   uint64_t seq = 0;
-  std::string function;
-  uint64_t call_number = 0;  // which call to `function` this was
+  /// Function identity, interned in the owning log (InjectionLog::Intern).
+  util::SymbolId function = util::kNoSymbol;
+  uint64_t call_number = 0;  // which call to the function this was
   bool has_retval = false;
   int64_t retval = 0;
   std::optional<int32_t> errno_value;
@@ -30,6 +37,14 @@ class InjectionLog {
   /// Keep at most this many records (0 = unlimited).
   void set_capacity(size_t cap) { capacity_ = cap; }
 
+  /// Intern a function name for records' `function` field. Ids stay valid
+  /// across Clear(), so install-time handles survive scenario resets.
+  util::SymbolId Intern(std::string_view name) { return symbols_.Intern(name); }
+  const std::string& function_name(const InjectionRecord& record) const {
+    return symbols_.name(record.function);
+  }
+  const util::SymbolTable& symbols() const { return symbols_; }
+
   void Add(InjectionRecord record);
   void Clear() {
     records_.clear();
@@ -44,6 +59,7 @@ class InjectionLog {
 
  private:
   std::vector<InjectionRecord> records_;
+  util::SymbolTable symbols_;
   bool enabled_ = true;
   size_t capacity_ = 0;
   uint64_t next_seq_ = 1;

@@ -47,6 +47,17 @@ const FunctionProfile* FaultProfile::function(std::string_view name) const {
   return nullptr;
 }
 
+ProfileIndex::ProfileIndex(const std::vector<FaultProfile>& profiles,
+                           util::SymbolTable& symbols) {
+  for (const FaultProfile& profile : profiles) {
+    for (const FunctionProfile& fn : profile.functions) {
+      util::SymbolId id = symbols.Intern(fn.name);
+      if (id >= by_id_.size()) by_id_.resize(id + 1, nullptr);
+      if (by_id_[id] == nullptr) by_id_[id] = &fn;
+    }
+  }
+}
+
 std::string FaultProfile::ToXml() const {
   xml::Node root("profile");
   root.set_attr("library", library);

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "util/interner.hpp"
 #include "util/result.hpp"
 
 namespace lfi::core {
@@ -63,6 +64,25 @@ struct FaultProfile {
 
   std::string ToXml() const;
   static Result<FaultProfile> FromXml(std::string_view xml);
+};
+
+/// Resolve-once view over a profile set: interns every profiled function
+/// name into `symbols` and maps SymbolId -> FunctionProfile, so install
+/// paths look profiles up by dense id (array index) instead of a linear
+/// string scan per function. The first profile containing a function wins,
+/// matching the search order of the string API. The index borrows the
+/// profiles — it must not outlive them.
+class ProfileIndex {
+ public:
+  ProfileIndex(const std::vector<FaultProfile>& profiles,
+               util::SymbolTable& symbols);
+
+  const FunctionProfile* function(util::SymbolId id) const {
+    return id < by_id_.size() ? by_id_[id] : nullptr;
+  }
+
+ private:
+  std::vector<const FunctionProfile*> by_id_;
 };
 
 }  // namespace lfi::core

@@ -6,7 +6,7 @@ Plan GenerateReplayPlan(const InjectionLog& log) {
   Plan plan;
   for (const InjectionRecord& r : log.records()) {
     FunctionTrigger t;
-    t.function = r.function;
+    t.function = log.function_name(r);
     t.mode = FunctionTrigger::Mode::CallCount;
     t.inject_call = r.call_number;
     if (r.has_retval) t.retval = r.retval;

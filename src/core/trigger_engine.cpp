@@ -1,59 +1,94 @@
 #include "core/trigger_engine.hpp"
 
+#include <algorithm>
+
 namespace lfi::core {
 
 TriggerEngine::TriggerEngine(const Plan& plan,
                              const std::vector<FaultProfile>& profiles)
     : plan_(plan), rng_(plan.seed) {
+  // Intern every planned function; state_ is indexed by the resulting
+  // dense ids and never resized afterwards (stable handles).
   for (size_t i = 0; i < plan_.triggers.size(); ++i) {
     const FunctionTrigger& t = plan_.triggers[i];
-    FunctionState& st = state_[t.function];
+    util::SymbolId id = symbols_.Intern(t.function);
+    if (id >= state_.size()) state_.resize(id + 1);
+    FunctionState& st = state_[id];
     TriggerState ts{i, 0, 0};
-    // Plain call-count triggers are indexed by their fire count; they cost
-    // nothing on calls that do not match. Anything with a stack condition
-    // or a non-counting mode is evaluated per call.
+    // Plain call-count triggers are kept sorted by their fire count and
+    // consumed by a cursor; they cost nothing on calls that do not match.
+    // Anything with a stack condition or a non-counting mode is evaluated
+    // per call.
     if (t.mode == FunctionTrigger::Mode::CallCount && t.stacktrace.empty()) {
-      st.indexed[t.inject_call].push_back(ts);
+      st.indexed_.push_back(IndexedTrigger{t.inject_call, ts});
     } else {
-      st.general.push_back(ts);
+      st.general_.push_back(ts);
     }
-    if (!t.stacktrace.empty()) st.any_stack_conditions = true;
+    if (!t.stacktrace.empty()) st.any_stack_conditions_ = true;
   }
-  for (auto& [name, st] : state_) {
-    for (const FaultProfile& profile : profiles) {
-      if (const FunctionProfile* fn = profile.function(name)) {
-        st.injectables = fn->injectables();
-        break;
-      }
+  for (FunctionState& st : state_) {
+    // Stable: triggers with the same fire count stay in plan order.
+    std::stable_sort(st.indexed_.begin(), st.indexed_.end(),
+                     [](const IndexedTrigger& a, const IndexedTrigger& b) {
+                       return a.inject_call < b.inject_call;
+                     });
+  }
+  // Profile lookup by dense id (first profile with the function wins).
+  ProfileIndex index(profiles, symbols_);
+  for (util::SymbolId id = 0; id < state_.size(); ++id) {
+    if (!state_[id].has_triggers()) continue;
+    if (const FunctionProfile* fn = index.function(id)) {
+      state_[id].injectables_ = fn->injectables();
     }
   }
 }
 
 TriggerEngine::FunctionState* TriggerEngine::state_for(
-    const std::string& function) {
-  auto it = state_.find(function);
-  return it == state_.end() ? nullptr : &it->second;
+    std::string_view function) {
+  return const_cast<FunctionState*>(find_state(function));
 }
 
-bool TriggerEngine::has_triggers_for(const std::string& function) const {
-  return state_.count(function) > 0;
+const TriggerEngine::FunctionState* TriggerEngine::find_state(
+    std::string_view function) const {
+  util::SymbolId id = symbols_.Find(function);
+  if (id == util::kNoSymbol || id >= state_.size()) return nullptr;
+  const FunctionState& st = state_[id];
+  return st.has_triggers() ? &st : nullptr;
 }
 
-bool TriggerEngine::needs_backtrace(const std::string& function) const {
-  auto it = state_.find(function);
-  return it != state_.end() && it->second.any_stack_conditions;
+bool TriggerEngine::has_triggers_for(std::string_view function) const {
+  return find_state(function) != nullptr;
+}
+
+bool TriggerEngine::needs_backtrace(std::string_view function) const {
+  const FunctionState* st = find_state(function);
+  return st != nullptr && st->any_stack_conditions_;
 }
 
 std::vector<std::string> TriggerEngine::functions() const {
   std::vector<std::string> out;
-  out.reserve(state_.size());
-  for (const auto& [name, st] : state_) out.push_back(name);
+  for (util::SymbolId id = 0; id < state_.size(); ++id) {
+    if (state_[id].has_triggers()) out.push_back(symbols_.name(id));
+  }
   return out;
 }
 
-uint64_t TriggerEngine::call_count(const std::string& function) const {
-  auto it = state_.find(function);
-  return it == state_.end() ? 0 : it->second.call_count;
+uint64_t TriggerEngine::call_count(std::string_view function) const {
+  const FunctionState* st = find_state(function);
+  return st == nullptr ? 0 : st->call_count_;
+}
+
+std::optional<TriggerEngine::StateView> TriggerEngine::InspectState(
+    std::string_view function) const {
+  const FunctionState* st = find_state(function);
+  if (st == nullptr) return std::nullopt;
+  StateView view;
+  view.call_count = st->call_count_;
+  view.indexed_triggers = st->indexed_.size();
+  view.general_triggers = st->general_.size();
+  view.injectables = st->injectables_.size();
+  view.any_stack_conditions = st->any_stack_conditions_;
+  return view;
 }
 
 bool TriggerEngine::Matches(const FunctionTrigger& trigger,
@@ -61,7 +96,7 @@ bool TriggerEngine::Matches(const FunctionTrigger& trigger,
                             const BacktraceProvider& backtrace) const {
   switch (trigger.mode) {
     case FunctionTrigger::Mode::CallCount:
-      if (st.call_count != trigger.inject_call) return false;
+      if (st.call_count_ != trigger.inject_call) return false;
       break;
     case FunctionTrigger::Mode::Probability:
       if (!rng_.chance(trigger.probability)) return false;
@@ -95,15 +130,15 @@ std::optional<InjectionDecision> TriggerEngine::Fire(
     d.has_retval = true;
     d.retval = *trigger.retval;
     d.errno_value = trigger.errno_value;
-  } else if (!st.injectables.empty()) {
+  } else if (!st.injectables_.empty()) {
     // Draw the fault from the profile: rotating for exhaustive scenarios,
     // uniformly at random otherwise (§4).
     std::pair<int64_t, std::optional<int64_t>> pick;
     if (trigger.mode == FunctionTrigger::Mode::Rotate) {
-      pick = st.injectables[ts.rotate_index % st.injectables.size()];
+      pick = st.injectables_[ts.rotate_index % st.injectables_.size()];
       ++ts.rotate_index;
     } else {
-      pick = st.injectables[rng_.below(st.injectables.size())];
+      pick = st.injectables_[rng_.below(st.injectables_.size())];
     }
     d.has_retval = true;
     d.retval = pick.first;
@@ -121,23 +156,30 @@ std::optional<InjectionDecision> TriggerEngine::Fire(
 
 std::optional<InjectionDecision> TriggerEngine::OnCall(
     FunctionState& st, const BacktraceProvider& backtrace) {
-  ++st.call_count;
+  ++st.call_count_;
 
-  // Indexed call-count triggers: O(log buckets) for the exact count.
-  auto bucket = st.indexed.find(st.call_count);
+  // Indexed call-count triggers: the call count is strictly increasing, so
+  // a cursor over the sorted targets replaces the old per-call map lookup
+  // (amortized O(1), pure index arithmetic).
+  size_t i = st.cursor_;
+  while (i < st.indexed_.size() &&
+         st.indexed_[i].inject_call < st.call_count_) {
+    ++i;
+  }
+  st.cursor_ = i;
   // General triggers and indexed triggers compose in plan order; to keep
   // the hot path cheap we give indexed triggers priority within their
   // count, then fall back to general evaluation.
-  if (bucket != st.indexed.end()) {
-    for (TriggerState& ts : bucket->second) {
-      const FunctionTrigger& trigger = plan_.triggers[ts.plan_index];
-      if (trigger.max_injections >= 0 && ts.fired >= trigger.max_injections) {
-        continue;
-      }
-      return Fire(trigger, ts, st);
+  for (; i < st.indexed_.size() && st.indexed_[i].inject_call == st.call_count_;
+       ++i) {
+    TriggerState& ts = st.indexed_[i].state;
+    const FunctionTrigger& trigger = plan_.triggers[ts.plan_index];
+    if (trigger.max_injections >= 0 && ts.fired >= trigger.max_injections) {
+      continue;
     }
+    return Fire(trigger, ts, st);
   }
-  for (TriggerState& ts : st.general) {
+  for (TriggerState& ts : st.general_) {
     const FunctionTrigger& trigger = plan_.triggers[ts.plan_index];
     if (trigger.max_injections >= 0 && ts.fired >= trigger.max_injections) {
       continue;

@@ -5,17 +5,25 @@
 // The engine is VM-independent: the backtrace is supplied lazily by the
 // caller, so it is only materialized when some trigger actually has
 // stack-trace conditions (keeping per-call overhead low — Table 3/4).
+//
+// Function names are interned into a plan-local SymbolTable at
+// construction; per-function state lives in a flat vector indexed by that
+// dense id. A stub resolves its FunctionState* once at install time, and
+// OnCall(FunctionState&, ...) is then pure index arithmetic — the hot-path
+// invariant is that no string is hashed or compared and no map is walked
+// per intercepted call. The string-taking entry points are thin
+// resolve-once wrappers kept for setup-time callers and tests.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "core/profile.hpp"
 #include "core/scenario.hpp"
+#include "util/interner.hpp"
 #include "util/rng.hpp"
 
 namespace lfi::core {
@@ -35,60 +43,100 @@ struct InjectionDecision {
 };
 
 class TriggerEngine {
- public:
-  TriggerEngine(const Plan& plan, const std::vector<FaultProfile>& profiles);
-
-  /// Opaque per-function handle; lets a stub skip the name lookup on the
-  /// hot path (resolved once at install time).
-  struct FunctionState;
-  FunctionState* state_for(const std::string& function);
-
-  /// Evaluate the triggers for one intercepted call. The plan's trigger
-  /// order decides priority; the first firing trigger wins.
-  std::optional<InjectionDecision> OnCall(const std::string& function,
-                                          const BacktraceProvider& backtrace);
-  /// Hot-path variant using a pre-resolved handle. Call-count triggers
-  /// without stack conditions are indexed by target count, so evaluating a
-  /// call costs O(general triggers), not O(all triggers) — this keeps
-  /// 1,000-trigger plans at the paper's negligible overhead (§6.4).
-  std::optional<InjectionDecision> OnCall(FunctionState& state,
-                                          const BacktraceProvider& backtrace);
-
-  bool has_triggers_for(const std::string& function) const;
-  /// True if any trigger on `function` needs a backtrace to evaluate.
-  bool needs_backtrace(const std::string& function) const;
-  /// All function names with at least one trigger.
-  std::vector<std::string> functions() const;
-
-  uint64_t call_count(const std::string& function) const;
-  uint64_t injection_count() const { return injections_; }
-  const Plan& plan() const { return plan_; }
-
- public:
+ private:
+  /// Per-trigger mutable state (fire counts, rotation cursor).
   struct TriggerState {
     size_t plan_index = 0;
     int fired = 0;
     size_t rotate_index = 0;
   };
-  struct FunctionState {
-    uint64_t call_count = 0;
-    /// Call-count triggers without stack conditions, keyed by fire count.
-    std::map<uint64_t, std::vector<TriggerState>> indexed;
+  /// A plain call-count trigger, evaluated by cursor against the strictly
+  /// increasing call count — no per-call map lookup.
+  struct IndexedTrigger {
+    uint64_t inject_call = 0;
+    TriggerState state;
+  };
+
+ public:
+  TriggerEngine(const Plan& plan, const std::vector<FaultProfile>& profiles);
+
+  /// Opaque per-function handle; lets a stub skip the name lookup on the
+  /// hot path (resolved once at install time). The trigger plumbing is
+  /// engine-internal; callers only read the call count.
+  class FunctionState {
+   public:
+    uint64_t call_count() const { return call_count_; }
+
+   private:
+    friend class TriggerEngine;
+
+    bool has_triggers() const {
+      return !indexed_.empty() || !general_.empty();
+    }
+
+    uint64_t call_count_ = 0;
+    /// Call-count triggers without stack conditions, sorted by target
+    /// count and consumed by `cursor_` as the count advances; evaluating a
+    /// call costs O(general triggers), not O(all triggers) — this keeps
+    /// 1,000-trigger plans at the paper's negligible overhead (§6.4).
+    std::vector<IndexedTrigger> indexed_;
+    size_t cursor_ = 0;  // first indexed_ entry not yet passed
     /// Everything else: evaluated on every call, in plan order.
-    std::vector<TriggerState> general;
+    std::vector<TriggerState> general_;
     /// (retval, errno) pairs injectable per the fault profile.
-    std::vector<std::pair<int64_t, std::optional<int64_t>>> injectables;
+    std::vector<std::pair<int64_t, std::optional<int64_t>>> injectables_;
+    bool any_stack_conditions_ = false;
+  };
+
+  /// Resolve a function's state handle once; nullptr when the plan has no
+  /// triggers for it.
+  FunctionState* state_for(std::string_view function);
+
+  /// Hot path: evaluate the triggers for one intercepted call through a
+  /// pre-resolved handle. The plan's trigger order decides priority; the
+  /// first firing trigger wins.
+  std::optional<InjectionDecision> OnCall(FunctionState& state,
+                                          const BacktraceProvider& backtrace);
+  /// Resolve-once wrapper over the hot path (setup-time callers, tests).
+  std::optional<InjectionDecision> OnCall(const std::string& function,
+                                          const BacktraceProvider& backtrace);
+
+  bool has_triggers_for(std::string_view function) const;
+  /// True if any trigger on `function` needs a backtrace to evaluate.
+  bool needs_backtrace(std::string_view function) const;
+  /// All function names with at least one trigger.
+  std::vector<std::string> functions() const;
+
+  uint64_t call_count(std::string_view function) const;
+  uint64_t injection_count() const { return injections_; }
+  const Plan& plan() const { return plan_; }
+
+  /// The plan-local name interner (ids index the engine's state vector).
+  const util::SymbolTable& symbols() const { return symbols_; }
+
+  /// Narrow test-only window into the per-function plumbing; production
+  /// callers use the opaque FunctionState handle instead.
+  struct StateView {
+    uint64_t call_count = 0;
+    size_t indexed_triggers = 0;
+    size_t general_triggers = 0;
+    size_t injectables = 0;
     bool any_stack_conditions = false;
   };
+  std::optional<StateView> InspectState(std::string_view function) const;
 
  private:
   bool Matches(const FunctionTrigger& trigger, const FunctionState& st,
                const BacktraceProvider& backtrace) const;
   std::optional<InjectionDecision> Fire(const FunctionTrigger& trigger,
                                         TriggerState& ts, FunctionState& st);
+  const FunctionState* find_state(std::string_view function) const;
 
   Plan plan_;
-  std::map<std::string, FunctionState> state_;
+  util::SymbolTable symbols_;
+  /// Indexed by the plan-local SymbolId of the function name. Sized once
+  /// at construction, so FunctionState addresses are stable.
+  std::vector<FunctionState> state_;
   mutable Rng rng_;
   uint64_t injections_ = 0;
 };

@@ -1,3 +1,56 @@
 #include "vm/coverage.hpp"
 
-// Header-only for now; this TU anchors the library target.
+#include <algorithm>
+
+namespace lfi::vm {
+
+size_t CoverageBitmap::Count() const {
+  size_t total = 0;
+  for (uint64_t word : words_) {
+    total += static_cast<size_t>(__builtin_popcountll(word));
+  }
+  return total;
+}
+
+void CoverageBitmap::Merge(const CoverageBitmap& other) {
+  Resize(other.bits_);
+  for (size_t w = 0; w < other.words_.size(); ++w) words_[w] |= other.words_[w];
+}
+
+std::vector<uint32_t> CoverageBitmap::ToOffsets() const {
+  std::vector<uint32_t> out;
+  out.reserve(Count());
+  ForEachSet([&](uint32_t offset) { out.push_back(offset); });
+  return out;
+}
+
+bool operator==(const CoverageBitmap& a, const CoverageBitmap& b) {
+  // Bitmaps compare by content: trailing zero words (size padding) do not
+  // make two equal coverage sets unequal.
+  size_t common = std::min(a.words_.size(), b.words_.size());
+  for (size_t w = 0; w < common; ++w) {
+    if (a.words_[w] != b.words_[w]) return false;
+  }
+  const auto& longer = a.words_.size() > common ? a.words_ : b.words_;
+  for (size_t w = common; w < longer.size(); ++w) {
+    if (longer[w] != 0) return false;
+  }
+  return true;
+}
+
+size_t CoverageTracker::covered_total() const {
+  size_t total = 0;
+  for (const CoverageBitmap& bm : modules_) total += bm.Count();
+  return total;
+}
+
+void CoverageTracker::Merge(const CoverageTracker& other) {
+  if (other.modules_.size() > modules_.size()) {
+    modules_.resize(other.modules_.size());
+  }
+  for (size_t i = 0; i < other.modules_.size(); ++i) {
+    modules_[i].Merge(other.modules_[i]);
+  }
+}
+
+}  // namespace lfi::vm

@@ -1,38 +1,133 @@
 // Basic-block coverage support (paper §6.1, "Improving Coverage").
 //
-// The tracker records executed instruction offsets per module; block-level
-// coverage is derived later by intersecting with a CFG's block starts, the
-// way gcov-style tooling attributes execution to blocks.
+// The tracker records executed instruction offsets per module in dense
+// bitmaps sized from the module text length: `Record` is two shifts and an
+// OR — no hashing, no tree walk, no allocation — so coverage collection is
+// safe to leave on during throughput campaigns. Block-level coverage is
+// derived later by projecting the bitmap onto a CFG's block starts, the way
+// gcov-style tooling attributes execution to blocks. `Merge` is a bitwise
+// OR, which makes campaign-wide union coverage order-independent (and
+// therefore deterministic across worker counts).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <map>
-#include <set>
-#include <string>
+#include <vector>
 
 namespace lfi::vm {
 
-class CoverageTracker {
+/// Executed-offset bitmap for one module: bit i == "the instruction at text
+/// offset i was executed". Sized from the module's text length, one bit per
+/// byte of text (offsets are byte offsets into the code section).
+class CoverageBitmap {
  public:
-  void Record(size_t module_index, uint32_t offset) {
-    executed_[module_index].insert(offset);
+  CoverageBitmap() = default;
+  explicit CoverageBitmap(size_t text_bytes) { Resize(text_bytes); }
+
+  /// Grow to cover `text_bytes` offsets; never shrinks, set bits survive.
+  void Resize(size_t text_bytes) {
+    if (text_bytes > bits_) {
+      bits_ = text_bytes;
+      words_.resize((bits_ + 63) / 64, 0);
+    }
   }
 
-  const std::set<uint32_t>& executed(size_t module_index) const {
-    static const std::set<uint32_t> empty;
-    auto it = executed_.find(module_index);
-    return it == executed_.end() ? empty : it->second;
+  size_t size_bits() const { return bits_; }
+
+  void Set(uint32_t offset) {
+    if (offset < bits_) words_[offset >> 6] |= uint64_t{1} << (offset & 63);
+  }
+
+  bool Test(uint32_t offset) const {
+    return offset < bits_ &&
+           (words_[offset >> 6] >> (offset & 63) & uint64_t{1}) != 0;
+  }
+
+  /// Number of set bits.
+  size_t Count() const;
+
+  bool Empty() const { return Count() == 0; }
+
+  /// Bitwise-OR `other` into this bitmap, growing as needed.
+  void Merge(const CoverageBitmap& other);
+
+  /// Zero all bits, keeping the sizing.
+  void Clear() { words_.assign(words_.size(), 0); }
+
+  /// Invoke `fn(offset)` for every set bit, ascending.
+  template <typename Fn>
+  void ForEachSet(Fn&& fn) const {
+    for (size_t w = 0; w < words_.size(); ++w) {
+      uint64_t word = words_[w];
+      while (word != 0) {
+        uint32_t bit = static_cast<uint32_t>(__builtin_ctzll(word));
+        fn(static_cast<uint32_t>(w * 64 + bit));
+        word &= word - 1;
+      }
+    }
+  }
+
+  /// Set bits as a sorted offset list (report/serialization use).
+  std::vector<uint32_t> ToOffsets() const;
+
+  friend bool operator==(const CoverageBitmap& a, const CoverageBitmap& b);
+
+ private:
+  size_t bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+bool operator==(const CoverageBitmap& a, const CoverageBitmap& b);
+inline bool operator!=(const CoverageBitmap& a, const CoverageBitmap& b) {
+  return !(a == b);
+}
+
+/// Per-module coverage bitmaps, indexed by the loader's dense module index.
+/// The owning machine sizes each module's bitmap from its text length when
+/// coverage is enabled (and when modules load), so the per-instruction
+/// `Record` is a pure bitmap store.
+class CoverageTracker {
+ public:
+  /// Size (or grow) the bitmap for `module_index` to `text_bytes`.
+  void EnsureModule(size_t module_index, size_t text_bytes) {
+    if (module_index >= modules_.size()) modules_.resize(module_index + 1);
+    modules_[module_index].Resize(text_bytes);
+  }
+
+  /// Hot path: mark text offset `offset` of module `module_index` executed.
+  void Record(size_t module_index, uint32_t offset) {
+    if (module_index < modules_.size()) modules_[module_index].Set(offset);
+  }
+
+  const CoverageBitmap& executed(size_t module_index) const {
+    static const CoverageBitmap empty;
+    return module_index < modules_.size() ? modules_[module_index] : empty;
   }
 
   bool was_executed(size_t module_index, uint32_t offset) const {
-    auto it = executed_.find(module_index);
-    return it != executed_.end() && it->second.count(offset) > 0;
+    return module_index < modules_.size() && modules_[module_index].Test(offset);
   }
 
-  void Clear() { executed_.clear(); }
+  size_t module_count() const { return modules_.size(); }
+
+  /// Executed offsets in one module / across all modules.
+  size_t covered(size_t module_index) const {
+    return module_index < modules_.size() ? modules_[module_index].Count() : 0;
+  }
+  size_t covered_total() const;
+
+  /// Union `other` into this tracker (bitwise OR per module, growing as
+  /// needed). Order-independent: campaign workers can be merged in any
+  /// order and produce the same aggregate.
+  void Merge(const CoverageTracker& other);
+
+  /// Zero every bitmap, keeping module sizing (machine reuse across runs).
+  void Clear() {
+    for (CoverageBitmap& bm : modules_) bm.Clear();
+  }
 
  private:
-  std::map<size_t, std::set<uint32_t>> executed_;
+  std::vector<CoverageBitmap> modules_;
 };
 
 }  // namespace lfi::vm

@@ -30,6 +30,19 @@ size_t Loader::Load(sso::SharedObject object) {
   mod->data_pristine = mod->data_runtime;
   mod->plt.assign(mod->object.imports.size(), std::nullopt);
   mod->plt_generation = 0;
+  // Intern every export into the machine symbol table and fill the dense
+  // export map (first definition in load order wins, matching the search
+  // order the string-based resolver used).
+  for (const isa::Symbol& sym : mod->object.exports) {
+    SymbolId id = symbols_.Intern(sym.name);
+    if (id >= export_addr_.size()) export_addr_.resize(id + 1, 0);
+    if (export_addr_[id] == 0) export_addr_[id] = mod->code_base + sym.offset;
+  }
+  // Pre-intern imports so PLT misses resolve by id, never by string.
+  mod->import_ids.reserve(mod->object.imports.size());
+  for (const std::string& import : mod->object.imports) {
+    mod->import_ids.push_back(symbols_.Intern(import));
+  }
   modules_.push_back(std::move(mod));
   ++generation_;
   return modules_.size() - 1;
@@ -45,20 +58,22 @@ void Loader::ResetData() {
 
 uint64_t Loader::RegisterNative(const std::string& name, NativeFn fn) {
   ++generation_;
-  auto it = native_index_.find(name);
-  if (it != native_index_.end()) {
-    natives_[it->second].fn = std::move(fn);
-    return kNativeStubBase + it->second * kNativeStubSpacing;
+  SymbolId id = symbols_.Intern(name);
+  if (id >= native_by_id_.size()) native_by_id_.resize(id + 1, kNoNative);
+  if (native_by_id_[id] != kNoNative) {
+    size_t slot = native_by_id_[id];
+    natives_[slot].fn = std::move(fn);
+    return kNativeStubBase + slot * kNativeStubSpacing;
   }
-  size_t id = natives_.size();
+  size_t slot = natives_.size();
   natives_.push_back({name, std::move(fn)});
-  native_index_.emplace(name, id);
-  return kNativeStubBase + id * kNativeStubSpacing;
+  native_by_id_[id] = slot;
+  return kNativeStubBase + slot * kNativeStubSpacing;
 }
 
 void Loader::ClearNatives() {
   natives_.clear();
-  native_index_.clear();
+  std::fill(native_by_id_.begin(), native_by_id_.end(), kNoNative);
   ++generation_;
 }
 
@@ -77,29 +92,35 @@ Target Loader::Resolve(size_t module_index, uint16_t import_index) const {
   }
   if (import_index >= mod.plt.size()) return Target{};
   auto& slot = mod.plt[import_index];
-  if (!slot) slot = ResolveName(mod.object.imports[import_index]);
+  if (!slot) slot = ResolveId(mod.import_ids[import_index]);
   return *slot;
 }
 
-Target Loader::ResolveName(const std::string& name) const {
-  if (interpose_enabled_) {
-    auto it = native_index_.find(name);
-    if (it != native_index_.end()) {
-      return Target{Target::Kind::Native,
-                    kNativeStubBase + it->second * kNativeStubSpacing,
-                    it->second};
-    }
+Target Loader::ResolveId(SymbolId id) const {
+  if (interpose_enabled_ && id < native_by_id_.size() &&
+      native_by_id_[id] != kNoNative) {
+    size_t slot = native_by_id_[id];
+    return Target{Target::Kind::Native,
+                  kNativeStubBase + slot * kNativeStubSpacing, slot};
   }
-  return ResolveNextName(name);
+  return ResolveNextId(id);
 }
 
-Target Loader::ResolveNextName(const std::string& name) const {
-  for (const auto& mod : modules_) {
-    if (const isa::Symbol* sym = mod->object.find_export(name)) {
-      return Target{Target::Kind::Code, mod->code_base + sym->offset, 0};
-    }
+Target Loader::ResolveNextId(SymbolId id) const {
+  if (id < export_addr_.size() && export_addr_[id] != 0) {
+    return Target{Target::Kind::Code, export_addr_[id], 0};
   }
   return Target{};
+}
+
+Target Loader::ResolveName(std::string_view name) const {
+  SymbolId id = symbols_.Find(name);
+  return id == kNoSymbol ? Target{} : ResolveId(id);
+}
+
+Target Loader::ResolveNextName(std::string_view name) const {
+  SymbolId id = symbols_.Find(name);
+  return id == kNoSymbol ? Target{} : ResolveNextId(id);
 }
 
 const LoadedModule* Loader::module_named(std::string_view name) const {

@@ -6,22 +6,34 @@
 // made from inside other libraries, since every CALL_SYM resolves through
 // here (the PLT behaviour the paper relies on). ResolveNext() is the
 // dlsym(RTLD_NEXT, ...) analogue a stub uses to reach the original.
+//
+// Every symbol name is interned into the per-machine SymbolTable at load /
+// register time; resolution proper is indexed by dense SymbolId (export and
+// native tables are flat vectors), so after install no per-call resolution
+// ever hashes or compares a string. The string-taking Resolve*Name entry
+// points are thin resolve-once wrappers kept for setup-time callers.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "sso/sso.hpp"
+#include "util/interner.hpp"
 #include "vm/memory.hpp"
 
 namespace lfi::vm {
 
 class Process;
+
+/// The machine-wide name interner and its dense id type (one table per
+/// Machine, owned by its Loader).
+using SymbolTable = util::SymbolTable;
+using SymbolId = util::SymbolId;
+using util::kNoSymbol;
 
 /// What a stub tells the VM to do after it ran.
 struct NativeAction {
@@ -75,6 +87,7 @@ struct LoadedModule {
   std::vector<uint8_t> data_runtime;  // relocated copy of the data section
   std::vector<uint8_t> data_pristine; // post-relocation snapshot for resets
   uint32_t tls_base = 0;              // module's slice of the TLS segment
+  std::vector<SymbolId> import_ids;   // imports pre-interned at load
   // Lazily-bound PLT cache, invalidated when interposition changes.
   mutable std::vector<std::optional<Target>> plt;
   mutable uint64_t plt_generation = 0;
@@ -100,15 +113,27 @@ class Loader {
   void SetInterpositionEnabled(bool enabled);
   bool interposition_enabled() const { return interpose_enabled_; }
 
-  // -- resolution -----------------------------------------------------------
+  // -- symbol interning ------------------------------------------------------
+  /// The machine-wide name table. All exports and imports are interned at
+  /// Load time; RegisterNative interns too, so any resolvable name has an
+  /// id. Resolve a name once, keep the id, and resolve by id afterwards.
+  SymbolTable& symbols() { return symbols_; }
+  const SymbolTable& symbols() const { return symbols_; }
+  SymbolId Intern(std::string_view name) { return symbols_.Intern(name); }
+
+  // -- resolution ------------------------------------------------------------
   /// Resolve import `import_index` of `module_index` (PLT-cached).
   Target Resolve(size_t module_index, uint16_t import_index) const;
-  /// Resolve a name: natives first (if enabled), then modules in load order.
-  Target ResolveName(const std::string& name) const;
+  /// Resolve an interned symbol: natives first (if enabled), then the
+  /// load-order export table. Pure array indexing.
+  Target ResolveId(SymbolId id) const;
   /// Resolve skipping natives — dlsym(RTLD_NEXT): the original function.
-  Target ResolveNextName(const std::string& name) const;
+  Target ResolveNextId(SymbolId id) const;
+  /// String wrappers for setup-time callers (one table lookup, then ids).
+  Target ResolveName(std::string_view name) const;
+  Target ResolveNextName(std::string_view name) const;
 
-  // -- introspection --------------------------------------------------------
+  // -- introspection ---------------------------------------------------------
   const std::vector<std::unique_ptr<LoadedModule>>& modules() const {
     return modules_;
   }
@@ -127,13 +152,20 @@ class Loader {
   uint64_t generation() const { return generation_; }
 
  private:
+  static constexpr size_t kNoNative = SIZE_MAX;
+
   std::vector<std::unique_ptr<LoadedModule>> modules_;
   struct Native {
     std::string name;
     NativeFn fn;
   };
   std::vector<Native> natives_;
-  std::map<std::string, size_t> native_index_;
+  SymbolTable symbols_;
+  /// SymbolId -> first export in load order (0 = none; code addresses are
+  /// never 0 because module code bases start above the null page).
+  std::vector<uint64_t> export_addr_;
+  /// SymbolId -> native slot, or kNoNative.
+  std::vector<size_t> native_by_id_;
   bool interpose_enabled_ = true;
   uint64_t generation_ = 1;  // bumped whenever resolution could change
   uint32_t tls_cursor_ = 0;  // next module TLS slice (module-relative)

@@ -124,9 +124,17 @@ Machine::ExitInfo Machine::RunToCompletion(int pid, uint64_t max_instructions) {
 CoverageTracker* Machine::EnableCoverage() {
   if (!coverage_) {
     coverage_ = std::make_unique<CoverageTracker>();
+    SyncCoverageModules();
     for (auto& p : procs_) p->set_coverage(coverage_.get());
   }
   return coverage_.get();
+}
+
+void Machine::SyncCoverageModules() {
+  if (!coverage_) return;
+  for (const auto& mod : loader_.modules()) {
+    coverage_->EnsureModule(mod->index, mod->object.code.size());
+  }
 }
 
 }  // namespace lfi::vm

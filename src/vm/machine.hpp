@@ -30,8 +30,17 @@ class Machine {
   Loader& loader() { return loader_; }
   kernel::KernelRuntime& kernel() { return kernel_; }
 
+  /// The machine-wide symbol interner (owned by the loader). Names resolve
+  /// to dense SymbolIds once; everything per-call indexes by id.
+  SymbolTable& symbols() { return loader_.symbols(); }
+  const SymbolTable& symbols() const { return loader_.symbols(); }
+
   /// Load a shared object (order defines symbol search order).
-  size_t Load(sso::SharedObject object) { return loader_.Load(std::move(object)); }
+  size_t Load(sso::SharedObject object) {
+    size_t index = loader_.Load(std::move(object));
+    SyncCoverageModules();
+    return index;
+  }
 
   /// Create a process whose entry is the exported symbol `entry`.
   /// Returns the pid, or an error if the symbol does not resolve.
@@ -76,6 +85,10 @@ class Machine {
   CoverageTracker* coverage() { return coverage_.get(); }
 
  private:
+  /// Size per-module coverage bitmaps from module text lengths (no-op when
+  /// coverage is off). Keeps CoverageTracker::Record allocation-free.
+  void SyncCoverageModules();
+
   Loader loader_;
   kernel::KernelRuntime kernel_;
   std::map<uint16_t, uint64_t> syscall_targets_;

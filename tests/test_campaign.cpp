@@ -164,6 +164,34 @@ TEST(Campaign, DeterministicAcrossJobCounts) {
   ExpectSameResults(serial, balanced);
 }
 
+// The merged union coverage must be bit-identical for 1 vs. N workers:
+// per-worker bitmaps are OR-merged at shard boundaries, and OR is
+// order-independent. This is the --jobs acceptance check for coverage.
+TEST(Campaign, MergedCoverageIdenticalAcrossJobCounts) {
+  std::vector<Scenario> scenarios = RandomScenarios(24, 0.3, 11);
+  CampaignReport serial =
+      RunReaderCampaign(scenarios, 1, ShardPolicy::RoundRobin);
+  CampaignReport parallel =
+      RunReaderCampaign(scenarios, 4, ShardPolicy::RoundRobin);
+  CampaignReport balanced =
+      RunReaderCampaign(scenarios, 3, ShardPolicy::SizeBalanced);
+
+  // Coverage must actually exist for the comparison to mean anything.
+  ASSERT_FALSE(serial.coverage.empty());
+  size_t union_offsets = 0;
+  for (const auto& [name, bitmap] : serial.coverage) {
+    union_offsets += bitmap.Count();
+  }
+  EXPECT_GT(union_offsets, 0u);
+  // The app module's bitmap is populated, not just libc's.
+  auto app_it = serial.coverage.find("readerapp.so");
+  ASSERT_NE(app_it, serial.coverage.end());
+  EXPECT_GT(app_it->second.Count(), 0u);
+
+  EXPECT_EQ(serial.coverage, parallel.coverage);
+  EXPECT_EQ(serial.coverage, balanced.coverage);
+}
+
 // Re-running a campaign on the same runner starts from the same state.
 TEST(Campaign, RunnerIsReusable) {
   std::vector<Scenario> scenarios = RandomScenarios(16, 0.3, 7);

@@ -74,7 +74,31 @@ TEST(Controller, ReinstallReplacesPreviousPlan) {
   // Plan A's getpid trigger is gone: both getpid calls pass through, and
   // only plan B's geterrno injection fires.
   ASSERT_EQ(controller.log().size(), 1u);
-  EXPECT_EQ(controller.log().records()[0].function, "geterrno");
+  EXPECT_EQ(controller.log().function_name(controller.log().records()[0]),
+            "geterrno");
+}
+
+TEST(Controller, ReinstallClearsStaleLoaderStubs) {
+  // Regression for the reinstall path in isolation: after a second
+  // Install, the loader must hold only the new plan's stubs — plan A's
+  // function has to resolve back to its module code, not to a stale stub
+  // whose engine state was destroyed with the first install.
+  vm::Machine machine;
+  machine.Load(libc::BuildLibc());
+  machine.Load(TwoCallApp());
+  Controller controller(machine);
+  ASSERT_TRUE(controller.Install(OneShot("getpid", 1, -7, std::nullopt), nullptr));
+  ASSERT_EQ(machine.loader().ResolveName("getpid").kind,
+            vm::Target::Kind::Native);
+  ASSERT_TRUE(controller.Install(OneShot("geterrno", 1, -9, std::nullopt), nullptr));
+  EXPECT_EQ(machine.loader().ResolveName("getpid").kind,
+            vm::Target::Kind::Code);
+  EXPECT_EQ(machine.loader().ResolveName("geterrno").kind,
+            vm::Target::Kind::Native);
+  // And after Reset, nothing is interposed at all.
+  controller.Reset();
+  EXPECT_EQ(machine.loader().ResolveName("geterrno").kind,
+            vm::Target::Kind::Code);
 }
 
 TEST(Controller, FirstCallPassesThroughUntouched) {
@@ -241,7 +265,7 @@ TEST(Controller, ReplayReproducesSameOutcome) {
 TEST(Controller, ReplayPlanShape) {
   InjectionLog log;
   InjectionRecord r;
-  r.function = "read";
+  r.function = log.Intern("read");
   r.call_number = 20;
   r.has_retval = true;
   r.retval = -1;

@@ -1,0 +1,149 @@
+// CoverageBitmap / CoverageTracker tests: bitmap semantics, union merge
+// correctness (empty / disjoint / overlapping), and the reuse behaviour
+// the campaign runner depends on (Clear keeps sizing).
+#include <gtest/gtest.h>
+
+#include "vm/coverage.hpp"
+
+namespace lfi::vm {
+namespace {
+
+TEST(CoverageBitmap, SetTestCount) {
+  CoverageBitmap bm(256);
+  EXPECT_EQ(bm.Count(), 0u);
+  EXPECT_TRUE(bm.Empty());
+  bm.Set(0);
+  bm.Set(63);
+  bm.Set(64);
+  bm.Set(255);
+  EXPECT_TRUE(bm.Test(0));
+  EXPECT_TRUE(bm.Test(63));
+  EXPECT_TRUE(bm.Test(64));
+  EXPECT_TRUE(bm.Test(255));
+  EXPECT_FALSE(bm.Test(1));
+  EXPECT_EQ(bm.Count(), 4u);
+  // Setting the same bit twice does not double-count.
+  bm.Set(64);
+  EXPECT_EQ(bm.Count(), 4u);
+}
+
+TEST(CoverageBitmap, OutOfRangeIsIgnored) {
+  CoverageBitmap bm(100);
+  bm.Set(100);  // one past the end
+  bm.Set(4096);
+  EXPECT_EQ(bm.Count(), 0u);
+  EXPECT_FALSE(bm.Test(100));
+  EXPECT_FALSE(bm.Test(4096));
+}
+
+TEST(CoverageBitmap, MergeEmpty) {
+  CoverageBitmap a(128), b(128);
+  a.Set(7);
+  CoverageBitmap before = a;
+  a.Merge(b);  // union with the empty set is a no-op
+  EXPECT_EQ(a, before);
+  b.Merge(a);  // empty |= a  ==  a
+  EXPECT_EQ(b, a);
+}
+
+TEST(CoverageBitmap, MergeDisjoint) {
+  CoverageBitmap a(128), b(128);
+  a.Set(1);
+  a.Set(70);
+  b.Set(2);
+  b.Set(127);
+  a.Merge(b);
+  EXPECT_EQ(a.Count(), 4u);
+  for (uint32_t off : {1u, 2u, 70u, 127u}) EXPECT_TRUE(a.Test(off));
+}
+
+TEST(CoverageBitmap, MergeOverlapping) {
+  CoverageBitmap a(128), b(128);
+  a.Set(5);
+  a.Set(66);
+  b.Set(66);
+  b.Set(9);
+  a.Merge(b);
+  EXPECT_EQ(a.Count(), 3u);  // 66 counted once
+  EXPECT_TRUE(a.Test(5));
+  EXPECT_TRUE(a.Test(9));
+  EXPECT_TRUE(a.Test(66));
+}
+
+TEST(CoverageBitmap, MergeGrowsDestination) {
+  CoverageBitmap small(10), big(500);
+  small.Set(3);
+  big.Set(400);
+  small.Merge(big);
+  EXPECT_GE(small.size_bits(), 500u);
+  EXPECT_TRUE(small.Test(3));
+  EXPECT_TRUE(small.Test(400));
+}
+
+TEST(CoverageBitmap, EqualityIgnoresSizePadding) {
+  // Same covered set, different sizing: equal (trailing zeros don't count).
+  CoverageBitmap a(64), b(640);
+  a.Set(12);
+  b.Set(12);
+  EXPECT_EQ(a, b);
+  b.Set(300);
+  EXPECT_NE(a, b);
+}
+
+TEST(CoverageBitmap, ToOffsetsAscending) {
+  CoverageBitmap bm(200);
+  bm.Set(190);
+  bm.Set(0);
+  bm.Set(65);
+  EXPECT_EQ(bm.ToOffsets(), (std::vector<uint32_t>{0, 65, 190}));
+}
+
+TEST(CoverageTracker, RecordRespectsModuleSizing) {
+  CoverageTracker tracker;
+  tracker.EnsureModule(0, 100);
+  tracker.EnsureModule(1, 50);
+  tracker.Record(0, 10);
+  tracker.Record(1, 49);
+  tracker.Record(2, 5);   // unknown module: dropped, no allocation
+  tracker.Record(1, 90);  // past module text: dropped
+  EXPECT_TRUE(tracker.was_executed(0, 10));
+  EXPECT_TRUE(tracker.was_executed(1, 49));
+  EXPECT_FALSE(tracker.was_executed(2, 5));
+  EXPECT_FALSE(tracker.was_executed(1, 90));
+  EXPECT_EQ(tracker.covered(0), 1u);
+  EXPECT_EQ(tracker.covered_total(), 2u);
+}
+
+TEST(CoverageTracker, MergeUnionsPerModule) {
+  CoverageTracker a, b;
+  a.EnsureModule(0, 100);
+  b.EnsureModule(0, 100);
+  b.EnsureModule(1, 100);
+  a.Record(0, 1);
+  b.Record(0, 2);
+  b.Record(1, 3);
+  a.Merge(b);
+  EXPECT_TRUE(a.was_executed(0, 1));
+  EXPECT_TRUE(a.was_executed(0, 2));
+  EXPECT_TRUE(a.was_executed(1, 3));
+  EXPECT_EQ(a.covered_total(), 3u);
+  // Merge order does not matter: b | a == a | b as coverage sets.
+  CoverageTracker c;
+  c.Merge(b);
+  c.Record(0, 1);
+  EXPECT_EQ(c.covered_total(), a.covered_total());
+}
+
+TEST(CoverageTracker, ClearKeepsSizing) {
+  CoverageTracker tracker;
+  tracker.EnsureModule(0, 100);
+  tracker.Record(0, 42);
+  tracker.Clear();
+  EXPECT_EQ(tracker.covered_total(), 0u);
+  // Records still land after Clear — the bitmaps kept their sizing.
+  tracker.Record(0, 42);
+  EXPECT_TRUE(tracker.was_executed(0, 42));
+}
+
+}  // namespace
+}  // namespace lfi::vm

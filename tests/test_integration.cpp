@@ -123,7 +123,8 @@ TEST_F(PipelineTest, ProfileDrivenInjectionExposesUncheckedRead) {
   EXPECT_EQ(r.state, vm::ProcState::Faulted);
   EXPECT_EQ(r.signal, vm::Signal::Abort);
   ASSERT_EQ(controller->log().size(), 1u);
-  EXPECT_EQ(controller->log().records()[0].function, "read");
+  EXPECT_EQ(controller->log().function_name(controller->log().records()[0]),
+            "read");
 }
 
 TEST_F(PipelineTest, ExhaustiveScenarioFindsTheBugToo) {
@@ -156,6 +157,12 @@ TEST_F(PipelineTest, ReplayScriptReproducesInjectionSequence) {
   auto r1 = RunUnder(plan, &first);
   ASSERT_GT(first->log().size(), 0u);
   std::vector<core::InjectionRecord> original = first->log().records();
+  // Resolve names now: ids are log-local, and the next RunUnder replaces
+  // the controller (and its log's interner).
+  std::vector<std::string> original_names;
+  for (const core::InjectionRecord& r : original) {
+    original_names.push_back(first->log().function_name(r));
+  }
 
   core::Plan replay = first->GenerateReplay();
   core::Controller* second = nullptr;
@@ -164,7 +171,8 @@ TEST_F(PipelineTest, ReplayScriptReproducesInjectionSequence) {
   EXPECT_EQ(r1.exit_code, r2.exit_code);
   ASSERT_EQ(second->log().size(), original.size());
   for (size_t i = 0; i < original.size(); ++i) {
-    EXPECT_EQ(second->log().records()[i].function, original[i].function);
+    EXPECT_EQ(second->log().function_name(second->log().records()[i]),
+              original_names[i]);
     EXPECT_EQ(second->log().records()[i].call_number,
               original[i].call_number);
     EXPECT_EQ(second->log().records()[i].retval, original[i].retval);
@@ -196,14 +204,14 @@ TEST_F(PipelineTest, FaultloadsDriveInjectionsThroughProfiles) {
   auto profiles = LibcProfiles();
   for (const auto& rec : controller->log().records()) {
     if (!rec.errno_value) continue;
-    const core::FunctionProfile* fn = profiles[0].function(rec.function);
-    ASSERT_NE(fn, nullptr) << rec.function;
+    const std::string& name = controller->log().function_name(rec);
+    const core::FunctionProfile* fn = profiles[0].function(name);
+    ASSERT_NE(fn, nullptr) << name;
     bool legal = false;
     for (const auto& [rv, err] : fn->injectables()) {
       legal |= rv == rec.retval && err && *err == *rec.errno_value;
     }
-    EXPECT_TRUE(legal) << rec.function << " errno "
-                       << ErrnoName(*rec.errno_value);
+    EXPECT_TRUE(legal) << name << " errno " << ErrnoName(*rec.errno_value);
   }
 }
 

@@ -1,0 +1,90 @@
+// SymbolTable interner tests: dense id assignment, resolve-once stability,
+// and concurrent interning (the per-machine table is shared by everything
+// that resolves names at install time).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "util/interner.hpp"
+
+namespace lfi::util {
+namespace {
+
+TEST(SymbolTable, IdsAreDenseAndStable) {
+  SymbolTable table;
+  EXPECT_EQ(table.Intern("read"), 0u);
+  EXPECT_EQ(table.Intern("write"), 1u);
+  EXPECT_EQ(table.Intern("close"), 2u);
+  // Re-interning resolves to the existing id, never a new one.
+  EXPECT_EQ(table.Intern("read"), 0u);
+  EXPECT_EQ(table.Intern("close"), 2u);
+  EXPECT_EQ(table.size(), 3u);
+}
+
+TEST(SymbolTable, FindDoesNotIntern) {
+  SymbolTable table;
+  EXPECT_EQ(table.Find("read"), kNoSymbol);
+  EXPECT_EQ(table.size(), 0u);
+  SymbolId id = table.Intern("read");
+  EXPECT_EQ(table.Find("read"), id);
+  EXPECT_EQ(table.Find("write"), kNoSymbol);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(SymbolTable, NameRoundTrip) {
+  SymbolTable table;
+  SymbolId read = table.Intern("read");
+  SymbolId write = table.Intern("write");
+  EXPECT_EQ(table.name(read), "read");
+  EXPECT_EQ(table.name(write), "write");
+  EXPECT_EQ(table.name(kNoSymbol), "");
+  EXPECT_EQ(table.name(99), "");
+}
+
+TEST(SymbolTable, NameReferencesStayValidAsTableGrows) {
+  SymbolTable table;
+  const std::string& first = table.name(table.Intern("f0"));
+  for (int i = 1; i < 1000; ++i) {
+    table.Intern("f" + std::to_string(i));
+  }
+  // The reference taken before 999 more interns must still read "f0"
+  // (ids are handles precisely because names never move).
+  EXPECT_EQ(first, "f0");
+}
+
+TEST(SymbolTable, ConcurrentInternResolvesOnce) {
+  SymbolTable table;
+  constexpr int kThreads = 8;
+  constexpr int kNames = 64;
+  // Every thread interns the same names in a different order; all threads
+  // must agree on every name's id, and no duplicate ids may be handed out.
+  std::vector<std::vector<SymbolId>> seen(kThreads,
+                                          std::vector<SymbolId>(kNames));
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t] {
+      for (int i = 0; i < kNames; ++i) {
+        int n = (i * 7 + t * 13) % kNames;  // per-thread order
+        seen[static_cast<size_t>(t)][static_cast<size_t>(n)] =
+            table.Intern("sym" + std::to_string(n));
+      }
+    });
+  }
+  for (std::thread& th : pool) th.join();
+
+  EXPECT_EQ(table.size(), static_cast<size_t>(kNames));
+  for (int n = 0; n < kNames; ++n) {
+    SymbolId expected = seen[0][static_cast<size_t>(n)];
+    EXPECT_LT(expected, static_cast<SymbolId>(kNames));
+    for (int t = 1; t < kThreads; ++t) {
+      EXPECT_EQ(seen[static_cast<size_t>(t)][static_cast<size_t>(n)], expected)
+          << "thread " << t << " disagrees on sym" << n;
+    }
+    EXPECT_EQ(table.name(expected), "sym" + std::to_string(n));
+  }
+}
+
+}  // namespace
+}  // namespace lfi::util

@@ -66,6 +66,50 @@ TEST(Scenario, XmlRoundTrip) {
             ArgModification::Op::Sub);
 }
 
+TEST(Scenario, StackTraceConditionsSurviveXmlRoundTrip) {
+  // A plan built in memory (not parsed from the paper example) with mixed
+  // address / symbol frame conditions must serialize and parse back to the
+  // same trigger, frame for frame.
+  Plan plan;
+  plan.seed = 77;
+  FunctionTrigger t;
+  t.function = "readdir";
+  t.mode = FunctionTrigger::Mode::CallCount;
+  t.inject_call = 5;
+  t.retval = 0;
+  t.errno_value = E_BADF;
+  t.max_injections = 2;
+  FrameCondition addr_frame;
+  addr_frame.address = 0xb824490;
+  FrameCondition sym_frame;
+  sym_frame.symbol = "refresh_files";
+  FrameCondition outer_frame;
+  outer_frame.symbol = "main";
+  t.stacktrace = {addr_frame, sym_frame, outer_frame};
+  plan.triggers.push_back(t);
+
+  auto parsed = Plan::FromXml(plan.ToXml());
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  ASSERT_EQ(parsed.value().triggers.size(), 1u);
+  const FunctionTrigger& back = parsed.value().triggers[0];
+  EXPECT_EQ(parsed.value().seed, 77u);
+  EXPECT_EQ(back.function, "readdir");
+  EXPECT_EQ(back.mode, FunctionTrigger::Mode::CallCount);
+  EXPECT_EQ(back.inject_call, 5u);
+  EXPECT_EQ(back.retval, 0);
+  EXPECT_EQ(back.errno_value, E_BADF);
+  EXPECT_EQ(back.max_injections, 2);
+  ASSERT_EQ(back.stacktrace.size(), 3u);
+  ASSERT_TRUE(back.stacktrace[0].address.has_value());
+  EXPECT_EQ(*back.stacktrace[0].address, 0xb824490u);
+  EXPECT_TRUE(back.stacktrace[0].symbol.empty());
+  EXPECT_FALSE(back.stacktrace[1].address.has_value());
+  EXPECT_EQ(back.stacktrace[1].symbol, "refresh_files");
+  EXPECT_EQ(back.stacktrace[2].symbol, "main");
+  // And the round-trip is a fixpoint: serializing again changes nothing.
+  EXPECT_EQ(parsed.value().ToXml(), plan.ToXml());
+}
+
 TEST(Scenario, ProbabilityTriggerParses) {
   auto plan = Plan::FromXml(
       R"(<plan seed="7"><function name="read" probability="0.1" /></plan>)");

@@ -283,5 +283,90 @@ TEST(TriggerEngine, FunctionsListsAllTriggered) {
             (std::set<std::string>{"a", "b"}));
 }
 
+TEST(TriggerEngine, HotPathHandleMatchesStringApi) {
+  // The install-time contract: resolve the handle once, then OnCall on the
+  // handle behaves exactly like the string wrapper.
+  auto make_plan = [] {
+    Plan plan;
+    plan.seed = 9;
+    plan.triggers.push_back(CallCountTrigger("read", 2, -1, E_IO));
+    plan.triggers.push_back(CallCountTrigger("read", 5, -2, E_BADF));
+    FunctionTrigger p;
+    p.function = "read";
+    p.mode = FunctionTrigger::Mode::Probability;
+    p.probability = 0.25;
+    p.retval = -3;
+    plan.triggers.push_back(p);
+    return plan;
+  };
+  TriggerEngine by_handle(make_plan(), {});
+  TriggerEngine by_string(make_plan(), {});
+  TriggerEngine::FunctionState* handle = by_handle.state_for("read");
+  ASSERT_NE(handle, nullptr);
+  for (int i = 0; i < 50; ++i) {
+    auto a = by_handle.OnCall(*handle, {});
+    auto b = by_string.OnCall("read", {});
+    ASSERT_EQ(a.has_value(), b.has_value()) << "call " << i;
+    if (a) {
+      EXPECT_EQ(a->retval, b->retval);
+      EXPECT_EQ(a->trigger_index, b->trigger_index);
+    }
+  }
+  EXPECT_EQ(handle->call_count(), 50u);
+  EXPECT_EQ(by_handle.injection_count(), by_string.injection_count());
+}
+
+TEST(TriggerEngine, StateForUnknownFunctionIsNull) {
+  Plan plan;
+  plan.triggers.push_back(CallCountTrigger("read", 1, -1, E_IO));
+  TriggerEngine engine(plan, {});
+  EXPECT_EQ(engine.state_for("write"), nullptr);
+  EXPECT_NE(engine.state_for("read"), nullptr);
+}
+
+TEST(TriggerEngine, InspectStateExposesPlumbingShape) {
+  // The narrow test accessor: counts only, no mutable internals.
+  Plan plan;
+  plan.triggers.push_back(CallCountTrigger("read", 3, -1, E_IO));
+  plan.triggers.push_back(CallCountTrigger("read", 8, -1, E_IO));
+  FunctionTrigger st_trigger = CallCountTrigger("read", 1, -1, E_IO);
+  FrameCondition frame;
+  frame.symbol = "caller";
+  st_trigger.stacktrace.push_back(frame);
+  plan.triggers.push_back(st_trigger);
+  TriggerEngine engine(plan, ProfilesWith("read", {E_IO, E_BADF}));
+
+  auto view = engine.InspectState("read");
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(view->call_count, 0u);
+  EXPECT_EQ(view->indexed_triggers, 2u);  // plain call-count triggers
+  EXPECT_EQ(view->general_triggers, 1u);  // the stack-conditioned one
+  EXPECT_EQ(view->injectables, 2u);
+  EXPECT_TRUE(view->any_stack_conditions);
+  EXPECT_FALSE(engine.InspectState("write").has_value());
+
+  (void)engine.OnCall("read", {});
+  EXPECT_EQ(engine.InspectState("read")->call_count, 1u);
+}
+
+TEST(TriggerEngine, IndexedTriggersFireInPlanOrderAtSameCount) {
+  // Two plain call-count triggers on the same call: the earlier plan entry
+  // wins, exactly like the old bucket ordering.
+  Plan plan;
+  plan.triggers.push_back(CallCountTrigger("f", 4, -7, E_IO));
+  plan.triggers.push_back(CallCountTrigger("f", 4, -8, E_BADF));
+  plan.triggers.push_back(CallCountTrigger("f", 2, -9, E_INTR));
+  TriggerEngine engine(plan, {});
+  EXPECT_FALSE(engine.OnCall("f", {}));
+  auto second = engine.OnCall("f", {});
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->retval, -9);
+  EXPECT_FALSE(engine.OnCall("f", {}));
+  auto fourth = engine.OnCall("f", {});
+  ASSERT_TRUE(fourth.has_value());
+  EXPECT_EQ(fourth->retval, -7);
+  EXPECT_EQ(fourth->trigger_index, 0u);
+}
+
 }  // namespace
 }  // namespace lfi::core

@@ -474,8 +474,8 @@ TEST(Coverage, TracksExecutedOffsetsOnly) {
   size_t app_idx = machine.Load(sso::FromCodeUnit("app.so", b.Finish()));
   CoverageTracker* tracker = machine.EnableCoverage();
   test::RunEntry(machine, "main");
-  const auto& executed = tracker->executed(app_idx);
-  EXPECT_FALSE(executed.empty());
+  const CoverageBitmap& executed = tracker->executed(app_idx);
+  EXPECT_GT(executed.Count(), 0u);
   // The dead MOV_RI 111 must not be covered.
   const auto& so = machine.loader().modules()[app_idx]->object;
   auto instrs = isa::Disassemble(so.code, 0, static_cast<uint32_t>(so.code.size()));

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "apps/workloads.hpp"
 #include "campaign/runner.hpp"
 #include "core/controller.hpp"
 #include "core/profiler.hpp"
@@ -338,7 +339,7 @@ int CmdTest(const std::vector<std::string>& args) {
 // Exit codes: 0 = no findings, 3 = at least one scenario crashed the
 // target (findings!), 1 = usage/setup error.
 int CmdCampaign(const std::vector<std::string>& args) {
-  std::string app_path, entry = "main";
+  std::string app_path, entry = "main", coverage_out;
   std::vector<std::string> lib_paths, profile_paths, vfs_files;
   double probability = -1;
   bool exhaustive = false;
@@ -375,7 +376,15 @@ int CmdCampaign(const std::vector<std::string>& args) {
         opts.max_instructions = v.value();
       }
     }
-    else if (args[i] == "--coverage") opts.track_coverage = true;
+    else if (args[i] == "--coverage") {
+      // Strict, like --jobs: the flag needs a real value, not another flag.
+      coverage_out = next();
+      if (coverage_out.empty() || coverage_out.rfind("--", 0) == 0) {
+        return Fail("campaign: --coverage needs an output file path, got \"" +
+                    coverage_out + "\"");
+      }
+      opts.track_coverage = true;
+    }
     else if (args[i] == "--shard") {
       std::string policy = next();
       if (policy == "balanced") opts.shard = campaign::ShardPolicy::SizeBalanced;
@@ -449,10 +458,38 @@ int CmdCampaign(const std::vector<std::string>& args) {
   campaign::CampaignReport report = runner.Run(scenarios);
   std::printf("%s", report.ToText().c_str());
   if (opts.track_coverage) {
-    for (const auto& [module, offsets] : report.coverage) {
+    // Project the aggregated union bitmaps onto each module's CFG block
+    // starts and dump per-module block coverage.
+    std::vector<const sso::SharedObject*> images;
+    images.push_back(libc_so.get());
+    for (const sso::SharedObject& so : *libs) images.push_back(&so);
+    std::string dump;
+    for (const auto& [module, bitmap] : report.coverage) {
       std::printf("coverage %s: %zu offsets\n", module.c_str(),
-                  offsets.size());
+                  bitmap.Count());
+      const sso::SharedObject* image = nullptr;
+      for (const sso::SharedObject* so : images) {
+        if (so->name == module) {
+          image = so;
+          break;
+        }
+      }
+      if (image == nullptr) continue;  // e.g. the kernel image
+      auto [covered, total] = apps::BlockCoverage(*image, bitmap);
+      double pct =
+          total == 0 ? 0.0
+                     : 100.0 * static_cast<double>(covered) /
+                           static_cast<double>(total);
+      dump += Format("%s blocks %zu/%zu %.1f%% offsets %zu\n", module.c_str(),
+                     covered, total, pct, bitmap.Count());
     }
+    if (!WriteFile(coverage_out, dump.data(), dump.size())) {
+      return Fail("cannot write " + coverage_out);
+    }
+    // Status goes to stderr: stdout stays byte-identical across --jobs
+    // counts (the CI determinism check diffs it).
+    std::fprintf(stderr, "block-coverage report written to %s\n",
+                 coverage_out.c_str());
   }
   return report.crashes > 0 ? 3 : 0;
 }
@@ -474,7 +511,8 @@ int main(int argc, char** argv) {
         "  campaign --app <sso> (--random p | --exhaustive)\n"
         "       [--scenarios N] [--seed n] [--jobs N] [--shard rr|balanced]\n"
         "       [--entry sym] [--profile xml]... [--lib sso]...\n"
-        "       [--file path]... [--coverage] [--budget instructions]\n");
+        "       [--file path]... [--coverage report.txt]\n"
+        "       [--budget instructions]\n");
     return 1;
   }
   std::string cmd = args[0];
