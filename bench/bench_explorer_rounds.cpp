@@ -1,0 +1,124 @@
+// Coverage-guided exploration vs. the paper's open-loop faultloads.
+//
+// Same total scenario budget, same target (the Pidgin stand-in), two
+// strategies:
+//   - one-shot: R*B independently-seeded GenerateRandom plans, run once
+//     as a single campaign (the paper's §4 random scenario, scaled up);
+//   - explorer: R rounds of B scenarios, where each round's population is
+//     evolved from the plans that covered new instruction offsets.
+// The table prints union coverage per round — the closed loop must end
+// strictly above the open loop for the same budget (test-enforced in
+// tests/test_explorer.cpp; printed here with crash-bucket counts).
+#include "apps/pidgin.hpp"
+#include "apps/workloads.hpp"
+#include "bench_util.hpp"
+#include "campaign/explorer.hpp"
+#include "core/scenario_gen.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace lfi;
+
+campaign::CampaignReport RunOneShot(size_t count, uint64_t seed, double p) {
+  std::vector<campaign::Scenario> scenarios;
+  const std::vector<core::FaultProfile>& profiles = apps::LibcProfiles();
+  for (size_t i = 0; i < count; ++i) {
+    campaign::Scenario s;
+    s.name = Format("one-shot-%zu", i);
+    s.plan = core::GenerateRandom(profiles, p, campaign::DeriveSeed(seed, i));
+    scenarios.push_back(std::move(s));
+  }
+  campaign::CampaignOptions opts;
+  opts.jobs = 0;
+  opts.entry = apps::kPidginEntry;
+  opts.track_coverage = true;
+  campaign::CampaignRunner runner(apps::PidginMachineSetup(), profiles, opts);
+  return runner.Run(scenarios);
+}
+
+campaign::ExplorerReport RunExplorer(size_t rounds, size_t budget,
+                                     uint64_t seed, double p) {
+  campaign::ExplorerOptions opts;
+  opts.rounds = rounds;
+  opts.scenarios_per_round = budget;
+  opts.seed = seed;
+  opts.seed_probability = p;
+  opts.campaign.jobs = 0;
+  opts.campaign.entry = apps::kPidginEntry;
+  opts.minimize_crashes = false;  // coverage comparison only
+  campaign::Explorer explorer(apps::PidginMachineSetup(),
+                              apps::LibcProfiles(), opts);
+  return explorer.Explore();
+}
+
+void PrintTables() {
+  const size_t kRounds = 3;
+  const size_t kBudget = static_cast<size_t>(bench::Scaled(32, 6));
+  const uint64_t kSeed = 1;
+  const double kP = 0.1;
+
+  campaign::ExplorerReport evolved = RunExplorer(kRounds, kBudget, kSeed, kP);
+  campaign::CampaignReport one_shot = RunOneShot(kRounds * kBudget, kSeed, kP);
+  size_t one_shot_union = 0;
+  for (const auto& [mod, bitmap] : one_shot.coverage) {
+    one_shot_union += bitmap.Count();
+  }
+
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"Strategy", "Scenarios", "Union offsets", "Crash buckets"});
+  for (const campaign::RoundStats& rs : evolved.rounds) {
+    rows.push_back({Format("explorer round %zu", rs.round + 1),
+                    Format("%zu", (rs.round + 1) * kBudget),
+                    Format("%zu (+%zu)", rs.union_offsets, rs.new_offsets),
+                    Format("%zu new", rs.new_crash_buckets)});
+  }
+  rows.push_back({"explorer final",
+                  Format("%zu", kRounds * kBudget),
+                  Format("%zu", evolved.union_offsets()),
+                  Format("%zu", evolved.crashes.size())});
+  rows.push_back({"one-shot random", Format("%zu", kRounds * kBudget),
+                  Format("%zu", one_shot_union),
+                  Format("%zu crashes", one_shot.crashes)});
+  bench::PrintTable(
+      "coverage-guided exploration vs one-shot random (same budget, "
+      "Pidgin target)",
+      rows);
+  std::printf("closed-loop gain: %+zd offsets (%s)\n",
+              static_cast<ssize_t>(evolved.union_offsets()) -
+                  static_cast<ssize_t>(one_shot_union),
+              evolved.union_offsets() > one_shot_union
+                  ? "explorer ahead"
+                  : "NO GAIN (regression?)");
+}
+
+/// Wall-clock of one full exploration at a small budget (machine reuse,
+/// mutation, scoring — everything but minimization).
+void BM_ExplorerRounds(benchmark::State& state) {
+  const size_t budget = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunExplorer(2, budget, 7, 0.1));
+  }
+  state.counters["scenarios/s"] = benchmark::Counter(
+      static_cast<double>(2 * budget) * state.iterations(),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ExplorerRounds)->Arg(4)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()->UseRealTime();
+
+/// The open-loop baseline at the same budget, for the delta.
+void BM_OneShotCampaign(benchmark::State& state) {
+  const size_t count = static_cast<size_t>(2 * state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunOneShot(count, 7, 0.1));
+  }
+  state.counters["scenarios/s"] = benchmark::Counter(
+      static_cast<double>(count) * state.iterations(),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_OneShotCampaign)->Arg(4)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()->UseRealTime();
+
+}  // namespace
+
+LFI_BENCH_MAIN(PrintTables)

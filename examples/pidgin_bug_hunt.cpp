@@ -1,14 +1,15 @@
-// The §6.1 Pidgin case study, end to end — campaign edition:
-//   - fan 100 random-I/O fault scenarios (p = 0.1, seeds 1..100) across
-//     every core as one fault-injection campaign,
-//   - observe the SIGABRTs caused by the resolver's unchecked pipe writes,
-//   - regenerate the first crash deterministically from its replay script,
-//   - print the injection log a developer would debug from.
+// The §6.1 Pidgin case study, end to end — explorer edition:
+//   - seed a corpus with the paper's random I/O faultloads (p = 0.1),
+//   - let the coverage-guided explorer evolve the corpus for a few rounds
+//     (splicing triggers, swapping error codes, perturbing call counts),
+//   - watch it bucket the resolver SIGABRTs by stack hash and shrink the
+//     first bucket to a minimal replay-based reproducer,
+//   - re-run the minimized reproducer standalone to confirm the finding.
 #include <cstdio>
 
 #include "apps/pidgin.hpp"
 #include "apps/workloads.hpp"
-#include "campaign/runner.hpp"
+#include "campaign/explorer.hpp"
 #include "core/faultloads.hpp"
 #include "util/strings.hpp"
 
@@ -16,52 +17,66 @@ using namespace lfi;
 
 int main() {
   constexpr double kProbability = 0.10;
-  constexpr uint64_t kSeeds = 100;
+  constexpr size_t kRounds = 3;
+  constexpr size_t kBudget = 32;  // scenarios per round
 
-  std::printf("hunting: random I/O faultload, p=%.2f, %llu seeds, "
-              "all cores...\n",
-              kProbability, (unsigned long long)kSeeds);
+  std::printf("hunting: coverage-guided exploration, %zu rounds x %zu "
+              "scenarios, I/O faultload seeds (p=%.2f), all cores...\n",
+              kRounds, kBudget, kProbability);
 
   const std::vector<core::FaultProfile>& profiles = apps::LibcProfiles();
-  std::vector<campaign::Scenario> scenarios;
-  for (uint64_t seed = 1; seed <= kSeeds; ++seed) {
-    campaign::Scenario s;
-    s.name = Format("pidgin-io-seed-%llu", (unsigned long long)seed);
-    s.plan = core::FileIoFaultload(profiles, kProbability, seed);
-    scenarios.push_back(std::move(s));
+
+  // Seed the corpus with the paper's file-I/O faultload at a few seeds;
+  // the explorer tops the round up with fresh random plans and evolves
+  // whatever earns new coverage.
+  std::vector<core::Plan> seed_corpus;
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    seed_corpus.push_back(core::FileIoFaultload(profiles, kProbability, seed));
   }
 
-  campaign::CampaignOptions opts;
-  opts.jobs = 0;  // hardware concurrency
-  opts.entry = apps::kPidginEntry;
-  opts.collect_replays = true;
-  campaign::CampaignRunner runner(apps::PidginMachineSetup(), profiles, opts);
-  campaign::CampaignReport report = runner.Run(scenarios);
+  campaign::ExplorerOptions opts;
+  opts.rounds = kRounds;
+  opts.scenarios_per_round = kBudget;
+  opts.seed = 1;
+  opts.seed_probability = kProbability;
+  opts.campaign.jobs = 0;  // hardware concurrency
+  opts.campaign.entry = apps::kPidginEntry;
+  opts.on_round = [](const campaign::RoundStats& rs) {
+    std::printf("round %zu: %zu crashed, +%zu offsets (union %zu), corpus %zu\n",
+                rs.round + 1, rs.crashes, rs.new_offsets, rs.union_offsets,
+                rs.corpus_size);
+  };
 
-  std::printf("%s", report.ToText().c_str());
+  campaign::Explorer explorer(apps::PidginMachineSetup(), profiles, opts);
+  campaign::ExplorerReport report = explorer.Explore(seed_corpus);
 
-  // Lowest-seed SIGABRT, independent of worker interleaving: results are
-  // index-ordered.
-  const campaign::ScenarioResult* hit = nullptr;
-  for (const campaign::ScenarioResult& r : report.results) {
-    if (r.status == campaign::ScenarioStatus::Crashed &&
-        r.signal == vm::Signal::Abort) {
-      hit = &r;
+  std::printf("\n%s", report.ToText().c_str());
+
+  // First SIGABRT bucket — deterministic: buckets are in first-seen order
+  // over index-ordered results.
+  const campaign::CrashReport* hit = nullptr;
+  for (const campaign::CrashReport& cr : report.crashes) {
+    if (cr.signature.rfind("SIGABRT", 0) == 0 ||
+        cr.signature.find("Abort") != std::string::npos) {
+      hit = &cr;
       break;
     }
   }
-  if (!hit) {
-    std::printf("no crashing seed in range — increase probability or range\n");
+  if (hit == nullptr && !report.crashes.empty()) hit = &report.crashes[0];
+  if (hit == nullptr) {
+    std::printf("no crash bucket found — increase rounds or budget\n");
     return 1;
   }
 
-  std::printf("\n%s crashed the client with SIGABRT after %zu injections "
-              "(%s)\n",
-              hit->name.c_str(), hit->injections, hit->fault_message.c_str());
-  std::printf("\nreplay script:\n%s", hit->replay.ToXml().c_str());
+  std::printf("\nbucket %016llx (%s) hit %zu time(s); minimized from %zu to "
+              "%zu trigger(s) in %zu replay(s)\n",
+              (unsigned long long)hit->hash, hit->signature.c_str(),
+              hit->count, hit->replay.triggers.size(),
+              hit->minimized.triggers.size(), hit->minimize_runs);
+  std::printf("\nminimized reproducer:\n%s", hit->minimized.ToXml().c_str());
 
-  std::printf("re-running the replay script...\n");
-  apps::PidginRunResult replay = apps::RunPidginWithPlan(hit->replay);
+  std::printf("re-running the minimized reproducer standalone...\n");
+  apps::PidginRunResult replay = apps::RunPidginWithPlan(hit->minimized);
   std::printf("replay outcome: %s\n",
               replay.aborted ? "SIGABRT reproduced — attach the debugger"
                              : "no crash (scheduling nondeterminism)");

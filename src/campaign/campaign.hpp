@@ -56,6 +56,23 @@ struct ScenarioResult {
   /// popcounted from a per-scenario-cleared bitmap tracker, so the number
   /// is identical no matter which worker ran it. 0 when coverage is off.
   size_t covered_offsets = 0;
+  /// Per-module breakdown of `covered_offsets` (module name -> executed
+  /// offsets in that module). Values sum to `covered_offsets`; modules the
+  /// scenario never touched are omitted. Empty when coverage is off.
+  std::map<std::string, size_t> covered_by_module;
+  /// This scenario's executed-offset bitmaps, per module name — what the
+  /// explorer diffs against the corpus-union bitmap to score new coverage.
+  /// Populated only when CampaignOptions::collect_scenario_coverage is set
+  /// (costs one bitmap copy per touched module per scenario).
+  std::map<std::string, vm::CoverageBitmap> coverage;
+  /// Crash identity (status == Crashed): symbolized faulting frames,
+  /// innermost first, and the triage hashes (campaign/triage.hpp).
+  /// crash_site_hash covers signal + frames (the minimizer's target);
+  /// crash_hash additionally mixes the injected-fault summary (the
+  /// dedup bucket). Both 0 for non-crashed scenarios.
+  std::vector<std::string> fault_frames;
+  uint64_t crash_site_hash = 0;
+  uint64_t crash_hash = 0;
   /// Replay plan (paper §5.2); populated when collect_replays is set.
   core::Plan replay;
 };
@@ -101,6 +118,10 @@ struct CampaignOptions {
   uint64_t default_heap_cap = 1 << 20;
   /// Track per-scenario and union basic-block coverage.
   bool track_coverage = false;
+  /// Keep each scenario's per-module bitmaps in its ScenarioResult (the
+  /// explorer's fitness input). Implies nothing unless track_coverage is
+  /// also set; costs memory proportional to scenarios x touched modules.
+  bool collect_scenario_coverage = false;
   /// Keep a replay plan per scenario (costs memory on big campaigns).
   bool collect_replays = false;
   core::ControllerOptions controller;

@@ -3,6 +3,8 @@
 #include <chrono>
 #include <thread>
 
+#include "campaign/triage.hpp"
+
 namespace lfi::campaign {
 
 namespace {
@@ -12,6 +14,73 @@ double Seconds(Clock::time_point begin, Clock::time_point end) {
   return std::chrono::duration<double>(end - begin).count();
 }
 }  // namespace
+
+ScenarioResult RunScenarioOn(
+    vm::Machine& machine, core::Controller& controller,
+    const Scenario& scenario, const CampaignOptions& options,
+    const std::shared_ptr<const std::vector<core::FaultProfile>>& profiles,
+    vm::CoverageTracker* tracker, const std::vector<std::string>& module_names) {
+  ScenarioResult result;
+  result.name = scenario.name;
+
+  machine.Reset();
+  controller.Reset();
+
+  auto begin = Clock::now();
+  if (auto st = controller.Install(scenario.plan, profiles); !st.ok()) {
+    result.status = ScenarioStatus::SetupError;
+    result.fault_message = st.error();
+    return result;
+  }
+  const std::string& entry =
+      scenario.entry.empty() ? options.entry : scenario.entry;
+  uint64_t heap_cap = scenario.heap_cap_bytes != 0 ? scenario.heap_cap_bytes
+                                                   : options.default_heap_cap;
+  auto pid = machine.CreateProcess(entry, heap_cap);
+  if (!pid.ok()) {
+    result.status = ScenarioStatus::SetupError;
+    result.fault_message = pid.error();
+    return result;
+  }
+
+  vm::RunOutcome outcome = machine.Run(options.max_instructions);
+  result.seconds = Seconds(begin, Clock::now());
+  result.instructions = machine.total_instructions();
+  result.injections = controller.log().size();
+  if (options.collect_replays) result.replay = controller.GenerateReplay();
+
+  vm::Process* primary = machine.process(pid.value());
+  result.exit_code = primary->exit_code();
+  result.signal = primary->signal();
+  result.fault_message = primary->fault_message();
+  if (primary->state() == vm::ProcState::Faulted) {
+    result.status = ScenarioStatus::Crashed;
+    result.fault_frames = FaultFrames(*primary);
+    result.crash_site_hash = CrashSiteHash(result.signal, result.fault_frames);
+    result.crash_hash =
+        CrashHash(result.signal, result.fault_frames, controller.log());
+  } else if (outcome == vm::RunOutcome::Deadlock) {
+    result.status = ScenarioStatus::Deadlocked;
+  } else if (outcome == vm::RunOutcome::BudgetSpent) {
+    result.status = ScenarioStatus::BudgetSpent;
+  } else {
+    result.status = ScenarioStatus::Exited;
+  }
+
+  if (tracker != nullptr) {
+    result.covered_offsets = tracker->covered_total();
+    for (size_t m = 0; m < tracker->module_count() && m < module_names.size();
+         ++m) {
+      size_t covered = tracker->covered(m);
+      if (covered == 0) continue;
+      result.covered_by_module[module_names[m]] = covered;
+      if (options.collect_scenario_coverage) {
+        result.coverage[module_names[m]] = tracker->executed(m);
+      }
+    }
+  }
+  return result;
+}
 
 CampaignRunner::CampaignRunner(MachineSetup setup,
                                std::vector<core::FaultProfile> profiles,
@@ -35,68 +104,23 @@ void CampaignRunner::RunShard(
   machine.Checkpoint();
   vm::CoverageTracker* tracker =
       options_.track_coverage ? machine.EnableCoverage() : nullptr;
-  if (tracker && module_names_out) {
+  std::vector<std::string> module_names;
+  if (tracker) {
     for (const auto& mod : machine.loader().modules()) {
-      module_names_out->push_back(mod->object.name);
+      module_names.push_back(mod->object.name);
     }
+    if (module_names_out) *module_names_out = module_names;
   }
   core::Controller controller(machine, options_.controller);
 
   for (size_t idx : shard) {
-    const Scenario& scenario = scenarios[idx];
     ScenarioResult& result = (*results)[idx];
+    result = RunScenarioOn(machine, controller, scenarios[idx], options_,
+                           profiles_, tracker, module_names);
     result.index = idx;
-    result.name = scenario.name;
-
-    machine.Reset();
-    controller.Reset();
-
-    auto begin = Clock::now();
-    if (auto st = controller.Install(scenario.plan, profiles_); !st.ok()) {
-      result.status = ScenarioStatus::SetupError;
-      result.fault_message = st.error();
-      completed_.fetch_add(1, std::memory_order_relaxed);
-      continue;
-    }
-    const std::string& entry =
-        scenario.entry.empty() ? options_.entry : scenario.entry;
-    uint64_t heap_cap = scenario.heap_cap_bytes != 0
-                            ? scenario.heap_cap_bytes
-                            : options_.default_heap_cap;
-    auto pid = machine.CreateProcess(entry, heap_cap);
-    if (!pid.ok()) {
-      result.status = ScenarioStatus::SetupError;
-      result.fault_message = pid.error();
-      completed_.fetch_add(1, std::memory_order_relaxed);
-      continue;
-    }
-
-    vm::RunOutcome outcome = machine.Run(options_.max_instructions);
-    result.seconds = Seconds(begin, Clock::now());
-    result.instructions = machine.total_instructions();
-    result.injections = controller.log().size();
-    if (options_.collect_replays) result.replay = controller.GenerateReplay();
-
-    vm::Process* primary = machine.process(pid.value());
-    result.exit_code = primary->exit_code();
-    result.signal = primary->signal();
-    result.fault_message = primary->fault_message();
-    if (primary->state() == vm::ProcState::Faulted) {
-      result.status = ScenarioStatus::Crashed;
-    } else if (outcome == vm::RunOutcome::Deadlock) {
-      result.status = ScenarioStatus::Deadlocked;
-    } else if (outcome == vm::RunOutcome::BudgetSpent) {
-      result.status = ScenarioStatus::BudgetSpent;
-    } else {
-      result.status = ScenarioStatus::Exited;
-    }
-
-    if (tracker) {
-      result.covered_offsets = tracker->covered_total();
-      // Union this scenario's bitmaps into the worker-local aggregate — a
-      // bitwise OR per module, no locks, no per-offset work.
-      if (coverage_out) coverage_out->Merge(*tracker);
-    }
+    // Union this scenario's bitmaps into the worker-local aggregate — a
+    // bitwise OR per module, no locks, no per-offset work.
+    if (tracker && coverage_out) coverage_out->Merge(*tracker);
     completed_.fetch_add(1, std::memory_order_relaxed);
   }
 }

@@ -36,6 +36,20 @@ namespace lfi::campaign {
 /// shared objects up front and capture them by value).
 using MachineSetup = std::function<void(vm::Machine&)>;
 
+/// Execute one scenario on a reused machine/controller pair: reset both,
+/// install the plan, run, classify, and (when `tracker` is non-null)
+/// collect this scenario's coverage. Crashed scenarios get their fault
+/// frames and triage hashes filled. `module_names` maps the machine's
+/// dense module index to its name for per-module accounting. The result's
+/// `index` is left 0 — callers place it. Shared by CampaignRunner workers
+/// and PlanRunner so a one-off plan run and a campaign slot are the same
+/// computation (determinism depends on that).
+ScenarioResult RunScenarioOn(
+    vm::Machine& machine, core::Controller& controller,
+    const Scenario& scenario, const CampaignOptions& options,
+    const std::shared_ptr<const std::vector<core::FaultProfile>>& profiles,
+    vm::CoverageTracker* tracker, const std::vector<std::string>& module_names);
+
 class CampaignRunner {
  public:
   CampaignRunner(MachineSetup setup,

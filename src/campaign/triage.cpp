@@ -1,0 +1,98 @@
+#include "campaign/triage.hpp"
+
+#include <algorithm>
+
+namespace lfi::campaign {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+uint64_t MixBytes(uint64_t h, const void* data, size_t len) {
+  const auto* bytes = static_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    h ^= bytes[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+uint64_t MixString(uint64_t h, const std::string& s) {
+  h = MixBytes(h, s.data(), s.size());
+  // Separator so ["ab","c"] and ["a","bc"] hash differently.
+  return MixBytes(h, "\x1f", 1);
+}
+
+uint64_t MixInt(uint64_t h, uint64_t v) { return MixBytes(h, &v, sizeof(v)); }
+
+}  // namespace
+
+std::vector<std::string> FaultFrames(const vm::Process& process) {
+  std::vector<std::string> frames;
+  const vm::Loader& loader = process.loader();
+  frames.push_back(loader.Symbolize(process.pc()));
+  const std::vector<vm::Frame>& shadow = process.shadow_stack();
+  for (auto it = shadow.rbegin(); it != shadow.rend(); ++it) {
+    frames.push_back(loader.Symbolize(it->fn_addr));
+  }
+  return frames;
+}
+
+uint64_t CrashSiteHash(vm::Signal signal,
+                       const std::vector<std::string>& fault_frames) {
+  uint64_t h = kFnvOffset;
+  h = MixInt(h, static_cast<uint64_t>(signal));
+  for (const std::string& frame : fault_frames) h = MixString(h, frame);
+  return h;
+}
+
+uint64_t CrashHash(vm::Signal signal,
+                   const std::vector<std::string>& fault_frames,
+                   const core::InjectionLog& log) {
+  uint64_t h = CrashSiteHash(signal, fault_frames);
+  // Summarize each injection as (function, retval, errno, pass-through,
+  // argument corruptions) and mix the *sorted unique* summaries: the
+  // bucket depends on which faults were injected, not on how many times
+  // or in which interleaving. Argument modifications are part of the
+  // fault identity — two pass-through corruptions of the same function
+  // that kill the target at the same site are still distinct findings.
+  std::vector<std::string> summaries;
+  summaries.reserve(log.size());
+  for (const core::InjectionRecord& r : log.records()) {
+    std::string s = log.function_name(r);
+    s += '|';
+    s += r.has_retval ? std::to_string(r.retval) : std::string("-");
+    s += '|';
+    s += r.errno_value ? std::to_string(*r.errno_value) : std::string("-");
+    s += r.call_original ? "|orig" : "|repl";
+    for (const auto& [index, value] : r.modified_args) {
+      s += '|' + std::to_string(index) + ':' + std::to_string(value);
+    }
+    summaries.push_back(std::move(s));
+  }
+  std::sort(summaries.begin(), summaries.end());
+  summaries.erase(std::unique(summaries.begin(), summaries.end()),
+                  summaries.end());
+  for (const std::string& s : summaries) h = MixString(h, s);
+  return h;
+}
+
+std::string CrashSignature(vm::Signal signal,
+                           const std::vector<std::string>& fault_frames) {
+  std::string out = vm::SignalName(signal);
+  out += " @ ";
+  if (fault_frames.empty()) {
+    out += "?";
+    return out;
+  }
+  // Innermost few frames are enough to recognize a bucket at a glance.
+  constexpr size_t kMaxFrames = 3;
+  for (size_t i = 0; i < fault_frames.size() && i < kMaxFrames; ++i) {
+    if (i > 0) out += " < ";
+    out += fault_frames[i];
+  }
+  return out;
+}
+
+}  // namespace lfi::campaign

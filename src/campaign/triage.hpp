@@ -1,0 +1,52 @@
+// Crash triage: turn a faulted scenario into a stable, deterministic
+// identity so campaigns and the explorer can deduplicate findings.
+//
+// Two hashes with two jobs:
+//   - CrashSiteHash — signal + symbolized fault frames only. This is the
+//     *crash identity* the minimizer preserves: dropping a redundant
+//     trigger changes the injection log but not where the target died, so
+//     the minimization oracle must compare sites, not logs.
+//   - CrashHash — the site hash mixed with a summary of the injection log
+//     (which functions were failed with which (retval, errno)). This is
+//     the *triage bucket*: two scenarios that kill the target at the same
+//     place via different fault sets are distinct findings. Call numbers
+//     and per-record backtraces are deliberately excluded so the bucket is
+//     stable under timing jitter between scenarios.
+//
+// Both hashes are FNV-1a over symbolized strings and integers — no
+// addresses leak in except through symbolization, and module load order is
+// deterministic per MachineSetup, so hashes are identical across workers,
+// jobs counts, and runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/injection_log.hpp"
+#include "vm/process.hpp"
+
+namespace lfi::campaign {
+
+/// Symbolized frames of a faulted process, innermost first: the faulting
+/// pc, then every shadow-stack caller from innermost to outermost.
+std::vector<std::string> FaultFrames(const vm::Process& process);
+
+/// Crash identity: signal + fault frames. Stable under injection-log
+/// changes — the minimization oracle's equality target.
+uint64_t CrashSiteHash(vm::Signal signal,
+                       const std::vector<std::string>& fault_frames);
+
+/// Triage bucket: site hash + the set of injected faults, each summarized
+/// as (function name, retval, errno, pass-through flag, argument
+/// corruptions). Excludes call numbers and record backtraces so equal
+/// fault sets bucket together regardless of timing.
+uint64_t CrashHash(vm::Signal signal,
+                   const std::vector<std::string>& fault_frames,
+                   const core::InjectionLog& log);
+
+/// Human-readable one-line label: "Abort @ resolver_write < resolver_main".
+std::string CrashSignature(vm::Signal signal,
+                           const std::vector<std::string>& fault_frames);
+
+}  // namespace lfi::campaign

@@ -1,5 +1,8 @@
 #include "core/replay.hpp"
 
+#include <algorithm>
+#include <numeric>
+
 namespace lfi::core {
 
 Plan GenerateReplayPlan(const InjectionLog& log) {
@@ -24,6 +27,93 @@ Plan GenerateReplayPlan(const InjectionLog& log) {
     plan.triggers.push_back(std::move(t));
   }
   return plan;
+}
+
+namespace {
+
+/// Rebuild a plan keeping only the triggers at `keep` (ascending indices
+/// into the original trigger list). Seed is preserved so probability
+/// triggers, if any survive, draw the same stream.
+Plan SubsetPlan(const Plan& plan, const std::vector<size_t>& keep) {
+  Plan out;
+  out.seed = plan.seed;
+  out.triggers.reserve(keep.size());
+  for (size_t i : keep) out.triggers.push_back(plan.triggers[i]);
+  return out;
+}
+
+}  // namespace
+
+Plan MinimizePlan(const Plan& plan, const PlanOracle& still_fails,
+                  MinimizeStats* stats) {
+  MinimizeStats local;
+  MinimizeStats& st = stats != nullptr ? *stats : local;
+  st = MinimizeStats{};
+  st.initial_triggers = plan.triggers.size();
+
+  auto fails = [&](const std::vector<size_t>& keep) {
+    ++st.oracle_runs;
+    return still_fails(SubsetPlan(plan, keep));
+  };
+
+  std::vector<size_t> current(plan.triggers.size());
+  std::iota(current.begin(), current.end(), size_t{0});
+  if (!fails(current)) {
+    // The full plan does not reproduce (e.g. scheduling nondeterminism in
+    // the target): nothing to shrink against, return it unchanged.
+    st.final_triggers = current.size();
+    return plan;
+  }
+  st.reproduced = true;
+
+  // ddmin: split into n chunks; a failing chunk becomes the new set
+  // (restart at n=2), a failing complement drops one chunk (n decreases
+  // with the set); otherwise refine the granularity until chunks are
+  // single triggers. Terminates with a 1-minimal set.
+  size_t n = 2;
+  while (current.size() >= 2) {
+    size_t chunk = (current.size() + n - 1) / n;
+    bool reduced = false;
+
+    for (size_t start = 0; start < current.size() && !reduced; start += chunk) {
+      size_t end = std::min(start + chunk, current.size());
+      std::vector<size_t> subset(current.begin() + static_cast<long>(start),
+                                 current.begin() + static_cast<long>(end));
+      if (subset.size() < current.size() && fails(subset)) {
+        current = std::move(subset);
+        n = 2;
+        reduced = true;
+      }
+    }
+    if (reduced) continue;
+
+    if (n > 2) {  // at n == 2 complements are the other subset, already tried
+      for (size_t start = 0; start < current.size() && !reduced;
+           start += chunk) {
+        size_t end = std::min(start + chunk, current.size());
+        std::vector<size_t> complement;
+        complement.reserve(current.size() - (end - start));
+        complement.insert(complement.end(), current.begin(),
+                          current.begin() + static_cast<long>(start));
+        complement.insert(complement.end(),
+                          current.begin() + static_cast<long>(end),
+                          current.end());
+        if (!complement.empty() && complement.size() < current.size() &&
+            fails(complement)) {
+          current = std::move(complement);
+          n = std::max<size_t>(n - 1, 2);
+          reduced = true;
+        }
+      }
+    }
+    if (reduced) continue;
+
+    if (n >= current.size()) break;  // single-trigger chunks: 1-minimal
+    n = std::min(current.size(), n * 2);
+  }
+
+  st.final_triggers = current.size();
+  return SubsetPlan(plan, current);
 }
 
 }  // namespace lfi::core

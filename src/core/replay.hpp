@@ -1,7 +1,17 @@
 // Replay-script generation (paper §5.2): convert an injection log into a
 // deterministic plan of call-count triggers that reproduces the test case.
 // (As the paper notes, replay is exact up to scheduling nondeterminism.)
+//
+// MinimizePlan shrinks such a replay to a minimal reproducer with
+// replay-based delta debugging (Zeller's ddmin) over the plan's triggers:
+// the caller supplies an oracle that re-runs a candidate plan and reports
+// whether the failure of interest still occurs, and the minimizer returns
+// a 1-minimal trigger subset — removing any single remaining trigger
+// makes the failure disappear.
 #pragma once
+
+#include <cstddef>
+#include <functional>
 
 #include "core/injection_log.hpp"
 #include "core/scenario.hpp"
@@ -9,5 +19,27 @@
 namespace lfi::core {
 
 Plan GenerateReplayPlan(const InjectionLog& log);
+
+/// Oracle for MinimizePlan: run the candidate plan against the target and
+/// return true when the failure of interest still reproduces. Must be
+/// deterministic — minimization (and its result) is exactly as
+/// deterministic as the oracle.
+using PlanOracle = std::function<bool(const Plan&)>;
+
+struct MinimizeStats {
+  size_t oracle_runs = 0;       // how many candidate plans were executed
+  size_t initial_triggers = 0;
+  size_t final_triggers = 0;
+  /// False when the input plan itself did not reproduce per the oracle —
+  /// the plan is then returned unchanged and no shrinking was attempted.
+  bool reproduced = false;
+};
+
+/// Delta-debug `plan`'s triggers down to a 1-minimal subset that still
+/// satisfies `still_fails`. Trigger order (and the plan seed) is
+/// preserved; only triggers are removed, never altered. Deterministic for
+/// a deterministic oracle.
+Plan MinimizePlan(const Plan& plan, const PlanOracle& still_fails,
+                  MinimizeStats* stats = nullptr);
 
 }  // namespace lfi::core

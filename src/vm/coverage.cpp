@@ -12,6 +12,16 @@ size_t CoverageBitmap::Count() const {
   return total;
 }
 
+size_t CoverageBitmap::CountNotIn(const CoverageBitmap& other) const {
+  size_t total = 0;
+  for (size_t w = 0; w < words_.size(); ++w) {
+    uint64_t masked = words_[w];
+    if (w < other.words_.size()) masked &= ~other.words_[w];
+    total += static_cast<size_t>(__builtin_popcountll(masked));
+  }
+  return total;
+}
+
 void CoverageBitmap::Merge(const CoverageBitmap& other) {
   Resize(other.bits_);
   for (size_t w = 0; w < other.words_.size(); ++w) words_[w] |= other.words_[w];

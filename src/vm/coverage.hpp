@@ -46,6 +46,11 @@ class CoverageBitmap {
   /// Number of set bits.
   size_t Count() const;
 
+  /// Number of bits set in this bitmap but not in `other` — the "new
+  /// coverage" a scenario adds over a corpus-union bitmap (explorer
+  /// fitness). Word-wise AND-NOT popcount, no allocation.
+  size_t CountNotIn(const CoverageBitmap& other) const;
+
   bool Empty() const { return Count() == 0; }
 
   /// Bitwise-OR `other` into this bitmap, growing as needed.

@@ -139,7 +139,11 @@ void ExpectSameResults(const CampaignReport& a, const CampaignReport& b) {
     EXPECT_EQ(ra.exit_code, rb.exit_code) << "scenario " << i;
     EXPECT_EQ(ra.instructions, rb.instructions) << "scenario " << i;
     EXPECT_EQ(ra.covered_offsets, rb.covered_offsets) << "scenario " << i;
+    EXPECT_EQ(ra.covered_by_module, rb.covered_by_module) << "scenario " << i;
     EXPECT_EQ(ra.signal, rb.signal) << "scenario " << i;
+    EXPECT_EQ(ra.crash_hash, rb.crash_hash) << "scenario " << i;
+    EXPECT_EQ(ra.crash_site_hash, rb.crash_site_hash) << "scenario " << i;
+    EXPECT_EQ(ra.fault_frames, rb.fault_frames) << "scenario " << i;
   }
   EXPECT_EQ(a.coverage, b.coverage);
   EXPECT_EQ(a.crashes, b.crashes);
@@ -190,6 +194,56 @@ TEST(Campaign, MergedCoverageIdenticalAcrossJobCounts) {
 
   EXPECT_EQ(serial.coverage, parallel.coverage);
   EXPECT_EQ(serial.coverage, balanced.coverage);
+}
+
+// The per-module coverage breakdown must account for every covered
+// offset: the sum of covered_by_module equals the covered_offsets
+// popcount, and (with collect_scenario_coverage on) each module's bitmap
+// popcount equals its breakdown entry.
+TEST(Campaign, PerModuleCoverageSumsToPopcount) {
+  std::vector<Scenario> scenarios = RandomScenarios(12, 0.3, 9);
+  CampaignOptions opts;
+  opts.jobs = 2;
+  opts.track_coverage = true;
+  opts.collect_scenario_coverage = true;
+  CampaignRunner runner(ReaderSetup(), apps::LibcProfiles(), opts);
+  CampaignReport report = runner.Run(scenarios);
+
+  for (const ScenarioResult& r : report.results) {
+    ASSERT_GT(r.covered_offsets, 0u) << r.name;
+    size_t sum = 0;
+    for (const auto& [mod, count] : r.covered_by_module) {
+      EXPECT_GT(count, 0u) << mod << " in " << r.name;
+      sum += count;
+    }
+    EXPECT_EQ(sum, r.covered_offsets) << r.name;
+    // Bitmap popcounts match the breakdown, module by module.
+    ASSERT_EQ(r.coverage.size(), r.covered_by_module.size()) << r.name;
+    for (const auto& [mod, bitmap] : r.coverage) {
+      auto it = r.covered_by_module.find(mod);
+      ASSERT_NE(it, r.covered_by_module.end()) << mod << " in " << r.name;
+      EXPECT_EQ(bitmap.Count(), it->second) << mod << " in " << r.name;
+    }
+  }
+}
+
+// Crashed scenarios carry their triage identity; non-crashed ones don't.
+TEST(Campaign, CrashedScenariosCarryTriageHashes) {
+  std::vector<Scenario> scenarios = RandomScenarios(32, 0.3, 42);
+  CampaignReport report =
+      RunReaderCampaign(scenarios, 2, ShardPolicy::RoundRobin);
+  ASSERT_GT(report.crashes, 0u);
+  for (const ScenarioResult& r : report.results) {
+    if (r.status == ScenarioStatus::Crashed) {
+      EXPECT_NE(r.crash_hash, 0u) << r.name;
+      EXPECT_NE(r.crash_site_hash, 0u) << r.name;
+      EXPECT_FALSE(r.fault_frames.empty()) << r.name;
+    } else {
+      EXPECT_EQ(r.crash_hash, 0u) << r.name;
+      EXPECT_EQ(r.crash_site_hash, 0u) << r.name;
+      EXPECT_TRUE(r.fault_frames.empty()) << r.name;
+    }
+  }
 }
 
 // Re-running a campaign on the same runner starts from the same state.

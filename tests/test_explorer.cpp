@@ -1,0 +1,239 @@
+// Explorer tests: jobs-invariance of the whole exploration (union bitmap,
+// crash-hash set, minimized plans), the closed-loop-beats-open-loop
+// acceptance check on the Pidgin target, and crash triage/minimization
+// end to end on a small crashing target.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "apps/pidgin.hpp"
+#include "apps/workloads.hpp"
+#include "campaign/explorer.hpp"
+#include "core/scenario_gen.hpp"
+#include "isa/codebuilder.hpp"
+#include "libc/libc_builder.hpp"
+
+namespace lfi::campaign {
+namespace {
+
+using isa::CodeBuilder;
+using isa::Reg;
+
+/// A demo target with an unchecked read(): open /cfg, read 64 bytes,
+/// abort on a negative count (the classic LFI victim).
+sso::SharedObject BuildReaderApp() {
+  CodeBuilder b;
+  uint32_t path = b.emit_data({'/', 'c', 'f', 'g', 0});
+  uint32_t buf = b.reserve_data(128);
+  b.begin_function("main");
+  b.sub_ri(Reg::SP, 16);
+  b.mov_ri(Reg::R2, libc::O_RDONLY);
+  b.lea_data(Reg::R1, static_cast<int32_t>(path));
+  b.push(Reg::R2);
+  b.push(Reg::R1);
+  b.call_sym("open");
+  b.add_ri(Reg::SP, 16);
+  b.store(Reg::BP, -8, Reg::R0);
+  b.load(Reg::R1, Reg::BP, -8);
+  b.lea_data(Reg::R2, static_cast<int32_t>(buf));
+  b.mov_ri(Reg::R3, 64);
+  b.push(Reg::R3);
+  b.push(Reg::R2);
+  b.push(Reg::R1);
+  b.call_sym("read");
+  b.add_ri(Reg::SP, 24);
+  auto ok = b.new_label();
+  b.cmp_ri(Reg::R0, 0);
+  b.jge(ok);
+  b.call_sym("abort");
+  b.bind(ok);
+  b.load(Reg::R1, Reg::BP, -8);
+  b.push(Reg::R1);
+  b.call_sym("close");
+  b.add_ri(Reg::SP, 8);
+  b.mov_ri(Reg::R0, 0);
+  b.leave_ret();
+  b.end_function();
+  return sso::FromCodeUnit("readerapp.so", b.Finish(), {libc::kLibcName});
+}
+
+MachineSetup ReaderSetup() {
+  auto libc_so = std::make_shared<const sso::SharedObject>(libc::BuildLibc());
+  auto app = std::make_shared<const sso::SharedObject>(BuildReaderApp());
+  return [libc_so, app](vm::Machine& machine) {
+    machine.Load(*libc_so);
+    machine.Load(*app);
+    machine.kernel().add_file("/cfg", std::vector<uint8_t>(64, 'x'));
+  };
+}
+
+ExplorerReport ExploreReader(int jobs, uint64_t seed) {
+  ExplorerOptions opts;
+  opts.rounds = 3;
+  opts.scenarios_per_round = 10;
+  opts.seed = seed;
+  opts.seed_probability = 0.3;
+  opts.campaign.jobs = jobs;
+  Explorer explorer(ReaderSetup(), apps::LibcProfiles(), opts);
+  return explorer.Explore();
+}
+
+void ExpectSameExploration(const ExplorerReport& a, const ExplorerReport& b) {
+  // Union coverage: bit-identical per module.
+  EXPECT_EQ(a.coverage, b.coverage);
+  // Round stats: every jobs-invariant field.
+  ASSERT_EQ(a.rounds.size(), b.rounds.size());
+  for (size_t i = 0; i < a.rounds.size(); ++i) {
+    EXPECT_EQ(a.rounds[i].crashes, b.rounds[i].crashes) << "round " << i;
+    EXPECT_EQ(a.rounds[i].new_crash_buckets, b.rounds[i].new_crash_buckets);
+    EXPECT_EQ(a.rounds[i].winners, b.rounds[i].winners) << "round " << i;
+    EXPECT_EQ(a.rounds[i].new_offsets, b.rounds[i].new_offsets);
+    EXPECT_EQ(a.rounds[i].union_offsets, b.rounds[i].union_offsets);
+    EXPECT_EQ(a.rounds[i].corpus_size, b.rounds[i].corpus_size);
+  }
+  // Corpus: same plans in the same admission order.
+  ASSERT_EQ(a.corpus.size(), b.corpus.size());
+  for (size_t i = 0; i < a.corpus.size(); ++i) {
+    EXPECT_EQ(a.corpus[i].ToXml(), b.corpus[i].ToXml()) << "corpus " << i;
+  }
+  // Crashes: same buckets, same minimized reproducers.
+  ASSERT_EQ(a.crashes.size(), b.crashes.size());
+  for (size_t i = 0; i < a.crashes.size(); ++i) {
+    EXPECT_EQ(a.crashes[i].hash, b.crashes[i].hash) << "crash " << i;
+    EXPECT_EQ(a.crashes[i].site_hash, b.crashes[i].site_hash);
+    EXPECT_EQ(a.crashes[i].signature, b.crashes[i].signature);
+    EXPECT_EQ(a.crashes[i].count, b.crashes[i].count);
+    EXPECT_EQ(a.crashes[i].first_round, b.crashes[i].first_round);
+    EXPECT_EQ(a.crashes[i].replay.ToXml(), b.crashes[i].replay.ToXml());
+    EXPECT_EQ(a.crashes[i].minimized.ToXml(), b.crashes[i].minimized.ToXml());
+    EXPECT_EQ(a.crashes[i].minimize_runs, b.crashes[i].minimize_runs);
+  }
+}
+
+// Same seed, any jobs count: bit-identical corpus-union bitmap, identical
+// crash-hash set, identical minimized plans. This is the exploration
+// analogue of Campaign.DeterministicAcrossJobCounts.
+TEST(Explorer, DeterministicAcrossJobCounts) {
+  ExplorerReport serial = ExploreReader(1, 42);
+  ExplorerReport parallel = ExploreReader(4, 42);
+
+  // The exploration must be non-trivial for the comparison to mean much.
+  EXPECT_GT(serial.union_offsets(), 0u);
+  ASSERT_FALSE(serial.crashes.empty());
+  ExpectSameExploration(serial, parallel);
+}
+
+// Every unique crash ships with a minimized reproducer that (a) is no
+// larger than the replay it came from, (b) still reproduces the same
+// crash site when run standalone, and (c) is 1-minimal per the oracle.
+TEST(Explorer, MinimizedReproducersReproduce) {
+  ExplorerReport report = ExploreReader(2, 7);
+  ASSERT_FALSE(report.crashes.empty());
+
+  auto profiles = std::make_shared<const std::vector<core::FaultProfile>>(
+      apps::LibcProfiles());
+  PlanRunner oracle(ReaderSetup(), profiles);
+  for (const CrashReport& cr : report.crashes) {
+    EXPECT_TRUE(cr.reproduces) << cr.signature;
+    EXPECT_LE(cr.minimized.triggers.size(), cr.replay.triggers.size());
+    EXPECT_GE(cr.minimized.triggers.size(), 1u);
+    // Independent re-verification through a fresh oracle.
+    ScenarioResult check = oracle.Run(cr.minimized);
+    EXPECT_EQ(check.status, ScenarioStatus::Crashed) << cr.signature;
+    EXPECT_EQ(check.crash_site_hash, cr.site_hash) << cr.signature;
+  }
+}
+
+// Crash triage buckets deduplicate: the reader app aborts at one site, so
+// however many scenarios crash, they collapse into few buckets.
+TEST(Explorer, TriageDeduplicatesCrashes) {
+  ExplorerReport report = ExploreReader(1, 11);
+  size_t crashed_scenarios = 0;
+  for (const RoundStats& rs : report.rounds) crashed_scenarios += rs.crashes;
+  ASSERT_GT(crashed_scenarios, 1u);
+  ASSERT_FALSE(report.crashes.empty());
+  EXPECT_LT(report.crashes.size(), crashed_scenarios);
+  size_t bucketed = 0;
+  for (const CrashReport& cr : report.crashes) bucketed += cr.count;
+  EXPECT_EQ(bucketed, crashed_scenarios);
+}
+
+// The union coverage never shrinks across rounds, and winners are exactly
+// the scenarios that grew it.
+TEST(Explorer, UnionCoverageIsMonotone) {
+  ExplorerReport report = ExploreReader(2, 3);
+  size_t prev = 0;
+  for (const RoundStats& rs : report.rounds) {
+    EXPECT_GE(rs.union_offsets, prev);
+    EXPECT_EQ(rs.union_offsets, prev + rs.new_offsets);
+    prev = rs.union_offsets;
+  }
+  EXPECT_EQ(report.union_offsets(), prev);
+}
+
+// Acceptance (ISSUE 3): on the Pidgin target, 3 explorer rounds reach
+// strictly higher merged coverage than a one-shot GenerateRandom campaign
+// with the same total scenario budget and seed — and every reported crash
+// ships with a minimized replay plan that still reproduces it.
+TEST(Explorer, BeatsOneShotRandomOnPidginAtEqualBudget) {
+  constexpr size_t kRounds = 3;
+  constexpr size_t kBudget = 12;
+  constexpr uint64_t kSeed = 1;
+  constexpr double kP = 0.1;
+  const std::vector<core::FaultProfile>& profiles = apps::LibcProfiles();
+
+  // Open loop: one campaign of rounds*budget independently-seeded random
+  // scenarios.
+  std::vector<Scenario> one_shot_set;
+  for (size_t i = 0; i < kRounds * kBudget; ++i) {
+    Scenario s;
+    s.name = "one-shot-" + std::to_string(i);
+    s.plan = core::GenerateRandom(profiles, kP, DeriveSeed(kSeed, i));
+    one_shot_set.push_back(std::move(s));
+  }
+  CampaignOptions copts;
+  copts.jobs = 2;
+  copts.entry = apps::kPidginEntry;
+  copts.track_coverage = true;
+  CampaignRunner one_shot_runner(apps::PidginMachineSetup(), profiles, copts);
+  CampaignReport one_shot = one_shot_runner.Run(one_shot_set);
+  size_t one_shot_union = 0;
+  for (const auto& [mod, bitmap] : one_shot.coverage) {
+    one_shot_union += bitmap.Count();
+  }
+  ASSERT_GT(one_shot_union, 0u);
+
+  // Closed loop: same budget, same seed, coverage-guided.
+  ExplorerOptions eopts;
+  eopts.rounds = kRounds;
+  eopts.scenarios_per_round = kBudget;
+  eopts.seed = kSeed;
+  eopts.seed_probability = kP;
+  eopts.campaign.jobs = 2;
+  eopts.campaign.entry = apps::kPidginEntry;
+  Explorer explorer(apps::PidginMachineSetup(), profiles, eopts);
+  ExplorerReport evolved = explorer.Explore();
+
+  EXPECT_GT(evolved.union_offsets(), one_shot_union)
+      << "coverage-guided exploration must beat the open loop at equal "
+         "budget";
+
+  // The hunt must find the resolver bug, and its reproducer must stand.
+  ASSERT_FALSE(evolved.crashes.empty());
+  auto oracle_profiles =
+      std::make_shared<const std::vector<core::FaultProfile>>(profiles);
+  CampaignOptions oracle_opts;
+  oracle_opts.entry = apps::kPidginEntry;
+  PlanRunner oracle(apps::PidginMachineSetup(), oracle_profiles, oracle_opts);
+  for (const CrashReport& cr : evolved.crashes) {
+    EXPECT_TRUE(cr.reproduces) << cr.signature;
+    ScenarioResult check = oracle.Run(cr.minimized);
+    EXPECT_EQ(check.status, ScenarioStatus::Crashed) << cr.signature;
+    EXPECT_EQ(check.crash_site_hash, cr.site_hash) << cr.signature;
+  }
+}
+
+}  // namespace
+}  // namespace lfi::campaign

@@ -1,0 +1,137 @@
+// MinimizePlan (replay-based delta debugging) regression tests: the ddmin
+// loop is exercised against synthetic oracles where the true minimal
+// trigger set is known, so 1-minimality is checked exactly.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/replay.hpp"
+
+namespace lfi::core {
+namespace {
+
+Plan MakePlan(size_t triggers) {
+  Plan plan;
+  plan.seed = 42;
+  for (size_t i = 0; i < triggers; ++i) {
+    FunctionTrigger t;
+    t.function = "fn" + std::to_string(i);
+    t.mode = FunctionTrigger::Mode::CallCount;
+    t.inject_call = i + 1;
+    t.retval = -1;
+    t.max_injections = 1;
+    plan.triggers.push_back(std::move(t));
+  }
+  return plan;
+}
+
+std::set<std::string> Names(const Plan& plan) {
+  std::set<std::string> names;
+  for (const FunctionTrigger& t : plan.triggers) names.insert(t.function);
+  return names;
+}
+
+bool Contains(const Plan& plan, const std::string& name) {
+  return std::any_of(plan.triggers.begin(), plan.triggers.end(),
+                     [&](const FunctionTrigger& t) {
+                       return t.function == name;
+                     });
+}
+
+// A plan with N triggers where only one causes the crash must shrink to
+// exactly that trigger.
+TEST(MinimizePlan, SingleCulpritShrinksToOneTrigger) {
+  Plan plan = MakePlan(9);
+  MinimizeStats stats;
+  Plan minimal = MinimizePlan(
+      plan, [](const Plan& p) { return Contains(p, "fn5"); }, &stats);
+  ASSERT_EQ(minimal.triggers.size(), 1u);
+  EXPECT_EQ(minimal.triggers[0].function, "fn5");
+  EXPECT_TRUE(stats.reproduced);
+  EXPECT_EQ(stats.initial_triggers, 9u);
+  EXPECT_EQ(stats.final_triggers, 1u);
+  EXPECT_GT(stats.oracle_runs, 0u);
+  // The surviving trigger is the original, untouched.
+  EXPECT_EQ(minimal.triggers[0].inject_call, 6u);
+  EXPECT_EQ(minimal.seed, plan.seed);
+}
+
+// A crash needing two cooperating faults must keep both — and nothing
+// else.
+TEST(MinimizePlan, CooperatingPairKeepsBoth) {
+  Plan plan = MakePlan(12);
+  auto oracle = [](const Plan& p) {
+    return Contains(p, "fn2") && Contains(p, "fn9");
+  };
+  Plan minimal = MinimizePlan(plan, oracle);
+  EXPECT_EQ(Names(minimal), (std::set<std::string>{"fn2", "fn9"}));
+  // 1-minimal: removing either remaining trigger breaks reproduction.
+  for (size_t drop = 0; drop < minimal.triggers.size(); ++drop) {
+    Plan without = minimal;
+    without.triggers.erase(without.triggers.begin() +
+                           static_cast<long>(drop));
+    EXPECT_FALSE(oracle(without)) << "trigger " << drop << " is redundant";
+  }
+}
+
+// Three scattered cooperating faults — exercises the complement branch.
+TEST(MinimizePlan, ThreeCooperatingFaultsSurvive) {
+  Plan plan = MakePlan(16);
+  auto oracle = [](const Plan& p) {
+    return Contains(p, "fn0") && Contains(p, "fn7") && Contains(p, "fn15");
+  };
+  Plan minimal = MinimizePlan(plan, oracle);
+  EXPECT_EQ(Names(minimal), (std::set<std::string>{"fn0", "fn7", "fn15"}));
+}
+
+// When the full plan does not reproduce, nothing is shrunk and the plan
+// comes back unchanged (the explorer ships the full replay in that case).
+TEST(MinimizePlan, NonReproducingPlanReturnedUnchanged) {
+  Plan plan = MakePlan(5);
+  MinimizeStats stats;
+  Plan out = MinimizePlan(
+      plan, [](const Plan&) { return false; }, &stats);
+  EXPECT_FALSE(stats.reproduced);
+  EXPECT_EQ(stats.oracle_runs, 1u);  // only the initial check ran
+  EXPECT_EQ(out.ToXml(), plan.ToXml());
+}
+
+// Trigger order is preserved: ddmin removes, never reorders.
+TEST(MinimizePlan, PreservesTriggerOrder) {
+  Plan plan = MakePlan(10);
+  Plan minimal = MinimizePlan(plan, [](const Plan& p) {
+    return Contains(p, "fn1") && Contains(p, "fn4") && Contains(p, "fn8");
+  });
+  ASSERT_EQ(minimal.triggers.size(), 3u);
+  EXPECT_EQ(minimal.triggers[0].function, "fn1");
+  EXPECT_EQ(minimal.triggers[1].function, "fn4");
+  EXPECT_EQ(minimal.triggers[2].function, "fn8");
+}
+
+// Deterministic: the same plan + oracle minimizes identically every time.
+TEST(MinimizePlan, Deterministic) {
+  Plan plan = MakePlan(14);
+  auto oracle = [](const Plan& p) {
+    return Contains(p, "fn3") && Contains(p, "fn11");
+  };
+  MinimizeStats a_stats, b_stats;
+  Plan a = MinimizePlan(plan, oracle, &a_stats);
+  Plan b = MinimizePlan(plan, oracle, &b_stats);
+  EXPECT_EQ(a.ToXml(), b.ToXml());
+  EXPECT_EQ(a_stats.oracle_runs, b_stats.oracle_runs);
+}
+
+TEST(MinimizePlan, EmptyPlanIsANoOp) {
+  Plan plan;
+  MinimizeStats stats;
+  Plan out = MinimizePlan(
+      plan, [](const Plan&) { return true; }, &stats);
+  EXPECT_TRUE(out.triggers.empty());
+  EXPECT_TRUE(stats.reproduced);
+}
+
+}  // namespace
+}  // namespace lfi::core

@@ -12,16 +12,19 @@
 //
 // Exit codes from `lfi test`: 0 = target exited cleanly, 3 = target
 // crashed under injection (a finding!), 1 = usage/setup error.
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "apps/workloads.hpp"
+#include "campaign/explorer.hpp"
 #include "campaign/runner.hpp"
 #include "core/controller.hpp"
 #include "core/profiler.hpp"
@@ -335,6 +338,49 @@ int CmdTest(const std::vector<std::string>& args) {
   return 3;
 }
 
+/// Target image shared by the campaign/explore subcommands: libc + user
+/// libs + app, built/loaded once; workers load copies via `setup`.
+struct TargetImage {
+  std::shared_ptr<const sso::SharedObject> libc_so;
+  std::shared_ptr<std::vector<sso::SharedObject>> libs;
+  campaign::MachineSetup setup;
+
+  std::vector<const sso::SharedObject*> images() const {
+    std::vector<const sso::SharedObject*> out;
+    out.push_back(libc_so.get());
+    for (const sso::SharedObject& so : *libs) out.push_back(&so);
+    return out;
+  }
+};
+
+Result<TargetImage> BuildTarget(const std::string& app_path,
+                                const std::vector<std::string>& lib_paths,
+                                const std::vector<std::string>& vfs_files) {
+  TargetImage target;
+  target.libc_so =
+      std::make_shared<const sso::SharedObject>(libc::BuildLibc());
+  target.libs = std::make_shared<std::vector<sso::SharedObject>>();
+  for (const std::string& path : lib_paths) {
+    auto so = LoadSso(path);
+    if (!so.ok()) return Err(so.error());
+    target.libs->push_back(std::move(so).take());
+  }
+  auto app = LoadSso(app_path);
+  if (!app.ok()) return Err(app.error());
+  target.libs->push_back(std::move(app).take());
+  auto files = std::make_shared<std::vector<std::string>>(vfs_files);
+  auto libc_so = target.libc_so;
+  auto libs = target.libs;
+  target.setup = [libc_so, libs, files](vm::Machine& machine) {
+    machine.Load(*libc_so);
+    for (const sso::SharedObject& so : *libs) machine.Load(so);
+    for (const std::string& path : *files) {
+      machine.kernel().add_file(path, std::vector<uint8_t>(256, 'x'));
+    }
+  };
+  return target;
+}
+
 // lfi campaign: generate a scenario set and fan it out across workers.
 // Exit codes: 0 = no findings, 3 = at least one scenario crashed the
 // target (findings!), 1 = usage/setup error.
@@ -400,24 +446,8 @@ int CmdCampaign(const std::vector<std::string>& args) {
   }
 
   // Build the target image once; workers load copies.
-  auto libc_so = std::make_shared<const sso::SharedObject>(libc::BuildLibc());
-  auto libs = std::make_shared<std::vector<sso::SharedObject>>();
-  for (const std::string& path : lib_paths) {
-    auto so = LoadSso(path);
-    if (!so.ok()) return Fail(so.error());
-    libs->push_back(std::move(so).take());
-  }
-  auto app = LoadSso(app_path);
-  if (!app.ok()) return Fail(app.error());
-  libs->push_back(std::move(app).take());
-  auto files = std::make_shared<std::vector<std::string>>(vfs_files);
-  campaign::MachineSetup setup = [libc_so, libs, files](vm::Machine& machine) {
-    machine.Load(*libc_so);
-    for (const sso::SharedObject& so : *libs) machine.Load(so);
-    for (const std::string& path : *files) {
-      machine.kernel().add_file(path, std::vector<uint8_t>(256, 'x'));
-    }
-  };
+  auto target = BuildTarget(app_path, lib_paths, vfs_files);
+  if (!target.ok()) return Fail(target.error());
 
   std::vector<core::FaultProfile> profiles;
   if (auto st = LoadProfiles(profile_paths, &profiles); !st.ok()) {
@@ -454,15 +484,14 @@ int CmdCampaign(const std::vector<std::string>& args) {
   }
 
   opts.entry = entry;
-  campaign::CampaignRunner runner(setup, std::move(profiles), opts);
+  campaign::CampaignRunner runner(target.value().setup, std::move(profiles),
+                                  opts);
   campaign::CampaignReport report = runner.Run(scenarios);
   std::printf("%s", report.ToText().c_str());
   if (opts.track_coverage) {
     // Project the aggregated union bitmaps onto each module's CFG block
     // starts and dump per-module block coverage.
-    std::vector<const sso::SharedObject*> images;
-    images.push_back(libc_so.get());
-    for (const sso::SharedObject& so : *libs) images.push_back(&so);
+    std::vector<const sso::SharedObject*> images = target.value().images();
     std::string dump;
     for (const auto& [module, bitmap] : report.coverage) {
       std::printf("coverage %s: %zu offsets\n", module.c_str(),
@@ -494,6 +523,174 @@ int CmdCampaign(const std::vector<std::string>& args) {
   return report.crashes > 0 ? 3 : 0;
 }
 
+/// Regular files in `dir` named `<prefix>...xml`, sorted by path (the
+/// explore corpus layout: plan-NNNN.xml and crash-<hash>.xml).
+std::vector<std::string> ListCorpusFiles(const std::string& dir,
+                                         const std::string& prefix) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> out;
+  for (const fs::directory_entry& e : fs::directory_iterator(dir)) {
+    std::string name = e.path().filename().string();
+    if (e.is_regular_file() && name.rfind(prefix, 0) == 0 &&
+        name.size() > 4 && name.substr(name.size() - 4) == ".xml") {
+      out.push_back(e.path().string());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// lfi explore: coverage-guided, multi-round campaign exploration with
+// crash triage and replay-based minimization. Exit codes: 0 = no unique
+// crashes, 3 = findings, 1 = usage/setup error.
+//
+// Everything printed to stdout is jobs-invariant (round stats, crash
+// buckets, corpus contents) — CI diffs --jobs 1 against --jobs N.
+int CmdExplore(const std::vector<std::string>& args) {
+  std::string app_path, entry = "main", corpus_dir;
+  std::vector<std::string> lib_paths, profile_paths, vfs_files;
+  campaign::ExplorerOptions eopts;
+  for (size_t i = 0; i < args.size(); ++i) {
+    auto next = [&]() -> std::string {
+      return i + 1 < args.size() ? args[++i] : std::string();
+    };
+    if (args[i] == "--app") app_path = next();
+    else if (args[i] == "--entry") entry = next();
+    else if (args[i] == "--lib") lib_paths.push_back(next());
+    else if (args[i] == "--profile") profile_paths.push_back(next());
+    else if (args[i] == "--file") vfs_files.push_back(next());
+    else if (args[i] == "--corpus-dir") {
+      // Strict, like --coverage: the flag needs a real path, not another
+      // flag (a misparse here would create a directory named "--foo").
+      corpus_dir = next();
+      if (corpus_dir.empty() || corpus_dir.rfind("--", 0) == 0) {
+        return Fail("explore: --corpus-dir needs a directory path, got \"" +
+                    corpus_dir + "\"");
+      }
+    }
+    else if (args[i] == "--probability") {
+      auto p = ParseProbability(next());
+      if (!p.ok()) return Fail("explore: " + p.error());
+      eopts.seed_probability = p.value();
+    }
+    else if (args[i] == "--no-minimize") eopts.minimize_crashes = false;
+    else if (args[i] == "--rounds" || args[i] == "--budget" ||
+             args[i] == "--seed" || args[i] == "--jobs" ||
+             args[i] == "--instructions") {
+      std::string flag = args[i];
+      uint64_t max = (flag == "--rounds" || flag == "--budget" ||
+                      flag == "--jobs")
+                         ? 1'000'000
+                         : UINT64_MAX;
+      auto v = ParseCount(flag, next(), max);
+      if (!v.ok()) return Fail("explore: " + v.error());
+      if (flag == "--rounds") {
+        if (v.value() == 0) return Fail("explore: --rounds must be > 0");
+        eopts.rounds = static_cast<size_t>(v.value());
+      } else if (flag == "--budget") {
+        if (v.value() == 0) return Fail("explore: --budget must be > 0");
+        eopts.scenarios_per_round = static_cast<size_t>(v.value());
+      } else if (flag == "--seed") {
+        eopts.seed = v.value();
+      } else if (flag == "--jobs") {
+        eopts.campaign.jobs = static_cast<int>(v.value());
+      } else if (flag == "--instructions") {
+        if (v.value() == 0) return Fail("explore: --instructions must be > 0");
+        eopts.campaign.max_instructions = v.value();
+      }
+    } else {
+      return Fail("explore: unknown argument " + args[i]);
+    }
+  }
+  if (app_path.empty()) return Fail("explore: need --app");
+
+  auto target = BuildTarget(app_path, lib_paths, vfs_files);
+  if (!target.ok()) return Fail(target.error());
+  std::vector<core::FaultProfile> profiles;
+  if (auto st = LoadProfiles(profile_paths, &profiles); !st.ok()) {
+    return Fail(st.error());
+  }
+
+  // Resume from a persisted corpus: plan-*.xml files, sorted by name so
+  // the seed population order is deterministic.
+  std::vector<core::Plan> initial_corpus;
+  namespace fs = std::filesystem;
+  if (!corpus_dir.empty() && fs::is_directory(corpus_dir)) {
+    for (const std::string& path : ListCorpusFiles(corpus_dir, "plan-")) {
+      std::string text;
+      if (!ReadTextFile(path, &text)) return Fail("cannot read " + path);
+      auto plan = core::Plan::FromXml(text);
+      if (!plan.ok()) return Fail(path + ": " + plan.error());
+      initial_corpus.push_back(std::move(plan).take());
+    }
+    if (!initial_corpus.empty()) {
+      std::printf("resuming from %zu corpus plan(s) in %s\n",
+                  initial_corpus.size(), corpus_dir.c_str());
+    }
+  }
+
+  eopts.campaign.entry = entry;
+  eopts.on_round = [](const campaign::RoundStats& rs) {
+    std::printf(
+        "round %zu: %zu scenarios, %zu crashed (%zu new buckets), "
+        "%zu winners, +%zu offsets, union %zu offsets, corpus %zu\n",
+        rs.round + 1, rs.scenarios, rs.crashes, rs.new_crash_buckets,
+        rs.winners, rs.new_offsets, rs.union_offsets, rs.corpus_size);
+    std::fflush(stdout);
+  };
+  campaign::Explorer explorer(target.value().setup, std::move(profiles),
+                              eopts);
+  campaign::ExplorerReport report =
+      explorer.Explore(std::move(initial_corpus));
+
+  // Round lines were already printed live; print the crash summary.
+  for (const campaign::CrashReport& cr : report.crashes) {
+    std::printf(
+        "crash %016llx: %s | %zu hit(s), first %s (round %zu) | replay %zu "
+        "-> minimized %zu trigger(s)%s\n",
+        (unsigned long long)cr.hash, cr.signature.c_str(), cr.count,
+        cr.scenario_name.c_str(), cr.first_round + 1,
+        cr.replay.triggers.size(), cr.minimized.triggers.size(),
+        cr.reproduces ? ", reproduces" : "");
+  }
+
+  // Persist the corpus + minimized reproducers as plan XML.
+  if (!corpus_dir.empty()) {
+    std::error_code ec;
+    fs::create_directories(corpus_dir, ec);
+    if (ec) return Fail("cannot create " + corpus_dir + ": " + ec.message());
+    // Drop stale plan/crash files first (collected before removing — no
+    // deletion under a live directory_iterator): the directory must equal
+    // this run's report, or the next resume would seed from a mix of two
+    // corpora and stale reproducers would linger as phantom findings.
+    for (const char* prefix : {"plan-", "crash-"}) {
+      for (const std::string& path : ListCorpusFiles(corpus_dir, prefix)) {
+        fs::remove(path, ec);
+      }
+    }
+    for (size_t i = 0; i < report.corpus.size(); ++i) {
+      std::string xml = report.corpus[i].ToXml();
+      std::string path = corpus_dir + Format("/plan-%04zu.xml", i);
+      if (!WriteFile(path, xml.data(), xml.size())) {
+        return Fail("cannot write " + path);
+      }
+    }
+    for (const campaign::CrashReport& cr : report.crashes) {
+      std::string xml = cr.minimized.ToXml();
+      std::string path =
+          corpus_dir + Format("/crash-%016llx.xml", (unsigned long long)cr.hash);
+      if (!WriteFile(path, xml.data(), xml.size())) {
+        return Fail("cannot write " + path);
+      }
+    }
+    // Status to stderr: stdout stays byte-identical across --jobs counts.
+    std::fprintf(stderr, "corpus (%zu plans, %zu crash reproducers) -> %s\n",
+                 report.corpus.size(), report.crashes.size(),
+                 corpus_dir.c_str());
+  }
+  return report.crashes.empty() ? 0 : 3;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -512,7 +709,11 @@ int main(int argc, char** argv) {
         "       [--scenarios N] [--seed n] [--jobs N] [--shard rr|balanced]\n"
         "       [--entry sym] [--profile xml]... [--lib sso]...\n"
         "       [--file path]... [--coverage report.txt]\n"
-        "       [--budget instructions]\n");
+        "       [--budget instructions]\n"
+        "  explore --app <sso> [--rounds N] [--budget scenarios-per-round]\n"
+        "       [--seed n] [--jobs N] [--corpus-dir dir] [--probability p]\n"
+        "       [--entry sym] [--profile xml]... [--lib sso]...\n"
+        "       [--file path]... [--instructions N] [--no-minimize]\n");
     return 1;
   }
   std::string cmd = args[0];
@@ -523,5 +724,6 @@ int main(int argc, char** argv) {
   if (cmd == "generate") return CmdGenerate(args);
   if (cmd == "test") return CmdTest(args);
   if (cmd == "campaign") return CmdCampaign(args);
+  if (cmd == "explore") return CmdExplore(args);
   return Fail("unknown command: " + cmd);
 }
