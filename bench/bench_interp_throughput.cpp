@@ -1,0 +1,242 @@
+// Interpreter throughput: predecoded engine vs reference decode-per-step.
+//
+// Two workloads, each executed once per engine on otherwise-identical
+// machines:
+//   - spin-loop: a synthetic opcode mix (arith, LOAD/STORE to module data,
+//     PUSH/POP, CALL/RET, conditional branch) that isolates raw
+//     fetch/decode/dispatch cost;
+//   - oltp: the Table-4 MySQL/SysBench stand-in, a realistic campaign
+//     workload (syscalls, libc, kernel handlers included).
+//
+// Prints instructions/sec and ns/instr per engine plus the speedup; when
+// LFI_BENCH_JSON names a file, writes the same numbers as JSON so CI can
+// archive the perf trajectory across PRs (BENCH_interp.json artifact).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "apps/dbserver.hpp"
+#include "bench_util.hpp"
+#include "isa/codebuilder.hpp"
+#include "libc/libc_builder.hpp"
+#include "sso/sso.hpp"
+#include "vm/machine.hpp"
+
+namespace lfi {
+namespace {
+
+using isa::CodeBuilder;
+using isa::Reg;
+using Clock = std::chrono::steady_clock;
+
+struct EngineRun {
+  uint64_t instructions = 0;
+  double seconds = 0;
+  double instr_per_sec() const {
+    return seconds > 0 ? static_cast<double>(instructions) / seconds : 0;
+  }
+  double ns_per_instr() const {
+    return instructions > 0 ? seconds * 1e9 / static_cast<double>(instructions)
+                            : 0;
+  }
+};
+
+/// The synthetic opcode-mix program: `iters` loop bodies + a bare callee.
+sso::SharedObject BuildSpinLoop(int64_t iters) {
+  CodeBuilder b;
+  b.begin_function("main");
+  uint32_t scratch = b.reserve_data(8);
+  auto loop = b.new_label();
+  auto helper = b.new_label();
+  b.mov_ri(Reg::R1, iters);
+  b.lea_data(Reg::R2, static_cast<int32_t>(scratch));
+  b.mov_ri(Reg::R3, 0);
+  b.bind(loop);
+  b.load(Reg::R4, Reg::R2, 0);
+  b.add_rr(Reg::R4, Reg::R3);
+  b.xor_ri(Reg::R4, 0x5a);
+  b.store(Reg::R2, 0, Reg::R4);
+  b.push(Reg::R4);
+  b.pop(Reg::R5);
+  b.add_rr(Reg::R3, Reg::R5);
+  b.mul_ri(Reg::R3, 3);
+  b.and_ri(Reg::R3, 0xffff);
+  b.call(helper);
+  b.sub_ri(Reg::R1, 1);
+  b.cmp_ri(Reg::R1, 0);
+  b.jgt(loop);
+  b.mov_rr(Reg::R0, Reg::R3);
+  b.leave_ret();
+  b.end_function();
+  b.bind(helper);  // bare callee: CALL/RET round trip only
+  b.ret();
+  return sso::FromCodeUnit("spin.so", b.Finish());
+}
+
+EngineRun RunSpin(vm::ExecMode mode, int64_t iters) {
+  vm::Machine machine;
+  machine.SetExecMode(mode);
+  machine.Load(BuildSpinLoop(iters));
+  auto pid = machine.CreateProcess("main");
+  EngineRun run;
+  if (!pid.ok()) return run;
+  auto begin = Clock::now();
+  machine.RunToCompletion(pid.value(), 2'000'000'000);
+  run.seconds = std::chrono::duration<double>(Clock::now() - begin).count();
+  run.instructions = machine.total_instructions();
+  return run;
+}
+
+EngineRun RunOltp(vm::ExecMode mode, int transactions) {
+  vm::Machine machine;
+  machine.SetExecMode(mode);
+  machine.Load(libc::BuildLibc());
+  apps::DbConfig config;
+  config.transactions = transactions;
+  for (sso::SharedObject& so : apps::BuildDbServer(config)) {
+    machine.Load(std::move(so));
+  }
+  machine.kernel().add_file(apps::kDbDataPath,
+                            std::vector<uint8_t>(4096, uint8_t{0}));
+  machine.kernel().add_file(apps::kDbLogPath, {});
+  auto pid = machine.CreateProcess(apps::kDbEntry);
+  EngineRun run;
+  if (!pid.ok()) return run;
+  auto begin = Clock::now();
+  machine.RunToCompletion(pid.value(), 2'000'000'000);
+  run.seconds = std::chrono::duration<double>(Clock::now() - begin).count();
+  run.instructions = machine.total_instructions();
+  return run;
+}
+
+void AppendJson(std::string* out, const char* name, const EngineRun& pre,
+                const EngineRun& ref) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "  \"%s\": {\n"
+      "    \"predecoded\": {\"instructions\": %llu, \"seconds\": %.6f, "
+      "\"instr_per_sec\": %.0f, \"ns_per_instr\": %.3f},\n"
+      "    \"reference\": {\"instructions\": %llu, \"seconds\": %.6f, "
+      "\"instr_per_sec\": %.0f, \"ns_per_instr\": %.3f},\n"
+      "    \"speedup\": %.2f\n"
+      "  }",
+      name, (unsigned long long)pre.instructions, pre.seconds,
+      pre.instr_per_sec(), pre.ns_per_instr(),
+      (unsigned long long)ref.instructions, ref.seconds, ref.instr_per_sec(),
+      ref.ns_per_instr(),
+      ref.instr_per_sec() > 0 ? pre.instr_per_sec() / ref.instr_per_sec() : 0);
+  *out += buf;
+}
+
+int PrintThroughput() {
+  const int64_t spin_iters = bench::Scaled(2'000'000, 20'000);
+  const int oltp_txns = bench::Scaled(2'000, 50);
+
+  // Untimed warmup: first-touch page faults and one-time image builds
+  // otherwise land on whichever engine happens to run first.
+  RunSpin(vm::ExecMode::Predecoded, 1'000);
+  RunOltp(vm::ExecMode::Predecoded, 10);
+
+  EngineRun spin_pre = RunSpin(vm::ExecMode::Predecoded, spin_iters);
+  EngineRun spin_ref = RunSpin(vm::ExecMode::Reference, spin_iters);
+  EngineRun oltp_pre = RunOltp(vm::ExecMode::Predecoded, oltp_txns);
+  EngineRun oltp_ref = RunOltp(vm::ExecMode::Reference, oltp_txns);
+
+  auto fmt = [](const char* workload, const char* engine, const EngineRun& r,
+                double speedup) {
+    std::vector<std::string> row;
+    char buf[64];
+    row.push_back(workload);
+    row.push_back(engine);
+    std::snprintf(buf, sizeof(buf), "%llu", (unsigned long long)r.instructions);
+    row.push_back(buf);
+    std::snprintf(buf, sizeof(buf), "%.3f", r.seconds);
+    row.push_back(buf);
+    std::snprintf(buf, sizeof(buf), "%.1f", r.instr_per_sec() / 1e6);
+    row.push_back(buf);
+    std::snprintf(buf, sizeof(buf), "%.1f", r.ns_per_instr());
+    row.push_back(buf);
+    if (speedup > 0) {
+      std::snprintf(buf, sizeof(buf), "%.2fx", speedup);
+      row.push_back(buf);
+    } else {
+      row.push_back("1.00x (baseline)");
+    }
+    return row;
+  };
+
+  double spin_speedup = spin_ref.instr_per_sec() > 0
+                            ? spin_pre.instr_per_sec() / spin_ref.instr_per_sec()
+                            : 0;
+  double oltp_speedup = oltp_ref.instr_per_sec() > 0
+                            ? oltp_pre.instr_per_sec() / oltp_ref.instr_per_sec()
+                            : 0;
+  bench::PrintTable(
+      "Interpreter throughput: predecoded vs reference decode-per-step",
+      {{"workload", "engine", "instructions", "seconds", "Minstr/s",
+        "ns/instr", "speedup"},
+       fmt("spin-loop", "reference", spin_ref, 0),
+       fmt("spin-loop", "predecoded", spin_pre, spin_speedup),
+       fmt("oltp", "reference", oltp_ref, 0),
+       fmt("oltp", "predecoded", oltp_pre, oltp_speedup)});
+  // The 2x bar is enforced (non-zero exit) at full size; smoke workloads
+  // are too small for stable timing, so there it only warns. Ratios are
+  // robust to absolute machine speed, so this is safe on shared CI.
+  int rc = 0;
+  if (spin_speedup < 2.0) {
+    std::printf("%s: spin-loop speedup %.2fx below the 2x regression bar\n",
+                bench::SmokeMode() ? "WARNING" : "FAIL", spin_speedup);
+    if (!bench::SmokeMode()) rc = 1;
+  }
+
+  if (const char* path = std::getenv("LFI_BENCH_JSON")) {
+    std::string json = "{\n";
+    AppendJson(&json, "spin_loop", spin_pre, spin_ref);
+    json += ",\n";
+    AppendJson(&json, "oltp", oltp_pre, oltp_ref);
+    json += "\n}\n";
+    if (std::FILE* f = std::fopen(path, "w")) {
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+      std::printf("wrote %s\n", path);
+    } else {
+      std::printf("WARNING: cannot write %s\n", path);
+    }
+  }
+  return rc;
+}
+
+/// Micro-benchmark: one spin-loop execution per iteration (per engine).
+void BM_Interp(benchmark::State& state, vm::ExecMode mode) {
+  const int64_t iters = 10'000;
+  for (auto _ : state) {
+    EngineRun run = RunSpin(mode, iters);
+    benchmark::DoNotOptimize(run.instructions);
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<int64_t>(run.instructions));
+  }
+}
+
+void BM_InterpPredecoded(benchmark::State& state) {
+  BM_Interp(state, vm::ExecMode::Predecoded);
+}
+void BM_InterpReference(benchmark::State& state) {
+  BM_Interp(state, vm::ExecMode::Reference);
+}
+BENCHMARK(BM_InterpPredecoded);
+BENCHMARK(BM_InterpReference);
+
+}  // namespace
+}  // namespace lfi
+
+// Not LFI_BENCH_MAIN: the table pass returns an exit code (the 2x bar).
+int main(int argc, char** argv) {
+  int rc = lfi::PrintThroughput();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return rc;
+}

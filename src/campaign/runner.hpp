@@ -5,7 +5,10 @@
 // seeds the in-memory filesystem, then the runner checkpoints it) and then
 // *reset* between scenarios instead of rebuilt — module construction and
 // loading dominate per-run cost in the serial drivers, so this is where
-// the throughput comes from. Scenario state is fully isolated by
+// the throughput comes from. Reset also preserves the loader's predecoded
+// instruction streams (vm::CodeCache): each worker decodes the target
+// image once and every scenario after that runs on the fused
+// decode-once interpreter loop. Scenario state is fully isolated by
 // Machine::Reset + Controller::Reset, and each scenario's trigger RNG is
 // seeded from its own plan, so results are bit-identical across any jobs
 // count or shard policy.

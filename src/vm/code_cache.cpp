@@ -1,0 +1,23 @@
+#include "vm/code_cache.hpp"
+
+namespace lfi::vm {
+
+void CodeCache::EnsureModule(size_t module_index,
+                             const std::vector<uint8_t>& code) {
+  if (module_index >= modules_.size()) modules_.resize(module_index + 1);
+  ModuleStream& ms = modules_[module_index];
+  if (!ms.slot_of_offset.empty() || code.empty()) return;  // already built
+  ms.slot_of_offset.assign(code.size(), kNoSlot);
+  uint32_t at = 0;
+  while (at < code.size()) {
+    auto ins = isa::DecodeOne(code, at);
+    // Stop at the first undecodable byte: those offsets keep kNoSlot and
+    // the VM's DecodeOne fallback reproduces the exact fault on execution.
+    if (!ins.ok()) break;
+    ms.slot_of_offset[at] = static_cast<uint32_t>(ms.instrs.size());
+    at += ins.value().size;
+    ms.instrs.push_back(std::move(ins).take());
+  }
+}
+
+}  // namespace lfi::vm

@@ -1,0 +1,53 @@
+// Decode-once instruction streams (the predecoded execution engine).
+//
+// Module text is immutable after Load, so the loader disassembles each
+// module exactly once into a dense `std::vector<isa::Instr>` plus an
+// offset -> slot index. The interpreter's fast path then advances by slot
+// instead of re-running `isa::DecodeOne` on every executed instruction;
+// the slot -> offset direction (coverage recording, symbolization) is just
+// `instrs[slot].offset`.
+//
+// The linear sweep stops at the first undecodable byte, and jump targets
+// that land mid-instruction have no slot (`kNoSlot`): for both, the VM
+// falls back to `isa::DecodeOne` at that pc so faults, error messages, and
+// deliberately-weird control flow behave bit-identically to the reference
+// decode-per-step path.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "isa/isa.hpp"
+
+namespace lfi::vm {
+
+class CodeCache {
+ public:
+  /// slot_of_offset value for offsets that do not start an instruction.
+  static constexpr uint32_t kNoSlot = UINT32_MAX;
+
+  struct ModuleStream {
+    /// Linear-sweep decode of the module text, in offset order.
+    std::vector<isa::Instr> instrs;
+    /// Byte offset -> slot in `instrs`; kNoSlot for mid-instruction bytes
+    /// and for everything at/after the first undecodable byte.
+    std::vector<uint32_t> slot_of_offset;
+  };
+
+  /// Predecode `code` for the module at `module_index` (no-op if already
+  /// built — module text never changes after Load).
+  void EnsureModule(size_t module_index, const std::vector<uint8_t>& code);
+
+  /// The predecoded stream for a module, or nullptr if never built.
+  const ModuleStream* stream(size_t module_index) const {
+    return module_index < modules_.size() ? &modules_[module_index] : nullptr;
+  }
+
+  size_t module_count() const { return modules_.size(); }
+
+ private:
+  std::vector<ModuleStream> modules_;
+};
+
+}  // namespace lfi::vm

@@ -18,6 +18,8 @@ size_t Loader::Load(sso::SharedObject object) {
   tls_cursor_ += mod->object.tls_size;
   assert(tls_cursor_ <= kTlsSize && "TLS segment exhausted");
   assert(mod->object.code.size() < kModuleDataDelta && "code section too big");
+  assert(mod->object.data.size() <= kModuleSpacing - kModuleDataDelta &&
+         "data section too big");
   // Apply relative relocations: function-pointer slots in the data section.
   for (const auto& [data_off, code_off] : mod->object.data_relocs) {
     uint64_t addr = mod->code_base + code_off;
@@ -43,6 +45,7 @@ size_t Loader::Load(sso::SharedObject object) {
   for (const std::string& import : mod->object.imports) {
     mod->import_ids.push_back(symbols_.Intern(import));
   }
+  code_cache_.EnsureModule(mod->index, mod->object.code);
   modules_.push_back(std::move(mod));
   ++generation_;
   return modules_.size() - 1;
@@ -131,12 +134,13 @@ const LoadedModule* Loader::module_named(std::string_view name) const {
 }
 
 const LoadedModule* Loader::module_at(uint64_t addr) const {
-  for (const auto& mod : modules_) {
-    if (addr >= mod->code_base && addr < mod->code_base + mod->object.code.size()) {
-      return mod.get();
-    }
-  }
-  return nullptr;
+  // Module code bases are a fixed arithmetic progression and text never
+  // exceeds the module spacing (asserted in Load), so containment is O(1).
+  if (addr < kModuleBase) return nullptr;
+  size_t index = ModuleIndexOf(addr);
+  if (index >= modules_.size()) return nullptr;
+  const LoadedModule* mod = modules_[index].get();
+  return addr - mod->code_base < mod->object.code.size() ? mod : nullptr;
 }
 
 std::string Loader::Symbolize(uint64_t addr) const {

@@ -23,6 +23,7 @@
 
 #include "sso/sso.hpp"
 #include "util/interner.hpp"
+#include "vm/code_cache.hpp"
 #include "vm/memory.hpp"
 
 namespace lfi::vm {
@@ -146,6 +147,10 @@ class Loader {
   const NativeFn* native(size_t id) const;
   const std::string& native_name(size_t id) const;
 
+  /// Predecoded per-module instruction streams, built once at Load time
+  /// (module text is immutable). The VM's fast path fetches from here.
+  const CodeCache& code_cache() const { return code_cache_; }
+
   /// Total TLS bytes assigned to modules so far.
   uint32_t tls_used() const { return tls_cursor_; }
 
@@ -160,6 +165,7 @@ class Loader {
     NativeFn fn;
   };
   std::vector<Native> natives_;
+  CodeCache code_cache_;
   SymbolTable symbols_;
   /// SymbolId -> first export in load order (0 = none; code addresses are
   /// never 0 because module code bases start above the null page).

@@ -1,5 +1,9 @@
 #include "vm/machine.hpp"
 
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
 #include "kernel/kernel_image.hpp"
 
 namespace lfi::vm {
@@ -10,14 +14,35 @@ Machine::Machine() {
   for (const auto& spec : kernel::SyscallTable()) {
     const isa::Symbol* sym = kmod.object.find_export(kernel::HandlerName(spec));
     if (sym) {
-      syscall_targets_[static_cast<uint16_t>(spec.number)] =
-          kmod.code_base + sym->offset;
+      uint16_t number = static_cast<uint16_t>(spec.number);
+      if (number >= syscall_targets_.size()) {
+        syscall_targets_.resize(number + 1, 0);
+      }
+      syscall_targets_[number] = kmod.code_base + sym->offset;
+    }
+  }
+  if (const char* mode = std::getenv("LFI_EXEC")) {
+    if (std::strcmp(mode, "reference") == 0) {
+      exec_mode_ = ExecMode::Reference;
+    } else if (std::strcmp(mode, "predecoded") != 0) {
+      // A typo here would silently turn a differential baseline into
+      // predecoded-vs-predecoded; say so instead.
+      std::fprintf(stderr,
+                   "machine: unknown LFI_EXEC value '%s' "
+                   "(expected 'reference' or 'predecoded'); "
+                   "using the predecoded engine\n",
+                   mode);
     }
   }
   kernel_.set_spawn_hook([this](const std::string& symbol) -> Result<int> {
     auto pid = CreateProcess(symbol, default_heap_cap_);
     return pid;
   });
+}
+
+void Machine::SetExecMode(ExecMode mode) {
+  exec_mode_ = mode;
+  for (auto& p : procs_) p->set_exec_mode(mode);
 }
 
 void Machine::Reset() {
@@ -42,6 +67,7 @@ Result<int> Machine::CreateProcess(const std::string& entry,
   int pid = static_cast<int>(procs_.size()) + 1;
   auto proc = std::make_unique<Process>(pid, loader_, kernel_,
                                         syscall_targets_, heap_cap_bytes);
+  proc->set_exec_mode(exec_mode_);
   proc->Start(target.addr);
   if (coverage_) proc->set_coverage(coverage_.get());
   procs_.push_back(std::move(proc));

@@ -2,7 +2,6 @@
 // a round-robin scheduler. One Machine per experiment run.
 #pragma once
 
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -29,6 +28,12 @@ class Machine {
 
   Loader& loader() { return loader_; }
   kernel::KernelRuntime& kernel() { return kernel_; }
+
+  /// Which interpreter engine newly-created processes use. Defaults to
+  /// Predecoded; the LFI_EXEC=reference environment variable flips the
+  /// default at Machine construction (A/B without recompiling).
+  ExecMode exec_mode() const { return exec_mode_; }
+  void SetExecMode(ExecMode mode);
 
   /// The machine-wide symbol interner (owned by the loader). Names resolve
   /// to dense SymbolIds once; everything per-call indexes by id.
@@ -91,7 +96,10 @@ class Machine {
 
   Loader loader_;
   kernel::KernelRuntime kernel_;
-  std::map<uint16_t, uint64_t> syscall_targets_;
+  /// Syscall number -> handler address; 0 = unimplemented. Flat array so
+  /// the SYSCALL opcode is an index, not a tree search.
+  std::vector<uint64_t> syscall_targets_;
+  ExecMode exec_mode_ = ExecMode::Predecoded;
   std::vector<std::unique_ptr<Process>> procs_;
   std::vector<bool> exit_reported_;
   uint64_t total_instructions_ = 0;

@@ -19,7 +19,11 @@ const Region* AddressSpace::find(uint64_t addr, uint64_t len) const {
       [](uint64_t a, const Region& r) { return a < r.base; });
   if (it == regions_.begin()) return nullptr;
   --it;
-  if (addr < it->base || addr + len > it->base + it->size) return nullptr;
+  // Overflow-safe containment: `addr + len` can wrap for addresses near
+  // 2^64 (e.g. a register holding -4), which must fault, not alias the
+  // region with the highest base.
+  uint64_t off = addr - it->base;
+  if (off > it->size || it->size - off < len) return nullptr;
   return &*it;
 }
 

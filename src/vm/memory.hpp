@@ -37,6 +37,13 @@ inline uint64_t ModuleCodeBase(size_t index) {
 inline uint64_t ModuleDataBase(size_t index) {
   return ModuleCodeBase(index) + kModuleDataDelta;
 }
+/// Candidate module index for an address in the module band (addr must be
+/// >= kModuleBase; callers still bounds-check against the loaded module
+/// count and the segment sizes). The single home of the layout arithmetic
+/// shared by Loader::module_at and the interpreter's fast memory path.
+inline size_t ModuleIndexOf(uint64_t addr) {
+  return static_cast<size_t>((addr - kModuleBase) / kModuleSpacing);
+}
 inline bool IsNativeStubAddress(uint64_t addr) {
   return addr >= kNativeStubBase && addr < kNativeStubBase + (1u << 20);
 }

@@ -1,5 +1,8 @@
 #include "vm/process.hpp"
 
+#include <algorithm>
+#include <cstring>
+
 #include "util/strings.hpp"
 
 namespace lfi::vm {
@@ -18,14 +21,17 @@ const char* SignalName(Signal s) {
 }
 
 Process::Process(int pid, Loader& loader, kernel::KernelRuntime& kernel,
-                 const std::map<uint16_t, uint64_t>& syscall_targets,
+                 const std::vector<uint64_t>& syscall_targets,
                  uint64_t heap_cap_bytes)
     : pid_(pid),
       loader_(loader),
       kernel_(kernel),
       syscall_targets_(syscall_targets),
       stack_mem_(kStackSize, 0),
-      heap_mem_(heap_cap_bytes, 0),
+      // The heap band ends where TLS begins; a larger cap would overlap
+      // the segments and break the layout arithmetic both engines (and
+      // AddressSpace resolution order) rely on.
+      heap_mem_(std::min(heap_cap_bytes, kTlsBase - kHeapBase), 0),
       tls_mem_(kTlsSize, 0) {}
 
 void Process::Start(uint64_t entry_addr) {
@@ -39,9 +45,12 @@ void Process::Start(uint64_t entry_addr) {
 }
 
 uint64_t Process::alloc_heap(uint64_t size) {
+  // Reject before rounding so a near-UINT64_MAX request cannot wrap the
+  // alignment arithmetic (or the cursor) into a tiny "successful" grant.
+  if (size > heap_mem_.size()) return 0;  // cap: ENOMEM
   uint64_t aligned = (size + 15) & ~uint64_t{15};
   if (aligned == 0) aligned = 16;
-  if (heap_cursor_ + aligned > heap_mem_.size()) return 0;  // cap: ENOMEM
+  if (aligned > heap_mem_.size() - heap_cursor_) return 0;  // cap: ENOMEM
   uint64_t addr = kHeapBase + heap_cursor_;
   heap_cursor_ += aligned;
   return addr;
@@ -53,10 +62,70 @@ void Process::Fault(Signal sig, std::string message) {
   fault_message_ = std::move(message);
 }
 
-bool Process::Push(int64_t v) {
+uint8_t* Process::FastMemPtr(uint64_t addr, uint64_t len, bool for_write) {
+  // The synthetic layout is arithmetic (vm/memory.hpp), so the containing
+  // segment of almost every access is computable without the AddressSpace
+  // region search. Order by access frequency: stack, heap, TLS, modules.
+  uint64_t off = addr - kStackBase;
+  if (off < kStackSize && kStackSize - off >= len) {
+    return stack_mem_.data() + off;
+  }
+  off = addr - kHeapBase;
+  if (off < heap_mem_.size() && heap_mem_.size() - off >= len) {
+    return heap_mem_.data() + off;
+  }
+  off = addr - kTlsBase;
+  if (off < tls_mem_.size() && tls_mem_.size() - off >= len) {
+    return tls_mem_.data() + off;
+  }
+  if (addr >= kModuleBase) {
+    size_t index = ModuleIndexOf(addr);
+    const auto& modules = loader_.modules();
+    if (index < modules.size()) {
+      LoadedModule& mod = *modules[index];
+      uint64_t rel = addr - mod.code_base;
+      if (rel >= kModuleDataDelta) {
+        uint64_t doff = rel - kModuleDataDelta;
+        if (doff < mod.data_runtime.size() &&
+            mod.data_runtime.size() - doff >= len) {
+          return mod.data_runtime.data() + doff;
+        }
+      } else if (!for_write && rel < mod.object.code.size() &&
+                 mod.object.code.size() - rel >= len) {
+        return const_cast<uint8_t*>(mod.object.code.data() + rel);
+      }
+    }
+  }
+  return nullptr;
+}
+
+template <bool kFast>
+bool Process::ReadU64(uint64_t addr, uint64_t* out) {
+  if constexpr (kFast) {
+    if (const uint8_t* p = FastMemPtr(addr, 8, /*for_write=*/false)) {
+      std::memcpy(out, p, 8);
+      return true;
+    }
+  }
+  return space_.read_u64(addr, out);
+}
+
+template <bool kFast>
+bool Process::WriteU64(uint64_t addr, uint64_t value) {
+  if constexpr (kFast) {
+    if (uint8_t* p = FastMemPtr(addr, 8, /*for_write=*/true)) {
+      std::memcpy(p, &value, 8);
+      return true;
+    }
+  }
+  return space_.write_u64(addr, value);
+}
+
+template <bool kFast>
+bool Process::PushT(int64_t v) {
   int64_t sp = regs_[static_cast<size_t>(Reg::SP)] - 8;
   regs_[static_cast<size_t>(Reg::SP)] = sp;
-  if (!space_.write_u64(static_cast<uint64_t>(sp), static_cast<uint64_t>(v))) {
+  if (!WriteU64<kFast>(static_cast<uint64_t>(sp), static_cast<uint64_t>(v))) {
     Fault(Signal::Segv, Format("stack overflow at sp=%llx",
                                (unsigned long long)sp));
     return false;
@@ -64,10 +133,11 @@ bool Process::Push(int64_t v) {
   return true;
 }
 
-bool Process::Pop(int64_t* v) {
+template <bool kFast>
+bool Process::PopT(int64_t* v) {
   int64_t sp = regs_[static_cast<size_t>(Reg::SP)];
   uint64_t raw = 0;
-  if (!space_.read_u64(static_cast<uint64_t>(sp), &raw)) {
+  if (!ReadU64<kFast>(static_cast<uint64_t>(sp), &raw)) {
     Fault(Signal::Segv, Format("stack underflow at sp=%llx",
                                (unsigned long long)sp));
     return false;
@@ -77,13 +147,25 @@ bool Process::Pop(int64_t* v) {
   return true;
 }
 
+bool Process::Push(int64_t v) { return PushT<false>(v); }
+
+bool Process::Pop(int64_t* v) { return PopT<false>(v); }
+
 // -- NativeFrame --------------------------------------------------------------
 
 int64_t NativeFrame::arg(int i) const {
   // At stub entry no return address has been pushed: arg i sits at SP + 8i.
   uint64_t sp = static_cast<uint64_t>(proc_.reg(Reg::SP));
+  uint64_t addr = sp + 8 * static_cast<uint64_t>(i);
   uint64_t raw = 0;
-  proc_.space_.read_u64(sp + 8 * static_cast<uint64_t>(i), &raw);
+  if (!proc_.space_.read_u64(addr, &raw)) {
+    // A stub reading an argument off an unmapped stack is a wild SP —
+    // surface the fault instead of silently handing the stub a 0.
+    proc_.Fault(Signal::Segv,
+                Format("bad stack read for arg %d of %s at %llx", i,
+                       symbol_.c_str(), (unsigned long long)addr));
+    return 0;
+  }
   return static_cast<int64_t>(raw);
 }
 
@@ -156,12 +238,15 @@ void Process::ExecNative(size_t native_id, uint64_t ret_addr) {
 }
 
 uint64_t Process::Run(uint64_t budget) {
-  uint64_t executed = 0;
-  while (state_ == ProcState::Runnable && executed < budget) {
-    Step();
-    ++executed;
+  if (exec_mode_ == ExecMode::Reference) {
+    uint64_t executed = 0;
+    while (state_ == ProcState::Runnable && executed < budget) {
+      Step();
+      ++executed;
+    }
+    return executed;
   }
-  return executed;
+  return RunPredecoded(budget);
 }
 
 void Process::RemapIfNeeded() {
@@ -188,6 +273,57 @@ void Process::RemapIfNeeded() {
   mapped_generation_ = loader_.generation();
 }
 
+uint64_t Process::RunPredecoded(uint64_t budget) {
+  uint64_t executed = 0;
+  // Cached binding of the module containing pc: invalidated when pc leaves
+  // the module's text or the loader generation changes (a remap can also
+  // mean new modules, which may reallocate the code-cache stream table).
+  const LoadedModule* mod = nullptr;
+  const CodeCache::ModuleStream* stream = nullptr;
+  uint64_t code_base = 0;
+  uint64_t code_size = 0;
+  while (state_ == ProcState::Runnable && executed < budget) {
+    if (mapped_generation_ != loader_.generation()) {
+      RemapIfNeeded();
+      mod = nullptr;
+    }
+    uint64_t off = pc_ - code_base;
+    if (mod == nullptr || off >= code_size) {
+      mod = loader_.module_at(pc_);
+      if (mod == nullptr) {
+        Fault(Signal::Segv,
+              Format("pc outside code: %llx", (unsigned long long)pc_));
+        ++executed;
+        break;
+      }
+      stream = loader_.code_cache().stream(mod->index);
+      code_base = mod->code_base;
+      code_size = mod->object.code.size();
+      off = pc_ - code_base;
+    }
+    uint32_t slot = stream != nullptr
+                        ? stream->slot_of_offset[static_cast<size_t>(off)]
+                        : CodeCache::kNoSlot;
+    if (slot != CodeCache::kNoSlot) {
+      ExecuteInstr<true>(stream->instrs[slot], *mod);
+    } else {
+      // pc landed mid-instruction or on undecodable bytes: run the
+      // reference decoder so the outcome (including the exact fault
+      // message) matches the decode-per-step path bit for bit.
+      auto decoded = isa::DecodeOne(mod->object.code,
+                                    static_cast<uint32_t>(off));
+      if (!decoded.ok()) {
+        Fault(Signal::Ill, decoded.error());
+        ++executed;
+        break;
+      }
+      ExecuteInstr<true>(decoded.value(), *mod);
+    }
+    ++executed;
+  }
+  return executed;
+}
+
 void Process::Step() {
   if (state_ != ProcState::Runnable) return;
   RemapIfNeeded();
@@ -203,8 +339,12 @@ void Process::Step() {
     Fault(Signal::Ill, decoded.error());
     return;
   }
-  const isa::Instr& ins = decoded.value();
-  if (coverage_) coverage_->Record(mod->index, offset);
+  ExecuteInstr<false>(decoded.value(), *mod);
+}
+
+template <bool kFast>
+void Process::ExecuteInstr(const isa::Instr& ins, const LoadedModule& mod) {
+  if (coverage_) coverage_->Record(mod.index, ins.offset);
   ++instructions_;
   uint64_t next_pc = pc_ + ins.size;
 
@@ -230,37 +370,37 @@ void Process::Step() {
     case Opcode::LOAD: {
       uint64_t addr = static_cast<uint64_t>(R(ins.b) + ins.disp);
       uint64_t raw = 0;
-      if (!space_.read_u64(addr, &raw)) return mem_fault(addr);
+      if (!ReadU64<kFast>(addr, &raw)) return mem_fault(addr);
       R(ins.a) = static_cast<int64_t>(raw);
       break;
     }
     case Opcode::STORE: {
       uint64_t addr = static_cast<uint64_t>(R(ins.a) + ins.disp);
-      if (!space_.write_u64(addr, static_cast<uint64_t>(R(ins.b)))) {
+      if (!WriteU64<kFast>(addr, static_cast<uint64_t>(R(ins.b)))) {
         return mem_fault(addr);
       }
       break;
     }
     case Opcode::STORE_I: {
       uint64_t addr = static_cast<uint64_t>(R(ins.a) + ins.disp);
-      if (!space_.write_u64(addr, static_cast<uint64_t>(ins.imm))) {
+      if (!WriteU64<kFast>(addr, static_cast<uint64_t>(ins.imm))) {
         return mem_fault(addr);
       }
       break;
     }
     case Opcode::LEA: R(ins.a) = R(ins.b) + ins.disp; break;
     case Opcode::LEA_DATA:
-      R(ins.a) = static_cast<int64_t>(mod->data_base) + ins.disp;
+      R(ins.a) = static_cast<int64_t>(mod.data_base) + ins.disp;
       break;
     case Opcode::LEA_TLS:
-      R(ins.a) = static_cast<int64_t>(kTlsBase + mod->tls_base) + ins.disp;
+      R(ins.a) = static_cast<int64_t>(kTlsBase + mod.tls_base) + ins.disp;
       break;
     case Opcode::PUSH:
-      if (!Push(R(ins.a))) return;
+      if (!PushT<kFast>(R(ins.a))) return;
       break;
     case Opcode::POP: {
       int64_t v = 0;
-      if (!Pop(&v)) return;
+      if (!PopT<kFast>(&v)) return;
       R(ins.a) = v;
       break;
     }
@@ -288,20 +428,20 @@ void Process::Step() {
       flags_ = d < 0 ? -1 : d > 0 ? 1 : 0;
       break;
     }
-    case Opcode::JMP: next_pc = mod->code_base + ins.rel_target(); break;
-    case Opcode::JE: if (flags_ == 0) next_pc = mod->code_base + ins.rel_target(); break;
-    case Opcode::JNE: if (flags_ != 0) next_pc = mod->code_base + ins.rel_target(); break;
-    case Opcode::JLT: if (flags_ < 0) next_pc = mod->code_base + ins.rel_target(); break;
-    case Opcode::JLE: if (flags_ <= 0) next_pc = mod->code_base + ins.rel_target(); break;
-    case Opcode::JGT: if (flags_ > 0) next_pc = mod->code_base + ins.rel_target(); break;
-    case Opcode::JGE: if (flags_ >= 0) next_pc = mod->code_base + ins.rel_target(); break;
+    case Opcode::JMP: next_pc = mod.code_base + ins.rel_target(); break;
+    case Opcode::JE: if (flags_ == 0) next_pc = mod.code_base + ins.rel_target(); break;
+    case Opcode::JNE: if (flags_ != 0) next_pc = mod.code_base + ins.rel_target(); break;
+    case Opcode::JLT: if (flags_ < 0) next_pc = mod.code_base + ins.rel_target(); break;
+    case Opcode::JLE: if (flags_ <= 0) next_pc = mod.code_base + ins.rel_target(); break;
+    case Opcode::JGT: if (flags_ > 0) next_pc = mod.code_base + ins.rel_target(); break;
+    case Opcode::JGE: if (flags_ >= 0) next_pc = mod.code_base + ins.rel_target(); break;
     case Opcode::JMP_IND: {
       uint64_t target = static_cast<uint64_t>(R(ins.a));
       if (IsNativeStubAddress(target)) {
         // Tail-jump into a stub: behave like the stub was CALL'd by our
         // caller; the pending return address is already on the stack.
         int64_t ret = 0;
-        if (!Pop(&ret)) return;
+        if (!PopT<kFast>(&ret)) return;
         if (!shadow_.empty()) shadow_.pop_back();
         ExecNative(NativeStubIndex(target), static_cast<uint64_t>(ret));
         return;
@@ -310,19 +450,19 @@ void Process::Step() {
       break;
     }
     case Opcode::CALL: {
-      uint64_t target = mod->code_base + ins.rel_target();
-      if (!Push(static_cast<int64_t>(next_pc))) return;
+      uint64_t target = mod.code_base + ins.rel_target();
+      if (!PushT<kFast>(static_cast<int64_t>(next_pc))) return;
       shadow_.push_back(Frame{target, next_pc});
       next_pc = target;
       break;
     }
     case Opcode::CALL_SYM: {
-      if (ins.u16 >= mod->object.imports.size()) {
+      if (ins.u16 >= mod.object.imports.size()) {
         Fault(Signal::Ill, "import index out of range");
         return;
       }
-      Target target = loader_.Resolve(mod->index, ins.u16);
-      DispatchCall(target, next_pc, mod->object.imports[ins.u16]);
+      Target target = loader_.Resolve(mod.index, ins.u16);
+      DispatchCall(target, next_pc, mod.object.imports[ins.u16]);
       return;
     }
     case Opcode::CALL_IND: {
@@ -337,7 +477,7 @@ void Process::Step() {
     }
     case Opcode::RET: {
       int64_t ret = 0;
-      if (!Pop(&ret)) return;
+      if (!PopT<kFast>(&ret)) return;
       if (!shadow_.empty()) shadow_.pop_back();
       if (static_cast<uint64_t>(ret) == kExitSentinel) {
         state_ = ProcState::Exited;
@@ -348,14 +488,17 @@ void Process::Step() {
       break;
     }
     case Opcode::SYSCALL: {
-      auto it = syscall_targets_.find(ins.u16);
-      if (it == syscall_targets_.end()) {
+      // Flat array indexed by syscall number; 0 = no handler (module code
+      // bases start above the null page, so 0 is never a real target).
+      uint64_t target =
+          ins.u16 < syscall_targets_.size() ? syscall_targets_[ins.u16] : 0;
+      if (target == 0) {
         R(Reg::R0) = -E_NOSYS;
         break;
       }
-      if (!Push(static_cast<int64_t>(next_pc))) return;
-      shadow_.push_back(Frame{it->second, next_pc});
-      next_pc = it->second;
+      if (!PushT<kFast>(static_cast<int64_t>(next_pc))) return;
+      shadow_.push_back(Frame{target, next_pc});
+      next_pc = target;
       break;
     }
     case Opcode::KCALL: {
@@ -390,5 +533,10 @@ void Process::Step() {
   }
   pc_ = next_pc;
 }
+
+template void Process::ExecuteInstr<false>(const isa::Instr&,
+                                           const LoadedModule&);
+template void Process::ExecuteInstr<true>(const isa::Instr&,
+                                          const LoadedModule&);
 
 }  // namespace lfi::vm

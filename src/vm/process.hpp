@@ -1,10 +1,20 @@
 // Process: one executing program — registers, stack/heap/TLS, the
 // fetch-decode-execute loop, and the shadow call stack used for the
 // stack-trace triggers of the scenario language (§4).
+//
+// Two execution engines share one instruction-semantics implementation:
+//   - Predecoded (default): a fused run loop that fetches from the
+//     loader's CodeCache streams (decode-once), binds the current module
+//     by address arithmetic, and serves stack/heap/TLS/module memory
+//     through O(1) region arithmetic (`FastMemPtr`), falling back to
+//     AddressSpace for anything else.
+//   - Reference: the original decode-per-step path (`Step()` +
+//     AddressSpace lookups), kept so differential tests and
+//     bench_interp_throughput can prove the fast engine bit-identical
+//     and measure its speedup.
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -21,6 +31,10 @@ enum class ProcState { Runnable, Blocked, Exited, Faulted };
 
 enum class Signal { None, Segv, Abort, Ill };
 
+/// Which interpreter loop Run() uses. Both are bit-identical in behavior
+/// (test-enforced); Reference exists as the differential baseline.
+enum class ExecMode { Predecoded, Reference };
+
 const char* SignalName(Signal s);
 
 /// One shadow-stack entry: the function that was entered and where it will
@@ -33,13 +47,14 @@ struct Frame {
 class Process final : public kernel::KernelContext {
  public:
   Process(int pid, Loader& loader, kernel::KernelRuntime& kernel,
-          const std::map<uint16_t, uint64_t>& syscall_targets,
+          const std::vector<uint64_t>& syscall_targets,
           uint64_t heap_cap_bytes);
 
   /// Point the process at its entry and push the exit sentinel.
   void Start(uint64_t entry_addr);
 
-  /// Execute one instruction (or one native stub invocation).
+  /// Execute one instruction (or one native stub invocation) on the
+  /// reference decode-per-step path.
   void Step();
 
   /// Run until the process blocks, terminates, or `budget` instructions ran.
@@ -61,6 +76,9 @@ class Process final : public kernel::KernelContext {
   }
 
   void set_coverage(CoverageTracker* tracker) { coverage_ = tracker; }
+
+  ExecMode exec_mode() const { return exec_mode_; }
+  void set_exec_mode(ExecMode mode) { exec_mode_ = mode; }
 
   // -- KernelContext --------------------------------------------------------
   int64_t reg(isa::Reg r) const override {
@@ -105,10 +123,29 @@ class Process final : public kernel::KernelContext {
                     const std::string& symbol);
   void ExecNative(size_t native_id, uint64_t ret_addr);
 
+  /// The fused decode-once loop behind Run() in Predecoded mode.
+  uint64_t RunPredecoded(uint64_t budget);
+
+  /// Execute one already-decoded instruction: coverage, semantics, pc
+  /// advance. `kFast` selects arithmetic memory access (with AddressSpace
+  /// fallback) vs pure AddressSpace lookups — semantics are identical.
+  template <bool kFast>
+  void ExecuteInstr(const isa::Instr& ins, const LoadedModule& mod);
+
+  /// Backing pointer for [addr, addr+len) by layout arithmetic, or nullptr
+  /// when the range is outside stack/heap/TLS/module segments (callers
+  /// fall back to AddressSpace, which reproduces the reference verdict).
+  uint8_t* FastMemPtr(uint64_t addr, uint64_t len, bool for_write);
+
+  template <bool kFast> bool ReadU64(uint64_t addr, uint64_t* out);
+  template <bool kFast> bool WriteU64(uint64_t addr, uint64_t value);
+  template <bool kFast> bool PushT(int64_t v);
+  template <bool kFast> bool PopT(int64_t* v);
+
   int pid_;
   Loader& loader_;
   kernel::KernelRuntime& kernel_;
-  const std::map<uint16_t, uint64_t>& syscall_targets_;
+  const std::vector<uint64_t>& syscall_targets_;
 
   int64_t regs_[isa::kNumRegs] = {};
   int flags_ = 0;  // sign of last CMP: -1 / 0 / +1
@@ -119,6 +156,7 @@ class Process final : public kernel::KernelContext {
   bool pending_exit_ = false;
   std::string fault_message_;
   uint64_t instructions_ = 0;
+  ExecMode exec_mode_ = ExecMode::Predecoded;
 
   AddressSpace space_;
   std::vector<uint8_t> stack_mem_;

@@ -1,0 +1,237 @@
+// Differential tests for the predecoded execution engine: every tier-1
+// workload must behave bit-identically on the fused decode-once loop
+// (ExecMode::Predecoded) and the reference decode-per-step path
+// (ExecMode::Reference) — instruction counts, exit codes, faults, coverage
+// bitmaps, and injection logs. Plus code-cache lifecycle tests across
+// interposition reinstall, Machine::Reset, and post-run module loads.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "apps/dbserver.hpp"
+#include "apps/workloads.hpp"
+#include "core/controller.hpp"
+#include "core/scenario_gen.hpp"
+#include "libc/libc_builder.hpp"
+#include "test_helpers.hpp"
+#include "vm/machine.hpp"
+
+namespace lfi {
+namespace {
+
+using isa::CodeBuilder;
+using isa::Reg;
+
+/// Everything an engine run can observably produce.
+struct ExecOutcome {
+  vm::ProcState state = vm::ProcState::Exited;
+  int64_t exit_code = 0;
+  vm::Signal signal = vm::Signal::None;
+  std::string fault_message;
+  uint64_t total_instructions = 0;
+  uint64_t proc_instructions = 0;
+  std::vector<std::vector<uint32_t>> coverage;  // per module index
+  std::vector<std::string> injections;          // formatted log records
+  std::string replay_xml;
+};
+
+void ExpectIdentical(const ExecOutcome& pre, const ExecOutcome& ref) {
+  EXPECT_EQ(pre.state, ref.state);
+  EXPECT_EQ(pre.exit_code, ref.exit_code);
+  EXPECT_EQ(pre.signal, ref.signal);
+  EXPECT_EQ(pre.fault_message, ref.fault_message);
+  EXPECT_EQ(pre.total_instructions, ref.total_instructions);
+  EXPECT_EQ(pre.proc_instructions, ref.proc_instructions);
+  EXPECT_EQ(pre.coverage, ref.coverage);
+  EXPECT_EQ(pre.injections, ref.injections);
+  EXPECT_EQ(pre.replay_xml, ref.replay_xml);
+}
+
+std::vector<std::string> FormatLog(const core::InjectionLog& log) {
+  std::vector<std::string> out;
+  for (const core::InjectionRecord& r : log.records()) {
+    std::string line = log.function_name(r);
+    line += " call=" + std::to_string(r.call_number);
+    if (r.has_retval) line += " ret=" + std::to_string(r.retval);
+    if (r.errno_value) line += " errno=" + std::to_string(*r.errno_value);
+    if (r.call_original) line += " orig";
+    for (const auto& [idx, v] : r.modified_args) {
+      line += " arg" + std::to_string(idx) + "=" + std::to_string(v);
+    }
+    out.push_back(std::move(line));
+  }
+  return out;
+}
+
+/// One DB-suite regression run under a random libc faultload.
+ExecOutcome RunDbSuiteOnce(vm::ExecMode mode, uint64_t seed) {
+  vm::Machine machine;
+  machine.SetExecMode(mode);
+  apps::DbSuiteMachineSetup()(machine);
+  vm::CoverageTracker* cov = machine.EnableCoverage();
+  core::Controller controller(machine);
+  core::Plan plan = core::GenerateRandom(apps::LibcProfiles(), 0.3, seed);
+  EXPECT_TRUE(controller.Install(plan, apps::LibcProfiles()).ok());
+  auto pid = machine.CreateProcess(apps::kDbTestEntry);
+  ExecOutcome out;
+  if (!pid.ok()) return out;
+  auto info = machine.RunToCompletion(pid.value(), 50'000'000);
+  out.state = info.state;
+  out.exit_code = info.exit_code;
+  out.signal = info.signal;
+  out.fault_message = info.fault_message;
+  out.total_instructions = machine.total_instructions();
+  out.proc_instructions = machine.process(pid.value())->instructions();
+  for (size_t m = 0; m < cov->module_count(); ++m) {
+    out.coverage.push_back(cov->executed(m).ToOffsets());
+  }
+  out.injections = FormatLog(controller.log());
+  out.replay_xml = controller.GenerateReplay().ToXml();
+  return out;
+}
+
+TEST(ExecDiff, DbSuiteIdenticalAcrossEngines) {
+  for (uint64_t seed : {7u, 21u, 93u, 400u}) {
+    ExecOutcome pre = RunDbSuiteOnce(vm::ExecMode::Predecoded, seed);
+    ExecOutcome ref = RunDbSuiteOnce(vm::ExecMode::Reference, seed);
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    ExpectIdentical(pre, ref);
+    EXPECT_GT(pre.total_instructions, 0u);
+  }
+}
+
+/// The Pidgin scenario through the public workload driver, switching the
+/// engine via the LFI_EXEC environment override the driver's machines
+/// obey. Both legs set the variable explicitly (an inherited
+/// LFI_EXEC=reference must not turn the Predecoded leg into
+/// reference-vs-reference), and the caller's value is restored after.
+apps::PidginRunResult RunPidginInMode(vm::ExecMode mode, uint64_t seed) {
+  const char* prev = getenv("LFI_EXEC");
+  std::string saved = prev ? prev : "";
+  setenv("LFI_EXEC",
+         mode == vm::ExecMode::Reference ? "reference" : "predecoded", 1);
+  apps::PidginRunResult r = apps::RunPidginRandomIo(0.1, seed);
+  if (prev) {
+    setenv("LFI_EXEC", saved.c_str(), 1);
+  } else {
+    unsetenv("LFI_EXEC");
+  }
+  return r;
+}
+
+TEST(ExecDiff, PidginScenarioIdenticalAcrossEngines) {
+  bool any_abort = false;
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    apps::PidginRunResult pre = RunPidginInMode(vm::ExecMode::Predecoded, seed);
+    apps::PidginRunResult ref = RunPidginInMode(vm::ExecMode::Reference, seed);
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    EXPECT_EQ(pre.aborted, ref.aborted);
+    EXPECT_EQ(pre.deadlocked, ref.deadlocked);
+    EXPECT_EQ(pre.exit_code, ref.exit_code);
+    EXPECT_EQ(pre.fault_message, ref.fault_message);
+    EXPECT_EQ(pre.injections, ref.injections);
+    EXPECT_EQ(pre.replay.ToXml(), ref.replay.ToXml());
+    any_abort |= pre.aborted;
+  }
+  // The bug should still fire somewhere in this seed range on both engines.
+  EXPECT_TRUE(any_abort);
+}
+
+// ---- code-cache lifecycle ----------------------------------------------------
+
+sso::SharedObject TwiceApp() {
+  CodeBuilder b;
+  b.begin_function("twice");
+  b.mov_ri(Reg::R0, 7);
+  b.leave_ret();
+  b.end_function();
+  b.begin_function("main");
+  b.call_sym("twice");  // through the PLT: interposable
+  b.leave_ret();
+  b.end_function();
+  return sso::FromCodeUnit("app.so", b.Finish());
+}
+
+TEST(CodeCache, SurvivesReinstallAndReset) {
+  vm::Machine machine;
+  machine.SetExecMode(vm::ExecMode::Predecoded);
+  machine.Load(libc::BuildLibc());
+  machine.Load(TwiceApp());
+
+  EXPECT_EQ(test::RunEntry(machine, "main").exit_code, 7);
+
+  // Interposition reinstall bumps the loader generation: resolution must
+  // change while the predecoded streams stay valid.
+  machine.loader().RegisterNative(
+      "twice", [](vm::NativeFrame&) { return vm::NativeAction::Ret(99); });
+  machine.Reset();
+  EXPECT_EQ(test::RunEntry(machine, "main").exit_code, 99);
+
+  // Uninstalling (ClearNatives) must re-resolve to the original again.
+  machine.loader().ClearNatives();
+  machine.Reset();
+  EXPECT_EQ(test::RunEntry(machine, "main").exit_code, 7);
+
+  // A module loaded after processes have run gets its stream on demand.
+  CodeBuilder b2;
+  b2.begin_function("entry2");
+  b2.mov_ri(Reg::R0, 42);
+  b2.leave_ret();
+  b2.end_function();
+  machine.Load(sso::FromCodeUnit("late.so", b2.Finish()));
+  machine.Reset();
+  EXPECT_EQ(test::RunEntry(machine, "entry2").exit_code, 42);
+
+  // Stream invariants: every module has a stream whose slot<->offset maps
+  // round-trip.
+  const vm::Loader& loader = machine.loader();
+  for (const auto& mod : loader.modules()) {
+    const vm::CodeCache::ModuleStream* stream =
+        loader.code_cache().stream(mod->index);
+    ASSERT_NE(stream, nullptr) << mod->object.name;
+    ASSERT_FALSE(stream->instrs.empty()) << mod->object.name;
+    ASSERT_EQ(stream->slot_of_offset.size(), mod->object.code.size());
+    for (uint32_t slot = 0; slot < stream->instrs.size(); ++slot) {
+      EXPECT_EQ(stream->slot_of_offset[stream->instrs[slot].offset], slot);
+    }
+  }
+}
+
+/// A jump into the middle of an instruction has no predecoded slot; the
+/// fallback decoder must produce the exact reference fault.
+TEST(CodeCache, MidInstructionJumpMatchesReference) {
+  auto build = [] {
+    CodeBuilder b;
+    b.begin_function("main");
+    // Prologue is 5 bytes (push bp; mov bp, sp); this MOV_RI sits at
+    // offset 5, so its imm64 begins at offset 7. The low imm byte 0xFF is
+    // not a valid opcode — jumping there must SIGILL identically on both
+    // engines.
+    b.mov_ri(Reg::R2, 0xFF);
+    b.mov_ri(Reg::R3,
+             static_cast<int64_t>(vm::ModuleCodeBase(1) + 7));
+    b.jmp_ind(Reg::R3);
+    b.leave_ret();
+    b.end_function();
+    return sso::FromCodeUnit("app.so", b.Finish());
+  };
+  auto run = [&](vm::ExecMode mode) {
+    vm::Machine machine;  // kernel is module 0, app is module 1
+    machine.SetExecMode(mode);
+    machine.Load(build());
+    return test::RunEntry(machine, "main");
+  };
+  test::RunResult pre = run(vm::ExecMode::Predecoded);
+  test::RunResult ref = run(vm::ExecMode::Reference);
+  EXPECT_EQ(pre.state, vm::ProcState::Faulted);
+  EXPECT_EQ(pre.state, ref.state);
+  EXPECT_EQ(pre.signal, vm::Signal::Ill);
+  EXPECT_EQ(pre.signal, ref.signal);
+  EXPECT_EQ(pre.fault, ref.fault);
+  EXPECT_NE(pre.fault.find("unknown opcode"), std::string::npos) << pre.fault;
+}
+
+}  // namespace
+}  // namespace lfi

@@ -487,5 +487,75 @@ TEST(Coverage, TracksExecutedOffsetsOnly) {
   }
 }
 
+// ---- regressions --------------------------------------------------------------
+
+TEST(AddressSpace, RejectsWrappingAddressRange) {
+  std::vector<uint8_t> backing(64, 0);
+  AddressSpace space;
+  space.map(Region{0x1000, 64, backing.data(), true, "r"});
+  // addr + len wraps past 2^64 (a register holding -4): must fault, not
+  // alias into the region with the highest base.
+  uint64_t v = 0;
+  EXPECT_FALSE(space.read_u64(UINT64_MAX - 3, &v));
+  EXPECT_FALSE(space.write_u64(UINT64_MAX - 3, 1));
+  EXPECT_FALSE(space.read_u64(UINT64_MAX, &v));
+}
+
+TEST(Process, AllocHeapRejectsOverflowingSize) {
+  auto app = OneFn("main", [](CodeBuilder& b) { b.mov_ri(Reg::R0, 0); });
+  Machine machine;
+  machine.Load(libc::BuildLibc());
+  machine.Load(std::move(app));
+  auto pid = machine.CreateProcess("main", /*heap_cap_bytes=*/1 << 16);
+  ASSERT_TRUE(pid.ok());
+  Process* proc = machine.process(pid.value());
+  // Near-UINT64_MAX requests used to wrap the 16-byte alignment round-up
+  // (or the cursor addition) into a tiny successful grant.
+  EXPECT_EQ(proc->alloc_heap(UINT64_MAX), 0u);
+  EXPECT_EQ(proc->alloc_heap(UINT64_MAX - 7), 0u);
+  EXPECT_EQ(proc->alloc_heap((1 << 16) + 1), 0u);
+  // The failed requests must not have consumed any heap.
+  uint64_t a = proc->alloc_heap(32);
+  EXPECT_EQ(a, kHeapBase);
+  uint64_t b = proc->alloc_heap(1 << 15);
+  EXPECT_EQ(b, kHeapBase + 32);
+}
+
+TEST(Process, NativeFrameArgFaultSurfaces) {
+  // main points SP at the very top of the stack, so the stub's arg(0)
+  // read lands outside the mapped stack: the process must fault instead
+  // of the stub silently receiving 0.
+  CodeBuilder b;
+  b.begin_function("main");
+  b.mov_ri(Reg::SP, static_cast<int64_t>(kStackBase + kStackSize));
+  b.call_sym("probe");
+  b.leave_ret();
+  b.end_function();
+  Machine machine;
+  machine.Load(sso::FromCodeUnit("app.so", b.Finish()));
+  int64_t seen = -1;
+  machine.loader().RegisterNative("probe", [&](NativeFrame& frame) {
+    seen = frame.arg(0);
+    return NativeAction::Ret(0);
+  });
+  test::RunResult r = test::RunEntry(machine, "main");
+  EXPECT_EQ(seen, 0);
+  EXPECT_EQ(r.state, ProcState::Faulted);
+  EXPECT_EQ(r.signal, Signal::Segv);
+  EXPECT_NE(r.fault.find("bad stack read for arg 0 of probe"),
+            std::string::npos)
+      << r.fault;
+}
+
+TEST(Process, UnknownSyscallNumberReturnsNosys) {
+  // Exercises the flat syscall-target table's bounds path (numbers past
+  // the table and unimplemented holes both return -E_NOSYS).
+  auto app = OneFn("main", [](CodeBuilder& b) {
+    b.syscall(9999);
+    // R0 now holds -E_NOSYS; return it.
+  });
+  EXPECT_EQ(RunAndGetExit(std::move(app), "main"), -E_NOSYS);
+}
+
 }  // namespace
 }  // namespace lfi::vm
