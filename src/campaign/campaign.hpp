@@ -124,6 +124,21 @@ struct CampaignOptions {
   bool collect_scenario_coverage = false;
   /// Keep a replay plan per scenario (costs memory on big campaigns).
   bool collect_replays = false;
+  /// Snapshot/restore scenario execution: each worker warms its machine
+  /// once (creates the entry process and runs `warmup_instructions` of
+  /// fault-free prefix), takes a vm::Machine::Snapshot at the fault-window
+  /// entry point, and restores per scenario — O(dirty pages) — instead of
+  /// resetting and rebuilding the process. Reports are bit-identical to
+  /// the cold path (test-enforced); scenarios that override the entry or
+  /// heap cap, or whose plan names the entry symbol itself, fall back to
+  /// cold execution automatically.
+  bool snapshot = false;
+  /// Instructions of fault-free prefix executed before the fault window
+  /// opens (quantum granularity). Applies to cold execution too, so
+  /// snapshot and cold runs of the same scenario stay bit-identical: the
+  /// plan installs only once the prefix has run. 0 = window opens at the
+  /// entry point.
+  uint64_t warmup_instructions = 0;
   core::ControllerOptions controller;
 };
 

@@ -73,6 +73,7 @@ PlanRunner::PlanRunner(
   }
   controller_ =
       std::make_unique<core::Controller>(machine_, options_.controller);
+  PrepareMachineSnapshot(machine_, options_);
 }
 
 ScenarioResult PlanRunner::Run(const core::Plan& plan,

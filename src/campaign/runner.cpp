@@ -13,7 +13,32 @@ using Clock = std::chrono::steady_clock;
 double Seconds(Clock::time_point begin, Clock::time_point end) {
   return std::chrono::duration<double>(end - begin).count();
 }
+
+/// True when the plan names the entry symbol itself. Installing such a
+/// plan shadows the entry with a stub, so the cold path's CreateProcess
+/// (which resolves the entry after Install) refuses to start; a snapshot
+/// restore resolved the entry before any stub existed and would diverge.
+/// Those scenarios always run cold.
+bool PlanNamesEntry(const core::Plan& plan, const std::string& entry) {
+  for (const core::FunctionTrigger& t : plan.triggers) {
+    if (t.function == entry) return true;
+  }
+  return false;
+}
 }  // namespace
+
+bool PrepareMachineSnapshot(vm::Machine& machine,
+                            const CampaignOptions& options) {
+  if (!options.snapshot) return false;
+  machine.Reset();
+  auto pid = machine.CreateProcess(options.entry, options.default_heap_cap);
+  if (!pid.ok()) return false;
+  if (options.warmup_instructions > 0) {
+    machine.Run(options.warmup_instructions);
+  }
+  machine.Snapshot();
+  return true;
+}
 
 ScenarioResult RunScenarioOn(
     vm::Machine& machine, core::Controller& controller,
@@ -23,25 +48,67 @@ ScenarioResult RunScenarioOn(
   ScenarioResult result;
   result.name = scenario.name;
 
-  machine.Reset();
-  controller.Reset();
-
-  auto begin = Clock::now();
-  if (auto st = controller.Install(scenario.plan, profiles); !st.ok()) {
-    result.status = ScenarioStatus::SetupError;
-    result.fault_message = st.error();
-    return result;
-  }
   const std::string& entry =
       scenario.entry.empty() ? options.entry : scenario.entry;
   uint64_t heap_cap = scenario.heap_cap_bytes != 0 ? scenario.heap_cap_bytes
                                                    : options.default_heap_cap;
-  auto pid = machine.CreateProcess(entry, heap_cap);
-  if (!pid.ok()) {
+  // The per-worker snapshot was taken for the campaign-wide entry/heap
+  // configuration; scenarios that deviate from it run cold.
+  bool use_snapshot = options.snapshot && machine.has_snapshot() &&
+                      entry == options.entry &&
+                      heap_cap == options.default_heap_cap &&
+                      !PlanNamesEntry(scenario.plan, entry);
+
+  auto begin = Clock::now();
+  bool setup_failed = false;
+  auto setup_fail = [&](const std::string& error) {
     result.status = ScenarioStatus::SetupError;
-    result.fault_message = pid.error();
-    return result;
+    result.fault_message = error;
+    setup_failed = true;
+  };
+  auto install = [&]() {
+    if (auto st = controller.Install(scenario.plan, profiles); !st.ok()) {
+      setup_fail(st.error());
+    }
+  };
+
+  int primary_pid = 0;
+  if (use_snapshot) {
+    // A snapshot without a live entry process (possible through the raw
+    // Machine API, never through PrepareMachineSnapshot) can't serve
+    // scenarios; run cold.
+    use_snapshot = machine.RestoreSnapshot() && !machine.processes().empty();
   }
+  if (use_snapshot) {
+    // The machine is back at the fault-window entry point (entry process
+    // created, warmup prefix executed); only the plan changes per scenario.
+    controller.Reset();
+    install();
+    if (!setup_failed) primary_pid = machine.processes().front()->pid();
+  } else {
+    machine.Reset();
+    controller.Reset();
+    if (options.warmup_instructions > 0) {
+      // Windowed execution, cold: the fault-free prefix runs before the
+      // plan installs — exactly what a snapshot restore reproduces.
+      auto pid = machine.CreateProcess(entry, heap_cap);
+      if (!pid.ok()) {
+        setup_fail(pid.error());
+      } else {
+        machine.Run(options.warmup_instructions);
+        install();
+        primary_pid = pid.value();
+      }
+    } else {
+      install();
+      if (!setup_failed) {
+        auto pid = machine.CreateProcess(entry, heap_cap);
+        if (!pid.ok()) setup_fail(pid.error());
+        else primary_pid = pid.value();
+      }
+    }
+  }
+  if (setup_failed) return result;
 
   vm::RunOutcome outcome = machine.Run(options.max_instructions);
   result.seconds = Seconds(begin, Clock::now());
@@ -49,7 +116,7 @@ ScenarioResult RunScenarioOn(
   result.injections = controller.log().size();
   if (options.collect_replays) result.replay = controller.GenerateReplay();
 
-  vm::Process* primary = machine.process(pid.value());
+  vm::Process* primary = machine.process(primary_pid);
   result.exit_code = primary->exit_code();
   result.signal = primary->signal();
   result.fault_message = primary->fault_message();
@@ -112,6 +179,10 @@ void CampaignRunner::RunShard(
     if (module_names_out) *module_names_out = module_names;
   }
   core::Controller controller(machine, options_.controller);
+  // Warm once, restore per scenario: the snapshot carries the machine at
+  // the fault-window entry point, so scenarios skip reset + process
+  // construction (and the warmup prefix) entirely.
+  PrepareMachineSnapshot(machine, options_);
 
   for (size_t idx : shard) {
     ScenarioResult& result = (*results)[idx];

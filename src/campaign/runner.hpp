@@ -53,6 +53,17 @@ ScenarioResult RunScenarioOn(
     const std::shared_ptr<const std::vector<core::FaultProfile>>& profiles,
     vm::CoverageTracker* tracker, const std::vector<std::string>& module_names);
 
+/// Warm `machine` to the campaign's fault-window entry point and take the
+/// per-worker snapshot RunScenarioOn restores from: reset, create the
+/// campaign entry process, run `options.warmup_instructions` of fault-free
+/// prefix, snapshot. No-op (returns false, machine untouched beyond a
+/// Reset) when options.snapshot is off or the entry does not resolve — the
+/// scenarios then run cold and report the same SetupError either way.
+/// Call after machine setup + Checkpoint (and EnableCoverage, so the
+/// snapshot carries the prefix's coverage).
+bool PrepareMachineSnapshot(vm::Machine& machine,
+                            const CampaignOptions& options);
+
 class CampaignRunner {
  public:
   CampaignRunner(MachineSetup setup,

@@ -1,5 +1,7 @@
 #include "core/scenario.hpp"
 
+#include <cstdint>
+
 #include "util/errno_table.hpp"
 #include "util/strings.hpp"
 #include "xml/xml.hpp"
@@ -89,36 +91,75 @@ Result<Plan> Plan::FromXml(std::string_view text) {
   const xml::Node& root = *parsed.value();
   if (root.name() != "plan") return Err("plan: root must be <plan>");
   Plan plan;
-  plan.seed = static_cast<uint64_t>(root.attr_int("seed").value_or(1));
+  // Every attribute is validated, not best-effort coerced: a malformed
+  // plan must fail loudly here instead of silently running a different
+  // scenario (a mis-parsed probability or call count corrupts exactly the
+  // replay/minimization artifacts the explorer persists).
+  if (auto seed = root.attr("seed")) {
+    if (!ParseUint(*seed, &plan.seed)) {
+      return Err("plan: bad seed \"" + *seed + "\" (want a uint64)");
+    }
+  }
   for (const xml::Node* fn : root.children_named("function")) {
     FunctionTrigger t;
     t.function = fn->attr_or("name", "");
     if (t.function.empty()) return Err("plan: <function> without name");
-    if (auto inject = fn->attr_int("inject")) {
+    if (auto inject = fn->attr("inject")) {
       t.mode = FunctionTrigger::Mode::CallCount;
-      t.inject_call = static_cast<uint64_t>(*inject);
+      if (!ParseUint(*inject, &t.inject_call)) {
+        return Err("plan: bad inject \"" + *inject + "\" for " + t.function +
+                   " (want a uint64 call number)");
+      }
+      if (t.inject_call == 0) {
+        return Err("plan: inject must be >= 1 for " + t.function +
+                   " (call counts are 1-based)");
+      }
     } else if (auto prob = fn->attr("probability")) {
       t.mode = FunctionTrigger::Mode::Probability;
-      t.probability = std::atof(prob->c_str());
+      if (!ParseDouble(*prob, &t.probability) || t.probability < 0.0 ||
+          t.probability > 1.0) {
+        return Err("plan: bad probability \"" + *prob + "\" for " +
+                   t.function + " (want a number in [0,1])");
+      }
     } else {
       std::string mode = fn->attr_or("mode", "always");
       if (mode == "always") t.mode = FunctionTrigger::Mode::Always;
       else if (mode == "rotate") t.mode = FunctionTrigger::Mode::Rotate;
       else return Err("plan: bad trigger mode " + mode);
     }
-    if (auto rv = fn->attr_int("retval")) t.retval = *rv;
+    if (auto rv = fn->attr("retval")) {
+      int64_t value = 0;
+      if (!ParseInt(*rv, &value)) {
+        return Err("plan: bad retval \"" + *rv + "\" for " + t.function +
+                   " (want an int64)");
+      }
+      t.retval = value;
+    }
     if (auto en = fn->attr("errno")) {
       auto value = ErrnoFromName(*en);
       if (!value) {
         int64_t raw = 0;
-        if (!ParseInt(*en, &raw)) return Err("plan: bad errno " + *en);
+        if (!ParseInt(*en, &raw) || raw < INT32_MIN || raw > INT32_MAX) {
+          return Err("plan: bad errno " + *en);
+        }
         value = static_cast<int32_t>(raw);
       }
       t.errno_value = *value;
     }
-    t.call_original = fn->attr_or("calloriginal", "false") == "true";
-    t.max_injections =
-        static_cast<int>(fn->attr_int("maxinjections").value_or(-1));
+    std::string call_original = fn->attr_or("calloriginal", "false");
+    if (call_original != "true" && call_original != "false") {
+      return Err("plan: bad calloriginal \"" + call_original + "\" for " +
+                 t.function + " (want true or false)");
+    }
+    t.call_original = call_original == "true";
+    if (auto mi = fn->attr("maxinjections")) {
+      int64_t value = 0;
+      if (!ParseInt(*mi, &value) || value < -1 || value > INT32_MAX) {
+        return Err("plan: bad maxinjections \"" + *mi + "\" for " +
+                   t.function + " (want -1 for unlimited, or a count)");
+      }
+      t.max_injections = static_cast<int>(value);
+    }
     if (const xml::Node* st = fn->child("stacktrace")) {
       for (const xml::Node* frame : st->children_named("frame")) {
         FrameCondition cond;
@@ -135,12 +176,24 @@ Result<Plan> Plan::FromXml(std::string_view text) {
     }
     for (const xml::Node* mod : fn->children_named("modify")) {
       ArgModification m;
-      m.argument = static_cast<int>(mod->attr_int("argument").value_or(0));
+      std::string argument = mod->attr_or("argument", "");
+      int64_t arg_index = 0;
+      if (!ParseInt(argument, &arg_index) || arg_index < 1 ||
+          arg_index > kMaxModifyArgument) {
+        return Err("plan: bad modify argument \"" + argument + "\" for " +
+                   t.function + " (want 1.." +
+                   std::to_string(kMaxModifyArgument) + ")");
+      }
+      m.argument = static_cast<int>(arg_index);
       auto op = ArgOpFromName(mod->attr_or("op", "set"));
       if (!op) return Err("plan: bad modify op");
       m.op = *op;
-      m.value = mod->attr_int("value").value_or(0);
-      if (m.argument <= 0) return Err("plan: modify argument must be >= 1");
+      if (auto value = mod->attr("value")) {
+        if (!ParseInt(*value, &m.value)) {
+          return Err("plan: bad modify value \"" + *value + "\" for " +
+                     t.function + " (want an int64)");
+        }
+      }
       t.modifications.push_back(m);
     }
     plan.triggers.push_back(std::move(t));

@@ -30,6 +30,12 @@
 
 namespace lfi::core {
 
+/// Highest argument index a <modify> may name. Arguments live at SP + 8*i
+/// at stub entry, so a runaway index (or one wrapped through a narrowing
+/// cast) would read far past any real frame; plans that need more than
+/// this many arguments do not exist.
+inline constexpr int kMaxModifyArgument = 255;
+
 struct ArgModification {
   int argument = 0;  // 1-based, as in the paper's example
   enum class Op { Add, Sub, Set, And, Or, Xor };

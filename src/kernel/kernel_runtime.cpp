@@ -15,21 +15,38 @@ constexpr int64_t kO_APPEND = 0x400;
 
 KernelRuntime::KernelRuntime() = default;
 
-void KernelRuntime::Checkpoint() {
-  checkpoint_ = Snapshot{files_, listening_};
-}
+void KernelRuntime::Checkpoint() { checkpoint_ = CaptureState(); }
 
 void KernelRuntime::Reset() {
+  if (checkpoint_) {
+    RestoreState(*checkpoint_);
+    return;
+  }
+  // No checkpoint: drop per-run state but keep the configured filesystem
+  // and listening ports (the historical contract — configuration done
+  // before the implicit first-CreateProcess checkpoint must survive).
   fds_.clear();
   next_fd_.clear();
   pipes_.clear();
   sockets_.clear();
   exited_.clear();
   kcalls_ = 0;
-  if (checkpoint_) {
-    files_ = checkpoint_->files;
-    listening_ = checkpoint_->listening;
-  }
+}
+
+KernelRuntime::State KernelRuntime::CaptureState() const {
+  return State{files_,   listening_, fds_,    next_fd_,
+               pipes_,   sockets_,   exited_, kcalls_};
+}
+
+void KernelRuntime::RestoreState(const State& state) {
+  files_ = state.files;
+  listening_ = state.listening;
+  fds_ = state.fds;
+  next_fd_ = state.next_fd;
+  pipes_ = state.pipes;
+  sockets_ = state.sockets;
+  exited_ = state.exited;
+  kcalls_ = state.kcalls;
 }
 
 void KernelRuntime::add_file(const std::string& path,

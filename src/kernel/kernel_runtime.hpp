@@ -53,20 +53,64 @@ enum class FdKind { File, PipeRead, PipeWrite, Socket };
 
 class KernelRuntime {
  public:
+  struct OpenFile {
+    FdKind kind = FdKind::File;
+    std::string path;   // File
+    uint64_t pos = 0;   // File
+    int pipe_id = -1;   // Pipe*
+    int sock_id = -1;   // Socket
+  };
+
+  struct Pipe {
+    std::deque<uint8_t> buf;
+    int readers = 0;
+    int writers = 0;
+  };
+
+  struct Socket {
+    std::deque<uint8_t> rx;
+    std::vector<uint8_t> tx;
+    bool connected = false;
+    bool reset = false;
+  };
+
+  /// The kernel's complete mutable state: filesystem, listening ports, fd
+  /// tables, pipes, sockets, the exit table, and the kcall counter. What
+  /// Checkpoint() pins and what vm::Machine::Snapshot() carries — a
+  /// restored machine resumes mid-run with its descriptors and counters
+  /// exactly as they were.
+  struct State {
+    std::map<std::string, std::vector<uint8_t>> files;
+    std::vector<int64_t> listening;
+    std::map<int, std::map<int64_t, OpenFile>> fds;
+    std::map<int, int64_t> next_fd;
+    std::vector<Pipe> pipes;
+    std::vector<Socket> sockets;
+    std::map<int, int64_t> exited;
+    uint64_t kcalls = 0;
+  };
+
   KernelRuntime();
 
   /// Execute KCALL `number` on behalf of `ctx`. Arguments are in R1..R5.
   KResult Invoke(uint16_t number, KernelContext& ctx);
 
   // -- host-side configuration ---------------------------------------------
-  /// Snapshot the configured filesystem + listening ports. A later Reset()
-  /// restores this snapshot, so one configured kernel can serve many runs.
+  /// Snapshot the full host-side state — filesystem and listening ports,
+  /// but also fd tables, pipes, sockets, the exit table and the kcall
+  /// counter — so a later Reset() restores exactly this point. Typically
+  /// taken at setup time (no descriptors yet), which degenerates to the
+  /// historical filesystem+ports checkpoint.
   void Checkpoint();
   bool has_checkpoint() const { return checkpoint_.has_value(); }
-  /// Drop all per-run state (fd tables, pipes, sockets, exit table, kcall
-  /// counter) and restore the Checkpoint()ed filesystem, if any. Cheap:
-  /// this is what makes a kernel reusable across campaign scenarios.
+  /// Return to the Checkpoint()ed state (or to a pristine kernel when no
+  /// checkpoint was taken). Cheap: this is what makes a kernel reusable
+  /// across campaign scenarios.
   void Reset();
+
+  /// Copy out / reinstate the complete mutable state (snapshot support).
+  State CaptureState() const;
+  void RestoreState(const State& state);
 
   /// Create / overwrite a file in the in-memory FS.
   void add_file(const std::string& path, std::vector<uint8_t> contents);
@@ -101,27 +145,6 @@ class KernelRuntime {
   uint64_t kcall_count() const { return kcalls_; }
 
  private:
-  struct OpenFile {
-    FdKind kind = FdKind::File;
-    std::string path;   // File
-    uint64_t pos = 0;   // File
-    int pipe_id = -1;   // Pipe*
-    int sock_id = -1;   // Socket
-  };
-
-  struct Pipe {
-    std::deque<uint8_t> buf;
-    int readers = 0;
-    int writers = 0;
-  };
-
-  struct Socket {
-    std::deque<uint8_t> rx;
-    std::vector<uint8_t> tx;
-    bool connected = false;
-    bool reset = false;
-  };
-
   // Syscall implementations (args already fetched from ctx).
   KResult DoOpen(KernelContext& ctx);
   KResult DoClose(KernelContext& ctx);
@@ -149,12 +172,8 @@ class KernelRuntime {
   void CloseFd(int pid, int64_t fd);
 
   std::map<std::string, std::vector<uint8_t>> files_;
-  /// Pristine filesystem + ports captured by Checkpoint().
-  struct Snapshot {
-    std::map<std::string, std::vector<uint8_t>> files;
-    std::vector<int64_t> listening;
-  };
-  std::optional<Snapshot> checkpoint_;
+  /// Full state captured by Checkpoint().
+  std::optional<State> checkpoint_;
   std::map<int, std::map<int64_t, OpenFile>> fds_;   // pid -> fd table
   std::map<int, int64_t> next_fd_;
   std::vector<Pipe> pipes_;

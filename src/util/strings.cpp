@@ -1,7 +1,11 @@
 #include "util/strings.hpp"
 
+#include <cctype>
 #include <cerrno>
+#include <charconv>
+#include <cmath>
 #include <cstdarg>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 
@@ -50,24 +54,71 @@ std::string_view Trim(std::string_view text) {
   return text;
 }
 
+namespace {
+
+/// Shared magnitude parser behind ParseInt/ParseUint: an unsigned decimal
+/// or 0x-hex number with no sign, fully consumed. strtoull would accept a
+/// sign and skip interior whitespace ("- 5"); both are malformed here.
+bool ParseMagnitude(const char* start, unsigned long long* out) {
+  if (*start == '-' || *start == '+' ||
+      std::isspace(static_cast<unsigned char>(*start))) {
+    return false;
+  }
+  char* end = nullptr;
+  int base = 10;
+  if (start[0] == '0' && (start[1] == 'x' || start[1] == 'X')) base = 16;
+  errno = 0;
+  *out = std::strtoull(start, &end, base);
+  return errno == 0 && end != start && *end == '\0';
+}
+
+}  // namespace
+
 bool ParseInt(std::string_view text, int64_t* out) {
   text = Trim(text);
   if (text.empty()) return false;
   std::string buf(text);
-  char* end = nullptr;
   bool negative = false;
   const char* start = buf.c_str();
   if (*start == '-') {
     negative = true;
     ++start;
   }
-  int base = 10;
-  if (start[0] == '0' && (start[1] == 'x' || start[1] == 'X')) base = 16;
-  errno = 0;
-  unsigned long long raw = std::strtoull(start, &end, base);
-  if (errno != 0 || end == start || *end != '\0') return false;
-  int64_t value = static_cast<int64_t>(raw);
-  *out = negative ? -value : value;
+  unsigned long long raw = 0;
+  if (!ParseMagnitude(start, &raw)) return false;
+  // Range check instead of a silent two's-complement wrap: values outside
+  // [INT64_MIN, INT64_MAX] are malformed input, not huge negatives.
+  if (negative) {
+    if (raw > uint64_t{1} << 63) return false;
+    *out = raw == uint64_t{1} << 63
+               ? INT64_MIN
+               : -static_cast<int64_t>(raw);
+  } else {
+    if (raw > static_cast<unsigned long long>(INT64_MAX)) return false;
+    *out = static_cast<int64_t>(raw);
+  }
+  return true;
+}
+
+bool ParseUint(std::string_view text, uint64_t* out) {
+  text = Trim(text);
+  if (text.empty()) return false;
+  std::string buf(text);
+  unsigned long long raw = 0;
+  if (!ParseMagnitude(buf.c_str(), &raw)) return false;
+  *out = raw;
+  return true;
+}
+
+bool ParseDouble(std::string_view text, double* out) {
+  text = Trim(text);
+  if (text.empty()) return false;
+  double value = 0;
+  auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(),
+                                   value);
+  if (ec != std::errc() || ptr != text.data() + text.size()) return false;
+  if (!std::isfinite(value)) return false;
+  *out = value;
   return true;
 }
 

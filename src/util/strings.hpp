@@ -18,8 +18,19 @@ std::vector<std::string> Split(std::string_view text, char delim);
 std::string_view Trim(std::string_view text);
 
 /// Parse a signed 64-bit integer (decimal, or hex with 0x prefix).
-/// Returns false on malformed input.
+/// Returns false on malformed input or when the value does not fit in
+/// int64_t (no silent two's-complement wrapping).
 bool ParseInt(std::string_view text, int64_t* out);
+
+/// Parse an unsigned 64-bit integer (decimal, or hex with 0x prefix).
+/// Rejects signs, garbage, and out-of-range values.
+bool ParseUint(std::string_view text, uint64_t* out);
+
+/// Parse a finite double, locale-independently: the decimal separator is
+/// always '.', whatever the host locale says (std::atof is not — a comma
+/// locale silently truncates "0.25" to 0). Returns false on malformed or
+/// non-finite input.
+bool ParseDouble(std::string_view text, double* out);
 
 /// Lower-case hexadecimal rendering with 0x prefix.
 std::string Hex(uint64_t value);

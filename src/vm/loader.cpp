@@ -56,6 +56,9 @@ void Loader::ResetData() {
     // Keep the buffer (processes map its pointer); overwrite contents only.
     std::copy(mod->data_pristine.begin(), mod->data_pristine.end(),
               mod->data_runtime.begin());
+    // This wholesale rewrite bypasses the per-write journal: every page may
+    // now differ from a snapshot image, so the next restore must copy all.
+    mod->data_dirty.MarkAll();
   }
 }
 

@@ -92,6 +92,10 @@ struct LoadedModule {
   // Lazily-bound PLT cache, invalidated when interposition changes.
   mutable std::vector<std::optional<Target>> plt;
   mutable uint64_t plt_generation = 0;
+  /// Dirty-page journal over data_runtime, enabled while a machine
+  /// snapshot exists. Module data is shared by all processes, so the
+  /// journal lives with the module, not with a process.
+  DirtyMap data_dirty;
 };
 
 class Loader {

@@ -1,12 +1,16 @@
 #include "vm/machine.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
 #include "kernel/kernel_image.hpp"
+#include "vm/snapshot.hpp"
 
 namespace lfi::vm {
+
+Machine::~Machine() = default;
 
 Machine::Machine() {
   size_t kidx = loader_.Load(kernel::BuildKernelImage());
@@ -52,6 +56,103 @@ void Machine::Reset() {
   loader_.ResetData();
   kernel_.Reset();
   if (coverage_) coverage_->Clear();
+  // snapshot_ (if any) stays valid: its images are self-contained, and
+  // ResetData marked every data page dirty, so the next RestoreSnapshot
+  // reconstructs processes and copies full images.
+}
+
+void Machine::Snapshot() {
+  auto snap = std::make_unique<MachineSnapshot>();
+  snap->total_instructions = total_instructions_;
+  snap->exit_reported = exit_reported_;
+  snap->module_count = loader_.modules().size();
+  snap->module_data.reserve(snap->module_count);
+  for (const auto& mod : loader_.modules()) {
+    snap->module_data.push_back(mod->data_runtime);
+    mod->data_dirty.Enable(mod->data_runtime.size());
+  }
+  snap->procs.resize(procs_.size());
+  for (size_t i = 0; i < procs_.size(); ++i) {
+    procs_[i]->CaptureSnapshot(&snap->procs[i]);
+  }
+  snap->kernel = kernel_.CaptureState();
+  if (coverage_) snap->coverage = *coverage_;
+  snapshot_ = std::move(snap);
+}
+
+bool Machine::RestoreSnapshot() {
+  if (!snapshot_) return false;
+  const MachineSnapshot& snap = *snapshot_;
+  // Validate before mutating anything: the module set must be the one the
+  // snapshot was taken over (stubs/natives may differ — the controller
+  // owns those — but data section sizes are load-time constants).
+  if (loader_.modules().size() != snap.module_count) return false;
+  for (size_t m = 0; m < snap.module_count; ++m) {
+    if (loader_.modules()[m]->data_runtime.size() !=
+        snap.module_data[m].size()) {
+      return false;
+    }
+  }
+  // Live processes can be restored in place (O(dirty pages)) when they are
+  // exactly the snapshot's processes, possibly plus scenario-spawned extras
+  // (truncated). Anything else — typically after Reset() — rebuilds them
+  // from the full images.
+  bool in_place = procs_.size() >= snap.procs.size();
+  if (in_place) {
+    for (size_t i = 0; i < snap.procs.size(); ++i) {
+      const ProcessSnapshot& ps = snap.procs[i];
+      if (procs_[i]->pid() != ps.pid ||
+          procs_[i]->heap_bytes() != ps.heap.size()) {
+        in_place = false;
+        break;
+      }
+    }
+  }
+
+  for (size_t m = 0; m < snap.module_count; ++m) {
+    LoadedModule& mod = *loader_.modules()[m];
+    if (mod.data_runtime.empty()) continue;
+    if (mod.data_dirty.enabled()) {
+      RestoreDirtyPages(mod.data_dirty, snap.module_data[m].data(),
+                        mod.data_runtime.data(), mod.data_runtime.size());
+    } else {
+      std::copy(snap.module_data[m].begin(), snap.module_data[m].end(),
+                mod.data_runtime.begin());
+      mod.data_dirty.Enable(mod.data_runtime.size());
+    }
+  }
+
+  if (in_place) {
+    procs_.resize(snap.procs.size());
+    for (size_t i = 0; i < snap.procs.size(); ++i) {
+      procs_[i]->RestoreFromSnapshot(snap.procs[i], /*full=*/false);
+    }
+  } else {
+    procs_.clear();
+    for (const ProcessSnapshot& ps : snap.procs) {
+      auto proc = std::make_unique<Process>(ps.pid, loader_, kernel_,
+                                            syscall_targets_, ps.heap.size(),
+                                            &segment_pool_);
+      proc->set_exec_mode(exec_mode_);
+      if (coverage_) proc->set_coverage(coverage_.get());
+      proc->RestoreFromSnapshot(ps, /*full=*/true);
+      procs_.push_back(std::move(proc));
+    }
+  }
+  exit_reported_ = snap.exit_reported;
+  total_instructions_ = snap.total_instructions;
+  kernel_.RestoreState(snap.kernel);
+  if (coverage_) {
+    *coverage_ = snap.coverage;
+    SyncCoverageModules();  // coverage may have been enabled post-snapshot
+  }
+  return true;
+}
+
+void Machine::DropSnapshot() {
+  snapshot_.reset();
+  for (const auto& mod : loader_.modules()) mod->data_dirty.Disable();
+  for (const auto& proc : procs_) proc->DisableDirtyTracking();
 }
 
 Result<int> Machine::CreateProcess(const std::string& entry,
@@ -66,7 +167,8 @@ Result<int> Machine::CreateProcess(const std::string& entry,
   }
   int pid = static_cast<int>(procs_.size()) + 1;
   auto proc = std::make_unique<Process>(pid, loader_, kernel_,
-                                        syscall_targets_, heap_cap_bytes);
+                                        syscall_targets_, heap_cap_bytes,
+                                        &segment_pool_);
   proc->set_exec_mode(exec_mode_);
   proc->Start(target.addr);
   if (coverage_) proc->set_coverage(coverage_.get());

@@ -14,6 +14,8 @@
 
 namespace lfi::vm {
 
+struct MachineSnapshot;
+
 /// Outcome of Machine::Run.
 enum class RunOutcome {
   AllExited,    // every process exited or faulted
@@ -25,6 +27,7 @@ class Machine {
  public:
   /// Loads the kernel image and wires the spawn hook.
   Machine();
+  ~Machine();
 
   Loader& loader() { return loader_; }
   kernel::KernelRuntime& kernel() { return kernel_; }
@@ -67,7 +70,27 @@ class Machine {
   /// kernel filesystem, zeroes counters, and clears coverage. Interposition
   /// stubs are kept (the controller manages those). This is what makes a
   /// Machine reusable across campaign scenarios — reset, not rebuild.
+  /// An existing Snapshot() survives a Reset (the next restore copies full
+  /// images instead of dirty pages).
   void Reset();
+
+  // -- snapshot / restore ----------------------------------------------------
+  /// Capture the complete machine state — every process's registers,
+  /// memory segments and shadow stack, module data sections, the kernel's
+  /// host-side state, coverage, and instruction accounting — and enable
+  /// page-granular dirty tracking on all writable segments. A campaign
+  /// warms the target to its fault-window entry point once, snapshots,
+  /// and then restores per scenario instead of re-running setup.
+  void Snapshot();
+  bool has_snapshot() const { return snapshot_ != nullptr; }
+  /// Return to the Snapshot()ed point. Cost is O(pages written since the
+  /// snapshot or the last restore), not O(address-space size); after a
+  /// Reset() (or with extra spawned processes) it falls back to full-image
+  /// copies. Returns false — machine untouched — when no snapshot exists
+  /// or the loaded module set changed since it was taken.
+  bool RestoreSnapshot();
+  /// Forget the snapshot and stop journaling writes.
+  void DropSnapshot();
 
   /// Round-robin scheduling until every process terminates, deadlock, or
   /// `max_instructions` total were executed.
@@ -100,10 +123,14 @@ class Machine {
   /// the SYSCALL opcode is an index, not a tree search.
   std::vector<uint64_t> syscall_targets_;
   ExecMode exec_mode_ = ExecMode::Predecoded;
+  /// Recycles process stack/heap/TLS buffers across scenarios and spawns
+  /// (declared before procs_ so it outlives them at destruction).
+  SegmentPool segment_pool_;
   std::vector<std::unique_ptr<Process>> procs_;
   std::vector<bool> exit_reported_;
   uint64_t total_instructions_ = 0;
   std::unique_ptr<CoverageTracker> coverage_;
+  std::unique_ptr<MachineSnapshot> snapshot_;
   uint64_t default_heap_cap_ = 1 << 20;
 
   static constexpr uint64_t kQuantum = 2000;

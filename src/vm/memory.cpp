@@ -38,7 +38,27 @@ bool AddressSpace::write(uint64_t addr, const void* src, uint64_t len) {
   const Region* r = find(addr, len);
   if (!r || !r->writable) return false;
   std::memcpy(const_cast<uint8_t*>(r->backing) + (addr - r->base), src, len);
+  if (r->dirty) r->dirty->Mark(addr - r->base, len);
   return true;
+}
+
+size_t DirtyMap::DirtyCount() const {
+  size_t count = 0;
+  for (uint64_t word : words_) {
+    count += static_cast<size_t>(__builtin_popcountll(word));
+  }
+  return count;
+}
+
+void RestoreDirtyPages(DirtyMap& dirty, const uint8_t* from, uint8_t* to,
+                       uint64_t bytes) {
+  dirty.ForEachDirtyPage([&](uint64_t page) {
+    uint64_t off = page << DirtyMap::kPageBits;
+    if (off >= bytes) return;
+    uint64_t len = std::min(DirtyMap::kPageSize, bytes - off);
+    std::memcpy(to + off, from + off, len);
+  });
+  dirty.ClearAll();
 }
 
 bool AddressSpace::read_u64(uint64_t addr, uint64_t* out) const {

@@ -12,6 +12,8 @@
 // An out-of-range access is the synthetic SIGSEGV.
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -51,14 +53,125 @@ inline size_t NativeStubIndex(uint64_t addr) {
   return static_cast<size_t>((addr - kNativeStubBase) / kNativeStubSpacing);
 }
 
+/// Page-granular dirty journal over one memory segment. Inert until
+/// Enable()d (Mark is a no-op), so the interpreter can mark every write
+/// unconditionally and only pays a load+branch when no snapshot exists.
+/// This is what makes Machine::RestoreSnapshot O(dirty pages): restore
+/// copies back only the pages a scenario actually wrote.
+class DirtyMap {
+ public:
+  static constexpr uint64_t kPageBits = 12;  // 4 KiB pages
+  static constexpr uint64_t kPageSize = uint64_t{1} << kPageBits;
+
+  /// Start tracking a segment of `bytes` bytes with all pages clean.
+  void Enable(uint64_t bytes) {
+    pages_ = (bytes + kPageSize - 1) >> kPageBits;
+    words_.assign((pages_ + 63) / 64, 0);
+  }
+  /// Stop tracking; Mark becomes a no-op again.
+  void Disable() {
+    pages_ = 0;
+    words_.clear();
+  }
+  bool enabled() const { return !words_.empty(); }
+
+  /// Record a write of [off, off+len) within the segment. No-op when
+  /// disabled; out-of-range pages are clamped (the caller already
+  /// bounds-checked the access against the segment).
+  void Mark(uint64_t off, uint64_t len) {
+    if (words_.empty() || len == 0) return;
+    uint64_t first = off >> kPageBits;
+    uint64_t last = (off + len - 1) >> kPageBits;
+    if (last >= pages_) last = pages_ == 0 ? 0 : pages_ - 1;
+    for (uint64_t p = first; p <= last && p < pages_; ++p) {
+      words_[p >> 6] |= uint64_t{1} << (p & 63);
+    }
+  }
+
+  /// Mark every page dirty (e.g. after a wholesale rewrite like
+  /// Loader::ResetData, which bypasses the per-write journal).
+  void MarkAll() {
+    if (words_.empty()) return;
+    std::fill(words_.begin(), words_.end(), ~uint64_t{0});
+    if (uint64_t tail = pages_ & 63) {  // keep padding bits clean
+      words_.back() = (uint64_t{1} << tail) - 1;
+    }
+  }
+
+  void ClearAll() { std::fill(words_.begin(), words_.end(), 0); }
+
+  /// Invoke fn(page_index) for every dirty page, ascending.
+  template <typename Fn>
+  void ForEachDirtyPage(Fn&& fn) const {
+    for (size_t w = 0; w < words_.size(); ++w) {
+      uint64_t word = words_[w];
+      while (word != 0) {
+        uint64_t bit = static_cast<uint64_t>(__builtin_ctzll(word));
+        uint64_t page = w * 64 + bit;
+        if (page < pages_) fn(page);
+        word &= word - 1;
+      }
+    }
+  }
+
+  size_t DirtyCount() const;
+
+ private:
+  uint64_t pages_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+/// Copy the dirty pages of `from` (sized `bytes`) into `to`, then clear the
+/// journal. Both buffers must hold at least `bytes` bytes. The workhorse of
+/// snapshot restore: cost is proportional to pages written since the last
+/// restore, not to the segment size.
+void RestoreDirtyPages(DirtyMap& dirty, const uint8_t* from, uint8_t* to,
+                       uint64_t bytes);
+
+/// Recycler for process memory segments (stack/heap/TLS buffers). Cycling
+/// megabyte-sized vectors through the allocator on every process
+/// construction mmap/munmaps them each time — 512 page faults per spawn —
+/// and the pattern degenerates further when a snapshot pins the primary
+/// process's segments between spawns. The pool hands back a previously
+/// released buffer of the same size (one memset, no page-fault storm).
+class SegmentPool {
+ public:
+  /// A zeroed buffer of exactly `bytes` bytes.
+  std::vector<uint8_t> Acquire(uint64_t bytes) {
+    for (size_t i = 0; i < free_.size(); ++i) {
+      if (free_[i].size() == bytes) {
+        std::vector<uint8_t> buffer = std::move(free_[i]);
+        free_.erase(free_.begin() + static_cast<ptrdiff_t>(i));
+        std::fill(buffer.begin(), buffer.end(), uint8_t{0});
+        return buffer;
+      }
+    }
+    return std::vector<uint8_t>(bytes, 0);
+  }
+
+  /// Return a buffer for reuse (dropped beyond a small cap).
+  void Release(std::vector<uint8_t> buffer) {
+    if (buffer.empty() || free_.size() >= kMaxFree) return;
+    free_.push_back(std::move(buffer));
+  }
+
+ private:
+  static constexpr size_t kMaxFree = 16;
+  std::vector<std::vector<uint8_t>> free_;
+};
+
 /// One mapped region. `backing` must outlive the AddressSpace and must not
-/// be resized while mapped.
+/// be resized while mapped. `dirty` (optional) is the segment's dirty
+/// journal; AddressSpace::write records into it so snapshot restores see
+/// writes that bypass the interpreter's fast path (kernel, native stubs,
+/// the reference engine).
 struct Region {
   uint64_t base = 0;
   uint64_t size = 0;
   uint8_t* backing = nullptr;
   bool writable = false;
   std::string name;
+  DirtyMap* dirty = nullptr;
 };
 
 class AddressSpace {

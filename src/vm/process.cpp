@@ -1,9 +1,11 @@
 #include "vm/process.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cstring>
 
 #include "util/strings.hpp"
+#include "vm/snapshot.hpp"
 
 namespace lfi::vm {
 
@@ -20,19 +22,34 @@ const char* SignalName(Signal s) {
   return "?";
 }
 
+namespace {
+std::vector<uint8_t> AcquireSegment(SegmentPool* pool, uint64_t bytes) {
+  return pool ? pool->Acquire(bytes) : std::vector<uint8_t>(bytes, 0);
+}
+}  // namespace
+
 Process::Process(int pid, Loader& loader, kernel::KernelRuntime& kernel,
                  const std::vector<uint64_t>& syscall_targets,
-                 uint64_t heap_cap_bytes)
+                 uint64_t heap_cap_bytes, SegmentPool* pool)
     : pid_(pid),
       loader_(loader),
       kernel_(kernel),
       syscall_targets_(syscall_targets),
-      stack_mem_(kStackSize, 0),
+      pool_(pool),
+      stack_mem_(AcquireSegment(pool, kStackSize)),
       // The heap band ends where TLS begins; a larger cap would overlap
       // the segments and break the layout arithmetic both engines (and
       // AddressSpace resolution order) rely on.
-      heap_mem_(std::min(heap_cap_bytes, kTlsBase - kHeapBase), 0),
-      tls_mem_(kTlsSize, 0) {}
+      heap_mem_(AcquireSegment(pool, std::min(heap_cap_bytes,
+                                              kTlsBase - kHeapBase))),
+      tls_mem_(AcquireSegment(pool, kTlsSize)) {}
+
+Process::~Process() {
+  if (pool_ == nullptr) return;
+  pool_->Release(std::move(stack_mem_));
+  pool_->Release(std::move(heap_mem_));
+  pool_->Release(std::move(tls_mem_));
+}
 
 void Process::Start(uint64_t entry_addr) {
   RemapIfNeeded();
@@ -66,16 +83,21 @@ uint8_t* Process::FastMemPtr(uint64_t addr, uint64_t len, bool for_write) {
   // The synthetic layout is arithmetic (vm/memory.hpp), so the containing
   // segment of almost every access is computable without the AddressSpace
   // region search. Order by access frequency: stack, heap, TLS, modules.
+  // Writes mark the segment's dirty journal (a no-op until a machine
+  // snapshot enables it) so RestoreSnapshot can be O(dirty pages).
   uint64_t off = addr - kStackBase;
   if (off < kStackSize && kStackSize - off >= len) {
+    if (for_write) stack_dirty_.Mark(off, len);
     return stack_mem_.data() + off;
   }
   off = addr - kHeapBase;
   if (off < heap_mem_.size() && heap_mem_.size() - off >= len) {
+    if (for_write) heap_dirty_.Mark(off, len);
     return heap_mem_.data() + off;
   }
   off = addr - kTlsBase;
   if (off < tls_mem_.size() && tls_mem_.size() - off >= len) {
+    if (for_write) tls_dirty_.Mark(off, len);
     return tls_mem_.data() + off;
   }
   if (addr >= kModuleBase) {
@@ -88,6 +110,7 @@ uint8_t* Process::FastMemPtr(uint64_t addr, uint64_t len, bool for_write) {
         uint64_t doff = rel - kModuleDataDelta;
         if (doff < mod.data_runtime.size() &&
             mod.data_runtime.size() - doff >= len) {
+          if (for_write) mod.data_dirty.Mark(doff, len);
           return mod.data_runtime.data() + doff;
         }
       } else if (!for_write && rel < mod.object.code.size() &&
@@ -150,6 +173,65 @@ bool Process::PopT(int64_t* v) {
 bool Process::Push(int64_t v) { return PushT<false>(v); }
 
 bool Process::Pop(int64_t* v) { return PopT<false>(v); }
+
+// -- snapshot support ---------------------------------------------------------
+
+void Process::CaptureSnapshot(ProcessSnapshot* out) {
+  out->pid = pid_;
+  std::copy(std::begin(regs_), std::end(regs_), std::begin(out->regs));
+  out->flags = flags_;
+  out->pc = pc_;
+  out->state = state_;
+  out->signal = signal_;
+  out->exit_code = exit_code_;
+  out->pending_exit = pending_exit_;
+  out->fault_message = fault_message_;
+  out->instructions = instructions_;
+  out->heap_cursor = heap_cursor_;
+  out->shadow = shadow_;
+  out->stack = stack_mem_;
+  out->heap = heap_mem_;
+  out->tls = tls_mem_;
+  // From here on every write is journaled, so restores only touch the
+  // pages a scenario actually dirtied.
+  stack_dirty_.Enable(stack_mem_.size());
+  heap_dirty_.Enable(heap_mem_.size());
+  tls_dirty_.Enable(tls_mem_.size());
+}
+
+void Process::RestoreFromSnapshot(const ProcessSnapshot& snap, bool full) {
+  assert(snap.stack.size() == stack_mem_.size() &&
+         snap.heap.size() == heap_mem_.size() &&
+         snap.tls.size() == tls_mem_.size() &&
+         "snapshot/process segment size mismatch");
+  std::copy(std::begin(snap.regs), std::end(snap.regs), std::begin(regs_));
+  flags_ = snap.flags;
+  pc_ = snap.pc;
+  state_ = snap.state;
+  signal_ = snap.signal;
+  exit_code_ = snap.exit_code;
+  pending_exit_ = snap.pending_exit;
+  fault_message_ = snap.fault_message;
+  instructions_ = snap.instructions;
+  heap_cursor_ = snap.heap_cursor;
+  shadow_ = snap.shadow;
+  auto segment = [&](DirtyMap& dirty, const std::vector<uint8_t>& image,
+                     std::vector<uint8_t>& mem) {
+    if (full || !dirty.enabled()) {
+      std::copy(image.begin(), image.end(), mem.begin());
+      dirty.Enable(mem.size());
+    } else {
+      RestoreDirtyPages(dirty, image.data(), mem.data(), image.size());
+    }
+  };
+  segment(stack_dirty_, snap.stack, stack_mem_);
+  segment(heap_dirty_, snap.heap, heap_mem_);
+  segment(tls_dirty_, snap.tls, tls_mem_);
+  // Force a remap before the next instruction: a reconstructed process has
+  // no address space yet, and the regions' dirty pointers must point at
+  // this process's journals.
+  mapped_generation_ = 0;
+}
 
 // -- NativeFrame --------------------------------------------------------------
 
@@ -252,24 +334,28 @@ uint64_t Process::Run(uint64_t budget) {
 void Process::RemapIfNeeded() {
   if (mapped_generation_ == loader_.generation()) return;
   // (Re)build the address space: shared module images + private segments.
+  // Writable regions carry their segment's dirty journal so writes through
+  // the AddressSpace fallback (kernel, native stubs, reference engine) are
+  // seen by snapshot restores too.
   space_ = AddressSpace();
   for (const auto& mod : loader_.modules()) {
     space_.map(Region{mod->code_base, mod->object.code.size(),
                       const_cast<uint8_t*>(mod->object.code.data()), false,
-                      mod->object.name + ".text"});
+                      mod->object.name + ".text", nullptr});
     if (!mod->data_runtime.empty()) {
       space_.map(Region{mod->data_base, mod->data_runtime.size(),
                         mod->data_runtime.data(), true,
-                        mod->object.name + ".data"});
+                        mod->object.name + ".data", &mod->data_dirty});
     }
   }
-  space_.map(
-      Region{kStackBase, stack_mem_.size(), stack_mem_.data(), true, "stack"});
+  space_.map(Region{kStackBase, stack_mem_.size(), stack_mem_.data(), true,
+                    "stack", &stack_dirty_});
   if (!heap_mem_.empty()) {
-    space_.map(
-        Region{kHeapBase, heap_mem_.size(), heap_mem_.data(), true, "heap"});
+    space_.map(Region{kHeapBase, heap_mem_.size(), heap_mem_.data(), true,
+                      "heap", &heap_dirty_});
   }
-  space_.map(Region{kTlsBase, tls_mem_.size(), tls_mem_.data(), true, "tls"});
+  space_.map(Region{kTlsBase, tls_mem_.size(), tls_mem_.data(), true, "tls",
+                    &tls_dirty_});
   mapped_generation_ = loader_.generation();
 }
 

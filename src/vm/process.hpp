@@ -27,6 +27,8 @@
 
 namespace lfi::vm {
 
+struct ProcessSnapshot;
+
 enum class ProcState { Runnable, Blocked, Exited, Faulted };
 
 enum class Signal { None, Segv, Abort, Ill };
@@ -46,9 +48,12 @@ struct Frame {
 
 class Process final : public kernel::KernelContext {
  public:
+  /// `pool` (optional) recycles the stack/heap/TLS buffers across process
+  /// lifetimes — it must outlive the process.
   Process(int pid, Loader& loader, kernel::KernelRuntime& kernel,
           const std::vector<uint64_t>& syscall_targets,
-          uint64_t heap_cap_bytes);
+          uint64_t heap_cap_bytes, SegmentPool* pool = nullptr);
+  ~Process() override;
 
   /// Point the process at its entry and push the exit sentinel.
   void Start(uint64_t entry_addr);
@@ -68,6 +73,9 @@ class Process final : public kernel::KernelContext {
   const std::string& fault_message() const { return fault_message_; }
   uint64_t instructions() const { return instructions_; }
   uint64_t pc() const { return pc_; }
+  /// Actual heap segment size (the construction-time cap, clamped to the
+  /// heap band). Snapshot restore matches processes by pid + heap size.
+  uint64_t heap_bytes() const { return heap_mem_.size(); }
   const std::vector<Frame>& shadow_stack() const { return shadow_; }
 
   /// Wake a blocked process so the scheduler can retry its syscall.
@@ -108,6 +116,22 @@ class Process final : public kernel::KernelContext {
   Loader& loader() { return loader_; }
   const Loader& loader() const { return loader_; }
 
+  // -- snapshot support ------------------------------------------------------
+  /// Copy the process's full state into `out` and enable dirty-page
+  /// tracking on its stack/heap/TLS so a later restore is O(dirty pages).
+  void CaptureSnapshot(ProcessSnapshot* out);
+  /// Return to the captured state. With `full` set (or when tracking is
+  /// not enabled, e.g. a process rebuilt after Machine::Reset) every
+  /// segment is copied wholesale; otherwise only the pages written since
+  /// the snapshot (or the last restore) are.
+  void RestoreFromSnapshot(const ProcessSnapshot& snap, bool full);
+  /// Stop journaling writes (the owning machine dropped its snapshot).
+  void DisableDirtyTracking() {
+    stack_dirty_.Disable();
+    heap_dirty_.Disable();
+    tls_dirty_.Disable();
+  }
+
  private:
   friend class NativeFrame;
 
@@ -146,6 +170,7 @@ class Process final : public kernel::KernelContext {
   Loader& loader_;
   kernel::KernelRuntime& kernel_;
   const std::vector<uint64_t>& syscall_targets_;
+  SegmentPool* pool_ = nullptr;
 
   int64_t regs_[isa::kNumRegs] = {};
   int flags_ = 0;  // sign of last CMP: -1 / 0 / +1
@@ -162,6 +187,13 @@ class Process final : public kernel::KernelContext {
   std::vector<uint8_t> stack_mem_;
   std::vector<uint8_t> heap_mem_;
   std::vector<uint8_t> tls_mem_;
+  /// Dirty-page journals over the private segments, inert until a machine
+  /// snapshot enables them. Both write paths mark: FastMemPtr directly,
+  /// AddressSpace::write through the Region::dirty pointers wired in
+  /// RemapIfNeeded.
+  DirtyMap stack_dirty_;
+  DirtyMap heap_dirty_;
+  DirtyMap tls_dirty_;
   uint64_t heap_cursor_ = 0;
   uint64_t mapped_generation_ = 0;  // loader generation at last (re)mapping
 

@@ -1,0 +1,63 @@
+// Full-machine snapshot images (vm::Machine::Snapshot / RestoreSnapshot).
+//
+// A MachineSnapshot pins one moment of a warmed-up machine — typically the
+// fault-window entry point of a campaign target: every process's registers,
+// stack/heap/TLS contents and layout cursors, the shadow call stacks, the
+// relocated module data sections, the kernel's complete host-side state
+// (filesystem, descriptors, pipes, sockets, counters), the coverage
+// tracker, and the scheduler's instruction accounting. Taking the snapshot
+// enables page-granular dirty journals (vm::DirtyMap) on every writable
+// segment, so RestoreSnapshot costs O(pages written since the snapshot),
+// not O(address-space size). The images themselves are full copies; only
+// restore is incremental.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/isa.hpp"
+#include "kernel/kernel_runtime.hpp"
+#include "vm/coverage.hpp"
+#include "vm/process.hpp"
+
+namespace lfi::vm {
+
+/// Everything one Process needs to resume from the snapshot point. The
+/// segment images are complete copies; the owning process's dirty journals
+/// decide how much of them a restore actually touches.
+struct ProcessSnapshot {
+  int pid = 0;
+  int64_t regs[isa::kNumRegs] = {};
+  int flags = 0;
+  uint64_t pc = 0;
+  ProcState state = ProcState::Runnable;
+  Signal signal = Signal::None;
+  int64_t exit_code = 0;
+  bool pending_exit = false;
+  std::string fault_message;
+  uint64_t instructions = 0;
+  uint64_t heap_cursor = 0;
+  std::vector<Frame> shadow;
+  std::vector<uint8_t> stack;
+  std::vector<uint8_t> heap;
+  std::vector<uint8_t> tls;
+};
+
+struct MachineSnapshot {
+  uint64_t total_instructions = 0;
+  std::vector<bool> exit_reported;
+  std::vector<ProcessSnapshot> procs;
+  /// Per-module copy of data_runtime (post-relocation, post-warmup),
+  /// indexed by the loader's dense module index.
+  std::vector<std::vector<uint8_t>> module_data;
+  kernel::KernelRuntime::State kernel;
+  /// Coverage tracker contents at the snapshot point (warmup coverage);
+  /// empty when coverage was off.
+  CoverageTracker coverage;
+  /// Number of loaded modules at snapshot time; restore refuses to apply
+  /// a snapshot to a machine whose module set changed.
+  size_t module_count = 0;
+};
+
+}  // namespace lfi::vm

@@ -149,6 +149,115 @@ TEST(Scenario, RejectsMalformedPlans) {
   EXPECT_FALSE(Plan::FromXml("<notaplan />").ok());
 }
 
+// std::atof silently parsed garbage as 0.0 (a trigger that never fires)
+// and was locale-dependent; the parser must reject instead.
+TEST(Scenario, ProbabilityValidation) {
+  EXPECT_FALSE(Plan::FromXml(
+      R"(<plan><function name="f" probability="zero.five" /></plan>)").ok());
+  EXPECT_FALSE(Plan::FromXml(
+      R"(<plan><function name="f" probability="0.5x" /></plan>)").ok());
+  EXPECT_FALSE(Plan::FromXml(
+      R"(<plan><function name="f" probability="1.5" /></plan>)").ok());
+  EXPECT_FALSE(Plan::FromXml(
+      R"(<plan><function name="f" probability="-0.1" /></plan>)").ok());
+  EXPECT_FALSE(Plan::FromXml(
+      R"(<plan><function name="f" probability="nan" /></plan>)").ok());
+  auto plan = Plan::FromXml(
+      R"(<plan><function name="f" probability="1e-3" /></plan>)");
+  ASSERT_TRUE(plan.ok()) << plan.error();
+  EXPECT_DOUBLE_EQ(plan.value().triggers[0].probability, 1e-3);
+}
+
+TEST(Scenario, SeedValidation) {
+  EXPECT_FALSE(Plan::FromXml(R"(<plan seed="-5" />)").ok());
+  EXPECT_FALSE(Plan::FromXml(R"(<plan seed="lots" />)").ok());
+  // The full uint64 range is a valid seed (no int64 wrap on the way).
+  auto plan = Plan::FromXml(R"(<plan seed="18446744073709551615" />)");
+  ASSERT_TRUE(plan.ok()) << plan.error();
+  EXPECT_EQ(plan.value().seed, UINT64_MAX);
+}
+
+TEST(Scenario, InjectValidation) {
+  // Call counts are 1-based: inject="0" can never fire and is a plan bug.
+  EXPECT_FALSE(Plan::FromXml(
+      R"(<plan><function name="f" inject="0" /></plan>)").ok());
+  EXPECT_FALSE(Plan::FromXml(
+      R"(<plan><function name="f" inject="-3" /></plan>)").ok());
+  EXPECT_FALSE(Plan::FromXml(
+      R"(<plan><function name="f" inject="soon" /></plan>)").ok());
+  EXPECT_FALSE(Plan::FromXml(
+      R"(<plan><function name="f" inject="99999999999999999999" /></plan>)").ok());
+}
+
+TEST(Scenario, RetvalAndMaxInjectionsRanges) {
+  // Out-of-int64 retvals used to wrap via static_cast; now malformed.
+  EXPECT_FALSE(Plan::FromXml(
+      R"(<plan><function name="f" inject="1" retval="9223372036854775808" /></plan>)").ok());
+  auto min_rv = Plan::FromXml(
+      R"(<plan><function name="f" inject="1" retval="-9223372036854775808" /></plan>)");
+  ASSERT_TRUE(min_rv.ok()) << min_rv.error();
+  EXPECT_EQ(min_rv.value().triggers[0].retval, INT64_MIN);
+  EXPECT_FALSE(Plan::FromXml(
+      R"(<plan><function name="f" inject="1" maxinjections="-2" /></plan>)").ok());
+  EXPECT_FALSE(Plan::FromXml(
+      R"(<plan><function name="f" inject="1" maxinjections="never" /></plan>)").ok());
+  EXPECT_FALSE(Plan::FromXml(
+      R"(<plan><function name="f" inject="1" maxinjections="3000000000" /></plan>)").ok());
+  auto unlimited = Plan::FromXml(
+      R"(<plan><function name="f" inject="1" maxinjections="-1" /></plan>)");
+  ASSERT_TRUE(unlimited.ok());
+  EXPECT_EQ(unlimited.value().triggers[0].max_injections, -1);
+}
+
+TEST(Scenario, CallOriginalAndModifyValidation) {
+  EXPECT_FALSE(Plan::FromXml(
+      R"(<plan><function name="f" inject="1" calloriginal="maybe" /></plan>)").ok());
+  EXPECT_FALSE(Plan::FromXml(
+      R"(<plan><function name="f" inject="1">)"
+      R"(<modify argument="2" op="set" value="junk" /></function></plan>)").ok());
+  // An argument index above the cap used to wrap through the int cast.
+  EXPECT_FALSE(Plan::FromXml(
+      R"(<plan><function name="f" inject="1">)"
+      R"(<modify argument="4294967297" op="set" value="1" /></function></plan>)").ok());
+  EXPECT_FALSE(Plan::FromXml(
+      R"(<plan><function name="f" inject="1">)"
+      R"(<modify argument="300" op="set" value="1" /></function></plan>)").ok());
+}
+
+// Extreme-but-valid values survive a ToXml -> FromXml -> ToXml round trip
+// byte-identically (what the explorer's persisted corpus depends on).
+TEST(Scenario, ExtremeValuesRoundTrip) {
+  Plan plan;
+  plan.seed = UINT64_MAX;
+  FunctionTrigger t;
+  t.function = "write";
+  t.mode = FunctionTrigger::Mode::CallCount;
+  t.inject_call = uint64_t{1} << 40;
+  t.retval = INT64_MIN;
+  t.errno_value = 9;
+  t.max_injections = 3;
+  ArgModification m;
+  m.argument = kMaxModifyArgument;
+  m.op = ArgModification::Op::Xor;
+  m.value = -1;
+  t.modifications.push_back(m);
+  plan.triggers.push_back(t);
+  FunctionTrigger p;
+  p.function = "read";
+  p.mode = FunctionTrigger::Mode::Probability;
+  p.probability = 0.125;
+  plan.triggers.push_back(p);
+
+  std::string xml = plan.ToXml();
+  auto reparsed = Plan::FromXml(xml);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.error();
+  EXPECT_EQ(reparsed.value().seed, UINT64_MAX);
+  EXPECT_EQ(reparsed.value().triggers[0].inject_call, uint64_t{1} << 40);
+  EXPECT_EQ(reparsed.value().triggers[0].retval, INT64_MIN);
+  EXPECT_DOUBLE_EQ(reparsed.value().triggers[1].probability, 0.125);
+  EXPECT_EQ(reparsed.value().ToXml(), xml);
+}
+
 TEST(Scenario, ArgModificationOps) {
   auto apply = [](ArgModification::Op op, int64_t k, int64_t v) {
     ArgModification m;

@@ -1,0 +1,209 @@
+// Differential tests for snapshot/restore scenario execution: a campaign
+// run with CampaignOptions::snapshot (per-worker warm-once / restore-per-
+// scenario) must produce a bit-identical report to the cold path that
+// resets and rebuilds the machine per scenario — statuses, exit codes,
+// fault messages, instruction counts, injection logs, per-scenario and
+// union coverage bitmaps, crash hashes, and replay XML — on the db-suite
+// and Pidgin targets, for any jobs count, with and without a fault-free
+// warmup prefix, and after Machine::Reset wiped the snapshot's processes.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "apps/dbserver.hpp"
+#include "apps/pidgin.hpp"
+#include "apps/workloads.hpp"
+#include "campaign/explorer.hpp"
+#include "campaign/runner.hpp"
+#include "core/scenario_gen.hpp"
+#include "vm/machine.hpp"
+
+namespace lfi::campaign {
+namespace {
+
+void ExpectResultsIdentical(const ScenarioResult& a, const ScenarioResult& b) {
+  EXPECT_EQ(a.name, b.name);
+  EXPECT_EQ(a.status, b.status);
+  EXPECT_EQ(a.exit_code, b.exit_code);
+  EXPECT_EQ(a.signal, b.signal);
+  EXPECT_EQ(a.fault_message, b.fault_message);
+  EXPECT_EQ(a.injections, b.injections);
+  EXPECT_EQ(a.instructions, b.instructions);
+  EXPECT_EQ(a.covered_offsets, b.covered_offsets);
+  EXPECT_EQ(a.covered_by_module, b.covered_by_module);
+  EXPECT_EQ(a.coverage, b.coverage);
+  EXPECT_EQ(a.fault_frames, b.fault_frames);
+  EXPECT_EQ(a.crash_site_hash, b.crash_site_hash);
+  EXPECT_EQ(a.crash_hash, b.crash_hash);
+  EXPECT_EQ(a.replay.ToXml(), b.replay.ToXml());
+}
+
+void ExpectReportsIdentical(const CampaignReport& a, const CampaignReport& b) {
+  ASSERT_EQ(a.results.size(), b.results.size());
+  for (size_t i = 0; i < a.results.size(); ++i) {
+    SCOPED_TRACE("scenario " + std::to_string(i));
+    ExpectResultsIdentical(a.results[i], b.results[i]);
+  }
+  EXPECT_EQ(a.crashes, b.crashes);
+  EXPECT_EQ(a.deadlocks, b.deadlocks);
+  EXPECT_EQ(a.budget_spent, b.budget_spent);
+  EXPECT_EQ(a.setup_errors, b.setup_errors);
+  EXPECT_EQ(a.total_injections, b.total_injections);
+  EXPECT_EQ(a.total_instructions, b.total_instructions);
+  EXPECT_EQ(a.coverage, b.coverage);  // union bitmaps, module by module
+}
+
+std::vector<Scenario> MakeScenarios(size_t count, double probability,
+                                    uint64_t seed) {
+  const auto& profiles = apps::LibcProfiles();
+  std::vector<Scenario> scenarios;
+  for (size_t i = 0; i < count; ++i) {
+    Scenario s;
+    s.name = "scn-" + std::to_string(i);
+    s.plan = core::GenerateRandom(profiles, probability, DeriveSeed(seed, i));
+    scenarios.push_back(std::move(s));
+  }
+  return scenarios;
+}
+
+CampaignOptions BaseOptions(const std::string& entry) {
+  CampaignOptions opts;
+  opts.jobs = 1;
+  opts.entry = entry;
+  opts.track_coverage = true;
+  opts.collect_scenario_coverage = true;
+  opts.collect_replays = true;
+  return opts;
+}
+
+CampaignReport RunCampaign(const MachineSetup& setup,
+                           const std::vector<Scenario>& scenarios,
+                           CampaignOptions opts) {
+  CampaignRunner runner(setup, apps::LibcProfiles(), opts);
+  return runner.Run(scenarios);
+}
+
+TEST(SnapshotDiff, DbSuiteIdenticalToColdPath) {
+  auto setup = apps::DbSuiteMachineSetup();
+  auto scenarios = MakeScenarios(10, 0.05, 11);
+  CampaignOptions cold = BaseOptions(apps::kDbTestEntry);
+  CampaignOptions snap = cold;
+  snap.snapshot = true;
+  ExpectReportsIdentical(RunCampaign(setup, scenarios, cold),
+                         RunCampaign(setup, scenarios, snap));
+}
+
+TEST(SnapshotDiff, PidginIdenticalToColdPath) {
+  auto setup = apps::PidginMachineSetup();
+  auto scenarios = MakeScenarios(10, 0.1, 23);
+  CampaignOptions cold = BaseOptions(apps::kPidginEntry);
+  CampaignOptions snap = cold;
+  snap.snapshot = true;
+  ExpectReportsIdentical(RunCampaign(setup, scenarios, cold),
+                         RunCampaign(setup, scenarios, snap));
+}
+
+TEST(SnapshotDiff, JobsInvariantUnderSnapshot) {
+  auto setup = apps::DbSuiteMachineSetup();
+  auto scenarios = MakeScenarios(12, 0.05, 31);
+  CampaignOptions opts = BaseOptions(apps::kDbTestEntry);
+  opts.snapshot = true;
+  CampaignReport one = RunCampaign(setup, scenarios, opts);
+  opts.jobs = 4;
+  CampaignReport four = RunCampaign(setup, scenarios, opts);
+  ExpectReportsIdentical(one, four);
+}
+
+// A fault-free warmup prefix moves the fault window; cold execution with
+// the same warmup must match the snapshot run bit for bit (the prefix is
+// re-executed cold, skipped via restore under snapshot).
+TEST(SnapshotDiff, WarmupPrefixIdenticalColdVsSnapshot) {
+  auto setup = apps::DbSuiteMachineSetup();
+  auto scenarios = MakeScenarios(8, 0.1, 47);
+  CampaignOptions cold = BaseOptions(apps::kDbTestEntry);
+  cold.warmup_instructions = 4000;
+  CampaignOptions snap = cold;
+  snap.snapshot = true;
+  CampaignReport cold_report = RunCampaign(setup, scenarios, cold);
+  CampaignReport snap_report = RunCampaign(setup, scenarios, snap);
+  ExpectReportsIdentical(cold_report, snap_report);
+  // The window really moved: every scenario executed at least the prefix.
+  for (const ScenarioResult& r : snap_report.results) {
+    EXPECT_GE(r.instructions, 4000u);
+  }
+}
+
+// Scenario-level entry/heap overrides (and plans that name the entry
+// symbol itself) cannot use the worker snapshot; they must silently fall
+// back to cold execution, not diverge or fail.
+TEST(SnapshotDiff, IncompatibleScenariosFallBackCold) {
+  auto setup = apps::DbSuiteMachineSetup();
+  auto scenarios = MakeScenarios(4, 0.05, 53);
+  scenarios[1].heap_cap_bytes = 1 << 18;  // override: snapshot-incompatible
+  core::FunctionTrigger on_entry;
+  on_entry.function = apps::kDbTestEntry;  // interposes the entry symbol
+  on_entry.mode = core::FunctionTrigger::Mode::CallCount;
+  on_entry.inject_call = 1;
+  on_entry.retval = -1;
+  scenarios[2].plan.triggers.push_back(on_entry);
+  CampaignOptions cold = BaseOptions(apps::kDbTestEntry);
+  CampaignOptions snap = cold;
+  snap.snapshot = true;
+  ExpectReportsIdentical(RunCampaign(setup, scenarios, cold),
+                         RunCampaign(setup, scenarios, snap));
+}
+
+// PlanRunner (the explorer's minimization oracle) shares RunScenarioOn, so
+// one-off plan runs must also be identical under snapshot execution —
+// including right after Machine::Reset invalidated the live processes
+// (PlanRunner's machine is reused across Run calls).
+TEST(SnapshotDiff, PlanRunnerIdenticalAndSurvivesReset) {
+  auto profiles = std::make_shared<const std::vector<core::FaultProfile>>(
+      apps::LibcProfiles());
+  CampaignOptions cold = BaseOptions(apps::kPidginEntry);
+  CampaignOptions snap = cold;
+  snap.snapshot = true;
+  PlanRunner cold_runner(apps::PidginMachineSetup(), profiles, cold);
+  PlanRunner snap_runner(apps::PidginMachineSetup(), profiles, snap);
+  auto scenarios = MakeScenarios(6, 0.1, 61);
+  for (size_t i = 0; i < scenarios.size(); ++i) {
+    SCOPED_TRACE("plan " + std::to_string(i));
+    ScenarioResult a = cold_runner.Run(scenarios[i].plan, scenarios[i].name);
+    ScenarioResult b = snap_runner.Run(scenarios[i].plan, scenarios[i].name);
+    ExpectResultsIdentical(a, b);
+  }
+}
+
+// Explorer end-to-end: coverage-guided rounds + triage + minimization are
+// bit-identical whether scenarios execute cold or via snapshot restore.
+TEST(SnapshotDiff, ExplorerIdenticalUnderSnapshot) {
+  ExplorerOptions eopts;
+  eopts.rounds = 2;
+  eopts.scenarios_per_round = 6;
+  eopts.seed = 5;
+  eopts.campaign = BaseOptions(apps::kPidginEntry);
+  Explorer cold(apps::PidginMachineSetup(), apps::LibcProfiles(), eopts);
+  ExplorerReport cold_report = cold.Explore();
+  eopts.campaign.snapshot = true;
+  Explorer snap(apps::PidginMachineSetup(), apps::LibcProfiles(), eopts);
+  ExplorerReport snap_report = snap.Explore();
+
+  EXPECT_EQ(cold_report.coverage, snap_report.coverage);
+  EXPECT_EQ(cold_report.union_offsets(), snap_report.union_offsets());
+  ASSERT_EQ(cold_report.corpus.size(), snap_report.corpus.size());
+  for (size_t i = 0; i < cold_report.corpus.size(); ++i) {
+    EXPECT_EQ(cold_report.corpus[i].ToXml(), snap_report.corpus[i].ToXml());
+  }
+  ASSERT_EQ(cold_report.crashes.size(), snap_report.crashes.size());
+  for (size_t i = 0; i < cold_report.crashes.size(); ++i) {
+    EXPECT_EQ(cold_report.crashes[i].hash, snap_report.crashes[i].hash);
+    EXPECT_EQ(cold_report.crashes[i].minimized.ToXml(),
+              snap_report.crashes[i].minimized.ToXml());
+    EXPECT_EQ(cold_report.crashes[i].reproduces,
+              snap_report.crashes[i].reproduces);
+  }
+}
+
+}  // namespace
+}  // namespace lfi::campaign

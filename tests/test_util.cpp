@@ -156,6 +156,60 @@ TEST(Strings, ParseIntRejectsGarbage) {
   EXPECT_FALSE(ParseInt("", &v));
   EXPECT_FALSE(ParseInt("abc", &v));
   EXPECT_FALSE(ParseInt("12x", &v));
+  EXPECT_FALSE(ParseInt("-", &v));
+  // strtoull would skip whitespace between the sign and the digits.
+  EXPECT_FALSE(ParseInt("- 5", &v));
+  EXPECT_FALSE(ParseInt("-\t17", &v));
+  EXPECT_FALSE(ParseInt("+5", &v));
+}
+
+TEST(Strings, ParseIntRejectsOverflowInsteadOfWrapping) {
+  int64_t v = 0;
+  ASSERT_TRUE(ParseInt("9223372036854775807", &v));
+  EXPECT_EQ(v, INT64_MAX);
+  ASSERT_TRUE(ParseInt("-9223372036854775808", &v));
+  EXPECT_EQ(v, INT64_MIN);
+  // One past either end used to wrap through the uint64 -> int64 cast.
+  EXPECT_FALSE(ParseInt("9223372036854775808", &v));
+  EXPECT_FALSE(ParseInt("-9223372036854775809", &v));
+  EXPECT_FALSE(ParseInt("0xffffffffffffffff", &v));
+  EXPECT_FALSE(ParseInt("99999999999999999999", &v));
+}
+
+TEST(Strings, ParseUint) {
+  uint64_t v = 0;
+  ASSERT_TRUE(ParseUint("0", &v));
+  EXPECT_EQ(v, 0u);
+  ASSERT_TRUE(ParseUint("18446744073709551615", &v));
+  EXPECT_EQ(v, UINT64_MAX);
+  ASSERT_TRUE(ParseUint("0xffffffffffffffff", &v));
+  EXPECT_EQ(v, UINT64_MAX);
+  ASSERT_TRUE(ParseUint("  17 ", &v));
+  EXPECT_EQ(v, 17u);
+  EXPECT_FALSE(ParseUint("-1", &v));
+  EXPECT_FALSE(ParseUint("+1", &v));
+  EXPECT_FALSE(ParseUint("", &v));
+  EXPECT_FALSE(ParseUint("12x", &v));
+  EXPECT_FALSE(ParseUint("18446744073709551616", &v));
+}
+
+TEST(Strings, ParseDouble) {
+  double d = 0;
+  ASSERT_TRUE(ParseDouble("0.25", &d));
+  EXPECT_DOUBLE_EQ(d, 0.25);
+  ASSERT_TRUE(ParseDouble("1e-3", &d));
+  EXPECT_DOUBLE_EQ(d, 1e-3);
+  ASSERT_TRUE(ParseDouble("-2.5", &d));
+  EXPECT_DOUBLE_EQ(d, -2.5);
+  ASSERT_TRUE(ParseDouble(" 1 ", &d));
+  EXPECT_DOUBLE_EQ(d, 1.0);
+  EXPECT_FALSE(ParseDouble("", &d));
+  EXPECT_FALSE(ParseDouble("zero.five", &d));
+  EXPECT_FALSE(ParseDouble("0.5x", &d));
+  EXPECT_FALSE(ParseDouble("nan", &d));
+  EXPECT_FALSE(ParseDouble("inf", &d));
+  // Locale independence: the separator is '.', never ','.
+  EXPECT_FALSE(ParseDouble("0,5", &d));
 }
 
 TEST(Strings, HexFormatting) {

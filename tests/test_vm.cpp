@@ -547,6 +547,170 @@ TEST(Process, NativeFrameArgFaultSurfaces) {
       << r.fault;
 }
 
+// ---- snapshot / restore -------------------------------------------------------
+
+TEST(DirtyMap, MarksPagesAndIterates) {
+  DirtyMap dm;
+  dm.Enable(3 * DirtyMap::kPageSize + 100);  // 4 pages
+  EXPECT_TRUE(dm.enabled());
+  EXPECT_EQ(dm.DirtyCount(), 0u);
+  dm.Mark(DirtyMap::kPageSize + 5, 8);  // page 1
+  dm.Mark(DirtyMap::kPageSize - 2, 4);  // straddles pages 0 and 1
+  std::vector<uint64_t> pages;
+  dm.ForEachDirtyPage([&](uint64_t p) { pages.push_back(p); });
+  EXPECT_EQ(pages, (std::vector<uint64_t>{0, 1}));
+  dm.ClearAll();
+  EXPECT_EQ(dm.DirtyCount(), 0u);
+  dm.MarkAll();
+  EXPECT_EQ(dm.DirtyCount(), 4u);
+}
+
+TEST(DirtyMap, DisabledIsInert) {
+  DirtyMap dm;
+  EXPECT_FALSE(dm.enabled());
+  dm.Mark(0, 8);  // must be a no-op, not a crash
+  EXPECT_EQ(dm.DirtyCount(), 0u);
+  dm.Enable(DirtyMap::kPageSize);
+  dm.Mark(0, 1);
+  dm.Disable();
+  EXPECT_FALSE(dm.enabled());
+  EXPECT_EQ(dm.DirtyCount(), 0u);
+}
+
+TEST(AddressSpace, WriteMarksRegionDirtyJournal) {
+  std::vector<uint8_t> backing(2 * DirtyMap::kPageSize, 0);
+  DirtyMap dm;
+  dm.Enable(backing.size());
+  AddressSpace space;
+  space.map(Region{0x1000, backing.size(), backing.data(), true, "r", &dm});
+  ASSERT_TRUE(space.write_u64(0x1000 + DirtyMap::kPageSize, 7));
+  std::vector<uint64_t> pages;
+  dm.ForEachDirtyPage([&](uint64_t p) { pages.push_back(p); });
+  EXPECT_EQ(pages, (std::vector<uint64_t>{1}));
+  // Reads do not mark.
+  uint64_t v = 0;
+  ASSERT_TRUE(space.read_u64(0x1000, &v));
+  EXPECT_EQ(dm.DirtyCount(), 1u);
+}
+
+/// A module whose main increments a persistent data slot and exits with
+/// the post-increment value: the run count is observable in module data.
+sso::SharedObject CounterApp() {
+  CodeBuilder b;
+  uint32_t slot = b.reserve_data(8);
+  b.begin_function("main");
+  b.lea_data(Reg::R1, static_cast<int32_t>(slot));
+  b.load(Reg::R0, Reg::R1, 0);
+  b.add_ri(Reg::R0, 1);
+  b.store(Reg::R1, 0, Reg::R0);
+  b.leave_ret();
+  b.end_function();
+  return sso::FromCodeUnit("counter.so", b.Finish());
+}
+
+TEST(MachineSnapshot, RestoreRewindsProcessAndModuleData) {
+  Machine machine;
+  machine.Load(CounterApp());
+  EXPECT_FALSE(machine.RestoreSnapshot());  // nothing to restore yet
+  auto pid = machine.CreateProcess("main");
+  ASSERT_TRUE(pid.ok());
+  machine.Snapshot();
+  ASSERT_TRUE(machine.has_snapshot());
+
+  auto info = machine.RunToCompletion(pid.value());
+  EXPECT_EQ(info.state, ProcState::Exited);
+  EXPECT_EQ(info.exit_code, 1);  // first run: counter 0 -> 1
+  uint64_t first_run_instructions = machine.total_instructions();
+
+  // Without a restore the data increment would persist (counter -> 2);
+  // the snapshot rewinds both the exited process and the module data.
+  for (int round = 0; round < 3; ++round) {
+    ASSERT_TRUE(machine.RestoreSnapshot());
+    info = machine.RunToCompletion(pid.value());
+    EXPECT_EQ(info.state, ProcState::Exited);
+    EXPECT_EQ(info.exit_code, 1);
+    EXPECT_EQ(machine.total_instructions(), first_run_instructions);
+  }
+}
+
+TEST(MachineSnapshot, RestoreAfterResetRebuildsProcesses) {
+  Machine machine;
+  machine.Load(CounterApp());
+  auto pid = machine.CreateProcess("main");
+  ASSERT_TRUE(pid.ok());
+  machine.Snapshot();
+  ASSERT_EQ(machine.RunToCompletion(pid.value()).exit_code, 1);
+
+  machine.Reset();  // destroys processes, rewrites module data wholesale
+  EXPECT_TRUE(machine.processes().empty());
+  ASSERT_TRUE(machine.has_snapshot());
+  ASSERT_TRUE(machine.RestoreSnapshot());
+  ASSERT_EQ(machine.processes().size(), 1u);
+  auto info = machine.RunToCompletion(pid.value());
+  EXPECT_EQ(info.state, ProcState::Exited);
+  EXPECT_EQ(info.exit_code, 1);
+}
+
+TEST(MachineSnapshot, MidRunSnapshotResumesIdentically) {
+  // Loop 5000 times adding 2: long enough that a 1-instruction budget
+  // stops mid-run (the scheduler still executes a full quantum).
+  CodeBuilder b;
+  b.begin_function("main");
+  b.mov_ri(Reg::R0, 0);
+  b.mov_ri(Reg::R2, 5000);
+  CodeBuilder::Label loop = b.new_label();
+  b.bind(loop);
+  b.add_ri(Reg::R0, 2);
+  b.sub_ri(Reg::R2, 1);
+  b.cmp_ri(Reg::R2, 0);
+  b.jgt(loop);
+  b.leave_ret();
+  b.end_function();
+  Machine machine;
+  machine.Load(sso::FromCodeUnit("loop.so", b.Finish()));
+  auto pid = machine.CreateProcess("main");
+  ASSERT_TRUE(pid.ok());
+  ASSERT_EQ(machine.Run(1), RunOutcome::BudgetSpent);  // one quantum
+  uint64_t warm = machine.total_instructions();
+  ASSERT_GT(warm, 0u);
+  machine.Snapshot();
+
+  auto info = machine.RunToCompletion(pid.value());
+  EXPECT_EQ(info.state, ProcState::Exited);
+  EXPECT_EQ(info.exit_code, 10000);
+  uint64_t total = machine.total_instructions();
+
+  ASSERT_TRUE(machine.RestoreSnapshot());
+  EXPECT_EQ(machine.total_instructions(), warm);
+  info = machine.RunToCompletion(pid.value());
+  EXPECT_EQ(info.state, ProcState::Exited);
+  EXPECT_EQ(info.exit_code, 10000);
+  EXPECT_EQ(machine.total_instructions(), total);
+}
+
+TEST(MachineSnapshot, KernelStateAndCoverageRestored) {
+  Machine machine;
+  machine.Load(CounterApp());
+  machine.kernel().add_file("/etc/pinned", {1, 2, 3});
+  CoverageTracker* cov = machine.EnableCoverage();
+  auto pid = machine.CreateProcess("main");
+  ASSERT_TRUE(pid.ok());
+  machine.Snapshot();
+  ASSERT_EQ(cov->covered_total(), 0u);
+
+  machine.RunToCompletion(pid.value());
+  size_t covered = cov->covered_total();
+  EXPECT_GT(covered, 0u);
+  machine.kernel().add_file("/tmp/scratch", {9});
+
+  ASSERT_TRUE(machine.RestoreSnapshot());
+  EXPECT_EQ(cov->covered_total(), 0u);  // coverage rewound to the snapshot
+  EXPECT_TRUE(machine.kernel().has_file("/etc/pinned"));
+  EXPECT_FALSE(machine.kernel().has_file("/tmp/scratch"));
+  machine.RunToCompletion(pid.value());
+  EXPECT_EQ(cov->covered_total(), covered);
+}
+
 TEST(Process, UnknownSyscallNumberReturnsNosys) {
   // Exercises the flat syscall-target table's bounds path (numbers past
   // the table and unimplemented holes both return -E_NOSYS).

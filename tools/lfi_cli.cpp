@@ -407,8 +407,10 @@ int CmdCampaign(const std::vector<std::string>& args) {
       probability = p.value();
     }
     else if (args[i] == "--exhaustive") exhaustive = true;
+    else if (args[i] == "--snapshot") opts.snapshot = true;
     else if (args[i] == "--seed" || args[i] == "--scenarios" ||
-             args[i] == "--jobs" || args[i] == "--budget") {
+             args[i] == "--jobs" || args[i] == "--budget" ||
+             args[i] == "--warmup") {
       std::string flag = args[i];
       uint64_t max =
           (flag == "--scenarios" || flag == "--jobs") ? 1'000'000 : UINT64_MAX;
@@ -421,6 +423,7 @@ int CmdCampaign(const std::vector<std::string>& args) {
         if (v.value() == 0) return Fail("campaign: --budget must be > 0");
         opts.max_instructions = v.value();
       }
+      else if (flag == "--warmup") opts.warmup_instructions = v.value();
     }
     else if (args[i] == "--coverage") {
       // Strict, like --jobs: the flag needs a real value, not another flag.
@@ -574,9 +577,10 @@ int CmdExplore(const std::vector<std::string>& args) {
       eopts.seed_probability = p.value();
     }
     else if (args[i] == "--no-minimize") eopts.minimize_crashes = false;
+    else if (args[i] == "--snapshot") eopts.campaign.snapshot = true;
     else if (args[i] == "--rounds" || args[i] == "--budget" ||
              args[i] == "--seed" || args[i] == "--jobs" ||
-             args[i] == "--instructions") {
+             args[i] == "--instructions" || args[i] == "--warmup") {
       std::string flag = args[i];
       uint64_t max = (flag == "--rounds" || flag == "--budget" ||
                       flag == "--jobs")
@@ -597,6 +601,8 @@ int CmdExplore(const std::vector<std::string>& args) {
       } else if (flag == "--instructions") {
         if (v.value() == 0) return Fail("explore: --instructions must be > 0");
         eopts.campaign.max_instructions = v.value();
+      } else if (flag == "--warmup") {
+        eopts.campaign.warmup_instructions = v.value();
       }
     } else {
       return Fail("explore: unknown argument " + args[i]);
@@ -709,11 +715,12 @@ int main(int argc, char** argv) {
         "       [--scenarios N] [--seed n] [--jobs N] [--shard rr|balanced]\n"
         "       [--entry sym] [--profile xml]... [--lib sso]...\n"
         "       [--file path]... [--coverage report.txt]\n"
-        "       [--budget instructions]\n"
+        "       [--budget instructions] [--snapshot] [--warmup instructions]\n"
         "  explore --app <sso> [--rounds N] [--budget scenarios-per-round]\n"
         "       [--seed n] [--jobs N] [--corpus-dir dir] [--probability p]\n"
         "       [--entry sym] [--profile xml]... [--lib sso]...\n"
-        "       [--file path]... [--instructions N] [--no-minimize]\n");
+        "       [--file path]... [--instructions N] [--no-minimize]\n"
+        "       [--snapshot] [--warmup instructions]\n");
     return 1;
   }
   std::string cmd = args[0];
