@@ -1,16 +1,26 @@
-// Interpreter throughput: predecoded engine vs reference decode-per-step.
+// Interpreter throughput: superblock vs predecoded vs reference engines.
 //
-// Two workloads, each executed once per engine on otherwise-identical
-// machines:
+// Two workloads, each executed per engine on otherwise-identical machines.
+// At full size each engine leg is the best (minimum) wall time of three
+// repeats, interleaved round-robin across engines — preemption on shared
+// hosts only ever adds time, so the min is the robust throughput estimate,
+// and interleaving keeps a noise burst from landing entirely on one
+// engine's repeats. Repeats must agree on the instruction count exactly.
 //   - spin-loop: a synthetic opcode mix (arith, LOAD/STORE to module data,
 //     PUSH/POP, CALL/RET, conditional branch) that isolates raw
 //     fetch/decode/dispatch cost;
 //   - oltp: the Table-4 MySQL/SysBench stand-in, a realistic campaign
 //     workload (syscalls, libc, kernel handlers included).
 //
-// Prints instructions/sec and ns/instr per engine plus the speedup; when
-// LFI_BENCH_JSON names a file, writes the same numbers as JSON so CI can
-// archive the perf trajectory across PRs (BENCH_interp.json artifact).
+// Prints instructions/sec and ns/instr per engine plus speedups; when
+// LFI_BENCH_JSON names a file, writes the same numbers as JSON (one entry
+// per engine, each with a speedup_vs_reference field) so CI can archive
+// the perf trajectory across PRs (BENCH_interp.json artifact).
+//
+// Two regression bars, enforced (non-zero exit) at full size:
+//   - predecoded >= 2x reference on spin-loop (decode-once win);
+//   - superblock >= 2x predecoded on oltp (span-fusion win on the
+//     realistic mix, the PR-6 acceptance bar).
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -42,6 +52,11 @@ struct EngineRun {
                             : 0;
   }
 };
+
+double Speedup(const EngineRun& fast, const EngineRun& base) {
+  return base.instr_per_sec() > 0 ? fast.instr_per_sec() / base.instr_per_sec()
+                                  : 0;
+}
 
 /// The synthetic opcode-mix program: `iters` loop bodies + a bare callee.
 sso::SharedObject BuildSpinLoop(int64_t iters) {
@@ -111,42 +126,93 @@ EngineRun RunOltp(vm::ExecMode mode, int transactions) {
   return run;
 }
 
-void AppendJson(std::string* out, const char* name, const EngineRun& pre,
-                const EngineRun& ref) {
-  char buf[512];
-  std::snprintf(
-      buf, sizeof(buf),
-      "  \"%s\": {\n"
-      "    \"predecoded\": {\"instructions\": %llu, \"seconds\": %.6f, "
-      "\"instr_per_sec\": %.0f, \"ns_per_instr\": %.3f},\n"
-      "    \"reference\": {\"instructions\": %llu, \"seconds\": %.6f, "
-      "\"instr_per_sec\": %.0f, \"ns_per_instr\": %.3f},\n"
-      "    \"speedup\": %.2f\n"
-      "  }",
-      name, (unsigned long long)pre.instructions, pre.seconds,
-      pre.instr_per_sec(), pre.ns_per_instr(),
-      (unsigned long long)ref.instructions, ref.seconds, ref.instr_per_sec(),
-      ref.ns_per_instr(),
-      ref.instr_per_sec() > 0 ? pre.instr_per_sec() / ref.instr_per_sec() : 0);
+/// Fold one more repeat into the per-engine best (minimum time). Every
+/// repeat re-executes the whole deterministic workload, so the instruction
+/// counts must match exactly — a mismatch means the engine lost
+/// determinism, and the bench aborts rather than publish numbers for a
+/// broken engine.
+void Merge(EngineRun* best, const EngineRun& next) {
+  if (best->instructions == 0) {
+    *best = next;
+    return;
+  }
+  if (next.instructions != best->instructions) {
+    std::fprintf(stderr,
+                 "FATAL: instruction count drifted across repeats "
+                 "(%llu vs %llu)\n",
+                 (unsigned long long)best->instructions,
+                 (unsigned long long)next.instructions);
+    std::abort();
+  }
+  if (next.seconds < best->seconds) *best = next;
+}
+
+/// All three engine runs of one workload, reference last (the baseline).
+struct WorkloadRuns {
+  EngineRun superblock;
+  EngineRun predecoded;
+  EngineRun reference;
+};
+
+void AppendEngineJson(std::string* out, const char* engine,
+                      const EngineRun& run, const EngineRun& ref) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "    \"%s\": {\"instructions\": %llu, \"seconds\": %.6f, "
+                "\"instr_per_sec\": %.0f, \"ns_per_instr\": %.3f, "
+                "\"speedup_vs_reference\": %.2f}",
+                engine, (unsigned long long)run.instructions, run.seconds,
+                run.instr_per_sec(), run.ns_per_instr(), Speedup(run, ref));
+  *out += buf;
+}
+
+void AppendJson(std::string* out, const char* name, const WorkloadRuns& w) {
+  *out += "  \"" + std::string(name) + "\": {\n";
+  AppendEngineJson(out, "superblock", w.superblock, w.reference);
+  *out += ",\n";
+  AppendEngineJson(out, "predecoded", w.predecoded, w.reference);
+  *out += ",\n";
+  AppendEngineJson(out, "reference", w.reference, w.reference);
+  *out += ",\n";
+  char buf[128];
+  // Kept from the two-engine era so archived trajectories stay comparable.
+  std::snprintf(buf, sizeof(buf), "    \"speedup\": %.2f\n  }",
+                Speedup(w.predecoded, w.reference));
   *out += buf;
 }
 
 int PrintThroughput() {
   const int64_t spin_iters = bench::Scaled(2'000'000, 20'000);
-  const int oltp_txns = bench::Scaled(2'000, 50);
+  // Full-size OLTP is sized so even the fastest engine runs for tens of
+  // milliseconds per repeat — at 2k transactions the superblock leg
+  // finished in ~6ms, where a single scheduler tick is a double-digit
+  // percentage error on shared hosts.
+  const int oltp_txns = bench::Scaled(20'000, 50);
+  // Smoke runs are about wiring, not timing stability; skip the repeats.
+  const int repeats = bench::Scaled(3, 1);
 
   // Untimed warmup: first-touch page faults and one-time image builds
   // otherwise land on whichever engine happens to run first.
-  RunSpin(vm::ExecMode::Predecoded, 1'000);
-  RunOltp(vm::ExecMode::Predecoded, 10);
+  RunSpin(vm::ExecMode::Superblock, 1'000);
+  RunOltp(vm::ExecMode::Superblock, 10);
 
-  EngineRun spin_pre = RunSpin(vm::ExecMode::Predecoded, spin_iters);
-  EngineRun spin_ref = RunSpin(vm::ExecMode::Reference, spin_iters);
-  EngineRun oltp_pre = RunOltp(vm::ExecMode::Predecoded, oltp_txns);
-  EngineRun oltp_ref = RunOltp(vm::ExecMode::Reference, oltp_txns);
+  // Repeats are interleaved round-robin across engines (not N of one
+  // engine back-to-back) so a noisy period on a shared host degrades
+  // every engine's affected repeat, not whichever engine happened to be
+  // running — the speedup *ratios* are what the bars check.
+  WorkloadRuns spin;
+  WorkloadRuns oltp;
+  for (int rep = 0; rep < repeats; ++rep) {
+    Merge(&spin.superblock, RunSpin(vm::ExecMode::Superblock, spin_iters));
+    Merge(&spin.predecoded, RunSpin(vm::ExecMode::Predecoded, spin_iters));
+    Merge(&spin.reference, RunSpin(vm::ExecMode::Reference, spin_iters));
+    Merge(&oltp.superblock, RunOltp(vm::ExecMode::Superblock, oltp_txns));
+    Merge(&oltp.predecoded, RunOltp(vm::ExecMode::Predecoded, oltp_txns));
+    Merge(&oltp.reference, RunOltp(vm::ExecMode::Reference, oltp_txns));
+  }
 
   auto fmt = [](const char* workload, const char* engine, const EngineRun& r,
-                double speedup) {
+                const EngineRun& ref) {
     std::vector<std::string> row;
     char buf[64];
     row.push_back(workload);
@@ -159,7 +225,8 @@ int PrintThroughput() {
     row.push_back(buf);
     std::snprintf(buf, sizeof(buf), "%.1f", r.ns_per_instr());
     row.push_back(buf);
-    if (speedup > 0) {
+    double speedup = Speedup(r, ref);
+    if (&r != &ref && speedup > 0) {
       std::snprintf(buf, sizeof(buf), "%.2fx", speedup);
       row.push_back(buf);
     } else {
@@ -168,35 +235,39 @@ int PrintThroughput() {
     return row;
   };
 
-  double spin_speedup = spin_ref.instr_per_sec() > 0
-                            ? spin_pre.instr_per_sec() / spin_ref.instr_per_sec()
-                            : 0;
-  double oltp_speedup = oltp_ref.instr_per_sec() > 0
-                            ? oltp_pre.instr_per_sec() / oltp_ref.instr_per_sec()
-                            : 0;
   bench::PrintTable(
-      "Interpreter throughput: predecoded vs reference decode-per-step",
+      "Interpreter throughput: superblock vs predecoded vs reference",
       {{"workload", "engine", "instructions", "seconds", "Minstr/s",
-        "ns/instr", "speedup"},
-       fmt("spin-loop", "reference", spin_ref, 0),
-       fmt("spin-loop", "predecoded", spin_pre, spin_speedup),
-       fmt("oltp", "reference", oltp_ref, 0),
-       fmt("oltp", "predecoded", oltp_pre, oltp_speedup)});
-  // The 2x bar is enforced (non-zero exit) at full size; smoke workloads
-  // are too small for stable timing, so there it only warns. Ratios are
+        "ns/instr", "vs reference"},
+       fmt("spin-loop", "reference", spin.reference, spin.reference),
+       fmt("spin-loop", "predecoded", spin.predecoded, spin.reference),
+       fmt("spin-loop", "superblock", spin.superblock, spin.reference),
+       fmt("oltp", "reference", oltp.reference, oltp.reference),
+       fmt("oltp", "predecoded", oltp.predecoded, oltp.reference),
+       fmt("oltp", "superblock", oltp.superblock, oltp.reference)});
+  // The bars are enforced (non-zero exit) at full size; smoke workloads
+  // are too small for stable timing, so there they only warn. Ratios are
   // robust to absolute machine speed, so this is safe on shared CI.
   int rc = 0;
-  if (spin_speedup < 2.0) {
-    std::printf("%s: spin-loop speedup %.2fx below the 2x regression bar\n",
-                bench::SmokeMode() ? "WARNING" : "FAIL", spin_speedup);
+  double spin_pre = Speedup(spin.predecoded, spin.reference);
+  if (spin_pre < 2.0) {
+    std::printf("%s: spin-loop predecoded speedup %.2fx below the 2x bar\n",
+                bench::SmokeMode() ? "WARNING" : "FAIL", spin_pre);
+    if (!bench::SmokeMode()) rc = 1;
+  }
+  double oltp_sb = Speedup(oltp.superblock, oltp.predecoded);
+  if (oltp_sb < 2.0) {
+    std::printf(
+        "%s: oltp superblock-vs-predecoded speedup %.2fx below the 2x bar\n",
+        bench::SmokeMode() ? "WARNING" : "FAIL", oltp_sb);
     if (!bench::SmokeMode()) rc = 1;
   }
 
   if (const char* path = std::getenv("LFI_BENCH_JSON")) {
     std::string json = "{\n";
-    AppendJson(&json, "spin_loop", spin_pre, spin_ref);
+    AppendJson(&json, "spin_loop", spin);
     json += ",\n";
-    AppendJson(&json, "oltp", oltp_pre, oltp_ref);
+    AppendJson(&json, "oltp", oltp);
     json += "\n}\n";
     if (std::FILE* f = std::fopen(path, "w")) {
       std::fwrite(json.data(), 1, json.size(), f);
@@ -220,19 +291,23 @@ void BM_Interp(benchmark::State& state, vm::ExecMode mode) {
   }
 }
 
+void BM_InterpSuperblock(benchmark::State& state) {
+  BM_Interp(state, vm::ExecMode::Superblock);
+}
 void BM_InterpPredecoded(benchmark::State& state) {
   BM_Interp(state, vm::ExecMode::Predecoded);
 }
 void BM_InterpReference(benchmark::State& state) {
   BM_Interp(state, vm::ExecMode::Reference);
 }
+BENCHMARK(BM_InterpSuperblock);
 BENCHMARK(BM_InterpPredecoded);
 BENCHMARK(BM_InterpReference);
 
 }  // namespace
 }  // namespace lfi
 
-// Not LFI_BENCH_MAIN: the table pass returns an exit code (the 2x bar).
+// Not LFI_BENCH_MAIN: the table pass returns an exit code (the 2x bars).
 int main(int argc, char** argv) {
   int rc = lfi::PrintThroughput();
   benchmark::Initialize(&argc, argv);

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -139,6 +140,11 @@ struct CampaignOptions {
   /// plan installs only once the prefix has run. 0 = window opens at the
   /// entry point.
   uint64_t warmup_instructions = 0;
+  /// Execution engine for worker machines (campaign `--exec`). Unset =
+  /// the machine default: Superblock, or whatever LFI_EXEC names. All
+  /// engines produce bit-identical reports (test-enforced), so this is an
+  /// A/B and debugging knob, not a semantic one.
+  std::optional<vm::ExecMode> exec_mode;
   core::ControllerOptions controller;
 };
 

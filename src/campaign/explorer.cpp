@@ -63,6 +63,7 @@ PlanRunner::PlanRunner(
     std::shared_ptr<const std::vector<core::FaultProfile>> profiles,
     CampaignOptions options)
     : options_(options), profiles_(std::move(profiles)) {
+  if (options_.exec_mode) machine_.SetExecMode(*options_.exec_mode);
   if (setup) setup(machine_);
   machine_.Checkpoint();
   if (options_.track_coverage) {

@@ -167,6 +167,7 @@ void CampaignRunner::RunShard(
     std::vector<ScenarioResult>* results, vm::CoverageTracker* coverage_out,
     std::vector<std::string>* module_names_out) {
   vm::Machine machine;
+  if (options_.exec_mode) machine.SetExecMode(*options_.exec_mode);
   if (setup_) setup_(machine);
   machine.Checkpoint();
   vm::CoverageTracker* tracker =

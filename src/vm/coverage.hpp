@@ -43,6 +43,29 @@ class CoverageBitmap {
            (words_[offset >> 6] >> (offset & 63) & uint64_t{1}) != 0;
   }
 
+  /// OR `src`'s bits restricted to offsets [lo, hi] (inclusive) into this
+  /// bitmap. `src` must use the same word layout (bit i = offset i). The
+  /// superblock engine records a whole executed span with one call: `src`
+  /// is the module's instruction-start bit array, so the result is
+  /// bit-identical to calling Set() once per executed instruction.
+  void OrMasked(const std::vector<uint64_t>& src, uint32_t lo, uint32_t hi) {
+    if (bits_ == 0 || lo > hi) return;
+    // Clamp exactly like Set(): offsets at/past bits_ are dropped.
+    if (hi >= bits_) hi = static_cast<uint32_t>(bits_ - 1);
+    if (lo > hi) return;
+    size_t w0 = lo >> 6, w1 = hi >> 6;
+    if (w1 >= src.size()) return;
+    uint64_t first = ~uint64_t{0} << (lo & 63);
+    uint64_t last = ~uint64_t{0} >> (63 - (hi & 63));
+    if (w0 == w1) {
+      words_[w0] |= src[w0] & first & last;
+      return;
+    }
+    words_[w0] |= src[w0] & first;
+    for (size_t w = w0 + 1; w < w1; ++w) words_[w] |= src[w];
+    words_[w1] |= src[w1] & last;
+  }
+
   /// Number of set bits.
   size_t Count() const;
 
@@ -102,6 +125,17 @@ class CoverageTracker {
   /// Hot path: mark text offset `offset` of module `module_index` executed.
   void Record(size_t module_index, uint32_t offset) {
     if (module_index < modules_.size()) modules_[module_index].Set(offset);
+  }
+
+  /// Hot path of the superblock engine: mark every instruction start in
+  /// [lo, hi] executed in one masked OR. `starts` is the module's
+  /// instruction-start bit array (CodeCache::ModuleStream::start_bits);
+  /// equivalent to Record() per instruction in the span.
+  void RecordSpan(size_t module_index, uint32_t lo, uint32_t hi,
+                  const std::vector<uint64_t>& starts) {
+    if (module_index < modules_.size()) {
+      modules_[module_index].OrMasked(starts, lo, hi);
+    }
   }
 
   const CoverageBitmap& executed(size_t module_index) const {

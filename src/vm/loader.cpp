@@ -45,7 +45,7 @@ size_t Loader::Load(sso::SharedObject object) {
   for (const std::string& import : mod->object.imports) {
     mod->import_ids.push_back(symbols_.Intern(import));
   }
-  code_cache_.EnsureModule(mod->index, mod->object.code);
+  code_cache_.EnsureModule(mod->index, mod->object);
   modules_.push_back(std::move(mod));
   ++generation_;
   return modules_.size() - 1;

@@ -26,15 +26,15 @@ Machine::Machine() {
     }
   }
   if (const char* mode = std::getenv("LFI_EXEC")) {
-    if (std::strcmp(mode, "reference") == 0) {
-      exec_mode_ = ExecMode::Reference;
-    } else if (std::strcmp(mode, "predecoded") != 0) {
+    if (std::optional<ExecMode> parsed = ParseExecMode(mode)) {
+      exec_mode_ = *parsed;
+    } else {
       // A typo here would silently turn a differential baseline into
-      // predecoded-vs-predecoded; say so instead.
+      // superblock-vs-superblock; say so instead.
       std::fprintf(stderr,
                    "machine: unknown LFI_EXEC value '%s' "
-                   "(expected 'reference' or 'predecoded'); "
-                   "using the predecoded engine\n",
+                   "(expected 'superblock', 'predecoded', or 'reference'); "
+                   "using the superblock engine\n",
                    mode);
     }
   }

@@ -33,8 +33,9 @@ class Machine {
   kernel::KernelRuntime& kernel() { return kernel_; }
 
   /// Which interpreter engine newly-created processes use. Defaults to
-  /// Predecoded; the LFI_EXEC=reference environment variable flips the
-  /// default at Machine construction (A/B without recompiling).
+  /// Superblock; the LFI_EXEC environment variable (superblock /
+  /// predecoded / reference) flips the default at Machine construction
+  /// (A/B without recompiling).
   ExecMode exec_mode() const { return exec_mode_; }
   void SetExecMode(ExecMode mode);
 
@@ -122,7 +123,7 @@ class Machine {
   /// Syscall number -> handler address; 0 = unimplemented. Flat array so
   /// the SYSCALL opcode is an index, not a tree search.
   std::vector<uint64_t> syscall_targets_;
-  ExecMode exec_mode_ = ExecMode::Predecoded;
+  ExecMode exec_mode_ = ExecMode::Superblock;
   /// Recycles process stack/heap/TLS buffers across scenarios and spawns
   /// (declared before procs_ so it outlives them at destruction).
   SegmentPool segment_pool_;

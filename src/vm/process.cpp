@@ -22,6 +22,22 @@ const char* SignalName(Signal s) {
   return "?";
 }
 
+const char* ExecModeName(ExecMode mode) {
+  switch (mode) {
+    case ExecMode::Superblock: return "superblock";
+    case ExecMode::Predecoded: return "predecoded";
+    case ExecMode::Reference: return "reference";
+  }
+  return "?";
+}
+
+std::optional<ExecMode> ParseExecMode(std::string_view name) {
+  if (name == "superblock") return ExecMode::Superblock;
+  if (name == "predecoded") return ExecMode::Predecoded;
+  if (name == "reference") return ExecMode::Reference;
+  return std::nullopt;
+}
+
 namespace {
 std::vector<uint8_t> AcquireSegment(SegmentPool* pool, uint64_t bytes) {
   return pool ? pool->Acquire(bytes) : std::vector<uint8_t>(bytes, 0);
@@ -320,15 +336,21 @@ void Process::ExecNative(size_t native_id, uint64_t ret_addr) {
 }
 
 uint64_t Process::Run(uint64_t budget) {
-  if (exec_mode_ == ExecMode::Reference) {
-    uint64_t executed = 0;
-    while (state_ == ProcState::Runnable && executed < budget) {
-      Step();
-      ++executed;
+  switch (exec_mode_) {
+    case ExecMode::Reference: {
+      uint64_t executed = 0;
+      while (state_ == ProcState::Runnable && executed < budget) {
+        Step();
+        ++executed;
+      }
+      return executed;
     }
-    return executed;
+    case ExecMode::Predecoded:
+      return RunPredecoded(budget);
+    case ExecMode::Superblock:
+      break;
   }
-  return RunPredecoded(budget);
+  return RunSuperblock(budget);
 }
 
 void Process::RemapIfNeeded() {
@@ -441,181 +463,20 @@ void Process::ExecuteInstr(const isa::Instr& ins, const LoadedModule& mod) {
                  (unsigned long long)addr, (unsigned long long)pc_));
   };
 
+  // One-instruction expansion of the shared semantics: sequential and
+  // diverging completions both just commit next_pc below.
   switch (ins.op) {
-    case Opcode::NOP:
-      break;
-    case Opcode::HALT:
-      state_ = ProcState::Exited;
-      exit_code_ = R(Reg::R0);
-      return;
-    case Opcode::ABORT:
-      Fault(Signal::Abort, "abort instruction");
-      return;
-    case Opcode::MOV_RI: R(ins.a) = ins.imm; break;
-    case Opcode::MOV_RR: R(ins.a) = R(ins.b); break;
-    case Opcode::LOAD: {
-      uint64_t addr = static_cast<uint64_t>(R(ins.b) + ins.disp);
-      uint64_t raw = 0;
-      if (!ReadU64<kFast>(addr, &raw)) return mem_fault(addr);
-      R(ins.a) = static_cast<int64_t>(raw);
-      break;
-    }
-    case Opcode::STORE: {
-      uint64_t addr = static_cast<uint64_t>(R(ins.a) + ins.disp);
-      if (!WriteU64<kFast>(addr, static_cast<uint64_t>(R(ins.b)))) {
-        return mem_fault(addr);
-      }
-      break;
-    }
-    case Opcode::STORE_I: {
-      uint64_t addr = static_cast<uint64_t>(R(ins.a) + ins.disp);
-      if (!WriteU64<kFast>(addr, static_cast<uint64_t>(ins.imm))) {
-        return mem_fault(addr);
-      }
-      break;
-    }
-    case Opcode::LEA: R(ins.a) = R(ins.b) + ins.disp; break;
-    case Opcode::LEA_DATA:
-      R(ins.a) = static_cast<int64_t>(mod.data_base) + ins.disp;
-      break;
-    case Opcode::LEA_TLS:
-      R(ins.a) = static_cast<int64_t>(kTlsBase + mod.tls_base) + ins.disp;
-      break;
-    case Opcode::PUSH:
-      if (!PushT<kFast>(R(ins.a))) return;
-      break;
-    case Opcode::POP: {
-      int64_t v = 0;
-      if (!PopT<kFast>(&v)) return;
-      R(ins.a) = v;
-      break;
-    }
-    case Opcode::ADD_RR: R(ins.a) += R(ins.b); break;
-    case Opcode::SUB_RR: R(ins.a) -= R(ins.b); break;
-    case Opcode::AND_RR: R(ins.a) &= R(ins.b); break;
-    case Opcode::OR_RR: R(ins.a) |= R(ins.b); break;
-    case Opcode::XOR_RR: R(ins.a) ^= R(ins.b); break;
-    case Opcode::MUL_RR: R(ins.a) *= R(ins.b); break;
-    case Opcode::ADD_RI: R(ins.a) += ins.imm; break;
-    case Opcode::SUB_RI: R(ins.a) -= ins.imm; break;
-    case Opcode::AND_RI: R(ins.a) &= ins.imm; break;
-    case Opcode::OR_RI: R(ins.a) |= ins.imm; break;
-    case Opcode::XOR_RI: R(ins.a) ^= ins.imm; break;
-    case Opcode::MUL_RI: R(ins.a) *= ins.imm; break;
-    case Opcode::NEG: R(ins.a) = -R(ins.a); break;
-    case Opcode::NOT: R(ins.a) = ~R(ins.a); break;
-    case Opcode::CMP_RR: {
-      int64_t d = R(ins.a) - R(ins.b);
-      flags_ = d < 0 ? -1 : d > 0 ? 1 : 0;
-      break;
-    }
-    case Opcode::CMP_RI: {
-      int64_t d = R(ins.a) - ins.imm;
-      flags_ = d < 0 ? -1 : d > 0 ? 1 : 0;
-      break;
-    }
-    case Opcode::JMP: next_pc = mod.code_base + ins.rel_target(); break;
-    case Opcode::JE: if (flags_ == 0) next_pc = mod.code_base + ins.rel_target(); break;
-    case Opcode::JNE: if (flags_ != 0) next_pc = mod.code_base + ins.rel_target(); break;
-    case Opcode::JLT: if (flags_ < 0) next_pc = mod.code_base + ins.rel_target(); break;
-    case Opcode::JLE: if (flags_ <= 0) next_pc = mod.code_base + ins.rel_target(); break;
-    case Opcode::JGT: if (flags_ > 0) next_pc = mod.code_base + ins.rel_target(); break;
-    case Opcode::JGE: if (flags_ >= 0) next_pc = mod.code_base + ins.rel_target(); break;
-    case Opcode::JMP_IND: {
-      uint64_t target = static_cast<uint64_t>(R(ins.a));
-      if (IsNativeStubAddress(target)) {
-        // Tail-jump into a stub: behave like the stub was CALL'd by our
-        // caller; the pending return address is already on the stack.
-        int64_t ret = 0;
-        if (!PopT<kFast>(&ret)) return;
-        if (!shadow_.empty()) shadow_.pop_back();
-        ExecNative(NativeStubIndex(target), static_cast<uint64_t>(ret));
-        return;
-      }
-      next_pc = target;
-      break;
-    }
-    case Opcode::CALL: {
-      uint64_t target = mod.code_base + ins.rel_target();
-      if (!PushT<kFast>(static_cast<int64_t>(next_pc))) return;
-      shadow_.push_back(Frame{target, next_pc});
-      next_pc = target;
-      break;
-    }
-    case Opcode::CALL_SYM: {
-      if (ins.u16 >= mod.object.imports.size()) {
-        Fault(Signal::Ill, "import index out of range");
-        return;
-      }
-      Target target = loader_.Resolve(mod.index, ins.u16);
-      DispatchCall(target, next_pc, mod.object.imports[ins.u16]);
-      return;
-    }
-    case Opcode::CALL_IND: {
-      uint64_t target = static_cast<uint64_t>(R(ins.a));
-      if (IsNativeStubAddress(target)) {
-        ExecNative(NativeStubIndex(target), next_pc);
-        return;
-      }
-      DispatchCall(Target{Target::Kind::Code, target, 0}, next_pc,
-                   Hex(target));
-      return;
-    }
-    case Opcode::RET: {
-      int64_t ret = 0;
-      if (!PopT<kFast>(&ret)) return;
-      if (!shadow_.empty()) shadow_.pop_back();
-      if (static_cast<uint64_t>(ret) == kExitSentinel) {
-        state_ = ProcState::Exited;
-        exit_code_ = R(Reg::R0);
-        return;
-      }
-      next_pc = static_cast<uint64_t>(ret);
-      break;
-    }
-    case Opcode::SYSCALL: {
-      // Flat array indexed by syscall number; 0 = no handler (module code
-      // bases start above the null page, so 0 is never a real target).
-      uint64_t target =
-          ins.u16 < syscall_targets_.size() ? syscall_targets_[ins.u16] : 0;
-      if (target == 0) {
-        R(Reg::R0) = -E_NOSYS;
-        break;
-      }
-      if (!PushT<kFast>(static_cast<int64_t>(next_pc))) return;
-      shadow_.push_back(Frame{target, next_pc});
-      next_pc = target;
-      break;
-    }
-    case Opcode::KCALL: {
-      kernel::KResult res = kernel_.Invoke(ins.u16, *this);
-      if (pending_exit_) {
-        state_ = ProcState::Exited;
-        return;
-      }
-      if (res.kind == kernel::KResult::Kind::Block) {
-        state_ = ProcState::Blocked;
-        return;  // pc unchanged: the KCALL is retried on wake-up
-      }
-      if (res.kind == kernel::KResult::Kind::Ok) {
-        R(Reg::R0) = res.value;
-        R(Reg::R1) = 0;
-      } else {
-        const kernel::SyscallSpec* spec = kernel::FindSyscall(ins.u16);
-        int idx = spec ? kernel::ErrorIndex(*spec, res.error) : -1;
-        // An errno outside the spec would make the handler lie about its
-        // own error set; map it to the last slot and flag in debug builds.
-        if (idx < 0 && spec && !spec->errors.empty()) {
-          idx = static_cast<int>(spec->errors.size()) - 1;
-        }
-        R(Reg::R0) = -1;
-        R(Reg::R1) = idx + 1;
-      }
-      break;
-    }
-    case Opcode::kCount:
-      Fault(Signal::Ill, "bad opcode");
-      return;
+#define LFI_CASE(name) case Opcode::name:
+#define LFI_NEXT break
+#define LFI_GOTO break
+#define LFI_STOP return
+#define LFI_SYNC_PC() ((void)0)  // pc_ is already exact per-step
+#include "vm/exec_ops.inc"
+#undef LFI_CASE
+#undef LFI_NEXT
+#undef LFI_GOTO
+#undef LFI_STOP
+#undef LFI_SYNC_PC
   }
   pc_ = next_pc;
 }
@@ -624,5 +485,313 @@ template void Process::ExecuteInstr<false>(const isa::Instr&,
                                            const LoadedModule&);
 template void Process::ExecuteInstr<true>(const isa::Instr&,
                                           const LoadedModule&);
+
+// Opcode names in exact isa::Opcode declaration order, for the computed-goto
+// dispatch table (static_assert'd against kCount below).
+#define LFI_OPCODE_LIST(X)                                                 \
+  X(NOP) X(HALT) X(ABORT)                                                  \
+  X(MOV_RI) X(MOV_RR) X(LOAD) X(STORE) X(STORE_I)                          \
+  X(LEA) X(LEA_DATA) X(LEA_TLS)                                            \
+  X(PUSH) X(POP)                                                           \
+  X(ADD_RR) X(SUB_RR) X(AND_RR) X(OR_RR) X(XOR_RR) X(MUL_RR)               \
+  X(ADD_RI) X(SUB_RI) X(AND_RI) X(OR_RI) X(XOR_RI) X(MUL_RI)               \
+  X(NEG) X(NOT)                                                            \
+  X(CMP_RR) X(CMP_RI)                                                      \
+  X(JMP) X(JE) X(JNE) X(JLT) X(JLE) X(JGT) X(JGE) X(JMP_IND)               \
+  X(CALL) X(CALL_SYM) X(CALL_IND) X(RET)                                   \
+  X(SYSCALL) X(KCALL) X(kCount)
+
+uint64_t Process::ExecSpanFused(const CodeCache::ModuleStream& stream_in,
+                                uint32_t slot, uint64_t budget,
+                                const LoadedModule& mod_in) {
+  // The superblock engine's inner loop: execute predecoded instructions
+  // back-to-back while control stays inside the loader's decoded streams.
+  // The program counter lives in locals (`pc` for the executing
+  // instruction, `next_pc` pre-set to its fall-through) so hot bodies do
+  // pure register arithmetic; the member pc_ is only materialized on
+  // demand via LFI_SYNC_PC() by the cold bodies that can observe it —
+  // faults, stack ops, call dispatch, kernel entry (fault messages, the
+  // shadow stack, and KCALL retry semantics depend on it). Dispatch is a
+  // single indirect jump per instruction, and a taken branch, call,
+  // syscall, or return whose target starts an instruction in ANY loaded
+  // module's stream continues IN-LOOP: the finished contiguous segment's
+  // accounting is settled (one counter add + one masked coverage OR,
+  // bit-identical to per-instruction Record()/increment), the module
+  // binding is switched if control crossed modules, and execution
+  // resumes at the target slot without returning to the outer engine
+  // loop. pc_ is exact again on every return path.
+  //
+  // Returns how many instructions ran (>= 1; at most `budget`). A
+  // faulting, blocking, or exiting instruction counts as executed,
+  // exactly as the per-step engines count it. Exits only on a state
+  // change, control leaving decoded code (a native stub, an unresolved
+  // or interposed call, a mid-instruction target), or budget exhaustion.
+  constexpr bool kFast = true;
+  // Module binding, rebindable in-loop: when control transfers to another
+  // module whose stream holds the target (SYSCALL into the kernel module,
+  // RET back out, a resolved cross-module CALL_SYM), the loop settles the
+  // finished segment and rebinds instead of returning. Safe because the
+  // loader generation cannot change between fused instructions — every
+  // mutating path (Load, RegisterNative, controller interposition) runs
+  // through DispatchCall/ExecNative or outside Run(), and those bodies
+  // LFI_STOP.
+  const LoadedModule* modp = &mod_in;
+  const CodeCache::ModuleStream* streamp = &stream_in;
+  const isa::Instr* sbase = streamp->instrs.data();
+  const isa::Instr* send = sbase + streamp->instrs.size();
+  uint64_t code_base = modp->code_base;
+  uint64_t code_size = modp->object.code.size();
+  const isa::Instr* ip = sbase + slot;
+  const isa::Instr* seg_start = ip;  // first instr of the current segment
+  uint64_t avail = static_cast<uint64_t>(send - ip);
+  const isa::Instr* end = ip + (budget < avail ? budget : avail);
+  uint64_t executed = 0;
+  uint64_t pc = pc_;  // == code_base + ip->offset, by the caller's contract
+  uint64_t next_pc = pc + ip->size;
+  // The CMP flag lives in a local for the duration of the span (CMP/Jcc
+  // are pure register traffic here) and is committed on every exit.
+  // Nothing outside the loop reads flags_ mid-span: the only other
+  // accessors are snapshot capture/restore, which run between Run calls.
+  int flags = flags_;
+  auto commit_flags = [&] { flags_ = flags; };
+
+  auto R = [&](Reg r) -> int64_t& { return regs_[static_cast<size_t>(r)]; };
+  auto mem_fault = [&](uint64_t addr) {
+    Fault(Signal::Segv,
+          Format("bad memory access at %llx (pc=%llx)",
+                 (unsigned long long)addr, (unsigned long long)pc_));
+  };
+  // Settle the open segment [seg_start, last]: instruction count and
+  // coverage in one update each. Segments are contiguous in offset order,
+  // which is what makes the masked bitmap OR equal per-instruction
+  // recording. Must run BEFORE any rebind — the segment belongs to the
+  // module it executed in.
+  auto account = [&](const isa::Instr* last) {
+    uint64_t n = static_cast<uint64_t>(last - seg_start) + 1;
+    executed += n;
+    instructions_ += n;
+    if (coverage_) {
+      coverage_->RecordSpan(modp->index, seg_start->offset, last->offset,
+                            streamp->start_bits);
+    }
+  };
+
+#if defined(__GNUC__) || defined(__clang__)
+  // Direct-threaded dispatch (labels-as-values).
+  static const void* const kDispatch[] = {
+#define LFI_LABEL_ADDR(name) &&op_##name,
+      LFI_OPCODE_LIST(LFI_LABEL_ADDR)
+#undef LFI_LABEL_ADDR
+  };
+  static_assert(sizeof(kDispatch) / sizeof(kDispatch[0]) ==
+                    static_cast<size_t>(Opcode::kCount) + 1,
+                "dispatch table out of sync with isa::Opcode");
+#define LFI_SPAN_DISPATCH() goto* kDispatch[static_cast<size_t>(ip->op)]
+#define LFI_CASE(name) op_##name:
+#else
+  // Portable fallback: same trampolines, switch-based dispatch.
+#define LFI_SPAN_DISPATCH() goto lfi_dispatch
+#define LFI_CASE(name) case Opcode::name:
+#endif
+#if defined(__GNUC__) || defined(__clang__)
+  // Replicate the sequential-advance + dispatch into every body (classic
+  // direct-threading): each opcode gets its own indirect-jump site, so
+  // the branch predictor learns per-opcode successor patterns instead of
+  // aliasing every transition through one shared jump.
+#define LFI_NEXT                                                           \
+  do {                                                                     \
+    pc = next_pc;                                                          \
+    if (++ip == end) {                                                     \
+      account(ip - 1);                                                     \
+      commit_flags();                                                      \
+      pc_ = pc;                                                            \
+      return executed;                                                     \
+    }                                                                      \
+    next_pc = pc + ip->size;                                               \
+    LFI_SPAN_DISPATCH();                                                   \
+  } while (0)
+  // Diverging completions (next_pc may differ from the fall-through) test
+  // in place: untaken branches stay on the replicated fast path, taken
+  // transfers settle the segment and chase in the shared trampoline.
+#define LFI_GOTO                                                           \
+  do {                                                                     \
+    if (next_pc != pc + ip->size) goto lfi_ctrl;                           \
+    LFI_NEXT;                                                              \
+  } while (0)
+#else
+#define LFI_NEXT goto lfi_seq
+#define LFI_GOTO goto lfi_ctrl
+#endif
+#define LFI_STOP goto lfi_stop
+#define LFI_SYNC_PC() (pc_ = pc)
+#define ins (*ip)
+#define mod (*modp)
+  // Redirect the bodies' flags_ accesses to the span-local copy; every
+  // return path below runs commit_flags() first.
+#define flags_ flags
+
+  LFI_SPAN_DISPATCH();
+
+#if !defined(__GNUC__) && !defined(__clang__)
+lfi_seq:
+  // Sequential completion: fall into the next slot.
+  pc = next_pc;
+  if (++ip == end) {
+    account(ip - 1);
+    commit_flags();
+    pc_ = pc;
+    return executed;
+  }
+  next_pc = pc + ip->size;
+  LFI_SPAN_DISPATCH();
+#endif
+
+lfi_ctrl:
+  // A possibly-diverging completion (branch/call/return). Taken: the
+  // segment ended — settle it, then chase next_pc in-loop, rebinding the
+  // module binding when control crossed into another stream.
+  if (next_pc != pc + ip->size) {
+    account(ip);  // the diverging instruction closed the segment
+    uint64_t target_off = next_pc - code_base;
+    if (target_off >= code_size) {
+      // Crossed out of this module (syscall into the kernel module, a
+      // cross-module call or return): rebind and keep going if the
+      // target's module has a stream.
+      const LoadedModule* nm = loader_.module_at(next_pc);
+      const CodeCache::ModuleStream* ns =
+          nm != nullptr ? loader_.code_cache().stream(nm->index) : nullptr;
+      if (ns == nullptr) {
+        // Outside all code / no stream: the outer loop faults or falls
+        // back exactly like the predecoded engine.
+        commit_flags();
+        pc_ = next_pc;
+        return executed;
+      }
+      modp = nm;
+      streamp = ns;
+      sbase = ns->instrs.data();
+      send = sbase + ns->instrs.size();
+      code_base = nm->code_base;
+      code_size = nm->object.code.size();
+      target_off = next_pc - code_base;
+    }
+    uint32_t target_slot =
+        streamp->slot_of_offset[static_cast<size_t>(target_off)];
+    if (target_slot == CodeCache::kNoSlot || executed >= budget) {
+      // Mid-instruction target (DecodeOne fallback) or quantum expiry:
+      // hand back to the outer loop with pc_ exact.
+      commit_flags();
+      pc_ = next_pc;
+      return executed;
+    }
+    ip = sbase + target_slot;
+    seg_start = ip;
+    uint64_t room = budget - executed;
+    avail = static_cast<uint64_t>(send - ip);
+    end = ip + (room < avail ? room : avail);
+    pc = next_pc;
+    next_pc = pc + ip->size;
+    LFI_SPAN_DISPATCH();
+  }
+  // Untaken: continue the segment sequentially.
+  pc = next_pc;
+  if (++ip == end) {
+    account(ip - 1);
+    commit_flags();
+    pc_ = pc;
+    return executed;
+  }
+  next_pc = pc + ip->size;
+  LFI_SPAN_DISPATCH();
+
+lfi_stop:
+  // The body finalized pc/state itself (fault, exit, call dispatch, block)
+  // after re-materializing pc_ via LFI_SYNC_PC().
+  account(ip);
+  commit_flags();
+  return executed;
+
+#if !defined(__GNUC__) && !defined(__clang__)
+lfi_dispatch:
+  switch (ip->op) {
+#endif
+
+#include "vm/exec_ops.inc"
+
+#if !defined(__GNUC__) && !defined(__clang__)
+  }
+  account(ip);  // unreachable: bodies jump
+  commit_flags();
+  return executed;
+#endif
+
+#undef flags_
+#undef mod
+#undef ins
+#undef LFI_CASE
+#undef LFI_NEXT
+#undef LFI_GOTO
+#undef LFI_STOP
+#undef LFI_SYNC_PC
+#undef LFI_SPAN_DISPATCH
+}
+
+uint64_t Process::RunSuperblock(uint64_t budget) {
+  uint64_t executed = 0;
+  // Same cached module binding as RunPredecoded; see the comment there.
+  const LoadedModule* mod = nullptr;
+  const CodeCache::ModuleStream* stream = nullptr;
+  uint64_t code_base = 0;
+  uint64_t code_size = 0;
+  while (state_ == ProcState::Runnable && executed < budget) {
+    if (mapped_generation_ != loader_.generation()) {
+      RemapIfNeeded();
+      mod = nullptr;
+    }
+    uint64_t off = pc_ - code_base;
+    if (mod == nullptr || off >= code_size) {
+      mod = loader_.module_at(pc_);
+      if (mod == nullptr) {
+        Fault(Signal::Segv,
+              Format("pc outside code: %llx", (unsigned long long)pc_));
+        ++executed;
+        break;
+      }
+      stream = loader_.code_cache().stream(mod->index);
+      code_base = mod->code_base;
+      code_size = mod->object.code.size();
+      off = pc_ - code_base;
+    }
+    uint32_t slot = stream != nullptr
+                        ? stream->slot_of_offset[static_cast<size_t>(off)]
+                        : CodeCache::kNoSlot;
+    if (slot == CodeCache::kNoSlot) {
+      // Mid-instruction or undecodable pc: identical fallback to the
+      // predecoded engine (counted reference step, exact fault text).
+      auto decoded = isa::DecodeOne(mod->object.code,
+                                    static_cast<uint32_t>(off));
+      if (!decoded.ok()) {
+        Fault(Signal::Ill, decoded.error());
+        ++executed;
+        break;
+      }
+      ExecuteInstr<true>(decoded.value(), *mod);
+      ++executed;
+      continue;
+    }
+    // Fused run: free-run from this slot, following control flow in-loop
+    // across all decoded streams. Superblock boundaries need no dispatch
+    // stop — slot i+1 always holds the fall-through instruction — and
+    // branches/calls/returns whose target has a slot (in this module or
+    // another) continue inside ExecSpanFused, which also settles
+    // instruction-count and coverage accounting per contiguous segment.
+    // Control comes back here only on a state change, control leaving
+    // decoded code, or budget exhaustion — the budget cap is what
+    // re-materializes exact per-instruction counters at quantum expiry
+    // and snapshot windows.
+    executed += ExecSpanFused(*stream, slot, budget - executed, *mod);
+  }
+  return executed;
+}
 
 }  // namespace lfi::vm

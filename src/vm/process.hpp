@@ -2,21 +2,29 @@
 // fetch-decode-execute loop, and the shadow call stack used for the
 // stack-trace triggers of the scenario language (§4).
 //
-// Two execution engines share one instruction-semantics implementation:
-//   - Predecoded (default): a fused run loop that fetches from the
-//     loader's CodeCache streams (decode-once), binds the current module
-//     by address arithmetic, and serves stack/heap/TLS/module memory
-//     through O(1) region arithmetic (`FastMemPtr`), falling back to
-//     AddressSpace for anything else.
+// Three execution engines share one instruction-semantics implementation
+// (vm/exec_ops.inc, expanded per engine):
+//   - Superblock (default): fused straight-line spans over the loader's
+//     CodeCache streams — one computed-goto dispatch per instruction, with
+//     coverage recording and instruction-count accounting hoisted to one
+//     update per span; exact per-instruction counters are re-materialized
+//     whenever a span ends (fault, kcall/native exit, quantum expiry,
+//     snapshot windows).
+//   - Predecoded: one instruction per dispatch from the same CodeCache
+//     streams, binding the current module by address arithmetic and
+//     serving stack/heap/TLS/module memory through O(1) region
+//     arithmetic (`FastMemPtr`), with AddressSpace fallback.
 //   - Reference: the original decode-per-step path (`Step()` +
 //     AddressSpace lookups), kept so differential tests and
-//     bench_interp_throughput can prove the fast engine bit-identical
-//     and measure its speedup.
+//     bench_interp_throughput can prove the fast engines bit-identical
+//     and measure their speedup.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "isa/isa.hpp"
@@ -33,9 +41,16 @@ enum class ProcState { Runnable, Blocked, Exited, Faulted };
 
 enum class Signal { None, Segv, Abort, Ill };
 
-/// Which interpreter loop Run() uses. Both are bit-identical in behavior
-/// (test-enforced); Reference exists as the differential baseline.
-enum class ExecMode { Predecoded, Reference };
+/// Which interpreter loop Run() uses. All three are bit-identical in
+/// behavior (test-enforced); Reference exists as the differential baseline.
+enum class ExecMode { Superblock, Predecoded, Reference };
+
+/// The LFI_EXEC-style name of an engine ("superblock" / "predecoded" /
+/// "reference").
+const char* ExecModeName(ExecMode mode);
+
+/// Parse an LFI_EXEC-style engine name; nullopt for unknown values.
+std::optional<ExecMode> ParseExecMode(std::string_view name);
 
 const char* SignalName(Signal s);
 
@@ -150,6 +165,25 @@ class Process final : public kernel::KernelContext {
   /// The fused decode-once loop behind Run() in Predecoded mode.
   uint64_t RunPredecoded(uint64_t budget);
 
+  /// The superblock-span loop behind Run() in Superblock mode: same outer
+  /// structure as RunPredecoded, but straight-line runs execute through
+  /// ExecSpanFused with accounting hoisted to span granularity.
+  uint64_t RunSuperblock(uint64_t budget);
+
+  /// Execute up to `budget` predecoded instructions starting at `slot` of
+  /// `stream` (pc_ must be that slot's address) as fused computed-goto
+  /// spans, following control flow in-loop: a taken branch, call,
+  /// syscall, or return whose target has a slot in any loaded module's
+  /// stream continues without returning, rebinding the module when
+  /// control crosses streams. Instruction-count and coverage accounting
+  /// happen inside, one update per contiguous segment. Returns the
+  /// instructions executed (>= 1). Exits only on a state change, a
+  /// target outside decoded code (native stub / unresolved or interposed
+  /// call / mid-instruction), or budget exhaustion; pc_ is exact again
+  /// on every return path.
+  uint64_t ExecSpanFused(const CodeCache::ModuleStream& stream, uint32_t slot,
+                         uint64_t budget, const LoadedModule& mod);
+
   /// Execute one already-decoded instruction: coverage, semantics, pc
   /// advance. `kFast` selects arithmetic memory access (with AddressSpace
   /// fallback) vs pure AddressSpace lookups — semantics are identical.
@@ -181,7 +215,7 @@ class Process final : public kernel::KernelContext {
   bool pending_exit_ = false;
   std::string fault_message_;
   uint64_t instructions_ = 0;
-  ExecMode exec_mode_ = ExecMode::Predecoded;
+  ExecMode exec_mode_ = ExecMode::Superblock;
 
   AddressSpace space_;
   std::vector<uint8_t> stack_mem_;

@@ -175,6 +175,37 @@ TEST(SnapshotDiff, PlanRunnerIdenticalAndSurvivesReset) {
   }
 }
 
+// The superblock engine hoists instruction-count and coverage accounting
+// to one update per fused span, so a snapshot taken after a warmup prefix
+// (a pc that is almost never on a superblock boundary) is the adversarial
+// case: the exact per-instruction counter and coverage bitmaps must be
+// re-materialized at the snapshot point. Every engine must produce the
+// same report, cold or restored — nine runs, one truth.
+TEST(SnapshotDiff, WarmupSnapshotIdenticalAcrossExecEngines) {
+  auto setup = apps::DbSuiteMachineSetup();
+  auto scenarios = MakeScenarios(6, 0.1, 71);
+  CampaignReport baseline;
+  bool have_baseline = false;
+  for (vm::ExecMode mode : {vm::ExecMode::Superblock, vm::ExecMode::Predecoded,
+                            vm::ExecMode::Reference}) {
+    SCOPED_TRACE(vm::ExecModeName(mode));
+    CampaignOptions cold = BaseOptions(apps::kDbTestEntry);
+    cold.exec_mode = mode;
+    cold.warmup_instructions = 4321;  // deliberately not quantum-aligned
+    CampaignOptions snap = cold;
+    snap.snapshot = true;
+    CampaignReport cold_report = RunCampaign(setup, scenarios, cold);
+    CampaignReport snap_report = RunCampaign(setup, scenarios, snap);
+    ExpectReportsIdentical(cold_report, snap_report);
+    if (have_baseline) {
+      ExpectReportsIdentical(snap_report, baseline);
+    } else {
+      baseline = std::move(snap_report);
+      have_baseline = true;
+    }
+  }
+}
+
 // Explorer end-to-end: coverage-guided rounds + triage + minimization are
 // bit-identical whether scenarios execute cold or via snapshot restore.
 TEST(SnapshotDiff, ExplorerIdenticalUnderSnapshot) {

@@ -1,0 +1,639 @@
+// The superblock engine's test oracle.
+//
+// ExecMode::Superblock fuses straight-line instruction runs and hoists
+// coverage/instruction accounting to one update per span, so this suite
+// proves — not assumes — that it is bit-identical to both the predecoded
+// and reference engines:
+//
+//   - differential runs of the tier-1 workloads (db-suite + Pidgin):
+//     instruction counts, exits, faults, coverage bitmaps, injection logs,
+//     and replay XML equal across all three engines;
+//   - a snapshot taken mid-superblock (warmup not on a block boundary)
+//     restores the exact instruction counter and coverage;
+//   - a seeded random-program differential fuzzer: every generated program
+//     (branches, calls, faults, wild jumps, syscalls) must leave identical
+//     registers, memory digests, instruction counts, and coverage on all
+//     three engines — failures dump the program as a reproducer;
+//   - property tests that the CodeCache superblock partition agrees with
+//     analysis/cfg block leaders, tiles the slot space exactly, and that
+//     mid-instruction jump targets fall back to DecodeOne as in the
+//     predecoded engine.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdlib>
+#include <fstream>
+#include <random>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/cfg.hpp"
+#include "apps/dbserver.hpp"
+#include "apps/pidgin.hpp"
+#include "apps/workloads.hpp"
+#include "core/controller.hpp"
+#include "core/scenario_gen.hpp"
+#include "libc/libc_builder.hpp"
+#include "test_helpers.hpp"
+#include "util/strings.hpp"
+#include "vm/machine.hpp"
+#include "vm/memory.hpp"
+
+namespace lfi {
+namespace {
+
+using isa::CodeBuilder;
+using isa::Reg;
+
+constexpr vm::ExecMode kAllModes[] = {
+    vm::ExecMode::Superblock, vm::ExecMode::Predecoded,
+    vm::ExecMode::Reference};
+
+// ---- tier-1 workload differential -------------------------------------------
+
+/// Everything an engine run can observably produce.
+struct ExecOutcome {
+  vm::ProcState state = vm::ProcState::Exited;
+  int64_t exit_code = 0;
+  vm::Signal signal = vm::Signal::None;
+  std::string fault_message;
+  uint64_t total_instructions = 0;
+  uint64_t proc_instructions = 0;
+  std::vector<std::vector<uint32_t>> coverage;  // per module index
+  std::vector<std::string> injections;          // formatted log records
+  std::string replay_xml;
+};
+
+void ExpectIdentical(const ExecOutcome& fast, const ExecOutcome& ref) {
+  EXPECT_EQ(fast.state, ref.state);
+  EXPECT_EQ(fast.exit_code, ref.exit_code);
+  EXPECT_EQ(fast.signal, ref.signal);
+  EXPECT_EQ(fast.fault_message, ref.fault_message);
+  EXPECT_EQ(fast.total_instructions, ref.total_instructions);
+  EXPECT_EQ(fast.proc_instructions, ref.proc_instructions);
+  EXPECT_EQ(fast.coverage, ref.coverage);
+  EXPECT_EQ(fast.injections, ref.injections);
+  EXPECT_EQ(fast.replay_xml, ref.replay_xml);
+}
+
+std::vector<std::string> FormatLog(const core::InjectionLog& log) {
+  std::vector<std::string> out;
+  for (const core::InjectionRecord& r : log.records()) {
+    std::string line = log.function_name(r);
+    line += " call=" + std::to_string(r.call_number);
+    if (r.has_retval) line += " ret=" + std::to_string(r.retval);
+    if (r.errno_value) line += " errno=" + std::to_string(*r.errno_value);
+    if (r.call_original) line += " orig";
+    for (const auto& [idx, v] : r.modified_args) {
+      line += " arg" + std::to_string(idx) + "=" + std::to_string(v);
+    }
+    out.push_back(std::move(line));
+  }
+  return out;
+}
+
+/// One DB-suite regression run under a random libc faultload.
+ExecOutcome RunDbSuiteOnce(vm::ExecMode mode, uint64_t seed) {
+  vm::Machine machine;
+  machine.SetExecMode(mode);
+  apps::DbSuiteMachineSetup()(machine);
+  vm::CoverageTracker* cov = machine.EnableCoverage();
+  core::Controller controller(machine);
+  core::Plan plan = core::GenerateRandom(apps::LibcProfiles(), 0.3, seed);
+  EXPECT_TRUE(controller.Install(plan, apps::LibcProfiles()).ok());
+  auto pid = machine.CreateProcess(apps::kDbTestEntry);
+  ExecOutcome out;
+  if (!pid.ok()) return out;
+  auto info = machine.RunToCompletion(pid.value(), 50'000'000);
+  out.state = info.state;
+  out.exit_code = info.exit_code;
+  out.signal = info.signal;
+  out.fault_message = info.fault_message;
+  out.total_instructions = machine.total_instructions();
+  out.proc_instructions = machine.process(pid.value())->instructions();
+  for (size_t m = 0; m < cov->module_count(); ++m) {
+    out.coverage.push_back(cov->executed(m).ToOffsets());
+  }
+  out.injections = FormatLog(controller.log());
+  out.replay_xml = controller.GenerateReplay().ToXml();
+  return out;
+}
+
+TEST(SuperblockDiff, DbSuiteIdenticalAcrossThreeEngines) {
+  for (uint64_t seed : {7u, 21u, 93u, 400u}) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    ExecOutcome ref = RunDbSuiteOnce(vm::ExecMode::Reference, seed);
+    ExecOutcome pre = RunDbSuiteOnce(vm::ExecMode::Predecoded, seed);
+    ExecOutcome sb = RunDbSuiteOnce(vm::ExecMode::Superblock, seed);
+    ExpectIdentical(sb, ref);
+    ExpectIdentical(pre, ref);
+    EXPECT_GT(sb.total_instructions, 0u);
+  }
+}
+
+/// The Pidgin scenario through the public workload driver, switching the
+/// engine via the LFI_EXEC environment override the driver's machines
+/// obey. Every leg sets the variable explicitly (an inherited LFI_EXEC
+/// must not collapse two legs onto the same engine); the caller's value
+/// is restored after.
+apps::PidginRunResult RunPidginInMode(vm::ExecMode mode, uint64_t seed) {
+  const char* prev = getenv("LFI_EXEC");
+  std::string saved = prev ? prev : "";
+  setenv("LFI_EXEC", vm::ExecModeName(mode), 1);
+  apps::PidginRunResult r = apps::RunPidginRandomIo(0.1, seed);
+  if (prev) {
+    setenv("LFI_EXEC", saved.c_str(), 1);
+  } else {
+    unsetenv("LFI_EXEC");
+  }
+  return r;
+}
+
+TEST(SuperblockDiff, PidginScenarioIdenticalAcrossThreeEngines) {
+  bool any_abort = false;
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    apps::PidginRunResult ref = RunPidginInMode(vm::ExecMode::Reference, seed);
+    for (vm::ExecMode mode :
+         {vm::ExecMode::Superblock, vm::ExecMode::Predecoded}) {
+      SCOPED_TRACE(vm::ExecModeName(mode));
+      apps::PidginRunResult fast = RunPidginInMode(mode, seed);
+      EXPECT_EQ(fast.aborted, ref.aborted);
+      EXPECT_EQ(fast.deadlocked, ref.deadlocked);
+      EXPECT_EQ(fast.exit_code, ref.exit_code);
+      EXPECT_EQ(fast.fault_message, ref.fault_message);
+      EXPECT_EQ(fast.injections, ref.injections);
+      EXPECT_EQ(fast.replay.ToXml(), ref.replay.ToXml());
+    }
+    any_abort |= ref.aborted;
+  }
+  // The bug should still fire somewhere in this seed range on all engines.
+  EXPECT_TRUE(any_abort);
+}
+
+// ---- snapshot taken mid-superblock ------------------------------------------
+
+/// Warmup counts land mid-superblock almost always; this nudges one that
+/// happens to sit on a boundary forward until it does not, so the test
+/// exercises exactly the "counter re-materialized inside a fused span"
+/// case the superblock engine must get right.
+bool PcIsMidSuperblock(vm::Machine& machine, uint64_t pc) {
+  const vm::LoadedModule* mod = machine.loader().module_at(pc);
+  if (mod == nullptr) return false;
+  const vm::CodeCache::ModuleStream* stream =
+      machine.loader().code_cache().stream(mod->index);
+  if (stream == nullptr) return false;
+  uint32_t off = static_cast<uint32_t>(pc - mod->code_base);
+  uint32_t slot = stream->slot_of_offset[off];
+  if (slot == vm::CodeCache::kNoSlot) return false;
+  return slot != stream->superblocks[stream->sb_of_slot[slot]].first_slot;
+}
+
+struct SnapOutcome {
+  uint64_t warm_instructions = 0;
+  uint64_t warm_pc = 0;
+  ExecOutcome cold;      // snapshot point -> completion, first pass
+  ExecOutcome restored;  // restore -> completion, second pass
+};
+
+SnapOutcome RunSnapshotRoundTrip(vm::ExecMode mode) {
+  vm::Machine machine;
+  machine.SetExecMode(mode);
+  apps::DbSuiteMachineSetup()(machine);
+  vm::CoverageTracker* cov = machine.EnableCoverage();
+  SnapOutcome out;
+  auto pid = machine.CreateProcess(apps::kDbTestEntry);
+  EXPECT_TRUE(pid.ok());
+  if (!pid.ok()) return out;
+  vm::Process* proc = machine.process(pid.value());
+  uint64_t warm = proc->Run(1237);
+  // Nudge off superblock boundaries (and off the rare mid-warmup exit).
+  for (int i = 0; i < 16 && proc->state() == vm::ProcState::Runnable &&
+                  !PcIsMidSuperblock(machine, proc->pc());
+       ++i) {
+    warm += proc->Run(1);
+  }
+  EXPECT_EQ(proc->state(), vm::ProcState::Runnable);
+  EXPECT_TRUE(PcIsMidSuperblock(machine, proc->pc()));
+  out.warm_instructions = warm;
+  out.warm_pc = proc->pc();
+  machine.Snapshot();
+
+  auto capture = [&]() {
+    ExecOutcome o;
+    auto info = machine.RunToCompletion(pid.value(), 50'000'000);
+    o.state = info.state;
+    o.exit_code = info.exit_code;
+    o.signal = info.signal;
+    o.fault_message = info.fault_message;
+    o.total_instructions = machine.total_instructions();
+    o.proc_instructions = machine.process(pid.value())->instructions();
+    for (size_t m = 0; m < cov->module_count(); ++m) {
+      o.coverage.push_back(cov->executed(m).ToOffsets());
+    }
+    return o;
+  };
+  out.cold = capture();
+  EXPECT_TRUE(machine.RestoreSnapshot());
+  // The restore must land on the exact mid-span instruction counter and
+  // pc, with coverage rolled back to the snapshot's bitmaps.
+  EXPECT_EQ(machine.process(pid.value())->instructions(), warm);
+  EXPECT_EQ(machine.process(pid.value())->pc(), out.warm_pc);
+  out.restored = capture();
+  return out;
+}
+
+TEST(SuperblockSnapshot, MidSuperblockRoundTripIdenticalAcrossEngines) {
+  SnapOutcome ref = RunSnapshotRoundTrip(vm::ExecMode::Reference);
+  ExpectIdentical(ref.restored, ref.cold);
+  for (vm::ExecMode mode :
+       {vm::ExecMode::Superblock, vm::ExecMode::Predecoded}) {
+    SCOPED_TRACE(vm::ExecModeName(mode));
+    SnapOutcome fast = RunSnapshotRoundTrip(mode);
+    // Replaying from the restore point reproduces the first pass exactly...
+    ExpectIdentical(fast.restored, fast.cold);
+    // ...and the whole trajectory matches the other engines.
+    EXPECT_EQ(fast.warm_instructions, ref.warm_instructions);
+    EXPECT_EQ(fast.warm_pc, ref.warm_pc);
+    ExpectIdentical(fast.cold, ref.cold);
+  }
+}
+
+// ---- seeded random-program differential fuzzer ------------------------------
+
+/// Deterministic random program over the full ISA surface: arithmetic,
+/// compares, forward/backward branches, stack traffic, loads/stores to
+/// valid and wild addresses, PLT calls (including an unresolvable one),
+/// indirect jumps/calls (often mid-instruction), syscalls, kcalls, raw
+/// RETs, HALT and ABORT. Faults are a feature: every termination mode
+/// must be bit-identical across engines.
+class ProgramGen {
+ public:
+  explicit ProgramGen(uint64_t seed) : rng_(seed) {}
+
+  sso::SharedObject Build() {
+    CodeBuilder b;
+    b.reserve_data(128);
+    b.reserve_tls(16);
+    size_t helpers = 1 + U(3);
+    for (size_t f = 0; f < helpers; ++f) {
+      b.begin_function("f" + std::to_string(f));
+      EmitBody(b, 8 + U(24), helpers);
+      b.mov_ri(Reg::R0, static_cast<int64_t>(U(100)));
+      b.leave_ret();
+      b.end_function();
+    }
+    b.begin_function("main");
+    EmitBody(b, 16 + U(32), helpers);
+    b.mov_ri(Reg::R0, static_cast<int64_t>(U(100)));
+    b.leave_ret();
+    b.end_function();
+    return sso::FromCodeUnit("fuzz.so", b.Finish());
+  }
+
+ private:
+  uint64_t U(uint64_t n) { return rng_() % n; }
+  Reg R() { return static_cast<Reg>(U(8)); }  // R0..R7 only: SP/BP stay sane
+
+  int64_t RandomAddress() {
+    // The fuzz module is loaded alone, so it is module 1 (kernel is 0).
+    switch (U(6)) {
+      case 0: return static_cast<int64_t>(vm::kStackBase + U(vm::kStackSize));
+      case 1: return static_cast<int64_t>(vm::kHeapBase + U(1 << 12));
+      case 2: return static_cast<int64_t>(vm::kTlsBase + U(16));
+      case 3: return static_cast<int64_t>(vm::ModuleDataBase(1) + U(128));
+      case 4: return static_cast<int64_t>(vm::ModuleCodeBase(1) + U(300));
+      default: return static_cast<int64_t>(rng_());  // wild
+    }
+  }
+
+  void EmitBody(CodeBuilder& b, size_t n, size_t helpers) {
+    std::vector<CodeBuilder::Label> labels;
+    size_t nlabels = 2 + n / 8;
+    for (size_t i = 0; i < nlabels; ++i) labels.push_back(b.new_label());
+    size_t bound = 0;
+    auto any_label = [&] { return labels[U(labels.size())]; };
+    for (size_t i = 0; i < n; ++i) {
+      if (bound < labels.size() && U(4) == 0) b.bind(labels[bound++]);
+      switch (U(24)) {
+        case 0: b.add_rr(R(), R()); break;
+        case 1: b.sub_rr(R(), R()); break;
+        case 2: b.mul_rr(R(), R()); break;
+        case 3: b.xor_rr(R(), R()); break;
+        case 4: b.add_ri(R(), static_cast<int64_t>(U(1000)) - 500); break;
+        case 5: b.and_ri(R(), static_cast<int64_t>(U(255))); break;
+        case 6: b.neg(R()); break;
+        case 7: b.not_(R()); break;
+        case 8: b.mov_rr(R(), R()); break;
+        case 9:
+          b.mov_ri(R(), U(3) == 0 ? RandomAddress()
+                                  : static_cast<int64_t>(U(1000)));
+          break;
+        case 10: b.cmp_rr(R(), R()); break;
+        case 11: b.cmp_ri(R(), static_cast<int64_t>(U(10))); break;
+        case 12: {  // conditional branch, forward or backward
+          CodeBuilder::Label l = any_label();
+          switch (U(6)) {
+            case 0: b.je(l); break;
+            case 1: b.jne(l); break;
+            case 2: b.jlt(l); break;
+            case 3: b.jle(l); break;
+            case 4: b.jgt(l); break;
+            default: b.jge(l); break;
+          }
+          break;
+        }
+        case 13:
+          if (U(3) == 0) b.jmp(any_label());
+          else b.cmp_ri(R(), static_cast<int64_t>(U(5)));
+          break;
+        case 14: b.load(R(), R(), static_cast<int32_t>(U(64)) - 8); break;
+        case 15: b.store(R(), static_cast<int32_t>(U(64)) - 8, R()); break;
+        case 16:
+          b.store_i(R(), static_cast<int32_t>(U(64)),
+                    static_cast<int64_t>(U(1 << 16)));
+          break;
+        case 17:
+          if (U(2) == 0) b.lea_data(R(), static_cast<int32_t>(U(120)));
+          else b.lea_tls(R(), static_cast<int32_t>(U(16)));
+          break;
+        case 18: b.push(R()); break;
+        case 19: b.pop(R()); break;
+        case 20:
+          switch (U(8)) {
+            case 0: b.call_sym("absent_fn"); break;  // unresolved: SIGILL
+            case 1: b.kcall(static_cast<uint16_t>(U(24))); break;
+            case 2: b.syscall(static_cast<uint16_t>(U(40))); break;
+            default:
+              b.call_sym("f" + std::to_string(U(helpers)));
+              break;
+          }
+          break;
+        case 21: {  // indirect control, frequently mid-instruction
+          Reg r = R();
+          b.mov_ri(r, RandomAddress());
+          if (U(2) == 0) b.jmp_ind(r);
+          else b.call_ind(r);
+          break;
+        }
+        case 22:
+          if (U(4) == 0) b.ret();  // raw RET: pops whatever is on top
+          else b.nop();
+          break;
+        default:
+          if (U(16) == 0) b.abort();
+          else if (U(16) == 0) b.halt();
+          else b.lea(R(), R(), static_cast<int32_t>(U(64)) - 32);
+          break;
+      }
+    }
+    while (bound < labels.size()) b.bind(labels[bound++]);
+  }
+
+  std::mt19937_64 rng_;
+};
+
+struct FuzzOutcome {
+  vm::RunOutcome run = vm::RunOutcome::AllExited;
+  vm::ProcState state = vm::ProcState::Exited;
+  int64_t exit_code = 0;
+  vm::Signal signal = vm::Signal::None;
+  std::string fault_message;
+  uint64_t instructions = 0;
+  uint64_t pc = 0;
+  std::array<int64_t, isa::kNumRegs> regs = {};
+  uint64_t mem_digest = 0;
+  std::vector<std::vector<uint32_t>> coverage;
+
+  bool operator==(const FuzzOutcome& o) const {
+    return run == o.run && state == o.state && exit_code == o.exit_code &&
+           signal == o.signal && fault_message == o.fault_message &&
+           instructions == o.instructions && pc == o.pc && regs == o.regs &&
+           mem_digest == o.mem_digest && coverage == o.coverage;
+  }
+};
+
+uint64_t Fnv1a(const uint8_t* p, size_t n, uint64_t h) {
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// Digest every writable byte the program can reach: stack, heap, TLS
+/// (via the process's memory interface) and each module's data section.
+uint64_t DigestMemory(vm::Machine& machine, vm::Process& proc) {
+  uint64_t h = 1469598103934665603ull;
+  uint8_t buf[4096];
+  auto digest_range = [&](uint64_t base, uint64_t size) {
+    for (uint64_t off = 0; off < size; off += sizeof(buf)) {
+      uint64_t len = std::min<uint64_t>(sizeof(buf), size - off);
+      if (proc.read_mem(base + off, buf, len)) h = Fnv1a(buf, len, h);
+    }
+  };
+  digest_range(vm::kStackBase, vm::kStackSize);
+  digest_range(vm::kHeapBase, proc.heap_bytes());
+  digest_range(vm::kTlsBase, vm::kTlsSize);
+  for (const auto& mod : machine.loader().modules()) {
+    h = Fnv1a(mod->data_runtime.data(), mod->data_runtime.size(), h);
+  }
+  return h;
+}
+
+FuzzOutcome RunFuzzProgram(const sso::SharedObject& program,
+                           vm::ExecMode mode) {
+  vm::Machine machine;
+  machine.SetExecMode(mode);
+  machine.Load(program);
+  vm::CoverageTracker* cov = machine.EnableCoverage();
+  FuzzOutcome out;
+  auto pid = machine.CreateProcess("main");
+  EXPECT_TRUE(pid.ok());
+  if (!pid.ok()) return out;
+  out.run = machine.Run(50'000);
+  vm::Process& proc = *machine.process(pid.value());
+  out.state = proc.state();
+  out.exit_code = proc.exit_code();
+  out.signal = proc.signal();
+  out.fault_message = proc.fault_message();
+  out.instructions = proc.instructions();
+  out.pc = proc.pc();
+  for (int r = 0; r < isa::kNumRegs; ++r) {
+    out.regs[r] = proc.reg(static_cast<Reg>(r));
+  }
+  out.mem_digest = DigestMemory(machine, proc);
+  for (size_t m = 0; m < cov->module_count(); ++m) {
+    out.coverage.push_back(cov->executed(m).ToOffsets());
+  }
+  return out;
+}
+
+/// Reproducer dump for a diverging program: seed, serialized object on
+/// disk, and the full disassembly in the failure message.
+std::string DumpProgram(const sso::SharedObject& so, uint64_t seed) {
+  std::string path = "superblock-repro-" + std::to_string(seed) + ".sso";
+  std::vector<uint8_t> bytes = so.Serialize();
+  std::ofstream f(path, std::ios::binary);
+  f.write(reinterpret_cast<const char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+  std::string out = "seed=" + std::to_string(seed) + " (written to " + path +
+                    ")\n";
+  auto dis = isa::Disassemble(so.code, 0, static_cast<uint32_t>(so.code.size()));
+  if (dis.ok()) {
+    for (const isa::Instr& ins : dis.value()) {
+      out += Format("%5u: %s\n", ins.offset, ins.ToString().c_str());
+    }
+  }
+  return out;
+}
+
+TEST(SuperblockFuzz, RandomProgramsIdenticalAcrossThreeEngines) {
+  int divergences = 0;
+  for (uint64_t seed = 1; seed <= 200 && divergences < 3; ++seed) {
+    sso::SharedObject program = ProgramGen(seed).Build();
+    FuzzOutcome ref = RunFuzzProgram(program, vm::ExecMode::Reference);
+    FuzzOutcome pre = RunFuzzProgram(program, vm::ExecMode::Predecoded);
+    FuzzOutcome sb = RunFuzzProgram(program, vm::ExecMode::Superblock);
+    for (const auto& [name, fast] : {std::pair<const char*, FuzzOutcome&>{
+                                         "superblock", sb},
+                                     {"predecoded", pre}}) {
+      if (fast == ref) continue;
+      ++divergences;
+      SCOPED_TRACE(DumpProgram(program, seed));
+      SCOPED_TRACE(name);
+      EXPECT_EQ(fast.run, ref.run);
+      EXPECT_EQ(fast.state, ref.state);
+      EXPECT_EQ(fast.exit_code, ref.exit_code);
+      EXPECT_EQ(fast.signal, ref.signal);
+      EXPECT_EQ(fast.fault_message, ref.fault_message);
+      EXPECT_EQ(fast.instructions, ref.instructions);
+      EXPECT_EQ(fast.pc, ref.pc);
+      EXPECT_EQ(fast.regs, ref.regs);
+      EXPECT_EQ(fast.mem_digest, ref.mem_digest);
+      EXPECT_EQ(fast.coverage, ref.coverage);
+    }
+  }
+  EXPECT_EQ(divergences, 0);
+}
+
+// ---- superblock partition properties ----------------------------------------
+
+/// The partition must tile the instruction stream exactly: superblocks are
+/// contiguous, ascending, non-empty, cover every slot once, and run_length
+/// counts to the end of the enclosing superblock.
+void ExpectPartitionTiles(const vm::CodeCache::ModuleStream& stream,
+                          const std::string& name) {
+  SCOPED_TRACE(name);
+  ASSERT_EQ(stream.sb_of_slot.size(), stream.instrs.size());
+  uint32_t expect_first = 0;
+  for (size_t i = 0; i < stream.superblocks.size(); ++i) {
+    const vm::CodeCache::Superblock& sb = stream.superblocks[i];
+    EXPECT_EQ(sb.first_slot, expect_first);
+    EXPECT_GT(sb.slot_count, 0u);
+    for (uint32_t s = sb.first_slot; s < sb.first_slot + sb.slot_count; ++s) {
+      ASSERT_EQ(stream.sb_of_slot[s], i);
+      EXPECT_EQ(stream.run_length(s), sb.first_slot + sb.slot_count - s);
+    }
+    expect_first = sb.first_slot + sb.slot_count;
+  }
+  EXPECT_EQ(expect_first, stream.instrs.size());
+  // start_bits has exactly one bit per decoded instruction start.
+  size_t bits = 0;
+  for (uint64_t w : stream.start_bits) bits += __builtin_popcountll(w);
+  EXPECT_EQ(bits, stream.instrs.size());
+  for (const isa::Instr& ins : stream.instrs) {
+    EXPECT_TRUE((stream.start_bits[ins.offset >> 6] >> (ins.offset & 63)) & 1);
+  }
+}
+
+/// Superblock entry offsets restricted to an exported function must be
+/// exactly the function's CFG block leaders. CodeCache derives its leaders
+/// independently (symbols, relocs, branch/call targets, post-terminator),
+/// so this is a genuine cross-check against analysis/cfg.
+void ExpectEntriesMatchCfg(const vm::Loader& loader,
+                           const vm::LoadedModule& mod) {
+  const vm::CodeCache::ModuleStream* stream =
+      loader.code_cache().stream(mod.index);
+  ASSERT_NE(stream, nullptr) << mod.object.name;
+  std::set<uint32_t> entries;
+  for (const vm::CodeCache::Superblock& sb : stream->superblocks) {
+    entries.insert(stream->instrs[sb.first_slot].offset);
+  }
+  for (const isa::Symbol& fn : mod.object.exports) {
+    if (fn.size == 0) continue;
+    SCOPED_TRACE(mod.object.name + "`" + fn.name);
+    auto cfg = analysis::BuildCfg(mod.object, fn);
+    ASSERT_TRUE(cfg.ok()) << cfg.error();
+    std::set<uint32_t> leaders;
+    for (const analysis::BasicBlock& block : cfg.value().blocks) {
+      leaders.insert(block.begin);
+    }
+    std::set<uint32_t> in_fn;
+    for (uint32_t e : entries) {
+      if (e >= fn.offset && e < fn.offset + fn.size) in_fn.insert(e);
+    }
+    EXPECT_EQ(in_fn, leaders);
+  }
+}
+
+TEST(SuperblockProperty, PartitionAgreesWithCfgOnTier1Modules) {
+  // Machine 1: kernel + libc + the db-suite modules. Machine 2: Pidgin.
+  vm::Machine db;
+  apps::DbSuiteMachineSetup()(db);
+  vm::Machine pidgin;
+  pidgin.Load(libc::BuildLibc());
+  pidgin.Load(apps::BuildPidgin());
+  for (vm::Machine* machine : {&db, &pidgin}) {
+    for (const auto& mod : machine->loader().modules()) {
+      const vm::CodeCache::ModuleStream* stream =
+          machine->loader().code_cache().stream(mod->index);
+      ASSERT_NE(stream, nullptr) << mod->object.name;
+      ASSERT_FALSE(stream->instrs.empty()) << mod->object.name;
+      ExpectPartitionTiles(*stream, mod->object.name);
+      ExpectEntriesMatchCfg(machine->loader(), *mod);
+    }
+  }
+}
+
+/// A jump into the middle of an instruction has no predecoded slot; the
+/// superblock engine must take the same DecodeOne fallback as predecoded
+/// and fault with the exact reference message.
+TEST(SuperblockProperty, MidInstructionJumpFallsBackToDecodeOne) {
+  auto build = [] {
+    CodeBuilder b;
+    b.begin_function("main");
+    // Prologue is 5 bytes (push bp; mov bp, sp); this MOV_RI sits at
+    // offset 5, so its imm64 begins at offset 7. The low imm byte 0xFF is
+    // not a valid opcode — jumping there must SIGILL identically on all
+    // engines.
+    b.mov_ri(Reg::R2, 0xFF);
+    b.mov_ri(Reg::R3, static_cast<int64_t>(vm::ModuleCodeBase(1) + 7));
+    b.jmp_ind(Reg::R3);
+    b.leave_ret();
+    b.end_function();
+    return sso::FromCodeUnit("app.so", b.Finish());
+  };
+  auto run = [&](vm::ExecMode mode) {
+    vm::Machine machine;  // kernel is module 0, app is module 1
+    machine.SetExecMode(mode);
+    machine.Load(build());
+    return test::RunEntry(machine, "main");
+  };
+  test::RunResult ref = run(vm::ExecMode::Reference);
+  EXPECT_EQ(ref.state, vm::ProcState::Faulted);
+  EXPECT_EQ(ref.signal, vm::Signal::Ill);
+  EXPECT_NE(ref.fault.find("unknown opcode"), std::string::npos) << ref.fault;
+  for (vm::ExecMode mode :
+       {vm::ExecMode::Superblock, vm::ExecMode::Predecoded}) {
+    SCOPED_TRACE(vm::ExecModeName(mode));
+    test::RunResult fast = run(mode);
+    EXPECT_EQ(fast.state, ref.state);
+    EXPECT_EQ(fast.signal, ref.signal);
+    EXPECT_EQ(fast.fault, ref.fault);
+  }
+}
+
+}  // namespace
+}  // namespace lfi

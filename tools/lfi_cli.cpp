@@ -408,6 +408,15 @@ int CmdCampaign(const std::vector<std::string>& args) {
     }
     else if (args[i] == "--exhaustive") exhaustive = true;
     else if (args[i] == "--snapshot") opts.snapshot = true;
+    else if (args[i] == "--exec") {
+      std::string name = next();
+      auto mode = vm::ParseExecMode(name);
+      if (!mode) {
+        return Fail("campaign: unknown --exec engine \"" + name +
+                    "\" (superblock, predecoded, or reference)");
+      }
+      opts.exec_mode = *mode;
+    }
     else if (args[i] == "--seed" || args[i] == "--scenarios" ||
              args[i] == "--jobs" || args[i] == "--budget" ||
              args[i] == "--warmup") {
@@ -578,6 +587,15 @@ int CmdExplore(const std::vector<std::string>& args) {
     }
     else if (args[i] == "--no-minimize") eopts.minimize_crashes = false;
     else if (args[i] == "--snapshot") eopts.campaign.snapshot = true;
+    else if (args[i] == "--exec") {
+      std::string name = next();
+      auto mode = vm::ParseExecMode(name);
+      if (!mode) {
+        return Fail("explore: unknown --exec engine \"" + name +
+                    "\" (superblock, predecoded, or reference)");
+      }
+      eopts.campaign.exec_mode = *mode;
+    }
     else if (args[i] == "--rounds" || args[i] == "--budget" ||
              args[i] == "--seed" || args[i] == "--jobs" ||
              args[i] == "--instructions" || args[i] == "--warmup") {
@@ -716,11 +734,13 @@ int main(int argc, char** argv) {
         "       [--entry sym] [--profile xml]... [--lib sso]...\n"
         "       [--file path]... [--coverage report.txt]\n"
         "       [--budget instructions] [--snapshot] [--warmup instructions]\n"
+        "       [--exec superblock|predecoded|reference]\n"
         "  explore --app <sso> [--rounds N] [--budget scenarios-per-round]\n"
         "       [--seed n] [--jobs N] [--corpus-dir dir] [--probability p]\n"
         "       [--entry sym] [--profile xml]... [--lib sso]...\n"
         "       [--file path]... [--instructions N] [--no-minimize]\n"
-        "       [--snapshot] [--warmup instructions]\n");
+        "       [--snapshot] [--warmup instructions]\n"
+        "       [--exec superblock|predecoded|reference]\n");
     return 1;
   }
   std::string cmd = args[0];
