@@ -9,6 +9,7 @@
 // size; smoke workloads are too small for stable timing, so there it only
 // warns. LFI_BENCH_JSON names a file, writes the same numbers as JSON so
 // CI can archive the perf trajectory (BENCH_snapshot.json).
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -34,6 +35,11 @@ struct CampaignRun {
   size_t crashes = 0;
   uint64_t instructions = 0;
   std::string fingerprint;  // status/instr/injections per scenario
+  // Restore-cost telemetry (zero for cold runs). Worker-local, so only
+  // meaningful at jobs=1 — which is how this bench runs.
+  double restore_pages_mean = 0;
+  uint64_t restore_pages_max = 0;
+  size_t fallbacks = 0;
   double scenarios_per_sec() const {
     return seconds > 0 ? static_cast<double>(scenarios) / seconds : 0;
   }
@@ -79,6 +85,16 @@ CampaignRun RunCampaign(const campaign::MachineSetup& setup,
   out.crashes = report.crashes;
   out.instructions = report.total_instructions;
   out.fingerprint = Fingerprint(report);
+  out.fallbacks = report.snapshot_fallbacks;
+  uint64_t pages_total = 0;
+  for (const campaign::ScenarioResult& r : report.results) {
+    pages_total += r.restore_pages;
+    out.restore_pages_max = std::max(out.restore_pages_max, r.restore_pages);
+  }
+  if (!report.results.empty()) {
+    out.restore_pages_mean =
+        static_cast<double>(pages_total) / report.results.size();
+  }
   return out;
 }
 
@@ -151,16 +167,18 @@ TargetResult RunTarget(const char* name, const campaign::MachineSetup& setup,
 
 void AppendJson(std::string* json, const char* target, const char* mode,
                 const ModeResult& r) {
-  char buf[320];
+  char buf[448];
   std::snprintf(
       buf, sizeof(buf),
       "  \"%s_%s\": {\"scenarios\": %zu, \"warmup_instructions\": %llu, "
       "\"cold_seconds\": %.6f, \"snapshot_seconds\": %.6f, "
       "\"cold_scenarios_per_sec\": %.1f, \"snapshot_scenarios_per_sec\": "
-      "%.1f, \"speedup\": %.3f, \"identical\": %s}",
+      "%.1f, \"speedup\": %.3f, \"restore_pages_mean\": %.1f, "
+      "\"restore_pages_max\": %llu, \"fallbacks\": %zu, \"identical\": %s}",
       target, mode, r.cold.scenarios, (unsigned long long)r.warmup,
       r.cold.seconds, r.snap.seconds, r.cold.scenarios_per_sec(),
-      r.snap.scenarios_per_sec(), r.speedup(),
+      r.snap.scenarios_per_sec(), r.speedup(), r.snap.restore_pages_mean,
+      (unsigned long long)r.snap.restore_pages_max, r.snap.fallbacks,
       r.identical() ? "true" : "false");
   *json += buf;
 }

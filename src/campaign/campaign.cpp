@@ -22,6 +22,7 @@ const char* ScenarioStatusName(ScenarioStatus status) {
 void CampaignReport::Aggregate() {
   scenarios = results.size();
   crashes = deadlocks = budget_spent = setup_errors = 0;
+  snapshot_fallbacks = 0;
   total_injections = 0;
   total_instructions = 0;
   cpu_seconds = 0;
@@ -33,6 +34,7 @@ void CampaignReport::Aggregate() {
       case ScenarioStatus::SetupError: ++setup_errors; break;
       case ScenarioStatus::Exited: break;
     }
+    if (r.snapshot_fallback) ++snapshot_fallbacks;
     total_injections += r.injections;
     total_instructions += r.instructions;
     cpu_seconds += r.seconds;
@@ -56,6 +58,11 @@ std::string CampaignReport::ToText() const {
     for (const auto& [mod, bitmap] : coverage) offsets += bitmap.Count();
     out += Format("          union coverage: %zu offsets across %zu modules\n",
                   offsets, coverage.size());
+  }
+  if (snapshot_requested) {
+    // A fallback-heavy "fast path" run is really a cold run; surface it.
+    out += Format("          snapshot fallbacks (ran cold): %zu of %zu\n",
+                  snapshot_fallbacks, scenarios);
   }
   for (const ScenarioResult& r : results) {
     if (r.status == ScenarioStatus::Exited) continue;

@@ -29,6 +29,13 @@ struct Scenario {
   core::Plan plan;
   std::string entry;            // empty = CampaignOptions::entry
   uint64_t heap_cap_bytes = 0;  // 0 = CampaignOptions::default_heap_cap
+  /// Per-scenario fault-window override (instructions of fault-free prefix
+  /// before the plan installs); unset = CampaignOptions::warmup_instructions.
+  /// Honored identically by cold, flat-snapshot (restore + replay the
+  /// suffix), and snapshot-tree (restore a window-local node) execution.
+  /// Values below the campaign-wide warmup run cold: the shared snapshot
+  /// was taken past that point.
+  std::optional<uint64_t> warmup_instructions;
   /// Cost estimate for size-balanced sharding; 0 = use trigger count.
   uint64_t weight = 0;
 };
@@ -76,6 +83,22 @@ struct ScenarioResult {
   uint64_t crash_hash = 0;
   /// Replay plan (paper §5.2); populated when collect_replays is set.
   core::Plan replay;
+  /// Machine-wide instruction count at the scenario's first injection, 0
+  /// when nothing injected. Deterministic across jobs, engines, and
+  /// execution modes (cold/snapshot/tree) — the explorer derives fork
+  /// windows from it.
+  uint64_t first_injection_instructions = 0;
+  /// Snapshot execution was requested but this scenario ran cold
+  /// (entry/heap override, entry-interposing plan, window before the
+  /// shared snapshot, or no usable snapshot). Deterministic per scenario,
+  /// so jobs-invariant.
+  bool snapshot_fallback = false;
+  /// Restore cost this scenario paid (snapshot modes only): 4 KiB pages
+  /// copied and tree nodes walked. NOT jobs-invariant — the cost depends
+  /// on what the same worker ran previously — so these feed bench
+  /// telemetry only and stay out of reports and identity checks.
+  uint64_t restore_pages = 0;
+  uint64_t restore_nodes_walked = 0;
 };
 
 /// Aggregated campaign outcome. `results` is index-ordered regardless of
@@ -87,6 +110,13 @@ struct CampaignReport {
   size_t deadlocks = 0;
   size_t budget_spent = 0;
   size_t setup_errors = 0;
+  /// Scenarios that fell back to cold execution under --snapshot[-tree]
+  /// (always 0 otherwise). Printed in the summary when snapshot execution
+  /// was requested: a misconfigured fast-path run should not look fast.
+  size_t snapshot_fallbacks = 0;
+  /// Whether the campaign ran with snapshot execution requested (set by
+  /// the runner; gates the fallback line in ToText()).
+  bool snapshot_requested = false;
   uint64_t total_injections = 0;
   uint64_t total_instructions = 0;
   double wall_seconds = 0;  // whole campaign, one clock
@@ -134,6 +164,17 @@ struct CampaignOptions {
   /// heap cap, or whose plan names the entry symbol itself, fall back to
   /// cold execution automatically.
   bool snapshot = false;
+  /// Snapshot-tree scenario execution: like `snapshot`, but the worker
+  /// machines keep a *tree* of snapshot nodes keyed by fault window, so a
+  /// scenario whose (per-scenario) window sits past the campaign-wide
+  /// warmup restores a window-local node in O(pages dirtied since that
+  /// window) instead of replaying the warmup suffix from the flat
+  /// snapshot. First scenario at a new window pays restore-to-nearest +
+  /// run-the-gap + capture once; everyone after restores directly.
+  /// Reports stay bit-identical to cold and flat-snapshot execution
+  /// (test-enforced). Implies warm-once semantics; `snapshot` is ignored
+  /// when set.
+  bool snapshot_tree = false;
   /// Instructions of fault-free prefix executed before the fault window
   /// opens (quantum granularity). Applies to cold execution too, so
   /// snapshot and cold runs of the same scenario stay bit-identical: the

@@ -74,16 +74,20 @@ PlanRunner::PlanRunner(
   }
   controller_ =
       std::make_unique<core::Controller>(machine_, options_.controller);
-  PrepareMachineSnapshot(machine_, options_);
+  PrepareMachineSnapshot(machine_, options_,
+                         options_.snapshot_tree ? &tree_state_ : nullptr);
 }
 
 ScenarioResult PlanRunner::Run(const core::Plan& plan,
-                               const std::string& name) {
+                               const std::string& name,
+                               std::optional<uint64_t> warmup) {
   Scenario scenario;
   scenario.name = name;
   scenario.plan = plan;
+  scenario.warmup_instructions = warmup;
   return RunScenarioOn(machine_, *controller_, scenario, options_, profiles_,
-                       tracker_, module_names_);
+                       tracker_, module_names_,
+                       options_.snapshot_tree ? &tree_state_ : nullptr);
 }
 
 Explorer::Explorer(MachineSetup setup,
@@ -308,7 +312,8 @@ core::Plan Explorer::SweepPlan(const SweepCandidate& candidate,
 }
 
 std::vector<Scenario> Explorer::EvolvePopulation(
-    const std::vector<core::Plan>& corpus, size_t round) const {
+    const std::vector<core::Plan>& corpus,
+    const std::vector<uint64_t>& windows, size_t round) const {
   const size_t budget = options_.scenarios_per_round;
   std::vector<Scenario> population;
   size_t fresh =
@@ -323,11 +328,16 @@ std::vector<Scenario> Explorer::EvolvePopulation(
     Rng rng = SlotRng(options_.seed, round, k);
     Scenario s;
     if (k < havoc_n) {
-      const core::Plan& parent = corpus[rng.below(corpus.size())];
+      size_t parent_index = rng.below(corpus.size());
+      const core::Plan& parent = corpus[parent_index];
       const core::Plan& other = corpus[rng.below(corpus.size())];
       const char* op = "mutate";
       s.plan = Mutate(parent, other, rng, &op);
       s.name = Format("r%zu-%zu-%s", round + 1, k, op);
+      // Fork the child from the parent's trigger point: its fault window
+      // opens where the parent's faults started mattering, so snapshot
+      // trees restore the shared prefix instead of re-running it.
+      if (options_.fork_windows) s.warmup_instructions = windows[parent_index];
     } else if (k < havoc_n + sweep_n) {
       // Deterministic sweep: continue the enumeration where the previous
       // round left off (rounds 1.. are the evolved ones).
@@ -356,13 +366,17 @@ ExplorerReport Explorer::Explore(std::vector<core::Plan> initial_corpus) {
   CampaignRunner runner(setup_, profiles_, copts);
 
   std::vector<core::Plan> corpus;
+  // corpus[i]'s fork window (parallel to `corpus`): the quantum-floored
+  // instant of its first injection when fork_windows is on, else the
+  // campaign-wide warmup.
+  std::vector<uint64_t> corpus_windows;
   std::map<std::string, vm::CoverageBitmap>& unioned = report.coverage;
   std::map<uint64_t, size_t> buckets;  // crash_hash -> index into crashes
 
   for (size_t round = 0; round < options_.rounds; ++round) {
     std::vector<Scenario> population =
         round == 0 ? SeedPopulation(initial_corpus)
-                   : EvolvePopulation(corpus, round);
+                   : EvolvePopulation(corpus, corpus_windows, round);
     CampaignReport creport = runner.Run(population);
 
     RoundStats rs;
@@ -376,11 +390,26 @@ ExplorerReport Explorer::Explore(std::vector<core::Plan> initial_corpus) {
       for (const auto& [mod, bitmap] : r.coverage) {
         fresh_offsets += bitmap.CountNotIn(unioned[mod]);
       }
+      const uint64_t scenario_window =
+          population[r.index].warmup_instructions.value_or(
+              copts.warmup_instructions);
       if (fresh_offsets > 0) {
         for (const auto& [mod, bitmap] : r.coverage) {
           unioned[mod].Merge(bitmap);
         }
         corpus.push_back(population[r.index].plan);
+        // The admitted plan's fork window: the quantum floor of its first
+        // injection instant, never receding below the window it already
+        // ran with. Derived from mode- and engine-invariant data, so the
+        // whole exploration stays bit-identical across execution modes.
+        uint64_t window = scenario_window;
+        if (options_.fork_windows && r.first_injection_instructions > 0) {
+          uint64_t floored = vm::Machine::kQuantum *
+                             ((r.first_injection_instructions - 1) /
+                              vm::Machine::kQuantum);
+          window = std::max(window, floored);
+        }
+        corpus_windows.push_back(window);
         rs.new_offsets += fresh_offsets;
         ++rs.winners;
       }
@@ -398,6 +427,7 @@ ExplorerReport Explorer::Explore(std::vector<core::Plan> initial_corpus) {
           cr.count = 1;
           cr.replay = r.replay;
           cr.minimized = r.replay;
+          cr.window = scenario_window;
           report.crashes.push_back(std::move(cr));
           ++rs.new_crash_buckets;
         } else {
@@ -429,14 +459,16 @@ ExplorerReport Explorer::Explore(std::vector<core::Plan> initial_corpus) {
       cr.minimized = core::MinimizePlan(
           cr.replay,
           [&](const core::Plan& candidate) {
-            ScenarioResult r = oracle.Run(candidate);
+            ScenarioResult r = oracle.Run(candidate, "plan", cr.window);
             return r.status == ScenarioStatus::Crashed &&
                    r.crash_site_hash == cr.site_hash;
           },
           &stats);
       cr.minimize_runs = stats.oracle_runs;
-      // Re-verify from scratch: the shipped reproducer must stand alone.
-      ScenarioResult check = oracle.Run(cr.minimized);
+      // Re-verify from scratch: the shipped reproducer must stand alone
+      // (at the witness's fault window — replay call counts are relative
+      // to the install point).
+      ScenarioResult check = oracle.Run(cr.minimized, "plan", cr.window);
       cr.reproduces = check.status == ScenarioStatus::Crashed &&
                       check.crash_site_hash == cr.site_hash;
     });

@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -56,6 +57,10 @@ struct CrashReport {
   core::Plan replay;          // full §5.2 replay plan of the first witness
   core::Plan minimized;       // 1-minimal reproducer (== replay when
                               // minimization is off or failed)
+  /// Fault window the witness ran with (call counts in the replay are
+  /// relative to its install point, so reproduction needs the same
+  /// window). Equals the campaign warmup unless fork_windows placed it.
+  uint64_t window = 0;
   size_t minimize_runs = 0;   // oracle executions spent shrinking
   /// Re-verified after minimization: the minimized plan, run fresh,
   /// crashes at the same site.
@@ -85,6 +90,16 @@ struct ExplorerOptions {
   double sweep_fraction = 0.34;
   /// Shrink each unique crash to a minimal reproducer after the rounds.
   bool minimize_crashes = true;
+  /// Fork mutated children from their corpus parent's trigger point: each
+  /// admitted plan records the (quantum-floored) instruction instant of
+  /// its first injection, and its mutants open their fault window there
+  /// instead of at the campaign-wide warmup — under --snapshot-tree the
+  /// worker restores a window-local node, so children skip the parent's
+  /// whole fault-free prefix. Changes search semantics (triggers can no
+  /// longer fire before the parent's window), so it is off by default and
+  /// independent of execution mode: the same fork-windows exploration is
+  /// bit-identical under cold, flat-snapshot, and tree execution.
+  bool fork_windows = false;
   /// Campaign execution knobs (jobs, entry, budgets, controller). The
   /// explorer forces track_coverage / collect_scenario_coverage /
   /// collect_replays on — they are its inputs.
@@ -120,8 +135,10 @@ class PlanRunner {
              CampaignOptions options = {});
 
   /// Run one plan (resets the machine first). Deterministic: the result
-  /// depends only on the plan.
-  ScenarioResult Run(const core::Plan& plan, const std::string& name = "plan");
+  /// depends only on the plan (and the explicit `warmup` window override,
+  /// when given — needed to reproduce fork-windows findings).
+  ScenarioResult Run(const core::Plan& plan, const std::string& name = "plan",
+                     std::optional<uint64_t> warmup = std::nullopt);
 
  private:
   CampaignOptions options_;
@@ -130,6 +147,7 @@ class PlanRunner {
   vm::CoverageTracker* tracker_ = nullptr;
   std::vector<std::string> module_names_;
   std::unique_ptr<core::Controller> controller_;
+  SnapshotTreeState tree_state_;
 };
 
 class Explorer {
@@ -156,7 +174,10 @@ class Explorer {
 
   std::vector<Scenario> SeedPopulation(
       const std::vector<core::Plan>& initial) const;
+  /// `windows[i]` is corpus[i]'s fork window (parallel vectors); mutants
+  /// inherit their parent's window when fork_windows is on.
   std::vector<Scenario> EvolvePopulation(const std::vector<core::Plan>& corpus,
+                                         const std::vector<uint64_t>& windows,
                                          size_t round) const;
   /// The fixed sweep order: stages (shrink length-ish arg, poison arg 1,
   /// zero arg 2) x calls {2,3,1,4} x profiled functions.

@@ -28,15 +28,20 @@ bool PlanNamesEntry(const core::Plan& plan, const std::string& entry) {
 }  // namespace
 
 bool PrepareMachineSnapshot(vm::Machine& machine,
-                            const CampaignOptions& options) {
-  if (!options.snapshot) return false;
+                            const CampaignOptions& options,
+                            SnapshotTreeState* tree) {
+  if (!options.snapshot && !options.snapshot_tree) return false;
   machine.Reset();
   auto pid = machine.CreateProcess(options.entry, options.default_heap_cap);
   if (!pid.ok()) return false;
   if (options.warmup_instructions > 0) {
     machine.Run(options.warmup_instructions);
   }
-  machine.Snapshot();
+  machine.Snapshot();  // fresh tree, root at the campaign-wide window
+  if (options.snapshot_tree && tree != nullptr) {
+    tree->windows.clear();
+    tree->windows[options.warmup_instructions] = machine.current_snapshot();
+  }
   return true;
 }
 
@@ -44,7 +49,8 @@ ScenarioResult RunScenarioOn(
     vm::Machine& machine, core::Controller& controller,
     const Scenario& scenario, const CampaignOptions& options,
     const std::shared_ptr<const std::vector<core::FaultProfile>>& profiles,
-    vm::CoverageTracker* tracker, const std::vector<std::string>& module_names) {
+    vm::CoverageTracker* tracker, const std::vector<std::string>& module_names,
+    SnapshotTreeState* tree) {
   ScenarioResult result;
   result.name = scenario.name;
 
@@ -52,11 +58,17 @@ ScenarioResult RunScenarioOn(
       scenario.entry.empty() ? options.entry : scenario.entry;
   uint64_t heap_cap = scenario.heap_cap_bytes != 0 ? scenario.heap_cap_bytes
                                                    : options.default_heap_cap;
+  const uint64_t warmup =
+      scenario.warmup_instructions.value_or(options.warmup_instructions);
+  const bool snapshot_mode = options.snapshot || options.snapshot_tree;
   // The per-worker snapshot was taken for the campaign-wide entry/heap
-  // configuration; scenarios that deviate from it run cold.
-  bool use_snapshot = options.snapshot && machine.has_snapshot() &&
+  // configuration at the campaign-wide window; scenarios that deviate from
+  // the configuration — or whose window opens before the shared snapshot —
+  // run cold.
+  bool use_snapshot = snapshot_mode && machine.has_snapshot() &&
                       entry == options.entry &&
                       heap_cap == options.default_heap_cap &&
+                      warmup >= options.warmup_instructions &&
                       !PlanNamesEntry(scenario.plan, entry);
 
   auto begin = Clock::now();
@@ -72,30 +84,57 @@ ScenarioResult RunScenarioOn(
     }
   };
 
+  const vm::SnapshotRestoreStats stats_before = machine.restore_stats();
   int primary_pid = 0;
   if (use_snapshot) {
     // A snapshot without a live entry process (possible through the raw
     // Machine API, never through PrepareMachineSnapshot) can't serve
-    // scenarios; run cold.
-    use_snapshot = machine.RestoreSnapshot() && !machine.processes().empty();
+    // scenarios; run cold. Restores are exact, so everything below
+    // reproduces the cold prefix bit-for-bit (Run targets are absolute
+    // instruction counts measured in whole scheduler rounds).
+    if (options.snapshot_tree && tree != nullptr) {
+      // Window-local restore: the greatest window at-or-below this
+      // scenario's. The base window is always present, so the lookup
+      // never misses; a first visit to a deeper window runs the gap
+      // fault-free once and captures a node for every scenario after.
+      auto it = tree->windows.upper_bound(warmup);
+      --it;
+      use_snapshot =
+          machine.RestoreTo(it->second) && !machine.processes().empty();
+      if (use_snapshot) {
+        controller.Reset();
+        if (it->first < warmup) {
+          machine.Run(warmup);
+          tree->windows[warmup] = machine.PushSnapshot();
+        }
+      }
+    } else {
+      use_snapshot = machine.RestoreSnapshot() && !machine.processes().empty();
+      if (use_snapshot) {
+        controller.Reset();
+        // Flat snapshot, deeper per-scenario window: replay the warmup
+        // suffix fault-free from the snapshot point — the re-warm tax the
+        // snapshot tree exists to eliminate.
+        if (warmup > options.warmup_instructions) machine.Run(warmup);
+      }
+    }
   }
   if (use_snapshot) {
-    // The machine is back at the fault-window entry point (entry process
-    // created, warmup prefix executed); only the plan changes per scenario.
-    controller.Reset();
+    // The machine sits at the scenario's fault-window entry point (entry
+    // process created, warmup prefix executed); only the plan changes.
     install();
     if (!setup_failed) primary_pid = machine.processes().front()->pid();
   } else {
     machine.Reset();
     controller.Reset();
-    if (options.warmup_instructions > 0) {
+    if (warmup > 0) {
       // Windowed execution, cold: the fault-free prefix runs before the
       // plan installs — exactly what a snapshot restore reproduces.
       auto pid = machine.CreateProcess(entry, heap_cap);
       if (!pid.ok()) {
         setup_fail(pid.error());
       } else {
-        machine.Run(options.warmup_instructions);
+        machine.Run(warmup);
         install();
         primary_pid = pid.value();
       }
@@ -108,12 +147,21 @@ ScenarioResult RunScenarioOn(
       }
     }
   }
+  result.snapshot_fallback = snapshot_mode && !use_snapshot;
+  {
+    const vm::SnapshotRestoreStats& stats_after = machine.restore_stats();
+    result.restore_pages =
+        stats_after.pages_restored - stats_before.pages_restored;
+    result.restore_nodes_walked =
+        stats_after.nodes_walked - stats_before.nodes_walked;
+  }
   if (setup_failed) return result;
 
   vm::RunOutcome outcome = machine.Run(options.max_instructions);
   result.seconds = Seconds(begin, Clock::now());
   result.instructions = machine.total_instructions();
   result.injections = controller.log().size();
+  result.first_injection_instructions = controller.first_injection_instructions();
   if (options.collect_replays) result.replay = controller.GenerateReplay();
 
   vm::Process* primary = machine.process(primary_pid);
@@ -182,13 +230,18 @@ void CampaignRunner::RunShard(
   core::Controller controller(machine, options_.controller);
   // Warm once, restore per scenario: the snapshot carries the machine at
   // the fault-window entry point, so scenarios skip reset + process
-  // construction (and the warmup prefix) entirely.
-  PrepareMachineSnapshot(machine, options_);
+  // construction (and the warmup prefix) entirely. In tree mode the
+  // worker also grows window-local nodes as scenarios visit deeper
+  // windows.
+  SnapshotTreeState tree_state;
+  SnapshotTreeState* tree =
+      options_.snapshot_tree ? &tree_state : nullptr;
+  PrepareMachineSnapshot(machine, options_, tree);
 
   for (size_t idx : shard) {
     ScenarioResult& result = (*results)[idx];
     result = RunScenarioOn(machine, controller, scenarios[idx], options_,
-                           profiles_, tracker, module_names);
+                           profiles_, tracker, module_names, tree);
     result.index = idx;
     // Union this scenario's bitmaps into the worker-local aggregate — a
     // bitwise OR per module, no locks, no per-offset work.
@@ -200,6 +253,7 @@ void CampaignRunner::RunShard(
 CampaignReport CampaignRunner::Run(const std::vector<Scenario>& scenarios) {
   completed_.store(0, std::memory_order_relaxed);
   CampaignReport report;
+  report.snapshot_requested = options_.snapshot || options_.snapshot_tree;
   if (scenarios.empty()) return report;  // skip worker/machine setup
   report.results.resize(scenarios.size());
 

@@ -192,6 +192,13 @@ Status Controller::Install(
 
           record.has_retval = decision->has_retval;
           record.retval = decision->retval;
+          if (first_injection_instructions_ == 0) {
+            // Sum per-process counts rather than reading the machine's
+            // round-settled total, which is stale mid-quantum.
+            for (const auto& proc : machine_.processes()) {
+              first_injection_instructions_ += proc->instructions();
+            }
+          }
           if (opts_.log_backtraces && log_.enabled()) {
             for (const auto& [addr, sym] : frame.backtrace()) {
               record.backtrace.push_back(sym);
@@ -220,6 +227,7 @@ void Controller::Reset() {
   engine_.reset();
   profiles_.reset();
   log_.Clear();
+  first_injection_instructions_ = 0;
 }
 
 }  // namespace lfi::core

@@ -68,6 +68,16 @@ class Controller {
   const InjectionLog& log() const { return log_; }
   TriggerEngine* engine() { return engine_.get(); }
 
+  /// Machine-wide instruction count (sum over processes) at the moment the
+  /// first fault was injected; 0 when nothing injected since the last
+  /// Reset(). Exact and engine-invariant: injections happen at native-stub
+  /// boundaries, where every engine has settled its per-process counts.
+  /// The explorer uses this to place fork windows at the instant a corpus
+  /// parent's faults start mattering.
+  uint64_t first_injection_instructions() const {
+    return first_injection_instructions_;
+  }
+
   /// Replay plan reproducing this run's injections (paper §5.2).
   Plan GenerateReplay() const { return GenerateReplayPlan(log_); }
 
@@ -79,6 +89,7 @@ class Controller {
   std::unique_ptr<TriggerEngine> engine_;
   std::shared_ptr<const std::vector<FaultProfile>> profiles_;
   InjectionLog log_;
+  uint64_t first_injection_instructions_ = 0;
   std::vector<std::shared_ptr<StubState>> stubs_;
 };
 

@@ -56,101 +56,192 @@ void Machine::Reset() {
   loader_.ResetData();
   kernel_.Reset();
   if (coverage_) coverage_->Clear();
-  // snapshot_ (if any) stays valid: its images are self-contained, and
-  // ResetData marked every data page dirty, so the next RestoreSnapshot
-  // reconstructs processes and copies full images.
+  // tree_ (if any) stays valid: node contents are self-contained, and
+  // ResetData marked every data page dirty, so the next RestoreTo copies
+  // all module pages and reconstructs processes from materialized images.
+  // The live state no longer extends any node, though — a PushSnapshot
+  // from here must start a fresh tree.
+  current_node_ = kNoSnapshot;
 }
 
-void Machine::Snapshot() {
-  auto snap = std::make_unique<MachineSnapshot>();
-  snap->total_instructions = total_instructions_;
-  snap->exit_reported = exit_reported_;
-  snap->module_count = loader_.modules().size();
-  snap->module_data.reserve(snap->module_count);
-  for (const auto& mod : loader_.modules()) {
-    snap->module_data.push_back(mod->data_runtime);
-    mod->data_dirty.Enable(mod->data_runtime.size());
-  }
-  snap->procs.resize(procs_.size());
-  for (size_t i = 0; i < procs_.size(); ++i) {
-    procs_[i]->CaptureSnapshot(&snap->procs[i]);
-  }
-  snap->kernel = kernel_.CaptureState();
-  if (coverage_) snap->coverage = *coverage_;
-  snapshot_ = std::move(snap);
-}
-
-bool Machine::RestoreSnapshot() {
-  if (!snapshot_) return false;
-  const MachineSnapshot& snap = *snapshot_;
-  // Validate before mutating anything: the module set must be the one the
-  // snapshot was taken over (stubs/natives may differ — the controller
-  // owns those — but data section sizes are load-time constants).
-  if (loader_.modules().size() != snap.module_count) return false;
-  for (size_t m = 0; m < snap.module_count; ++m) {
+bool Machine::ModuleSetMatches(const SnapshotTree& tree) const {
+  // Stubs/natives may differ — the controller owns those — but the module
+  // count and data section sizes are load-time constants.
+  if (loader_.modules().size() != tree.module_count) return false;
+  for (size_t m = 0; m < tree.module_count; ++m) {
     if (loader_.modules()[m]->data_runtime.size() !=
-        snap.module_data[m].size()) {
+        tree.module_data_bytes[m]) {
       return false;
     }
-  }
-  // Live processes can be restored in place (O(dirty pages)) when they are
-  // exactly the snapshot's processes, possibly plus scenario-spawned extras
-  // (truncated). Anything else — typically after Reset() — rebuilds them
-  // from the full images.
-  bool in_place = procs_.size() >= snap.procs.size();
-  if (in_place) {
-    for (size_t i = 0; i < snap.procs.size(); ++i) {
-      const ProcessSnapshot& ps = snap.procs[i];
-      if (procs_[i]->pid() != ps.pid ||
-          procs_[i]->heap_bytes() != ps.heap.size()) {
-        in_place = false;
-        break;
-      }
-    }
-  }
-
-  for (size_t m = 0; m < snap.module_count; ++m) {
-    LoadedModule& mod = *loader_.modules()[m];
-    if (mod.data_runtime.empty()) continue;
-    if (mod.data_dirty.enabled()) {
-      RestoreDirtyPages(mod.data_dirty, snap.module_data[m].data(),
-                        mod.data_runtime.data(), mod.data_runtime.size());
-    } else {
-      std::copy(snap.module_data[m].begin(), snap.module_data[m].end(),
-                mod.data_runtime.begin());
-      mod.data_dirty.Enable(mod.data_runtime.size());
-    }
-  }
-
-  if (in_place) {
-    procs_.resize(snap.procs.size());
-    for (size_t i = 0; i < snap.procs.size(); ++i) {
-      procs_[i]->RestoreFromSnapshot(snap.procs[i], /*full=*/false);
-    }
-  } else {
-    procs_.clear();
-    for (const ProcessSnapshot& ps : snap.procs) {
-      auto proc = std::make_unique<Process>(ps.pid, loader_, kernel_,
-                                            syscall_targets_, ps.heap.size(),
-                                            &segment_pool_);
-      proc->set_exec_mode(exec_mode_);
-      if (coverage_) proc->set_coverage(coverage_.get());
-      proc->RestoreFromSnapshot(ps, /*full=*/true);
-      procs_.push_back(std::move(proc));
-    }
-  }
-  exit_reported_ = snap.exit_reported;
-  total_instructions_ = snap.total_instructions;
-  kernel_.RestoreState(snap.kernel);
-  if (coverage_) {
-    *coverage_ = snap.coverage;
-    SyncCoverageModules();  // coverage may have been enabled post-snapshot
   }
   return true;
 }
 
+SnapshotId Machine::PushSnapshot() {
+  // A push with no current position (first capture, or first after
+  // Reset()) — or with a module set the tree's deltas don't describe —
+  // starts a fresh tree: old nodes are relative to machine states that no
+  // longer exist.
+  bool fresh =
+      !tree_ || current_node_ == kNoSnapshot || !ModuleSetMatches(*tree_);
+  if (fresh) {
+    tree_ = std::make_unique<SnapshotTree>();
+    current_node_ = kNoSnapshot;
+    tree_->module_count = loader_.modules().size();
+    tree_->module_data_bytes.reserve(tree_->module_count);
+    for (const auto& mod : loader_.modules()) {
+      tree_->module_data_bytes.push_back(mod->data_runtime.size());
+    }
+  }
+  SnapshotTree& tree = *tree_;
+  SnapshotNode node;
+  node.parent = current_node_;
+  node.depth = fresh ? 0 : tree.nodes[current_node_].depth + 1;
+  node.total_instructions = total_instructions_;
+  node.exit_reported = exit_reported_;
+  node.kernel = kernel_.CaptureState();
+  if (coverage_) node.coverage = *coverage_;
+  node.module_data.resize(tree.module_count);
+  for (size_t m = 0; m < tree.module_count; ++m) {
+    LoadedModule& mod = *loader_.modules()[m];
+    // The root captures every page; children capture the journal's dirty
+    // set (which a journal enabled mid-window over-approximates safely —
+    // ResetData's MarkAll is the extreme case).
+    node.module_data[m] =
+        fresh || !mod.data_dirty.enabled()
+            ? CaptureAllPages(mod.data_runtime.data(), mod.data_runtime.size())
+            : CaptureDirtyPages(mod.data_dirty, mod.data_runtime.data(),
+                                mod.data_runtime.size());
+    mod.data_dirty.Enable(mod.data_runtime.size());
+    mod.data_dirty.ClearAll();
+  }
+  node.procs.resize(procs_.size());
+  for (size_t i = 0; i < procs_.size(); ++i) {
+    // A process delta is only meaningful if the parent node captured this
+    // same process (index, pid, segment sizes) and its journal was live
+    // across the whole window; anything else — root, spawned since the
+    // parent, realigned — is captured in full so the ancestor walk for
+    // its pages always terminates.
+    bool aligned = false;
+    if (!fresh && i < tree.nodes[current_node_].procs.size()) {
+      const ProcessNodeState& pps = tree.nodes[current_node_].procs[i];
+      aligned = pps.core.pid == procs_[i]->pid() &&
+                pps.heap_bytes == procs_[i]->heap_bytes() &&
+                procs_[i]->dirty_tracking_enabled();
+    }
+    procs_[i]->CaptureNode(&node.procs[i], /*full=*/!aligned);
+  }
+  tree.nodes.push_back(std::move(node));
+  current_node_ = static_cast<SnapshotId>(tree.nodes.size() - 1);
+  return current_node_;
+}
+
+bool Machine::RestoreTo(SnapshotId target) {
+  if (!tree_ || target >= tree_->nodes.size()) return false;
+  SnapshotTree& tree = *tree_;
+  // Validate before mutating anything.
+  if (!ModuleSetMatches(tree)) return false;
+  const SnapshotNode& node = tree.nodes[target];
+  ++restore_stats_.restores;
+  // Nodes whose deltas can make the current state differ from the target:
+  // both sides of the tree path to their common ancestor. With no current
+  // position (after Reset()) this is the target's whole ancestor chain —
+  // everything may differ.
+  const std::vector<SnapshotId> path =
+      TreePathBetween(tree, current_node_, target);
+  restore_stats_.nodes_walked += path.size();
+
+  for (size_t m = 0; m < tree.module_count; ++m) {
+    LoadedModule& mod = *loader_.modules()[m];
+    if (mod.data_runtime.empty()) continue;
+    std::vector<uint32_t> pages;
+    if (mod.data_dirty.enabled()) {
+      mod.data_dirty.ForEachDirtyPage(
+          [&](uint64_t p) { pages.push_back(static_cast<uint32_t>(p)); });
+    } else {
+      // Journal lost (defensive — DropSnapshot also drops the tree): every
+      // page may differ.
+      uint64_t count = (mod.data_runtime.size() + DirtyMap::kPageSize - 1) >>
+                       DirtyMap::kPageBits;
+      for (uint64_t p = 0; p < count; ++p) {
+        pages.push_back(static_cast<uint32_t>(p));
+      }
+    }
+    for (SnapshotId id : path) {
+      const PageDelta& d = tree.nodes[id].module_data[m];
+      pages.insert(pages.end(), d.pages.begin(), d.pages.end());
+    }
+    std::sort(pages.begin(), pages.end());
+    pages.erase(std::unique(pages.begin(), pages.end()), pages.end());
+    for (uint32_t page : pages) {
+      uint64_t off = uint64_t{page} << DirtyMap::kPageBits;
+      if (off >= mod.data_runtime.size()) continue;
+      const uint8_t* src = FindModulePage(tree, target, m, page,
+                                          &restore_stats_.nodes_walked);
+      std::memcpy(mod.data_runtime.data() + off, src,
+                  std::min(DirtyMap::kPageSize, mod.data_runtime.size() - off));
+      ++restore_stats_.pages_restored;
+    }
+    mod.data_dirty.Enable(mod.data_runtime.size());
+    mod.data_dirty.ClearAll();
+  }
+
+  // Per process: in place (O(pages that differ)) when the live process is
+  // the one the target captured and its journal is live; otherwise rebuild
+  // from a materialized image (post-Reset, or re-spawned/truncated since).
+  const size_t want = node.procs.size();
+  for (size_t i = 0; i < want; ++i) {
+    const ProcessNodeState& tps = node.procs[i];
+    bool in_place =
+        i < procs_.size() && procs_[i]->pid() == tps.core.pid &&
+        procs_[i]->heap_bytes() == tps.heap_bytes &&
+        procs_[i]->dirty_tracking_enabled();
+    if (in_place) {
+      procs_[i]->RestoreFromTree(tree, target, i, path, &restore_stats_);
+    } else {
+      ProcessSnapshot ps = MaterializeProcess(tree, target, i);
+      auto proc = std::make_unique<Process>(tps.core.pid, loader_, kernel_,
+                                            syscall_targets_, tps.heap_bytes,
+                                            &segment_pool_);
+      proc->set_exec_mode(exec_mode_);
+      if (coverage_) proc->set_coverage(coverage_.get());
+      proc->RestoreFromSnapshot(ps, /*full=*/true);
+      auto seg_pages = [](uint64_t bytes) {
+        return (bytes + DirtyMap::kPageSize - 1) >> DirtyMap::kPageBits;
+      };
+      restore_stats_.pages_restored += seg_pages(tps.stack_bytes) +
+                                       seg_pages(tps.heap_bytes) +
+                                       seg_pages(tps.tls_bytes);
+      if (i < procs_.size()) {
+        procs_[i] = std::move(proc);
+      } else {
+        procs_.push_back(std::move(proc));
+      }
+    }
+  }
+  procs_.resize(want);  // drop scenario-spawned extras
+
+  exit_reported_ = node.exit_reported;
+  total_instructions_ = node.total_instructions;
+  kernel_.RestoreState(node.kernel);
+  if (coverage_) {
+    *coverage_ = node.coverage;
+    SyncCoverageModules();  // coverage may have been enabled post-capture
+  }
+  current_node_ = target;
+  return true;
+}
+
+void Machine::Snapshot() {
+  DropSnapshot();
+  PushSnapshot();
+}
+
+bool Machine::RestoreSnapshot() { return has_snapshot() && RestoreTo(0); }
+
 void Machine::DropSnapshot() {
-  snapshot_.reset();
+  tree_.reset();
+  current_node_ = kNoSnapshot;
   for (const auto& mod : loader_.modules()) mod->data_dirty.Disable();
   for (const auto& proc : procs_) proc->DisableDirtyTracking();
 }

@@ -11,10 +11,9 @@
 #include "vm/coverage.hpp"
 #include "vm/loader.hpp"
 #include "vm/process.hpp"
+#include "vm/snapshot.hpp"
 
 namespace lfi::vm {
-
-struct MachineSnapshot;
 
 /// Outcome of Machine::Run.
 enum class RunOutcome {
@@ -71,26 +70,49 @@ class Machine {
   /// kernel filesystem, zeroes counters, and clears coverage. Interposition
   /// stubs are kept (the controller manages those). This is what makes a
   /// Machine reusable across campaign scenarios — reset, not rebuild.
-  /// An existing Snapshot() survives a Reset (the next restore copies full
-  /// images instead of dirty pages).
+  /// An existing snapshot tree survives a Reset (the machine's current
+  /// position becomes "nowhere", so the next restore materializes full
+  /// images), but the next PushSnapshot starts a fresh tree.
   void Reset();
 
-  // -- snapshot / restore ----------------------------------------------------
-  /// Capture the complete machine state — every process's registers,
-  /// memory segments and shadow stack, module data sections, the kernel's
-  /// host-side state, coverage, and instruction accounting — and enable
-  /// page-granular dirty tracking on all writable segments. A campaign
-  /// warms the target to its fault-window entry point once, snapshots,
-  /// and then restores per scenario instead of re-running setup.
+  // -- snapshot tree ---------------------------------------------------------
+  /// Capture a new snapshot node as a child of the machine's current
+  /// position: the scalar machine state in full (registers, shadow
+  /// stacks, kernel host-side state, coverage, accounting) plus only the
+  /// memory pages written since the current node — O(dirty pages). The
+  /// first push (or the first after Reset(), or after the module set
+  /// changed) captures a full root and starts a fresh tree. Returns the
+  /// new node's id; the machine's current position becomes that node.
+  SnapshotId PushSnapshot();
+  /// Return to any live node of the tree. Cost is O(pages that differ
+  /// from the target): the pages in the current dirty journals plus those
+  /// captured by nodes on the tree path between the current node and the
+  /// target, each sourced from its newest writer at-or-above the target.
+  /// Processes that no longer exist (truncated by an earlier restore, or
+  /// destroyed by Reset()) are rebuilt from materialized full images.
+  /// Returns false — machine untouched — for an invalid id or when the
+  /// loaded module set changed since the tree's root.
+  bool RestoreTo(SnapshotId id);
+  /// The node the machine last captured or restored: the parent of the
+  /// next PushSnapshot. kNoSnapshot before any capture or after Reset().
+  SnapshotId current_snapshot() const { return current_node_; }
+  size_t snapshot_node_count() const {
+    return tree_ ? tree_->nodes.size() : 0;
+  }
+  /// Cumulative restore-cost counters (bench telemetry).
+  const SnapshotRestoreStats& restore_stats() const { return restore_stats_; }
+
+  // -- flat snapshot (a one-node tree) ---------------------------------------
+  /// Capture the complete machine state as the root of a fresh tree and
+  /// enable page-granular dirty tracking on all writable segments. A
+  /// campaign warms the target to its fault-window entry point once,
+  /// snapshots, and then restores per scenario instead of re-running
+  /// setup.
   void Snapshot();
-  bool has_snapshot() const { return snapshot_ != nullptr; }
-  /// Return to the Snapshot()ed point. Cost is O(pages written since the
-  /// snapshot or the last restore), not O(address-space size); after a
-  /// Reset() (or with extra spawned processes) it falls back to full-image
-  /// copies. Returns false — machine untouched — when no snapshot exists
-  /// or the loaded module set changed since it was taken.
+  bool has_snapshot() const { return tree_ && !tree_->nodes.empty(); }
+  /// Return to the tree's root (the flat Snapshot() point).
   bool RestoreSnapshot();
-  /// Forget the snapshot and stop journaling writes.
+  /// Forget the whole tree and stop journaling writes.
   void DropSnapshot();
 
   /// Round-robin scheduling until every process terminates, deadlock, or
@@ -107,6 +129,14 @@ class Machine {
   ExitInfo RunToCompletion(int pid, uint64_t max_instructions = 100'000'000);
 
   uint64_t total_instructions() const { return total_instructions_; }
+
+  /// Scheduler round length. Public because Run(max) is an absolute
+  /// target measured in whole rounds: running to instruction target W
+  /// from any restored point at-or-before W reproduces the cold state at
+  /// W exactly, provided W is compared against the same quantum-rounded
+  /// schedule — which is what lets campaign code place snapshot windows
+  /// at quantum-aligned instants.
+  static constexpr uint64_t kQuantum = 2000;
 
   /// Enable basic-block coverage collection on all (current and future)
   /// processes; returns the tracker.
@@ -131,10 +161,17 @@ class Machine {
   std::vector<bool> exit_reported_;
   uint64_t total_instructions_ = 0;
   std::unique_ptr<CoverageTracker> coverage_;
-  std::unique_ptr<MachineSnapshot> snapshot_;
+  std::unique_ptr<SnapshotTree> tree_;
+  /// The tree node the live machine state extends (journals record writes
+  /// since its capture); kNoSnapshot when the state is anchored nowhere
+  /// (no tree yet, or after Reset()).
+  SnapshotId current_node_ = kNoSnapshot;
+  SnapshotRestoreStats restore_stats_;
   uint64_t default_heap_cap_ = 1 << 20;
 
-  static constexpr uint64_t kQuantum = 2000;
+  /// Whether the loaded module set still matches the tree's root capture
+  /// (count and data-section sizes — load-time constants).
+  bool ModuleSetMatches(const SnapshotTree& tree) const;
 };
 
 }  // namespace lfi::vm

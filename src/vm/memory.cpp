@@ -61,6 +61,44 @@ void RestoreDirtyPages(DirtyMap& dirty, const uint8_t* from, uint8_t* to,
   dirty.ClearAll();
 }
 
+const uint8_t* PageDelta::page(uint32_t page_index) const {
+  auto it = std::lower_bound(pages.begin(), pages.end(), page_index);
+  if (it == pages.end() || *it != page_index) return nullptr;
+  return bytes.data() +
+         static_cast<size_t>(it - pages.begin()) * DirtyMap::kPageSize;
+}
+
+namespace {
+void AppendPage(PageDelta* out, const uint8_t* mem, uint64_t bytes,
+                uint64_t page) {
+  uint64_t off = page << DirtyMap::kPageBits;
+  if (off >= bytes) return;
+  out->pages.push_back(static_cast<uint32_t>(page));
+  size_t slot = out->bytes.size();
+  out->bytes.resize(slot + DirtyMap::kPageSize, 0);
+  std::memcpy(out->bytes.data() + slot, mem + off,
+              std::min(DirtyMap::kPageSize, bytes - off));
+}
+}  // namespace
+
+PageDelta CaptureDirtyPages(const DirtyMap& dirty, const uint8_t* mem,
+                            uint64_t bytes) {
+  PageDelta out;
+  out.pages.reserve(dirty.DirtyCount());
+  dirty.ForEachDirtyPage([&](uint64_t page) {
+    AppendPage(&out, mem, bytes, page);
+  });
+  return out;
+}
+
+PageDelta CaptureAllPages(const uint8_t* mem, uint64_t bytes) {
+  PageDelta out;
+  uint64_t pages = (bytes + DirtyMap::kPageSize - 1) >> DirtyMap::kPageBits;
+  out.pages.reserve(pages);
+  for (uint64_t p = 0; p < pages; ++p) AppendPage(&out, mem, bytes, p);
+  return out;
+}
+
 bool AddressSpace::read_u64(uint64_t addr, uint64_t* out) const {
   return read(addr, out, 8);
 }

@@ -63,9 +63,16 @@ class DirtyMap {
   static constexpr uint64_t kPageBits = 12;  // 4 KiB pages
   static constexpr uint64_t kPageSize = uint64_t{1} << kPageBits;
 
-  /// Start tracking a segment of `bytes` bytes with all pages clean.
+  /// Start tracking a segment of `bytes` bytes. A fresh journal starts
+  /// all-clean; re-enabling an already-enabled journal over the same size
+  /// keeps its marks — snapshot-tree captures layer on one journal and
+  /// clear it explicitly once the dirty pages are copied out, so an Enable
+  /// that silently wiped marks would lose writes recorded in between.
+  /// Enabling at a different size rebuilds the journal all-clean.
   void Enable(uint64_t bytes) {
-    pages_ = (bytes + kPageSize - 1) >> kPageBits;
+    uint64_t pages = (bytes + kPageSize - 1) >> kPageBits;
+    if (!words_.empty() && pages == pages_) return;
+    pages_ = pages;
     words_.assign((pages_ + 63) / 64, 0);
   }
   /// Stop tracking; Mark becomes a no-op again.
@@ -127,6 +134,41 @@ class DirtyMap {
 /// restore, not to the segment size.
 void RestoreDirtyPages(DirtyMap& dirty, const uint8_t* from, uint8_t* to,
                        uint64_t bytes);
+
+/// Identifies one node of a vm::SnapshotTree (index into its node vector).
+using SnapshotId = uint32_t;
+inline constexpr SnapshotId kNoSnapshot = ~SnapshotId{0};
+
+/// Sparse page-image store: the set of pages one snapshot-tree node
+/// captured, with their contents at capture time. A node's delta holds
+/// exactly the pages written between its parent's capture and its own (a
+/// full node holds every page), so the content of page p at node N is
+/// found in the first delta containing p on the walk N -> root: the
+/// per-page newest-writer layering that lets nested snapshot windows
+/// share unchanged pages instead of copying full images.
+///
+/// Every slot is DirtyMap::kPageSize bytes; the trailing partial page of a
+/// non-page-multiple segment is zero-padded on capture and clamped on
+/// copy-back.
+struct PageDelta {
+  std::vector<uint32_t> pages;  // ascending page indices
+  std::vector<uint8_t> bytes;   // pages.size() * DirtyMap::kPageSize
+
+  /// Pointer to the stored image of `page_index`, or nullptr when this
+  /// delta did not capture that page. O(log pages).
+  const uint8_t* page(uint32_t page_index) const;
+  size_t page_count() const { return pages.size(); }
+};
+
+/// Capture the journal's dirty pages of `mem` (sized `bytes`) into a
+/// delta. Does not clear the journal: tree capture clears explicitly once
+/// every segment has been copied out.
+PageDelta CaptureDirtyPages(const DirtyMap& dirty, const uint8_t* mem,
+                            uint64_t bytes);
+
+/// Capture every page of `mem` (root nodes, and segments whose journal was
+/// not live across the whole parent->child window).
+PageDelta CaptureAllPages(const uint8_t* mem, uint64_t bytes);
 
 /// Recycler for process memory segments (stack/heap/TLS buffers). Cycling
 /// megabyte-sized vectors through the allocator on every process

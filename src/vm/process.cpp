@@ -192,7 +192,7 @@ bool Process::Pop(int64_t* v) { return PopT<false>(v); }
 
 // -- snapshot support ---------------------------------------------------------
 
-void Process::CaptureSnapshot(ProcessSnapshot* out) {
+void Process::CaptureCore(ProcessCore* out) const {
   out->pid = pid_;
   std::copy(std::begin(regs_), std::end(regs_), std::begin(out->regs));
   out->flags = flags_;
@@ -205,6 +205,28 @@ void Process::CaptureSnapshot(ProcessSnapshot* out) {
   out->instructions = instructions_;
   out->heap_cursor = heap_cursor_;
   out->shadow = shadow_;
+}
+
+void Process::RestoreCore(const ProcessCore& core) {
+  std::copy(std::begin(core.regs), std::end(core.regs), std::begin(regs_));
+  flags_ = core.flags;
+  pc_ = core.pc;
+  state_ = core.state;
+  signal_ = core.signal;
+  exit_code_ = core.exit_code;
+  pending_exit_ = core.pending_exit;
+  fault_message_ = core.fault_message;
+  instructions_ = core.instructions;
+  heap_cursor_ = core.heap_cursor;
+  shadow_ = core.shadow;
+  // Force a remap before the next instruction: a reconstructed process has
+  // no address space yet, and the regions' dirty pointers must point at
+  // this process's journals.
+  mapped_generation_ = 0;
+}
+
+void Process::CaptureSnapshot(ProcessSnapshot* out) {
+  CaptureCore(&out->core);
   out->stack = stack_mem_;
   out->heap = heap_mem_;
   out->tls = tls_mem_;
@@ -220,22 +242,13 @@ void Process::RestoreFromSnapshot(const ProcessSnapshot& snap, bool full) {
          snap.heap.size() == heap_mem_.size() &&
          snap.tls.size() == tls_mem_.size() &&
          "snapshot/process segment size mismatch");
-  std::copy(std::begin(snap.regs), std::end(snap.regs), std::begin(regs_));
-  flags_ = snap.flags;
-  pc_ = snap.pc;
-  state_ = snap.state;
-  signal_ = snap.signal;
-  exit_code_ = snap.exit_code;
-  pending_exit_ = snap.pending_exit;
-  fault_message_ = snap.fault_message;
-  instructions_ = snap.instructions;
-  heap_cursor_ = snap.heap_cursor;
-  shadow_ = snap.shadow;
+  RestoreCore(snap.core);
   auto segment = [&](DirtyMap& dirty, const std::vector<uint8_t>& image,
                      std::vector<uint8_t>& mem) {
     if (full || !dirty.enabled()) {
       std::copy(image.begin(), image.end(), mem.begin());
       dirty.Enable(mem.size());
+      dirty.ClearAll();  // Enable keeps stale marks; the copy covered them
     } else {
       RestoreDirtyPages(dirty, image.data(), mem.data(), image.size());
     }
@@ -243,10 +256,75 @@ void Process::RestoreFromSnapshot(const ProcessSnapshot& snap, bool full) {
   segment(stack_dirty_, snap.stack, stack_mem_);
   segment(heap_dirty_, snap.heap, heap_mem_);
   segment(tls_dirty_, snap.tls, tls_mem_);
-  // Force a remap before the next instruction: a reconstructed process has
-  // no address space yet, and the regions' dirty pointers must point at
-  // this process's journals.
-  mapped_generation_ = 0;
+}
+
+void Process::CaptureNode(ProcessNodeState* out, bool full) {
+  CaptureCore(&out->core);
+  out->stack_bytes = stack_mem_.size();
+  out->heap_bytes = heap_mem_.size();
+  out->tls_bytes = tls_mem_.size();
+  out->full = full || !dirty_tracking_enabled();
+  auto capture = [&](const DirtyMap& dirty, const std::vector<uint8_t>& mem) {
+    return out->full ? CaptureAllPages(mem.data(), mem.size())
+                     : CaptureDirtyPages(dirty, mem.data(), mem.size());
+  };
+  out->stack = capture(stack_dirty_, stack_mem_);
+  out->heap = capture(heap_dirty_, heap_mem_);
+  out->tls = capture(tls_dirty_, tls_mem_);
+  // Start the next capture window: the node owns everything up to here.
+  stack_dirty_.Enable(stack_mem_.size());
+  heap_dirty_.Enable(heap_mem_.size());
+  tls_dirty_.Enable(tls_mem_.size());
+  stack_dirty_.ClearAll();
+  heap_dirty_.ClearAll();
+  tls_dirty_.ClearAll();
+}
+
+void Process::RestoreFromTree(const SnapshotTree& tree, SnapshotId target,
+                              size_t proc_index,
+                              const std::vector<SnapshotId>& path,
+                              SnapshotRestoreStats* stats) {
+  const ProcessNodeState& tps = tree.nodes[target].procs[proc_index];
+  assert(tps.stack_bytes == stack_mem_.size() &&
+         tps.heap_bytes == heap_mem_.size() &&
+         tps.tls_bytes == tls_mem_.size() && dirty_tracking_enabled() &&
+         "in-place tree restore requires aligned, journaled segments");
+  RestoreCore(tps.core);
+  auto segment = [&](DirtyMap& dirty, std::vector<uint8_t>& mem,
+                     const PageDelta ProcessNodeState::*sel) {
+    // Pages that can differ from the target: written since the machine's
+    // current node (journal), or captured by any node on the tree path
+    // between current and target.
+    std::vector<uint32_t> pages;
+    dirty.ForEachDirtyPage(
+        [&](uint64_t p) { pages.push_back(static_cast<uint32_t>(p)); });
+    for (SnapshotId id : path) {
+      if (proc_index >= tree.nodes[id].procs.size()) continue;
+      const PageDelta& d = tree.nodes[id].procs[proc_index].*sel;
+      pages.insert(pages.end(), d.pages.begin(), d.pages.end());
+    }
+    std::sort(pages.begin(), pages.end());
+    pages.erase(std::unique(pages.begin(), pages.end()), pages.end());
+    for (uint32_t page : pages) {
+      uint64_t off = uint64_t{page} << DirtyMap::kPageBits;
+      if (off >= mem.size()) continue;
+      const uint8_t* src = FindProcPage(tree, target, proc_index, sel, page,
+                                        stats ? &stats->nodes_walked : nullptr);
+      // No writer anywhere at-or-above the target: the page was untouched
+      // at its capture point, i.e. still zero-filled from construction.
+      uint64_t len = std::min(DirtyMap::kPageSize, mem.size() - off);
+      if (src) {
+        std::memcpy(mem.data() + off, src, len);
+      } else {
+        std::memset(mem.data() + off, 0, len);
+      }
+      if (stats) ++stats->pages_restored;
+    }
+    dirty.ClearAll();
+  };
+  segment(stack_dirty_, stack_mem_, &ProcessNodeState::stack);
+  segment(heap_dirty_, heap_mem_, &ProcessNodeState::heap);
+  segment(tls_dirty_, tls_mem_, &ProcessNodeState::tls);
 }
 
 // -- NativeFrame --------------------------------------------------------------

@@ -35,7 +35,11 @@
 
 namespace lfi::vm {
 
+struct ProcessCore;
 struct ProcessSnapshot;
+struct ProcessNodeState;
+struct SnapshotTree;
+struct SnapshotRestoreStats;
 
 enum class ProcState { Runnable, Blocked, Exited, Faulted };
 
@@ -146,9 +150,39 @@ class Process final : public kernel::KernelContext {
     heap_dirty_.Disable();
     tls_dirty_.Disable();
   }
+  /// Whether all three segment journals are live. A process spawned after
+  /// the machine's last capture has no journals yet, so a tree node must
+  /// capture it in full (no parent delta covers its pages).
+  bool dirty_tracking_enabled() const {
+    return stack_dirty_.enabled() && heap_dirty_.enabled() &&
+           tls_dirty_.enabled();
+  }
+
+  // -- snapshot-tree support -------------------------------------------------
+  /// Capture one tree node's slice of this process: the scalar core in
+  /// full, the segments as page deltas from the journals — or every page
+  /// when `full` is set (root node, or the journals were not live across
+  /// the whole parent window). Clears the journals and (re)enables them,
+  /// starting the next capture window.
+  void CaptureNode(ProcessNodeState* out, bool full);
+  /// In-place tree restore: bring this process to exactly
+  /// `tree.nodes[target].procs[proc_index]`'s capture point. `path` lists
+  /// the delta nodes between the machine's current node and the target
+  /// (both sides of their common ancestor); pages in those deltas, plus
+  /// this process's journal-dirty pages, are the only ones that can
+  /// differ, and each is sourced from its newest writer at-or-above
+  /// target. Clears the journals. Requires matching segment sizes and
+  /// live journals (the machine falls back to MaterializeProcess +
+  /// RestoreFromSnapshot otherwise).
+  void RestoreFromTree(const SnapshotTree& tree, SnapshotId target,
+                       size_t proc_index, const std::vector<SnapshotId>& path,
+                       SnapshotRestoreStats* stats);
 
  private:
   friend class NativeFrame;
+
+  void CaptureCore(ProcessCore* out) const;
+  void RestoreCore(const ProcessCore& core);
 
   void Fault(Signal sig, std::string message);
   /// (Re)build the address space if modules changed since the last map.

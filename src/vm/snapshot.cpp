@@ -1,0 +1,92 @@
+#include "vm/snapshot.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace lfi::vm {
+
+std::vector<SnapshotId> TreePathBetween(const SnapshotTree& tree,
+                                        SnapshotId a, SnapshotId b) {
+  std::vector<SnapshotId> path;
+  if (a == b) return path;
+  auto depth = [&](SnapshotId id) {
+    return id == kNoSnapshot ? ~uint32_t{0} : tree.nodes[id].depth;
+  };
+  // Walk the deeper side up until both sit at the same depth, then climb
+  // in lockstep to the common ancestor. kNoSnapshot acts as a virtual
+  // node above the root (depth underflows to max, so the other side
+  // climbs all the way out).
+  while (a != b) {
+    if (a != kNoSnapshot && (b == kNoSnapshot || depth(a) >= depth(b))) {
+      path.push_back(a);
+      a = tree.nodes[a].parent;
+    } else if (b != kNoSnapshot) {
+      path.push_back(b);
+      b = tree.nodes[b].parent;
+    } else {
+      break;  // both kNoSnapshot
+    }
+  }
+  return path;
+}
+
+const uint8_t* FindModulePage(const SnapshotTree& tree, SnapshotId target,
+                              size_t m, uint32_t page,
+                              uint64_t* nodes_walked) {
+  for (SnapshotId id = target; id != kNoSnapshot; id = tree.nodes[id].parent) {
+    if (nodes_walked) ++*nodes_walked;
+    if (const uint8_t* p = tree.nodes[id].module_data[m].page(page)) return p;
+  }
+  assert(false && "module page missing from snapshot tree (root not full?)");
+  return nullptr;
+}
+
+const uint8_t* FindProcPage(const SnapshotTree& tree, SnapshotId target,
+                            size_t proc_index,
+                            const PageDelta ProcessNodeState::*sel,
+                            uint32_t page, uint64_t* nodes_walked) {
+  for (SnapshotId id = target; id != kNoSnapshot; id = tree.nodes[id].parent) {
+    const ProcessNodeState& ps = tree.nodes[id].procs[proc_index];
+    if (nodes_walked) ++*nodes_walked;
+    if (const uint8_t* p = (ps.*sel).page(page)) return p;
+    if (ps.full) break;  // a full node holds every live page of the segment
+  }
+  return nullptr;  // page beyond the segment's last full capture: untouched
+}
+
+ProcessSnapshot MaterializeProcess(const SnapshotTree& tree,
+                                   SnapshotId target, size_t proc_index) {
+  const ProcessNodeState& tps = tree.nodes[target].procs[proc_index];
+  ProcessSnapshot ps;
+  ps.core = tps.core;
+  ps.stack.assign(tps.stack_bytes, 0);
+  ps.heap.assign(tps.heap_bytes, 0);
+  ps.tls.assign(tps.tls_bytes, 0);
+  // Chain of deltas newest -> oldest, stopping at the process's last full
+  // capture (which holds every page, so nothing older matters).
+  std::vector<SnapshotId> chain;
+  for (SnapshotId id = target; id != kNoSnapshot; id = tree.nodes[id].parent) {
+    chain.push_back(id);
+    if (tree.nodes[id].procs[proc_index].full) break;
+  }
+  auto apply = [](const PageDelta& delta, std::vector<uint8_t>& mem) {
+    for (size_t i = 0; i < delta.pages.size(); ++i) {
+      uint64_t off = uint64_t{delta.pages[i]} << DirtyMap::kPageBits;
+      if (off >= mem.size()) continue;
+      std::memcpy(mem.data() + off,
+                  delta.bytes.data() + i * DirtyMap::kPageSize,
+                  std::min(DirtyMap::kPageSize, mem.size() - off));
+    }
+  };
+  // Oldest first so newer writes land on top.
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    const ProcessNodeState& ns = tree.nodes[*it].procs[proc_index];
+    apply(ns.stack, ps.stack);
+    apply(ns.heap, ps.heap);
+    apply(ns.tls, ps.tls);
+  }
+  return ps;
+}
+
+}  // namespace lfi::vm

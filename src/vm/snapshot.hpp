@@ -1,15 +1,23 @@
-// Full-machine snapshot images (vm::Machine::Snapshot / RestoreSnapshot).
+// Snapshot tree (vm::Machine::PushSnapshot / RestoreTo).
 //
-// A MachineSnapshot pins one moment of a warmed-up machine — typically the
-// fault-window entry point of a campaign target: every process's registers,
-// stack/heap/TLS contents and layout cursors, the shadow call stacks, the
-// relocated module data sections, the kernel's complete host-side state
-// (filesystem, descriptors, pipes, sockets, counters), the coverage
-// tracker, and the scheduler's instruction accounting. Taking the snapshot
-// enables page-granular dirty journals (vm::DirtyMap) on every writable
-// segment, so RestoreSnapshot costs O(pages written since the snapshot),
-// not O(address-space size). The images themselves are full copies; only
-// restore is incremental.
+// A SnapshotTree pins a *family* of moments of a warmed-up machine —
+// typically the post-warmup fault-window entry points of a campaign
+// target, one node per window depth. Each node stores the cheap machine
+// state in full (registers, shadow stacks, kernel host-side state,
+// coverage, instruction accounting — kilobytes) but stores memory as a
+// PageDelta: only the pages written between its parent's capture and its
+// own. The root node captures every page, so the content of page p at any
+// node N is defined by the first delta containing p on the walk N -> root
+// (the per-page newest-writer rule).
+//
+// Capture is O(pages dirtied since the parent); restoring from the
+// machine's current position to any live node is O(pages that differ
+// between them): the current dirty journals, plus the deltas on the tree
+// path between the two nodes. Restoring after Machine::Reset (or to a
+// process that no longer exists) falls back to materializing full images
+// by replaying deltas root -> node.
+//
+// The flat Machine::Snapshot/RestoreSnapshot API is a one-node tree.
 #pragma once
 
 #include <cstdint>
@@ -23,10 +31,10 @@
 
 namespace lfi::vm {
 
-/// Everything one Process needs to resume from the snapshot point. The
-/// segment images are complete copies; the owning process's dirty journals
-/// decide how much of them a restore actually touches.
-struct ProcessSnapshot {
+/// The scalar (non-memory) slice of one process's state: everything a
+/// resume needs except the segment images. Cheap to copy, stored in full
+/// by every tree node.
+struct ProcessCore {
   int pid = 0;
   int64_t regs[isa::kNumRegs] = {};
   int flags = 0;
@@ -39,25 +47,97 @@ struct ProcessSnapshot {
   uint64_t instructions = 0;
   uint64_t heap_cursor = 0;
   std::vector<Frame> shadow;
+};
+
+/// Everything one Process needs to resume, with complete segment images —
+/// the materialized form used to rebuild a destroyed process (and the
+/// payload of the flat snapshot API). The owning process's dirty journals
+/// decide how much of the images a restore actually touches.
+struct ProcessSnapshot {
+  ProcessCore core;
   std::vector<uint8_t> stack;
   std::vector<uint8_t> heap;
   std::vector<uint8_t> tls;
 };
 
-struct MachineSnapshot {
+/// One process's slice of a tree node: scalar core in full, segments as
+/// page deltas against the parent node.
+struct ProcessNodeState {
+  ProcessCore core;
+  uint64_t stack_bytes = 0;
+  uint64_t heap_bytes = 0;
+  uint64_t tls_bytes = 0;
+  PageDelta stack;
+  PageDelta heap;
+  PageDelta tls;
+  /// The deltas hold every page: root nodes, and processes whose journal
+  /// was not live across the whole parent->child window (spawned since the
+  /// parent's capture, or realigned). The ancestor walk for this process
+  /// never continues past a full node.
+  bool full = false;
+};
+
+/// One snapshot-tree node: delta memory, full cheap state.
+struct SnapshotNode {
+  SnapshotId parent = kNoSnapshot;
+  uint32_t depth = 0;
   uint64_t total_instructions = 0;
   std::vector<bool> exit_reported;
-  std::vector<ProcessSnapshot> procs;
-  /// Per-module copy of data_runtime (post-relocation, post-warmup),
-  /// indexed by the loader's dense module index.
-  std::vector<std::vector<uint8_t>> module_data;
+  std::vector<ProcessNodeState> procs;
+  /// Per-module delta of data_runtime, indexed by the loader's dense
+  /// module index.
+  std::vector<PageDelta> module_data;
   kernel::KernelRuntime::State kernel;
-  /// Coverage tracker contents at the snapshot point (warmup coverage);
-  /// empty when coverage was off.
+  /// Coverage tracker contents at the capture point; empty when coverage
+  /// was off.
   CoverageTracker coverage;
-  /// Number of loaded modules at snapshot time; restore refuses to apply
-  /// a snapshot to a machine whose module set changed.
-  size_t module_count = 0;
 };
+
+/// Cumulative Machine::RestoreTo cost counters: how much work restores
+/// actually did. `pages_restored` counts 4 KiB pages copied into live
+/// memory (or into a rebuilt process's materialized image);
+/// `nodes_walked` counts tree nodes visited to source page contents and
+/// compute difference sets. Bench telemetry — sample before/after a
+/// scenario for its restore cost.
+struct SnapshotRestoreStats {
+  uint64_t restores = 0;
+  uint64_t pages_restored = 0;
+  uint64_t nodes_walked = 0;
+};
+
+struct SnapshotTree {
+  std::vector<SnapshotNode> nodes;
+  /// Module set at root capture; RestoreTo refuses to apply the tree to a
+  /// machine whose module count or data-section sizes changed.
+  size_t module_count = 0;
+  std::vector<uint64_t> module_data_bytes;
+};
+
+/// Tree path between nodes `a` and `b`: every node strictly below their
+/// lowest common ancestor on either side, i.e. exactly the nodes whose
+/// deltas can make the two states differ. Either id may be kNoSnapshot
+/// (empty path).
+std::vector<SnapshotId> TreePathBetween(const SnapshotTree& tree,
+                                        SnapshotId a, SnapshotId b);
+
+/// Content of module `m`'s data page `page` at node `target`: newest
+/// writer at-or-above target. Never nullptr for a live tree (the root is
+/// full). `nodes_walked` (optional) accumulates ancestor steps taken.
+const uint8_t* FindModulePage(const SnapshotTree& tree, SnapshotId target,
+                              size_t m, uint32_t page,
+                              uint64_t* nodes_walked);
+
+/// Content of process `proc_index`'s page `page` in the segment selected
+/// by `sel` at node `target` (newest writer at-or-above target).
+const uint8_t* FindProcPage(const SnapshotTree& tree, SnapshotId target,
+                            size_t proc_index,
+                            const PageDelta ProcessNodeState::*sel,
+                            uint32_t page, uint64_t* nodes_walked);
+
+/// Materialize full segment images for process `proc_index` at node
+/// `target` by applying deltas root -> target: the rebuild path for
+/// processes destroyed by Machine::Reset or truncated by a restore.
+ProcessSnapshot MaterializeProcess(const SnapshotTree& tree,
+                                   SnapshotId target, size_t proc_index);
 
 }  // namespace lfi::vm

@@ -206,6 +206,155 @@ TEST(SnapshotDiff, WarmupSnapshotIdenticalAcrossExecEngines) {
   }
 }
 
+// ---- snapshot trees -----------------------------------------------------
+
+/// Spread per-scenario fault windows round-robin over `windows` (deeper
+/// than, or equal to, the campaign-wide warmup).
+void AssignWindows(std::vector<Scenario>* scenarios,
+                   const std::vector<uint64_t>& windows) {
+  for (size_t i = 0; i < scenarios->size(); ++i) {
+    (*scenarios)[i].warmup_instructions = windows[i % windows.size()];
+  }
+}
+
+// Tree execution with per-scenario fault windows must be bit-identical to
+// both cold execution and the flat snapshot (which replays each window's
+// suffix from the shared snapshot point).
+TEST(SnapshotTree, IdenticalToColdAndFlatAcrossWindows) {
+  auto setup = apps::DbSuiteMachineSetup();
+  auto scenarios = MakeScenarios(9, 0.05, 83);
+  AssignWindows(&scenarios, {4000, 9000, 14000});
+  CampaignOptions cold = BaseOptions(apps::kDbTestEntry);
+  cold.warmup_instructions = 4000;
+  CampaignOptions flat = cold;
+  flat.snapshot = true;
+  CampaignOptions tree = cold;
+  tree.snapshot_tree = true;
+  CampaignReport cold_report = RunCampaign(setup, scenarios, cold);
+  CampaignReport flat_report = RunCampaign(setup, scenarios, flat);
+  CampaignReport tree_report = RunCampaign(setup, scenarios, tree);
+  ExpectReportsIdentical(cold_report, flat_report);
+  ExpectReportsIdentical(cold_report, tree_report);
+  // Every scenario rode a snapshot — no silent cold fallbacks.
+  EXPECT_EQ(flat_report.snapshot_fallbacks, 0u);
+  EXPECT_EQ(tree_report.snapshot_fallbacks, 0u);
+  EXPECT_TRUE(tree_report.snapshot_requested);
+  EXPECT_FALSE(cold_report.snapshot_requested);
+}
+
+// Tree-vs-cold report identity must hold for any jobs count: each worker
+// grows its own window nodes, but results depend only on the scenario.
+TEST(SnapshotTree, JobsInvariant) {
+  auto setup = apps::DbSuiteMachineSetup();
+  auto scenarios = MakeScenarios(12, 0.05, 89);
+  AssignWindows(&scenarios, {4000, 10000});
+  CampaignOptions opts = BaseOptions(apps::kDbTestEntry);
+  opts.warmup_instructions = 4000;
+  opts.snapshot_tree = true;
+  CampaignReport one = RunCampaign(setup, scenarios, opts);
+  opts.jobs = 4;
+  CampaignReport four = RunCampaign(setup, scenarios, opts);
+  ExpectReportsIdentical(one, four);
+  EXPECT_EQ(one.snapshot_fallbacks, four.snapshot_fallbacks);
+}
+
+// PushSnapshot at a window that is almost never on a superblock boundary:
+// every execution engine must round-trip the mid-superblock node and
+// produce one truth, cold or tree-restored.
+TEST(SnapshotTree, MidRunNodesIdenticalAcrossExecEngines) {
+  auto setup = apps::DbSuiteMachineSetup();
+  auto scenarios = MakeScenarios(6, 0.1, 97);
+  AssignWindows(&scenarios, {4321, 8765, 13131});
+  CampaignReport baseline;
+  bool have_baseline = false;
+  for (vm::ExecMode mode : {vm::ExecMode::Superblock, vm::ExecMode::Predecoded,
+                            vm::ExecMode::Reference}) {
+    SCOPED_TRACE(vm::ExecModeName(mode));
+    CampaignOptions cold = BaseOptions(apps::kDbTestEntry);
+    cold.exec_mode = mode;
+    cold.warmup_instructions = 4321;
+    CampaignOptions tree = cold;
+    tree.snapshot_tree = true;
+    CampaignReport cold_report = RunCampaign(setup, scenarios, cold);
+    CampaignReport tree_report = RunCampaign(setup, scenarios, tree);
+    ExpectReportsIdentical(cold_report, tree_report);
+    if (have_baseline) {
+      ExpectReportsIdentical(tree_report, baseline);
+    } else {
+      baseline = std::move(tree_report);
+      have_baseline = true;
+    }
+  }
+}
+
+// Snapshot-incompatible scenarios (entry/heap overrides, windows shallower
+// than the shared snapshot) fall back to cold execution — identically, and
+// counted in the report.
+TEST(SnapshotTree, IncompatibleScenariosFallBackColdAndAreCounted) {
+  auto setup = apps::DbSuiteMachineSetup();
+  auto scenarios = MakeScenarios(5, 0.05, 101);
+  AssignWindows(&scenarios, {6000});
+  scenarios[1].heap_cap_bytes = 1 << 18;       // snapshot-incompatible
+  scenarios[3].warmup_instructions = 1000;     // before the shared window
+  CampaignOptions cold = BaseOptions(apps::kDbTestEntry);
+  cold.warmup_instructions = 4000;
+  CampaignOptions tree = cold;
+  tree.snapshot_tree = true;
+  CampaignReport cold_report = RunCampaign(setup, scenarios, cold);
+  CampaignReport tree_report = RunCampaign(setup, scenarios, tree);
+  ExpectReportsIdentical(cold_report, tree_report);
+  EXPECT_EQ(tree_report.snapshot_fallbacks, 2u);
+  // The fallback count is part of the jobs-invariant text summary.
+  EXPECT_NE(tree_report.ToText().find("snapshot fallbacks (ran cold): 2 of 5"),
+            std::string::npos)
+      << tree_report.ToText();
+  // ...but only when snapshot execution was requested at all.
+  EXPECT_EQ(cold_report.ToText().find("snapshot fallbacks"), std::string::npos);
+}
+
+// Fork-windows exploration (mutants open their fault window at the parent's
+// trigger point) is a search-semantics change, not an execution-mode one:
+// the same exploration must be bit-identical under cold, flat-snapshot,
+// and tree execution, and crash minimization must still reproduce.
+TEST(SnapshotTree, ExplorerForkWindowsIdenticalAcrossModes) {
+  ExplorerOptions eopts;
+  eopts.rounds = 2;
+  eopts.scenarios_per_round = 6;
+  eopts.seed = 5;
+  eopts.fork_windows = true;
+  eopts.campaign = BaseOptions(apps::kPidginEntry);
+  Explorer cold(apps::PidginMachineSetup(), apps::LibcProfiles(), eopts);
+  ExplorerReport cold_report = cold.Explore();
+  eopts.campaign.snapshot = true;
+  Explorer flat(apps::PidginMachineSetup(), apps::LibcProfiles(), eopts);
+  ExplorerReport flat_report = flat.Explore();
+  eopts.campaign.snapshot = false;
+  eopts.campaign.snapshot_tree = true;
+  Explorer tree(apps::PidginMachineSetup(), apps::LibcProfiles(), eopts);
+  ExplorerReport tree_report = tree.Explore();
+
+  for (const ExplorerReport* r : {&flat_report, &tree_report}) {
+    EXPECT_EQ(cold_report.coverage, r->coverage);
+    EXPECT_EQ(cold_report.union_offsets(), r->union_offsets());
+    ASSERT_EQ(cold_report.corpus.size(), r->corpus.size());
+    for (size_t i = 0; i < cold_report.corpus.size(); ++i) {
+      EXPECT_EQ(cold_report.corpus[i].ToXml(), r->corpus[i].ToXml());
+    }
+    ASSERT_EQ(cold_report.crashes.size(), r->crashes.size());
+    for (size_t i = 0; i < cold_report.crashes.size(); ++i) {
+      EXPECT_EQ(cold_report.crashes[i].hash, r->crashes[i].hash);
+      EXPECT_EQ(cold_report.crashes[i].window, r->crashes[i].window);
+      EXPECT_EQ(cold_report.crashes[i].minimized.ToXml(),
+                r->crashes[i].minimized.ToXml());
+      EXPECT_EQ(cold_report.crashes[i].reproduces, r->crashes[i].reproduces);
+    }
+  }
+  // Minimized reproducers must re-verify — the window travelled with them.
+  for (const CrashReport& cr : cold_report.crashes) {
+    EXPECT_TRUE(cr.reproduces) << cr.signature;
+  }
+}
+
 // Explorer end-to-end: coverage-guided rounds + triage + minimization are
 // bit-identical whether scenarios execute cold or via snapshot restore.
 TEST(SnapshotDiff, ExplorerIdenticalUnderSnapshot) {

@@ -577,6 +577,78 @@ TEST(DirtyMap, DisabledIsInert) {
   EXPECT_EQ(dm.DirtyCount(), 0u);
 }
 
+TEST(DirtyMap, ReEnableSameSizePreservesMarks) {
+  DirtyMap dm;
+  dm.Enable(3 * DirtyMap::kPageSize);
+  dm.Mark(DirtyMap::kPageSize, 1);
+  ASSERT_EQ(dm.DirtyCount(), 1u);
+  // Double-Enable at the same size: layered snapshot-tree captures re-arm
+  // the journal after copying pages out, so marks recorded in between must
+  // survive — a silent wipe here would lose writes.
+  dm.Enable(3 * DirtyMap::kPageSize);
+  EXPECT_EQ(dm.DirtyCount(), 1u);
+  // Same page count, different byte size: still the same journal.
+  dm.Enable(3 * DirtyMap::kPageSize - 10);
+  EXPECT_EQ(dm.DirtyCount(), 1u);
+  // A different page count rebuilds the journal all-clean.
+  dm.Enable(5 * DirtyMap::kPageSize);
+  EXPECT_TRUE(dm.enabled());
+  EXPECT_EQ(dm.DirtyCount(), 0u);
+}
+
+TEST(DirtyMap, EnableAfterDisableStartsClean) {
+  DirtyMap dm;
+  dm.Enable(2 * DirtyMap::kPageSize);
+  dm.Mark(0, 8);
+  ASSERT_EQ(dm.DirtyCount(), 1u);
+  dm.Disable();  // mid-journal: the marks are gone for good
+  EXPECT_FALSE(dm.enabled());
+  // Re-enabling at the same size after a Disable is a fresh journal, not a
+  // re-enable — no stale marks may leak through.
+  dm.Enable(2 * DirtyMap::kPageSize);
+  EXPECT_TRUE(dm.enabled());
+  EXPECT_EQ(dm.DirtyCount(), 0u);
+  dm.Mark(DirtyMap::kPageSize, 1);
+  EXPECT_EQ(dm.DirtyCount(), 1u);
+}
+
+TEST(DirtyMap, PartialLastPageCaptureZeroPadsAndClamps) {
+  // A segment that is not a page multiple: the trailing partial page must
+  // be zero-padded on capture and clamped on copy-back.
+  const uint64_t bytes = DirtyMap::kPageSize + 100;
+  std::vector<uint8_t> mem(bytes, 0xAB);
+  PageDelta full = CaptureAllPages(mem.data(), bytes);
+  ASSERT_EQ(full.page_count(), 2u);
+  const uint8_t* tail = full.page(1);
+  ASSERT_NE(tail, nullptr);
+  for (size_t i = 0; i < 100; ++i) EXPECT_EQ(tail[i], 0xAB);
+  for (size_t i = 100; i < DirtyMap::kPageSize; ++i) EXPECT_EQ(tail[i], 0);
+
+  DirtyMap dm;
+  dm.Enable(bytes);
+  mem[bytes - 1] = 0xCD;  // last byte of the partial page
+  dm.Mark(bytes - 1, 1);
+  PageDelta delta = CaptureDirtyPages(dm, mem.data(), bytes);
+  ASSERT_EQ(delta.page_count(), 1u);
+  EXPECT_EQ(delta.pages[0], 1u);
+  EXPECT_EQ(delta.page(0), nullptr);  // clean page not captured
+  ASSERT_NE(delta.page(1), nullptr);
+  EXPECT_EQ(delta.page(1)[99], 0xCD);
+}
+
+TEST(DirtyMap, RestoreDirtyPagesClampsPartialTail) {
+  const uint64_t bytes = DirtyMap::kPageSize + 100;
+  std::vector<uint8_t> from(bytes, 0x11), to(bytes, 0x22);
+  DirtyMap dm;
+  dm.Enable(bytes);
+  dm.Mark(DirtyMap::kPageSize, 100);  // only the partial tail page
+  RestoreDirtyPages(dm, from.data(), to.data(), bytes);
+  EXPECT_EQ(to[0], 0x22);  // clean page untouched
+  EXPECT_EQ(to[DirtyMap::kPageSize], 0x11);
+  EXPECT_EQ(to[bytes - 1], 0x11);
+  EXPECT_EQ(dm.DirtyCount(), 0u);  // journal cleared by the restore
+}
+
 TEST(AddressSpace, WriteMarksRegionDirtyJournal) {
   std::vector<uint8_t> backing(2 * DirtyMap::kPageSize, 0);
   DirtyMap dm;
@@ -709,6 +781,134 @@ TEST(MachineSnapshot, KernelStateAndCoverageRestored) {
   EXPECT_FALSE(machine.kernel().has_file("/tmp/scratch"));
   machine.RunToCompletion(pid.value());
   EXPECT_EQ(cov->covered_total(), covered);
+}
+
+/// The 5000-iteration loop module used by the mid-run snapshot tests:
+/// long enough that instruction budgets stop it mid-run.
+sso::SharedObject LoopApp() {
+  CodeBuilder b;
+  b.begin_function("main");
+  b.mov_ri(Reg::R0, 0);
+  b.mov_ri(Reg::R2, 5000);
+  CodeBuilder::Label loop = b.new_label();
+  b.bind(loop);
+  b.add_ri(Reg::R0, 2);
+  b.sub_ri(Reg::R2, 1);
+  b.cmp_ri(Reg::R2, 0);
+  b.jgt(loop);
+  b.leave_ret();
+  b.end_function();
+  return sso::FromCodeUnit("loop.so", b.Finish());
+}
+
+TEST(MachineSnapshotTree, RestoreToAncestorAfterChildDivergence) {
+  Machine machine;
+  machine.Load(CounterApp());
+  auto pid = machine.CreateProcess("main");
+  ASSERT_TRUE(pid.ok());
+  SnapshotId root = machine.PushSnapshot();
+  ASSERT_NE(root, kNoSnapshot);
+  EXPECT_EQ(machine.current_snapshot(), root);
+
+  ASSERT_EQ(machine.RunToCompletion(pid.value()).exit_code, 1);
+  SnapshotId child = machine.PushSnapshot();  // counter 1, process exited
+  ASSERT_EQ(machine.snapshot_node_count(), 2u);
+
+  // Diverge from the child: a fresh process increments the counter again.
+  auto pid2 = machine.CreateProcess("main");
+  ASSERT_TRUE(pid2.ok());
+  ASSERT_EQ(machine.RunToCompletion(pid2.value()).exit_code, 2);
+
+  // Back to the ancestor: the divergent writes (counter 2, second process)
+  // must be fully undone even though they postdate the child node.
+  ASSERT_TRUE(machine.RestoreTo(root));
+  EXPECT_EQ(machine.current_snapshot(), root);
+  ASSERT_EQ(machine.processes().size(), 1u);
+  EXPECT_EQ(machine.RunToCompletion(pid.value()).exit_code, 1);
+
+  // And forward again to the child, then back once more.
+  ASSERT_TRUE(machine.RestoreTo(child));
+  auto pid3 = machine.CreateProcess("main");
+  ASSERT_TRUE(pid3.ok());
+  EXPECT_EQ(machine.RunToCompletion(pid3.value()).exit_code, 2);
+  ASSERT_TRUE(machine.RestoreTo(root));
+  EXPECT_EQ(machine.RunToCompletion(pid.value()).exit_code, 1);
+}
+
+TEST(MachineSnapshotTree, InterleavedSiblingRestores) {
+  Machine machine;
+  machine.Load(LoopApp());
+  auto pid = machine.CreateProcess("main");
+  ASSERT_TRUE(pid.ok());
+  ASSERT_EQ(machine.Run(1), RunOutcome::BudgetSpent);
+  const uint64_t at_root = machine.total_instructions();
+  SnapshotId root = machine.PushSnapshot();
+
+  // Sibling A: one more quantum past the root.
+  ASSERT_EQ(machine.Run(at_root + 1), RunOutcome::BudgetSpent);
+  const uint64_t at_a = machine.total_instructions();
+  ASSERT_GT(at_a, at_root);
+  SnapshotId a = machine.PushSnapshot();
+
+  // Sibling B: a deeper point, forked from the same root.
+  ASSERT_TRUE(machine.RestoreTo(root));
+  ASSERT_EQ(machine.Run(at_a + 1), RunOutcome::BudgetSpent);
+  const uint64_t at_b = machine.total_instructions();
+  ASSERT_GT(at_b, at_a);
+  SnapshotId b = machine.PushSnapshot();
+
+  // Interleave restores across the two siblings; each must come back at
+  // its own instant, and resuming from either must finish identically.
+  ASSERT_TRUE(machine.RestoreTo(a));
+  EXPECT_EQ(machine.total_instructions(), at_a);
+  ASSERT_TRUE(machine.RestoreTo(b));
+  EXPECT_EQ(machine.total_instructions(), at_b);
+  ASSERT_TRUE(machine.RestoreTo(a));
+  EXPECT_EQ(machine.total_instructions(), at_a);
+  auto info = machine.RunToCompletion(pid.value());
+  EXPECT_EQ(info.state, ProcState::Exited);
+  EXPECT_EQ(info.exit_code, 10000);
+  const uint64_t total = machine.total_instructions();
+  ASSERT_TRUE(machine.RestoreTo(b));
+  info = machine.RunToCompletion(pid.value());
+  EXPECT_EQ(info.state, ProcState::Exited);
+  EXPECT_EQ(info.exit_code, 10000);
+  EXPECT_EQ(machine.total_instructions(), total);
+}
+
+TEST(MachineSnapshotTree, RestoreTelemetryAccumulates) {
+  Machine machine;
+  machine.Load(CounterApp());
+  auto pid = machine.CreateProcess("main");
+  ASSERT_TRUE(pid.ok());
+  SnapshotId root = machine.PushSnapshot();
+  EXPECT_EQ(machine.restore_stats().restores, 0u);
+  machine.RunToCompletion(pid.value());
+  ASSERT_TRUE(machine.RestoreTo(root));
+  const SnapshotRestoreStats& stats = machine.restore_stats();
+  EXPECT_EQ(stats.restores, 1u);
+  EXPECT_GT(stats.pages_restored, 0u);  // the run dirtied at least 1 page
+  EXPECT_GT(stats.nodes_walked, 0u);
+}
+
+TEST(MachineSnapshotTree, FlatSnapshotAliasesTreeRoot) {
+  // The legacy flat API is the one-node special case of the tree: Snapshot
+  // drops any existing tree and pushes a fresh root.
+  Machine machine;
+  machine.Load(CounterApp());
+  auto pid = machine.CreateProcess("main");
+  ASSERT_TRUE(pid.ok());
+  machine.PushSnapshot();
+  machine.RunToCompletion(pid.value());
+  machine.PushSnapshot();
+  ASSERT_EQ(machine.snapshot_node_count(), 2u);
+  machine.Snapshot();  // flat API: back to a single-node tree
+  EXPECT_EQ(machine.snapshot_node_count(), 1u);
+  ASSERT_TRUE(machine.RestoreSnapshot());
+  auto pid2 = machine.CreateProcess("main");
+  ASSERT_TRUE(pid2.ok());
+  // Counter was 1 at the flat snapshot: the rerun increments it to 2.
+  EXPECT_EQ(machine.RunToCompletion(pid2.value()).exit_code, 2);
 }
 
 TEST(Process, UnknownSyscallNumberReturnsNosys) {

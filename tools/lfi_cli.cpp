@@ -408,6 +408,7 @@ int CmdCampaign(const std::vector<std::string>& args) {
     }
     else if (args[i] == "--exhaustive") exhaustive = true;
     else if (args[i] == "--snapshot") opts.snapshot = true;
+    else if (args[i] == "--snapshot-tree") opts.snapshot_tree = true;
     else if (args[i] == "--exec") {
       std::string name = next();
       auto mode = vm::ParseExecMode(name);
@@ -587,6 +588,8 @@ int CmdExplore(const std::vector<std::string>& args) {
     }
     else if (args[i] == "--no-minimize") eopts.minimize_crashes = false;
     else if (args[i] == "--snapshot") eopts.campaign.snapshot = true;
+    else if (args[i] == "--snapshot-tree") eopts.campaign.snapshot_tree = true;
+    else if (args[i] == "--fork-windows") eopts.fork_windows = true;
     else if (args[i] == "--exec") {
       std::string name = next();
       auto mode = vm::ParseExecMode(name);
@@ -733,13 +736,15 @@ int main(int argc, char** argv) {
         "       [--scenarios N] [--seed n] [--jobs N] [--shard rr|balanced]\n"
         "       [--entry sym] [--profile xml]... [--lib sso]...\n"
         "       [--file path]... [--coverage report.txt]\n"
-        "       [--budget instructions] [--snapshot] [--warmup instructions]\n"
+        "       [--budget instructions] [--snapshot | --snapshot-tree]\n"
+        "       [--warmup instructions]\n"
         "       [--exec superblock|predecoded|reference]\n"
         "  explore --app <sso> [--rounds N] [--budget scenarios-per-round]\n"
         "       [--seed n] [--jobs N] [--corpus-dir dir] [--probability p]\n"
         "       [--entry sym] [--profile xml]... [--lib sso]...\n"
         "       [--file path]... [--instructions N] [--no-minimize]\n"
-        "       [--snapshot] [--warmup instructions]\n"
+        "       [--snapshot | --snapshot-tree] [--fork-windows]\n"
+        "       [--warmup instructions]\n"
         "       [--exec superblock|predecoded|reference]\n");
     return 1;
   }
