@@ -1,0 +1,335 @@
+// Campaign fabric overhead: what does shipping scenarios to worker
+// processes cost (or buy) versus running them in-process?
+//
+// Table 1 runs the same random campaign in-process (jobs=1) and through
+// FabricCoordinator with 1, 2, and 4 forked local workers, asserting the
+// report fingerprint is identical in every configuration — the fabric's
+// core invariant — and reporting throughput and the remote/local/stolen
+// split. A 1-worker fabric isolates pure protocol overhead (encode +
+// socket + decode, no parallelism); 2 and 4 workers show the scaling the
+// overhead is paid for.
+//
+// Table 2 reruns a batch through an already-configured fabric: the second
+// round skips Configure (module transfer + machine build + snapshot warm),
+// which is the amortization `lfi serve` daemons and explorer rounds rely
+// on.
+//
+// The micro-benchmarks time the wire hot path in isolation: plan
+// encode/decode and a full frame round trip over a socketpair.
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/workloads.hpp"
+#include "bench_util.hpp"
+#include "campaign/runner.hpp"
+#include "core/scenario_gen.hpp"
+#include "isa/codebuilder.hpp"
+#include "libc/libc_builder.hpp"
+#include "serve/coordinator.hpp"
+#include "serve/worker.hpp"
+#include "serve/wire.hpp"
+
+namespace lfi {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using isa::CodeBuilder;
+using isa::Reg;
+
+/// Same victim as the fabric tests: open /cfg, read 64 bytes unchecked,
+/// abort on a negative count — small, deterministic, every libc fault
+/// reachable.
+sso::SharedObject BuildReaderApp() {
+  CodeBuilder b;
+  uint32_t path = b.emit_data({'/', 'c', 'f', 'g', 0});
+  uint32_t buf = b.reserve_data(128);
+  b.begin_function("main");
+  b.sub_ri(Reg::SP, 16);
+  b.mov_ri(Reg::R2, libc::O_RDONLY);
+  b.lea_data(Reg::R1, static_cast<int32_t>(path));
+  b.push(Reg::R2);
+  b.push(Reg::R1);
+  b.call_sym("open");
+  b.add_ri(Reg::SP, 16);
+  b.store(Reg::BP, -8, Reg::R0);
+  b.load(Reg::R1, Reg::BP, -8);
+  b.lea_data(Reg::R2, static_cast<int32_t>(buf));
+  b.mov_ri(Reg::R3, 64);
+  b.push(Reg::R3);
+  b.push(Reg::R2);
+  b.push(Reg::R1);
+  b.call_sym("read");
+  b.add_ri(Reg::SP, 24);
+  auto ok = b.new_label();
+  b.cmp_ri(Reg::R0, 0);
+  b.jge(ok);
+  b.call_sym("abort");
+  b.bind(ok);
+  b.load(Reg::R1, Reg::BP, -8);
+  b.push(Reg::R1);
+  b.call_sym("close");
+  b.add_ri(Reg::SP, 8);
+  b.mov_ri(Reg::R0, 0);
+  b.leave_ret();
+  b.end_function();
+  return sso::FromCodeUnit("readerapp.so", b.Finish(), {libc::kLibcName});
+}
+
+serve::TargetSpec ReaderSpec() {
+  serve::TargetSpec spec;
+  spec.modules.push_back(libc::BuildLibc().Serialize());
+  spec.modules.push_back(BuildReaderApp().Serialize());
+  spec.files.emplace_back("/cfg", std::vector<uint8_t>(64, 'x'));
+  return spec;
+}
+
+/// The options every configuration runs with: single-threaded per
+/// executor (parallelism comes from worker count), full collection so the
+/// wire carries complete result payloads.
+campaign::CampaignOptions BaseOptions() {
+  campaign::CampaignOptions opts;
+  opts.jobs = 1;
+  opts.track_coverage = true;
+  opts.collect_scenario_coverage = true;
+  opts.collect_replays = true;
+  return opts;
+}
+
+std::vector<campaign::Scenario> MakeScenarios(size_t count, double probability,
+                                              uint64_t seed) {
+  const auto& profiles = apps::LibcProfiles();
+  std::vector<campaign::Scenario> scenarios;
+  for (size_t i = 0; i < count; ++i) {
+    campaign::Scenario s;
+    s.name = "scn-" + std::to_string(i);
+    s.plan = core::GenerateRandom(profiles, probability,
+                                  campaign::DeriveSeed(seed, i));
+    scenarios.push_back(std::move(s));
+  }
+  return scenarios;
+}
+
+/// Configuration-invariant digest of a report: statuses, instruction and
+/// injection counts, coverage popcounts, crash hashes. Any divergence the
+/// fabric tests would catch shows up here.
+std::string Fingerprint(const campaign::CampaignReport& report) {
+  std::string out;
+  char buf[128];
+  for (const campaign::ScenarioResult& r : report.results) {
+    std::snprintf(buf, sizeof(buf), "%d:%lld:%llu:%zu:%zu:%016llx\n",
+                  static_cast<int>(r.status), (long long)r.exit_code,
+                  (unsigned long long)r.instructions, r.injections,
+                  r.covered_offsets, (unsigned long long)r.crash_hash);
+    out += buf;
+  }
+  for (const auto& [module, bitmap] : report.coverage) {
+    std::snprintf(buf, sizeof(buf), "%s:%zu\n", module.c_str(),
+                  bitmap.Count());
+    out += buf;
+  }
+  return out;
+}
+
+struct RunOutcome {
+  double seconds = 0;
+  std::string fingerprint;
+  serve::FabricStats stats;  // zeroed for the in-process baseline
+  double scenarios_per_sec(size_t n) const {
+    return seconds > 0 ? static_cast<double>(n) / seconds : 0;
+  }
+};
+
+RunOutcome RunInProcess(const std::vector<campaign::Scenario>& scenarios) {
+  auto setup = serve::MakeSetup(ReaderSpec());
+  campaign::CampaignRunner runner(std::move(setup).take(),
+                                  apps::LibcProfiles(), BaseOptions());
+  auto begin = Clock::now();
+  campaign::CampaignReport report = runner.Run(scenarios);
+  RunOutcome out;
+  out.seconds = std::chrono::duration<double>(Clock::now() - begin).count();
+  out.fingerprint = Fingerprint(report);
+  return out;
+}
+
+RunOutcome RunThroughFabric(serve::FabricCoordinator& fabric,
+                            const std::vector<campaign::Scenario>& scenarios) {
+  auto begin = Clock::now();
+  campaign::CampaignReport report = fabric.Run(scenarios);
+  RunOutcome out;
+  out.seconds = std::chrono::duration<double>(Clock::now() - begin).count();
+  out.fingerprint = Fingerprint(report);
+  out.stats = fabric.stats();
+  return out;
+}
+
+std::string Fmt(const char* fmt, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+
+int PrintTables() {
+  const size_t n = static_cast<size_t>(bench::Scaled(192, 16));
+  const std::vector<campaign::Scenario> scenarios = MakeScenarios(n, 0.3, 7);
+  const std::vector<size_t> worker_counts = {1, 2, 4};
+
+  // Fork every worker before anything in this process runs a campaign:
+  // coordinator Runs spawn (and join) dispatch threads, and fork must
+  // come first.
+  std::vector<std::vector<serve::LocalWorker>> pools;
+  for (size_t count : worker_counts) {
+    std::vector<serve::LocalWorker> pool;
+    for (size_t i = 0; i < count; ++i) {
+      auto worker = serve::SpawnLocalWorker();
+      if (!worker.ok()) {
+        std::fprintf(stderr, "spawn failed: %s\n", worker.error().c_str());
+        return 1;
+      }
+      pool.push_back(std::move(worker).take());
+    }
+    pools.push_back(std::move(pool));
+  }
+
+  const RunOutcome baseline = RunInProcess(scenarios);
+
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"config", "seconds", "scen/s", "speedup", "remote", "local",
+                  "stolen", "identical"});
+  rows.push_back({"in-process", Fmt("%.3f", baseline.seconds),
+                  Fmt("%.1f", baseline.scenarios_per_sec(n)), "1.00x", "-",
+                  "-", "-", "-"});
+
+  int rc = 0;
+  std::vector<std::unique_ptr<serve::FabricCoordinator>> fabrics;
+  for (size_t w = 0; w < worker_counts.size(); ++w) {
+    auto fabric = std::make_unique<serve::FabricCoordinator>(
+        ReaderSpec(), apps::LibcProfiles(), BaseOptions());
+    for (const serve::LocalWorker& worker : pools[w]) {
+      Status st = fabric->AddWorkerFd(worker.fd, "bench");
+      if (!st.ok()) {
+        std::fprintf(stderr, "handshake failed: %s\n", st.error().c_str());
+        return 1;
+      }
+    }
+    const RunOutcome run = RunThroughFabric(*fabric, scenarios);
+    const bool identical = run.fingerprint == baseline.fingerprint;
+    if (!identical) rc = 1;
+    rows.push_back(
+        {"fabric x" + std::to_string(worker_counts[w]),
+         Fmt("%.3f", run.seconds), Fmt("%.1f", run.scenarios_per_sec(n)),
+         Fmt("%.2fx", baseline.seconds > 0 && run.seconds > 0
+                          ? baseline.seconds / run.seconds
+                          : 0),
+         std::to_string(run.stats.scenarios_remote),
+         std::to_string(run.stats.scenarios_local),
+         std::to_string(run.stats.batches_stolen), identical ? "yes" : "NO"});
+    fabrics.push_back(std::move(fabric));
+  }
+  bench::PrintTable(
+      "Fabric overhead vs in-process (" + std::to_string(n) + " scenarios)",
+      rows);
+
+  // Warm reuse: a second Run over an already-configured fabric pays no
+  // Configure (module transfer, machine build, snapshot warm) — the
+  // daemon / explorer-round amortization.
+  {
+    serve::FabricCoordinator& fabric = *fabrics[1];  // the x2 fabric
+    const RunOutcome warm = RunThroughFabric(fabric, scenarios);
+    if (warm.fingerprint != baseline.fingerprint) rc = 1;
+    std::vector<std::vector<std::string>> rows2;
+    rows2.push_back({"round", "seconds", "scen/s", "identical"});
+    rows2.push_back({"round 2 (warm pool, fabric x2)",
+                     Fmt("%.3f", warm.seconds),
+                     Fmt("%.1f", warm.scenarios_per_sec(n)),
+                     warm.fingerprint == baseline.fingerprint ? "yes" : "NO"});
+    bench::PrintTable("Warm worker-pool reuse", rows2);
+  }
+
+  fabrics.clear();  // sends Shutdown, closes sockets; children _exit
+  for (const auto& pool : pools) {
+    for (const serve::LocalWorker& worker : pool) {
+      int status = 0;
+      waitpid(worker.pid, &status, 0);
+    }
+  }
+  if (rc != 0) {
+    std::fprintf(stderr,
+                 "FABRIC IDENTITY VIOLATION: distributed fingerprint "
+                 "diverged from in-process baseline\n");
+  }
+  return rc;
+}
+
+// -- wire micro-benchmarks ---------------------------------------------------
+
+core::Plan SamplePlan() {
+  return core::GenerateRandom(apps::LibcProfiles(), 0.3,
+                              campaign::DeriveSeed(7, 0));
+}
+
+void BM_WireEncodePlan(benchmark::State& state) {
+  const core::Plan plan = SamplePlan();
+  for (auto _ : state) {
+    std::vector<uint8_t> out;
+    serve::EncodePlan(out, plan);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_WireEncodePlan);
+
+void BM_WireDecodePlan(benchmark::State& state) {
+  std::vector<uint8_t> buf;
+  serve::EncodePlan(buf, SamplePlan());
+  for (auto _ : state) {
+    serve::Reader r(buf);
+    auto plan = serve::DecodePlan(r);
+    benchmark::DoNotOptimize(plan);
+  }
+}
+BENCHMARK(BM_WireDecodePlan);
+
+void BM_WireFrameRoundTrip(benchmark::State& state) {
+  int fds[2];
+  if (socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    state.SkipWithError("socketpair failed");
+    return;
+  }
+  std::vector<uint8_t> payload;
+  serve::EncodePlan(payload, SamplePlan());
+  for (auto _ : state) {
+    Status st = serve::WriteFrame(fds[0], serve::MsgType::RunBatch, payload);
+    if (!st.ok()) {
+      state.SkipWithError("write failed");
+      break;
+    }
+    auto frame = serve::ReadFrame(fds[1]);
+    if (!frame.ok()) {
+      state.SkipWithError("read failed");
+      break;
+    }
+    benchmark::DoNotOptimize(frame);
+  }
+  close(fds[0]);
+  close(fds[1]);
+}
+BENCHMARK(BM_WireFrameRoundTrip);
+
+}  // namespace
+}  // namespace lfi
+
+// Not LFI_BENCH_MAIN: the table pass returns an exit code (the fabric
+// identity check is a hard assertion, not just a printed column).
+int main(int argc, char** argv) {
+  int rc = lfi::PrintTables();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return rc;
+}

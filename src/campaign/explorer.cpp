@@ -356,14 +356,27 @@ std::vector<Scenario> Explorer::EvolvePopulation(
   return population;
 }
 
+CampaignOptions Explorer::DispatchOptions(CampaignOptions base) {
+  base.track_coverage = true;
+  base.collect_scenario_coverage = true;
+  base.collect_replays = true;
+  return base;
+}
+
 ExplorerReport Explorer::Explore(std::vector<core::Plan> initial_corpus) {
   ExplorerReport report;
 
-  CampaignOptions copts = options_.campaign;
-  copts.track_coverage = true;
-  copts.collect_scenario_coverage = true;
-  copts.collect_replays = true;
-  CampaignRunner runner(setup_, profiles_, copts);
+  CampaignOptions copts = DispatchOptions(options_.campaign);
+  // The internal runner is built (lazily) only when no external dispatch
+  // was supplied; through the fabric, every round's population goes out
+  // over the wire instead.
+  std::unique_ptr<CampaignRunner> runner;
+  if (!options_.dispatch) {
+    runner = std::make_unique<CampaignRunner>(setup_, profiles_, copts);
+  }
+  ScenarioDispatch& dispatch =
+      options_.dispatch ? *options_.dispatch
+                        : static_cast<ScenarioDispatch&>(*runner);
 
   std::vector<core::Plan> corpus;
   // corpus[i]'s fork window (parallel to `corpus`): the quantum-floored
@@ -377,7 +390,7 @@ ExplorerReport Explorer::Explore(std::vector<core::Plan> initial_corpus) {
     std::vector<Scenario> population =
         round == 0 ? SeedPopulation(initial_corpus)
                    : EvolvePopulation(corpus, corpus_windows, round);
-    CampaignReport creport = runner.Run(population);
+    CampaignReport creport = dispatch.Run(population);
 
     RoundStats rs;
     rs.round = round;

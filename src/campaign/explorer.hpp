@@ -104,6 +104,14 @@ struct ExplorerOptions {
   /// explorer forces track_coverage / collect_scenario_coverage /
   /// collect_replays on — they are its inputs.
   CampaignOptions campaign;
+  /// External round executor — the serve fabric's coordinator, or any
+  /// other ScenarioDispatch. When set, every round's population runs
+  /// through it instead of an internally-built CampaignRunner; it must be
+  /// configured with Explorer::DispatchOptions(campaign) so the results
+  /// carry the per-scenario bitmaps and replays the explorer consumes.
+  /// Crash minimization still runs in-process (the ddmin oracle needs a
+  /// private machine). Not owned.
+  ScenarioDispatch* dispatch = nullptr;
   /// Per-round progress callback (CLI progress lines).
   std::function<void(const RoundStats&)> on_round;
 };
@@ -162,6 +170,12 @@ class Explorer {
   ExplorerReport Explore(std::vector<core::Plan> initial_corpus = {});
 
   const ExplorerOptions& options() const { return options_; }
+
+  /// The campaign options an external round dispatcher must be built
+  /// with: `base` plus the collection flags the explorer depends on
+  /// (track_coverage, collect_scenario_coverage, collect_replays) — the
+  /// same forcing Explore() applies to its internal runner.
+  static CampaignOptions DispatchOptions(CampaignOptions base);
 
  private:
   /// One deterministic arg-fault sweep candidate: fail nothing, corrupt

@@ -210,42 +210,51 @@ CampaignRunner::CampaignRunner(MachineSetup setup,
   }
 }
 
-void CampaignRunner::RunShard(
-    const std::vector<Scenario>& scenarios, const std::vector<size_t>& shard,
-    std::vector<ScenarioResult>* results, vm::CoverageTracker* coverage_out,
-    std::vector<std::string>* module_names_out) {
-  vm::Machine machine;
-  if (options_.exec_mode) machine.SetExecMode(*options_.exec_mode);
-  if (setup_) setup_(machine);
-  machine.Checkpoint();
-  vm::CoverageTracker* tracker =
-      options_.track_coverage ? machine.EnableCoverage() : nullptr;
-  std::vector<std::string> module_names;
-  if (tracker) {
-    for (const auto& mod : machine.loader().modules()) {
-      module_names.push_back(mod->object.name);
+CampaignRunner::~CampaignRunner() = default;
+
+CampaignRunner::WorkerContext& CampaignRunner::Context(size_t w) {
+  std::unique_ptr<WorkerContext>& slot = pool_[w];
+  if (!slot) slot = std::make_unique<WorkerContext>();
+  WorkerContext& ctx = *slot;
+  if (ctx.ready) return ctx;
+  if (options_.exec_mode) ctx.machine.SetExecMode(*options_.exec_mode);
+  if (setup_) setup_(ctx.machine);
+  ctx.machine.Checkpoint();
+  if (options_.track_coverage) {
+    ctx.tracker = ctx.machine.EnableCoverage();
+    for (const auto& mod : ctx.machine.loader().modules()) {
+      ctx.module_names.push_back(mod->object.name);
     }
-    if (module_names_out) *module_names_out = module_names;
   }
-  core::Controller controller(machine, options_.controller);
+  ctx.controller =
+      std::make_unique<core::Controller>(ctx.machine, options_.controller);
   // Warm once, restore per scenario: the snapshot carries the machine at
   // the fault-window entry point, so scenarios skip reset + process
   // construction (and the warmup prefix) entirely. In tree mode the
   // worker also grows window-local nodes as scenarios visit deeper
-  // windows.
-  SnapshotTreeState tree_state;
-  SnapshotTreeState* tree =
-      options_.snapshot_tree ? &tree_state : nullptr;
-  PrepareMachineSnapshot(machine, options_, tree);
+  // windows. The warm state persists for the runner's lifetime — every
+  // later Run() (explorer round, serve batch) restores instead of
+  // rebuilding.
+  PrepareMachineSnapshot(ctx.machine, options_,
+                         options_.snapshot_tree ? &ctx.tree : nullptr);
+  ctx.ready = true;
+  return ctx;
+}
 
+void CampaignRunner::RunShard(
+    const std::vector<Scenario>& scenarios, const std::vector<size_t>& shard,
+    WorkerContext& ctx, std::vector<ScenarioResult>* results,
+    vm::CoverageTracker* coverage_out) {
+  SnapshotTreeState* tree = options_.snapshot_tree ? &ctx.tree : nullptr;
   for (size_t idx : shard) {
     ScenarioResult& result = (*results)[idx];
-    result = RunScenarioOn(machine, controller, scenarios[idx], options_,
-                           profiles_, tracker, module_names, tree);
+    result = RunScenarioOn(ctx.machine, *ctx.controller, scenarios[idx],
+                           options_, profiles_, ctx.tracker, ctx.module_names,
+                           tree);
     result.index = idx;
     // Union this scenario's bitmaps into the worker-local aggregate — a
     // bitwise OR per module, no locks, no per-offset work.
-    if (tracker && coverage_out) coverage_out->Merge(*tracker);
+    if (ctx.tracker && coverage_out) coverage_out->Merge(*ctx.tracker);
     completed_.fetch_add(1, std::memory_order_relaxed);
   }
 }
@@ -261,23 +270,25 @@ CampaignReport CampaignRunner::Run(const std::vector<Scenario>& scenarios) {
                          std::max<size_t>(scenarios.size(), 1));
   std::vector<std::vector<size_t>> shards =
       ShardScenarios(scenarios, jobs, options_.shard);
+  // Pre-size the pool on this thread; worker threads then touch only
+  // their own slot, so lazy context construction needs no lock.
+  if (pool_.size() < shards.size()) pool_.resize(shards.size());
   // Pre-sized per-worker slots: coverage aggregation never takes a lock.
   std::vector<vm::CoverageTracker> worker_coverage(shards.size());
-  std::vector<std::vector<std::string>> worker_modules(shards.size());
 
   auto begin = Clock::now();
   if (shards.size() <= 1) {
     if (!shards.empty()) {
-      RunShard(scenarios, shards[0], &report.results, &worker_coverage[0],
-               &worker_modules[0]);
+      RunShard(scenarios, shards[0], Context(0), &report.results,
+               &worker_coverage[0]);
     }
   } else {
     std::vector<std::thread> pool;
     pool.reserve(shards.size());
     for (size_t w = 0; w < shards.size(); ++w) {
       pool.emplace_back([&, w] {
-        RunShard(scenarios, shards[w], &report.results, &worker_coverage[w],
-                 &worker_modules[w]);
+        RunShard(scenarios, shards[w], Context(w), &report.results,
+                 &worker_coverage[w]);
       });
     }
     for (std::thread& t : pool) t.join();
@@ -294,9 +305,9 @@ CampaignReport CampaignRunner::Run(const std::vector<Scenario>& scenarios) {
       merged.Merge(per_worker);
     }
     const std::vector<std::string>* names = nullptr;
-    for (const auto& mods : worker_modules) {
-      if (!mods.empty()) {
-        names = &mods;
+    for (const auto& ctx : pool_) {
+      if (ctx && !ctx->module_names.empty()) {
+        names = &ctx->module_names;
         break;
       }
     }

@@ -82,14 +82,34 @@ bool PrepareMachineSnapshot(vm::Machine& machine,
                             const CampaignOptions& options,
                             SnapshotTreeState* tree = nullptr);
 
-class CampaignRunner {
+/// Anything that can execute a scenario set and produce a CampaignReport.
+/// CampaignRunner is the in-process implementation; the serve fabric's
+/// coordinator (serve/coordinator.hpp) is the cross-process one. Both
+/// honor the same contract: results are index-ordered, per-scenario
+/// outcomes depend only on the scenario, and the report (union coverage,
+/// crash hashes, counters) is bit-identical no matter how the work was
+/// spread — which is what lets the explorer fan rounds out through either
+/// without changing its own determinism story.
+class ScenarioDispatch {
+ public:
+  virtual ~ScenarioDispatch() = default;
+
+  /// Execute every scenario; blocks until the campaign completes.
+  virtual CampaignReport Run(const std::vector<Scenario>& scenarios) = 0;
+};
+
+class CampaignRunner : public ScenarioDispatch {
  public:
   CampaignRunner(MachineSetup setup,
                  std::vector<core::FaultProfile> profiles,
                  CampaignOptions options = {});
+  ~CampaignRunner() override;
 
-  /// Execute every scenario; blocks until the campaign completes.
-  CampaignReport Run(const std::vector<Scenario>& scenarios);
+  /// Execute every scenario; blocks until the campaign completes. The
+  /// worker machine pool persists across calls: a second Run (an explorer
+  /// round, a serve batch) reuses the loaded modules, decoded code caches,
+  /// and warm snapshots instead of rebuilding them.
+  CampaignReport Run(const std::vector<Scenario>& scenarios) override;
 
   /// Scenarios completed so far (readable from another thread).
   size_t completed() const { return completed_.load(std::memory_order_relaxed); }
@@ -97,22 +117,40 @@ class CampaignRunner {
   const CampaignOptions& options() const { return options_; }
 
  private:
-  /// One worker: run `shard`'s scenarios on a single reused machine,
-  /// writing into results[idx] slots. `coverage_out` receives the worker's
-  /// union coverage (per dense module index) when tracking is on;
-  /// `module_names_out` receives the worker's module-index -> name map so
-  /// the merged report can be keyed by module name.
+  /// One pooled worker: a machine/controller pair that lives as long as
+  /// the runner. Built lazily the first time a shard lands on it (setup +
+  /// checkpoint + coverage enable + snapshot warm), then only Reset (or
+  /// snapshot-restored) per scenario. `tree` accumulates window-local
+  /// snapshot nodes across every batch the worker ever runs.
+  struct WorkerContext {
+    vm::Machine machine;
+    std::unique_ptr<core::Controller> controller;
+    vm::CoverageTracker* tracker = nullptr;
+    std::vector<std::string> module_names;
+    SnapshotTreeState tree;
+    bool ready = false;
+  };
+
+  /// Build pool_[w] if this is the first shard to land on it. Called from
+  /// worker threads; safe because each thread touches only its own slot
+  /// (pool_ is pre-sized on the coordinating thread).
+  WorkerContext& Context(size_t w);
+
+  /// One worker: run `shard`'s scenarios on its pooled machine, writing
+  /// into results[idx] slots. `coverage_out` receives the worker's union
+  /// coverage for this batch (per dense module index) when tracking is on.
   void RunShard(const std::vector<Scenario>& scenarios,
-                const std::vector<size_t>& shard,
+                const std::vector<size_t>& shard, WorkerContext& ctx,
                 std::vector<ScenarioResult>* results,
-                vm::CoverageTracker* coverage_out,
-                std::vector<std::string>* module_names_out);
+                vm::CoverageTracker* coverage_out);
 
   MachineSetup setup_;
   /// Shared across all workers and installs — profiles are immutable for
   /// the campaign's lifetime, so no per-scenario copy is made.
   std::shared_ptr<const std::vector<core::FaultProfile>> profiles_;
   CampaignOptions options_;
+  /// Persistent worker pool, indexed by shard slot; grows to options_.jobs.
+  std::vector<std::unique_ptr<WorkerContext>> pool_;
   std::atomic<size_t> completed_{0};
 };
 

@@ -122,6 +122,44 @@ bool ParseDouble(std::string_view text, double* out) {
   return true;
 }
 
+namespace {
+
+/// CLI flag values must be whitespace-free: ParseUint/ParseDouble trim
+/// outer whitespace (right for XML attribute text), but a flag value that
+/// needed trimming is a quoting mistake the user should see.
+bool HasWhitespace(const std::string& text) {
+  for (unsigned char c : text) {
+    if (std::isspace(c)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<uint64_t> ParseCountFlag(const std::string& flag,
+                                const std::string& text, uint64_t max) {
+  uint64_t v = 0;
+  if (HasWhitespace(text) || !ParseUint(text, &v)) {
+    return Err(flag + " needs a non-negative integer, got \"" + text + "\"");
+  }
+  if (v > max) {
+    return Err(flag + " must be at most " + std::to_string(max));
+  }
+  return v;
+}
+
+Result<double> ParseProbabilityFlag(const std::string& flag,
+                                    const std::string& text) {
+  double p = 0;
+  if (HasWhitespace(text) || !ParseDouble(text, &p)) {
+    return Err(flag + " needs a numeric probability, got \"" + text + "\"");
+  }
+  if (!(p > 0.0) || p > 1.0) {
+    return Err(flag + " probability must be in (0, 1], got " + text);
+  }
+  return p;
+}
+
 std::string Hex(uint64_t value) { return Format("0x%llx", (unsigned long long)value); }
 
 bool StartsWith(std::string_view text, std::string_view prefix) {

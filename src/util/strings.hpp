@@ -6,6 +6,8 @@
 #include <string_view>
 #include <vector>
 
+#include "util/result.hpp"
+
 namespace lfi {
 
 /// printf-style formatting into a std::string.
@@ -31,6 +33,21 @@ bool ParseUint(std::string_view text, uint64_t* out);
 /// locale silently truncates "0.25" to 0). Returns false on malformed or
 /// non-finite input.
 bool ParseDouble(std::string_view text, double* out);
+
+/// Parse a non-negative integer CLI flag value strictly: built on
+/// ParseUint, so signs, junk, and overflow are rejected — and unlike the
+/// XML attribute path, any whitespace is malformed too (a shell-quoted
+/// " 5" is a typo, not a trimmed value). `max` bounds the accepted range.
+/// Errors name the flag.
+Result<uint64_t> ParseCountFlag(const std::string& flag,
+                                const std::string& text,
+                                uint64_t max = UINT64_MAX);
+
+/// Parse a probability CLI flag value strictly: locale-independent
+/// (ParseDouble — "0.5" parses under a comma-decimal locale), no
+/// whitespace, and required to lie in (0, 1]. Errors name the flag.
+Result<double> ParseProbabilityFlag(const std::string& flag,
+                                    const std::string& text);
 
 /// Lower-case hexadecimal rendering with 0x prefix.
 std::string Hex(uint64_t value);

@@ -1,4 +1,5 @@
 #include <gtest/gtest.h>
+#include <locale.h>
 
 #include "util/errno_table.hpp"
 #include "util/result.hpp"
@@ -210,6 +211,73 @@ TEST(Strings, ParseDouble) {
   EXPECT_FALSE(ParseDouble("inf", &d));
   // Locale independence: the separator is '.', never ','.
   EXPECT_FALSE(ParseDouble("0,5", &d));
+}
+
+// CLI flag parsing regressions. The old tools/lfi_cli.cpp helpers sat on
+// raw strtoull/strtod: "--jobs -5" wrapped to 18446744073709551611 and was
+// accepted, "--seed 12x" silently became 12, leading whitespace passed,
+// and probability parsing was locale-dependent. The strict helpers reject
+// all of that and keep the flag name in the error.
+TEST(Strings, ParseCountFlagRejectsSignWrap) {
+  auto v = ParseCountFlag("--jobs", "-5");
+  ASSERT_FALSE(v.ok());
+  EXPECT_NE(v.error().find("--jobs"), std::string::npos);
+  EXPECT_FALSE(ParseCountFlag("--jobs", "+5").ok());
+}
+
+TEST(Strings, ParseCountFlagRejectsWhitespaceAndJunk) {
+  EXPECT_FALSE(ParseCountFlag("--seed", " 5").ok());
+  EXPECT_FALSE(ParseCountFlag("--seed", "5 ").ok());
+  EXPECT_FALSE(ParseCountFlag("--seed", "12x").ok());
+  EXPECT_FALSE(ParseCountFlag("--seed", "abc").ok());
+  EXPECT_FALSE(ParseCountFlag("--seed", "").ok());
+  EXPECT_FALSE(ParseCountFlag("--seed", "18446744073709551616").ok());
+}
+
+TEST(Strings, ParseCountFlagRoundTripsAndBounds) {
+  auto v = ParseCountFlag("--seed", "18446744073709551615");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), UINT64_MAX);
+  auto bounded = ParseCountFlag("--jobs", "1000001", 1'000'000);
+  ASSERT_FALSE(bounded.ok());
+  EXPECT_NE(bounded.error().find("at most"), std::string::npos);
+  auto ok = ParseCountFlag("--jobs", "8", 1'000'000);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 8u);
+}
+
+TEST(Strings, ParseProbabilityFlagStrict) {
+  auto p = ParseProbabilityFlag("--random", "0.5");
+  ASSERT_TRUE(p.ok());
+  EXPECT_DOUBLE_EQ(p.value(), 0.5);
+  auto one = ParseProbabilityFlag("--random", "1");
+  ASSERT_TRUE(one.ok());
+  EXPECT_DOUBLE_EQ(one.value(), 1.0);
+  EXPECT_FALSE(ParseProbabilityFlag("--random", "0").ok());
+  EXPECT_FALSE(ParseProbabilityFlag("--random", "-0.5").ok());
+  EXPECT_FALSE(ParseProbabilityFlag("--random", "1.5").ok());
+  EXPECT_FALSE(ParseProbabilityFlag("--random", "0.5x").ok());
+  EXPECT_FALSE(ParseProbabilityFlag("--random", " 0.5").ok());
+  EXPECT_FALSE(ParseProbabilityFlag("--random", "nan").ok());
+  auto err = ParseProbabilityFlag("--probability", "oops");
+  ASSERT_FALSE(err.ok());
+  EXPECT_NE(err.error().find("--probability"), std::string::npos);
+}
+
+// ParseProbabilityFlag must parse "0.5" whatever the host locale says the
+// decimal separator is — the same defect class PR 5's ParseDouble fixed
+// for plan XML. Comma-decimal locales are often absent in CI images, so
+// skip (not fail) when none can be installed.
+TEST(Strings, ParseProbabilityFlagLocaleIndependent) {
+  locale_t comma = newlocale(LC_NUMERIC_MASK, "de_DE.UTF-8", nullptr);
+  if (comma == nullptr) comma = newlocale(LC_NUMERIC_MASK, "fr_FR.UTF-8", nullptr);
+  if (comma == nullptr) GTEST_SKIP() << "no comma-decimal locale installed";
+  locale_t old = uselocale(comma);
+  auto p = ParseProbabilityFlag("--random", "0.5");
+  uselocale(old);
+  freelocale(comma);
+  ASSERT_TRUE(p.ok());
+  EXPECT_DOUBLE_EQ(p.value(), 0.5);
 }
 
 TEST(Strings, HexFormatting) {

@@ -1,0 +1,391 @@
+// Wire protocol unit tests: exact round trips for every payload type
+// (doubles must survive bit-for-bit — the fabric's byte-identity story
+// depends on it), framing over a real socketpair, and rejection of
+// malformed or truncated input.
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <bit>
+#include <cmath>
+
+#include "serve/wire.hpp"
+
+namespace lfi::serve {
+namespace {
+
+core::Plan SamplePlan() {
+  core::Plan plan;
+  plan.seed = 0xDEADBEEFCAFE1234ull;
+  core::FunctionTrigger t1;
+  t1.function = "read";
+  t1.mode = core::FunctionTrigger::Mode::Probability;
+  // Deliberately not representable in %g's 6 significant digits: an XML
+  // round trip would corrupt it, the wire must not.
+  t1.probability = 0.12345678901234567;
+  t1.retval = -1;
+  t1.errno_value = 9;
+  t1.max_injections = 3;
+  core::FrameCondition frame;
+  frame.address = 0xb824490;
+  t1.stacktrace.push_back(frame);
+  core::FrameCondition frame2;
+  frame2.symbol = "refresh_files";
+  t1.stacktrace.push_back(frame2);
+  plan.triggers.push_back(t1);
+  core::FunctionTrigger t2;
+  t2.function = "write";
+  t2.mode = core::FunctionTrigger::Mode::CallCount;
+  t2.inject_call = 20;
+  t2.call_original = true;
+  core::ArgModification mod;
+  mod.argument = 3;
+  mod.op = core::ArgModification::Op::Sub;
+  mod.value = -10;
+  t2.modifications.push_back(mod);
+  plan.triggers.push_back(t2);
+  return plan;
+}
+
+void ExpectSamePlan(const core::Plan& a, const core::Plan& b) {
+  ASSERT_EQ(a.triggers.size(), b.triggers.size());
+  EXPECT_EQ(a.seed, b.seed);
+  for (size_t i = 0; i < a.triggers.size(); ++i) {
+    const core::FunctionTrigger& ta = a.triggers[i];
+    const core::FunctionTrigger& tb = b.triggers[i];
+    EXPECT_EQ(ta.function, tb.function);
+    EXPECT_EQ(ta.mode, tb.mode);
+    EXPECT_EQ(ta.inject_call, tb.inject_call);
+    // Bit-exact, not approximately equal — that is the point.
+    EXPECT_EQ(std::bit_cast<uint64_t>(ta.probability),
+              std::bit_cast<uint64_t>(tb.probability));
+    EXPECT_EQ(ta.retval, tb.retval);
+    EXPECT_EQ(ta.errno_value, tb.errno_value);
+    EXPECT_EQ(ta.call_original, tb.call_original);
+    EXPECT_EQ(ta.max_injections, tb.max_injections);
+    ASSERT_EQ(ta.stacktrace.size(), tb.stacktrace.size());
+    for (size_t f = 0; f < ta.stacktrace.size(); ++f) {
+      EXPECT_EQ(ta.stacktrace[f].address, tb.stacktrace[f].address);
+      EXPECT_EQ(ta.stacktrace[f].symbol, tb.stacktrace[f].symbol);
+    }
+    ASSERT_EQ(ta.modifications.size(), tb.modifications.size());
+    for (size_t m = 0; m < ta.modifications.size(); ++m) {
+      EXPECT_EQ(ta.modifications[m].argument, tb.modifications[m].argument);
+      EXPECT_EQ(ta.modifications[m].op, tb.modifications[m].op);
+      EXPECT_EQ(ta.modifications[m].value, tb.modifications[m].value);
+    }
+  }
+}
+
+TEST(Wire, PlanRoundTripIsExact) {
+  std::vector<uint8_t> buf;
+  EncodePlan(buf, SamplePlan());
+  Reader r(buf);
+  auto decoded = DecodePlan(r);
+  ASSERT_TRUE(decoded.ok()) << decoded.error();
+  EXPECT_TRUE(r.AtEnd());
+  ExpectSamePlan(SamplePlan(), decoded.value());
+}
+
+TEST(Wire, PlanSurvivesWhereXmlWouldNot) {
+  core::Plan plan = SamplePlan();
+  // Confirm the premise: the XML path (%g, 6 significant digits) loses
+  // this probability, so a fabric built on ToXml would not be
+  // byte-identical. The binary path must preserve it exactly.
+  auto xml_round = core::Plan::FromXml(plan.ToXml());
+  ASSERT_TRUE(xml_round.ok());
+  EXPECT_NE(std::bit_cast<uint64_t>(plan.triggers[0].probability),
+            std::bit_cast<uint64_t>(xml_round.value().triggers[0].probability));
+  std::vector<uint8_t> buf;
+  EncodePlan(buf, plan);
+  Reader r(buf);
+  auto decoded = DecodePlan(r);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(std::bit_cast<uint64_t>(plan.triggers[0].probability),
+            std::bit_cast<uint64_t>(decoded.value().triggers[0].probability));
+}
+
+TEST(Wire, TruncatedPlanIsRejectedAtEveryLength) {
+  std::vector<uint8_t> buf;
+  EncodePlan(buf, SamplePlan());
+  for (size_t len = 0; len < buf.size(); ++len) {
+    std::vector<uint8_t> cut(buf.begin(), buf.begin() + len);
+    Reader r(cut);
+    auto decoded = DecodePlan(r);
+    // Either an explicit decode error, or (when the cut lands on a
+    // collection-count boundary) a shorter-but-complete prefix — in which
+    // case the reader must not have consumed past the cut.
+    if (decoded.ok()) {
+      EXPECT_LE(r.pos, len);
+    }
+  }
+}
+
+TEST(Wire, ScenarioRoundTrip) {
+  campaign::Scenario s;
+  s.name = "random-p0.3-17";
+  s.plan = SamplePlan();
+  s.entry = "handle_request";
+  s.heap_cap_bytes = 1 << 22;
+  s.warmup_instructions = 12345;
+  s.weight = 7;
+  std::vector<uint8_t> buf;
+  EncodeScenario(buf, s);
+  Reader r(buf);
+  auto decoded = DecodeScenario(r);
+  ASSERT_TRUE(decoded.ok()) << decoded.error();
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_EQ(decoded.value().name, s.name);
+  EXPECT_EQ(decoded.value().entry, s.entry);
+  EXPECT_EQ(decoded.value().heap_cap_bytes, s.heap_cap_bytes);
+  EXPECT_EQ(decoded.value().warmup_instructions, s.warmup_instructions);
+  EXPECT_EQ(decoded.value().weight, s.weight);
+  ExpectSamePlan(s.plan, decoded.value().plan);
+}
+
+TEST(Wire, OptionsRoundTrip) {
+  campaign::CampaignOptions o;
+  o.jobs = 4;
+  o.shard = campaign::ShardPolicy::SizeBalanced;
+  o.entry = "start";
+  o.max_instructions = 123456789;
+  o.default_heap_cap = 1 << 21;
+  o.track_coverage = true;
+  o.collect_scenario_coverage = true;
+  o.collect_replays = true;
+  o.snapshot_tree = true;
+  o.warmup_instructions = 4096;
+  o.exec_mode = vm::ExecMode::Predecoded;
+  o.controller.log_backtraces = false;
+  o.controller.log_capacity = 42;
+  std::vector<uint8_t> buf;
+  EncodeOptions(buf, o);
+  Reader r(buf);
+  auto decoded = DecodeOptions(r);
+  ASSERT_TRUE(decoded.ok()) << decoded.error();
+  EXPECT_TRUE(r.AtEnd());
+  const campaign::CampaignOptions& d = decoded.value();
+  EXPECT_EQ(d.jobs, o.jobs);
+  EXPECT_EQ(d.shard, o.shard);
+  EXPECT_EQ(d.entry, o.entry);
+  EXPECT_EQ(d.max_instructions, o.max_instructions);
+  EXPECT_EQ(d.default_heap_cap, o.default_heap_cap);
+  EXPECT_EQ(d.track_coverage, o.track_coverage);
+  EXPECT_EQ(d.collect_scenario_coverage, o.collect_scenario_coverage);
+  EXPECT_EQ(d.collect_replays, o.collect_replays);
+  EXPECT_EQ(d.snapshot, o.snapshot);
+  EXPECT_EQ(d.snapshot_tree, o.snapshot_tree);
+  EXPECT_EQ(d.warmup_instructions, o.warmup_instructions);
+  EXPECT_EQ(d.exec_mode, o.exec_mode);
+  EXPECT_EQ(d.controller.log_enabled, o.controller.log_enabled);
+  EXPECT_EQ(d.controller.log_backtraces, o.controller.log_backtraces);
+  EXPECT_EQ(d.controller.log_capacity, o.controller.log_capacity);
+}
+
+TEST(Wire, BitmapRoundTrip) {
+  vm::CoverageBitmap bitmap(1000);
+  for (uint32_t off : {0u, 1u, 63u, 64u, 517u, 999u}) bitmap.Set(off);
+  std::vector<uint8_t> buf;
+  EncodeBitmap(buf, bitmap);
+  Reader r(buf);
+  auto decoded = DecodeBitmap(r);
+  ASSERT_TRUE(decoded.ok()) << decoded.error();
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_EQ(decoded.value(), bitmap);
+  EXPECT_EQ(decoded.value().size_bits(), bitmap.size_bits());
+}
+
+TEST(Wire, BitmapRejectsOutOfRangeOffset) {
+  std::vector<uint8_t> buf;
+  PutU64(buf, 100);  // 100 bits...
+  PutU32(buf, 1);
+  PutU32(buf, 100);  // ...but an offset at 100
+  Reader r(buf);
+  auto decoded = DecodeBitmap(r);
+  EXPECT_FALSE(decoded.ok());
+}
+
+TEST(Wire, ResultRoundTrip) {
+  campaign::ScenarioResult res;
+  res.index = 17;
+  res.name = "s17";
+  res.status = campaign::ScenarioStatus::Crashed;
+  res.exit_code = -1;
+  res.signal = vm::Signal::Segv;
+  res.fault_message = "load fault at 0xfffffff8";
+  res.injections = 3;
+  res.instructions = 123456;
+  res.seconds = 0.001953125;
+  res.covered_offsets = 321;
+  res.covered_by_module["readerapp.so"] = 100;
+  res.covered_by_module["libc.so"] = 221;
+  vm::CoverageBitmap bitmap(256);
+  bitmap.Set(3);
+  bitmap.Set(250);
+  res.coverage["readerapp.so"] = bitmap;
+  res.fault_frames = {"read+0x12", "main+0x40"};
+  res.crash_site_hash = 0x1111222233334444ull;
+  res.crash_hash = 0x5555666677778888ull;
+  res.replay = SamplePlan();
+  res.first_injection_instructions = 777;
+  res.snapshot_fallback = true;
+  res.restore_pages = 12;
+  res.restore_nodes_walked = 2;
+
+  std::vector<uint8_t> buf;
+  EncodeResult(buf, res);
+  Reader r(buf);
+  auto decoded = DecodeResult(r);
+  ASSERT_TRUE(decoded.ok()) << decoded.error();
+  EXPECT_TRUE(r.AtEnd());
+  const campaign::ScenarioResult& d = decoded.value();
+  EXPECT_EQ(d.index, res.index);
+  EXPECT_EQ(d.name, res.name);
+  EXPECT_EQ(d.status, res.status);
+  EXPECT_EQ(d.exit_code, res.exit_code);
+  EXPECT_EQ(d.signal, res.signal);
+  EXPECT_EQ(d.fault_message, res.fault_message);
+  EXPECT_EQ(d.injections, res.injections);
+  EXPECT_EQ(d.instructions, res.instructions);
+  EXPECT_EQ(std::bit_cast<uint64_t>(d.seconds),
+            std::bit_cast<uint64_t>(res.seconds));
+  EXPECT_EQ(d.covered_offsets, res.covered_offsets);
+  EXPECT_EQ(d.covered_by_module, res.covered_by_module);
+  EXPECT_EQ(d.coverage, res.coverage);
+  EXPECT_EQ(d.fault_frames, res.fault_frames);
+  EXPECT_EQ(d.crash_site_hash, res.crash_site_hash);
+  EXPECT_EQ(d.crash_hash, res.crash_hash);
+  ExpectSamePlan(res.replay, d.replay);
+  EXPECT_EQ(d.first_injection_instructions, res.first_injection_instructions);
+  EXPECT_EQ(d.snapshot_fallback, res.snapshot_fallback);
+  EXPECT_EQ(d.restore_pages, res.restore_pages);
+  EXPECT_EQ(d.restore_nodes_walked, res.restore_nodes_walked);
+}
+
+TEST(Wire, ConfigureRoundTrip) {
+  ConfigureMsg msg;
+  msg.target.modules.push_back({1, 2, 3, 4});
+  msg.target.modules.push_back({});
+  msg.target.files.emplace_back("/cfg", std::vector<uint8_t>(64, 'x'));
+  msg.target.ports.push_back(8080);
+  core::FaultProfile profile;
+  profile.library = "libc.so";
+  msg.profiles.push_back(profile);
+  msg.options.entry = "main";
+  msg.options.track_coverage = true;
+  auto decoded = DecodeConfigure(EncodeConfigure(msg));
+  ASSERT_TRUE(decoded.ok()) << decoded.error();
+  EXPECT_EQ(decoded.value().target.modules, msg.target.modules);
+  EXPECT_EQ(decoded.value().target.files, msg.target.files);
+  EXPECT_EQ(decoded.value().target.ports, msg.target.ports);
+  ASSERT_EQ(decoded.value().profiles.size(), 1u);
+  EXPECT_EQ(decoded.value().profiles[0].library, "libc.so");
+  EXPECT_EQ(decoded.value().options.entry, "main");
+  EXPECT_TRUE(decoded.value().options.track_coverage);
+}
+
+TEST(Wire, BatchAndResultMessagesRoundTrip) {
+  BatchMsg batch;
+  campaign::Scenario s;
+  s.name = "s9";
+  s.plan = SamplePlan();
+  batch.indices.push_back(9);
+  batch.scenarios.push_back(s);
+  auto decoded = DecodeBatch(EncodeBatch(batch));
+  ASSERT_TRUE(decoded.ok()) << decoded.error();
+  ASSERT_EQ(decoded.value().indices.size(), 1u);
+  EXPECT_EQ(decoded.value().indices[0], 9u);
+  EXPECT_EQ(decoded.value().scenarios[0].name, "s9");
+
+  BatchResultMsg result;
+  campaign::ScenarioResult res;
+  res.index = 9;
+  res.name = "s9";
+  result.results.push_back(res);
+  vm::CoverageBitmap bitmap(64);
+  bitmap.Set(5);
+  result.coverage.emplace_back("libc.so", bitmap);
+  auto rdecoded = DecodeBatchResult(EncodeBatchResult(result));
+  ASSERT_TRUE(rdecoded.ok()) << rdecoded.error();
+  ASSERT_EQ(rdecoded.value().results.size(), 1u);
+  EXPECT_EQ(rdecoded.value().results[0].index, 9u);
+  ASSERT_EQ(rdecoded.value().coverage.size(), 1u);
+  EXPECT_EQ(rdecoded.value().coverage[0].second, bitmap);
+}
+
+TEST(Wire, TrailingGarbageIsAnError) {
+  BatchMsg batch;
+  std::vector<uint8_t> payload = EncodeBatch(batch);
+  payload.push_back(0xFF);
+  EXPECT_FALSE(DecodeBatch(payload).ok());
+}
+
+TEST(Wire, FramesTravelOverASocket) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  std::vector<uint8_t> payload = {10, 20, 30};
+  ASSERT_TRUE(WriteFrame(fds[0], MsgType::RunBatch, payload).ok());
+  auto frame = ReadFrame(fds[1], 1000);
+  ASSERT_TRUE(frame.ok()) << frame.error();
+  EXPECT_EQ(frame.value().type, MsgType::RunBatch);
+  EXPECT_EQ(frame.value().payload, payload);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(Wire, ReadFrameRejectsBadMagicAndBadType) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  std::vector<uint8_t> junk;
+  PutU32(junk, 0x12345678);  // wrong magic
+  PutU8(junk, 1);
+  PutU32(junk, 0);
+  ASSERT_EQ(::write(fds[0], junk.data(), junk.size()),
+            static_cast<ssize_t>(junk.size()));
+  EXPECT_FALSE(ReadFrame(fds[1], 1000).ok());
+
+  junk.clear();
+  PutU32(junk, kWireMagic);
+  PutU8(junk, 99);  // unknown type
+  PutU32(junk, 0);
+  ASSERT_EQ(::write(fds[0], junk.data(), junk.size()),
+            static_cast<ssize_t>(junk.size()));
+  EXPECT_FALSE(ReadFrame(fds[1], 1000).ok());
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(Wire, ReadFrameRejectsOversizePayloadBeforeAllocating) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  std::vector<uint8_t> junk;
+  PutU32(junk, kWireMagic);
+  PutU8(junk, static_cast<uint8_t>(MsgType::RunBatch));
+  PutU32(junk, kMaxPayload + 1);
+  ASSERT_EQ(::write(fds[0], junk.data(), junk.size()),
+            static_cast<ssize_t>(junk.size()));
+  auto frame = ReadFrame(fds[1], 1000);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_NE(frame.error().find("too large"), std::string::npos);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(Wire, ReadFrameTimesOutOnASilentPeer) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  auto frame = ReadFrame(fds[1], 50);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_NE(frame.error().find("timeout"), std::string::npos);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(Wire, MakeSetupRejectsGarbageModules) {
+  TargetSpec spec;
+  spec.modules.push_back({0xDE, 0xAD});
+  EXPECT_FALSE(MakeSetup(spec).ok());
+}
+
+}  // namespace
+}  // namespace lfi::serve

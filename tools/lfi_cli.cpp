@@ -32,6 +32,8 @@
 #include "isa/codebuilder.hpp"
 #include "kernel/kernel_image.hpp"
 #include "libc/libc_builder.hpp"
+#include "serve/coordinator.hpp"
+#include "serve/worker.hpp"
 #include "util/strings.hpp"
 #include "vm/machine.hpp"
 
@@ -86,34 +88,13 @@ Status LoadProfiles(const std::vector<std::string>& paths,
   return Status::Ok();
 }
 
-/// Parse a non-negative integer flag value strictly: no trailing junk, no
-/// overflow, no values past `max`.
-Result<uint64_t> ParseCount(const std::string& flag, const std::string& text,
-                            uint64_t max = UINT64_MAX) {
-  char* end = nullptr;
-  errno = 0;
-  uint64_t v = text.empty() ? 0 : std::strtoull(text.c_str(), &end, 10);
-  if (text.empty() || end != text.c_str() + text.size() || errno == ERANGE) {
-    return Err(flag + " needs a non-negative integer, got \"" + text + "\"");
-  }
-  if (v > max) {
-    return Err(flag + " must be at most " + std::to_string(max));
-  }
-  return v;
-}
-
-/// Parse an injection probability: must be a number in (0, 1].
-Result<double> ParseProbability(const std::string& text) {
-  char* end = nullptr;
-  double p = text.empty() ? 0.0 : std::strtod(text.c_str(), &end);
-  if (text.empty() || end != text.c_str() + text.size()) {
-    return Err("--random needs a numeric probability, got \"" + text + "\"");
-  }
-  if (!(p > 0.0) || p > 1.0) {
-    return Err("--random probability must be in (0, 1], got " + text);
-  }
-  return p;
-}
+// Every numeric flag parses through the strict util::Parse{Uint,Double}-
+// backed helpers (util/strings.hpp). The old strtoull/strtod paths
+// accepted signed wraps ("--jobs -5" became 18446744073709551611), leading
+// whitespace, partial parses ("--seed 12x" became 12), and — for strtod —
+// were locale-dependent (a comma-decimal locale rejected "--random 0.5").
+using lfi::ParseCountFlag;
+using lfi::ParseProbabilityFlag;
 
 /// A demo application with an unchecked read() for `lfi test` to break.
 sso::SharedObject BuildDemoApp() {
@@ -231,13 +212,18 @@ int CmdGenerate(const std::vector<std::string>& args) {
   std::vector<std::string> inputs;
   for (size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--random" && i + 1 < args.size()) {
-      auto p = ParseProbability(args[++i]);
+      auto p = ParseProbabilityFlag("--random", args[++i]);
       if (!p.ok()) return Fail("generate: " + p.error());
       probability = p.value();
     } else if (args[i] == "--exhaustive") {
       exhaustive = true;
     } else if (args[i] == "--seed" && i + 1 < args.size()) {
-      seed = std::strtoull(args[++i].c_str(), nullptr, 10);
+      // The seed is the reproducibility anchor of a generated plan; a
+      // silently-coerced "--seed abc" (0) or "--seed 12x" (12) would
+      // produce a plan nobody can regenerate from their notes.
+      auto v = ParseCountFlag("--seed", args[++i]);
+      if (!v.ok()) return Fail("generate: " + v.error());
+      seed = v.value();
     } else if (args[i] == "-o" && i + 1 < args.size()) {
       out_path = args[++i];
     } else {
@@ -381,6 +367,155 @@ Result<TargetImage> BuildTarget(const std::string& app_path,
   return target;
 }
 
+/// Serializable form of the target for the campaign fabric: the exact
+/// module images and VFS files the in-process setup loads, as wire bytes,
+/// so worker machines and local machines are built from one source.
+serve::TargetSpec SpecFromTarget(const TargetImage& target,
+                                 const std::vector<std::string>& vfs_files) {
+  serve::TargetSpec spec;
+  spec.modules.push_back(target.libc_so->Serialize());
+  for (const sso::SharedObject& so : *target.libs) {
+    spec.modules.push_back(so.Serialize());
+  }
+  for (const std::string& path : vfs_files) {
+    spec.files.emplace_back(path, std::vector<uint8_t>(256, 'x'));
+  }
+  return spec;
+}
+
+/// Parsed --workers/--connect state, shared by campaign and explore.
+struct FabricSpec {
+  uint64_t workers = 0;  // local worker processes to fork
+  std::vector<std::pair<std::string, uint16_t>> connect;  // lfi serve daemons
+};
+
+/// --connect host:port[,host:port...]
+Status ParseConnectList(const std::string& value, FabricSpec* spec) {
+  size_t begin = 0;
+  while (begin <= value.size()) {
+    size_t end = value.find(',', begin);
+    if (end == std::string::npos) end = value.size();
+    std::string item = value.substr(begin, end - begin);
+    size_t colon = item.rfind(':');
+    if (colon == std::string::npos || colon == 0) {
+      return Err("--connect needs host:port entries, got \"" + item + "\"");
+    }
+    auto port = ParseCountFlag("--connect", item.substr(colon + 1), 65535);
+    if (!port.ok() || port.value() == 0) {
+      return Err("--connect needs host:port entries, got \"" + item + "\"");
+    }
+    spec->connect.emplace_back(item.substr(0, colon),
+                               static_cast<uint16_t>(port.value()));
+    begin = end + 1;
+    if (end == value.size()) break;
+  }
+  if (spec->connect.empty()) return Err("--connect needs host:port entries");
+  return Status::Ok();
+}
+
+/// Build the fabric coordinator when --workers/--connect asked for one;
+/// nullptr means "run in-process as before". Worker trouble is never
+/// fatal: unreachable daemons are reported on stderr and the coordinator
+/// itself degrades to in-process execution when nothing is live — and
+/// everything fabric-related prints to stderr, because stdout must stay
+/// byte-identical between distributed and single-process runs (CI diffs
+/// them).
+std::unique_ptr<serve::FabricCoordinator> BuildFabric(
+    const FabricSpec& fspec, const TargetImage& target,
+    const std::vector<std::string>& vfs_files,
+    const std::vector<core::FaultProfile>& profiles,
+    const campaign::CampaignOptions& opts) {
+  if (fspec.workers == 0 && fspec.connect.empty()) return nullptr;
+  // Fork the local workers before anything spawns a thread (the
+  // coordinator's Run does): fork in a threaded process is undefined
+  // behavior territory.
+  std::vector<serve::LocalWorker> spawned;
+  for (uint64_t i = 0; i < fspec.workers; ++i) {
+    auto worker = serve::SpawnLocalWorker();
+    if (!worker.ok()) {
+      std::fprintf(stderr, "lfi: fabric: %s\n", worker.error().c_str());
+      continue;
+    }
+    spawned.push_back(worker.value());
+  }
+  auto fabric = std::make_unique<serve::FabricCoordinator>(
+      SpecFromTarget(target, vfs_files), profiles, opts);
+  for (const serve::LocalWorker& worker : spawned) {
+    if (auto st = fabric->AddWorkerFd(worker.fd, Format("pid-%d", worker.pid));
+        !st.ok()) {
+      std::fprintf(stderr, "lfi: fabric: %s\n", st.error().c_str());
+    }
+  }
+  for (const auto& [host, port] : fspec.connect) {
+    if (auto st = fabric->ConnectWorker(host, port); !st.ok()) {
+      std::fprintf(stderr, "lfi: fabric: %s\n", st.error().c_str());
+    }
+  }
+  if (fabric->live_workers() == 0) {
+    std::fprintf(stderr,
+                 "lfi: fabric: no reachable workers; running in-process\n");
+  }
+  return fabric;
+}
+
+void PrintFabricStats(const serve::FabricStats& fs) {
+  std::fprintf(stderr,
+               "fabric: %zu worker(s), %zu lost | %zu batch(es) dispatched, "
+               "%zu retried, %zu stolen | %zu scenario(s) remote, %zu local\n",
+               fs.workers_connected, fs.workers_lost, fs.batches_dispatched,
+               fs.batches_retried, fs.batches_stolen, fs.scenarios_remote,
+               fs.scenarios_local);
+}
+
+// lfi serve: a campaign fabric worker daemon. Hosts a machine pool and
+// executes scenario batches for campaign/explore coordinators
+// (--workers forks anonymous local workers; --connect dials daemons
+// started here).
+int CmdServe(const std::vector<std::string>& args) {
+  serve::WorkerConfig config;
+  bool once = false;
+  for (size_t i = 0; i < args.size(); ++i) {
+    auto next = [&]() -> std::string {
+      return i + 1 < args.size() ? args[++i] : std::string();
+    };
+    if (args[i] == "--port") {
+      auto v = ParseCountFlag("--port", next(), 65535);
+      if (!v.ok()) return Fail("serve: " + v.error());
+      config.port = static_cast<uint16_t>(v.value());
+    } else if (args[i] == "--jobs") {
+      auto v = ParseCountFlag("--jobs", next(), 1'000'000);
+      if (!v.ok()) return Fail("serve: " + v.error());
+      config.jobs = static_cast<int>(v.value());
+    } else if (args[i] == "--abort-after") {
+      // Deterministic crash hook for tests/CI: hard-close the connection
+      // after N scenarios, like a kill -9 at a reproducible instant.
+      auto v = ParseCountFlag("--abort-after", next());
+      if (!v.ok()) return Fail("serve: " + v.error());
+      config.abort_after_scenarios = v.value();
+    } else if (args[i] == "--once") {
+      once = true;
+    } else {
+      return Fail("serve: unknown argument " + args[i]);
+    }
+  }
+  serve::WorkerServer server(config);
+  auto port = server.Listen();
+  if (!port.ok()) return Fail(port.error());
+  // The port line is the daemon's contract with scripts (CI scrapes it);
+  // flush so a piped reader sees it before the first campaign arrives.
+  std::printf("lfi serve: listening on 127.0.0.1:%u\n", port.value());
+  std::fflush(stdout);
+  if (once) {
+    if (auto st = server.ServeOnce(); !st.ok()) {
+      std::fprintf(stderr, "lfi: serve: %s\n", st.error().c_str());
+      return 1;
+    }
+    return 0;
+  }
+  server.ServeForever();
+  return 0;
+}
+
 // lfi campaign: generate a scenario set and fan it out across workers.
 // Exit codes: 0 = no findings, 3 = at least one scenario crashed the
 // target (findings!), 1 = usage/setup error.
@@ -392,6 +527,7 @@ int CmdCampaign(const std::vector<std::string>& args) {
   uint64_t seed = 1;
   int scenarios_requested = 0;
   campaign::CampaignOptions opts;
+  FabricSpec fabric_spec;
   for (size_t i = 0; i < args.size(); ++i) {
     auto next = [&]() -> std::string {
       return i + 1 < args.size() ? args[++i] : std::string();
@@ -402,7 +538,7 @@ int CmdCampaign(const std::vector<std::string>& args) {
     else if (args[i] == "--profile") profile_paths.push_back(next());
     else if (args[i] == "--file") vfs_files.push_back(next());
     else if (args[i] == "--random") {
-      auto p = ParseProbability(next());
+      auto p = ParseProbabilityFlag("--random", next());
       if (!p.ok()) return Fail("campaign: " + p.error());
       probability = p.value();
     }
@@ -424,7 +560,7 @@ int CmdCampaign(const std::vector<std::string>& args) {
       std::string flag = args[i];
       uint64_t max =
           (flag == "--scenarios" || flag == "--jobs") ? 1'000'000 : UINT64_MAX;
-      auto v = ParseCount(flag, next(), max);
+      auto v = ParseCountFlag(flag, next(), max);
       if (!v.ok()) return Fail("campaign: " + v.error());
       if (flag == "--seed") seed = v.value();
       else if (flag == "--scenarios") scenarios_requested = static_cast<int>(v.value());
@@ -449,6 +585,16 @@ int CmdCampaign(const std::vector<std::string>& args) {
       if (policy == "balanced") opts.shard = campaign::ShardPolicy::SizeBalanced;
       else if (policy == "rr") opts.shard = campaign::ShardPolicy::RoundRobin;
       else return Fail("campaign: unknown shard policy " + policy);
+    }
+    else if (args[i] == "--workers") {
+      auto v = ParseCountFlag("--workers", next(), 64);
+      if (!v.ok()) return Fail("campaign: " + v.error());
+      fabric_spec.workers = v.value();
+    }
+    else if (args[i] == "--connect") {
+      if (auto st = ParseConnectList(next(), &fabric_spec); !st.ok()) {
+        return Fail("campaign: " + st.error());
+      }
     } else {
       return Fail("campaign: unknown argument " + args[i]);
     }
@@ -497,9 +643,20 @@ int CmdCampaign(const std::vector<std::string>& args) {
   }
 
   opts.entry = entry;
-  campaign::CampaignRunner runner(target.value().setup, std::move(profiles),
-                                  opts);
-  campaign::CampaignReport report = runner.Run(scenarios);
+  // Same scenarios, same options, two execution paths: the fabric
+  // coordinator (when --workers/--connect asked for one) or the
+  // in-process runner. The report is byte-identical either way
+  // (test- and CI-enforced), so everything below is path-agnostic.
+  campaign::CampaignReport report;
+  if (auto fabric =
+          BuildFabric(fabric_spec, target.value(), vfs_files, profiles, opts)) {
+    report = fabric->Run(scenarios);
+    PrintFabricStats(fabric->stats());
+  } else {
+    campaign::CampaignRunner runner(target.value().setup, std::move(profiles),
+                                    opts);
+    report = runner.Run(scenarios);
+  }
   std::printf("%s", report.ToText().c_str());
   if (opts.track_coverage) {
     // Project the aggregated union bitmaps onto each module's CFG block
@@ -563,6 +720,7 @@ int CmdExplore(const std::vector<std::string>& args) {
   std::string app_path, entry = "main", corpus_dir;
   std::vector<std::string> lib_paths, profile_paths, vfs_files;
   campaign::ExplorerOptions eopts;
+  FabricSpec fabric_spec;
   for (size_t i = 0; i < args.size(); ++i) {
     auto next = [&]() -> std::string {
       return i + 1 < args.size() ? args[++i] : std::string();
@@ -582,7 +740,7 @@ int CmdExplore(const std::vector<std::string>& args) {
       }
     }
     else if (args[i] == "--probability") {
-      auto p = ParseProbability(next());
+      auto p = ParseProbabilityFlag("--probability", next());
       if (!p.ok()) return Fail("explore: " + p.error());
       eopts.seed_probability = p.value();
     }
@@ -607,7 +765,7 @@ int CmdExplore(const std::vector<std::string>& args) {
                       flag == "--jobs")
                          ? 1'000'000
                          : UINT64_MAX;
-      auto v = ParseCount(flag, next(), max);
+      auto v = ParseCountFlag(flag, next(), max);
       if (!v.ok()) return Fail("explore: " + v.error());
       if (flag == "--rounds") {
         if (v.value() == 0) return Fail("explore: --rounds must be > 0");
@@ -624,6 +782,16 @@ int CmdExplore(const std::vector<std::string>& args) {
         eopts.campaign.max_instructions = v.value();
       } else if (flag == "--warmup") {
         eopts.campaign.warmup_instructions = v.value();
+      }
+    }
+    else if (args[i] == "--workers") {
+      auto v = ParseCountFlag("--workers", next(), 64);
+      if (!v.ok()) return Fail("explore: " + v.error());
+      fabric_spec.workers = v.value();
+    }
+    else if (args[i] == "--connect") {
+      if (auto st = ParseConnectList(next(), &fabric_spec); !st.ok()) {
+        return Fail("explore: " + st.error());
       }
     } else {
       return Fail("explore: unknown argument " + args[i]);
@@ -665,10 +833,18 @@ int CmdExplore(const std::vector<std::string>& args) {
         rs.winners, rs.new_offsets, rs.union_offsets, rs.corpus_size);
     std::fflush(stdout);
   };
+  // When the fabric is on, every exploration round fans out through the
+  // coordinator (configured with the explorer's forced collection flags);
+  // crash minimization stays in-process either way.
+  auto fabric =
+      BuildFabric(fabric_spec, target.value(), vfs_files, profiles,
+                  campaign::Explorer::DispatchOptions(eopts.campaign));
+  eopts.dispatch = fabric.get();
   campaign::Explorer explorer(target.value().setup, std::move(profiles),
                               eopts);
   campaign::ExplorerReport report =
       explorer.Explore(std::move(initial_corpus));
+  if (fabric) PrintFabricStats(fabric->stats());
 
   // Round lines were already printed live; print the crash summary.
   for (const campaign::CrashReport& cr : report.crashes) {
@@ -739,13 +915,16 @@ int main(int argc, char** argv) {
         "       [--budget instructions] [--snapshot | --snapshot-tree]\n"
         "       [--warmup instructions]\n"
         "       [--exec superblock|predecoded|reference]\n"
+        "       [--workers N] [--connect host:port[,host:port...]]\n"
         "  explore --app <sso> [--rounds N] [--budget scenarios-per-round]\n"
         "       [--seed n] [--jobs N] [--corpus-dir dir] [--probability p]\n"
         "       [--entry sym] [--profile xml]... [--lib sso]...\n"
         "       [--file path]... [--instructions N] [--no-minimize]\n"
         "       [--snapshot | --snapshot-tree] [--fork-windows]\n"
         "       [--warmup instructions]\n"
-        "       [--exec superblock|predecoded|reference]\n");
+        "       [--exec superblock|predecoded|reference]\n"
+        "       [--workers N] [--connect host:port[,host:port...]]\n"
+        "  serve [--port N] [--jobs N] [--once] [--abort-after N]\n");
     return 1;
   }
   std::string cmd = args[0];
@@ -757,5 +936,6 @@ int main(int argc, char** argv) {
   if (cmd == "test") return CmdTest(args);
   if (cmd == "campaign") return CmdCampaign(args);
   if (cmd == "explore") return CmdExplore(args);
+  if (cmd == "serve") return CmdServe(args);
   return Fail("unknown command: " + cmd);
 }
