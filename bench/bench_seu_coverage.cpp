@@ -1,0 +1,241 @@
+// SEU fault-tolerance coverage: what the SIHFT hardening transforms buy.
+//
+// The same deterministic flip space (registers + module data, seeded
+// sampling over the whole execution) is thrown at the four variants of
+// the SEU evaluation guest (apps/seu_guest.hpp):
+//
+//   none   the bare kernel: live-value flips surface as silent data
+//          corruption (SDC) — the row every hardened variant is judged
+//          against.
+//   dwc    duplicate-with-compare: live computation flips diverge the
+//          shadow copies and are *detected* at the next compare.
+//   cfcss  control-flow signatures: flips in the signature word (and
+//          corrupted transfers) are *detected* at the next join check.
+//   tmr    triple redundancy: single-copy flips are outvoted — *masked*,
+//          the strongest outcome.
+//
+// Enforced bars (deterministic classification, so they hold at smoke and
+// full size alike):
+//   - dwc detects at least one flip, detects strictly more than none,
+//     protects (masks + detects) strictly more, and ends with strictly
+//     fewer SDC outcomes;
+//   - cfcss detects at least one flip. Its SDC row is NOT required to
+//     shrink: CFCSS covers control-flow corruption (the signature word,
+//     broken transfers), not data values — the literature pairs it with
+//     EDDI-style duplication for those, and this table shows why;
+//   - tmr masks strictly more flips than none, protects strictly more,
+//     and ends with strictly fewer SDC outcomes.
+//
+// LFI_BENCH_JSON (BENCH_seu.json) records the full outcome counts and
+// rates per variant so the trajectory of "how much does hardening help"
+// is part of the bench artifact history.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "apps/seu_guest.hpp"
+#include "bench_util.hpp"
+#include "campaign/runner.hpp"
+#include "campaign/seu.hpp"
+#include "isa/harden.hpp"
+
+namespace lfi {
+namespace {
+
+struct GuestEval {
+  const char* name;
+  campaign::GoldenRun golden;
+  campaign::SeuCounts counts;
+  double rate(size_t n) const {
+    return counts.total > 0
+               ? 100.0 * static_cast<double>(n) /
+                     static_cast<double>(counts.total)
+               : 0.0;
+  }
+};
+
+GuestEval EvalGuest(apps::HardeningMode mode, size_t flips) {
+  GuestEval eval;
+  eval.name = apps::HardeningModeName(mode);
+
+  campaign::CampaignOptions opts;
+  opts.jobs = 1;
+  opts.entry = apps::kSeuGuestEntry;
+  opts.collect_state_digest = true;
+  campaign::CampaignRunner runner(apps::SeuGuestMachineSetup(mode), {}, opts);
+
+  campaign::Scenario golden_scenario;
+  golden_scenario.name = "golden";
+  campaign::CampaignReport golden_report = runner.Run({golden_scenario});
+  eval.golden = campaign::GoldenFrom(golden_report.results.front());
+
+  auto guest = apps::BuildSeuGuest(mode);
+  campaign::SeuSweepSpec space;
+  space.instants_from = 0;
+  space.instants_to =
+      eval.golden.instructions > 0 ? eval.golden.instructions - 1 : 0;
+  space.samples = flips;
+  space.seed = 7;
+  space.regs = true;
+  space.stack = false;  // dead-stack flips are latent noise, not a contest
+  space.heap = false;
+  space.data = true;  // includes the CFCSS signature word for that variant
+  space.data_module = apps::kSeuGuestModule;
+  space.data_bytes = guest.value().data.size();
+
+  campaign::CampaignReport report = runner.Run(campaign::BuildSeuSweep(space));
+  eval.counts = campaign::ClassifyCampaign(report, eval.golden,
+                                           isa::kSeuDetectExitCode)
+                    .counts;
+  return eval;
+}
+
+void AppendJson(std::string* json, const GuestEval& g) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "  \"%s\": {\"flips\": %zu, \"landed\": %zu, \"masked\": %zu, "
+      "\"detected\": %zu, \"sdc\": %zu, \"crash\": %zu, "
+      "\"golden_instructions\": %llu, \"masked_pct\": %.1f, "
+      "\"detected_pct\": %.1f, \"sdc_pct\": %.1f, \"protected_pct\": %.1f}",
+      g.name, g.counts.total, g.counts.total - g.counts.not_landed,
+      g.counts.masked, g.counts.detected, g.counts.sdc, g.counts.crash,
+      (unsigned long long)g.golden.instructions, g.rate(g.counts.masked),
+      g.rate(g.counts.detected), g.rate(g.counts.sdc),
+      g.rate(g.counts.masked + g.counts.detected));
+  *json += buf;
+}
+
+int PrintCoverage() {
+  const size_t flips = static_cast<size_t>(bench::Scaled(320, 96));
+  std::vector<GuestEval> evals;
+  for (apps::HardeningMode mode :
+       {apps::HardeningMode::None, apps::HardeningMode::Dwc,
+        apps::HardeningMode::Cfcss, apps::HardeningMode::Tmr}) {
+    evals.push_back(EvalGuest(mode, flips));
+  }
+  const GuestEval& none = evals[0];
+  const GuestEval& dwc = evals[1];
+  const GuestEval& cfcss = evals[2];
+  const GuestEval& tmr = evals[3];
+
+  std::vector<std::vector<std::string>> rows = {
+      {"guest", "flips", "masked", "detected", "sdc", "crash", "masked%",
+       "detected%", "sdc%", "protected%"}};
+  for (const GuestEval& g : evals) {
+    char buf[64];
+    std::vector<std::string> row;
+    row.push_back(g.name);
+    std::snprintf(buf, sizeof(buf), "%zu", g.counts.total);
+    row.push_back(buf);
+    std::snprintf(buf, sizeof(buf), "%zu", g.counts.masked);
+    row.push_back(buf);
+    std::snprintf(buf, sizeof(buf), "%zu", g.counts.detected);
+    row.push_back(buf);
+    std::snprintf(buf, sizeof(buf), "%zu", g.counts.sdc);
+    row.push_back(buf);
+    std::snprintf(buf, sizeof(buf), "%zu", g.counts.crash);
+    row.push_back(buf);
+    std::snprintf(buf, sizeof(buf), "%.1f", g.rate(g.counts.masked));
+    row.push_back(buf);
+    std::snprintf(buf, sizeof(buf), "%.1f", g.rate(g.counts.detected));
+    row.push_back(buf);
+    std::snprintf(buf, sizeof(buf), "%.1f", g.rate(g.counts.sdc));
+    row.push_back(buf);
+    std::snprintf(buf, sizeof(buf), "%.1f",
+                  g.rate(g.counts.masked + g.counts.detected));
+    row.push_back(buf);
+    rows.push_back(std::move(row));
+  }
+  bench::PrintTable("SEU coverage: hardened vs unhardened guest", rows);
+
+  int rc = 0;
+  auto require = [&rc](bool ok, const char* what) {
+    if (!ok) {
+      std::printf("FAIL: %s\n", what);
+      rc = 1;
+    }
+  };
+  require(dwc.counts.detected > 0, "dwc detected no flips");
+  require(dwc.counts.detected > none.counts.detected,
+          "dwc does not detect more than none");
+  require(cfcss.counts.detected > 0, "cfcss detected no flips");
+  require(tmr.counts.masked > none.counts.masked,
+          "tmr does not mask more than none");
+  // Protection-domain bars: DWC and TMR cover data values, so they must
+  // strictly beat the baseline on both protected count and SDC count.
+  size_t none_protected = none.counts.masked + none.counts.detected;
+  for (const GuestEval* g : {&dwc, &tmr}) {
+    size_t protected_count = g->counts.masked + g->counts.detected;
+    if (protected_count <= none_protected) {
+      std::printf("FAIL: %s protects %zu flips, none protects %zu\n", g->name,
+                  protected_count, none_protected);
+      rc = 1;
+    }
+    if (g->counts.sdc >= none.counts.sdc) {
+      std::printf("FAIL: %s has %zu sdc outcomes, none has %zu — hardening "
+                  "did not shrink silent corruption\n",
+                  g->name, g->counts.sdc, none.counts.sdc);
+      rc = 1;
+    }
+  }
+
+  if (const char* path = std::getenv("LFI_BENCH_JSON")) {
+    std::string json = "{\n";
+    for (size_t i = 0; i < evals.size(); ++i) {
+      AppendJson(&json, evals[i]);
+      json += i + 1 < evals.size() ? ",\n" : "\n";
+    }
+    json += "}\n";
+    if (std::FILE* f = std::fopen(path, "w")) {
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+      std::printf("wrote %s\n", path);
+    } else {
+      std::printf("WARNING: cannot write %s\n", path);
+    }
+  }
+  return rc;
+}
+
+/// Micro-benchmark: one small register-flip sweep per iteration (the
+/// per-scenario cost of precise stop arming + digesting).
+void BM_SeuSweep(benchmark::State& state) {
+  campaign::CampaignOptions opts;
+  opts.jobs = 1;
+  opts.entry = apps::kSeuGuestEntry;
+  opts.collect_state_digest = true;
+  campaign::CampaignRunner runner(
+      apps::SeuGuestMachineSetup(apps::HardeningMode::None), {}, opts);
+  campaign::Scenario golden_scenario;
+  golden_scenario.name = "golden";
+  campaign::GoldenRun golden =
+      campaign::GoldenFrom(runner.Run({golden_scenario}).results.front());
+  campaign::SeuSweepSpec space;
+  space.instants_to = golden.instructions - 1;
+  space.samples = 8;
+  space.stack = false;
+  std::vector<campaign::Scenario> sweep = campaign::BuildSeuSweep(space);
+  for (auto _ : state) {
+    campaign::CampaignReport report = runner.Run(sweep);
+    benchmark::DoNotOptimize(report.results.size());
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<int64_t>(sweep.size()));
+  }
+}
+BENCHMARK(BM_SeuSweep);
+
+}  // namespace
+}  // namespace lfi
+
+// Not LFI_BENCH_MAIN: the table pass returns an exit code (the hardening
+// bars are enforced).
+int main(int argc, char** argv) {
+  int rc = lfi::PrintCoverage();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return rc;
+}

@@ -1,0 +1,48 @@
+// The SEU evaluation guest: one deterministic compute kernel in four
+// hardening variants, built so a bit-flip campaign can measure what each
+// SIHFT transform buys.
+//
+// The kernel iterates a 64-bit mixing function through a helper call per
+// iteration (so registers, stack frames, and module data are all live
+// targets), stores the final checksum into module data, and exits with a
+// truncation of it — silent corruption is visible in both the state
+// digest and the exit code. The variants:
+//
+//   None  - the baseline; any live-value flip that survives to the end is
+//           silent data corruption.
+//   Dwc   - duplicate-with-compare (isa::DwcEmitter): the accumulator and
+//           loop counter run twice in shadow registers, compared every
+//           iteration; divergence exits with kSeuDetectExitCode.
+//   Cfcss - the None binary passed through isa::ApplyCfcss: control-flow
+//           signature checks at the loop join, the signature word in
+//           flippable module data.
+//   Tmr   - triple modular redundancy: three accumulator copies, each
+//           mixed independently, majority-voted (and repaired) every
+//           iteration — single flips are masked, not just detected.
+#pragma once
+
+#include <functional>
+
+#include "sso/sso.hpp"
+#include "util/result.hpp"
+#include "vm/machine.hpp"
+
+namespace lfi::apps {
+
+enum class HardeningMode { None, Dwc, Cfcss, Tmr };
+
+const char* HardeningModeName(HardeningMode mode);
+
+/// Name of the built module ("seu_guest.so") and its entry ("main").
+inline constexpr const char* kSeuGuestModule = "seu_guest.so";
+inline constexpr const char* kSeuGuestEntry = "main";
+
+/// Build the guest in the given variant. Fails only for Cfcss when the
+/// rewrite rejects the unit (it does not, for this guest; the Result is
+/// plumbing honesty).
+Result<sso::SharedObject> BuildSeuGuest(HardeningMode mode);
+
+/// Campaign-worker machine setup: loads the (pre-built, shared) guest.
+std::function<void(vm::Machine&)> SeuGuestMachineSetup(HardeningMode mode);
+
+}  // namespace lfi::apps

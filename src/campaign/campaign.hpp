@@ -99,6 +99,14 @@ struct ScenarioResult {
   /// telemetry only and stay out of reports and identity checks.
   uint64_t restore_pages = 0;
   uint64_t restore_nodes_walked = 0;
+  /// vm::Machine::StateDigest() at scenario end; populated when
+  /// CampaignOptions::collect_state_digest is set, 0 otherwise.
+  /// Deterministic across jobs, engines, and snapshot modes — SEU
+  /// campaigns compare it against a golden run to spot silent data
+  /// corruption.
+  uint64_t state_digest = 0;
+  /// How many of the plan's <seu> flips actually landed.
+  uint32_t seu_landed = 0;
 };
 
 /// Aggregated campaign outcome. `results` is index-ordered regardless of
@@ -155,6 +163,9 @@ struct CampaignOptions {
   bool collect_scenario_coverage = false;
   /// Keep a replay plan per scenario (costs memory on big campaigns).
   bool collect_replays = false;
+  /// Hash final machine state into ScenarioResult::state_digest (costs a
+  /// pass over every segment per scenario; SEU classification needs it).
+  bool collect_state_digest = false;
   /// Snapshot/restore scenario execution: each worker warms its machine
   /// once (creates the entry process and runs `warmup_instructions` of
   /// fault-free prefix), takes a vm::Machine::Snapshot at the fault-window

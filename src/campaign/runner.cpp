@@ -162,6 +162,8 @@ ScenarioResult RunScenarioOn(
   result.instructions = machine.total_instructions();
   result.injections = controller.log().size();
   result.first_injection_instructions = controller.first_injection_instructions();
+  result.seu_landed = controller.seu_landed();
+  if (options.collect_state_digest) result.state_digest = machine.StateDigest();
   if (options.collect_replays) result.replay = controller.GenerateReplay();
 
   vm::Process* primary = machine.process(primary_pid);

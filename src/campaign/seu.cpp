@@ -1,0 +1,262 @@
+#include "campaign/seu.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace lfi::campaign {
+
+const char* SeuOutcomeName(SeuOutcome outcome) {
+  switch (outcome) {
+    case SeuOutcome::Masked: return "masked";
+    case SeuOutcome::Detected: return "detected";
+    case SeuOutcome::Sdc: return "sdc";
+    case SeuOutcome::Crash: return "crash";
+  }
+  return "?";
+}
+
+GoldenRun GoldenFrom(const ScenarioResult& result) {
+  GoldenRun golden;
+  golden.status = result.status;
+  golden.exit_code = result.exit_code;
+  golden.state_digest = result.state_digest;
+  golden.instructions = result.instructions;
+  return golden;
+}
+
+SeuOutcome ClassifySeu(const ScenarioResult& result, const GoldenRun& golden,
+                       int64_t detect_exit_code) {
+  switch (result.status) {
+    case ScenarioStatus::Crashed:
+      return SeuOutcome::Crash;
+    case ScenarioStatus::Deadlocked:
+    case ScenarioStatus::BudgetSpent:
+    case ScenarioStatus::SetupError:
+      // Hangs are fail-stop in practice (a watchdog ends them), and a
+      // setup error under a flip plan means the flip broke setup: both
+      // are detected-by-the-system, not silent.
+      return SeuOutcome::Crash;
+    case ScenarioStatus::Exited:
+      break;
+  }
+  if (result.exit_code == detect_exit_code &&
+      golden.exit_code != detect_exit_code) {
+    return SeuOutcome::Detected;
+  }
+  if (result.exit_code == golden.exit_code &&
+      result.state_digest == golden.state_digest) {
+    return SeuOutcome::Masked;
+  }
+  return SeuOutcome::Sdc;
+}
+
+SeuCampaignReport ClassifyCampaign(const CampaignReport& report,
+                                   const GoldenRun& golden,
+                                   int64_t detect_exit_code) {
+  SeuCampaignReport out;
+  out.verdicts.reserve(report.results.size());
+  for (const ScenarioResult& r : report.results) {
+    SeuVerdict v;
+    v.name = r.name;
+    v.outcome = ClassifySeu(r, golden, detect_exit_code);
+    v.landed = r.seu_landed > 0;
+    v.state_digest = r.state_digest;
+    ++out.counts.total;
+    if (!v.landed) ++out.counts.not_landed;
+    switch (v.outcome) {
+      case SeuOutcome::Masked: ++out.counts.masked; break;
+      case SeuOutcome::Detected: ++out.counts.detected; break;
+      case SeuOutcome::Sdc: ++out.counts.sdc; break;
+      case SeuOutcome::Crash: ++out.counts.crash; break;
+    }
+    out.verdicts.push_back(std::move(v));
+  }
+  return out;
+}
+
+std::string SeuCampaignReport::ToText() const {
+  std::string text;
+  for (const SeuVerdict& v : verdicts) {
+    text += Format("%-44s %s %s digest=%016llx\n", v.name.c_str(),
+                   v.landed ? "landed" : "missed",
+                   SeuOutcomeName(v.outcome),
+                   (unsigned long long)v.state_digest);
+  }
+  text += Format(
+      "flips: %zu  masked: %zu  detected: %zu  sdc: %zu  crash: %zu  "
+      "(not landed: %zu)\n",
+      counts.total, counts.masked, counts.detected, counts.sdc, counts.crash,
+      counts.not_landed);
+  return text;
+}
+
+namespace {
+
+/// Deterministic flip #index of the spec's flip space. Each index owns an
+/// independent RNG stream, so growing a sweep keeps earlier flips stable.
+core::SeuFault SampleFlip(const SeuSweepSpec& spec, uint64_t index) {
+  Rng rng(DeriveSeed(spec.seed, index));
+  std::vector<core::SeuFault::Target> enabled;
+  if (spec.regs) enabled.push_back(core::SeuFault::Target::Reg);
+  if (spec.stack && spec.stack_bytes >= 8) {
+    enabled.push_back(core::SeuFault::Target::Stack);
+  }
+  if (spec.heap && spec.heap_bytes >= 8) {
+    enabled.push_back(core::SeuFault::Target::Heap);
+  }
+  if (spec.data && spec.data_bytes >= 8 && !spec.data_module.empty()) {
+    enabled.push_back(core::SeuFault::Target::Data);
+  }
+  core::SeuFault fault;
+  if (enabled.empty()) return fault;  // callers guarantee non-empty
+  fault.target = enabled[rng.below(enabled.size())];
+  fault.bit = static_cast<int>(rng.below(64));
+  fault.pid = spec.pid;
+  uint64_t span = spec.instants_to - spec.instants_from + 1;
+  fault.at_instruction = spec.instants_from + rng.below(span);
+  switch (fault.target) {
+    case core::SeuFault::Target::Reg:
+      fault.reg = static_cast<int>(rng.below(core::kSeuNumRegs));
+      break;
+    case core::SeuFault::Target::Stack:
+      fault.offset = rng.below(spec.stack_bytes / 8) * 8;
+      break;
+    case core::SeuFault::Target::Heap:
+      fault.offset = rng.below(spec.heap_bytes / 8) * 8;
+      break;
+    case core::SeuFault::Target::Data:
+      fault.offset = rng.below(spec.data_bytes / 8) * 8;
+      fault.module = spec.data_module;
+      break;
+  }
+  return fault;
+}
+
+std::string FlipKey(const core::SeuFault& f) {
+  std::string key = core::SeuTargetName(f.target);
+  if (f.target == core::SeuFault::Target::Reg) {
+    key += Format("-%s", core::SeuRegName(f.reg));
+  } else {
+    key += Format("-%llu", (unsigned long long)f.offset);
+  }
+  if (!f.module.empty()) key += "-" + f.module;
+  key += Format("-b%d@%llu", f.bit, (unsigned long long)f.at_instruction);
+  return key;
+}
+
+Scenario FlipScenario(const core::SeuFault& fault, size_t index) {
+  Scenario s;
+  s.name = Format("seu-%04zu-%s", index, FlipKey(fault).c_str());
+  s.plan.seed = 1;
+  s.plan.seus.push_back(fault);
+  return s;
+}
+
+/// Nudge one SDC flip to a neighbor in the flip space: same word with an
+/// adjacent bit, the same bit a few instructions earlier/later, or (for
+/// memory targets) the adjacent word.
+core::SeuFault MutateFlip(const core::SeuFault& seed_flip,
+                          const SeuSweepSpec& spec, Rng& rng) {
+  core::SeuFault f = seed_flip;
+  switch (rng.below(3)) {
+    case 0:
+      f.bit = static_cast<int>((f.bit + 1 + rng.below(2)) % 64);
+      break;
+    case 1: {
+      int64_t delta = rng.range(-32, 32);
+      uint64_t at = f.at_instruction;
+      at = delta < 0 && at < static_cast<uint64_t>(-delta)
+               ? 0
+               : at + static_cast<uint64_t>(delta);
+      f.at_instruction =
+          std::clamp(at, spec.instants_from, spec.instants_to);
+      break;
+    }
+    case 2:
+      if (f.target == core::SeuFault::Target::Reg) {
+        f.reg = static_cast<int>(rng.below(core::kSeuNumRegs));
+      } else {
+        uint64_t limit = f.target == core::SeuFault::Target::Stack
+                             ? spec.stack_bytes
+                         : f.target == core::SeuFault::Target::Heap
+                             ? spec.heap_bytes
+                             : spec.data_bytes;
+        f.offset = f.offset + 8 < limit ? f.offset + 8
+                   : f.offset >= 8     ? f.offset - 8
+                                       : f.offset;
+      }
+      break;
+  }
+  return f;
+}
+
+}  // namespace
+
+std::vector<Scenario> BuildSeuSweep(const SeuSweepSpec& spec) {
+  std::vector<Scenario> scenarios;
+  scenarios.reserve(spec.samples);
+  for (size_t i = 0; i < spec.samples; ++i) {
+    scenarios.push_back(FlipScenario(SampleFlip(spec, i), i));
+  }
+  return scenarios;
+}
+
+SeuSearchResult SdcDirectedSearch(ScenarioDispatch& dispatch,
+                                  const SeuSweepSpec& space,
+                                  const GoldenRun& golden,
+                                  const SeuSearchOptions& options) {
+  SeuSearchResult out;
+  std::set<std::string> seen;
+  std::vector<core::SeuFault> sdc_flips;
+  uint64_t fresh_index = 0;
+  size_t named = 0;
+  for (size_t round = 0; round < options.rounds; ++round) {
+    std::vector<Scenario> batch;
+    Rng mutate_rng(DeriveSeed(space.seed ^ 0x5e0u, round));
+    // Half the round explores near known silent corruptions; the rest (or
+    // everything, while none are known) samples the space fresh.
+    size_t directed = sdc_flips.empty() ? 0 : options.per_round / 2;
+    for (size_t i = 0; batch.size() < directed && i < directed * 8; ++i) {
+      const core::SeuFault& parent =
+          sdc_flips[mutate_rng.below(sdc_flips.size())];
+      core::SeuFault f = MutateFlip(parent, space, mutate_rng);
+      if (!seen.insert(FlipKey(f)).second) continue;
+      batch.push_back(FlipScenario(f, named++));
+    }
+    // Fresh samples: keep drawing from the index stream until enough
+    // novel flips turned up (the stream is infinite; cap the attempts so
+    // a saturated space still terminates).
+    size_t attempts = 0;
+    while (batch.size() < options.per_round &&
+           attempts < options.per_round * 16) {
+      core::SeuFault f = SampleFlip(space, fresh_index++);
+      ++attempts;
+      if (!seen.insert(FlipKey(f)).second) continue;
+      batch.push_back(FlipScenario(f, named++));
+    }
+    if (batch.empty()) break;
+    CampaignReport report = dispatch.Run(batch);
+    SeuCampaignReport classified =
+        ClassifyCampaign(report, golden, options.detect_exit_code);
+    for (size_t i = 0; i < classified.verdicts.size(); ++i) {
+      if (classified.verdicts[i].outcome == SeuOutcome::Sdc) {
+        sdc_flips.push_back(batch[i].plan.seus.front());
+        out.sdc_scenarios.push_back(batch[i]);
+      }
+      out.report.verdicts.push_back(std::move(classified.verdicts[i]));
+    }
+    out.report.counts.total += classified.counts.total;
+    out.report.counts.masked += classified.counts.masked;
+    out.report.counts.detected += classified.counts.detected;
+    out.report.counts.sdc += classified.counts.sdc;
+    out.report.counts.crash += classified.counts.crash;
+    out.report.counts.not_landed += classified.counts.not_landed;
+    out.rounds_run = round + 1;
+  }
+  return out;
+}
+
+}  // namespace lfi::campaign

@@ -1,0 +1,138 @@
+// SEU bit-flip campaigns: build flip-space sweeps, classify outcomes
+// against a golden (fault-free) run, and search the flip space for silent
+// data corruption.
+//
+// The fault model is the classic single-event upset: exactly one bit of
+// one architectural word (register, stack, heap, or module data) flips at
+// a precise machine-wide instruction instant (core::SeuFault). Outcomes
+// follow the standard dependability taxonomy:
+//
+//   Masked    - the program finished with the golden exit code and a
+//               bit-identical architectural state digest; the flip was
+//               absorbed (dead value, overwritten, or voted out by TMR).
+//   Detected  - the guest's own fault-tolerance machinery (DWC compare,
+//               CFCSS signature check) caught the flip and exited with
+//               the dedicated detection exit code.
+//   Sdc       - silent data corruption: the program finished "normally"
+//               but its exit code or state digest differs from golden —
+//               the worst outcome, and what hardening must shrink.
+//   Crash     - the flip escalated to a fault, deadlock, or hang
+//               (budget exhausted): fail-stop, detected by the system.
+//
+// Everything here is deterministic: sweeps are seeded (DeriveSeed +
+// xorshift), classification is pure, and campaigns run through
+// ScenarioDispatch — so verdicts are bit-identical across engines,
+// snapshot modes, jobs counts, and the serve fabric.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+#include "campaign/runner.hpp"
+
+namespace lfi::campaign {
+
+enum class SeuOutcome { Masked, Detected, Sdc, Crash };
+
+const char* SeuOutcomeName(SeuOutcome outcome);
+
+/// The reference against which flips are judged: the same scenario with no
+/// faults, run with CampaignOptions::collect_state_digest set.
+struct GoldenRun {
+  ScenarioStatus status = ScenarioStatus::SetupError;
+  int64_t exit_code = 0;
+  uint64_t state_digest = 0;
+  uint64_t instructions = 0;  // flip instants are sampled inside this
+};
+
+GoldenRun GoldenFrom(const ScenarioResult& result);
+
+/// Classify one flip result. `detect_exit_code` is the exit code hardened
+/// guests reserve for "my checker fired" (isa::harden::kSeuDetectExitCode).
+SeuOutcome ClassifySeu(const ScenarioResult& result, const GoldenRun& golden,
+                       int64_t detect_exit_code);
+
+struct SeuCounts {
+  size_t total = 0;
+  size_t masked = 0;
+  size_t detected = 0;
+  size_t sdc = 0;
+  size_t crash = 0;
+  /// Flips whose instant fell past the run's end or whose gate rejected
+  /// them (subset of `masked` — nothing was perturbed).
+  size_t not_landed = 0;
+};
+
+/// One classified flip: the scenario and its verdict, index-ordered.
+struct SeuVerdict {
+  std::string name;
+  SeuOutcome outcome = SeuOutcome::Masked;
+  bool landed = false;
+  uint64_t state_digest = 0;
+};
+
+struct SeuCampaignReport {
+  SeuCounts counts;
+  std::vector<SeuVerdict> verdicts;
+  /// Jobs-invariant listing: one line per flip (name, landed, digest,
+  /// outcome) plus the counts — the CI smoke diffs this across engines
+  /// and job counts.
+  std::string ToText() const;
+};
+
+SeuCampaignReport ClassifyCampaign(const CampaignReport& report,
+                                   const GoldenRun& golden,
+                                   int64_t detect_exit_code);
+
+/// The flip space a sweep samples. Instants are drawn from
+/// [instants_from, instants_to]; offsets from each enabled segment's
+/// byte range (64-bit-word aligned).
+struct SeuSweepSpec {
+  uint64_t instants_from = 0;
+  uint64_t instants_to = 0;
+  size_t samples = 64;
+  uint64_t seed = 1;
+  bool regs = true;
+  bool stack = true;
+  bool heap = false;
+  bool data = false;
+  std::string data_module;   // required when data is set
+  uint64_t data_bytes = 0;   // flippable data-section size
+  uint64_t stack_bytes = 1 << 20;
+  uint64_t heap_bytes = 1 << 20;
+  int pid = 1;
+};
+
+/// Sample `spec.samples` single-flip scenarios (empty trigger set, one
+/// <seu> each) from the flip space. Deterministic in (spec, seed); names
+/// encode the flip ("seu-0007-reg-R3-b17@12345") so reports are
+/// self-describing and diffable.
+std::vector<Scenario> BuildSeuSweep(const SeuSweepSpec& spec);
+
+/// SDC-directed search: rounds of sweep + classify, where each round
+/// seeds half its flips near the silent corruptions found so far
+/// (neighboring bits, nudged instants, adjacent words) and half fresh.
+/// The explorer idea — fitness-directed scenario generation — pointed at
+/// the flip space, with SDC membership as the fitness signal.
+struct SeuSearchOptions {
+  size_t rounds = 4;
+  size_t per_round = 32;
+  int64_t detect_exit_code = 0;
+};
+
+struct SeuSearchResult {
+  /// Every distinct flip classified over all rounds, in discovery order.
+  SeuCampaignReport report;
+  /// Scenarios that produced silent data corruption (replayable as-is).
+  std::vector<Scenario> sdc_scenarios;
+  size_t rounds_run = 0;
+};
+
+SeuSearchResult SdcDirectedSearch(ScenarioDispatch& dispatch,
+                                  const SeuSweepSpec& space,
+                                  const GoldenRun& golden,
+                                  const SeuSearchOptions& options);
+
+}  // namespace lfi::campaign

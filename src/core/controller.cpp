@@ -214,12 +214,84 @@ Status Controller::Install(
                                                             : 0);
         });
   }
+  ArmSeus(plan);
   return Status::Ok();
+}
+
+void Controller::ArmSeus(const Plan& plan) {
+  seus_ = plan.seus;
+  seu_landed_ = 0;
+  for (const SeuFault& seu : seus_) {
+    machine_.ArmInstructionStop(
+        seu.at_instruction, [this, seu](vm::Machine&) { ApplySeu(seu); });
+  }
+}
+
+void Controller::ApplySeu(const SeuFault& seu) {
+  vm::Process* proc = machine_.process(seu.pid);
+  // A flip aimed at a dead or never-created process has no hardware to
+  // land in; record nothing. (Deterministic: process lifetimes are.)
+  if (!proc || (proc->state() != vm::ProcState::Runnable &&
+                proc->state() != vm::ProcState::Blocked)) {
+    return;
+  }
+  if (seu.window_end != 0) {
+    const vm::LoadedModule* wmod =
+        machine_.loader().module_named(seu.window_module);
+    if (!wmod) return;
+    uint64_t rel = proc->pc() - wmod->code_base;
+    if (proc->pc() < wmod->code_base || rel < seu.window_begin ||
+        rel >= seu.window_end) {
+      return;
+    }
+  }
+  uint64_t mask = 1ull << seu.bit;
+  switch (seu.target) {
+    case SeuFault::Target::Reg: {
+      if (seu.reg < 0 || seu.reg >= isa::kNumRegs) return;
+      isa::Reg r = static_cast<isa::Reg>(seu.reg);
+      proc->set_reg(r, proc->reg(r) ^ static_cast<int64_t>(mask));
+      break;
+    }
+    case SeuFault::Target::Stack:
+    case SeuFault::Target::Heap: {
+      uint64_t base = seu.target == SeuFault::Target::Stack ? vm::kStackBase
+                                                            : vm::kHeapBase;
+      uint64_t word = 0;
+      // read/write through the AddressSpace: bounds-checked, and the
+      // write marks the dirty journal so snapshot restores undo the flip.
+      if (!proc->read_mem(base + seu.offset, &word, 8)) return;
+      word ^= mask;
+      if (!proc->write_mem(base + seu.offset, &word, 8)) return;
+      break;
+    }
+    case SeuFault::Target::Data: {
+      const vm::LoadedModule* mod =
+          machine_.loader().module_named(seu.module);
+      if (!mod) return;
+      uint64_t word = 0;
+      if (!proc->read_mem(mod->data_base + seu.offset, &word, 8)) return;
+      word ^= mask;
+      if (!proc->write_mem(mod->data_base + seu.offset, &word, 8)) return;
+      break;
+    }
+  }
+  ++seu_landed_;
+  if (first_injection_instructions_ == 0) {
+    // Same rule as stub injections: sum the per-process counts, which the
+    // engines settle at every budget boundary — and an instruction stop
+    // is exactly such a boundary.
+    for (const auto& p : machine_.processes()) {
+      first_injection_instructions_ += p->instructions();
+    }
+  }
 }
 
 void Controller::Uninstall() {
   machine_.loader().ClearNatives();
   stubs_.clear();
+  machine_.ClearInstructionStops();
+  seus_.clear();
 }
 
 void Controller::Reset() {
@@ -228,6 +300,7 @@ void Controller::Reset() {
   profiles_.reset();
   log_.Clear();
   first_injection_instructions_ = 0;
+  seu_landed_ = 0;
 }
 
 }  // namespace lfi::core

@@ -78,11 +78,26 @@ class Controller {
     return first_injection_instructions_;
   }
 
-  /// Replay plan reproducing this run's injections (paper §5.2).
-  Plan GenerateReplay() const { return GenerateReplayPlan(log_); }
+  /// Replay plan reproducing this run's injections (paper §5.2). Armed
+  /// SEU flips carry over verbatim: they are already instruction-precise,
+  /// so re-running them reproduces the same landings deterministically.
+  Plan GenerateReplay() const {
+    Plan plan = GenerateReplayPlan(log_);
+    plan.seus = seus_;
+    return plan;
+  }
+
+  /// How many of the plan's SEU flips actually landed (reached their
+  /// instant while their process was alive and passed the pc-window gate).
+  uint32_t seu_landed() const { return seu_landed_; }
 
  private:
   struct StubState;
+
+  /// Arm the plan's SEU flips as precise machine instruction stops.
+  void ArmSeus(const Plan& plan);
+  /// Stop callback: flip the addressed bit if the gate admits it.
+  void ApplySeu(const SeuFault& seu);
 
   vm::Machine& machine_;
   ControllerOptions opts_;
@@ -91,6 +106,8 @@ class Controller {
   InjectionLog log_;
   uint64_t first_injection_instructions_ = 0;
   std::vector<std::shared_ptr<StubState>> stubs_;
+  std::vector<SeuFault> seus_;
+  uint32_t seu_landed_ = 0;
 };
 
 }  // namespace lfi::core

@@ -42,6 +42,41 @@ std::optional<ArgModification::Op> ArgOpFromName(std::string_view name) {
   return std::nullopt;
 }
 
+const char* SeuTargetName(SeuFault::Target t) {
+  switch (t) {
+    case SeuFault::Target::Reg: return "reg";
+    case SeuFault::Target::Stack: return "stack";
+    case SeuFault::Target::Heap: return "heap";
+    case SeuFault::Target::Data: return "data";
+  }
+  return "?";
+}
+
+std::optional<SeuFault::Target> SeuTargetFromName(std::string_view name) {
+  if (name == "reg") return SeuFault::Target::Reg;
+  if (name == "stack") return SeuFault::Target::Stack;
+  if (name == "heap") return SeuFault::Target::Heap;
+  if (name == "data") return SeuFault::Target::Data;
+  return std::nullopt;
+}
+
+namespace {
+constexpr const char* kSeuRegNames[kSeuNumRegs] = {
+    "R0", "R1", "R2", "R3", "R4", "R5", "R6", "R7", "SP", "BP"};
+}  // namespace
+
+const char* SeuRegName(int reg) {
+  if (reg < 0 || reg >= kSeuNumRegs) return "?";
+  return kSeuRegNames[reg];
+}
+
+std::optional<int> SeuRegFromName(std::string_view name) {
+  for (int i = 0; i < kSeuNumRegs; ++i) {
+    if (name == kSeuRegNames[i]) return i;
+  }
+  return std::nullopt;
+}
+
 std::string Plan::ToXml() const {
   xml::Node root("plan");
   root.set_attr("seed", Format("%llu", (unsigned long long)seed));
@@ -53,7 +88,10 @@ std::string Plan::ToXml() const {
         fn->set_attr("inject", Format("%llu", (unsigned long long)t.inject_call));
         break;
       case FunctionTrigger::Mode::Probability:
-        fn->set_attr("probability", Format("%g", t.probability));
+        // max_digits10: explorer-mutated probabilities must survive the
+        // XML round trip bit-exactly or persisted corpus plans replay a
+        // subtly different scenario than the one that was minimized.
+        fn->set_attr("probability", Format("%.17g", t.probability));
         break;
       case FunctionTrigger::Mode::Always:
         fn->set_attr("mode", "always");
@@ -80,6 +118,25 @@ std::string Plan::ToXml() const {
       mod->set_attr("argument", Format("%d", m.argument));
       mod->set_attr("op", ArgOpName(m.op));
       mod->set_attr("value", Format("%lld", (long long)m.value));
+    }
+  }
+  for (const SeuFault& s : seus) {
+    xml::Node* seu = root.add_child("seu");
+    seu->set_attr("target", SeuTargetName(s.target));
+    if (s.target == SeuFault::Target::Reg) {
+      seu->set_attr("reg", SeuRegName(s.reg));
+    } else {
+      seu->set_attr("offset", Format("%llu", (unsigned long long)s.offset));
+    }
+    if (s.target == SeuFault::Target::Data) seu->set_attr("module", s.module);
+    seu->set_attr("bit", Format("%d", s.bit));
+    seu->set_attr("at", Format("%llu", (unsigned long long)s.at_instruction));
+    if (s.pid != 1) seu->set_attr("pid", Format("%d", s.pid));
+    if (s.window_end != 0) {
+      seu->set_attr("wmodule", s.window_module);
+      seu->set_attr("wbegin",
+                    Format("%llu", (unsigned long long)s.window_begin));
+      seu->set_attr("wend", Format("%llu", (unsigned long long)s.window_end));
     }
   }
   return root.serialize();
@@ -197,6 +254,68 @@ Result<Plan> Plan::FromXml(std::string_view text) {
       t.modifications.push_back(m);
     }
     plan.triggers.push_back(std::move(t));
+  }
+  for (const xml::Node* node : root.children_named("seu")) {
+    SeuFault s;
+    std::string target = node->attr_or("target", "");
+    auto parsed_target = SeuTargetFromName(target);
+    if (!parsed_target) {
+      return Err("plan: bad seu target \"" + target +
+                 "\" (want reg, stack, heap, or data)");
+    }
+    s.target = *parsed_target;
+    if (s.target == SeuFault::Target::Reg) {
+      std::string reg = node->attr_or("reg", "");
+      auto parsed_reg = SeuRegFromName(reg);
+      if (!parsed_reg) {
+        return Err("plan: bad seu reg \"" + reg + "\" (want R0..R7, SP, BP)");
+      }
+      s.reg = *parsed_reg;
+    } else {
+      if (auto offset = node->attr("offset")) {
+        if (!ParseUint(*offset, &s.offset)) {
+          return Err("plan: bad seu offset \"" + *offset +
+                     "\" (want a uint64 byte offset)");
+        }
+      }
+      if (s.target == SeuFault::Target::Data) {
+        s.module = node->attr_or("module", "");
+        if (s.module.empty()) {
+          return Err("plan: <seu target=\"data\"> without module");
+        }
+      }
+    }
+    std::string bit = node->attr_or("bit", "");
+    int64_t bit_index = 0;
+    if (!ParseInt(bit, &bit_index) || bit_index < 0 || bit_index > 63) {
+      return Err("plan: bad seu bit \"" + bit + "\" (want 0..63)");
+    }
+    s.bit = static_cast<int>(bit_index);
+    std::string at = node->attr_or("at", "");
+    if (!ParseUint(at, &s.at_instruction)) {
+      return Err("plan: bad seu at \"" + at +
+                 "\" (want a uint64 instruction instant)");
+    }
+    if (auto pid = node->attr("pid")) {
+      int64_t value = 0;
+      if (!ParseInt(*pid, &value) || value < 1 || value > INT32_MAX) {
+        return Err("plan: bad seu pid \"" + *pid + "\" (want a pid >= 1)");
+      }
+      s.pid = static_cast<int>(value);
+    }
+    if (auto wmodule = node->attr("wmodule")) {
+      s.window_module = *wmodule;
+      std::string wbegin = node->attr_or("wbegin", "0");
+      if (!ParseUint(wbegin, &s.window_begin)) {
+        return Err("plan: bad seu wbegin \"" + wbegin + "\" (want a uint64)");
+      }
+      std::string wend = node->attr_or("wend", "");
+      if (!ParseUint(wend, &s.window_end) || s.window_end <= s.window_begin) {
+        return Err("plan: bad seu wend \"" + wend +
+                   "\" (want a uint64 > wbegin)");
+      }
+    }
+    plan.seus.push_back(std::move(s));
   }
   return plan;
 }

@@ -78,9 +78,53 @@ struct FunctionTrigger {
   int max_injections = -1;
 };
 
+/// One single-event upset: flip exactly one bit of one architectural word
+/// at a precise machine-wide instruction instant. The hardware-style
+/// companion to the paper's library-boundary faults — same plan/replay/
+/// campaign machinery, different fault model. XML:
+///
+///   <seu target="reg" reg="R3" bit="17" at="12345" />
+///   <seu target="stack" offset="4096" bit="5" at="9999" />
+///   <seu target="data" module="app.so" offset="8" bit="0" at="5000"
+///        wmodule="app.so" wbegin="0" wend="128" />
+///
+/// `at` counts total instructions executed machine-wide (all processes,
+/// the deterministic round-robin schedule), so a flip lands at the same
+/// architectural state in every engine, snapshot mode, and jobs count.
+struct SeuFault {
+  enum class Target {
+    Reg,    // one bit of a register of process `pid`
+    Stack,  // 64-bit word at stack-segment byte offset `offset`
+    Heap,   // 64-bit word at heap-segment byte offset `offset`
+    Data,   // 64-bit word at `module`'s data-section byte offset `offset`
+  };
+  Target target = Target::Reg;
+  int reg = 0;          // Target::Reg: register index (R0..R7, SP, BP)
+  uint64_t offset = 0;  // memory targets: segment-relative byte offset
+  std::string module;   // Target::Data: module name
+  int bit = 0;          // 0..63 within the 64-bit word / register
+  uint64_t at_instruction = 0;  // machine-wide instant the flip lands
+  int pid = 1;          // process whose register/stack/heap is hit
+  /// Optional pc-window gate: the flip lands only if the target process's
+  /// pc sits in [window_begin, window_end) of `window_module`'s code at
+  /// the armed instant (module-relative offsets, end-exclusive).
+  /// window_end == 0 means ungated.
+  std::string window_module;
+  uint64_t window_begin = 0;
+  uint64_t window_end = 0;
+};
+
+const char* SeuTargetName(SeuFault::Target t);
+std::optional<SeuFault::Target> SeuTargetFromName(std::string_view name);
+/// Register naming for <seu reg="...">: R0..R7, SP, BP.
+const char* SeuRegName(int reg);
+std::optional<int> SeuRegFromName(std::string_view name);
+inline constexpr int kSeuNumRegs = 10;
+
 struct Plan {
   uint64_t seed = 1;  // drives probability triggers and random code picks
   std::vector<FunctionTrigger> triggers;
+  std::vector<SeuFault> seus;
 
   std::string ToXml() const;
   static Result<Plan> FromXml(std::string_view xml);

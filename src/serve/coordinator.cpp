@@ -1,7 +1,9 @@
 #include "serve/coordinator.hpp"
 
 #include <arpa/inet.h>
+#include <errno.h>
 #include <netdb.h>
+#include <poll.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <string.h>
@@ -22,6 +24,33 @@ using Clock = std::chrono::steady_clock;
 
 double Seconds(Clock::time_point a, Clock::time_point b) {
   return std::chrono::duration<double>(b - a).count();
+}
+
+/// connect(2) with EINTR handling. A signal can interrupt a blocking
+/// connect after the handshake is already in flight; re-calling connect
+/// then fails with EALREADY/EISCONN, so the correct recovery is to poll
+/// for writability and read the final status from SO_ERROR.
+int ConnectRetryEintr(int fd, const struct sockaddr* addr, socklen_t len) {
+  if (::connect(fd, addr, len) == 0) return 0;
+  if (errno != EINTR) return -1;
+  struct pollfd p = {};
+  p.fd = fd;
+  p.events = POLLOUT;
+  int rc;
+  do {
+    rc = ::poll(&p, 1, -1);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) return -1;
+  int so_error = 0;
+  socklen_t so_len = sizeof(so_error);
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &so_len) < 0) {
+    return -1;
+  }
+  if (so_error != 0) {
+    errno = so_error;
+    return -1;
+  }
+  return 0;
 }
 
 }  // namespace
@@ -140,7 +169,7 @@ Status FabricCoordinator::ConnectWorker(const std::string& host,
       err = std::string("fabric: socket: ") + strerror(errno);
       continue;
     }
-    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    if (ConnectRetryEintr(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
     err = "fabric: connect " + host + ":" + service + ": " + strerror(errno);
     ::close(fd);
     fd = -1;

@@ -137,6 +137,19 @@ void EncodePlan(std::vector<uint8_t>& out, const core::Plan& plan) {
       PutI64(out, m.value);
     }
   }
+  PutU32(out, static_cast<uint32_t>(plan.seus.size()));
+  for (const core::SeuFault& s : plan.seus) {
+    PutU8(out, static_cast<uint8_t>(s.target));
+    PutI64(out, s.reg);
+    PutU64(out, s.offset);
+    PutStr(out, s.module);
+    PutI64(out, s.bit);
+    PutU64(out, s.at_instruction);
+    PutI64(out, s.pid);
+    PutStr(out, s.window_module);
+    PutU64(out, s.window_begin);
+    PutU64(out, s.window_end);
+  }
 }
 
 Result<core::Plan> DecodePlan(Reader& r) {
@@ -211,6 +224,31 @@ Result<core::Plan> DecodePlan(Reader& r) {
     }
     plan.triggers.push_back(std::move(t));
   }
+  uint32_t seus = 0;
+  if (!r.U32(&seus) || !PlausibleCount(r, seus)) {
+    return Err("wire: truncated plan");
+  }
+  plan.seus.reserve(seus);
+  for (uint32_t i = 0; i < seus; ++i) {
+    core::SeuFault s;
+    uint8_t target = 0;
+    int64_t reg = 0, bit = 0, pid = 1;
+    if (!r.U8(&target) || !r.I64(&reg) || !r.U64(&s.offset) ||
+        !r.Str(&s.module) || !r.I64(&bit) || !r.U64(&s.at_instruction) ||
+        !r.I64(&pid) || !r.Str(&s.window_module) || !r.U64(&s.window_begin) ||
+        !r.U64(&s.window_end)) {
+      return Err("wire: truncated seu");
+    }
+    if (target > static_cast<uint8_t>(core::SeuFault::Target::Data)) {
+      return Err("wire: bad seu target");
+    }
+    if (bit < 0 || bit > 63) return Err("wire: bad seu bit");
+    s.target = static_cast<core::SeuFault::Target>(target);
+    s.reg = static_cast<int>(reg);
+    s.bit = static_cast<int>(bit);
+    s.pid = static_cast<int>(pid);
+    plan.seus.push_back(std::move(s));
+  }
   return plan;
 }
 
@@ -261,6 +299,7 @@ void EncodeOptions(std::vector<uint8_t>& out,
   if (options.collect_replays) flags |= 1u << 2;
   if (options.snapshot) flags |= 1u << 3;
   if (options.snapshot_tree) flags |= 1u << 4;
+  if (options.collect_state_digest) flags |= 1u << 5;
   PutU8(out, flags);
   PutU64(out, options.warmup_instructions);
   PutU8(out, options.exec_mode.has_value() ? 1 : 0);
@@ -291,6 +330,7 @@ Result<campaign::CampaignOptions> DecodeOptions(Reader& r) {
   o.collect_replays = (flags & (1u << 2)) != 0;
   o.snapshot = (flags & (1u << 3)) != 0;
   o.snapshot_tree = (flags & (1u << 4)) != 0;
+  o.collect_state_digest = (flags & (1u << 5)) != 0;
   if (has_exec) {
     uint8_t mode = 0;
     if (!r.U8(&mode) ||
@@ -367,6 +407,8 @@ void EncodeResult(std::vector<uint8_t>& out,
   PutU8(out, result.snapshot_fallback ? 1 : 0);
   PutU64(out, result.restore_pages);
   PutU64(out, result.restore_nodes_walked);
+  PutU64(out, result.state_digest);
+  PutU32(out, result.seu_landed);
 }
 
 Result<campaign::ScenarioResult> DecodeResult(Reader& r) {
@@ -415,7 +457,8 @@ Result<campaign::ScenarioResult> DecodeResult(Reader& r) {
   if (!replay.ok()) return Err(replay.error());
   res.replay = std::move(replay).take();
   if (!r.U64(&res.first_injection_instructions) || !r.U8(&snapshot_fallback) ||
-      !r.U64(&res.restore_pages) || !r.U64(&res.restore_nodes_walked)) {
+      !r.U64(&res.restore_pages) || !r.U64(&res.restore_nodes_walked) ||
+      !r.U64(&res.state_digest) || !r.U32(&res.seu_landed)) {
     return Err("wire: truncated result");
   }
   res.snapshot_fallback = snapshot_fallback != 0;

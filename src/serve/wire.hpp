@@ -6,12 +6,11 @@
 // results, batch union coverage) is encoded here.
 //
 // The format is binary, not XML, for one load-bearing reason: byte
-// identity. Plan::ToXml prints probabilities with %g (6 significant
-// digits), which is lossy for explorer-mutated probabilities; a fabric
-// that round-tripped plans through XML would produce scenarios that
-// *almost* match the in-process run. Doubles therefore travel as exact
-// IEEE-754 bit patterns, and module images travel as their canonical
-// sso::SharedObject serialization — the same bytes a local Machine loads.
+// identity. Doubles travel as exact IEEE-754 bit patterns (Plan::ToXml
+// now prints %.17g, which also round-trips, but the wire does not want
+// to depend on printf/strtod agreeing), and module images travel as
+// their canonical sso::SharedObject serialization — the same bytes a
+// local Machine loads.
 //
 // Framing: [magic u32 "LFW1"] [type u8] [length u32 LE] [payload bytes].
 // Integers are little-endian. A reader rejects bad magic, unknown types,
@@ -32,7 +31,9 @@
 namespace lfi::serve {
 
 inline constexpr uint32_t kWireMagic = 0x3157464Cu;  // "LFW1" little-endian
-inline constexpr uint32_t kWireVersion = 1;
+// Version history: 1 = initial; 2 = SEU faults in plans, state digest +
+// landed-flip count in results, collect_state_digest options flag.
+inline constexpr uint32_t kWireVersion = 2;
 /// Hard cap on a single frame's payload. Campaign batches are scenario
 /// plans + results, not bulk data; 256 MiB is far above any real frame.
 inline constexpr uint32_t kMaxPayload = 256u << 20;

@@ -56,6 +56,7 @@ void Machine::Reset() {
   loader_.ResetData();
   kernel_.Reset();
   if (coverage_) coverage_->Clear();
+  stops_.clear();
   // tree_ (if any) stays valid: node contents are self-contained, and
   // ResetData marked every data page dirty, so the next RestoreTo copies
   // all module pages and reconstructs processes from materialized images.
@@ -285,8 +286,31 @@ RunOutcome Machine::Run(uint64_t max_instructions) {
       p.WakeIfBlocked();
       if (p.state() == ProcState::Runnable) {
         any_live = true;
-        uint64_t executed = p.Run(kQuantum);
-        progressed += executed;
+        // Sub-slice the quantum around armed instruction stops: the budget
+        // handed to the engine never crosses a stop instant, so the stop
+        // callback runs at exactly instruction `at` — Process::Run(budget)
+        // is budget-exact in all three engines, which is what makes the
+        // SEU flip land on the same architectural state everywhere.
+        uint64_t executed = 0;
+        while (true) {
+          if (!stops_.empty()) FireDueStops(total_instructions_ + progressed);
+          if (p.state() != ProcState::Runnable || executed >= kQuantum) break;
+          uint64_t budget = kQuantum - executed;
+          if (!stops_.empty()) {
+            uint64_t until = stops_.front().at - (total_instructions_ +
+                                                  progressed);
+            if (until < budget) budget = until;
+          }
+          uint64_t ran = p.Run(budget);
+          executed += ran;
+          progressed += ran;
+          // Blocked/exited processes stop mid-budget; re-check state at
+          // the loop head. A zero-progress Runnable return cannot recur
+          // (budget >= 1 here), but guard against a livelock anyway.
+          if (ran == 0 && p.state() == ProcState::Runnable) break;
+          if (p.state() != ProcState::Runnable) break;
+        }
+        if (!stops_.empty()) FireDueStops(total_instructions_ + progressed);
         // A process that immediately re-blocks after one retried
         // instruction made no real progress; anything else did.
         if (p.state() != ProcState::Blocked || executed > 1) {
@@ -338,6 +362,60 @@ Machine::ExitInfo Machine::RunToCompletion(int pid, uint64_t max_instructions) {
     info.fault_message = p->fault_message();
   }
   return info;
+}
+
+void Machine::ArmInstructionStop(uint64_t at, std::function<void(Machine&)> fn) {
+  InstructionStop stop{at, std::move(fn)};
+  auto pos = std::lower_bound(
+      stops_.begin(), stops_.end(), stop,
+      [](const InstructionStop& a, const InstructionStop& b) {
+        return a.at < b.at;
+      });
+  stops_.insert(pos, std::move(stop));
+}
+
+void Machine::ClearInstructionStops() { stops_.clear(); }
+
+void Machine::FireDueStops(uint64_t now) {
+  while (!stops_.empty() && stops_.front().at <= now) {
+    // Detach before invoking: the callback may arm new stops.
+    InstructionStop stop = std::move(stops_.front());
+    stops_.erase(stops_.begin());
+    stop.fn(*this);
+  }
+}
+
+namespace {
+/// FNV-1a over u64-sized chunks (byte tail) — fast enough to hash whole
+/// stack/heap segments per scenario. Chunked mixing is endian-dependent,
+/// which is fine: digests are only ever compared between runs on hosts of
+/// the same byte order (the fabric ships work, not digests of reference).
+inline void FnvMix(uint64_t& h, uint64_t value) {
+  h ^= value;
+  h *= 1099511628211ull;
+}
+
+inline void FnvMixBytes(uint64_t& h, const uint8_t* data, size_t size) {
+  size_t i = 0;
+  for (; i + 8 <= size; i += 8) {
+    uint64_t chunk;
+    std::memcpy(&chunk, data + i, 8);
+    FnvMix(h, chunk);
+  }
+  uint64_t tail = 0;
+  for (; i < size; ++i) tail = (tail << 8) | data[i];
+  FnvMix(h, tail);
+}
+}  // namespace
+
+uint64_t Machine::StateDigest() const {
+  uint64_t h = 14695981039346656037ull;
+  FnvMix(h, procs_.size());
+  for (const auto& p : procs_) FnvMix(h, p->StateDigest());
+  for (const auto& mod : loader_.modules()) {
+    FnvMixBytes(h, mod->data_runtime.data(), mod->data_runtime.size());
+  }
+  return h;
 }
 
 CoverageTracker* Machine::EnableCoverage() {

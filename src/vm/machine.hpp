@@ -2,6 +2,7 @@
 // a round-robin scheduler. One Machine per experiment run.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -119,6 +120,31 @@ class Machine {
   /// `max_instructions` total were executed.
   RunOutcome Run(uint64_t max_instructions = 100'000'000);
 
+  // -- precise instruction stops ---------------------------------------------
+  /// Arm `fn` to fire the first time the machine-wide executed-instruction
+  /// count reaches `at` (or immediately at the next Run round if `at` is
+  /// already in the past). Run clamps the per-process budget to the
+  /// nearest armed stop, so the callback observes the exact architectural
+  /// state at instruction `at` in every engine — the superblock engine's
+  /// fused spans end at the clamped budget, which is its mid-span
+  /// deoptimization point. Callbacks may mutate process registers/memory
+  /// (the SEU injector does) but must not call Run, Reset, or snapshot
+  /// operations. Stops that never come due (the machine halts first)
+  /// simply do not fire.
+  void ArmInstructionStop(uint64_t at, std::function<void(Machine&)> fn);
+  /// Drop all armed stops (fired or not).
+  void ClearInstructionStops();
+  size_t armed_stop_count() const { return stops_.size(); }
+
+  /// FNV-1a digest of guest-visible architectural state: every process's
+  /// registers, flags, pc, status, and memory segments, plus each loaded
+  /// module's runtime data section. Deterministic for a deterministic
+  /// schedule, so equal digests across engines / snapshot modes / jobs
+  /// counts mean bit-identical final states; SEU campaigns compare it
+  /// against a golden run to detect silent data corruption. Host-side
+  /// kernel state (in-memory files) is deliberately out of scope.
+  uint64_t StateDigest() const;
+
   /// Convenience: run a single-process machine and report its exit.
   struct ExitInfo {
     ProcState state = ProcState::Exited;
@@ -168,6 +194,15 @@ class Machine {
   SnapshotId current_node_ = kNoSnapshot;
   SnapshotRestoreStats restore_stats_;
   uint64_t default_heap_cap_ = 1 << 20;
+
+  struct InstructionStop {
+    uint64_t at = 0;
+    std::function<void(Machine&)> fn;
+  };
+  /// Sorted ascending by `at`; Run pops from the front as stops fire.
+  std::vector<InstructionStop> stops_;
+  /// Fire (and remove) every stop with at <= now.
+  void FireDueStops(uint64_t now);
 
   /// Whether the loaded module set still matches the tree's root capture
   /// (count and data-section sizes — load-time constants).

@@ -431,6 +431,46 @@ uint64_t Process::Run(uint64_t budget) {
   return RunSuperblock(budget);
 }
 
+namespace {
+inline void DigestMix(uint64_t& h, uint64_t value) {
+  h ^= value;
+  h *= 1099511628211ull;
+}
+
+inline void DigestMixBytes(uint64_t& h, const uint8_t* data, size_t size) {
+  size_t i = 0;
+  for (; i + 8 <= size; i += 8) {
+    uint64_t chunk;
+    std::memcpy(&chunk, data + i, 8);
+    DigestMix(h, chunk);
+  }
+  uint64_t tail = 0;
+  for (; i < size; ++i) tail = (tail << 8) | data[i];
+  DigestMix(h, tail);
+}
+}  // namespace
+
+uint64_t Process::StateDigest() const {
+  uint64_t h = 14695981039346656037ull;
+  DigestMix(h, static_cast<uint64_t>(pid_));
+  for (int64_t r : regs_) DigestMix(h, static_cast<uint64_t>(r));
+  DigestMix(h, static_cast<uint64_t>(flags_));
+  DigestMix(h, pc_);
+  DigestMix(h, static_cast<uint64_t>(state_));
+  DigestMix(h, static_cast<uint64_t>(signal_));
+  DigestMix(h, static_cast<uint64_t>(exit_code_));
+  DigestMix(h, heap_cursor_);
+  DigestMix(h, shadow_.size());
+  for (const Frame& f : shadow_) {
+    DigestMix(h, f.fn_addr);
+    DigestMix(h, f.ret_addr);
+  }
+  DigestMixBytes(h, stack_mem_.data(), stack_mem_.size());
+  DigestMixBytes(h, heap_mem_.data(), heap_mem_.size());
+  DigestMixBytes(h, tls_mem_.data(), tls_mem_.size());
+  return h;
+}
+
 void Process::RemapIfNeeded() {
   if (mapped_generation_ == loader_.generation()) return;
   // (Re)build the address space: shared module images + private segments.

@@ -107,6 +107,14 @@ class Process final : public kernel::KernelContext {
   ExecMode exec_mode() const { return exec_mode_; }
   void set_exec_mode(ExecMode mode) { exec_mode_ = mode; }
 
+  /// FNV-1a digest of this process's architectural state: registers,
+  /// flags, pc, status (state/signal/exit code), shadow stack, heap
+  /// cursor, and the full stack/heap/TLS segments. Deliberately excludes
+  /// the instruction counter — two runs that converge to the same
+  /// architectural state along different-length paths digest equal (the
+  /// SEU "masked" verdict is about state, not timing).
+  uint64_t StateDigest() const;
+
   // -- KernelContext --------------------------------------------------------
   int64_t reg(isa::Reg r) const override {
     return regs_[static_cast<size_t>(r)];

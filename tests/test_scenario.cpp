@@ -66,6 +66,29 @@ TEST(Scenario, XmlRoundTrip) {
             ArgModification::Op::Sub);
 }
 
+TEST(Scenario, ProbabilitySurvivesXmlRoundTripExactly) {
+  // ToXml prints probabilities with %.17g — enough digits that strtod
+  // recovers the exact IEEE-754 double. The old %g (6 significant digits)
+  // truncated explorer-mutated probabilities, so a plan saved to a corpus
+  // and reloaded was *almost* the plan that ran.
+  for (double p : {0.12345678901234567, 1.0 / 3.0, 0.1 + 0.2, 1e-9,
+                   0.9999999999999999}) {
+    Plan plan;
+    FunctionTrigger t;
+    t.function = "read";
+    t.mode = FunctionTrigger::Mode::Probability;
+    t.probability = p;
+    plan.triggers.push_back(t);
+    auto parsed = Plan::FromXml(plan.ToXml());
+    ASSERT_TRUE(parsed.ok()) << parsed.error();
+    ASSERT_EQ(parsed.value().triggers.size(), 1u);
+    // Bit-exact, not approximately equal — memcmp-level identity.
+    EXPECT_EQ(parsed.value().triggers[0].probability, p);
+    // And a fixpoint: re-serializing the parsed plan changes nothing.
+    EXPECT_EQ(parsed.value().ToXml(), plan.ToXml());
+  }
+}
+
 TEST(Scenario, StackTraceConditionsSurviveXmlRoundTrip) {
   // A plan built in memory (not parsed from the paper example) with mixed
   // address / symbol frame conditions must serialize and parse back to the

@@ -1,0 +1,527 @@
+// SEU fault-model tests: the <seu> plan element, precise instruction-stop
+// arming, outcome classification, the SIHFT hardening transforms, and —
+// the load-bearing property — bit-identical flip campaigns across all
+// three engines, snapshot modes, job counts, and the serve fabric.
+//
+// The determinism claim is the whole product here: an SEU campaign's
+// verdict (including the architectural state digest of every run) may
+// depend only on the scenario, never on how it was executed. A flip armed
+// mid-superblock must deoptimize the fused span at exactly the right
+// instruction and leave the machine in the same state the reference
+// interpreter reaches.
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "apps/seu_guest.hpp"
+#include "campaign/runner.hpp"
+#include "campaign/seu.hpp"
+#include "core/scenario.hpp"
+#include "isa/codebuilder.hpp"
+#include "isa/harden.hpp"
+#include "libc/libc_builder.hpp"
+#include "serve/coordinator.hpp"
+#include "serve/wire.hpp"
+#include "serve/worker.hpp"
+#include "test_helpers.hpp"
+#include "vm/machine.hpp"
+
+namespace lfi {
+namespace {
+
+using campaign::CampaignOptions;
+using campaign::CampaignReport;
+using campaign::Scenario;
+using campaign::ScenarioResult;
+using core::Plan;
+using core::SeuFault;
+using isa::CodeBuilder;
+using isa::Reg;
+
+// ---- <seu> plan XML --------------------------------------------------------
+
+TEST(SeuXml, RoundTripAllTargets) {
+  Plan plan;
+  plan.seed = 9;
+  SeuFault reg;
+  reg.target = SeuFault::Target::Reg;
+  reg.reg = 9;  // BP
+  reg.bit = 63;
+  reg.at_instruction = 123456789;
+  reg.window_module = "app.so";
+  reg.window_begin = 0x40;
+  reg.window_end = 0x80;
+  SeuFault stack;
+  stack.target = SeuFault::Target::Stack;
+  stack.offset = 0xF8;
+  stack.bit = 0;
+  stack.at_instruction = 1;
+  SeuFault heap;
+  heap.target = SeuFault::Target::Heap;
+  heap.offset = 4096;
+  heap.bit = 31;
+  heap.at_instruction = 77;
+  heap.pid = 3;
+  SeuFault data;
+  data.target = SeuFault::Target::Data;
+  data.module = "libc.so";
+  data.offset = 16;
+  data.bit = 7;
+  data.at_instruction = 500;
+  plan.seus = {reg, stack, heap, data};
+
+  auto parsed = Plan::FromXml(plan.ToXml());
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  ASSERT_EQ(parsed.value().seus.size(), 4u);
+  const SeuFault& r = parsed.value().seus[0];
+  EXPECT_EQ(r.target, SeuFault::Target::Reg);
+  EXPECT_EQ(r.reg, 9);
+  EXPECT_EQ(r.bit, 63);
+  EXPECT_EQ(r.at_instruction, 123456789u);
+  EXPECT_EQ(r.window_module, "app.so");
+  EXPECT_EQ(r.window_begin, 0x40u);
+  EXPECT_EQ(r.window_end, 0x80u);
+  const SeuFault& s = parsed.value().seus[1];
+  EXPECT_EQ(s.target, SeuFault::Target::Stack);
+  EXPECT_EQ(s.offset, 0xF8u);
+  EXPECT_EQ(s.bit, 0);
+  const SeuFault& h = parsed.value().seus[2];
+  EXPECT_EQ(h.target, SeuFault::Target::Heap);
+  EXPECT_EQ(h.pid, 3);
+  const SeuFault& d = parsed.value().seus[3];
+  EXPECT_EQ(d.target, SeuFault::Target::Data);
+  EXPECT_EQ(d.module, "libc.so");
+  // Serialization is a fixpoint.
+  EXPECT_EQ(parsed.value().ToXml(), plan.ToXml());
+}
+
+TEST(SeuXml, RejectsMalformedFaults) {
+  auto bad = [](const char* xml) {
+    auto plan = Plan::FromXml(xml);
+    EXPECT_FALSE(plan.ok()) << "accepted: " << xml;
+  };
+  bad(R"(<plan><seu target="flux" reg="R0" bit="1" at="5" /></plan>)");
+  bad(R"(<plan><seu target="reg" reg="R9" bit="1" at="5" /></plan>)");
+  bad(R"(<plan><seu target="reg" reg="R0" bit="64" at="5" /></plan>)");
+  bad(R"(<plan><seu target="reg" reg="R0" bit="-1" at="5" /></plan>)");
+  bad(R"(<plan><seu target="reg" reg="R0" bit="1" at="many" /></plan>)");
+  bad(R"(<plan><seu target="reg" reg="R0" bit="1" at="5" pid="0" /></plan>)");
+  bad(R"(<plan><seu target="data" offset="8" bit="1" at="5" /></plan>)");
+  bad(R"(<plan><seu target="stack" offset="8x" bit="1" at="5" /></plan>)");
+  bad(R"(<plan><seu target="reg" reg="R0" bit="1" at="5" )"
+      R"(wmodule="m" wbegin="9" wend="4" /></plan>)");
+}
+
+// ---- precise instruction stops ---------------------------------------------
+
+/// All four guest variants share one observable: at any armed instant the
+/// summed per-process instruction counts equal the instant exactly.
+TEST(InstructionStop, FiresAtTheExactInstant) {
+  auto guest = apps::BuildSeuGuest(apps::HardeningMode::None);
+  ASSERT_TRUE(guest.ok());
+  vm::Machine machine;
+  machine.Load(libc::BuildLibc());
+  machine.Load(guest.value());
+  std::vector<uint64_t> observed;
+  for (uint64_t at : {1ull, 7ull, 1999ull, 2000ull, 2001ull, 5000ull}) {
+    machine.ArmInstructionStop(at, [&observed](vm::Machine& m) {
+      uint64_t executed = 0;
+      for (const auto& p : m.processes()) executed += p->instructions();
+      observed.push_back(executed);
+    });
+  }
+  ASSERT_TRUE(machine.CreateProcess(apps::kSeuGuestEntry).ok());
+  machine.Run();
+  // Stops straddle quantum boundaries (kQuantum = 2000) deliberately.
+  EXPECT_EQ(observed,
+            (std::vector<uint64_t>{1, 7, 1999, 2000, 2001, 5000}));
+  EXPECT_EQ(machine.armed_stop_count(), 0u);
+}
+
+TEST(InstructionStop, NeverDueStopsDoNotFireAndResetClears) {
+  auto guest = apps::BuildSeuGuest(apps::HardeningMode::None);
+  ASSERT_TRUE(guest.ok());
+  vm::Machine machine;
+  machine.Load(libc::BuildLibc());
+  machine.Load(guest.value());
+  bool fired = false;
+  machine.ArmInstructionStop(1'000'000'000,
+                             [&fired](vm::Machine&) { fired = true; });
+  ASSERT_TRUE(machine.CreateProcess(apps::kSeuGuestEntry).ok());
+  machine.Run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(machine.armed_stop_count(), 1u);
+  machine.Reset();
+  EXPECT_EQ(machine.armed_stop_count(), 0u);
+}
+
+/// The mid-span deoptimization claim: stopping at instruction N and
+/// digesting the machine yields the same bits in all three engines, for
+/// instants chosen to fall inside fused superblock spans.
+TEST(InstructionStop, MidRunDigestIdenticalAcrossEngines) {
+  for (uint64_t at : {37ull, 1234ull, 4321ull, 8000ull}) {
+    std::vector<uint64_t> digests;
+    for (vm::ExecMode mode : {vm::ExecMode::Superblock,
+                              vm::ExecMode::Predecoded,
+                              vm::ExecMode::Reference}) {
+      auto guest = apps::BuildSeuGuest(apps::HardeningMode::None);
+      ASSERT_TRUE(guest.ok());
+      vm::Machine machine;
+      machine.SetExecMode(mode);
+      machine.Load(libc::BuildLibc());
+      machine.Load(guest.value());
+      machine.ArmInstructionStop(at, [&digests](vm::Machine& m) {
+        digests.push_back(m.StateDigest());
+      });
+      ASSERT_TRUE(machine.CreateProcess(apps::kSeuGuestEntry).ok());
+      machine.Run();
+    }
+    ASSERT_EQ(digests.size(), 3u) << "instant " << at;
+    EXPECT_EQ(digests[0], digests[1]) << "instant " << at;
+    EXPECT_EQ(digests[0], digests[2]) << "instant " << at;
+  }
+}
+
+// ---- outcome classification ------------------------------------------------
+
+TEST(SeuClassify, Taxonomy) {
+  campaign::GoldenRun golden;
+  golden.status = campaign::ScenarioStatus::Exited;
+  golden.exit_code = 40;
+  golden.state_digest = 0x1111;
+  const int64_t detect = isa::kSeuDetectExitCode;
+
+  ScenarioResult r;
+  r.status = campaign::ScenarioStatus::Crashed;
+  EXPECT_EQ(campaign::ClassifySeu(r, golden, detect),
+            campaign::SeuOutcome::Crash);
+  r.status = campaign::ScenarioStatus::Deadlocked;
+  EXPECT_EQ(campaign::ClassifySeu(r, golden, detect),
+            campaign::SeuOutcome::Crash);
+  r.status = campaign::ScenarioStatus::BudgetSpent;
+  EXPECT_EQ(campaign::ClassifySeu(r, golden, detect),
+            campaign::SeuOutcome::Crash);
+
+  r.status = campaign::ScenarioStatus::Exited;
+  r.exit_code = detect;
+  r.state_digest = 0x9999;
+  EXPECT_EQ(campaign::ClassifySeu(r, golden, detect),
+            campaign::SeuOutcome::Detected);
+
+  r.exit_code = golden.exit_code;
+  r.state_digest = golden.state_digest;
+  EXPECT_EQ(campaign::ClassifySeu(r, golden, detect),
+            campaign::SeuOutcome::Masked);
+
+  // Same exit code, different final state: silently corrupted.
+  r.state_digest = 0x2222;
+  EXPECT_EQ(campaign::ClassifySeu(r, golden, detect),
+            campaign::SeuOutcome::Sdc);
+  r.exit_code = 41;
+  r.state_digest = golden.state_digest;
+  EXPECT_EQ(campaign::ClassifySeu(r, golden, detect),
+            campaign::SeuOutcome::Sdc);
+
+  // A guest whose *golden* exit code equals the detect code gives the
+  // classifier no detection signal — such exits stay masked/sdc.
+  campaign::GoldenRun odd = golden;
+  odd.exit_code = detect;
+  r.exit_code = detect;
+  r.state_digest = odd.state_digest;
+  EXPECT_EQ(campaign::ClassifySeu(r, odd, detect),
+            campaign::SeuOutcome::Masked);
+}
+
+// ---- SIHFT transforms ------------------------------------------------------
+
+TEST(Harden, TmrVoteRepairsASingleFlippedCopy) {
+  CodeBuilder b;
+  b.begin_function("main");
+  b.mov_ri(Reg::R1, 0x5A5A);
+  b.mov_ri(Reg::R4, 0x5A5A);
+  b.mov_ri(Reg::R5, 0x5A5A);
+  b.xor_ri(Reg::R4, 1 << 13);  // the SEU: one copy diverges
+  isa::EmitTmrVote(b, Reg::R1, Reg::R4, Reg::R5, Reg::R6);
+  // All three copies must equal the original value again; exit with the
+  // xor-fold so any residue is visible in the exit code.
+  b.mov_rr(Reg::R0, Reg::R1);
+  b.xor_rr(Reg::R0, Reg::R4);
+  b.xor_rr(Reg::R0, Reg::R5);
+  b.xor_ri(Reg::R0, 0x5A5A);
+  b.halt();
+  b.end_function();
+  auto result = test::RunProgram(sso::FromCodeUnit("tmr.so", b.Finish()),
+                                 "main");
+  EXPECT_EQ(result.state, vm::ProcState::Exited);
+  EXPECT_EQ(result.exit_code, 0);
+}
+
+TEST(Harden, DwcCheckCatchesADivergedPair) {
+  CodeBuilder b;
+  b.begin_function("main");
+  auto detect = b.new_label();
+  isa::DwcEmitter d(b, {{Reg::R1, Reg::R4}}, detect);
+  d.mov_ri(Reg::R1, 5);
+  b.xor_ri(Reg::R4, 1);  // the SEU: shadow copy flips
+  d.add_ri(Reg::R1, 3);  // both copies advance; divergence persists
+  d.check(Reg::R1);
+  b.mov_ri(Reg::R0, 0);
+  b.halt();
+  b.bind(detect);
+  b.mov_ri(Reg::R0, isa::kSeuDetectExitCode);
+  b.halt();
+  b.end_function();
+  auto result = test::RunProgram(sso::FromCodeUnit("dwc.so", b.Finish()),
+                                 "main");
+  EXPECT_EQ(result.state, vm::ProcState::Exited);
+  EXPECT_EQ(result.exit_code, isa::kSeuDetectExitCode);
+}
+
+TEST(Harden, FaultFreeGuestVariantsComputeTheSameResult) {
+  // The hardening transforms must be semantics-preserving: with no flip
+  // injected, all four variants reach the same checksum-derived exit code.
+  std::vector<int64_t> exits;
+  for (apps::HardeningMode mode :
+       {apps::HardeningMode::None, apps::HardeningMode::Dwc,
+        apps::HardeningMode::Cfcss, apps::HardeningMode::Tmr}) {
+    auto guest = apps::BuildSeuGuest(mode);
+    ASSERT_TRUE(guest.ok()) << apps::HardeningModeName(mode);
+    auto result = test::RunProgram(std::move(guest).take(),
+                                   apps::kSeuGuestEntry);
+    EXPECT_EQ(result.state, vm::ProcState::Exited)
+        << apps::HardeningModeName(mode) << ": " << result.fault;
+    exits.push_back(result.exit_code);
+  }
+  ASSERT_EQ(exits.size(), 4u);
+  EXPECT_EQ(exits[0], exits[1]);
+  EXPECT_EQ(exits[0], exits[2]);
+  EXPECT_EQ(exits[0], exits[3]);
+  EXPECT_NE(exits[0], isa::kSeuDetectExitCode);
+}
+
+TEST(Harden, CfcssRewriteIsWellFormed) {
+  auto guest = apps::BuildSeuGuest(apps::HardeningMode::Cfcss);
+  ASSERT_TRUE(guest.ok());
+  // The rewrite appends the signature word (data grows) and the detect
+  // handler (a new local symbol).
+  auto baseline = apps::BuildSeuGuest(apps::HardeningMode::None);
+  ASSERT_TRUE(baseline.ok());
+  EXPECT_GT(guest.value().data.size(), baseline.value().data.size());
+  bool has_detect = false;
+  for (const isa::Symbol& sym : guest.value().locals) {
+    if (sym.name == "__cfcss_detect") has_detect = true;
+  }
+  EXPECT_TRUE(has_detect);
+}
+
+// ---- campaign identity: engines, jobs, snapshots, fabric -------------------
+
+CampaignOptions SeuOptions() {
+  CampaignOptions opts;
+  opts.jobs = 1;
+  opts.entry = apps::kSeuGuestEntry;
+  opts.collect_state_digest = true;
+  opts.collect_replays = true;
+  return opts;
+}
+
+campaign::CampaignRunner MakeRunner(CampaignOptions opts) {
+  return campaign::CampaignRunner(
+      apps::SeuGuestMachineSetup(apps::HardeningMode::None), {}, opts);
+}
+
+/// A small sweep over registers + data with a fixed golden yardstick.
+std::vector<Scenario> SmallSweep(const campaign::GoldenRun& golden,
+                                 size_t samples) {
+  auto guest = apps::BuildSeuGuest(apps::HardeningMode::None);
+  campaign::SeuSweepSpec space;
+  space.instants_to = golden.instructions - 1;
+  space.samples = samples;
+  space.seed = 3;
+  space.stack = true;
+  space.data = true;
+  space.data_module = apps::kSeuGuestModule;
+  space.data_bytes = guest.value().data.size();
+  return campaign::BuildSeuSweep(space);
+}
+
+campaign::GoldenRun Golden() {
+  campaign::CampaignRunner runner = MakeRunner(SeuOptions());
+  Scenario golden_scenario;
+  golden_scenario.name = "golden";
+  CampaignReport report = runner.Run({golden_scenario});
+  campaign::GoldenRun golden = campaign::GoldenFrom(report.results.front());
+  EXPECT_EQ(golden.status, campaign::ScenarioStatus::Exited);
+  EXPECT_GT(golden.instructions, 0u);
+  return golden;
+}
+
+/// The SEU identity contract: everything a verdict is built from.
+void ExpectSameSeuResults(const CampaignReport& a, const CampaignReport& b,
+                          const char* label) {
+  ASSERT_EQ(a.results.size(), b.results.size()) << label;
+  for (size_t i = 0; i < a.results.size(); ++i) {
+    const ScenarioResult& ra = a.results[i];
+    const ScenarioResult& rb = b.results[i];
+    EXPECT_EQ(ra.name, rb.name) << label << " scenario " << i;
+    EXPECT_EQ(ra.status, rb.status) << label << " " << ra.name;
+    EXPECT_EQ(ra.exit_code, rb.exit_code) << label << " " << ra.name;
+    EXPECT_EQ(ra.signal, rb.signal) << label << " " << ra.name;
+    EXPECT_EQ(ra.instructions, rb.instructions) << label << " " << ra.name;
+    EXPECT_EQ(ra.state_digest, rb.state_digest) << label << " " << ra.name;
+    EXPECT_EQ(ra.seu_landed, rb.seu_landed) << label << " " << ra.name;
+    EXPECT_EQ(ra.fault_message, rb.fault_message) << label << " " << ra.name;
+    EXPECT_EQ(ra.replay.ToXml(), rb.replay.ToXml()) << label << " " << ra.name;
+  }
+}
+
+TEST(SeuCampaign, BitIdenticalAcrossEngines) {
+  campaign::GoldenRun golden = Golden();
+  std::vector<Scenario> sweep = SmallSweep(golden, 16);
+  CampaignOptions opts = SeuOptions();
+  opts.exec_mode = vm::ExecMode::Superblock;
+  CampaignReport superblock = MakeRunner(opts).Run(sweep);
+  opts.exec_mode = vm::ExecMode::Predecoded;
+  CampaignReport predecoded = MakeRunner(opts).Run(sweep);
+  opts.exec_mode = vm::ExecMode::Reference;
+  CampaignReport reference = MakeRunner(opts).Run(sweep);
+  ExpectSameSeuResults(superblock, predecoded, "superblock-vs-predecoded");
+  ExpectSameSeuResults(superblock, reference, "superblock-vs-reference");
+  // And the classified report (the CLI's stdout) is textually identical.
+  EXPECT_EQ(campaign::ClassifyCampaign(superblock, golden,
+                                       isa::kSeuDetectExitCode)
+                .ToText(),
+            campaign::ClassifyCampaign(reference, golden,
+                                       isa::kSeuDetectExitCode)
+                .ToText());
+  // The sweep must exercise real outcomes for identity to mean much.
+  campaign::SeuCounts counts =
+      campaign::ClassifyCampaign(superblock, golden, isa::kSeuDetectExitCode)
+          .counts;
+  EXPECT_GT(counts.total - counts.not_landed, 0u);
+}
+
+TEST(SeuCampaign, BitIdenticalAcrossJobsAndSnapshotModes) {
+  campaign::GoldenRun golden = Golden();
+  std::vector<Scenario> sweep = SmallSweep(golden, 16);
+  CampaignReport baseline = MakeRunner(SeuOptions()).Run(sweep);
+
+  CampaignOptions jobs4 = SeuOptions();
+  jobs4.jobs = 4;
+  ExpectSameSeuResults(baseline, MakeRunner(jobs4).Run(sweep), "jobs-1-vs-4");
+
+  CampaignOptions snap = SeuOptions();
+  snap.snapshot = true;
+  snap.warmup_instructions = 500;
+  CampaignOptions tree = SeuOptions();
+  tree.snapshot_tree = true;
+  tree.warmup_instructions = 500;
+  CampaignOptions cold = SeuOptions();
+  cold.warmup_instructions = 500;
+  CampaignReport cold_report = MakeRunner(cold).Run(sweep);
+  ExpectSameSeuResults(cold_report, MakeRunner(snap).Run(sweep),
+                       "cold-vs-snapshot");
+  ExpectSameSeuResults(cold_report, MakeRunner(tree).Run(sweep),
+                       "cold-vs-tree");
+}
+
+TEST(SeuCampaign, ReplayReproducesTheFlip) {
+  campaign::GoldenRun golden = Golden();
+  std::vector<Scenario> sweep = SmallSweep(golden, 16);
+  campaign::CampaignRunner runner = MakeRunner(SeuOptions());
+  CampaignReport report = runner.Run(sweep);
+  // Every flip scenario's replay plan carries its <seu> — re-running the
+  // replay must reproduce the identical outcome, digest included.
+  size_t replayed = 0;
+  std::vector<Scenario> replays;
+  std::vector<const ScenarioResult*> originals;
+  for (const ScenarioResult& r : report.results) {
+    if (r.seu_landed == 0) continue;
+    ASSERT_EQ(r.replay.seus.size(), 1u) << r.name;
+    Scenario again;
+    again.name = r.name;
+    again.plan = r.replay;
+    replays.push_back(std::move(again));
+    originals.push_back(&r);
+    ++replayed;
+  }
+  ASSERT_GT(replayed, 0u);
+  CampaignReport second = runner.Run(replays);
+  ASSERT_EQ(second.results.size(), replayed);
+  for (size_t i = 0; i < replayed; ++i) {
+    EXPECT_EQ(second.results[i].status, originals[i]->status);
+    EXPECT_EQ(second.results[i].exit_code, originals[i]->exit_code);
+    EXPECT_EQ(second.results[i].state_digest, originals[i]->state_digest);
+    EXPECT_EQ(second.results[i].seu_landed, originals[i]->seu_landed);
+  }
+}
+
+TEST(SeuFabric, WorkerMatchesInProcess) {
+  campaign::GoldenRun golden = Golden();
+  std::vector<Scenario> sweep = SmallSweep(golden, 12);
+
+  serve::TargetSpec spec;
+  spec.modules.push_back(libc::BuildLibc().Serialize());
+  auto guest = apps::BuildSeuGuest(apps::HardeningMode::None);
+  ASSERT_TRUE(guest.ok());
+  spec.modules.push_back(guest.value().Serialize());
+
+  CampaignOptions opts = SeuOptions();
+  auto setup = serve::MakeSetup(spec);
+  ASSERT_TRUE(setup.ok());
+  campaign::CampaignRunner local(std::move(setup).take(), {}, opts);
+  CampaignReport baseline = local.Run(sweep);
+
+  auto worker = serve::SpawnLocalWorker();
+  ASSERT_TRUE(worker.ok()) << worker.error();
+  serve::FabricOptions fabric_opts;
+  fabric_opts.batch_size = 3;
+  serve::FabricCoordinator fabric(spec, {}, opts, fabric_opts);
+  ASSERT_TRUE(fabric.AddWorkerFd(worker.value().fd, "w1").ok());
+  CampaignReport distributed = fabric.Run(sweep);
+  EXPECT_GT(fabric.stats().scenarios_remote, 0u);
+  ExpectSameSeuResults(baseline, distributed, "local-vs-fabric");
+  ::waitpid(worker.value().pid, nullptr, WNOHANG);
+}
+
+TEST(SeuSearch, DirectedSearchFindsAndDedupesFlips) {
+  campaign::GoldenRun golden = Golden();
+  auto guest = apps::BuildSeuGuest(apps::HardeningMode::None);
+  campaign::SeuSweepSpec space;
+  space.instants_to = golden.instructions - 1;
+  space.seed = 3;
+  space.data = true;
+  space.data_module = apps::kSeuGuestModule;
+  space.data_bytes = guest.value().data.size();
+
+  campaign::CampaignRunner runner = MakeRunner(SeuOptions());
+  campaign::SeuSearchOptions sopts;
+  sopts.rounds = 2;
+  sopts.per_round = 12;
+  sopts.detect_exit_code = isa::kSeuDetectExitCode;
+  campaign::SeuSearchResult found =
+      campaign::SdcDirectedSearch(runner, space, golden, sopts);
+  EXPECT_EQ(found.rounds_run, 2u);
+  EXPECT_EQ(found.report.counts.total, found.report.verdicts.size());
+  // Names are unique: the search never re-runs a flip it has seen.
+  std::set<std::string> names;
+  for (const campaign::SeuVerdict& v : found.report.verdicts) {
+    // Strip the "seu-NNNN-" discovery-index prefix: the flip key itself
+    // must be unique.
+    EXPECT_TRUE(names.insert(v.name.substr(9)).second) << v.name;
+  }
+  // SDC scenarios carry their flip and re-classify as SDC.
+  if (!found.sdc_scenarios.empty()) {
+    CampaignReport again = runner.Run(found.sdc_scenarios);
+    campaign::SeuCampaignReport classified = campaign::ClassifyCampaign(
+        again, golden, isa::kSeuDetectExitCode);
+    EXPECT_EQ(classified.counts.sdc, found.sdc_scenarios.size());
+  }
+}
+
+}  // namespace
+}  // namespace lfi

@@ -44,6 +44,23 @@ core::Plan SamplePlan() {
   mod.value = -10;
   t2.modifications.push_back(mod);
   plan.triggers.push_back(t2);
+  core::SeuFault seu;
+  seu.target = core::SeuFault::Target::Data;
+  seu.module = "app.so";
+  seu.offset = 0x48;
+  seu.bit = 63;
+  seu.at_instruction = 0xFFFF'FFFF'0ull;
+  seu.pid = 2;
+  seu.window_module = "libc.so";
+  seu.window_begin = 0x100;
+  seu.window_end = 0x180;
+  plan.seus.push_back(seu);
+  core::SeuFault seu2;
+  seu2.target = core::SeuFault::Target::Reg;
+  seu2.reg = 9;
+  seu2.bit = 0;
+  seu2.at_instruction = 1;
+  plan.seus.push_back(seu2);
   return plan;
 }
 
@@ -75,6 +92,21 @@ void ExpectSamePlan(const core::Plan& a, const core::Plan& b) {
       EXPECT_EQ(ta.modifications[m].value, tb.modifications[m].value);
     }
   }
+  ASSERT_EQ(a.seus.size(), b.seus.size());
+  for (size_t i = 0; i < a.seus.size(); ++i) {
+    const core::SeuFault& sa = a.seus[i];
+    const core::SeuFault& sb = b.seus[i];
+    EXPECT_EQ(sa.target, sb.target);
+    EXPECT_EQ(sa.reg, sb.reg);
+    EXPECT_EQ(sa.offset, sb.offset);
+    EXPECT_EQ(sa.module, sb.module);
+    EXPECT_EQ(sa.bit, sb.bit);
+    EXPECT_EQ(sa.at_instruction, sb.at_instruction);
+    EXPECT_EQ(sa.pid, sb.pid);
+    EXPECT_EQ(sa.window_module, sb.window_module);
+    EXPECT_EQ(sa.window_begin, sb.window_begin);
+    EXPECT_EQ(sa.window_end, sb.window_end);
+  }
 }
 
 TEST(Wire, PlanRoundTripIsExact) {
@@ -87,14 +119,15 @@ TEST(Wire, PlanRoundTripIsExact) {
   ExpectSamePlan(SamplePlan(), decoded.value());
 }
 
-TEST(Wire, PlanSurvivesWhereXmlWouldNot) {
+TEST(Wire, BothTransportsPreserveProbabilityBits) {
   core::Plan plan = SamplePlan();
-  // Confirm the premise: the XML path (%g, 6 significant digits) loses
-  // this probability, so a fabric built on ToXml would not be
-  // byte-identical. The binary path must preserve it exactly.
+  // The XML path prints %.17g now, so it round-trips this probability
+  // exactly too — the wire stays binary anyway (byte identity by
+  // construction, not by printf/strtod agreeing), and both transports
+  // must deliver the same bits.
   auto xml_round = core::Plan::FromXml(plan.ToXml());
   ASSERT_TRUE(xml_round.ok());
-  EXPECT_NE(std::bit_cast<uint64_t>(plan.triggers[0].probability),
+  EXPECT_EQ(std::bit_cast<uint64_t>(plan.triggers[0].probability),
             std::bit_cast<uint64_t>(xml_round.value().triggers[0].probability));
   std::vector<uint8_t> buf;
   EncodePlan(buf, plan);
@@ -155,6 +188,7 @@ TEST(Wire, OptionsRoundTrip) {
   o.collect_replays = true;
   o.snapshot_tree = true;
   o.warmup_instructions = 4096;
+  o.collect_state_digest = true;
   o.exec_mode = vm::ExecMode::Predecoded;
   o.controller.log_backtraces = false;
   o.controller.log_capacity = 42;
@@ -176,6 +210,7 @@ TEST(Wire, OptionsRoundTrip) {
   EXPECT_EQ(d.snapshot, o.snapshot);
   EXPECT_EQ(d.snapshot_tree, o.snapshot_tree);
   EXPECT_EQ(d.warmup_instructions, o.warmup_instructions);
+  EXPECT_EQ(d.collect_state_digest, o.collect_state_digest);
   EXPECT_EQ(d.exec_mode, o.exec_mode);
   EXPECT_EQ(d.controller.log_enabled, o.controller.log_enabled);
   EXPECT_EQ(d.controller.log_backtraces, o.controller.log_backtraces);
@@ -231,6 +266,8 @@ TEST(Wire, ResultRoundTrip) {
   res.snapshot_fallback = true;
   res.restore_pages = 12;
   res.restore_nodes_walked = 2;
+  res.state_digest = 0x9999AAAABBBBCCCCull;
+  res.seu_landed = 1;
 
   std::vector<uint8_t> buf;
   EncodeResult(buf, res);
@@ -260,6 +297,36 @@ TEST(Wire, ResultRoundTrip) {
   EXPECT_EQ(d.snapshot_fallback, res.snapshot_fallback);
   EXPECT_EQ(d.restore_pages, res.restore_pages);
   EXPECT_EQ(d.restore_nodes_walked, res.restore_nodes_walked);
+  EXPECT_EQ(d.state_digest, res.state_digest);
+  EXPECT_EQ(d.seu_landed, res.seu_landed);
+}
+
+TEST(Wire, PlanRejectsBadSeuFields) {
+  // A malformed peer must not smuggle an out-of-range target or bit index
+  // past the decoder: corrupt the encoded bytes and expect errors.
+  core::Plan plan;
+  core::SeuFault seu;
+  seu.target = core::SeuFault::Target::Reg;
+  seu.reg = 3;
+  seu.bit = 17;
+  seu.at_instruction = 5;
+  plan.seus.push_back(seu);
+  std::vector<uint8_t> good;
+  EncodePlan(good, plan);
+
+  // Layout after the (empty) trigger section: seu count u32, then
+  // target u8 at a fixed offset.
+  size_t target_off = 8 + 4 + 4;  // seed + trigger count + seu count
+  std::vector<uint8_t> bad = good;
+  bad[target_off] = 7;  // no such target
+  Reader r1(bad);
+  EXPECT_FALSE(DecodePlan(r1).ok());
+
+  bad = good;
+  size_t bit_off = target_off + 1 + 8 + 8 + 4;  // + target, reg, offset, str
+  bad[bit_off] = 64;  // bit out of range
+  Reader r2(bad);
+  EXPECT_FALSE(DecodePlan(r2).ok());
 }
 
 TEST(Wire, ConfigureRoundTrip) {

@@ -23,13 +23,16 @@
 #include <string>
 #include <vector>
 
+#include "apps/seu_guest.hpp"
 #include "apps/workloads.hpp"
 #include "campaign/explorer.hpp"
 #include "campaign/runner.hpp"
+#include "campaign/seu.hpp"
 #include "core/controller.hpp"
 #include "core/profiler.hpp"
 #include "core/scenario_gen.hpp"
 #include "isa/codebuilder.hpp"
+#include "isa/harden.hpp"
 #include "kernel/kernel_image.hpp"
 #include "libc/libc_builder.hpp"
 #include "serve/coordinator.hpp"
@@ -693,6 +696,236 @@ int CmdCampaign(const std::vector<std::string>& args) {
   return report.crashes > 0 ? 3 : 0;
 }
 
+// lfi seu: single-event-upset campaign — flip one bit per scenario and
+// classify each run against the fault-free golden run. Targets either an
+// .sso app (--app) or the built-in hardened evaluation guest (--guest
+// none|dwc|cfcss|tmr). Everything on stdout is jobs- and engine-invariant
+// (CI diffs it); exit codes: 0 = no silent corruption, 3 = at least one
+// SDC flip found, 1 = usage/setup error.
+int CmdSeu(const std::vector<std::string>& args) {
+  std::string app_path, guest_name, entry = "main", sdc_out;
+  std::vector<std::string> lib_paths, vfs_files;
+  uint64_t flips = 64, seed = 1, rounds = 4;
+  bool sdc_search = false;
+  bool want_reg = true, want_stack = true, want_heap = false,
+       want_data = false;
+  campaign::CampaignOptions opts;
+  FabricSpec fabric_spec;
+  for (size_t i = 0; i < args.size(); ++i) {
+    auto next = [&]() -> std::string {
+      return i + 1 < args.size() ? args[++i] : std::string();
+    };
+    if (args[i] == "--app") app_path = next();
+    else if (args[i] == "--guest") guest_name = next();
+    else if (args[i] == "--entry") entry = next();
+    else if (args[i] == "--lib") lib_paths.push_back(next());
+    else if (args[i] == "--file") vfs_files.push_back(next());
+    else if (args[i] == "--snapshot") opts.snapshot = true;
+    else if (args[i] == "--snapshot-tree") opts.snapshot_tree = true;
+    else if (args[i] == "--sdc-search") sdc_search = true;
+    else if (args[i] == "--exec") {
+      std::string name = next();
+      auto mode = vm::ParseExecMode(name);
+      if (!mode) {
+        return Fail("seu: unknown --exec engine \"" + name +
+                    "\" (superblock, predecoded, or reference)");
+      }
+      opts.exec_mode = *mode;
+    }
+    else if (args[i] == "--targets") {
+      // Comma-separated subset of reg,stack,heap,data.
+      want_reg = want_stack = want_heap = want_data = false;
+      std::string list = next();
+      size_t begin = 0;
+      while (begin <= list.size()) {
+        size_t end = list.find(',', begin);
+        if (end == std::string::npos) end = list.size();
+        std::string item = list.substr(begin, end - begin);
+        if (item == "reg") want_reg = true;
+        else if (item == "stack") want_stack = true;
+        else if (item == "heap") want_heap = true;
+        else if (item == "data") want_data = true;
+        else {
+          return Fail("seu: --targets wants reg,stack,heap,data; got \"" +
+                      item + "\"");
+        }
+        if (end == list.size()) break;
+        begin = end + 1;
+      }
+      if (!want_reg && !want_stack && !want_heap && !want_data) {
+        return Fail("seu: --targets needs at least one target");
+      }
+    }
+    else if (args[i] == "--flips" || args[i] == "--seed" ||
+             args[i] == "--jobs" || args[i] == "--budget" ||
+             args[i] == "--warmup" || args[i] == "--rounds") {
+      std::string flag = args[i];
+      uint64_t max = (flag == "--flips" || flag == "--jobs" ||
+                      flag == "--rounds")
+                         ? 1'000'000
+                         : UINT64_MAX;
+      auto v = ParseCountFlag(flag, next(), max);
+      if (!v.ok()) return Fail("seu: " + v.error());
+      if (flag == "--flips") {
+        if (v.value() == 0) return Fail("seu: --flips must be > 0");
+        flips = v.value();
+      } else if (flag == "--seed") seed = v.value();
+      else if (flag == "--jobs") opts.jobs = static_cast<int>(v.value());
+      else if (flag == "--budget") {
+        if (v.value() == 0) return Fail("seu: --budget must be > 0");
+        opts.max_instructions = v.value();
+      }
+      else if (flag == "--warmup") opts.warmup_instructions = v.value();
+      else if (flag == "--rounds") {
+        if (v.value() == 0) return Fail("seu: --rounds must be > 0");
+        rounds = v.value();
+      }
+    }
+    else if (args[i] == "--sdc-out") {
+      sdc_out = next();
+      if (sdc_out.empty() || sdc_out.rfind("--", 0) == 0) {
+        return Fail("seu: --sdc-out needs a directory path, got \"" +
+                    sdc_out + "\"");
+      }
+    }
+    else if (args[i] == "--workers") {
+      auto v = ParseCountFlag("--workers", next(), 64);
+      if (!v.ok()) return Fail("seu: " + v.error());
+      fabric_spec.workers = v.value();
+    }
+    else if (args[i] == "--connect") {
+      if (auto st = ParseConnectList(next(), &fabric_spec); !st.ok()) {
+        return Fail("seu: " + st.error());
+      }
+    } else {
+      return Fail("seu: unknown argument " + args[i]);
+    }
+  }
+  if (app_path.empty() == guest_name.empty()) {
+    return Fail("seu: need exactly one of --app <sso> or --guest "
+                "none|dwc|cfcss|tmr");
+  }
+
+  TargetImage target_image;
+  if (!guest_name.empty()) {
+    apps::HardeningMode mode;
+    if (guest_name == "none") mode = apps::HardeningMode::None;
+    else if (guest_name == "dwc") mode = apps::HardeningMode::Dwc;
+    else if (guest_name == "cfcss") mode = apps::HardeningMode::Cfcss;
+    else if (guest_name == "tmr") mode = apps::HardeningMode::Tmr;
+    else {
+      return Fail("seu: unknown --guest \"" + guest_name +
+                  "\" (none, dwc, cfcss, or tmr)");
+    }
+    auto guest = apps::BuildSeuGuest(mode);
+    if (!guest.ok()) return Fail("seu: " + guest.error());
+    target_image.libc_so =
+        std::make_shared<const sso::SharedObject>(libc::BuildLibc());
+    target_image.libs = std::make_shared<std::vector<sso::SharedObject>>();
+    target_image.libs->push_back(std::move(guest).take());
+    auto libc_so = target_image.libc_so;
+    auto libs = target_image.libs;
+    target_image.setup = [libc_so, libs](vm::Machine& machine) {
+      machine.Load(*libc_so);
+      for (const sso::SharedObject& so : *libs) machine.Load(so);
+    };
+  } else {
+    auto target = BuildTarget(app_path, lib_paths, vfs_files);
+    if (!target.ok()) return Fail(target.error());
+    target_image = std::move(target).take();
+  }
+
+  opts.entry = entry;
+  opts.collect_state_digest = true;
+  // No fault profiles: SEU campaigns perturb state directly; the trigger
+  // machinery stays idle.
+  std::vector<core::FaultProfile> profiles;
+  auto fabric =
+      BuildFabric(fabric_spec, target_image, vfs_files, profiles, opts);
+  campaign::CampaignRunner runner(target_image.setup, profiles, opts);
+  campaign::ScenarioDispatch& dispatch =
+      fabric ? static_cast<campaign::ScenarioDispatch&>(*fabric)
+             : static_cast<campaign::ScenarioDispatch&>(runner);
+
+  // Golden run: the same scenario with no faults. Every flip is judged
+  // against its exit code and architectural state digest.
+  campaign::Scenario golden_scenario;
+  golden_scenario.name = "golden";
+  campaign::CampaignReport golden_report = dispatch.Run({golden_scenario});
+  if (golden_report.results.empty()) return Fail("seu: golden run produced no result");
+  campaign::GoldenRun golden =
+      campaign::GoldenFrom(golden_report.results.front());
+  if (golden.status != campaign::ScenarioStatus::Exited) {
+    return Fail("seu: golden run did not exit cleanly; cannot classify flips");
+  }
+  std::printf("golden: exit=%lld instructions=%llu digest=%016llx\n",
+              (long long)golden.exit_code,
+              (unsigned long long)golden.instructions,
+              (unsigned long long)golden.state_digest);
+
+  campaign::SeuSweepSpec space;
+  space.instants_from = 0;
+  space.instants_to = golden.instructions > 0 ? golden.instructions - 1 : 0;
+  space.samples = static_cast<size_t>(flips);
+  space.seed = seed;
+  space.regs = want_reg;
+  space.stack = want_stack;
+  space.heap = want_heap;
+  space.data = want_data;
+  if (want_data) {
+    const sso::SharedObject& app_so = target_image.libs->back();
+    space.data_module = app_so.name;
+    space.data_bytes = app_so.data.size();
+    if (space.data_bytes < 8) {
+      return Fail("seu: --targets data, but " + app_so.name +
+                  " has no flippable data section");
+    }
+  }
+
+  campaign::SeuCampaignReport report;
+  std::vector<campaign::Scenario> sdc_scenarios;
+  if (sdc_search) {
+    campaign::SeuSearchOptions sopts;
+    sopts.rounds = static_cast<size_t>(rounds);
+    sopts.per_round = static_cast<size_t>(flips);
+    sopts.detect_exit_code = isa::kSeuDetectExitCode;
+    campaign::SeuSearchResult found =
+        campaign::SdcDirectedSearch(dispatch, space, golden, sopts);
+    report = std::move(found.report);
+    sdc_scenarios = std::move(found.sdc_scenarios);
+    std::printf("sdc-search: %zu round(s)\n", found.rounds_run);
+  } else {
+    std::vector<campaign::Scenario> sweep = campaign::BuildSeuSweep(space);
+    campaign::CampaignReport raw = dispatch.Run(sweep);
+    report = campaign::ClassifyCampaign(raw, golden, isa::kSeuDetectExitCode);
+    for (size_t i = 0; i < report.verdicts.size(); ++i) {
+      if (report.verdicts[i].outcome == campaign::SeuOutcome::Sdc) {
+        sdc_scenarios.push_back(sweep[i]);
+      }
+    }
+  }
+  std::printf("%s", report.ToText().c_str());
+  if (fabric) PrintFabricStats(fabric->stats());
+
+  // Persist SDC reproducers as plan XML (replayable with `lfi test`-style
+  // tooling or a follow-up sweep): one file per silent corruption.
+  if (!sdc_out.empty() && !sdc_scenarios.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(sdc_out, ec);
+    if (ec) return Fail("cannot create " + sdc_out + ": " + ec.message());
+    for (size_t i = 0; i < sdc_scenarios.size(); ++i) {
+      std::string xml = sdc_scenarios[i].plan.ToXml();
+      std::string path = sdc_out + Format("/sdc-%04zu.xml", i);
+      if (!WriteFile(path, xml.data(), xml.size())) {
+        return Fail("cannot write " + path);
+      }
+    }
+    std::fprintf(stderr, "%zu sdc reproducer(s) -> %s\n",
+                 sdc_scenarios.size(), sdc_out.c_str());
+  }
+  return report.counts.sdc > 0 ? 3 : 0;
+}
+
 /// Regular files in `dir` named `<prefix>...xml`, sorted by path (the
 /// explore corpus layout: plan-NNNN.xml and crash-<hash>.xml).
 std::vector<std::string> ListCorpusFiles(const std::string& dir,
@@ -924,6 +1157,14 @@ int main(int argc, char** argv) {
         "       [--warmup instructions]\n"
         "       [--exec superblock|predecoded|reference]\n"
         "       [--workers N] [--connect host:port[,host:port...]]\n"
+        "  seu (--app <sso> | --guest none|dwc|cfcss|tmr) [--flips N]\n"
+        "       [--seed n] [--jobs N] [--targets reg,stack,heap,data]\n"
+        "       [--entry sym] [--lib sso]... [--file path]...\n"
+        "       [--budget instructions] [--warmup instructions]\n"
+        "       [--snapshot | --snapshot-tree]\n"
+        "       [--exec superblock|predecoded|reference]\n"
+        "       [--sdc-search] [--rounds N] [--sdc-out dir]\n"
+        "       [--workers N] [--connect host:port[,host:port...]]\n"
         "  serve [--port N] [--jobs N] [--once] [--abort-after N]\n");
     return 1;
   }
@@ -936,6 +1177,7 @@ int main(int argc, char** argv) {
   if (cmd == "test") return CmdTest(args);
   if (cmd == "campaign") return CmdCampaign(args);
   if (cmd == "explore") return CmdExplore(args);
+  if (cmd == "seu") return CmdSeu(args);
   if (cmd == "serve") return CmdServe(args);
   return Fail("unknown command: " + cmd);
 }
