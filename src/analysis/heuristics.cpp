@@ -1,6 +1,7 @@
 #include "analysis/heuristics.hpp"
 
 #include <algorithm>
+#include <set>
 
 namespace lfi::analysis {
 
@@ -28,6 +29,55 @@ FunctionSummary ApplyHeuristics(const FunctionSummary& summary,
   }
 
   return out;
+}
+
+std::vector<size_t> ErrorHandlingBlocks(const Cfg& cfg) {
+  std::set<size_t> out;
+  for (size_t i = 0; i < cfg.blocks.size(); ++i) {
+    const BasicBlock& b = cfg.blocks[i];
+    // Abort handlers are error handling by definition.
+    for (const isa::Instr& ins : b.instrs) {
+      if (ins.op == isa::Opcode::ABORT) {
+        out.insert(i);
+        break;
+      }
+    }
+    if (b.instrs.empty()) continue;
+    const isa::Instr& last = b.instrs.back();
+    if (!last.is_cond_branch()) continue;
+    // The branch must be guarded by a constant test of the return register
+    // against an error-shaped constant (<= 0; negative retvals and NULL).
+    // The last flag write in the block is the one the branch reads.
+    const isa::Instr* cmp = nullptr;
+    for (const isa::Instr& ins : b.instrs) {
+      if (ins.op == isa::Opcode::CMP_RI || ins.op == isa::Opcode::CMP_RR) {
+        cmp = &ins;
+      }
+    }
+    if (cmp == nullptr || cmp->op != isa::Opcode::CMP_RI) continue;
+    if (cmp->a != isa::Reg::R0 || cmp->imm > 0) continue;
+    // The failure side is taken when R0 is negative / equals the error
+    // constant: success-jump shapes fall through into the handler,
+    // failure-jump shapes branch into it.
+    uint32_t fail_offset = 0;
+    switch (last.op) {
+      case isa::Opcode::JGE:
+      case isa::Opcode::JGT:
+      case isa::Opcode::JNE:
+        fail_offset = last.offset + last.size;
+        break;
+      case isa::Opcode::JLT:
+      case isa::Opcode::JLE:
+      case isa::Opcode::JE:
+        fail_offset = last.rel_target();
+        break;
+      default:
+        continue;
+    }
+    size_t fail = cfg.block_starting_at(fail_offset);
+    if (fail != SIZE_MAX) out.insert(fail);
+  }
+  return std::vector<size_t>(out.begin(), out.end());
 }
 
 }  // namespace lfi::analysis

@@ -26,4 +26,18 @@ struct HeuristicOptions {
 FunctionSummary ApplyHeuristics(const FunctionSummary& summary,
                                 const HeuristicOptions& opts);
 
+/// Indices of `cfg`'s blocks that look like error-handling code — the
+/// recovery paths fault injection exists to execute:
+///   - the failure-side successor of an error check: a block ending in a
+///     conditional branch guarded by a constant compare against the return
+///     register (cmp R0, k with k <= 0 — the shape retval checks compile
+///     to). Which successor is the failure side follows the condition:
+///     success-jump shapes (JGE/JGT/JNE) fail into the fall-through,
+///     failure-jump shapes (JLT/JLE/JE) fail into the branch target.
+///   - any block containing ABORT (assertion/abort handlers).
+/// Deterministic: ascending block indices, no duplicates. Used by the
+/// explorer's CFG-distance fitness and the directed-exploration bench, so
+/// both count "error-handling blocks" identically.
+std::vector<size_t> ErrorHandlingBlocks(const Cfg& cfg);
+
 }  // namespace lfi::analysis

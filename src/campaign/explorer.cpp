@@ -98,6 +98,7 @@ Explorer::Explorer(MachineSetup setup,
       options_(std::move(options)) {
   if (options_.rounds == 0) options_.rounds = 1;
   if (options_.scenarios_per_round == 0) options_.scenarios_per_round = 1;
+  fitness_ = MakeFitness(options_.fitness, setup_);
   sweep_ = BuildSweep();
 }
 
@@ -166,7 +167,8 @@ core::Plan Explorer::Mutate(const core::Plan& parent, const core::Plan& other,
             child.triggers[rng.below(child.triggers.size())];
         if (const core::FunctionProfile* fn =
                 FindFunction(profiles_, t.function)) {
-          auto injectables = fn->injectables();
+          auto injectables =
+              fn->injectables(options_.campaign.controller.feasible_only);
           if (!injectables.empty()) {
             auto [retval, errno_value] =
                 injectables[rng.below(injectables.size())];
@@ -328,7 +330,11 @@ std::vector<Scenario> Explorer::EvolvePopulation(
     Rng rng = SlotRng(options_.seed, round, k);
     Scenario s;
     if (k < havoc_n) {
-      size_t parent_index = rng.below(corpus.size());
+      // The fitness policy picks the parent; the splice partner stays a
+      // uniform draw in every mode. Each policy consumes a fixed number of
+      // RNG values, so the mutation stream that follows is aligned no
+      // matter which policy ran.
+      size_t parent_index = fitness_->SelectParent(corpus.size(), rng);
       const core::Plan& parent = corpus[parent_index];
       const core::Plan& other = corpus[rng.below(corpus.size())];
       const char* op = "mutate";
@@ -383,13 +389,23 @@ ExplorerReport Explorer::Explore(std::vector<core::Plan> initial_corpus) {
   // instant of its first injection when fork_windows is on, else the
   // campaign-wide warmup.
   std::vector<uint64_t> corpus_windows;
+  // corpus[i]'s own per-module coverage (parallel again), retained only
+  // when the fitness policy scores members by what they cover; empty maps
+  // otherwise.
+  std::vector<std::map<std::string, vm::CoverageBitmap>> corpus_coverage;
   std::map<std::string, vm::CoverageBitmap>& unioned = report.coverage;
   std::map<uint64_t, size_t> buckets;  // crash_hash -> index into crashes
 
   for (size_t round = 0; round < options_.rounds; ++round) {
-    std::vector<Scenario> population =
-        round == 0 ? SeedPopulation(initial_corpus)
-                   : EvolvePopulation(corpus, corpus_windows, round);
+    std::vector<Scenario> population;
+    if (round == 0) {
+      population = SeedPopulation(initial_corpus);
+    } else {
+      // Let the fitness policy rescore the corpus against what is still
+      // uncovered before this round's parents are chosen.
+      fitness_->BeginRound(corpus_coverage, unioned);
+      population = EvolvePopulation(corpus, corpus_windows, round);
+    }
     CampaignReport creport = dispatch.Run(population);
 
     RoundStats rs;
@@ -423,6 +439,10 @@ ExplorerReport Explorer::Explore(std::vector<core::Plan> initial_corpus) {
           window = std::max(window, floored);
         }
         corpus_windows.push_back(window);
+        corpus_coverage.push_back(
+            fitness_->wants_corpus_coverage()
+                ? r.coverage
+                : std::map<std::string, vm::CoverageBitmap>{});
         rs.new_offsets += fresh_offsets;
         ++rs.winners;
       }

@@ -7,6 +7,10 @@
 // scored by how many instruction offsets it covers that no corpus member
 // covered before (CoverageBitmap diff against the corpus-union bitmap),
 // and winners are kept and mutated into the next round's population.
+// Which winners get mutated is the pluggable part: parent selection goes
+// through a campaign::Fitness policy (fitness.hpp) — uniform coverage
+// fitness by default, or CFG-distance fitness that steers mutation toward
+// still-uncovered error-handling blocks.
 // Crashes are deduplicated by triage hash (campaign/triage.hpp) and each
 // unique crash is shrunk to a minimal reproducer by replay-based delta
 // debugging (core::MinimizePlan) against a PlanRunner oracle.
@@ -27,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "campaign/fitness.hpp"
 #include "campaign/runner.hpp"
 #include "core/replay.hpp"
 #include "util/rng.hpp"
@@ -88,6 +93,12 @@ struct ExplorerOptions {
   /// error paths that no replace-the-call faultload can execute, which is
   /// where the explorer out-covers one-shot generation.
   double sweep_fraction = 0.34;
+  /// Parent-selection policy for mutation (fitness.hpp). Coverage is the
+  /// original uniform choice; CfgDistance biases toward corpus members
+  /// close (in CFG edges) to uncovered error-handling blocks. Admission
+  /// stays fresh-coverage-based in both modes, and either policy is
+  /// bit-identical across jobs counts, execution modes, and the fabric.
+  FitnessKind fitness = FitnessKind::Coverage;
   /// Shrink each unique crash to a minimal reproducer after the rounds.
   bool minimize_crashes = true;
   /// Fork mutated children from their corpus parent's trigger point: each
@@ -205,6 +216,8 @@ class Explorer {
   MachineSetup setup_;
   std::vector<core::FaultProfile> profiles_;
   ExplorerOptions options_;
+  /// Parent-selection policy (options_.fitness), built once in the ctor.
+  std::unique_ptr<Fitness> fitness_;
   /// Fixed sweep order, built once — it depends only on the profiles.
   std::vector<SweepCandidate> sweep_;
 };

@@ -1,0 +1,161 @@
+#include "campaign/fitness.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "analysis/cfg.hpp"
+#include "analysis/heuristics.hpp"
+#include "vm/machine.hpp"
+
+namespace lfi::campaign {
+
+namespace {
+
+constexpr size_t kUnreachable = SIZE_MAX;
+
+}  // namespace
+
+const char* FitnessKindName(FitnessKind kind) {
+  switch (kind) {
+    case FitnessKind::Coverage:
+      return "coverage";
+    case FitnessKind::CfgDistance:
+      return "cfg-distance";
+  }
+  return "?";
+}
+
+std::optional<FitnessKind> ParseFitnessKind(std::string_view name) {
+  if (name == "coverage") return FitnessKind::Coverage;
+  if (name == "cfg-distance") return FitnessKind::CfgDistance;
+  return std::nullopt;
+}
+
+size_t CoverageFitness::SelectParent(size_t corpus_size, Rng& rng) {
+  return rng.below(corpus_size);
+}
+
+CfgDistanceFitness::CfgDistanceFitness(const MachineSetup& setup) {
+  // A throwaway machine is the one place that knows which modules an
+  // exploration runs: apply the same setup, then walk the loader. The
+  // machine is discarded once the block graphs are extracted.
+  vm::Machine machine;
+  if (setup) setup(machine);
+  for (const auto& mod : machine.loader().modules()) {
+    const sso::SharedObject& so = mod->object;
+    ModuleGraph graph;
+    for (const isa::Symbol& fn : so.exports) {
+      auto result = analysis::BuildCfg(so, fn);
+      if (!result.ok()) continue;  // undecodable export: contributes nothing
+      const analysis::Cfg& cfg = result.value();
+      const size_t base = graph.block_begin.size();
+      for (const analysis::BasicBlock& b : cfg.blocks) {
+        graph.block_begin.push_back(b.begin);
+        std::vector<size_t> preds;
+        preds.reserve(b.preds.size());
+        for (size_t p : b.preds) preds.push_back(base + p);
+        graph.preds.push_back(std::move(preds));
+      }
+      for (size_t e : analysis::ErrorHandlingBlocks(cfg)) {
+        graph.error_blocks.push_back(base + e);
+      }
+    }
+    if (!graph.block_begin.empty()) {
+      graphs_.emplace(so.name, std::move(graph));
+    }
+  }
+}
+
+void CfgDistanceFitness::BeginRound(
+    const std::vector<std::map<std::string, vm::CoverageBitmap>>&
+        corpus_coverage,
+    const std::map<std::string, vm::CoverageBitmap>& unioned) {
+  const size_t n = corpus_coverage.size();
+  scores_.assign(n, 0.0);
+
+  // Per module: multi-source reverse BFS from the error-handling blocks
+  // the corpus has NOT reached yet. dist[b] = forward-CFG distance from
+  // block b to the nearest uncovered error block. Recomputed each round —
+  // as error blocks get covered they stop attracting, and the search
+  // moves on to the next frontier.
+  for (const auto& [name, graph] : graphs_) {
+    std::vector<size_t> dist(graph.block_begin.size(), kUnreachable);
+    std::deque<size_t> frontier;
+    const vm::CoverageBitmap* union_bm = nullptr;
+    if (auto it = unioned.find(name); it != unioned.end()) {
+      union_bm = &it->second;
+    }
+    for (size_t e : graph.error_blocks) {
+      const bool covered = union_bm && union_bm->Test(graph.block_begin[e]);
+      if (!covered && dist[e] == kUnreachable) {
+        dist[e] = 0;
+        frontier.push_back(e);
+      }
+    }
+    while (!frontier.empty()) {
+      size_t b = frontier.front();
+      frontier.pop_front();
+      for (size_t p : graph.preds[b]) {
+        if (dist[p] == kUnreachable) {
+          dist[p] = dist[b] + 1;
+          frontier.push_back(p);
+        }
+      }
+    }
+
+    // Score every member's covered blocks by proximity: sum of
+    // 1/(1+dist) in a fixed order (modules in map order here, blocks
+    // ascending below) so floating-point summation is identical on every
+    // worker topology.
+    for (size_t i = 0; i < n; ++i) {
+      auto it = corpus_coverage[i].find(name);
+      if (it == corpus_coverage[i].end()) continue;
+      const vm::CoverageBitmap& bm = it->second;
+      double score = 0.0;
+      for (size_t b = 0; b < graph.block_begin.size(); ++b) {
+        if (dist[b] == kUnreachable) continue;
+        if (bm.Test(graph.block_begin[b])) {
+          score += 1.0 / (1.0 + static_cast<double>(dist[b]));
+        }
+      }
+      scores_[i] += score;
+    }
+  }
+
+  // Rank best-first; ties (including the everything-covered case, where
+  // all scores are 0) break by corpus index — older members first, which
+  // is both deterministic and a reasonable seniority prior.
+  ranked_.resize(n);
+  for (size_t i = 0; i < n; ++i) ranked_[i] = i;
+  std::stable_sort(ranked_.begin(), ranked_.end(), [&](size_t a, size_t b) {
+    return scores_[a] > scores_[b];
+  });
+}
+
+size_t CfgDistanceFitness::SelectParent(size_t corpus_size, Rng& rng) {
+  // Tournament of two: ALWAYS two draws (fixed RNG consumption — the
+  // mutation stream after us depends on it), keep the better rank.
+  uint64_t a = rng.below(corpus_size);
+  uint64_t b = rng.below(corpus_size);
+  uint64_t rank = std::min(a, b);
+  // ranked_ tracks the corpus as of the last BeginRound; when selection
+  // outruns it (defensive — the explorer calls BeginRound every round),
+  // fall back to the rank itself, which is still a uniform-ish index.
+  if (rank < ranked_.size() && ranked_.size() == corpus_size) {
+    return ranked_[rank];
+  }
+  return static_cast<size_t>(rank);
+}
+
+std::unique_ptr<Fitness> MakeFitness(FitnessKind kind,
+                                     const MachineSetup& setup) {
+  switch (kind) {
+    case FitnessKind::CfgDistance:
+      return std::make_unique<CfgDistanceFitness>(setup);
+    case FitnessKind::Coverage:
+      break;
+  }
+  return std::make_unique<CoverageFitness>();
+}
+
+}  // namespace lfi::campaign

@@ -1,0 +1,126 @@
+// Pluggable explorer fitness: how parents are picked from the corpus.
+//
+// The explorer's original scoring — admit anything that covers a fresh
+// offset, pick mutation parents uniformly — is one policy among several.
+// This seam extracts parent selection behind an interface so directed
+// search strategies can ride the same evolutionary loop:
+//
+//   - CoverageFitness reproduces the original behavior exactly: uniform
+//     parent choice, one RNG draw per selection. Explorations run with it
+//     are bit-identical to the pre-seam explorer.
+//   - CfgDistanceFitness steers toward error handling (the code fault
+//     injection exists to execute, paper §6.1): it precomputes, per
+//     module, each basic block's CFG distance to the *uncovered*
+//     error-handling blocks (analysis::ErrorHandlingBlocks over every
+//     export's Cfg), scores each corpus member by the proximity of the
+//     blocks it covers, and biases parent choice toward high scorers.
+//
+// Determinism discipline (what keeps jobs-invariance and fabric
+// bit-identity): SelectParent must consume a FIXED number of RNG draws
+// per call — the per-slot mutation stream that follows it depends on the
+// draw count, not just the chosen index. Scores are computed in a fixed
+// order (modules in map order, blocks ascending) from jobs-invariant
+// inputs (corpus bitmaps, union bitmap), and ranking breaks ties by
+// corpus index — so every worker topology selects identical parents.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "campaign/runner.hpp"
+#include "util/rng.hpp"
+#include "vm/coverage.hpp"
+
+namespace lfi::campaign {
+
+enum class FitnessKind : uint8_t {
+  Coverage = 0,     // original: uniform parent choice
+  CfgDistance = 1,  // directed: bias toward uncovered error handling
+};
+
+const char* FitnessKindName(FitnessKind kind);
+/// Parse a `--fitness` value ("coverage" | "cfg-distance").
+std::optional<FitnessKind> ParseFitnessKind(std::string_view name);
+
+class Fitness {
+ public:
+  virtual ~Fitness() = default;
+
+  /// Round prologue, called before an evolved round's parent selections:
+  /// `corpus_coverage[i]` is corpus member i's per-module bitmap (parallel
+  /// to the corpus; empty maps when the policy does not request them) and
+  /// `unioned` the corpus-union coverage so far. Default: no-op.
+  virtual void BeginRound(
+      const std::vector<std::map<std::string, vm::CoverageBitmap>>&
+          corpus_coverage,
+      const std::map<std::string, vm::CoverageBitmap>& unioned) {
+    (void)corpus_coverage;
+    (void)unioned;
+  }
+
+  /// Pick a mutation parent in [0, corpus_size). Contract: consumes a
+  /// fixed number of `rng` draws per call for a given policy, regardless
+  /// of scores — the caller's RNG stream must stay aligned across rounds
+  /// and worker topologies.
+  virtual size_t SelectParent(size_t corpus_size, Rng& rng) = 0;
+
+  /// Whether the explorer should retain per-member coverage bitmaps for
+  /// BeginRound (they cost memory; only score-based policies need them).
+  virtual bool wants_corpus_coverage() const { return false; }
+};
+
+/// The original policy: uniform over the corpus, exactly one rng.below()
+/// per selection — bit-identical to the pre-seam explorer.
+class CoverageFitness : public Fitness {
+ public:
+  size_t SelectParent(size_t corpus_size, Rng& rng) override;
+};
+
+/// Directed policy: rank corpus members by proximity to uncovered
+/// error-handling blocks, then tournament-select (two uniform draws, keep
+/// the better rank) so low scorers still reproduce occasionally.
+class CfgDistanceFitness : public Fitness {
+ public:
+  /// Builds the per-module block graphs once, from a throwaway machine:
+  /// `setup` loads the same modules the exploration will run, and every
+  /// export's CFG contributes blocks, predecessor edges, and its
+  /// error-handling block set.
+  explicit CfgDistanceFitness(const MachineSetup& setup);
+
+  void BeginRound(const std::vector<std::map<std::string, vm::CoverageBitmap>>&
+                      corpus_coverage,
+                  const std::map<std::string, vm::CoverageBitmap>& unioned)
+      override;
+  size_t SelectParent(size_t corpus_size, Rng& rng) override;
+  bool wants_corpus_coverage() const override { return true; }
+
+  /// Scores computed by the last BeginRound, parallel to the corpus
+  /// (test/debug introspection).
+  const std::vector<double>& scores() const { return scores_; }
+
+ private:
+  /// One module's function CFGs flattened into a single block universe
+  /// (indices are module-global; edges never cross function boundaries).
+  struct ModuleGraph {
+    std::vector<uint32_t> block_begin;        // begin offset per block
+    std::vector<std::vector<size_t>> preds;   // reverse CFG edges
+    std::vector<size_t> error_blocks;         // ErrorHandlingBlocks, global
+  };
+
+  // std::map: deterministic module iteration order for score summation.
+  std::map<std::string, ModuleGraph> graphs_;
+  std::vector<double> scores_;   // per corpus member, last BeginRound
+  std::vector<size_t> ranked_;   // corpus indices, best score first
+};
+
+/// Factory for ExplorerOptions::fitness. `setup` is only used (and only
+/// then runs a throwaway machine build) for kinds that need the CFGs.
+std::unique_ptr<Fitness> MakeFitness(FitnessKind kind,
+                                     const MachineSetup& setup);
+
+}  // namespace lfi::campaign

@@ -77,7 +77,8 @@ Status Controller::Install(
   Uninstall();
   profiles_ = profiles ? std::move(profiles)
                        : std::make_shared<const std::vector<FaultProfile>>();
-  engine_ = std::make_unique<TriggerEngine>(plan, *profiles_);
+  engine_ =
+      std::make_unique<TriggerEngine>(plan, *profiles_, opts_.feasible_only);
 
   // Resolve every name exactly once, against the machine's symbol table:
   // the stubs below only ever touch dense ids and cached pointers.

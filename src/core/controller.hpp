@@ -34,6 +34,11 @@ struct ControllerOptions {
   bool log_backtraces = true;
   /// Cap on log records (0 = unlimited).
   size_t log_capacity = 100000;
+  /// Restrict profile-drawn injections to constprop-verified (Analyzed)
+  /// error codes for functions that have any; unanalyzed functions keep
+  /// their full code set. Rides in CampaignOptions so campaigns, the
+  /// explorer, and fabric workers all gate the same way.
+  bool feasible_only = false;
 };
 
 class Controller {

@@ -16,6 +16,14 @@ const char* SideEffectTypeName(ProfileSideEffect::Type t) {
   return "?";
 }
 
+const char* ProvenanceName(Provenance p) {
+  switch (p) {
+    case Provenance::Assumed: return "assumed";
+    case Provenance::Analyzed: return "analyzed";
+  }
+  return "?";
+}
+
 const ProfileErrorCode* FunctionProfile::error_code(int64_t retval) const {
   for (const auto& ec : error_codes) {
     if (ec.retval == retval) return &ec;
@@ -23,10 +31,23 @@ const ProfileErrorCode* FunctionProfile::error_code(int64_t retval) const {
   return nullptr;
 }
 
+bool FunctionProfile::has_analyzed_codes() const {
+  for (const auto& ec : error_codes) {
+    if (ec.provenance == Provenance::Analyzed) return true;
+  }
+  return false;
+}
+
 std::vector<std::pair<int64_t, std::optional<int64_t>>>
-FunctionProfile::injectables() const {
+FunctionProfile::injectables(bool feasible_only) const {
+  // Feasibility gate: only meaningful when the analysis vouched for at
+  // least one code — a purely hand-written profile keeps its full set.
+  const bool restrict_to_analyzed = feasible_only && has_analyzed_codes();
   std::vector<std::pair<int64_t, std::optional<int64_t>>> out;
   for (const auto& ec : error_codes) {
+    if (restrict_to_analyzed && ec.provenance != Provenance::Analyzed) {
+      continue;
+    }
     bool any = false;
     for (const auto& se : ec.side_effects) {
       if (se.type != ProfileSideEffect::Type::Tls) continue;
@@ -68,6 +89,11 @@ std::string FaultProfile::ToXml() const {
     for (const auto& ec : fn.error_codes) {
       xml::Node* enode = fnode->add_child("error-codes");
       enode->set_attr("retval", Format("%lld", (long long)ec.retval));
+      // Only analyzed provenance is spelled out; absence means assumed, so
+      // pre-provenance profiles parse unchanged.
+      if (ec.provenance == Provenance::Analyzed) {
+        enode->set_attr("provenance", "analyzed");
+      }
       for (const auto& se : ec.side_effects) {
         // One element per value, as in the paper's sample profile.
         if (se.values.empty()) {
@@ -115,6 +141,10 @@ Result<FaultProfile> FaultProfile::FromXml(std::string_view text) {
       auto retval = enode->attr_int("retval");
       if (!retval) return Err("profile: <error-codes> without retval");
       ec.retval = *retval;
+      std::string provenance = enode->attr_or("provenance", "assumed");
+      if (provenance == "analyzed") ec.provenance = Provenance::Analyzed;
+      else if (provenance == "assumed") ec.provenance = Provenance::Assumed;
+      else return Err("profile: bad provenance " + provenance);
       for (const xml::Node* snode : enode->children_named("side-effect")) {
         ProfileSideEffect se;
         std::string type = snode->attr_or("type", "TLS");

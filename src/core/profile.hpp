@@ -40,8 +40,19 @@ struct ProfileSideEffect {
 
 const char* SideEffectTypeName(ProfileSideEffect::Type t);
 
+/// Where an error code came from (the paper's doc-vs-binary distinction):
+/// `Analyzed` codes were recovered from the binary by reverse constant
+/// propagation — the function can actually return them — while `Assumed`
+/// codes were written by hand or imported from documentation and may be
+/// infeasible for this implementation. Feasible-only generation draws only
+/// from analyzed codes when a function has any.
+enum class Provenance : uint8_t { Assumed = 0, Analyzed = 1 };
+
+const char* ProvenanceName(Provenance p);
+
 struct ProfileErrorCode {
   int64_t retval = 0;
+  Provenance provenance = Provenance::Assumed;
   std::vector<ProfileSideEffect> side_effects;
 };
 
@@ -53,7 +64,13 @@ struct FunctionProfile {
   const ProfileErrorCode* error_code(int64_t retval) const;
   /// Flatten into injectable (retval, errno-value) pairs: one per TLS
   /// side-effect value, or a single (retval, nullopt) when none.
-  std::vector<std::pair<int64_t, std::optional<int64_t>>> injectables() const;
+  /// With `feasible_only`, restrict to constprop-verified (Analyzed) error
+  /// codes when the function has at least one — unanalyzed functions fall
+  /// back to the full set, so hand-written profiles keep working.
+  std::vector<std::pair<int64_t, std::optional<int64_t>>> injectables(
+      bool feasible_only = false) const;
+  /// Any error code carrying Analyzed provenance?
+  bool has_analyzed_codes() const;
 };
 
 struct FaultProfile {

@@ -15,6 +15,10 @@ FunctionProfile ToFunctionProfile(const analysis::FunctionSummary& summary) {
   for (const analysis::ErrorReturn& er : summary.returns) {
     ProfileErrorCode ec;
     ec.retval = er.value;
+    // Everything coming out of the analyzer is binary-derived: constprop
+    // proved the function can return this constant. Hand-edited profile
+    // additions stay at the default (Assumed) provenance.
+    ec.provenance = Provenance::Analyzed;
     for (const analysis::SideEffect& se : er.effects) {
       ProfileSideEffect pse;
       switch (se.kind) {

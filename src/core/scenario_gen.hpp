@@ -10,11 +10,17 @@ namespace lfi::core {
 
 /// Exhaustive scenario: every exported function with at least one error
 /// code is included; consecutive calls iterate through its error codes.
+/// The iteration happens at injection time (TriggerEngine's Rotate draw),
+/// so under ControllerOptions::feasible_only it cycles through only the
+/// constprop-verified codes of analyzed functions — documentation-derived
+/// codes the binary cannot return are skipped, unanalyzed functions keep
+/// their full set.
 Plan GenerateExhaustive(const std::vector<FaultProfile>& profiles);
 
 /// Random scenario: every call to an included function fails with
 /// probability p; the injected (retval, errno) is drawn uniformly from the
-/// function's profile at injection time.
+/// function's profile at injection time — under feasible-only, uniformly
+/// from its feasible (Analyzed) subset when it has one.
 Plan GenerateRandom(const std::vector<FaultProfile>& profiles, double p,
                     uint64_t seed);
 

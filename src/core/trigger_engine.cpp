@@ -5,7 +5,8 @@
 namespace lfi::core {
 
 TriggerEngine::TriggerEngine(const Plan& plan,
-                             const std::vector<FaultProfile>& profiles)
+                             const std::vector<FaultProfile>& profiles,
+                             bool feasible_only)
     : plan_(plan), rng_(plan.seed) {
   // Intern every planned function; state_ is indexed by the resulting
   // dense ids and never resized afterwards (stable handles).
@@ -38,7 +39,7 @@ TriggerEngine::TriggerEngine(const Plan& plan,
   for (util::SymbolId id = 0; id < state_.size(); ++id) {
     if (!state_[id].has_triggers()) continue;
     if (const FunctionProfile* fn = index.function(id)) {
-      state_[id].injectables_ = fn->injectables();
+      state_[id].injectables_ = fn->injectables(feasible_only);
     }
   }
 }

@@ -58,7 +58,12 @@ class TriggerEngine {
   };
 
  public:
-  TriggerEngine(const Plan& plan, const std::vector<FaultProfile>& profiles);
+  /// With `feasible_only`, profile draws (Rotate cycling and uniform
+  /// random picks) are restricted to constprop-verified error codes for
+  /// functions that have any (FunctionProfile::injectables's gate);
+  /// triggers with an explicit retval are unaffected.
+  TriggerEngine(const Plan& plan, const std::vector<FaultProfile>& profiles,
+                bool feasible_only = false);
 
   /// Opaque per-function handle; lets a stub skip the name lookup on the
   /// hot path (resolved once at install time). The trigger plumbing is

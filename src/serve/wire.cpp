@@ -300,6 +300,7 @@ void EncodeOptions(std::vector<uint8_t>& out,
   if (options.snapshot) flags |= 1u << 3;
   if (options.snapshot_tree) flags |= 1u << 4;
   if (options.collect_state_digest) flags |= 1u << 5;
+  if (options.controller.feasible_only) flags |= 1u << 6;
   PutU8(out, flags);
   PutU64(out, options.warmup_instructions);
   PutU8(out, options.exec_mode.has_value() ? 1 : 0);
@@ -331,6 +332,7 @@ Result<campaign::CampaignOptions> DecodeOptions(Reader& r) {
   o.snapshot = (flags & (1u << 3)) != 0;
   o.snapshot_tree = (flags & (1u << 4)) != 0;
   o.collect_state_digest = (flags & (1u << 5)) != 0;
+  o.controller.feasible_only = (flags & (1u << 6)) != 0;
   if (has_exec) {
     uint8_t mode = 0;
     if (!r.U8(&mode) ||

@@ -16,6 +16,10 @@ size_t CoverageBitmap::CountNotIn(const CoverageBitmap& other) const {
   size_t total = 0;
   for (size_t w = 0; w < words_.size(); ++w) {
     uint64_t masked = words_[w];
+    // Clamp, don't assert: `other` is clear past its own size, so every
+    // bit of ours beyond it counts as fresh. The converse direction needs
+    // no handling — our loop never reads past words_, and other's extra
+    // bits cannot contribute to "set in this, not in other".
     if (w < other.words_.size()) masked &= ~other.words_[w];
     total += static_cast<size_t>(__builtin_popcountll(masked));
   }

@@ -72,6 +72,11 @@ class CoverageBitmap {
   /// Number of bits set in this bitmap but not in `other` — the "new
   /// coverage" a scenario adds over a corpus-union bitmap (explorer
   /// fitness). Word-wise AND-NOT popcount, no allocation.
+  /// Mismatched sizes clamp rather than assert: `other` is treated as
+  /// all-clear past its size (a shorter union bitmap — e.g. a
+  /// freshly-default-constructed one — makes every bit here fresh), and
+  /// bits `other` has past this bitmap's size are irrelevant by
+  /// definition. So CountNotIn({}) == Count().
   size_t CountNotIn(const CoverageBitmap& other) const;
 
   bool Empty() const { return Count() == 0; }

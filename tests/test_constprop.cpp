@@ -382,6 +382,47 @@ TEST(ConstProp, MemoizationReusesSummaries) {
   EXPECT_LT(analyzer.total_states_explored(), after_first * 3);
 }
 
+TEST(ConstProp, MaxStatesBudgetDegradesToUnknown) {
+  // A branchy function that needs well over a handful of G' states: the
+  // return constant is set at entry, so the backward walk from ret must
+  // thread every diamond. With a tiny max_states budget it must stop and
+  // mark the summary incomplete with unknown returns — never hang or blow
+  // through the 2^8 path tree.
+  auto so = OneFn([](CodeBuilder& b) {
+    b.mov_ri(Reg::R0, -1);
+    for (int i = 0; i < 8; ++i) {
+      auto skip = b.new_label();
+      b.cmp_ri(Reg::R1, i);
+      b.jne(skip);
+      b.add_ri(Reg::R2, 1);
+      b.bind(skip);
+    }
+    b.ret();
+  });
+  Workspace ws;
+  ws.AddModule(&so);
+  AnalysisOptions opts;
+  opts.max_states = 4;
+  ConstPropAnalyzer analyzer(ws, opts);
+  auto s = analyzer.Analyze(so, "f");
+  ASSERT_TRUE(s.ok()) << s.error();
+  EXPECT_TRUE(s.value().returns_unknown);
+  EXPECT_TRUE(s.value().incomplete);
+  // The budget bounds the walk — a handful of over-budget probes (each
+  // attempted successor costs one counter tick before bailing) is fine,
+  // the 2^12 path explosion the unbudgeted walk would do is not. The
+  // analyzer-wide counter the CLI prints must see the capped walk too.
+  EXPECT_LE(s.value().states_explored, 64u);
+  EXPECT_GT(analyzer.total_states_explored(), 0u);
+
+  // The same function under the default budget resolves fully.
+  ConstPropAnalyzer roomy(ws);
+  auto full = roomy.Analyze(so, "f");
+  ASSERT_TRUE(full.ok());
+  EXPECT_FALSE(full.value().returns_unknown);
+  EXPECT_EQ(ReturnValues(full.value()), (std::set<int64_t>{-1}));
+}
+
 TEST(ConstProp, UnknownExportRejected) {
   auto so = OneFn([](CodeBuilder& b) { b.ret(); });
   Workspace ws;

@@ -145,5 +145,45 @@ TEST(CoverageTracker, ClearKeepsSizing) {
   EXPECT_TRUE(tracker.was_executed(0, 42));
 }
 
+TEST(CoverageBitmap, CountNotInBasics) {
+  CoverageBitmap a(128), b(128);
+  a.Set(1);
+  a.Set(70);
+  a.Set(127);
+  b.Set(70);
+  EXPECT_EQ(a.CountNotIn(b), 2u);   // 1 and 127 are fresh
+  EXPECT_EQ(b.CountNotIn(a), 0u);   // b is a subset of a
+  EXPECT_EQ(a.CountNotIn(a), 0u);
+}
+
+TEST(CoverageBitmap, CountNotInOtherShorterClampsToFresh) {
+  // `other` smaller than this bitmap: the documented clamp treats other's
+  // missing tail as all-clear, so bits past its size count as fresh. This
+  // is the explorer's first-round shape — the union bitmap starts out
+  // default-constructed (zero-size).
+  CoverageBitmap a(256);
+  a.Set(3);
+  a.Set(200);  // beyond other's 64 bits entirely
+  CoverageBitmap small(64);
+  small.Set(3);
+  EXPECT_EQ(a.CountNotIn(small), 1u);  // only 200 is fresh
+  CoverageBitmap empty;
+  EXPECT_EQ(a.CountNotIn(empty), a.Count());
+}
+
+TEST(CoverageBitmap, CountNotInOtherLongerIgnoresItsTail) {
+  // `other` larger than this bitmap: its extra bits cannot affect "set
+  // here but not there", and the loop never reads past this bitmap.
+  CoverageBitmap a(64);
+  a.Set(10);
+  CoverageBitmap big(512);
+  big.Set(10);
+  big.Set(300);
+  big.Set(500);
+  EXPECT_EQ(a.CountNotIn(big), 0u);
+  a.Set(11);
+  EXPECT_EQ(a.CountNotIn(big), 1u);
+}
+
 }  // namespace
 }  // namespace lfi::vm

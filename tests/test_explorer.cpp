@@ -80,6 +80,28 @@ ExplorerReport ExploreReader(int jobs, uint64_t seed) {
   return explorer.Explore();
 }
 
+/// Directed-mode exploration of the reader target: CFG-distance fitness
+/// plus the feasible-only injection gate, with execution knobs exposed so
+/// the determinism matrix (jobs / engines / snapshot modes) can vary them.
+ExplorerReport ExploreReaderDirected(int jobs, uint64_t seed,
+                                     std::optional<vm::ExecMode> mode = {},
+                                     bool snapshot = false,
+                                     bool snapshot_tree = false) {
+  ExplorerOptions opts;
+  opts.rounds = 3;
+  opts.scenarios_per_round = 10;
+  opts.seed = seed;
+  opts.seed_probability = 0.3;
+  opts.fitness = FitnessKind::CfgDistance;
+  opts.campaign.controller.feasible_only = true;
+  opts.campaign.jobs = jobs;
+  opts.campaign.exec_mode = mode;
+  opts.campaign.snapshot = snapshot;
+  opts.campaign.snapshot_tree = snapshot_tree;
+  Explorer explorer(ReaderSetup(), apps::LibcProfiles(), opts);
+  return explorer.Explore();
+}
+
 void ExpectSameExploration(const ExplorerReport& a, const ExplorerReport& b) {
   // Union coverage: bit-identical per module.
   EXPECT_EQ(a.coverage, b.coverage);
@@ -171,6 +193,95 @@ TEST(Explorer, UnionCoverageIsMonotone) {
     prev = rs.union_offsets;
   }
   EXPECT_EQ(report.union_offsets(), prev);
+}
+
+// The fitness seam must not disturb the jobs-invariance contract:
+// CFG-distance selection (with feasible-only injection) is bit-identical
+// for any jobs count, exactly like coverage fitness.
+TEST(Explorer, CfgDistanceDeterministicAcrossJobCounts) {
+  ExplorerReport serial = ExploreReaderDirected(1, 42);
+  ExplorerReport parallel = ExploreReaderDirected(4, 42);
+  EXPECT_GT(serial.union_offsets(), 0u);
+  ExpectSameExploration(serial, parallel);
+}
+
+// ... and across execution engines and snapshot modes: the fitness only
+// consumes engine-invariant inputs (bitmaps, block graphs), so the whole
+// directed exploration is identical under every execution strategy.
+TEST(Explorer, CfgDistanceBitIdenticalAcrossEnginesAndSnapshotModes) {
+  ExplorerReport base = ExploreReaderDirected(2, 9);
+  ExplorerReport reference =
+      ExploreReaderDirected(2, 9, vm::ExecMode::Reference);
+  ExplorerReport predecoded =
+      ExploreReaderDirected(2, 9, vm::ExecMode::Predecoded);
+  ExplorerReport snapshot =
+      ExploreReaderDirected(2, 9, {}, /*snapshot=*/true);
+  ExplorerReport tree = ExploreReaderDirected(2, 9, {}, /*snapshot=*/false,
+                                              /*snapshot_tree=*/true);
+  EXPECT_GT(base.union_offsets(), 0u);
+  ExpectSameExploration(base, reference);
+  ExpectSameExploration(base, predecoded);
+  ExpectSameExploration(base, snapshot);
+  ExpectSameExploration(base, tree);
+}
+
+TEST(Fitness, ParseAndName) {
+  EXPECT_EQ(ParseFitnessKind("coverage"), FitnessKind::Coverage);
+  EXPECT_EQ(ParseFitnessKind("cfg-distance"), FitnessKind::CfgDistance);
+  EXPECT_FALSE(ParseFitnessKind("afl").has_value());
+  EXPECT_STREQ(FitnessKindName(FitnessKind::Coverage), "coverage");
+  EXPECT_STREQ(FitnessKindName(FitnessKind::CfgDistance), "cfg-distance");
+}
+
+// The RNG-stream contract behind the seam: CoverageFitness consumes
+// exactly the one below() the pre-seam explorer drew, CfgDistanceFitness
+// exactly two — in both cases independent of scores, so the mutation
+// stream after parent selection stays aligned.
+TEST(Fitness, SelectParentDrawCountIsFixed) {
+  CoverageFitness cov;
+  Rng a(123), b(123);
+  EXPECT_EQ(cov.SelectParent(7, a), b.below(7));
+  EXPECT_EQ(a.next(), b.next());  // streams still aligned afterwards
+
+  CfgDistanceFitness directed(ReaderSetup());
+  Rng c(123), d(123);
+  size_t picked = directed.SelectParent(7, c);
+  uint64_t x = d.below(7);
+  uint64_t y = d.below(7);
+  // No BeginRound yet: the tournament falls back to the raw rank.
+  EXPECT_EQ(picked, std::min(x, y));
+  EXPECT_EQ(c.next(), d.next());
+}
+
+// CFG-distance scoring prefers corpus members whose coverage sits near
+// (here: on) uncovered error-handling blocks.
+TEST(Fitness, CfgDistanceScoresProximityToErrorBlocks) {
+  CfgDistanceFitness fitness(ReaderSetup());
+  // Member 1 covers the reader app wall to wall (including its abort
+  // guard's failure block); member 0 covers nothing. Order chosen so the
+  // ranking is by score, not index.
+  vm::CoverageBitmap everything(1 << 14);
+  for (uint32_t off = 0; off < everything.size_bits(); ++off) {
+    everything.Set(off);
+  }
+  std::map<std::string, vm::CoverageBitmap> full;
+  full["readerapp.so"] = everything;
+  std::vector<std::map<std::string, vm::CoverageBitmap>> corpus;
+  corpus.push_back({});
+  corpus.push_back(full);
+  fitness.BeginRound(corpus, {});  // empty union: every error block counts
+  ASSERT_EQ(fitness.scores().size(), 2u);
+  EXPECT_GT(fitness.scores()[1], 0.0);
+  EXPECT_EQ(fitness.scores()[0], 0.0);
+
+  // The tournament favors rank 0 (the scorer) 3:1 for a corpus of two.
+  Rng rng(5);
+  size_t high_scorer_picks = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (fitness.SelectParent(2, rng) == 1) ++high_scorer_picks;
+  }
+  EXPECT_GT(high_scorer_picks, 100u);
+  EXPECT_LT(high_scorer_picks, 200u);  // low scorers still reproduce
 }
 
 // Acceptance (ISSUE 3): on the Pidgin target, 3 explorer rounds reach

@@ -387,5 +387,48 @@ TEST(Fabric, ExplorerRoundsThroughFabricAreBitIdentical) {
   ReapWorker(w2.value());
 }
 
+// Directed mode over the wire: CFG-distance fitness with the feasible-only
+// gate. Fitness runs on the coordinating side from worker-shipped bitmaps,
+// and feasible_only must ride the options frame so remote TriggerEngines
+// gate exactly like local ones — any drift shows up as report divergence.
+TEST(Fabric, DirectedExplorerRoundsThroughFabricAreBitIdentical) {
+  campaign::ExplorerOptions eopts;
+  eopts.rounds = 3;
+  eopts.scenarios_per_round = 10;
+  eopts.seed = 11;
+  eopts.fitness = campaign::FitnessKind::CfgDistance;
+  eopts.campaign.controller.feasible_only = true;
+  eopts.campaign.jobs = 1;
+
+  auto setup = MakeSetup(ReaderSpec());
+  ASSERT_TRUE(setup.ok());
+  campaign::Explorer plain(setup.value(), apps::LibcProfiles(), eopts);
+  campaign::ExplorerReport baseline = plain.Explore();
+  ASSERT_GT(baseline.union_offsets(), 0u);
+
+  FabricOptions fabric_opts;
+  fabric_opts.batch_size = 2;
+  auto w1 = SpawnLocalWorker();
+  auto w2 = SpawnLocalWorker();
+  ASSERT_TRUE(w1.ok()) << w1.error();
+  ASSERT_TRUE(w2.ok()) << w2.error();
+  FabricCoordinator fabric(ReaderSpec(), apps::LibcProfiles(),
+                           campaign::Explorer::DispatchOptions(eopts.campaign),
+                           fabric_opts);
+  ASSERT_TRUE(fabric.AddWorkerFd(w1.value().fd, "w1").ok());
+  ASSERT_TRUE(fabric.AddWorkerFd(w2.value().fd, "w2").ok());
+
+  campaign::ExplorerOptions fabric_eopts = eopts;
+  fabric_eopts.dispatch = &fabric;
+  campaign::Explorer through(setup.value(), apps::LibcProfiles(),
+                             fabric_eopts);
+  campaign::ExplorerReport distributed = through.Explore();
+
+  ExpectSameExplorerReports(baseline, distributed);
+  EXPECT_GT(fabric.stats().scenarios_remote, 0u);
+  ReapWorker(w1.value());
+  ReapWorker(w2.value());
+}
+
 }  // namespace
 }  // namespace lfi::serve

@@ -1,9 +1,25 @@
 #include <gtest/gtest.h>
 
+#include "analysis/cfg.hpp"
 #include "analysis/heuristics.hpp"
+#include "isa/codebuilder.hpp"
 
 namespace lfi::analysis {
 namespace {
+
+using isa::CodeBuilder;
+using isa::Reg;
+
+Cfg CfgOf(std::function<void(CodeBuilder&)> body) {
+  CodeBuilder b;
+  b.begin_function("f", true, /*bare=*/true);
+  body(b);
+  b.end_function();
+  sso::SharedObject so = sso::FromCodeUnit("lib.so", b.Finish());
+  auto cfg = BuildCfg(so, so.exports[0]);
+  EXPECT_TRUE(cfg.ok()) << (cfg.ok() ? "" : cfg.error());
+  return std::move(cfg).take();
+}
 
 FunctionSummary MakeSummary(std::vector<int64_t> returns,
                             size_t instruction_count = 50,
@@ -95,6 +111,89 @@ TEST(Heuristics, ThresholdBoundary) {
   opts.short_function_max_instructions = 12;
   EXPECT_TRUE(ApplyHeuristics(MakeSummary({0, 1}, 12), opts).returns.empty());
   EXPECT_FALSE(ApplyHeuristics(MakeSummary({0, 1}, 13), opts).returns.empty());
+}
+
+TEST(ErrorHandlingBlocks, SuccessJumpShapeFlagsFallThrough) {
+  // cmp R0, 0; jge ok  — success jumps away, so the failure side is the
+  // fall-through block.
+  Cfg cfg = CfgOf([](CodeBuilder& b) {
+    auto ok = b.new_label();
+    b.cmp_ri(Reg::R0, 0);
+    b.jge(ok);
+    b.add_ri(Reg::R1, 1);  // the error handler
+    b.bind(ok);
+    b.ret();
+  });
+  auto blocks = ErrorHandlingBlocks(cfg);
+  ASSERT_EQ(blocks.size(), 1u);
+  // The flagged block is the guard's fall-through successor, not the
+  // branch target.
+  const BasicBlock& guard = cfg.blocks[0];
+  ASSERT_EQ(guard.succs.size(), 2u);
+  EXPECT_EQ(blocks[0], guard.succs[1]);  // succs[1] = fall-through
+}
+
+TEST(ErrorHandlingBlocks, FailureJumpShapeFlagsBranchTarget) {
+  // cmp R0, -1; je err — failure jumps in, so the branch target is the
+  // handler.
+  Cfg cfg = CfgOf([](CodeBuilder& b) {
+    auto err = b.new_label();
+    b.cmp_ri(Reg::R0, -1);
+    b.je(err);
+    b.ret();
+    b.bind(err);
+    b.add_ri(Reg::R1, 1);
+    b.ret();
+  });
+  auto blocks = ErrorHandlingBlocks(cfg);
+  ASSERT_EQ(blocks.size(), 1u);
+  const BasicBlock& guard = cfg.blocks[0];
+  ASSERT_EQ(guard.succs.size(), 2u);
+  EXPECT_EQ(blocks[0], guard.succs[0]);  // succs[0] = branch target
+}
+
+TEST(ErrorHandlingBlocks, AbortBlocksAreFlagged) {
+  Cfg cfg = CfgOf([](CodeBuilder& b) {
+    auto ok = b.new_label();
+    b.cmp_ri(Reg::R0, 0);
+    b.jge(ok);
+    b.abort();
+    b.bind(ok);
+    b.ret();
+  });
+  auto blocks = ErrorHandlingBlocks(cfg);
+  // The abort block is both the guard's failure side and an ABORT block —
+  // flagged once (ascending, deduplicated).
+  ASSERT_EQ(blocks.size(), 1u);
+  bool has_abort = false;
+  for (const isa::Instr& ins : cfg.blocks[blocks[0]].instrs) {
+    if (ins.op == isa::Opcode::ABORT) has_abort = true;
+  }
+  EXPECT_TRUE(has_abort);
+}
+
+TEST(ErrorHandlingBlocks, PositiveConstantsAndOtherRegistersIgnored) {
+  // cmp R0, 5 (k > 0: a loop bound, not an error check) and cmp R1, 0
+  // (not the return register) must flag nothing.
+  Cfg positive = CfgOf([](CodeBuilder& b) {
+    auto ok = b.new_label();
+    b.cmp_ri(Reg::R0, 5);
+    b.jge(ok);
+    b.add_ri(Reg::R1, 1);
+    b.bind(ok);
+    b.ret();
+  });
+  EXPECT_TRUE(ErrorHandlingBlocks(positive).empty());
+
+  Cfg other_reg = CfgOf([](CodeBuilder& b) {
+    auto ok = b.new_label();
+    b.cmp_ri(Reg::R1, 0);
+    b.jge(ok);
+    b.add_ri(Reg::R2, 1);
+    b.bind(ok);
+    b.ret();
+  });
+  EXPECT_TRUE(ErrorHandlingBlocks(other_reg).empty());
 }
 
 }  // namespace

@@ -165,5 +165,63 @@ TEST(FaultProfile, FunctionLookup) {
   EXPECT_EQ(p.function("close")->error_code(0), nullptr);
 }
 
+TEST(FaultProfile, ProvenanceXmlRoundTrip) {
+  FaultProfile p = Sample();
+  p.functions[0].error_codes[0].provenance = Provenance::Analyzed;
+  // functions[1] stays Assumed — its error-code element must carry no
+  // provenance attribute (hand-written profiles stay valid unchanged).
+  std::string xml = p.ToXml();
+  EXPECT_NE(xml.find("provenance=\"analyzed\""), std::string::npos);
+  EXPECT_EQ(xml.find("provenance=\"assumed\""), std::string::npos);
+
+  auto parsed = FaultProfile::FromXml(xml);
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  const FaultProfile& q = parsed.value();
+  EXPECT_EQ(q.functions[0].error_codes[0].provenance, Provenance::Analyzed);
+  EXPECT_EQ(q.functions[1].error_codes[0].provenance, Provenance::Assumed);
+  EXPECT_TRUE(q.functions[0].has_analyzed_codes());
+  EXPECT_FALSE(q.functions[1].has_analyzed_codes());
+}
+
+TEST(FaultProfile, ProvenanceRejectsUnknownValue) {
+  EXPECT_FALSE(FaultProfile::FromXml(
+                   "<profile library=\"l\"><function name=\"f\">"
+                   "<error-codes retval=\"-1\" provenance=\"guessed\" />"
+                   "</function></profile>")
+                   .ok());
+}
+
+TEST(FaultProfile, FeasibleOnlyInjectablesRestrictToAnalyzed) {
+  FunctionProfile fn;
+  fn.name = "f";
+  ProfileErrorCode analyzed;
+  analyzed.retval = -1;
+  analyzed.provenance = Provenance::Analyzed;
+  ProfileErrorCode assumed;
+  assumed.retval = -2;  // documentation-derived; constprop never saw it
+  fn.error_codes.push_back(analyzed);
+  fn.error_codes.push_back(assumed);
+
+  auto all = fn.injectables();
+  ASSERT_EQ(all.size(), 2u);
+  auto feasible = fn.injectables(/*feasible_only=*/true);
+  ASSERT_EQ(feasible.size(), 1u);
+  EXPECT_EQ(feasible[0].first, -1);
+}
+
+TEST(FaultProfile, FeasibleOnlyFallsBackForUnanalyzedFunctions) {
+  // A function with no Analyzed code at all keeps its full set — the
+  // gate only trims functions the analysis actually reached.
+  FunctionProfile fn;
+  fn.name = "g";
+  ProfileErrorCode a, b;
+  a.retval = -1;
+  b.retval = -2;
+  fn.error_codes.push_back(a);
+  fn.error_codes.push_back(b);
+  EXPECT_FALSE(fn.has_analyzed_codes());
+  EXPECT_EQ(fn.injectables(/*feasible_only=*/true).size(), 2u);
+}
+
 }  // namespace
 }  // namespace lfi::core

@@ -368,5 +368,70 @@ TEST(TriggerEngine, IndexedTriggersFireInPlanOrderAtSameCount) {
   EXPECT_EQ(fourth->trigger_index, 0u);
 }
 
+/// Profile with one Analyzed code (retval -1) and one Assumed code
+/// (retval -2) — the shape a constprop-verified function plus a
+/// documentation-derived extra takes.
+std::vector<FaultProfile> MixedProvenanceProfiles(const std::string& fn) {
+  FaultProfile p;
+  p.library = "libc.so";
+  FunctionProfile f;
+  f.name = fn;
+  ProfileErrorCode analyzed;
+  analyzed.retval = -1;
+  analyzed.provenance = Provenance::Analyzed;
+  ProfileErrorCode assumed;
+  assumed.retval = -2;
+  f.error_codes.push_back(analyzed);
+  f.error_codes.push_back(assumed);
+  p.functions.push_back(f);
+  return {p};
+}
+
+TEST(TriggerEngine, FeasibleOnlyDrawsOnlyAnalyzedCodes) {
+  Plan plan;
+  FunctionTrigger t;
+  t.function = "close";
+  t.mode = FunctionTrigger::Mode::Rotate;
+  plan.triggers.push_back(t);
+  TriggerEngine engine(plan, MixedProvenanceProfiles("close"),
+                       /*feasible_only=*/true);
+  for (int i = 0; i < 6; ++i) {
+    auto d = engine.OnCall("close", {});
+    ASSERT_TRUE(d.has_value());
+    EXPECT_EQ(d->retval, -1);  // the Assumed -2 must never be drawn
+  }
+}
+
+TEST(TriggerEngine, WithoutFeasibleOnlyBothProvenancesRotate) {
+  Plan plan;
+  FunctionTrigger t;
+  t.function = "close";
+  t.mode = FunctionTrigger::Mode::Rotate;
+  plan.triggers.push_back(t);
+  TriggerEngine engine(plan, MixedProvenanceProfiles("close"));
+  std::set<int64_t> retvals;
+  for (int i = 0; i < 4; ++i) {
+    auto d = engine.OnCall("close", {});
+    ASSERT_TRUE(d.has_value());
+    retvals.insert(d->retval);
+  }
+  EXPECT_EQ(retvals, (std::set<int64_t>{-1, -2}));
+}
+
+TEST(TriggerEngine, FeasibleOnlySparesUnanalyzedFunctions) {
+  // All codes Assumed: the gate must not empty the set — unanalyzed
+  // functions keep full fault coverage.
+  Plan plan;
+  FunctionTrigger t;
+  t.function = "close";
+  t.mode = FunctionTrigger::Mode::Rotate;
+  plan.triggers.push_back(t);
+  TriggerEngine engine(plan, ProfilesWith("close", {E_BADF, E_IO}),
+                       /*feasible_only=*/true);
+  auto d = engine.OnCall("close", {});
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->retval, -1);
+}
+
 }  // namespace
 }  // namespace lfi::core

@@ -192,6 +192,7 @@ TEST(Wire, OptionsRoundTrip) {
   o.exec_mode = vm::ExecMode::Predecoded;
   o.controller.log_backtraces = false;
   o.controller.log_capacity = 42;
+  o.controller.feasible_only = true;
   std::vector<uint8_t> buf;
   EncodeOptions(buf, o);
   Reader r(buf);
@@ -215,6 +216,20 @@ TEST(Wire, OptionsRoundTrip) {
   EXPECT_EQ(d.controller.log_enabled, o.controller.log_enabled);
   EXPECT_EQ(d.controller.log_backtraces, o.controller.log_backtraces);
   EXPECT_EQ(d.controller.log_capacity, o.controller.log_capacity);
+  EXPECT_EQ(d.controller.feasible_only, o.controller.feasible_only);
+}
+
+TEST(Wire, FeasibleOnlyDefaultsOffOnTheWire) {
+  // A coordinator not opting in must not accidentally set the bit: the
+  // fabric's gate state has to match the in-process controller's exactly
+  // or distributed rounds diverge from local ones.
+  campaign::CampaignOptions o;
+  std::vector<uint8_t> buf;
+  EncodeOptions(buf, o);
+  Reader r(buf);
+  auto decoded = DecodeOptions(r);
+  ASSERT_TRUE(decoded.ok()) << decoded.error();
+  EXPECT_FALSE(decoded.value().controller.feasible_only);
 }
 
 TEST(Wire, BitmapRoundTrip) {

@@ -170,9 +170,18 @@ int CmdDisasm(const std::vector<std::string>& args) {
 int CmdProfile(const std::vector<std::string>& args) {
   std::vector<std::string> inputs;
   std::string out_path;
+  core::ProfilerOptions popts;
   for (size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "-o" && i + 1 < args.size()) {
       out_path = args[++i];
+    } else if (args[i] == "--max-states" && i + 1 < args.size()) {
+      // Per-query G' exploration budget: when a function's state walk
+      // exceeds it, its returns degrade to "unknown" instead of hanging
+      // the profiler on adversarial control flow.
+      popts.analysis.max_states = std::strtoull(args[++i].c_str(), nullptr, 10);
+      if (popts.analysis.max_states == 0) {
+        return Fail("profile: --max-states must be > 0");
+      }
     } else {
       inputs.push_back(args[i]);
     }
@@ -190,7 +199,7 @@ int CmdProfile(const std::vector<std::string>& args) {
   ws.SetKernel(&kernel_img);
   for (const auto& so : objects) ws.AddModule(&so);
 
-  core::Profiler profiler(ws);
+  core::Profiler profiler(ws, popts);
   auto profile = profiler.ProfileLibrary(objects[0]);
   if (!profile.ok()) return Fail(profile.error());
   std::string xml = profile.value().ToXml();
@@ -548,6 +557,7 @@ int CmdCampaign(const std::vector<std::string>& args) {
     else if (args[i] == "--exhaustive") exhaustive = true;
     else if (args[i] == "--snapshot") opts.snapshot = true;
     else if (args[i] == "--snapshot-tree") opts.snapshot_tree = true;
+    else if (args[i] == "--feasible-only") opts.controller.feasible_only = true;
     else if (args[i] == "--exec") {
       std::string name = next();
       auto mode = vm::ParseExecMode(name);
@@ -981,6 +991,18 @@ int CmdExplore(const std::vector<std::string>& args) {
     else if (args[i] == "--snapshot") eopts.campaign.snapshot = true;
     else if (args[i] == "--snapshot-tree") eopts.campaign.snapshot_tree = true;
     else if (args[i] == "--fork-windows") eopts.fork_windows = true;
+    else if (args[i] == "--fitness") {
+      std::string name = next();
+      auto kind = campaign::ParseFitnessKind(name);
+      if (!kind) {
+        return Fail("explore: unknown --fitness \"" + name +
+                    "\" (coverage or cfg-distance)");
+      }
+      eopts.fitness = *kind;
+    }
+    else if (args[i] == "--feasible-only") {
+      eopts.campaign.controller.feasible_only = true;
+    }
     else if (args[i] == "--exec") {
       std::string name = next();
       auto mode = vm::ParseExecMode(name);
@@ -1136,7 +1158,7 @@ int main(int argc, char** argv) {
         "usage: lfi <command> [args]\n"
         "  demo-assets <dir>     write demo libc/kernel/app binaries\n"
         "  disasm <lib.sso>      disassemble a synthetic shared object\n"
-        "  profile <sso...> [-o profile.xml]\n"
+        "  profile <sso...> [-o profile.xml] [--max-states N]\n"
         "  generate (--random p | --exhaustive) [--seed n] <profile.xml...>"
         " [-o plan.xml]\n"
         "  test --app <sso> --plan <plan.xml> [--entry sym] [--profile xml]\n"
@@ -1146,7 +1168,7 @@ int main(int argc, char** argv) {
         "       [--entry sym] [--profile xml]... [--lib sso]...\n"
         "       [--file path]... [--coverage report.txt]\n"
         "       [--budget instructions] [--snapshot | --snapshot-tree]\n"
-        "       [--warmup instructions]\n"
+        "       [--warmup instructions] [--feasible-only]\n"
         "       [--exec superblock|predecoded|reference]\n"
         "       [--workers N] [--connect host:port[,host:port...]]\n"
         "  explore --app <sso> [--rounds N] [--budget scenarios-per-round]\n"
@@ -1154,6 +1176,7 @@ int main(int argc, char** argv) {
         "       [--entry sym] [--profile xml]... [--lib sso]...\n"
         "       [--file path]... [--instructions N] [--no-minimize]\n"
         "       [--snapshot | --snapshot-tree] [--fork-windows]\n"
+        "       [--fitness coverage|cfg-distance] [--feasible-only]\n"
         "       [--warmup instructions]\n"
         "       [--exec superblock|predecoded|reference]\n"
         "       [--workers N] [--connect host:port[,host:port...]]\n"
